@@ -1,0 +1,72 @@
+#include "bench/breakdown_harness.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/analysis/breakdown.h"
+#include "src/analysis/parallel.h"
+#include "src/base/rng.h"
+#include "src/workload/workload.h"
+
+namespace emeralds {
+namespace {
+
+int WorkloadsPerPoint() {
+  const char* env = std::getenv("EMERALDS_WORKLOADS");
+  if (env != nullptr) {
+    int value = std::atoi(env);
+    if (value > 0) {
+      return value;
+    }
+  }
+  return 60;
+}
+
+}  // namespace
+
+void RunBreakdownFigure(const char* figure_name, int divide) {
+  const int workloads = WorkloadsPerPoint();
+  const CostModel cost = CostModel::MC68040_25MHz();
+  const PolicySpec policies[] = {PolicySpec::Rm(), PolicySpec::Edf(), PolicySpec::Csd(2),
+                                 PolicySpec::Csd(3), PolicySpec::Csd(4)};
+  constexpr int kNumPolicies = 5;
+
+  std::printf("%s: average breakdown utilization (%%), periods / %d\n", figure_name, divide);
+  std::printf("(%d random workloads per point; paper used 500 — set EMERALDS_WORKLOADS)\n",
+              workloads);
+  std::printf("%4s", "n");
+  for (const PolicySpec& policy : policies) {
+    std::printf(" %8s", policy.Name());
+  }
+  std::printf("\n");
+
+  Rng root(20260704);
+  for (int n = 5; n <= 50; n += 5) {
+    std::vector<double> sums(kNumPolicies, 0.0);
+    std::vector<std::vector<double>> per_workload(workloads,
+                                                  std::vector<double>(kNumPolicies, 0.0));
+    ParallelFor(workloads, [&](int w) {
+      Rng rng = root.Fork(static_cast<uint64_t>(n) * 10000 + divide * 1000 + w);
+      TaskSet set = GenerateWorkload(rng, n).PeriodsDividedBy(divide);
+      for (int p = 0; p < kNumPolicies; ++p) {
+        per_workload[w][p] = ComputeBreakdown(set, policies[p], cost).utilization;
+      }
+    });
+    for (int w = 0; w < workloads; ++w) {
+      for (int p = 0; p < kNumPolicies; ++p) {
+        sums[p] += per_workload[w][p];
+      }
+    }
+    std::printf("%4d", n);
+    for (int p = 0; p < kNumPolicies; ++p) {
+      std::printf(" %8.1f", 100.0 * sums[p] / workloads);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+}
+
+}  // namespace emeralds

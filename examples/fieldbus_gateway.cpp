@@ -1,0 +1,192 @@
+// Fieldbus gateway node — the paper's distributed-control setting: one node
+// of a 5-10 node system on a 1 Mbit/s fieldbus (Section 2), with memory
+// protection between the driver and application processes.
+//
+// Demonstrates:
+//   * a user-level fieldbus RX driver in its own process, demultiplexing
+//     frames into per-signal state messages (threads "talking directly to
+//     network device drivers" — no protocol stack, Section 3),
+//   * application control tasks in a second process reading those state
+//     messages at their own rates (single-writer/multi-reader, non-blocking),
+//   * object ACLs: the application process cannot write the driver's state
+//     messages,
+//   * a condition variable broadcasting a configuration change,
+//   * shared-memory mapping with per-process write rights.
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/core/kernel.h"
+#include "src/hal/devices.h"
+#include "src/hal/hardware.h"
+
+using namespace emeralds;
+
+int main() {
+  Hardware hw;
+  KernelConfig config;
+  config.scheduler = SchedulerSpec::Csd(2);
+  Kernel kernel(hw, config);
+
+  // Two protection domains.
+  ProcessId driver_proc = kernel.CreateProcess("driver").value();
+  ProcessId app_proc = kernel.CreateProcess("app").value();
+
+  // The bus: frames every 4 ms (+ jitter), CAN-style ids.
+  FieldbusDevice::Config bus_config;
+  bus_config.rx_period = Milliseconds(4);
+  bus_config.rx_jitter = Milliseconds(1);
+  bus_config.seed = 7;
+  FieldbusDevice bus(hw, bus_config);
+
+  // Per-signal state messages: only the driver process may write them.
+  AccessPolicy both;  // read access checks are per-use; writes are enforced
+                      // by the single-writer rule, claimed by the driver.
+  SmsgId signals[4];
+  for (int i = 0; i < 4; ++i) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "signal%d", i);
+    signals[i] = kernel.CreateStateMessage(name, 8, 4, both).value();
+  }
+
+  // Shared status page: app may read, only the driver may write.
+  RegionId status_page = kernel.CreateRegion("status", 64).value();
+  kernel.MapRegion(driver_proc, status_page, true, true);
+  kernel.MapRegion(app_proc, status_page, true, false);
+
+  SemId config_lock = kernel.CreateSemaphore("config").value();
+  CondvarId config_changed = kernel.CreateCondvar("config-changed").value();
+  int config_generation = 0;
+
+  // --- RX driver thread (driver process, DP queue) ---
+  ThreadParams rx;
+  rx.name = "bus-rx";
+  rx.process = driver_proc;
+  rx.band = 0;
+  rx.body = [&](ThreadApi api) -> ThreadBody {
+    uint64_t frames = 0;
+    for (;;) {
+      co_await api.WaitIrq(kIrqFieldbus);
+      while (bus.rx_ready()) {
+        FieldbusDevice::Frame frame = bus.ReadFrame();
+        co_await api.Compute(Microseconds(80));  // frame parsing
+        uint64_t value = 0;
+        for (size_t b = 0; b < frame.payload.size(); ++b) {
+          value |= static_cast<uint64_t>(frame.payload[b]) << (8 * b);
+        }
+        SmsgId target = signals[frame.id % 4];
+        co_await api.StateWrite(target,
+                                std::span<const uint8_t>(
+                                    reinterpret_cast<const uint8_t*>(&value), sizeof(value)));
+        ++frames;
+        auto page = api.RegionData(status_page, /*write=*/true);
+        std::memcpy(page.data(), &frames, sizeof(frames));
+      }
+    }
+  };
+  ThreadId rx_id = kernel.CreateThread(rx).value();
+  kernel.BindIrqThread(rx_id, kIrqFieldbus);
+
+  // --- Application control tasks (app process, mixed queues) ---
+  uint64_t reads_ok = 0;
+  uint64_t stale_reads = 0;
+  Status app_write_attempt = Status::kOk;
+  int64_t task_periods_ms[3] = {5, 20, 100};
+  for (int i = 0; i < 3; ++i) {
+    ThreadParams task;
+    task.name = "control";
+    task.process = app_proc;
+    task.period = Milliseconds(task_periods_ms[i]);
+    task.band = i == 0 ? 0 : -1;
+    SmsgId source = signals[i];
+    task.body = [&, source, i](ThreadApi api) -> ThreadBody {
+      uint64_t last_seq = 0;
+      for (;;) {
+        uint64_t value = 0;
+        StateReadResult r = co_await api.StateRead(
+            source, std::span<uint8_t>(reinterpret_cast<uint8_t*>(&value), sizeof(value)));
+        if (r.status == Status::kOk) {
+          ++reads_ok;
+          if (r.sequence == last_seq) {
+            ++stale_reads;  // no new frame since our last period: fine
+          }
+          last_seq = r.sequence;
+        }
+        if (i == 0 && api.job_number() == 100) {
+          // The app tries to hijack a driver-owned state message once: the
+          // single-writer rule rejects it.
+          uint64_t rogue = 0xdead;
+          app_write_attempt = co_await api.StateWrite(
+              signals[3], std::span<const uint8_t>(
+                              reinterpret_cast<const uint8_t*>(&rogue), sizeof(rogue)));
+        }
+        co_await api.Compute(Microseconds(300 + 200 * i));
+        co_await api.WaitNextPeriod();
+      }
+    };
+    kernel.CreateThread(task);
+  }
+
+  // --- Configuration manager: bumps the generation once a second ---
+  ThreadParams manager;
+  manager.name = "config-mgr";
+  manager.process = app_proc;
+  manager.period = Seconds(1);
+  manager.body = [&](ThreadApi api) -> ThreadBody {
+    for (;;) {
+      co_await api.Acquire(config_lock);
+      ++config_generation;
+      co_await api.Broadcast(config_changed);
+      co_await api.Release(config_lock);
+      co_await api.WaitNextPeriod();
+    }
+  };
+  kernel.CreateThread(manager);
+
+  // A watcher blocked on the condvar, re-armed each generation.
+  int generations_seen = 0;
+  ThreadParams watcher;
+  watcher.name = "watcher";
+  watcher.process = app_proc;
+  watcher.body = [&](ThreadApi api) -> ThreadBody {
+    int last = 0;
+    for (;;) {
+      co_await api.Acquire(config_lock);
+      while (config_generation == last) {
+        co_await api.Wait(config_changed, config_lock);
+      }
+      last = config_generation;
+      ++generations_seen;
+      co_await api.Release(config_lock);
+    }
+  };
+  kernel.CreateThread(watcher);
+
+  // The driver must claim the state messages before the app runs, so write a
+  // first value from the kernel side: claim writer identity via the RX
+  // thread's first frames instead — the bus starts immediately.
+  bus.Start();
+  kernel.Start();
+  kernel.RunUntil(Instant() + Seconds(5));
+
+  const KernelStats& stats = kernel.stats();
+  uint64_t frames_counted = 0;
+  // The status page is plain shared memory: read it back from the host side.
+  std::memcpy(&frames_counted, kernel.RegionDataFor(app_proc, status_page, false).data(),
+              sizeof(frames_counted));
+  std::printf("gateway node, 5 s simulated:\n");
+  std::printf("  bus frames        %llu received, %llu overruns, %llu counted on page\n",
+              (unsigned long long)bus.frames_received(), (unsigned long long)bus.rx_overruns(),
+              (unsigned long long)frames_counted);
+  std::printf("  signal reads      %llu ok (%llu with no fresh frame)\n",
+              (unsigned long long)reads_ok, (unsigned long long)stale_reads);
+  std::printf("  app rogue write   %s (expected kPermissionDenied)\n",
+              StatusToString(app_write_attempt));
+  std::printf("  config changes    %d broadcast, %d observed\n", config_generation,
+              generations_seen);
+  std::printf("  deadline misses   %llu\n", (unsigned long long)stats.deadline_misses);
+  bool ok = app_write_attempt == Status::kPermissionDenied && generations_seen >= 4 &&
+            stats.deadline_misses == 0 && frames_counted > 0;
+  std::printf("gateway %s\n", ok ? "healthy" : "DEGRADED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,128 @@
+// Quickstart: a minimal EMERALDS node.
+//
+// Builds a kernel with the CSD-2 scheduler, three cooperating threads, one
+// semaphore-protected shared object, a state message, and a mailbox — the
+// core services of Figure 1 — runs one simulated second, and prints what
+// happened.
+//
+//   cmake -B build -G Ninja && cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/core/kernel.h"
+#include "src/hal/hardware.h"
+
+using namespace emeralds;
+
+int main() {
+  // 1. The virtual hardware platform and a kernel on top of it. The default
+  //    cost model charges kernel operations the paper's 25 MHz 68040 prices;
+  //    CSD-2 = one dynamic-priority EDF queue over one fixed-priority queue.
+  Hardware hw;
+  KernelConfig config;
+  config.scheduler = SchedulerSpec::Csd(2);
+  Kernel kernel(hw, config);
+
+  // 2. Kernel objects (statically created before Start, as in a real
+  //    small-memory deployment).
+  SemId position_lock = kernel.CreateSemaphore("position").value();
+  SmsgId speed_msg = kernel.CreateStateMessage("speed", sizeof(double), 4).value();
+  MailboxId log_box = kernel.CreateMailbox("log", 8).value();
+
+  double shared_position = 0.0;  // the semaphore-protected "object state"
+
+  // 3. A fast sensor task (5 ms period, DP queue): publishes a speed sample
+  //    through the non-blocking state message.
+  ThreadParams sensor;
+  sensor.name = "sensor";
+  sensor.period = Milliseconds(5);
+  sensor.band = 0;  // dynamic-priority (EDF) queue
+  sensor.body = [&](ThreadApi api) -> ThreadBody {
+    double speed = 0.0;
+    for (;;) {
+      co_await api.Compute(Microseconds(150));  // sample the hardware
+      speed = 100.0 + 0.1 * static_cast<double>(api.job_number() % 50);
+      co_await api.StateWrite(speed_msg,
+                              std::span<const uint8_t>(
+                                  reinterpret_cast<const uint8_t*>(&speed), sizeof(speed)));
+      co_await api.WaitNextPeriod();
+    }
+  };
+  kernel.CreateThread(sensor);
+
+  // 4. A control task (10 ms period, DP queue): reads the latest speed,
+  //    updates the protected object. The hint on WaitNextPeriod is what the
+  //    paper's code parser would insert — it lets the kernel eliminate a
+  //    context switch when the lock is held at release time (Section 6.2).
+  ThreadParams control;
+  control.name = "control";
+  control.period = Milliseconds(10);
+  control.band = 0;
+  control.body = [&](ThreadApi api) -> ThreadBody {
+    for (;;) {
+      double speed = 0.0;
+      co_await api.StateRead(speed_msg,
+                             std::span<uint8_t>(reinterpret_cast<uint8_t*>(&speed),
+                                                sizeof(speed)));
+      co_await api.Acquire(position_lock);
+      co_await api.Compute(Microseconds(400));  // control-law computation
+      shared_position += speed * 0.01;
+      co_await api.Release(position_lock);
+      co_await api.WaitNextPeriod(position_lock);  // CSE hint
+    }
+  };
+  kernel.CreateThread(control);
+
+  // 5. A slow logger (100 ms period, fixed-priority queue): samples the
+  //    object and reports via the mailbox.
+  ThreadParams logger;
+  logger.name = "logger";
+  logger.period = Milliseconds(100);
+  logger.band = -1;  // fixed-priority (RM) queue
+  logger.body = [&](ThreadApi api) -> ThreadBody {
+    for (;;) {
+      co_await api.Acquire(position_lock);
+      double snapshot = shared_position;
+      co_await api.Release(position_lock);
+      co_await api.Send(log_box, std::span<const uint8_t>(
+                                     reinterpret_cast<const uint8_t*>(&snapshot),
+                                     sizeof(snapshot)));
+      co_await api.WaitNextPeriod();
+    }
+  };
+  kernel.CreateThread(logger);
+
+  // 6. An aperiodic consumer draining the log mailbox.
+  ThreadParams sink;
+  sink.name = "sink";
+  sink.body = [&](ThreadApi api) -> ThreadBody {
+    for (;;) {
+      double value = 0.0;
+      RecvResult r = co_await api.Recv(
+          log_box, std::span<uint8_t>(reinterpret_cast<uint8_t*>(&value), sizeof(value)));
+      if (r.status == Status::kOk) {
+        std::printf("[%7.1f ms] log: position = %.2f\n", api.now().millis_f(), value);
+      }
+    }
+  };
+  kernel.CreateThread(sink);
+
+  // 7. Run one simulated second.
+  kernel.Start();
+  kernel.RunUntil(Instant() + Seconds(1));
+
+  const KernelStats& stats = kernel.stats();
+  std::printf("\nafter 1 s simulated:\n");
+  std::printf("  jobs completed     %llu (deadline misses: %llu)\n",
+              (unsigned long long)stats.jobs_completed,
+              (unsigned long long)stats.deadline_misses);
+  std::printf("  context switches   %llu (saved by CSE: %llu)\n",
+              (unsigned long long)stats.context_switches,
+              (unsigned long long)stats.cse_switches_saved);
+  std::printf("  state msg writes   %llu, reads %llu\n",
+              (unsigned long long)stats.smsg_writes, (unsigned long long)stats.smsg_reads);
+  std::printf("  kernel overhead    %.2f ms of %.0f ms (%.2f%%)\n",
+              stats.total_charged().millis_f(), kernel.now().millis_f(),
+              100.0 * stats.total_charged().seconds_f() / kernel.now().millis_f() * 1000.0);
+  return 0;
+}

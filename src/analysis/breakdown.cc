@@ -1,0 +1,285 @@
+#include "src/analysis/breakdown.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/base/assert.h"
+
+namespace emeralds {
+namespace {
+
+// Converts split points (ascending positions in the sorted task list) into
+// band sizes. CSD-2: {r} -> {r, n-r}; CSD-3: {q, r} -> {q, r-q, n-r}; ...
+std::vector<int> SizesFromSplits(const std::vector<int>& splits, int n) {
+  std::vector<int> sizes;
+  sizes.reserve(splits.size() + 1);
+  int prev = 0;
+  for (int s : splits) {
+    sizes.push_back(s - prev);
+    prev = s;
+  }
+  sizes.push_back(n - prev);
+  return sizes;
+}
+
+class CsdSearch {
+ public:
+  CsdSearch(const TaskSet& tasks, int queues, const OverheadModel& model, double hi_scale,
+            double precision_scale)
+      : tasks_(tasks),
+        n_(tasks.size()),
+        queues_(queues),
+        model_(model),
+        hi_scale_(hi_scale),
+        precision_scale_(precision_scale) {}
+
+  bool Feasible(const std::vector<int>& splits, double scale) {
+    ++evals_;
+    return CsdFeasible(tasks_, SizesFromSplits(splits, n_), scale, model_);
+  }
+
+  // Breakdown scale for one partition, but only if it beats `floor`
+  // (returns floor unchanged otherwise). The floor test makes scanning the
+  // whole partition space cheap: losers cost one schedulability test.
+  double ImproveScale(const std::vector<int>& splits, double floor) {
+    double probe = floor <= 0.0 ? precision_scale_ : floor + precision_scale_;
+    if (!Feasible(splits, probe)) {
+      return floor;
+    }
+    double lo = probe;
+    double hi = hi_scale_;
+    while (hi - lo > precision_scale_) {
+      double mid = 0.5 * (lo + hi);
+      if (Feasible(splits, mid)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    best_splits_ = splits;
+    return lo;
+  }
+
+  int evals() const { return evals_; }
+  const std::vector<int>& best_splits() const { return best_splits_; }
+
+ private:
+  const TaskSet& tasks_;
+  int n_;
+  int queues_;
+  const OverheadModel& model_;
+  double hi_scale_;
+  double precision_scale_;
+  int evals_ = 0;
+  std::vector<int> best_splits_;
+};
+
+}  // namespace
+
+const char* PolicySpec::Name() const {
+  switch (kind) {
+    case Kind::kEdf:
+      return "EDF";
+    case Kind::kRm:
+      return "RM";
+    case Kind::kRmHeap:
+      return "RM-heap";
+    case Kind::kCsd:
+      switch (csd_queues) {
+        case 2:
+          return "CSD-2";
+        case 3:
+          return "CSD-3";
+        case 4:
+          return "CSD-4";
+        case 5:
+          return "CSD-5";
+        case 6:
+          return "CSD-6";
+        default:
+          return "CSD-x";
+      }
+  }
+  return "?";
+}
+
+BreakdownResult ComputeBreakdown(const TaskSet& sorted_tasks, PolicySpec policy,
+                                 const CostModel& cost, const BreakdownOptions& options) {
+  EM_ASSERT(sorted_tasks.IsSortedByPeriod());
+  BreakdownResult result;
+  int n = sorted_tasks.size();
+  if (n == 0) {
+    result.utilization = 1.0;
+    return result;
+  }
+  OverheadModel model(cost);
+  double raw_util = sorted_tasks.Utilization();
+  EM_ASSERT(raw_util > 0.0);
+
+  if (policy.kind == PolicySpec::Kind::kEdf) {
+    // Closed form: sum((s*c_i + t)/P_i) <= 1, so the breakdown utilization is
+    // 1 - sum(t/P_i), independent of how execution time is distributed.
+    Duration overhead = model.EdfTaskOverhead(n);
+    double overhead_util = 0.0;
+    for (const PeriodicTask& task : sorted_tasks.tasks) {
+      overhead_util +=
+          static_cast<double>(overhead.nanos()) / static_cast<double>(task.period.nanos());
+    }
+    result.utilization = std::max(0.0, 1.0 - overhead_util);
+    return result;
+  }
+
+  // A scale at which raw utilization reaches 1 is always infeasible once
+  // positive overheads are added; use slightly above it as the upper bound.
+  double hi_scale = 1.02 / raw_util;
+  double precision_scale = options.precision / raw_util;
+
+  if (policy.kind == PolicySpec::Kind::kRm || policy.kind == PolicySpec::Kind::kRmHeap) {
+    bool heap = policy.kind == PolicySpec::Kind::kRmHeap;
+    double lo = 0.0;
+    double hi = hi_scale;
+    EM_ASSERT_MSG(!RmFeasible(sorted_tasks, hi, model, heap),
+                  "upper bound unexpectedly feasible");
+    while (hi - lo > precision_scale) {
+      double mid = 0.5 * (lo + hi);
+      if (RmFeasible(sorted_tasks, mid, model, heap)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    result.utilization = lo * raw_util;
+    return result;
+  }
+
+  // --- CSD ---
+  EM_ASSERT(policy.kind == PolicySpec::Kind::kCsd && policy.csd_queues >= 2);
+  int x = policy.csd_queues;
+  CsdSearch search(sorted_tasks, x, model, hi_scale, precision_scale);
+  double best = 0.0;
+  std::vector<int> best_splits;
+
+  auto consider = [&](const std::vector<int>& splits) {
+    double improved = search.ImproveScale(splits, best);
+    if (improved > best) {
+      best = improved;
+      best_splits = splits;
+    }
+  };
+
+  if (x == 2) {
+    for (int r = 0; r <= n; ++r) {
+      consider({r});
+    }
+  } else if (x == 3 || options.exhaustive) {
+    // Exhaustive over all non-decreasing split tuples (O(n^(x-1)) partitions;
+    // the floor test keeps each loser at one schedulability test).
+    std::vector<int> splits(x - 1, 0);
+    std::function<void(int, int)> enumerate = [&](int dim, int min_value) {
+      if (dim == x - 1) {
+        consider(splits);
+        return;
+      }
+      for (int v = min_value; v <= n; ++v) {
+        splits[dim] = v;
+        enumerate(dim + 1, v);
+      }
+    };
+    enumerate(0, 0);
+  } else {
+    // CSD-4+: seed from the best CSD-3 allocation, then hill-climb.
+    BreakdownOptions sub = options;
+    BreakdownResult csd3 = ComputeBreakdown(sorted_tasks, PolicySpec::Csd(3), cost, sub);
+    int q3 = 0;
+    int r3 = 0;
+    if (csd3.partition.size() == 3) {
+      q3 = csd3.partition[0];
+      r3 = q3 + csd3.partition[1];
+    }
+    std::vector<std::vector<int>> seeds;
+    auto make_seed = [&](std::vector<int> points) {
+      std::sort(points.begin(), points.end());
+      points.resize(x - 1, points.empty() ? 0 : points.back());
+      std::sort(points.begin(), points.end());
+      seeds.push_back(points);
+    };
+    make_seed({q3 / 2, q3, r3});
+    make_seed({q3, (q3 + r3) / 2, r3});
+    make_seed({q3, r3, (r3 + n) / 2});
+    make_seed({q3, r3, r3});
+    for (const auto& seed : seeds) {
+      consider(seed);
+    }
+    bool improved = true;
+    std::vector<int> current = best_splits.empty() ? seeds[0] : best_splits;
+    while (improved && search.evals() < options.max_hill_evals) {
+      improved = false;
+      for (size_t dim = 0; dim < current.size(); ++dim) {
+        for (int delta : {-1, 1}) {
+          std::vector<int> next = current;
+          next[dim] += delta;
+          if (next[dim] < 0 || next[dim] > n) {
+            continue;
+          }
+          std::sort(next.begin(), next.end());
+          double prev_best = best;
+          consider(next);
+          if (best > prev_best) {
+            current = best_splits;
+            improved = true;
+          }
+        }
+      }
+    }
+  }
+
+  result.utilization = best * raw_util;
+  if (!best_splits.empty()) {
+    result.partition = SizesFromSplits(best_splits, n);
+  }
+  return result;
+}
+
+std::vector<int> BestCsdPartition(const TaskSet& sorted_tasks, int queues, double scale,
+                                  const CostModel& cost, bool exhaustive) {
+  EM_ASSERT(queues >= 2);
+  int n = sorted_tasks.size();
+  OverheadModel model(cost);
+  // Among feasible allocations, prefer the one with the most headroom: probe
+  // feasibility at increasing scales and keep the last feasible allocation.
+  std::vector<int> best;
+  double best_margin = -1.0;
+  std::vector<int> splits(queues - 1, 0);
+  std::function<void(int, int)> enumerate = [&](int dim, int min_value) {
+    if (dim == queues - 1) {
+      std::vector<int> sizes = SizesFromSplits(splits, n);
+      if (!CsdFeasible(sorted_tasks, sizes, scale, model)) {
+        return;
+      }
+      // Headroom: largest extra scaling this allocation still admits.
+      double lo = scale;
+      double hi = scale * 4.0 + 1.0;
+      for (int iter = 0; iter < 24; ++iter) {
+        double mid = 0.5 * (lo + hi);
+        if (CsdFeasible(sorted_tasks, sizes, mid, model)) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo > best_margin) {
+        best_margin = lo;
+        best = sizes;
+      }
+      return;
+    }
+    for (int v = min_value; v <= n; ++v) {
+      splits[dim] = v;
+      enumerate(dim + 1, v);
+    }
+  };
+  enumerate(0, 0);
+  return best;
+}
+
+}  // namespace emeralds

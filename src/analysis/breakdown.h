@@ -1,0 +1,62 @@
+// Breakdown-utilization computation (Section 5.7).
+//
+// For a workload and scheduling policy, execution times are scaled up until
+// the workload becomes infeasible under the policy's overhead-aware
+// schedulability test; the utilization at that point is the breakdown
+// utilization [13]. For CSD, feasibility at a given scale means "feasible
+// under the best task-to-queue allocation", found by the off-line search of
+// Section 5.5.3 (exhaustive for two and three queues, seeded hill-climbing
+// for four and more — the paper itself stops exhaustive search at three).
+
+#ifndef SRC_ANALYSIS_BREAKDOWN_H_
+#define SRC_ANALYSIS_BREAKDOWN_H_
+
+#include <vector>
+
+#include "src/analysis/overhead.h"
+#include "src/analysis/sched_test.h"
+#include "src/workload/workload.h"
+
+namespace emeralds {
+
+struct PolicySpec {
+  enum class Kind { kEdf, kRm, kRmHeap, kCsd };
+  Kind kind = Kind::kEdf;
+  int csd_queues = 2;  // x in CSD-x (>= 2)
+
+  static PolicySpec Edf() { return {Kind::kEdf, 0}; }
+  static PolicySpec Rm() { return {Kind::kRm, 0}; }
+  static PolicySpec RmHeap() { return {Kind::kRmHeap, 0}; }
+  static PolicySpec Csd(int queues) { return {Kind::kCsd, queues}; }
+
+  const char* Name() const;
+};
+
+struct BreakdownOptions {
+  // Bisection resolution in utilization units.
+  double precision = 0.002;
+  // Force exhaustive partition search for CSD-4+ (CSD-2/3 are always
+  // exhaustive, as in the paper).
+  bool exhaustive = false;
+  // Evaluation budget for the hill-climbing CSD-4+ search.
+  int max_hill_evals = 500;
+};
+
+struct BreakdownResult {
+  double utilization = 0.0;
+  // CSD only: the winning queue sizes (DP queues first, FP last).
+  std::vector<int> partition;
+};
+
+BreakdownResult ComputeBreakdown(const TaskSet& sorted_tasks, PolicySpec policy,
+                                 const CostModel& cost, const BreakdownOptions& options = {});
+
+// Best CSD allocation at a fixed scale (the paper's 2-3 minute off-line
+// search, exposed for workload configuration and the examples). Returns an
+// empty vector when no allocation is feasible.
+std::vector<int> BestCsdPartition(const TaskSet& sorted_tasks, int queues, double scale,
+                                  const CostModel& cost, bool exhaustive = true);
+
+}  // namespace emeralds
+
+#endif  // SRC_ANALYSIS_BREAKDOWN_H_

@@ -1,0 +1,188 @@
+#include "src/analysis/cyclic.h"
+
+#include <algorithm>
+
+#include "src/base/assert.h"
+#include "src/base/math.h"
+
+namespace emeralds {
+namespace {
+
+struct Job {
+  int task;
+  int64_t release_us;
+  int64_t deadline_us;
+  int64_t remaining_us;
+};
+
+}  // namespace
+
+const char* CyclicRejectToString(CyclicReject reject) {
+  switch (reject) {
+    case CyclicReject::kNone:
+      return "none";
+    case CyclicReject::kOverUtilized:
+      return "over-utilized";
+    case CyclicReject::kHyperperiodTooBig:
+      return "hyperperiod too large";
+    case CyclicReject::kNoValidFrameSize:
+      return "no valid frame size";
+    case CyclicReject::kTableTooBig:
+      return "schedule table too large";
+    case CyclicReject::kPackingFailed:
+      return "job packing failed";
+  }
+  return "?";
+}
+
+CyclicSchedule BuildCyclicSchedule(const TaskSet& tasks, const CyclicScheduleOptions& options) {
+  CyclicSchedule schedule;
+  int n = tasks.size();
+  if (n == 0) {
+    schedule.feasible = true;
+    return schedule;
+  }
+
+  // Scaled whole-microsecond task parameters.
+  std::vector<int64_t> period_us(n);
+  std::vector<int64_t> deadline_us(n);
+  std::vector<int64_t> cost_us(n);
+  double utilization = 0.0;
+  int64_t max_cost = 0;
+  for (int i = 0; i < n; ++i) {
+    period_us[i] = tasks.tasks[i].period.micros();
+    deadline_us[i] = tasks.tasks[i].deadline.micros();
+    EM_ASSERT_MSG(period_us[i] > 0, "cyclic schedule needs periodic tasks");
+    double c = static_cast<double>(tasks.tasks[i].wcet.nanos()) * options.scale;
+    cost_us[i] = (static_cast<int64_t>(c + 0.5) + 999) / 1000;
+    cost_us[i] = std::max<int64_t>(cost_us[i], 1);
+    utilization += static_cast<double>(cost_us[i]) / static_cast<double>(period_us[i]);
+    max_cost = std::max(max_cost, cost_us[i]);
+  }
+  if (utilization > 1.0) {
+    schedule.reject = CyclicReject::kOverUtilized;
+    return schedule;
+  }
+
+  // Hyperperiod (weakness 3: relatively-prime periods blow this up).
+  int64_t hyper = 1;
+  for (int i = 0; i < n; ++i) {
+    hyper = LcmSaturating(hyper, period_us[i]);
+    if (hyper > options.max_hyperperiod_us) {
+      schedule.reject = CyclicReject::kHyperperiodTooBig;
+      return schedule;
+    }
+  }
+  schedule.hyperperiod_us = hyper;
+
+  // Largest divisor of H satisfying the frame containment condition
+  // 2f - gcd(f, P_i) <= D_i for every task. The textbook recipe also demands
+  // f >= max c_i (frames are non-preemptive); we grant the baseline the
+  // manual job slicing real deployments do, since the packer below splits
+  // jobs across their allowed frames anyway.
+  int64_t best_frame = 0;
+  auto frame_ok = [&](int64_t f) {
+    for (int i = 0; i < n; ++i) {
+      if (2 * f - Gcd(f, period_us[i]) > deadline_us[i]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (int64_t d = 1; d * d <= hyper; ++d) {
+    if (hyper % d != 0) {
+      continue;
+    }
+    if (frame_ok(d)) {
+      best_frame = std::max(best_frame, d);
+    }
+    if (frame_ok(hyper / d)) {
+      best_frame = std::max(best_frame, hyper / d);
+    }
+  }
+  if (best_frame == 0) {
+    schedule.reject = CyclicReject::kNoValidFrameSize;
+    return schedule;
+  }
+  schedule.frame_us = best_frame;
+  schedule.frame_count = hyper / best_frame;
+  if (schedule.frame_count > options.max_frames) {
+    schedule.reject = CyclicReject::kTableTooBig;
+    return schedule;
+  }
+
+  // Enumerate all jobs in the hyperperiod and pack them EDF-first into their
+  // allowed frames (frame fully inside [release, deadline]), splitting across
+  // frames where needed. Greedy and therefore heuristic — weakness 1.
+  std::vector<Job> jobs;
+  for (int i = 0; i < n; ++i) {
+    for (int64_t r = 0; r < hyper; r += period_us[i]) {
+      jobs.push_back(Job{i, r, r + deadline_us[i], cost_us[i]});
+    }
+  }
+  std::sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    if (a.deadline_us != b.deadline_us) {
+      return a.deadline_us < b.deadline_us;
+    }
+    if (a.release_us != b.release_us) {
+      return a.release_us < b.release_us;
+    }
+    return a.task < b.task;
+  });
+
+  schedule.frames.assign(static_cast<size_t>(schedule.frame_count), {});
+  std::vector<int64_t> slack(static_cast<size_t>(schedule.frame_count), best_frame);
+  for (const Job& job : jobs) {
+    int64_t first = CeilDiv(job.release_us, best_frame);
+    int64_t last = FloorDiv(job.deadline_us, best_frame) - 1;  // frame end <= deadline
+    int64_t remaining = job.remaining_us;
+    for (int64_t k = first; k <= last && remaining > 0; ++k) {
+      if (slack[k] == 0) {
+        continue;
+      }
+      int64_t piece = std::min(remaining, slack[k]);
+      slack[k] -= piece;
+      remaining -= piece;
+      schedule.frames[k].push_back(CyclicSlice{job.task, piece});
+      ++schedule.table_entries;
+    }
+    if (remaining > 0) {
+      schedule.reject = CyclicReject::kPackingFailed;
+      schedule.frames.clear();
+      schedule.table_entries = 0;
+      return schedule;
+    }
+  }
+  schedule.feasible = true;
+  return schedule;
+}
+
+double CyclicBreakdownUtilization(const TaskSet& tasks, const CyclicScheduleOptions& options,
+                                  double precision) {
+  double raw = tasks.Utilization();
+  if (raw <= 0.0) {
+    return 0.0;
+  }
+  CyclicScheduleOptions probe = options;
+  auto feasible = [&](double scale) {
+    probe.scale = scale;
+    return BuildCyclicSchedule(tasks, probe).feasible;
+  };
+  double lo = 0.0;
+  double hi = 1.02 / raw;
+  if (feasible(hi)) {
+    return hi * raw;  // cannot exceed utilization 1 anyway
+  }
+  double step = precision / raw;
+  while (hi - lo > step) {
+    double mid = 0.5 * (lo + hi);
+    if (feasible(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo * raw;
+}
+
+}  // namespace emeralds

@@ -1,0 +1,92 @@
+// Cyclic-executive schedule construction — the baseline Section 5 argues
+// against.
+//
+// "Until recently, embedded application programmers have primarily used
+// cyclic time-slice scheduling techniques in which the entire execution
+// schedule is calculated off-line." The paper lists three weaknesses, which
+// this module makes measurable:
+//   1. off-line construction is heuristic and rejects feasible workloads,
+//   2. high-priority aperiodic work waits for frame boundaries,
+//   3. workloads mixing short/long or relatively-prime periods produce very
+//      large time-slice tables, "wasting scarce memory resources".
+//
+// The builder follows the classic frame-based recipe: hyperperiod H = lcm of
+// periods; frame size f must divide H, hold the longest job (f >= max c), and
+// satisfy the containment condition 2f - gcd(f, P_i) <= D_i for every task;
+// jobs are packed into their allowed frames in EDF order with splitting.
+// Any failure (no valid frame size, hyperperiod/table blow-up, packing
+// failure) rejects the workload — exactly the non-optimality the paper
+// describes.
+
+#ifndef SRC_ANALYSIS_CYCLIC_H_
+#define SRC_ANALYSIS_CYCLIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/workload/workload.h"
+
+namespace emeralds {
+
+enum class CyclicReject {
+  kNone = 0,
+  kOverUtilized,       // sum c_i/P_i > 1
+  kHyperperiodTooBig,  // lcm of periods exceeds the build limit
+  kNoValidFrameSize,   // no divisor of H satisfies the frame conditions
+  kTableTooBig,        // frame count exceeds the memory limit
+  kPackingFailed,      // the (heuristic) job packing could not place a job
+};
+
+const char* CyclicRejectToString(CyclicReject reject);
+
+struct CyclicSlice {
+  int task = -1;
+  int64_t duration_us = 0;
+};
+
+struct CyclicScheduleOptions {
+  int64_t max_hyperperiod_us = 500LL * 1000 * 1000;  // 500 s
+  int64_t max_frames = 1 << 20;
+  double scale = 1.0;  // execution-time scaling, as in the breakdown search
+};
+
+struct CyclicSchedule {
+  bool feasible = false;
+  CyclicReject reject = CyclicReject::kNone;
+
+  int64_t hyperperiod_us = 0;
+  int64_t frame_us = 0;
+  int64_t frame_count = 0;
+
+  // The materialized time-slice table (frame -> ordered slices).
+  std::vector<std::vector<CyclicSlice>> frames;
+
+  // Table footprint: one entry per slice. A real deployment stores at least
+  // a task id and a duration per entry (~6 bytes on the paper's targets).
+  int64_t table_entries = 0;
+  int64_t TableBytes() const { return table_entries * 6; }
+
+  // Worst-case delay before an aperiodic request first gets CPU when served
+  // in frame slack: it can arrive just after a frame's dispatch decisions
+  // and must wait for the next boundary plus that frame's load (bounded by
+  // 2f). Priority-driven scheduling bounds this by a context switch instead.
+  Duration WorstAperiodicStartDelay() const {
+    return Microseconds(2 * frame_us);
+  }
+};
+
+// Builds the cyclic schedule for `tasks` (sorted or not). Execution times
+// are rounded up to whole microseconds.
+CyclicSchedule BuildCyclicSchedule(const TaskSet& tasks,
+                                   const CyclicScheduleOptions& options = {});
+
+// Breakdown analogue for the comparison harness: the largest utilization at
+// which the workload still builds, found by bisection on `scale`.
+double CyclicBreakdownUtilization(const TaskSet& tasks,
+                                  const CyclicScheduleOptions& options = {},
+                                  double precision = 0.002);
+
+}  // namespace emeralds
+
+#endif  // SRC_ANALYSIS_CYCLIC_H_

@@ -1,0 +1,88 @@
+#include "src/analysis/overhead.h"
+
+#include "src/base/assert.h"
+#include "src/base/math.h"
+
+namespace emeralds {
+namespace {
+
+// t = 1.5 (t_b + t_u + t_s_block + t_s_unblock); the paper's formula with the
+// two selections spelled out separately (CSD's differ by case).
+Duration PerPeriod(Duration t_b, Duration t_u, Duration t_s_block, Duration t_s_unblock) {
+  Duration sum = t_b + t_u + t_s_block + t_s_unblock;
+  return Duration::FromNanos(sum.nanos() * 3 / 2);
+}
+
+}  // namespace
+
+int OverheadModel::WorstUnits(QueueKind kind, QueueOp op, int n) {
+  switch (kind) {
+    case QueueKind::kEdfList:
+      return op == QueueOp::kSelect ? n : 1;
+    case QueueKind::kRmList:
+      return op == QueueOp::kBlock ? n : 1;
+    case QueueKind::kRmHeap:
+      return op == QueueOp::kSelect ? 1 : CeilLog2(static_cast<uint64_t>(n) + 1);
+  }
+  return 1;
+}
+
+Duration OverheadModel::EdfTaskOverhead(int n) const {
+  EM_ASSERT(n >= 1);
+  Duration t_b = Cost(QueueKind::kEdfList, QueueOp::kBlock,
+                      WorstUnits(QueueKind::kEdfList, QueueOp::kBlock, n));
+  Duration t_u = Cost(QueueKind::kEdfList, QueueOp::kUnblock,
+                      WorstUnits(QueueKind::kEdfList, QueueOp::kUnblock, n));
+  Duration t_s = Cost(QueueKind::kEdfList, QueueOp::kSelect, n);
+  return PerPeriod(t_b, t_u, t_s, t_s);
+}
+
+Duration OverheadModel::RmTaskOverhead(int n, bool heap) const {
+  EM_ASSERT(n >= 1);
+  QueueKind kind = heap ? QueueKind::kRmHeap : QueueKind::kRmList;
+  Duration t_b = Cost(kind, QueueOp::kBlock, WorstUnits(kind, QueueOp::kBlock, n));
+  Duration t_u = Cost(kind, QueueOp::kUnblock, WorstUnits(kind, QueueOp::kUnblock, n));
+  Duration t_s = Cost(kind, QueueOp::kSelect, WorstUnits(kind, QueueOp::kSelect, n));
+  return PerPeriod(t_b, t_u, t_s, t_s);
+}
+
+Duration OverheadModel::CsdTaskOverhead(const std::vector<int>& dp_lengths, int fp_length,
+                                        int dp_index) const {
+  int x = static_cast<int>(dp_lengths.size()) + 1;
+  // Every selection pays the prioritized queue-list parse (x queues).
+  Duration parse = cost_.csd_queue_parse * x;
+
+  // Worst DP selection cost across all DP queues (zero when no DP queue has
+  // tasks): the scheduler may have to parse the longest DP queue.
+  Duration worst_dp_select;
+  for (int len : dp_lengths) {
+    if (len > 0) {
+      Duration s = Cost(QueueKind::kEdfList, QueueOp::kSelect, len);
+      if (s > worst_dp_select) {
+        worst_dp_select = s;
+      }
+    }
+  }
+
+  if (dp_index >= 0) {
+    EM_ASSERT(dp_index < static_cast<int>(dp_lengths.size()));
+    int own = dp_lengths[dp_index];
+    EM_ASSERT(own >= 1);
+    Duration t_b = Cost(QueueKind::kEdfList, QueueOp::kBlock, 1);
+    Duration t_u = Cost(QueueKind::kEdfList, QueueOp::kUnblock, 1);
+    Duration t_s_block = worst_dp_select + parse;
+    Duration t_s_unblock = Cost(QueueKind::kEdfList, QueueOp::kSelect, own) + parse;
+    return PerPeriod(t_b, t_u, t_s_block, t_s_unblock);
+  }
+
+  EM_ASSERT(fp_length >= 1);
+  Duration t_b = Cost(QueueKind::kRmList, QueueOp::kBlock, fp_length);
+  Duration t_u = Cost(QueueKind::kRmList, QueueOp::kUnblock, 1);
+  Duration fp_select = Cost(QueueKind::kRmList, QueueOp::kSelect, 1);
+  Duration t_s_block = fp_select + parse;
+  Duration t_s_unblock =
+      (worst_dp_select > fp_select ? worst_dp_select : fp_select) + parse;
+  return PerPeriod(t_b, t_u, t_s_block, t_s_unblock);
+}
+
+}  // namespace emeralds

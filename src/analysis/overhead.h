@@ -1,0 +1,54 @@
+// Scheduler run-time overhead model (Section 5.1, Tables 1 and 3).
+//
+// Each task blocks and unblocks at least once per period; with half the tasks
+// assumed to make one extra blocking call per period, the average per-period
+// scheduler overhead is t = 1.5 (t_b + t_u + 2 t_s). The t_b / t_u / t_s
+// values come from the cost model's Table 1 fits evaluated at worst-case
+// operation counts for the queue structure holding the task; CSD adds the
+// 0.55 us/queue parse cost to every selection.
+
+#ifndef SRC_ANALYSIS_OVERHEAD_H_
+#define SRC_ANALYSIS_OVERHEAD_H_
+
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/hal/cost_model.h"
+
+namespace emeralds {
+
+class OverheadModel {
+ public:
+  explicit OverheadModel(const CostModel& cost) : cost_(cost) {}
+
+  // Pure EDF with an n-task unsorted queue.
+  Duration EdfTaskOverhead(int n) const;
+  // Pure RM: sorted list, or the Table 1 comparison heap.
+  Duration RmTaskOverhead(int n, bool heap = false) const;
+
+  // CSD-x (x = dp_lengths.size() + 1 queues). `dp_lengths` are the DP queue
+  // sizes in priority order, `fp_length` the FP queue size. Returns the
+  // per-period overhead for a task in DP queue `dp_index`, or in the FP
+  // queue when dp_index < 0. Matches Table 3's operation counts:
+  //   * DP task blocks:   t_b O(1),        t_s = worst DP queue parse
+  //   * DP task unblocks: t_u O(1),        t_s = its own queue parse
+  //   * FP task blocks:   t_b O(n - r),    t_s O(1) (no DP task can be ready)
+  //   * FP task unblocks: t_u O(1),        t_s = worst DP queue parse
+  Duration CsdTaskOverhead(const std::vector<int>& dp_lengths, int fp_length,
+                           int dp_index) const;
+
+  const CostModel& cost() const { return cost_; }
+
+ private:
+  Duration Cost(QueueKind kind, QueueOp op, int units) const {
+    return cost_.QueueCost(kind, op, units);
+  }
+  // Table 1's worst-case unit counts for an n-element structure.
+  static int WorstUnits(QueueKind kind, QueueOp op, int n);
+
+  CostModel cost_;
+};
+
+}  // namespace emeralds
+
+#endif  // SRC_ANALYSIS_OVERHEAD_H_

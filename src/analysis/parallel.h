@@ -1,0 +1,52 @@
+// Minimal work-stealing-free parallel map for the evaluation harnesses (the
+// 500-workload breakdown sweeps are embarrassingly parallel).
+
+#ifndef SRC_ANALYSIS_PARALLEL_H_
+#define SRC_ANALYSIS_PARALLEL_H_
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace emeralds {
+
+// Invokes fn(i) for i in [0, count) across up to `threads` workers (0 = one
+// per hardware core). fn must be thread-safe across distinct indices.
+template <typename Fn>
+void ParallelFor(int count, Fn&& fn, unsigned threads = 0) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) {
+      threads = 4;
+    }
+  }
+  if (count <= 1 || threads == 1) {
+    for (int i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<int> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        return;
+      }
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  unsigned spawn = std::min<unsigned>(threads, static_cast<unsigned>(count));
+  pool.reserve(spawn);
+  for (unsigned i = 0; i < spawn; ++i) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+}
+
+}  // namespace emeralds
+
+#endif  // SRC_ANALYSIS_PARALLEL_H_

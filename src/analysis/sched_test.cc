@@ -1,0 +1,213 @@
+#include "src/analysis/sched_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/assert.h"
+#include "src/base/math.h"
+
+namespace emeralds {
+namespace {
+
+int64_t ScaledCost(const PeriodicTask& task, double scale, Duration overhead) {
+  double c = static_cast<double>(task.wcet.nanos()) * scale;
+  return static_cast<int64_t>(c + 0.5) + overhead.nanos();
+}
+
+// Conservative caps for the processor-demand test: when the level-j busy
+// window (or the number of test points) explodes, the set is declared
+// infeasible. This only triggers with total utilization very close to 1,
+// where the breakdown search is within its precision anyway.
+constexpr int kMaxBusyIterations = 256;
+constexpr size_t kMaxDemandPoints = 200000;
+
+}  // namespace
+
+bool ResponseTimeWithin(int64_t own_cost_ns, int64_t deadline_ns,
+                        const std::vector<std::pair<int64_t, int64_t>>& interferers) {
+  int64_t response = own_cost_ns;
+  for (int iter = 0; iter < kMaxBusyIterations; ++iter) {
+    int64_t next = own_cost_ns;
+    for (const auto& [cost, period] : interferers) {
+      next += CeilDiv(response, period) * cost;
+    }
+    if (next > deadline_ns) {
+      return false;
+    }
+    if (next == response) {
+      return true;
+    }
+    response = next;
+  }
+  return false;  // no convergence within budget: treat as infeasible
+}
+
+bool EdfFeasible(const TaskSet& tasks, double scale, const OverheadModel& model) {
+  int n = tasks.size();
+  if (n == 0) {
+    return true;
+  }
+  Duration overhead = model.EdfTaskOverhead(n);
+  double u = 0.0;
+  for (const PeriodicTask& task : tasks.tasks) {
+    u += static_cast<double>(ScaledCost(task, scale, overhead)) /
+         static_cast<double>(task.period.nanos());
+  }
+  return u <= 1.0;
+}
+
+bool RmFeasible(const TaskSet& sorted_tasks, double scale, const OverheadModel& model,
+                bool heap) {
+  EM_ASSERT(sorted_tasks.IsSortedByPeriod());
+  int n = sorted_tasks.size();
+  if (n == 0) {
+    return true;
+  }
+  Duration overhead = model.RmTaskOverhead(n, heap);
+  std::vector<std::pair<int64_t, int64_t>> higher;
+  higher.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const PeriodicTask& task = sorted_tasks.tasks[i];
+    int64_t cost = ScaledCost(task, scale, overhead);
+    if (!ResponseTimeWithin(cost, task.deadline.nanos(), higher)) {
+      return false;
+    }
+    higher.emplace_back(cost, task.period.nanos());
+  }
+  return true;
+}
+
+bool CsdFeasible(const TaskSet& sorted_tasks, const std::vector<int>& band_sizes, double scale,
+                 const OverheadModel& model) {
+  EM_ASSERT(sorted_tasks.IsSortedByPeriod());
+  EM_ASSERT(!band_sizes.empty());
+  int n = sorted_tasks.size();
+  int total = 0;
+  for (int s : band_sizes) {
+    EM_ASSERT(s >= 0);
+    total += s;
+  }
+  EM_ASSERT_MSG(total == n, "partition covers %d of %d tasks", total, n);
+
+  int num_dp = static_cast<int>(band_sizes.size()) - 1;
+  std::vector<int> dp_lengths(band_sizes.begin(), band_sizes.end() - 1);
+  int fp_length = band_sizes.back();
+
+  // Inflated cost per task, by band.
+  std::vector<int64_t> cost_ns(n);
+  {
+    int index = 0;
+    for (int band = 0; band < num_dp; ++band) {
+      Duration overhead = band_sizes[band] > 0
+                              ? model.CsdTaskOverhead(dp_lengths, fp_length, band)
+                              : Duration();
+      for (int k = 0; k < band_sizes[band]; ++k, ++index) {
+        cost_ns[index] = ScaledCost(sorted_tasks.tasks[index], scale, overhead);
+      }
+    }
+    Duration fp_overhead =
+        fp_length > 0 ? model.CsdTaskOverhead(dp_lengths, fp_length, -1) : Duration();
+    for (int k = 0; k < fp_length; ++k, ++index) {
+      cost_ns[index] = ScaledCost(sorted_tasks.tasks[index], scale, fp_overhead);
+    }
+  }
+
+  // --- DP bands ---
+  int band_start = 0;
+  for (int band = 0; band < num_dp; ++band) {
+    int band_end = band_start + band_sizes[band];
+    if (band_sizes[band] == 0) {
+      continue;
+    }
+    // Utilization of bands 0..band must stay below 1 (necessary, and
+    // sufficient for the top band which is plain EDF at highest priority).
+    double u = 0.0;
+    for (int i = 0; i < band_end; ++i) {
+      u += static_cast<double>(cost_ns[i]) /
+           static_cast<double>(sorted_tasks.tasks[i].period.nanos());
+    }
+    if (u > 1.0) {
+      return false;
+    }
+    if (band_start > 0) {
+      // Lower DP band: processor-demand test with request-bound interference
+      // from the higher DP bands.
+      // Busy window for bands 0..band.
+      int64_t window = 0;
+      for (int i = 0; i < band_end; ++i) {
+        window += cost_ns[i];
+      }
+      int64_t max_period = 0;
+      for (int i = band_start; i < band_end; ++i) {
+        max_period = std::max(max_period, sorted_tasks.tasks[i].period.nanos());
+      }
+      int64_t window_cap = 50 * max_period;
+      bool converged = false;
+      for (int iter = 0; iter < kMaxBusyIterations; ++iter) {
+        int64_t next = 0;
+        for (int i = 0; i < band_end; ++i) {
+          next += CeilDiv(window, sorted_tasks.tasks[i].period.nanos()) * cost_ns[i];
+        }
+        if (next > window_cap) {
+          return false;  // conservative: window exploded
+        }
+        if (next == window) {
+          converged = true;
+          break;
+        }
+        window = next;
+      }
+      if (!converged) {
+        return false;
+      }
+      // Test points: absolute deadlines of this band's tasks within the
+      // window.
+      std::vector<int64_t> points;
+      for (int i = band_start; i < band_end; ++i) {
+        int64_t period = sorted_tasks.tasks[i].period.nanos();
+        int64_t deadline = sorted_tasks.tasks[i].deadline.nanos();
+        for (int64_t d = deadline; d <= window; d += period) {
+          points.push_back(d);
+          if (points.size() > kMaxDemandPoints) {
+            return false;  // conservative
+          }
+        }
+      }
+      std::sort(points.begin(), points.end());
+      points.erase(std::unique(points.begin(), points.end()), points.end());
+      for (int64_t t : points) {
+        int64_t demand = 0;
+        for (int i = band_start; i < band_end; ++i) {
+          int64_t period = sorted_tasks.tasks[i].period.nanos();
+          int64_t deadline = sorted_tasks.tasks[i].deadline.nanos();
+          if (t >= deadline) {
+            demand += (FloorDiv(t - deadline, period) + 1) * cost_ns[i];
+          }
+        }
+        for (int i = 0; i < band_start; ++i) {
+          demand += CeilDiv(t, sorted_tasks.tasks[i].period.nanos()) * cost_ns[i];
+        }
+        if (demand > t) {
+          return false;
+        }
+      }
+    }
+    band_start = band_end;
+  }
+
+  // --- FP band: response-time analysis ---
+  std::vector<std::pair<int64_t, int64_t>> interferers;
+  interferers.reserve(n);
+  for (int i = 0; i < band_start; ++i) {
+    interferers.emplace_back(cost_ns[i], sorted_tasks.tasks[i].period.nanos());
+  }
+  for (int i = band_start; i < n; ++i) {
+    if (!ResponseTimeWithin(cost_ns[i], sorted_tasks.tasks[i].deadline.nanos(), interferers)) {
+      return false;
+    }
+    interferers.emplace_back(cost_ns[i], sorted_tasks.tasks[i].period.nanos());
+  }
+  return true;
+}
+
+}  // namespace emeralds

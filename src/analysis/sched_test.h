@@ -1,0 +1,47 @@
+// Overhead-aware schedulability tests (the paper's reference [36] machinery,
+// reconstructed with standard analyses).
+//
+//  * EDF:   utilization test (exact for deadline == period) on costs inflated
+//           by the per-period scheduler overhead.
+//  * RM:    response-time analysis with inflated costs.
+//  * CSD-x: hierarchical test. The top DP queue is plain EDF (utilization
+//           test). Lower DP queues use a processor-demand test with
+//           request-bound interference from the higher queues (sufficient).
+//           The FP queue uses response-time analysis with every DP task as
+//           higher-priority interference.
+//
+// Tasks must be sorted shortest-period-first; a CSD partition assigns the
+// first band_sizes[0] tasks to DP1, the next band_sizes[1] to DP2, ..., and
+// the final band_sizes.back() tasks to the FP queue (the paper's allocation:
+// the troublesome short-period tasks go to the dynamic queues).
+
+#ifndef SRC_ANALYSIS_SCHED_TEST_H_
+#define SRC_ANALYSIS_SCHED_TEST_H_
+
+#include <vector>
+
+#include "src/analysis/overhead.h"
+#include "src/workload/workload.h"
+
+namespace emeralds {
+
+// Scale factor applied to execution times (the breakdown search's knob).
+bool EdfFeasible(const TaskSet& tasks, double scale, const OverheadModel& model);
+
+bool RmFeasible(const TaskSet& sorted_tasks, double scale, const OverheadModel& model,
+                bool heap = false);
+
+// band_sizes.size() == number of CSD queues (>= 1); the last entry is the FP
+// queue. Entries may be zero. Sum must equal the task count.
+bool CsdFeasible(const TaskSet& sorted_tasks, const std::vector<int>& band_sizes, double scale,
+                 const OverheadModel& model);
+
+// Shared helper: response-time analysis for one task given higher-priority
+// interferers (costs in nanoseconds). Returns false on divergence past the
+// deadline.
+bool ResponseTimeWithin(int64_t own_cost_ns, int64_t deadline_ns,
+                        const std::vector<std::pair<int64_t, int64_t>>& interferers);
+
+}  // namespace emeralds
+
+#endif  // SRC_ANALYSIS_SCHED_TEST_H_

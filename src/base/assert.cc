@@ -1,0 +1,36 @@
+#include "src/base/assert.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace emeralds {
+namespace {
+
+PanicHook g_panic_hook = nullptr;
+
+}  // namespace
+
+PanicHook SetPanicHook(PanicHook hook) {
+  PanicHook previous = g_panic_hook;
+  g_panic_hook = hook;
+  return previous;
+}
+
+void Panic(const char* file, int line, const char* format, ...) {
+  char message[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(message, sizeof(message), format, args);
+  va_end(args);
+
+  if (g_panic_hook != nullptr) {
+    // The hook may unwind (longjmp or throw) to keep a test process alive.
+    g_panic_hook(file, line, message);
+  }
+  std::fprintf(stderr, "PANIC at %s:%d: %s\n", file, line, message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace emeralds

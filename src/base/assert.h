@@ -1,0 +1,46 @@
+// Assertion and panic support for the EMERALDS reproduction.
+//
+// Kernel code is built without exceptions; invariant violations terminate via
+// Panic(). Tests may install a panic hook (see SetPanicHook) to observe panics
+// without killing the process.
+
+#ifndef SRC_BASE_ASSERT_H_
+#define SRC_BASE_ASSERT_H_
+
+namespace emeralds {
+
+// Handler invoked on panic. If the handler returns, the process aborts.
+using PanicHook = void (*)(const char* file, int line, const char* message);
+
+// Installs a process-wide panic hook; returns the previous hook (may be
+// nullptr). Intended for tests only.
+PanicHook SetPanicHook(PanicHook hook);
+
+// Reports an unrecoverable error. Formats `format` printf-style, invokes the
+// panic hook if set, then aborts.
+[[noreturn]] void Panic(const char* file, int line, const char* format, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace emeralds
+
+// EM_ASSERT: invariant check, enabled in all build types (kernel invariants
+// are cheap and this is a correctness-focused reproduction).
+#define EM_ASSERT(cond)                                                 \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::emeralds::Panic(__FILE__, __LINE__, "assertion failed: %s", #cond); \
+    }                                                                   \
+  } while (0)
+
+// EM_ASSERT_MSG: invariant check with a printf-style explanation.
+#define EM_ASSERT_MSG(cond, ...)                            \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      ::emeralds::Panic(__FILE__, __LINE__, __VA_ARGS__);   \
+    }                                                       \
+  } while (0)
+
+// EM_PANIC: unconditional failure.
+#define EM_PANIC(...) ::emeralds::Panic(__FILE__, __LINE__, __VA_ARGS__)
+
+#endif  // SRC_BASE_ASSERT_H_

@@ -1,0 +1,199 @@
+// Intrusive doubly-linked list.
+//
+// The scheduler keeps every task — ready or blocked — in queue structures that
+// must support O(1) unlink, O(1) insert-before, and the EMERALDS place-holder
+// trick of swapping two elements' positions in place (Section 6.2 of the
+// paper). An intrusive list with externally-owned nodes supports all of that
+// without allocation. An object may sit in several lists at once through
+// distinct node members (e.g. a TCB is in the scheduler queue and, while
+// blocked, in a semaphore wait queue).
+
+#ifndef SRC_BASE_INTRUSIVE_LIST_H_
+#define SRC_BASE_INTRUSIVE_LIST_H_
+
+#include <cstddef>
+
+#include "src/base/assert.h"
+
+namespace emeralds {
+
+template <typename T>
+struct ListNode {
+  T* owner = nullptr;
+  ListNode* prev = nullptr;
+  ListNode* next = nullptr;
+
+  bool linked() const { return prev != nullptr; }
+};
+
+// Intrusive list over T, using the node member identified by `NodeMember`.
+// Not copyable; elements are not owned.
+template <typename T, ListNode<T> T::* NodeMember>
+class IntrusiveList {
+ public:
+  IntrusiveList() { Reset(); }
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+  ~IntrusiveList() { EM_ASSERT_MSG(empty(), "intrusive list destroyed while non-empty"); }
+
+  bool empty() const { return head_.next == &head_; }
+  size_t size() const { return size_; }
+
+  // True iff `element`'s node for this list type is currently linked (in this
+  // or any other list using the same node member).
+  static bool IsLinked(const T& element) { return (element.*NodeMember).linked(); }
+
+  void push_front(T& element) { InsertNodeAfter(&head_, Node(element)); }
+  void push_back(T& element) { InsertNodeAfter(head_.prev, Node(element)); }
+
+  // Inserts `element` immediately before `before` (which must be linked in
+  // this list).
+  void insert_before(T& before, T& element) {
+    InsertNodeAfter(Node(before)->prev, Node(element));
+  }
+  // Inserts `element` immediately after `after`.
+  void insert_after(T& after, T& element) { InsertNodeAfter(Node(after), Node(element)); }
+
+  void erase(T& element) {
+    ListNode<T>* node = Node(element);
+    EM_ASSERT_MSG(node->linked(), "erase of unlinked element");
+    UnlinkNode(node);
+  }
+
+  T* front() { return empty() ? nullptr : head_.next->owner; }
+  const T* front() const { return empty() ? nullptr : head_.next->owner; }
+  T* back() { return empty() ? nullptr : head_.prev->owner; }
+  const T* back() const { return empty() ? nullptr : head_.prev->owner; }
+
+  T* pop_front() {
+    if (empty()) {
+      return nullptr;
+    }
+    T* element = head_.next->owner;
+    UnlinkNode(head_.next);
+    return element;
+  }
+
+  // Successor/predecessor of `element` within the list, nullptr at the ends.
+  T* next(const T& element) const {
+    ListNode<T>* n = Node(const_cast<T&>(element))->next;
+    return n == &head_ ? nullptr : n->owner;
+  }
+  T* prev(const T& element) const {
+    ListNode<T>* n = Node(const_cast<T&>(element))->prev;
+    return n == &head_ ? nullptr : n->owner;
+  }
+
+  // Unlinks every element. O(n).
+  void clear() {
+    while (!empty()) {
+      UnlinkNode(head_.next);
+    }
+  }
+
+  // Exchanges the positions of `a` and `b` within this list in O(1). This is
+  // the primitive behind the paper's place-holder priority-inheritance
+  // optimization: the lock holder takes the blocked inheritor's queue slot and
+  // the inheritor becomes a place-holder at the holder's old slot.
+  void SwapPositions(T& a, T& b) {
+    ListNode<T>* na = Node(a);
+    ListNode<T>* nb = Node(b);
+    EM_ASSERT(na->linked() && nb->linked());
+    if (na == nb) {
+      return;
+    }
+    if (na->next == nb) {
+      SwapAdjacent(na, nb);
+      return;
+    }
+    if (nb->next == na) {
+      SwapAdjacent(nb, na);
+      return;
+    }
+    ListNode<T>* a_prev = na->prev;
+    ListNode<T>* a_next = na->next;
+    ListNode<T>* b_prev = nb->prev;
+    ListNode<T>* b_next = nb->next;
+    a_prev->next = nb;
+    a_next->prev = nb;
+    nb->prev = a_prev;
+    nb->next = a_next;
+    b_prev->next = na;
+    b_next->prev = na;
+    na->prev = b_prev;
+    na->next = b_next;
+  }
+
+  // Minimal forward iterator so the list works with range-for. Iteration
+  // yields T&.
+  class iterator {
+   public:
+    iterator(ListNode<T>* node, const ListNode<T>* head) : node_(node), head_(head) {}
+    T& operator*() const { return *node_->owner; }
+    T* operator->() const { return node_->owner; }
+    iterator& operator++() {
+      node_ = node_->next;
+      return *this;
+    }
+    bool operator==(const iterator& other) const { return node_ == other.node_; }
+    bool operator!=(const iterator& other) const { return node_ != other.node_; }
+
+   private:
+    ListNode<T>* node_;
+    const ListNode<T>* head_;
+  };
+
+  iterator begin() { return iterator(head_.next, &head_); }
+  iterator end() { return iterator(&head_, &head_); }
+
+ private:
+  static ListNode<T>* Node(T& element) {
+    ListNode<T>* node = &(element.*NodeMember);
+    node->owner = &element;
+    return node;
+  }
+  static ListNode<T>* Node(const T& element) { return Node(const_cast<T&>(element)); }
+
+  void Reset() {
+    head_.prev = &head_;
+    head_.next = &head_;
+    head_.owner = nullptr;
+    size_ = 0;
+  }
+
+  void InsertNodeAfter(ListNode<T>* position, ListNode<T>* node) {
+    EM_ASSERT_MSG(!node->linked(), "element inserted while already linked");
+    node->prev = position;
+    node->next = position->next;
+    position->next->prev = node;
+    position->next = node;
+    ++size_;
+  }
+
+  void UnlinkNode(ListNode<T>* node) {
+    node->prev->next = node->next;
+    node->next->prev = node->prev;
+    node->prev = nullptr;
+    node->next = nullptr;
+    --size_;
+  }
+
+  // `first` is immediately followed by `second`.
+  void SwapAdjacent(ListNode<T>* first, ListNode<T>* second) {
+    ListNode<T>* before = first->prev;
+    ListNode<T>* after = second->next;
+    before->next = second;
+    second->prev = before;
+    second->next = first;
+    first->prev = second;
+    first->next = after;
+    after->prev = first;
+  }
+
+  ListNode<T> head_;
+  size_t size_ = 0;
+};
+
+}  // namespace emeralds
+
+#endif  // SRC_BASE_INTRUSIVE_LIST_H_

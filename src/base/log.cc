@@ -1,0 +1,51 @@
+#include "src/base/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace emeralds {
+namespace {
+
+LogLevel g_log_level = LogLevel::kWarning;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kNone:
+      return "NONE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level = level; }
+LogLevel GetLogLevel() { return g_log_level; }
+
+void LogMessage(LogLevel level, const char* file, int line, const char* format, ...) {
+  if (static_cast<int>(level) < static_cast<int>(g_log_level)) {
+    return;
+  }
+  // Strip the directory part for compact output.
+  const char* basename = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      basename = p + 1;
+    }
+  }
+  std::fprintf(stderr, "[%s %s:%d] ", LevelName(level), basename, line);
+  va_list args;
+  va_start(args, format);
+  std::vfprintf(stderr, format, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace emeralds

@@ -1,0 +1,37 @@
+// Leveled logging to stderr.
+//
+// Logging is for the host-side tooling (benches, examples, analysis); the
+// kernel fast paths never log. Severity is filtered at run time via
+// SetLogLevel so benches can run quietly.
+
+#ifndef SRC_BASE_LOG_H_
+#define SRC_BASE_LOG_H_
+
+namespace emeralds {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+void LogMessage(LogLevel level, const char* file, int line, const char* format, ...)
+    __attribute__((format(printf, 4, 5)));
+
+}  // namespace emeralds
+
+#define EM_LOG_DEBUG(...) \
+  ::emeralds::LogMessage(::emeralds::LogLevel::kDebug, __FILE__, __LINE__, __VA_ARGS__)
+#define EM_LOG_INFO(...) \
+  ::emeralds::LogMessage(::emeralds::LogLevel::kInfo, __FILE__, __LINE__, __VA_ARGS__)
+#define EM_LOG_WARNING(...) \
+  ::emeralds::LogMessage(::emeralds::LogLevel::kWarning, __FILE__, __LINE__, __VA_ARGS__)
+#define EM_LOG_ERROR(...) \
+  ::emeralds::LogMessage(::emeralds::LogLevel::kError, __FILE__, __LINE__, __VA_ARGS__)
+
+#endif  // SRC_BASE_LOG_H_

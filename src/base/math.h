@@ -1,0 +1,55 @@
+// Small integer-math helpers used by the scheduler analysis.
+
+#ifndef SRC_BASE_MATH_H_
+#define SRC_BASE_MATH_H_
+
+#include <cstdint>
+
+#include "src/base/assert.h"
+
+namespace emeralds {
+
+// ceil(a / b) for a >= 0, b > 0.
+constexpr int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+// floor(a / b) for a >= 0, b > 0.
+constexpr int64_t FloorDiv(int64_t a, int64_t b) { return a / b; }
+
+// ceil(log2(x)) for x >= 1; CeilLog2(1) == 0. The paper's heap-overhead fits
+// use ceil(log2(n + 1)).
+constexpr int CeilLog2(uint64_t x) {
+  int bits = 0;
+  uint64_t value = 1;
+  while (value < x) {
+    value <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+// Greatest common divisor / least common multiple, for hyperperiod math.
+constexpr int64_t Gcd(int64_t a, int64_t b) {
+  while (b != 0) {
+    int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+// Saturating LCM: returns INT64_MAX on overflow, which analysis code treats as
+// "cap the testing window instead of enumerating the hyperperiod".
+constexpr int64_t LcmSaturating(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  int64_t g = Gcd(a, b);
+  int64_t a_reduced = a / g;
+  if (a_reduced > INT64_MAX / b) {
+    return INT64_MAX;
+  }
+  return a_reduced * b;
+}
+
+}  // namespace emeralds
+
+#endif  // SRC_BASE_MATH_H_

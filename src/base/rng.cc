@@ -1,0 +1,68 @@
+#include "src/base/rng.h"
+
+#include "src/base/assert.h"
+
+namespace emeralds {
+namespace {
+
+// splitmix64: seeds and stream derivation. Guarantees a non-degenerate state
+// even for seed 0.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  state_ = SplitMix64(x);
+  if (state_ == 0) {
+    state_ = 0x2545f4914f6cdd1dULL;
+  }
+}
+
+uint64_t Rng::Next() {
+  // xorshift64*
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  return state_ * 0x2545f4914f6cdd1dULL;
+}
+
+double Rng::NextDouble() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  EM_ASSERT(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<int64_t>(Next());
+  }
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t value;
+  do {
+    value = Next();
+  } while (value >= limit);
+  return lo + static_cast<int64_t>(value % span);
+}
+
+double Rng::UniformReal(double lo, double hi) {
+  EM_ASSERT(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+Rng Rng::Fork(uint64_t index) const {
+  uint64_t x = state_ ^ (0xd1b54a32d192ed03ULL * (index + 1));
+  return Rng(SplitMix64(x));
+}
+
+}  // namespace emeralds

@@ -1,0 +1,104 @@
+// Fixed-capacity vector with in-place storage.
+//
+// Kernel objects live in statically-sized pools (the paper's kernel fits in
+// 13 KB with every structure preallocated); StaticVector is the building block
+// for those pools. Exceeding capacity is a programming error and panics.
+
+#ifndef SRC_BASE_STATIC_VECTOR_H_
+#define SRC_BASE_STATIC_VECTOR_H_
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+#include "src/base/assert.h"
+
+namespace emeralds {
+
+template <typename T, size_t N>
+class StaticVector {
+ public:
+  StaticVector() = default;
+  StaticVector(const StaticVector& other) {
+    for (size_t i = 0; i < other.size_; ++i) {
+      push_back(other[i]);
+    }
+  }
+  StaticVector& operator=(const StaticVector& other) {
+    if (this != &other) {
+      clear();
+      for (size_t i = 0; i < other.size_; ++i) {
+        push_back(other[i]);
+      }
+    }
+    return *this;
+  }
+  ~StaticVector() { clear(); }
+
+  static constexpr size_t capacity() { return N; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == N; }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    EM_ASSERT_MSG(size_ < N, "StaticVector capacity %zu exceeded", N);
+    T* slot = new (&storage_[size_ * sizeof(T)]) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    EM_ASSERT(size_ > 0);
+    --size_;
+    data()[size_].~T();
+  }
+
+  T& operator[](size_t index) {
+    EM_ASSERT_MSG(index < size_, "StaticVector index %zu out of range %zu", index, size_);
+    return data()[index];
+  }
+  const T& operator[](size_t index) const {
+    EM_ASSERT_MSG(index < size_, "StaticVector index %zu out of range %zu", index, size_);
+    return data()[index];
+  }
+
+  T& front() { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  T* data() { return std::launder(reinterpret_cast<T*>(storage_)); }
+  const T* data() const { return std::launder(reinterpret_cast<const T*>(storage_)); }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  void clear() {
+    while (size_ > 0) {
+      pop_back();
+    }
+  }
+
+  // Removes the element at `index`, shifting later elements down. O(n).
+  void erase_at(size_t index) {
+    EM_ASSERT(index < size_);
+    for (size_t i = index; i + 1 < size_; ++i) {
+      data()[i] = std::move(data()[i + 1]);
+    }
+    pop_back();
+  }
+
+ private:
+  alignas(T) unsigned char storage_[N * sizeof(T)];
+  size_t size_ = 0;
+};
+
+}  // namespace emeralds
+
+#endif  // SRC_BASE_STATIC_VECTOR_H_

@@ -1,0 +1,39 @@
+#include "src/base/status.h"
+
+namespace emeralds {
+
+const char* StatusToString(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "kOk";
+    case Status::kInvalidArgument:
+      return "kInvalidArgument";
+    case Status::kNotFound:
+      return "kNotFound";
+    case Status::kResourceExhausted:
+      return "kResourceExhausted";
+    case Status::kPermissionDenied:
+      return "kPermissionDenied";
+    case Status::kTimedOut:
+      return "kTimedOut";
+    case Status::kBusy:
+      return "kBusy";
+    case Status::kBadHandle:
+      return "kBadHandle";
+    case Status::kOutOfRange:
+      return "kOutOfRange";
+    case Status::kFailedPrecondition:
+      return "kFailedPrecondition";
+    case Status::kAlreadyExists:
+      return "kAlreadyExists";
+    case Status::kWouldBlock:
+      return "kWouldBlock";
+    case Status::kCancelled:
+      return "kCancelled";
+    case Status::kBufferTooSmall:
+      return "kBufferTooSmall";
+  }
+  return "<unknown Status>";
+}
+
+}  // namespace emeralds

@@ -1,0 +1,125 @@
+// Error handling for kernel services.
+//
+// Kernel code reports failure through Status codes (no exceptions). Result<T>
+// carries either a value or a non-OK Status, mirroring the style of
+// zx_status_t / fit::result in production microkernels.
+
+#ifndef SRC_BASE_STATUS_H_
+#define SRC_BASE_STATUS_H_
+
+#include <new>
+#include <utility>
+
+#include "src/base/assert.h"
+
+namespace emeralds {
+
+// Kernel-wide error codes. Values are stable so they can double as the
+// syscall-layer return convention.
+enum class Status : int {
+  kOk = 0,
+  kInvalidArgument = -1,
+  kNotFound = -2,
+  kResourceExhausted = -3,
+  kPermissionDenied = -4,
+  kTimedOut = -5,
+  kBusy = -6,
+  kBadHandle = -7,
+  kOutOfRange = -8,
+  kFailedPrecondition = -9,
+  kAlreadyExists = -10,
+  kWouldBlock = -11,
+  kCancelled = -12,
+  kBufferTooSmall = -13,
+};
+
+// Human-readable name for a status code ("kOk", "kTimedOut", ...).
+const char* StatusToString(Status status);
+
+// A value-or-error holder. A Result is either OK and holds a T, or holds a
+// non-OK Status. Accessing value() on an error Result panics.
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions keep call sites terse: `return Status::kBusy;` or
+  // `return some_value;`.
+  Result(Status status) : ok_(false), status_(status) {  // NOLINT(runtime/explicit)
+    EM_ASSERT_MSG(status != Status::kOk, "OK Result must carry a value");
+  }
+  Result(T value) : ok_(true), status_(Status::kOk) {  // NOLINT(runtime/explicit)
+    new (&storage_) T(std::move(value));
+  }
+
+  Result(const Result& other) : ok_(other.ok_), status_(other.status_) {
+    if (ok_) {
+      new (&storage_) T(other.value());
+    }
+  }
+  Result(Result&& other) noexcept : ok_(other.ok_), status_(other.status_) {
+    if (ok_) {
+      new (&storage_) T(std::move(other.value_ref()));
+    }
+  }
+  Result& operator=(const Result& other) {
+    if (this != &other) {
+      Destroy();
+      ok_ = other.ok_;
+      status_ = other.status_;
+      if (ok_) {
+        new (&storage_) T(other.value());
+      }
+    }
+    return *this;
+  }
+  Result& operator=(Result&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      ok_ = other.ok_;
+      status_ = other.status_;
+      if (ok_) {
+        new (&storage_) T(std::move(other.value_ref()));
+      }
+    }
+    return *this;
+  }
+  ~Result() { Destroy(); }
+
+  bool ok() const { return ok_; }
+  Status status() const { return status_; }
+
+  const T& value() const {
+    EM_ASSERT_MSG(ok_, "Result::value() on error %s", StatusToString(status_));
+    return *std::launder(reinterpret_cast<const T*>(&storage_));
+  }
+  T& value() {
+    EM_ASSERT_MSG(ok_, "Result::value() on error %s", StatusToString(status_));
+    return value_ref();
+  }
+  // Moves the value out; the Result must be OK.
+  T take_value() {
+    EM_ASSERT_MSG(ok_, "Result::take_value() on error %s", StatusToString(status_));
+    return std::move(value_ref());
+  }
+
+  const T& operator*() const { return value(); }
+  T& operator*() { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  T& value_ref() { return *std::launder(reinterpret_cast<T*>(&storage_)); }
+  void Destroy() {
+    if (ok_) {
+      value_ref().~T();
+      ok_ = false;
+    }
+  }
+
+  bool ok_;
+  Status status_;
+  alignas(T) unsigned char storage_[sizeof(T)];
+};
+
+}  // namespace emeralds
+
+#endif  // SRC_BASE_STATUS_H_

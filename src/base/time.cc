@@ -1,0 +1,23 @@
+#include "src/base/time.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace emeralds {
+
+const char* FormatDuration(Duration d, char* buffer, int size) {
+  int64_t ns = d.nanos();
+  int64_t abs_ns = ns < 0 ? -ns : ns;
+  if (abs_ns < 1000) {
+    std::snprintf(buffer, size, "%" PRId64 "ns", ns);
+  } else if (abs_ns < 1000000) {
+    std::snprintf(buffer, size, "%.3fus", static_cast<double>(ns) / 1e3);
+  } else if (abs_ns < 1000000000) {
+    std::snprintf(buffer, size, "%.3fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buffer, size, "%.3fs", static_cast<double>(ns) / 1e9);
+  }
+  return buffer;
+}
+
+}  // namespace emeralds

@@ -1,0 +1,105 @@
+// Time types for the simulated kernel.
+//
+// All kernel time is virtual and carried as signed 64-bit nanosecond counts:
+// Duration for spans, Instant for points on the virtual clock (ns since
+// simulated boot). Nanosecond resolution lets the cost model charge
+// sub-microsecond amounts (e.g. the paper's 0.25 us/task EDF selection slope)
+// without rounding error.
+
+#ifndef SRC_BASE_TIME_H_
+#define SRC_BASE_TIME_H_
+
+#include <compare>
+#include <cstdint>
+
+namespace emeralds {
+
+class Duration {
+ public:
+  constexpr Duration() : ns_(0) {}
+  static constexpr Duration FromNanos(int64_t ns) { return Duration(ns); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr int64_t micros() const { return ns_ / 1000; }
+  constexpr int64_t millis() const { return ns_ / 1000000; }
+  constexpr double micros_f() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double millis_f() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double seconds_f() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_positive() const { return ns_ > 0; }
+  constexpr bool is_negative() const { return ns_ < 0; }
+
+  constexpr Duration operator+(Duration other) const { return Duration(ns_ + other.ns_); }
+  constexpr Duration operator-(Duration other) const { return Duration(ns_ - other.ns_); }
+  constexpr Duration operator-() const { return Duration(-ns_); }
+  constexpr Duration operator*(int64_t factor) const { return Duration(ns_ * factor); }
+  constexpr Duration operator/(int64_t divisor) const { return Duration(ns_ / divisor); }
+  constexpr int64_t operator/(Duration other) const { return ns_ / other.ns_; }
+  Duration& operator+=(Duration other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  Duration& operator-=(Duration other) {
+    ns_ -= other.ns_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  explicit constexpr Duration(int64_t ns) : ns_(ns) {}
+
+  int64_t ns_;
+};
+
+constexpr Duration Nanoseconds(int64_t n) { return Duration::FromNanos(n); }
+constexpr Duration Microseconds(int64_t n) { return Duration::FromNanos(n * 1000); }
+constexpr Duration Milliseconds(int64_t n) { return Duration::FromNanos(n * 1000000); }
+constexpr Duration Seconds(int64_t n) { return Duration::FromNanos(n * 1000000000); }
+// Fractional microseconds, rounded to the nearest nanosecond. Used by the cost
+// model whose coefficients come straight from the paper (e.g. 0.36 us/task).
+constexpr Duration MicrosecondsF(double us) {
+  return Duration::FromNanos(static_cast<int64_t>(us * 1e3 + (us >= 0 ? 0.5 : -0.5)));
+}
+constexpr Duration MillisecondsF(double ms) {
+  return Duration::FromNanos(static_cast<int64_t>(ms * 1e6 + (ms >= 0 ? 0.5 : -0.5)));
+}
+
+class Instant {
+ public:
+  constexpr Instant() : ns_(0) {}
+  static constexpr Instant FromNanos(int64_t ns) { return Instant(ns); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr int64_t micros() const { return ns_ / 1000; }
+  constexpr double millis_f() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr Instant operator+(Duration d) const { return Instant(ns_ + d.nanos()); }
+  constexpr Instant operator-(Duration d) const { return Instant(ns_ - d.nanos()); }
+  constexpr Duration operator-(Instant other) const {
+    return Duration::FromNanos(ns_ - other.ns_);
+  }
+  Instant& operator+=(Duration d) {
+    ns_ += d.nanos();
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Instant&) const = default;
+
+  // The largest representable instant; used as "no deadline pending".
+  static constexpr Instant Max() { return Instant(INT64_MAX); }
+
+ private:
+  explicit constexpr Instant(int64_t ns) : ns_(ns) {}
+
+  int64_t ns_;
+};
+
+// Formats a duration as e.g. "12.345us" or "3.2ms" into `buffer` (of size
+// `size`); returns `buffer` for convenience.
+const char* FormatDuration(Duration d, char* buffer, int size);
+
+}  // namespace emeralds
+
+#endif  // SRC_BASE_TIME_H_

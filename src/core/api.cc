@@ -1,0 +1,218 @@
+// ThreadApi and awaitable glue: each awaitable traps into the corresponding
+// kernel syscall; results are read back from the TCB.
+
+#include "src/core/api.h"
+
+#include "src/core/kernel.h"
+
+namespace emeralds {
+namespace internal {
+
+bool ComputeAwait::await_suspend(std::coroutine_handle<>) {
+  return kernel->SysCompute(*tcb, amount).suspend;
+}
+
+bool WaitPeriodAwait::await_suspend(std::coroutine_handle<>) {
+  return kernel->SysWaitPeriod(*tcb, next_sem).suspend;
+}
+
+bool AcquireAwait::await_suspend(std::coroutine_handle<>) {
+  return kernel->SysAcquire(*tcb, sem).suspend;
+}
+Status AcquireAwait::await_resume() const noexcept { return tcb->syscall_status; }
+
+bool ReleaseAwait::await_suspend(std::coroutine_handle<>) {
+  return kernel->SysRelease(*tcb, sem).suspend;
+}
+Status ReleaseAwait::await_resume() const noexcept { return tcb->syscall_status; }
+
+bool CondWaitAwait::await_suspend(std::coroutine_handle<>) {
+  return kernel->SysCondWait(*tcb, condvar, mutex).suspend;
+}
+Status CondWaitAwait::await_resume() const noexcept { return tcb->syscall_status; }
+
+bool CondWakeAwait::await_suspend(std::coroutine_handle<>) {
+  return kernel->SysCondWake(*tcb, condvar, broadcast).suspend;
+}
+Status CondWakeAwait::await_resume() const noexcept { return tcb->syscall_status; }
+
+bool SendAwait::await_suspend(std::coroutine_handle<>) {
+  return kernel->SysSend(*tcb, mailbox, data, wait).suspend;
+}
+Status SendAwait::await_resume() const noexcept { return tcb->syscall_status; }
+
+bool RecvAwait::await_suspend(std::coroutine_handle<>) {
+  return kernel->SysRecv(*tcb, mailbox, buffer, timeout, next_sem).suspend;
+}
+RecvResult RecvAwait::await_resume() const noexcept {
+  return RecvResult{tcb->syscall_status, tcb->syscall_length};
+}
+
+bool StateWriteAwait::await_suspend(std::coroutine_handle<>) {
+  return kernel->SysStateWrite(*tcb, smsg, data).suspend;
+}
+Status StateWriteAwait::await_resume() const noexcept { return tcb->syscall_status; }
+
+bool StateReadAwait::await_suspend(std::coroutine_handle<>) {
+  return kernel->SysStateRead(*tcb, smsg, buffer).suspend;
+}
+StateReadResult StateReadAwait::await_resume() const noexcept {
+  return StateReadResult{tcb->syscall_status, tcb->syscall_sequence, tcb->syscall_retries};
+}
+
+bool SleepAwait::await_suspend(std::coroutine_handle<>) {
+  return kernel->SysSleep(*tcb, amount, next_sem).suspend;
+}
+
+bool WaitIrqAwait::await_suspend(std::coroutine_handle<>) {
+  return kernel->SysWaitIrq(*tcb, line, next_sem).suspend;
+}
+Status WaitIrqAwait::await_resume() const noexcept { return tcb->syscall_status; }
+
+bool YieldAwait::await_suspend(std::coroutine_handle<>) {
+  return kernel->SysYield(*tcb).suspend;
+}
+
+}  // namespace internal
+
+internal::ComputeAwait ThreadApi::Compute(Duration amount) const {
+  internal::ComputeAwait a;
+  a.kernel = kernel_;
+  a.tcb = tcb_;
+  a.amount = amount;
+  return a;
+}
+
+internal::WaitPeriodAwait ThreadApi::WaitNextPeriod(SemId next_sem) const {
+  internal::WaitPeriodAwait a;
+  a.kernel = kernel_;
+  a.tcb = tcb_;
+  a.next_sem = next_sem;
+  return a;
+}
+
+internal::AcquireAwait ThreadApi::Acquire(SemId sem) const {
+  internal::AcquireAwait a;
+  a.kernel = kernel_;
+  a.tcb = tcb_;
+  a.sem = sem;
+  return a;
+}
+
+internal::ReleaseAwait ThreadApi::Release(SemId sem) const {
+  internal::ReleaseAwait a;
+  a.kernel = kernel_;
+  a.tcb = tcb_;
+  a.sem = sem;
+  return a;
+}
+
+internal::CondWaitAwait ThreadApi::Wait(CondvarId condvar, SemId mutex) const {
+  internal::CondWaitAwait a;
+  a.kernel = kernel_;
+  a.tcb = tcb_;
+  a.condvar = condvar;
+  a.mutex = mutex;
+  return a;
+}
+
+internal::CondWakeAwait ThreadApi::Signal(CondvarId condvar) const {
+  internal::CondWakeAwait a;
+  a.kernel = kernel_;
+  a.tcb = tcb_;
+  a.condvar = condvar;
+  a.broadcast = false;
+  return a;
+}
+
+internal::CondWakeAwait ThreadApi::Broadcast(CondvarId condvar) const {
+  internal::CondWakeAwait a;
+  a.kernel = kernel_;
+  a.tcb = tcb_;
+  a.condvar = condvar;
+  a.broadcast = true;
+  return a;
+}
+
+internal::SendAwait ThreadApi::Send(MailboxId mailbox, std::span<const uint8_t> data) const {
+  internal::SendAwait a;
+  a.kernel = kernel_;
+  a.tcb = tcb_;
+  a.mailbox = mailbox;
+  a.data = data;
+  a.wait = true;
+  return a;
+}
+
+internal::SendAwait ThreadApi::TrySend(MailboxId mailbox, std::span<const uint8_t> data) const {
+  internal::SendAwait a = Send(mailbox, data);
+  a.wait = false;
+  return a;
+}
+
+internal::RecvAwait ThreadApi::Recv(MailboxId mailbox, std::span<uint8_t> buffer,
+                                    Duration timeout, SemId next_sem) const {
+  internal::RecvAwait a;
+  a.kernel = kernel_;
+  a.tcb = tcb_;
+  a.mailbox = mailbox;
+  a.buffer = buffer;
+  a.timeout = timeout;
+  a.next_sem = next_sem;
+  return a;
+}
+
+internal::StateWriteAwait ThreadApi::StateWrite(SmsgId smsg,
+                                                std::span<const uint8_t> data) const {
+  internal::StateWriteAwait a;
+  a.kernel = kernel_;
+  a.tcb = tcb_;
+  a.smsg = smsg;
+  a.data = data;
+  return a;
+}
+
+internal::StateReadAwait ThreadApi::StateRead(SmsgId smsg, std::span<uint8_t> buffer) const {
+  internal::StateReadAwait a;
+  a.kernel = kernel_;
+  a.tcb = tcb_;
+  a.smsg = smsg;
+  a.buffer = buffer;
+  return a;
+}
+
+internal::SleepAwait ThreadApi::Sleep(Duration amount, SemId next_sem) const {
+  internal::SleepAwait a;
+  a.kernel = kernel_;
+  a.tcb = tcb_;
+  a.amount = amount;
+  a.next_sem = next_sem;
+  return a;
+}
+
+internal::WaitIrqAwait ThreadApi::WaitIrq(int line, SemId next_sem) const {
+  internal::WaitIrqAwait a;
+  a.kernel = kernel_;
+  a.tcb = tcb_;
+  a.line = line;
+  a.next_sem = next_sem;
+  return a;
+}
+
+internal::YieldAwait ThreadApi::Yield() const {
+  internal::YieldAwait a;
+  a.kernel = kernel_;
+  a.tcb = tcb_;
+  return a;
+}
+
+Instant ThreadApi::now() const { return kernel_->now(); }
+ThreadId ThreadApi::id() const { return tcb_->id; }
+uint64_t ThreadApi::job_number() const { return tcb_->job_number; }
+Instant ThreadApi::job_deadline() const { return tcb_->job_deadline; }
+
+std::span<uint8_t> ThreadApi::RegionData(RegionId region, bool write) const {
+  return kernel_->RegionDataFor(tcb_->process, region, write);
+}
+
+}  // namespace emeralds

@@ -1,0 +1,197 @@
+// The system-call interface seen by application threads.
+//
+// A thread body receives a ThreadApi by value and interacts with the kernel
+// exclusively through `co_await api.X(...)`. Each awaitable traps into the
+// kernel (charging the syscall cost), performs the operation, and suspends the
+// coroutine when the thread blocks or must be preempted.
+//
+// Blocking calls take an optional `next_sem` parameter — the paper's
+// context-switch-elimination hook (Section 6.2): the identifier of the
+// semaphore the thread will acquire right after the blocking call returns.
+// Application code normally leaves it at kNoSem and lets the script
+// instrumenter (src/script/) fill it in, exactly like the paper's code parser.
+
+#ifndef SRC_CORE_API_H_
+#define SRC_CORE_API_H_
+
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "src/base/status.h"
+#include "src/base/time.h"
+#include "src/core/ids.h"
+
+namespace emeralds {
+
+class Kernel;
+struct Tcb;
+
+struct RecvResult {
+  Status status = Status::kOk;
+  size_t length = 0;
+};
+
+struct StateReadResult {
+  Status status = Status::kOk;
+  uint64_t sequence = 0;  // writer's commit sequence number of the snapshot
+  int retries = 0;        // times the reader detected an overwrite and retried
+};
+
+namespace internal {
+
+// Common base: awaitables never complete eagerly (await_suspend decides).
+struct AwaitBase {
+  Kernel* kernel = nullptr;
+  Tcb* tcb = nullptr;
+
+  bool await_ready() const noexcept { return false; }
+};
+
+struct ComputeAwait : AwaitBase {
+  Duration amount;
+  bool await_suspend(std::coroutine_handle<>);
+  void await_resume() const noexcept {}
+};
+
+struct WaitPeriodAwait : AwaitBase {
+  SemId next_sem;
+  bool await_suspend(std::coroutine_handle<>);
+  void await_resume() const noexcept {}
+};
+
+struct AcquireAwait : AwaitBase {
+  SemId sem;
+  bool await_suspend(std::coroutine_handle<>);
+  Status await_resume() const noexcept;
+};
+
+struct ReleaseAwait : AwaitBase {
+  SemId sem;
+  bool await_suspend(std::coroutine_handle<>);
+  Status await_resume() const noexcept;
+};
+
+struct CondWaitAwait : AwaitBase {
+  CondvarId condvar;
+  SemId mutex;
+  bool await_suspend(std::coroutine_handle<>);
+  Status await_resume() const noexcept;
+};
+
+struct CondWakeAwait : AwaitBase {
+  CondvarId condvar;
+  bool broadcast = false;
+  bool await_suspend(std::coroutine_handle<>);
+  Status await_resume() const noexcept;
+};
+
+struct SendAwait : AwaitBase {
+  MailboxId mailbox;
+  std::span<const uint8_t> data;
+  bool wait = true;  // false: return kWouldBlock instead of blocking when full
+  bool await_suspend(std::coroutine_handle<>);
+  Status await_resume() const noexcept;
+};
+
+struct RecvAwait : AwaitBase {
+  MailboxId mailbox;
+  std::span<uint8_t> buffer;
+  Duration timeout;  // <= 0: wait forever
+  SemId next_sem;
+  bool await_suspend(std::coroutine_handle<>);
+  RecvResult await_resume() const noexcept;
+};
+
+struct StateWriteAwait : AwaitBase {
+  SmsgId smsg;
+  std::span<const uint8_t> data;
+  bool await_suspend(std::coroutine_handle<>);
+  Status await_resume() const noexcept;
+};
+
+struct StateReadAwait : AwaitBase {
+  SmsgId smsg;
+  std::span<uint8_t> buffer;
+  bool await_suspend(std::coroutine_handle<>);
+  StateReadResult await_resume() const noexcept;
+};
+
+struct SleepAwait : AwaitBase {
+  Duration amount;
+  SemId next_sem;
+  bool await_suspend(std::coroutine_handle<>);
+  void await_resume() const noexcept {}
+};
+
+struct WaitIrqAwait : AwaitBase {
+  int line = -1;
+  SemId next_sem;
+  bool await_suspend(std::coroutine_handle<>);
+  Status await_resume() const noexcept;
+};
+
+struct YieldAwait : AwaitBase {
+  bool await_suspend(std::coroutine_handle<>);
+  void await_resume() const noexcept {}
+};
+
+}  // namespace internal
+
+class ThreadApi {
+ public:
+  ThreadApi(Kernel* kernel, Tcb* tcb) : kernel_(kernel), tcb_(tcb) {}
+
+  // Consumes `amount` of CPU time (preemptible).
+  internal::ComputeAwait Compute(Duration amount) const;
+
+  // Completes the current job (recording the deadline outcome) and blocks
+  // until the next periodic release. `next_sem` is the CSE hint.
+  internal::WaitPeriodAwait WaitNextPeriod(SemId next_sem = kNoSem) const;
+
+  // Semaphores (priority inheritance per the kernel/semaphore mode).
+  internal::AcquireAwait Acquire(SemId sem) const;
+  internal::ReleaseAwait Release(SemId sem) const;
+
+  // Condition variables. Wait atomically releases `mutex` and re-acquires it
+  // before returning.
+  internal::CondWaitAwait Wait(CondvarId condvar, SemId mutex) const;
+  internal::CondWakeAwait Signal(CondvarId condvar) const;
+  internal::CondWakeAwait Broadcast(CondvarId condvar) const;
+
+  // Mailbox message passing (kernel-copied, blocking).
+  internal::SendAwait Send(MailboxId mailbox, std::span<const uint8_t> data) const;
+  internal::SendAwait TrySend(MailboxId mailbox, std::span<const uint8_t> data) const;
+  internal::RecvAwait Recv(MailboxId mailbox, std::span<uint8_t> buffer,
+                           Duration timeout = Duration(), SemId next_sem = kNoSem) const;
+
+  // State messages (single-writer multi-reader, non-blocking, user-level).
+  internal::StateWriteAwait StateWrite(SmsgId smsg, std::span<const uint8_t> data) const;
+  internal::StateReadAwait StateRead(SmsgId smsg, std::span<uint8_t> buffer) const;
+
+  internal::SleepAwait Sleep(Duration amount, SemId next_sem = kNoSem) const;
+
+  // Blocks until the bound IRQ line fires (user-level device drivers).
+  internal::WaitIrqAwait WaitIrq(int line, SemId next_sem = kNoSem) const;
+
+  // Re-runs scheduling without blocking.
+  internal::YieldAwait Yield() const;
+
+  // --- Introspection (no kernel trap, no cost) ---
+  Instant now() const;
+  ThreadId id() const;
+  uint64_t job_number() const;
+  Instant job_deadline() const;
+  // Shared-memory access; returns an empty span unless the thread's process
+  // mapped the region (writable if `write`).
+  std::span<uint8_t> RegionData(RegionId region, bool write) const;
+
+ private:
+  Kernel* kernel_;
+  Tcb* tcb_;
+};
+
+}  // namespace emeralds
+
+#endif  // SRC_CORE_API_H_

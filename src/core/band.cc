@@ -1,0 +1,351 @@
+#include "src/core/band.h"
+
+namespace emeralds {
+namespace {
+
+void AppendCharge(ChargeList& charges, QueueKind kind, QueueOp op, int units) {
+  charges.push_back(QueueCharge{kind, op, units});
+}
+
+}  // namespace
+
+// --- EdfBand ---
+
+EdfBand::~EdfBand() { tasks_.clear(); }
+
+void EdfBand::AddTask(Tcb& task) {
+  EM_ASSERT_MSG(!task.ready, "task must be added blocked");
+  tasks_.push_back(task);
+}
+
+void EdfBand::RemoveTask(Tcb& task) {
+  if (task.ready) {
+    --ready_count_;
+    task.ready = false;
+  }
+  tasks_.erase(task);
+}
+
+void EdfBand::Block(Tcb& task, ChargeList& charges) {
+  EM_ASSERT(task.ready);
+  task.ready = false;
+  --ready_count_;
+  // "A task is blocked ... by changing one entry in the task control block."
+  AppendCharge(charges, QueueKind::kEdfList, QueueOp::kBlock, 1);
+}
+
+void EdfBand::Unblock(Tcb& task, ChargeList& charges) {
+  EM_ASSERT(!task.ready);
+  task.ready = true;
+  ++ready_count_;
+  AppendCharge(charges, QueueKind::kEdfList, QueueOp::kUnblock, 1);
+}
+
+Tcb* EdfBand::SelectReady(int* units) {
+  if (ready_count_ == 0) {
+    *units = 0;
+    return nullptr;
+  }
+  // "To select the next task to execute, the list is parsed and the
+  // earliest-deadline ready task is picked" — O(n) over the whole list.
+  int visited = 0;
+  Tcb* best = nullptr;
+  for (Tcb& task : tasks_) {
+    ++visited;
+    if (!task.ready) {
+      continue;
+    }
+    if (best == nullptr || task.effective_deadline < best->effective_deadline ||
+        (task.effective_deadline == best->effective_deadline &&
+         (task.effective_rm_rank < best->effective_rm_rank ||
+          (task.effective_rm_rank == best->effective_rm_rank && task.id < best->id)))) {
+      best = &task;
+    }
+  }
+  *units = visited;
+  EM_ASSERT(best != nullptr);
+  return best;
+}
+
+void EdfBand::Validate() const {
+  int ready = 0;
+  for (const Tcb& task : const_cast<EdfBand*>(this)->tasks_) {
+    if (task.ready) {
+      ++ready;
+    }
+  }
+  EM_ASSERT_MSG(ready == ready_count_, "EDF ready counter drift: %d vs %d", ready, ready_count_);
+}
+
+// --- RmBand ---
+
+RmBand::~RmBand() { tasks_.clear(); }
+
+void RmBand::AddTask(Tcb& task) {
+  EM_ASSERT_MSG(!task.ready, "task must be added blocked");
+  for (Tcb& other : tasks_) {
+    if (task.effective_rm_rank < other.effective_rm_rank) {
+      tasks_.insert_before(other, task);
+      return;
+    }
+  }
+  tasks_.push_back(task);
+}
+
+void RmBand::RemoveTask(Tcb& task) {
+  if (highestp_ == &task) {
+    task.ready = false;
+    RecomputeHighestp();
+  }
+  task.ready = false;
+  tasks_.erase(task);
+}
+
+void RmBand::Block(Tcb& task, ChargeList& charges) {
+  EM_ASSERT(task.ready);
+  task.ready = false;
+  int visits = 0;
+  if (highestp_ == &task) {
+    // Scan forward for the next ready task (worst case O(n)); each inspected
+    // node is one unit of the paper's 0.36 us/task blocking slope.
+    Tcb* next = tasks_.next(task);
+    while (next != nullptr && !next->ready) {
+      ++visits;
+      next = tasks_.next(*next);
+    }
+    if (next != nullptr) {
+      ++visits;
+    }
+    highestp_ = next;
+  }
+  AppendCharge(charges, QueueKind::kRmList, QueueOp::kBlock, visits);
+}
+
+void RmBand::Unblock(Tcb& task, ChargeList& charges) {
+  EM_ASSERT(!task.ready);
+  task.ready = true;
+  // O(1): compare against highestp and move the pointer if needed.
+  if (highestp_ == nullptr || task.effective_rm_rank < highestp_->effective_rm_rank) {
+    highestp_ = &task;
+  }
+  AppendCharge(charges, QueueKind::kRmList, QueueOp::kUnblock, 1);
+}
+
+Tcb* RmBand::SelectReady(int* units) {
+  *units = highestp_ != nullptr ? 1 : 0;
+  return highestp_;
+}
+
+int RmBand::Reposition(Tcb& task) { return SortedReinsert(task); }
+
+void RmBand::SwapForPi(Tcb& holder, Tcb& waiter) {
+  EM_ASSERT_MSG(!waiter.ready, "place-holder must be blocked");
+  tasks_.SwapPositions(holder, waiter);
+  // The modelled operation is O(1); the full highestp recomputation below is
+  // a host-side convenience and is intentionally not charged (the real kernel
+  // updates the pointer from locally-known neighbours during the swap).
+  RecomputeHighestp();
+}
+
+int RmBand::SortedReinsert(Tcb& task) {
+  bool was_ready = task.ready;
+  tasks_.erase(task);
+  int visits = 0;
+  Tcb* insert_before = nullptr;
+  for (Tcb& other : tasks_) {
+    ++visits;
+    if (task.effective_rm_rank < other.effective_rm_rank) {
+      insert_before = &other;
+      break;
+    }
+  }
+  if (insert_before != nullptr) {
+    tasks_.insert_before(*insert_before, task);
+  } else {
+    tasks_.push_back(task);
+  }
+  if (was_ready) {
+    RecomputeHighestp();
+  }
+  return visits;
+}
+
+void RmBand::RecomputeHighestp() {
+  highestp_ = nullptr;
+  for (Tcb& task : tasks_) {
+    if (task.ready) {
+      highestp_ = &task;
+      return;
+    }
+  }
+}
+
+void RmBand::Validate() const {
+  auto& tasks = const_cast<RmBand*>(this)->tasks_;
+  // Ready tasks must appear in non-decreasing rank order, and highestp must
+  // be the first ready task.
+  const Tcb* first_ready = nullptr;
+  int last_ready_rank = INT32_MIN;
+  for (const Tcb& task : tasks) {
+    if (!task.ready) {
+      continue;
+    }
+    if (first_ready == nullptr) {
+      first_ready = &task;
+    }
+    EM_ASSERT_MSG(task.effective_rm_rank >= last_ready_rank,
+                  "FP queue ready tasks out of rank order");
+    last_ready_rank = task.effective_rm_rank;
+  }
+  EM_ASSERT_MSG(first_ready == highestp_, "highestp does not point at first ready task");
+}
+
+// --- RmHeapBand ---
+
+RmHeapBand::~RmHeapBand() { tasks_.clear(); }
+
+bool RmHeapBand::Less(const Tcb& a, const Tcb& b) const {
+  if (a.effective_rm_rank != b.effective_rm_rank) {
+    return a.effective_rm_rank < b.effective_rm_rank;
+  }
+  return a.id < b.id;
+}
+
+void RmHeapBand::AddTask(Tcb& task) {
+  EM_ASSERT_MSG(!task.ready, "task must be added blocked");
+  tasks_.push_back(task);
+}
+
+void RmHeapBand::RemoveTask(Tcb& task) {
+  if (task.ready) {
+    int units = 0;
+    HeapRemove(task.heap_index, &units);
+    task.ready = false;
+  }
+  tasks_.erase(task);
+}
+
+int RmHeapBand::SiftUp(size_t index) {
+  int moves = 0;
+  while (index > 0) {
+    size_t parent = (index - 1) / 2;
+    if (!Less(*heap_[index], *heap_[parent])) {
+      break;
+    }
+    std::swap(heap_[index], heap_[parent]);
+    heap_[index]->heap_index = index;
+    heap_[parent]->heap_index = parent;
+    index = parent;
+    ++moves;
+  }
+  return moves;
+}
+
+int RmHeapBand::SiftDown(size_t index) {
+  int moves = 0;
+  while (true) {
+    size_t left = 2 * index + 1;
+    size_t right = left + 1;
+    size_t smallest = index;
+    if (left < heap_.size() && Less(*heap_[left], *heap_[smallest])) {
+      smallest = left;
+    }
+    if (right < heap_.size() && Less(*heap_[right], *heap_[smallest])) {
+      smallest = right;
+    }
+    if (smallest == index) {
+      break;
+    }
+    std::swap(heap_[index], heap_[smallest]);
+    heap_[index]->heap_index = index;
+    heap_[smallest]->heap_index = smallest;
+    index = smallest;
+    ++moves;
+  }
+  return moves;
+}
+
+void RmHeapBand::HeapRemove(size_t index, int* units) {
+  EM_ASSERT(index < heap_.size());
+  Tcb* removed = heap_[index];
+  Tcb* last = heap_.back();
+  heap_.pop_back();
+  removed->heap_index = SIZE_MAX;
+  int moves = 0;
+  if (last != removed) {
+    heap_[index] = last;
+    last->heap_index = index;
+    moves = SiftUp(index);
+    if (moves == 0) {
+      moves = SiftDown(index);
+    }
+  }
+  *units += moves + 1;
+}
+
+void RmHeapBand::Block(Tcb& task, ChargeList& charges) {
+  EM_ASSERT(task.ready);
+  task.ready = false;
+  int units = 0;
+  HeapRemove(task.heap_index, &units);
+  AppendCharge(charges, QueueKind::kRmHeap, QueueOp::kBlock, units);
+}
+
+void RmHeapBand::Unblock(Tcb& task, ChargeList& charges) {
+  EM_ASSERT(!task.ready);
+  task.ready = true;
+  heap_.push_back(&task);
+  task.heap_index = heap_.size() - 1;
+  int units = SiftUp(task.heap_index) + 1;
+  AppendCharge(charges, QueueKind::kRmHeap, QueueOp::kUnblock, units);
+}
+
+Tcb* RmHeapBand::SelectReady(int* units) {
+  if (heap_.empty()) {
+    *units = 0;
+    return nullptr;
+  }
+  *units = 1;
+  return heap_[0];
+}
+
+int RmHeapBand::Reposition(Tcb& task) {
+  EM_ASSERT(task.ready && task.heap_index != SIZE_MAX);
+  int moves = SiftUp(task.heap_index);
+  if (moves == 0) {
+    moves = SiftDown(task.heap_index);
+  }
+  return moves + 1;
+}
+
+void RmHeapBand::Validate() const {
+  for (size_t i = 0; i < heap_.size(); ++i) {
+    EM_ASSERT_MSG(heap_[i]->heap_index == i, "heap index drift at %zu", i);
+    EM_ASSERT(heap_[i]->ready);
+    if (i > 0) {
+      size_t parent = (i - 1) / 2;
+      EM_ASSERT_MSG(!Less(*heap_[i], *heap_[parent]), "heap order violated at %zu", i);
+    }
+  }
+  int ready = 0;
+  for (const Tcb& task : const_cast<RmHeapBand*>(this)->tasks_) {
+    if (task.ready) {
+      ++ready;
+    }
+  }
+  EM_ASSERT_MSG(static_cast<size_t>(ready) == heap_.size(), "heap misses ready tasks");
+}
+
+std::unique_ptr<Band> MakeBand(QueueKind kind, int index) {
+  switch (kind) {
+    case QueueKind::kEdfList:
+      return std::make_unique<EdfBand>(index);
+    case QueueKind::kRmList:
+      return std::make_unique<RmBand>(index);
+    case QueueKind::kRmHeap:
+      return std::make_unique<RmHeapBand>(index);
+  }
+  EM_PANIC("unknown QueueKind");
+}
+
+}  // namespace emeralds

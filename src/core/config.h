@@ -1,0 +1,124 @@
+// Kernel configuration.
+
+#ifndef SRC_CORE_CONFIG_H_
+#define SRC_CORE_CONFIG_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "src/base/static_vector.h"
+#include "src/base/time.h"
+#include "src/core/api.h"
+#include "src/core/ids.h"
+#include "src/core/thread_body.h"
+#include "src/hal/cost_model.h"
+
+namespace emeralds {
+
+// Maximum number of scheduler bands (CSD queues). The paper finds diminishing
+// returns past three queues (Section 5.6); eight leaves room for the CSD-x
+// sweep ablation.
+inline constexpr int kMaxBands = 8;
+
+// Fixed-priority rank assignment for threads that ask for automatic ranking
+// (Section 5.3: "or any fixed-priority scheduler such as deadline-monotonic
+// [18], but for simplicity, we assume RM").
+enum class FpRankPolicy {
+  kRateMonotonic,      // shorter period = higher priority
+  kDeadlineMonotonic,  // shorter relative deadline = higher priority
+};
+
+// Semaphore operating mode (Section 6): the conventional implementation
+// versus EMERALDS's context-switch-eliminating scheme with optimized priority
+// inheritance. Both are first-class so benches can compare them.
+enum class SemMode {
+  kStandard,
+  kCse,
+};
+
+// Scheduler construction shorthand.
+struct SchedulerSpec {
+  // Band queue kinds, highest-priority band first. CSD requires every DP band
+  // to be kEdfList and the final band to be kRmList (or kRmHeap).
+  StaticVector<QueueKind, kMaxBands> bands;
+
+  static SchedulerSpec Edf() {
+    SchedulerSpec s;
+    s.bands.push_back(QueueKind::kEdfList);
+    return s;
+  }
+  static SchedulerSpec Rm() {
+    SchedulerSpec s;
+    s.bands.push_back(QueueKind::kRmList);
+    return s;
+  }
+  static SchedulerSpec RmHeap() {
+    SchedulerSpec s;
+    s.bands.push_back(QueueKind::kRmHeap);
+    return s;
+  }
+  // CSD-x: (x-1) dynamic-priority EDF queues over one fixed-priority queue.
+  static SchedulerSpec Csd(int num_queues) {
+    EM_ASSERT_MSG(num_queues >= 1 && num_queues <= kMaxBands, "CSD-%d unsupported", num_queues);
+    SchedulerSpec s;
+    for (int i = 0; i + 1 < num_queues; ++i) {
+      s.bands.push_back(QueueKind::kEdfList);
+    }
+    s.bands.push_back(QueueKind::kRmList);
+    return s;
+  }
+};
+
+struct KernelConfig {
+  SchedulerSpec scheduler = SchedulerSpec::Edf();
+  CostModel cost_model = CostModel::MC68040_25MHz();
+  SemMode default_sem_mode = SemMode::kCse;
+  FpRankPolicy fp_rank_policy = FpRankPolicy::kRateMonotonic;
+
+  // Object-pool capacities (allocated once at kernel construction).
+  size_t max_threads = 128;
+  size_t max_processes = 16;
+  size_t max_semaphores = 64;
+  size_t max_condvars = 32;
+  size_t max_mailboxes = 32;
+  size_t max_state_messages = 64;
+  size_t max_regions = 16;
+
+  // Trace ring capacity (0 disables event retention; counters still work).
+  size_t trace_capacity = 4096;
+
+  // Run the scheduler's structural invariant checks after every reschedule
+  // (panics on violation). For tests; costs host time, no virtual time.
+  bool debug_validate = false;
+};
+
+using ThreadBodyFactory = std::function<ThreadBody(ThreadApi)>;
+
+struct ThreadParams {
+  const char* name = "thread";
+  ProcessId process = kKernelProcess;
+  ThreadBodyFactory body;
+
+  // Zero period => aperiodic (released once at Start(), never re-released).
+  Duration period;
+  // Zero => relative deadline equals the period (the paper's assumption).
+  Duration relative_deadline;
+  // First release offset from Start(); aperiodic threads ignore it.
+  Duration first_release;
+
+  // Scheduler band (CSD queue) this thread is assigned to; -1 places it in
+  // the lowest-priority (fixed-priority) band. The CSD partition search in
+  // src/analysis/ produces these assignments.
+  int band = -1;
+
+  // Fixed-priority rank; -1 lets the kernel assign rate-monotonic ranks
+  // (shorter period = higher priority) at Start().
+  int rm_rank = -1;
+
+  // Informational worst-case execution time (used by traces/examples only).
+  Duration wcet;
+};
+
+}  // namespace emeralds
+
+#endif  // SRC_CORE_CONFIG_H_

@@ -1,0 +1,49 @@
+// Typed kernel object identifiers.
+//
+// EMERALDS names kernel objects with small statically-assigned integers
+// ("Semaphore identifiers are statically defined (at compile time) ... as is
+// commonly the case in OSs for small-memory applications", Section 6.2.1).
+// Thin wrapper types keep the ids from being mixed up at call sites.
+
+#ifndef SRC_CORE_IDS_H_
+#define SRC_CORE_IDS_H_
+
+#include <compare>
+
+namespace emeralds {
+
+namespace internal {
+
+template <typename Tag>
+struct Id {
+  int value = -1;
+
+  constexpr Id() = default;
+  explicit constexpr Id(int v) : value(v) {}
+
+  constexpr bool valid() const { return value >= 0; }
+  constexpr auto operator<=>(const Id&) const = default;
+};
+
+}  // namespace internal
+
+using ThreadId = internal::Id<struct ThreadTag>;
+using ProcessId = internal::Id<struct ProcessTag>;
+using SemId = internal::Id<struct SemTag>;
+using CondvarId = internal::Id<struct CondvarTag>;
+using MailboxId = internal::Id<struct MailboxTag>;
+using SmsgId = internal::Id<struct SmsgTag>;
+using RegionId = internal::Id<struct RegionTag>;
+using TimerId = internal::Id<struct TimerTag>;
+
+// "No semaphore upcoming": the -1 the paper's code parser writes into
+// blocking calls that are not followed by acquire_sem().
+inline constexpr SemId kNoSem{};
+
+// The kernel's own process (process 0 is created implicitly and owns kernel
+// threads and objects created without an explicit owner).
+inline constexpr ProcessId kKernelProcess{0};
+
+}  // namespace emeralds
+
+#endif  // SRC_CORE_IDS_H_

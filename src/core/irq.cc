@@ -1,0 +1,79 @@
+// Interrupt handling and user-level device-driver support (Figure 1).
+//
+// EMERALDS keeps interrupt handlers in the kernel minimal: the ISR stub
+// acknowledges the line and wakes the user-level driver thread bound to it.
+// The driver thread does the real device work at its scheduled priority.
+
+#include "src/core/kernel.h"
+
+namespace emeralds {
+
+Status Kernel::BindIrqThread(ThreadId thread, int line) {
+  if (line < 0 || line >= kNumIrqLines || line == kIrqTimer) {
+    return Status::kInvalidArgument;
+  }
+  if (!thread.valid() || static_cast<size_t>(thread.value) >= threads_.size()) {
+    return Status::kBadHandle;
+  }
+  irq_threads_[line] = threads_[thread.value].get();
+  hw_.irq().Attach(line, &Kernel::IrqTrampoline, this);
+  return Status::kOk;
+}
+
+void Kernel::IrqTrampoline(void* context, int line) {
+  static_cast<Kernel*>(context)->HandleIrq(line);
+}
+
+void Kernel::HandleIrq(int line) {
+  if (line == kIrqTimer) {
+    TimerIsr();
+    return;
+  }
+  Charge(ChargeCategory::kInterrupt, cost_.interrupt_entry);
+  ++stats_.interrupts;
+  trace_.Record(hw_.now(), TraceEventType::kIrq, line, 0);
+  Tcb* driver = irq_threads_[line];
+  if (driver != nullptr) {
+    if (driver->state == ThreadState::kBlocked &&
+        driver->block_reason == BlockReason::kWaitIrq && driver->waiting_irq_line == line) {
+      driver->waiting_irq_line = -1;
+      driver->syscall_status = Status::kOk;
+      WakeThread(*driver);
+    } else {
+      // Latch the interrupt; the next WaitIrq completes immediately.
+      ++driver->irq_pending_count;
+    }
+  }
+  Charge(ChargeCategory::kInterrupt, cost_.interrupt_exit);
+  need_resched_ = true;
+}
+
+Kernel::SyscallOutcome Kernel::SysWaitIrq(Tcb& t, int line, SemId next_sem) {
+  EM_ASSERT(&t == current_);
+  ++stats_.syscalls;
+  Charge(ChargeCategory::kSyscall, cost_.syscall);
+  if (line < 0 || line >= kNumIrqLines) {
+    t.syscall_status = Status::kInvalidArgument;
+    return {false};
+  }
+  if (irq_threads_[line] != &t) {
+    t.syscall_status = Status::kPermissionDenied;  // not the bound driver
+    return {false};
+  }
+  if (t.irq_pending_count > 0) {
+    --t.irq_pending_count;
+    t.syscall_status = Status::kOk;
+    if (need_resched_) {
+      t.resume_pending = true;
+      return {true};
+    }
+    return {false};
+  }
+  t.waiting_irq_line = line;
+  t.wakeup_hint = next_sem;
+  t.syscall_status = Status::kOk;
+  BlockThread(t, BlockReason::kWaitIrq);
+  return {true};
+}
+
+}  // namespace emeralds

@@ -1,0 +1,928 @@
+// Kernel construction, object creation, the executive, timers, and the
+// scheduling-related system calls. Semaphores, condition variables, IPC, and
+// interrupts live in their own translation units.
+
+#include "src/core/kernel.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/log.h"
+
+namespace emeralds {
+namespace {
+
+void CopyName(char* dest, size_t dest_size, const char* src) {
+  std::snprintf(dest, dest_size, "%s", src != nullptr ? src : "");
+}
+
+}  // namespace
+
+Kernel::Kernel(Hardware& hw, const KernelConfig& config)
+    : hw_(hw),
+      config_(config),
+      cost_(config.cost_model),
+      sched_(config.scheduler),
+      trace_(config.trace_capacity) {
+  processes_.reserve(config_.max_processes);
+  threads_.reserve(config_.max_threads);
+  semaphores_.reserve(config_.max_semaphores);
+  condvars_.reserve(config_.max_condvars);
+  mailboxes_.reserve(config_.max_mailboxes);
+  smsgs_.reserve(config_.max_state_messages);
+  regions_.reserve(config_.max_regions);
+
+  Result<ProcessId> kernel_process = CreateProcess("kernel");
+  EM_ASSERT(kernel_process.ok() && kernel_process.value() == kKernelProcess);
+
+  hw_.irq().Attach(kIrqTimer, &Kernel::IrqTrampoline, this);
+}
+
+Kernel::~Kernel() {
+  // Unwind intrusive structures before the pools are destroyed.
+  soft_timers_.clear();
+  hw_.DisarmTimer(oneshot_);
+  for (int line = 0; line < kNumIrqLines; ++line) {
+    if (line == kIrqTimer || irq_threads_[line] != nullptr) {
+      hw_.irq().Detach(line);
+    }
+  }
+  for (auto& sem : semaphores_) {
+    sem->waiters.clear();
+    sem->pre_acquire.clear();
+  }
+  for (auto& cv : condvars_) {
+    cv->waiters.clear();
+  }
+  for (auto& mbox : mailboxes_) {
+    mbox->recv_waiters.clear();
+    mbox->send_waiters.clear();
+  }
+  for (auto& t : threads_) {
+    if (t->boosted_into_band >= 0) {
+      sched_.RemoveBoost(*t);
+    }
+  }
+  for (auto& t : threads_) {
+    // kNew threads were never handed to the scheduler (Start() not reached);
+    // kFinished threads were removed at exit.
+    if (t->state != ThreadState::kFinished && t->state != ThreadState::kNew) {
+      sched_.RemoveThread(*t);
+    }
+    if (t->coroutine) {
+      t->coroutine.destroy();
+    }
+  }
+}
+
+// --- Object creation ---
+
+Result<ProcessId> Kernel::CreateProcess(const char* name) {
+  if (processes_.size() >= config_.max_processes) {
+    return Status::kResourceExhausted;
+  }
+  auto process = std::make_unique<Process>();
+  process->id = ProcessId(static_cast<int>(processes_.size()));
+  CopyName(process->name, sizeof(process->name), name);
+  ProcessId id = process->id;
+  processes_.push_back(std::move(process));
+  return id;
+}
+
+Result<ThreadId> Kernel::CreateThread(const ThreadParams& params) {
+  EM_ASSERT_MSG(!started_, "threads must be created before Start()");
+  if (threads_.size() >= config_.max_threads) {
+    return Status::kResourceExhausted;
+  }
+  if (!params.body) {
+    return Status::kInvalidArgument;
+  }
+  if (!params.process.valid() ||
+      static_cast<size_t>(params.process.value) >= processes_.size()) {
+    return Status::kBadHandle;
+  }
+  if (params.period.is_negative() || params.relative_deadline.is_negative() ||
+      params.first_release.is_negative()) {
+    return Status::kInvalidArgument;
+  }
+  auto tcb = std::make_unique<Tcb>();
+  tcb->id = ThreadId(static_cast<int>(threads_.size()));
+  tcb->process = params.process;
+  CopyName(tcb->name, sizeof(tcb->name), params.name);
+  tcb->period = params.period;
+  tcb->periodic = params.period.is_positive();
+  tcb->relative_deadline =
+      params.relative_deadline.is_positive() ? params.relative_deadline : params.period;
+  tcb->first_release_offset = params.first_release;
+  tcb->base_band = params.band;
+  tcb->base_rm_rank = params.rm_rank;
+  tcb->wcet = params.wcet;
+  tcb->period_timer.kind = TimerKind::kPeriodRelease;
+  tcb->period_timer.owner = tcb.get();
+  tcb->timeout_timer.kind = TimerKind::kTimeout;
+  tcb->timeout_timer.owner = tcb.get();
+
+  // Invoke the TCB's own copy of the factory: the coroutine references the
+  // closure object, which must stay alive as long as the thread.
+  tcb->body_factory = params.body;
+  ThreadBody body = tcb->body_factory(ThreadApi(this, tcb.get()));
+  tcb->coroutine = body.release();
+  EM_ASSERT_MSG(static_cast<bool>(tcb->coroutine), "thread body factory returned no coroutine");
+
+  ThreadId id = tcb->id;
+  threads_.push_back(std::move(tcb));
+  return id;
+}
+
+Result<SemId> Kernel::CreateSemaphore(const char* name, int initial_count, AccessPolicy access) {
+  return CreateSemaphoreWithMode(name, initial_count, config_.default_sem_mode, access);
+}
+
+Result<SemId> Kernel::CreateSemaphoreWithMode(const char* name, int initial_count, SemMode mode,
+                                              AccessPolicy access) {
+  if (semaphores_.size() >= config_.max_semaphores) {
+    return Status::kResourceExhausted;
+  }
+  if (initial_count < 0) {
+    return Status::kInvalidArgument;
+  }
+  auto sem = std::make_unique<Semaphore>();
+  sem->id = SemId(static_cast<int>(semaphores_.size()));
+  CopyName(sem->name, sizeof(sem->name), name);
+  sem->mode = mode;
+  sem->initial_count = initial_count;
+  sem->count = initial_count;
+  sem->binary = initial_count == 1;
+  sem->access = access;
+  SemId id = sem->id;
+  semaphores_.push_back(std::move(sem));
+  return id;
+}
+
+Result<CondvarId> Kernel::CreateCondvar(const char* name, AccessPolicy access) {
+  if (condvars_.size() >= config_.max_condvars) {
+    return Status::kResourceExhausted;
+  }
+  auto cv = std::make_unique<Condvar>();
+  cv->id = CondvarId(static_cast<int>(condvars_.size()));
+  CopyName(cv->name, sizeof(cv->name), name);
+  cv->access = access;
+  CondvarId id = cv->id;
+  condvars_.push_back(std::move(cv));
+  return id;
+}
+
+Result<MailboxId> Kernel::CreateMailbox(const char* name, size_t depth, AccessPolicy access) {
+  if (mailboxes_.size() >= config_.max_mailboxes) {
+    return Status::kResourceExhausted;
+  }
+  if (depth == 0) {
+    return Status::kInvalidArgument;
+  }
+  auto mbox = std::make_unique<Mailbox>();
+  mbox->id = MailboxId(static_cast<int>(mailboxes_.size()));
+  CopyName(mbox->name, sizeof(mbox->name), name);
+  mbox->queue = std::make_unique<RingBuffer<MboxMessage>>(depth);
+  mbox->access = access;
+  MailboxId id = mbox->id;
+  mailboxes_.push_back(std::move(mbox));
+  return id;
+}
+
+Result<SmsgId> Kernel::CreateStateMessage(const char* name, size_t size_bytes, int num_slots,
+                                          AccessPolicy access) {
+  if (smsgs_.size() >= config_.max_state_messages) {
+    return Status::kResourceExhausted;
+  }
+  if (size_bytes == 0 || num_slots < 1) {
+    return Status::kInvalidArgument;
+  }
+  auto smsg = std::make_unique<StateMessageBuffer>();
+  smsg->id = SmsgId(static_cast<int>(smsgs_.size()));
+  CopyName(smsg->name, sizeof(smsg->name), name);
+  smsg->size = size_bytes;
+  smsg->num_slots = num_slots;
+  smsg->data = std::make_unique<uint8_t[]>(size_bytes * static_cast<size_t>(num_slots));
+  smsg->slot_seq = std::make_unique<uint64_t[]>(static_cast<size_t>(num_slots));
+  for (int i = 0; i < num_slots; ++i) {
+    smsg->slot_seq[i] = 0;
+  }
+  smsg->access = access;
+  SmsgId id = smsg->id;
+  smsgs_.push_back(std::move(smsg));
+  return id;
+}
+
+Result<RegionId> Kernel::CreateRegion(const char* name, size_t size_bytes) {
+  if (regions_.size() >= config_.max_regions || regions_.size() >= 64) {
+    return Status::kResourceExhausted;
+  }
+  if (size_bytes == 0) {
+    return Status::kInvalidArgument;
+  }
+  auto region = std::make_unique<SharedRegion>();
+  region->id = RegionId(static_cast<int>(regions_.size()));
+  CopyName(region->name, sizeof(region->name), name);
+  region->size = size_bytes;
+  region->data = std::make_unique<uint8_t[]>(size_bytes);
+  std::memset(region->data.get(), 0, size_bytes);
+  RegionId id = region->id;
+  regions_.push_back(std::move(region));
+  return id;
+}
+
+Status Kernel::MapRegion(ProcessId process, RegionId region, bool read, bool write) {
+  if (!process.valid() || static_cast<size_t>(process.value) >= processes_.size()) {
+    return Status::kBadHandle;
+  }
+  if (!region.valid() || static_cast<size_t>(region.value) >= regions_.size()) {
+    return Status::kBadHandle;
+  }
+  uint64_t bit = 1ull << region.value;
+  Process& p = *processes_[process.value];
+  if (read || write) {
+    p.map_read |= bit;
+  } else {
+    p.map_read &= ~bit;
+  }
+  if (write) {
+    p.map_write |= bit;
+  } else {
+    p.map_write &= ~bit;
+  }
+  return Status::kOk;
+}
+
+Result<TimerId> Kernel::CreateTimer(const char* name, SemId signal_target) {
+  Semaphore* sem = SemPtr(signal_target);
+  if (sem == nullptr) {
+    return Status::kBadHandle;
+  }
+  if (sem->binary) {
+    return Status::kInvalidArgument;  // timers need a counting semaphore
+  }
+  auto timer = std::make_unique<UserTimer>();
+  timer->id = TimerId(static_cast<int>(user_timers_.size()));
+  CopyName(timer->name, sizeof(timer->name), name);
+  timer->signal_target = signal_target;
+  timer->soft.kind = TimerKind::kUserTimer;
+  timer->soft.user = timer.get();
+  TimerId id = timer->id;
+  user_timers_.push_back(std::move(timer));
+  return id;
+}
+
+Status Kernel::StartTimer(TimerId id, Duration initial_delay, Duration period) {
+  if (!id.valid() || static_cast<size_t>(id.value) >= user_timers_.size()) {
+    return Status::kBadHandle;
+  }
+  if (initial_delay.is_negative() || period.is_negative()) {
+    return Status::kInvalidArgument;
+  }
+  UserTimer& timer = *user_timers_[id.value];
+  timer.period = period;
+  ArmSoftTimer(timer.soft, hw_.now() + initial_delay);
+  return Status::kOk;
+}
+
+Status Kernel::StopTimer(TimerId id) {
+  if (!id.valid() || static_cast<size_t>(id.value) >= user_timers_.size()) {
+    return Status::kBadHandle;
+  }
+  CancelSoftTimer(user_timers_[id.value]->soft);
+  return Status::kOk;
+}
+
+const UserTimer& Kernel::user_timer(TimerId id) const {
+  EM_ASSERT(id.valid() && static_cast<size_t>(id.value) < user_timers_.size());
+  return *user_timers_[id.value];
+}
+
+void Kernel::HandleUserTimer(UserTimer& timer) {
+  ++timer.fires;
+  if (timer.period.is_positive()) {
+    ArmSoftTimer(timer.soft, timer.soft.expiry + timer.period);
+  }
+  Semaphore* sem = SemPtr(timer.signal_target);
+  EM_ASSERT(sem != nullptr);
+  SignalCountingSem(*sem, &timer.overruns);
+}
+
+void Kernel::SignalCountingSem(Semaphore& sem, uint64_t* overruns) {
+  EM_ASSERT(!sem.binary);
+  Charge(ChargeCategory::kSemaphore, cost_.sem_fixed);
+  int visits = 0;
+  Tcb* waiter = HighestWaiter(sem, &visits);
+  Charge(ChargeCategory::kSemaphore, cost_.waitq_visit * visits);
+  if (waiter != nullptr) {
+    sem.waiters.erase(*waiter);
+    waiter->blocked_on = nullptr;
+    waiter->syscall_status = Status::kOk;
+    ++sem.handoffs;
+    ++stats_.sem_handoffs;
+    MakeReady(*waiter);
+    return;
+  }
+  if (sem.count > 0 && overruns != nullptr) {
+    ++*overruns;  // the previous expiry was never consumed
+  }
+  if (sem.count < (1 << 30)) {
+    ++sem.count;
+  }
+}
+
+// --- Start / rank assignment ---
+
+void Kernel::Start() {
+  EM_ASSERT_MSG(!started_, "Start() called twice");
+  started_ = true;
+
+  // Rate-monotonic rank assignment: either every thread carries an explicit
+  // rank (produced by the analysis tooling) or none does and the kernel ranks
+  // by period, shortest first (ties by creation order).
+  size_t explicit_ranks = 0;
+  for (const auto& t : threads_) {
+    if (t->base_rm_rank >= 0) {
+      ++explicit_ranks;
+    }
+  }
+  EM_ASSERT_MSG(explicit_ranks == 0 || explicit_ranks == threads_.size(),
+                "either all threads or no threads may carry explicit rm_rank");
+  if (explicit_ranks == 0) {
+    std::vector<Tcb*> order;
+    order.reserve(threads_.size());
+    for (auto& t : threads_) {
+      order.push_back(t.get());
+    }
+    bool by_deadline = config_.fp_rank_policy == FpRankPolicy::kDeadlineMonotonic;
+    std::stable_sort(order.begin(), order.end(), [by_deadline](const Tcb* a, const Tcb* b) {
+      auto key = [by_deadline](const Tcb* t) {
+        if (!t->periodic) {
+          return Duration::FromNanos(INT64_MAX);
+        }
+        return by_deadline ? t->relative_deadline : t->period;
+      };
+      return key(a) < key(b);
+    });
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i]->base_rm_rank = static_cast<int>(i);
+    }
+  }
+
+  Instant start = hw_.now();
+  for (auto& owned : threads_) {
+    Tcb& t = *owned;
+    t.effective_rm_rank = t.base_rm_rank;
+    sched_.AddThread(t);
+    if (t.periodic) {
+      t.state = ThreadState::kBlocked;
+      t.block_reason = BlockReason::kWaitPeriod;
+      ArmSoftTimer(t.period_timer, start + t.first_release_offset);
+    } else {
+      // Aperiodic threads are released immediately (boot-time, uncharged).
+      t.job_deadline = Instant::Max();
+      t.effective_deadline = Instant::Max();
+      t.state = ThreadState::kBlocked;
+      ChargeList charges;
+      sched_.Unblock(t, charges);
+      t.state = ThreadState::kReady;
+      t.resume_pending = true;
+    }
+  }
+  need_resched_ = true;
+}
+
+// --- Executive ---
+
+void Kernel::RunUntil(Instant end) {
+  EM_ASSERT_MSG(started_, "RunUntil before Start()");
+  for (;;) {
+    DispatchDueWork();
+    if (need_resched_) {
+      Reschedule();
+      continue;  // charges may have made hardware work due
+    }
+    Tcb* cur = current_;
+    if (cur == nullptr) {
+      Instant next = hw_.NextTimerExpiry();
+      Instant target = std::min(next, end);
+      if (target > hw_.now()) {
+        AdvanceIdleTo(target);
+      }
+      if (next <= end) {
+        continue;
+      }
+      return;  // idle through `end`
+    }
+    if (cur->remaining_compute.is_positive()) {
+      Instant target = std::min(hw_.now() + cur->remaining_compute,
+                                std::min(hw_.NextTimerExpiry(), end));
+      if (target > hw_.now()) {
+        AdvanceCompute(*cur, target - hw_.now());
+      }
+      if (cur->remaining_compute.is_zero()) {
+        FinishComputeDrain(*cur);
+        continue;
+      }
+      if (hw_.now() >= end) {
+        return;  // mid-compute at the horizon
+      }
+      continue;
+    }
+    if (hw_.now() >= end) {
+      return;  // thread code at exactly `end` runs on the next RunUntil
+    }
+    ResumeThread(*cur);
+  }
+}
+
+void Kernel::DispatchDueWork() {
+  for (;;) {
+    int fired = hw_.FireDueTimers();
+    int dispatched = hw_.irq().AnyDeliverable() ? hw_.irq().DispatchPending() : 0;
+    if (fired == 0 && dispatched == 0) {
+      return;
+    }
+  }
+}
+
+void Kernel::Reschedule() {
+  need_resched_ = false;
+  bool sem_attr = resched_from_sem_;
+  resched_from_sem_ = false;
+  ScopedSemPath path_guard(*this);
+  sem_path_ = sem_attr;  // scope restores the previous value on exit
+
+  ChargeList charges;
+  int parsed = 0;
+  Tcb* next = sched_.Select(charges, &parsed);
+  ++stats_.selections;
+  ChargeQueueOps(charges);
+  if (sched_.num_bands() > 1) {
+    Charge(ChargeCategory::kScheduling, cost_.csd_queue_parse * parsed);
+  }
+  if (next != current_) {
+    ContextSwitch(next);
+  }
+  if (config_.debug_validate) {
+    sched_.Validate();
+  }
+}
+
+void Kernel::ContextSwitch(Tcb* next) {
+  Charge(ChargeCategory::kContextSwitch, cost_.context_switch);
+  ++stats_.context_switches;
+  trace_.Record(hw_.now(), TraceEventType::kContextSwitch,
+                current_ != nullptr ? current_->id.value : -1,
+                next != nullptr ? next->id.value : -1);
+  if (current_ != nullptr && current_->state == ThreadState::kRunning) {
+    current_->state = ThreadState::kReady;
+  }
+  current_ = next;
+  if (next != nullptr) {
+    next->state = ThreadState::kRunning;
+  }
+}
+
+void Kernel::ResumeThread(Tcb& t) {
+  EM_ASSERT(&t == current_ && t.state == ThreadState::kRunning);
+  EM_ASSERT(t.remaining_compute.is_zero());
+  Watchdog();
+  t.resume_pending = false;
+  t.started = true;
+  t.coroutine.resume();
+  if (t.coroutine.done()) {
+    ExitThread(t);
+  }
+}
+
+void Kernel::FinishComputeDrain(Tcb& t) {
+  switch (t.pending_op) {
+    case PendingOpKind::kNone:
+      t.resume_pending = true;
+      return;
+    case PendingOpKind::kStateWriteCommit:
+      FinishStateWrite(t);
+      return;
+    case PendingOpKind::kStateReadValidate:
+      FinishStateRead(t);
+      return;
+  }
+}
+
+void Kernel::AdvanceCompute(Tcb& t, Duration amount) {
+  EM_ASSERT(amount.is_positive() && amount <= t.remaining_compute);
+  hw_.clock().AdvanceBy(amount);
+  t.remaining_compute -= amount;
+  t.cpu_time += amount;
+  stats_.compute_time += amount;
+}
+
+void Kernel::AdvanceIdleTo(Instant target) {
+  stats_.idle_time += target - hw_.now();
+  hw_.clock().AdvanceTo(target);
+}
+
+void Kernel::Watchdog() {
+  if (hw_.now() != watchdog_time_) {
+    watchdog_time_ = hw_.now();
+    watchdog_resumes_ = 0;
+    return;
+  }
+  if (++watchdog_resumes_ > 1000000) {
+    EM_PANIC("executive livelock: thread %d resumed 1M times at t=%lld ns without progress",
+             current_ != nullptr ? current_->id.value : -1,
+             static_cast<long long>(hw_.now().nanos()));
+  }
+}
+
+// --- Charging ---
+
+void Kernel::Charge(ChargeCategory category, Duration amount) {
+  if (!amount.is_positive()) {
+    return;
+  }
+  hw_.clock().AdvanceBy(amount);
+  stats_.charged[static_cast<int>(category)] += amount;
+  if (sem_path_) {
+    stats_.sem_path_time += amount;
+  }
+}
+
+void Kernel::ChargeQueueOps(const ChargeList& charges) {
+  for (const QueueCharge& qc : charges) {
+    Charge(ChargeCategory::kScheduling, cost_.QueueCost(qc.kind, qc.op, qc.units));
+    ++stats_.queue_op_count[static_cast<int>(qc.kind)][static_cast<int>(qc.op)];
+    stats_.queue_op_units[static_cast<int>(qc.kind)][static_cast<int>(qc.op)] +=
+        static_cast<uint64_t>(qc.units);
+  }
+}
+
+// --- Thread state transitions ---
+
+void Kernel::BlockThread(Tcb& t, BlockReason reason) {
+  EM_ASSERT_MSG(t.runnable(), "blocking a non-runnable thread");
+  if (t.preacq_sem != nullptr && reason != BlockReason::kPreAcquire) {
+    // The thread blocked on something other than the hinted acquire: the
+    // parser hint was wrong (or the code path diverged). Tolerate and count.
+    ++stats_.cse_hint_misses;
+    LeavePreAcquire(t);
+  }
+  ChargeList charges;
+  sched_.Block(t, charges);
+  ChargeQueueOps(charges);
+  t.state = ThreadState::kBlocked;
+  t.block_reason = reason;
+  if (&t == current_) {
+    need_resched_ = true;
+    resched_from_sem_ = resched_from_sem_ || sem_path_;
+  }
+}
+
+void Kernel::MakeReady(Tcb& t) {
+  EM_ASSERT_MSG(t.is_blocked(), "MakeReady on non-blocked thread");
+  ChargeList charges;
+  sched_.Unblock(t, charges);
+  ChargeQueueOps(charges);
+  t.state = ThreadState::kReady;
+  t.block_reason = BlockReason::kNone;
+  if (t.remaining_compute.is_zero() && t.pending_op == PendingOpKind::kNone) {
+    t.resume_pending = true;
+  }
+  need_resched_ = true;
+  resched_from_sem_ = resched_from_sem_ || sem_path_;
+}
+
+void Kernel::ExitThread(Tcb& t) {
+  EM_ASSERT_MSG(t.held_head == nullptr, "thread '%s' exited while holding a semaphore", t.name);
+  trace_.Record(hw_.now(), TraceEventType::kThreadExit, t.id.value, 0);
+  if (t.preacq_sem != nullptr) {
+    LeavePreAcquire(t);
+  }
+  CancelSoftTimer(t.period_timer);
+  CancelSoftTimer(t.timeout_timer);
+  sched_.RemoveThread(t);
+  t.state = ThreadState::kFinished;
+  current_ = nullptr;
+  need_resched_ = true;
+}
+
+// --- Timers ---
+
+void Kernel::ArmSoftTimer(SoftTimer& timer, Instant expiry) {
+  if (timer.armed()) {
+    soft_timers_.erase(timer);
+  }
+  timer.expiry = expiry;
+  timer.arm_seq = timer_seq_++;
+  for (SoftTimer& other : soft_timers_) {
+    if (expiry < other.expiry || (expiry == other.expiry && timer.arm_seq < other.arm_seq)) {
+      soft_timers_.insert_before(other, timer);
+      ProgramHardwareTimer();
+      return;
+    }
+  }
+  soft_timers_.push_back(timer);
+  ProgramHardwareTimer();
+}
+
+void Kernel::CancelSoftTimer(SoftTimer& timer) {
+  if (!timer.armed()) {
+    return;
+  }
+  soft_timers_.erase(timer);
+  ProgramHardwareTimer();
+}
+
+void Kernel::ProgramHardwareTimer() {
+  SoftTimer* first = soft_timers_.front();
+  if (first == nullptr) {
+    hw_.DisarmTimer(oneshot_);
+    return;
+  }
+  Instant when = std::max(first->expiry, hw_.now());
+  hw_.ArmTimer(oneshot_, when);
+}
+
+void Kernel::TimerIsr() {
+  Charge(ChargeCategory::kInterrupt, cost_.interrupt_entry);
+  ++stats_.interrupts;
+  for (;;) {
+    SoftTimer* first = soft_timers_.front();
+    if (first == nullptr || first->expiry > hw_.now()) {
+      break;
+    }
+    soft_timers_.erase(*first);
+    Charge(ChargeCategory::kTimerSvc, cost_.timer_dispatch);
+    ++stats_.timer_dispatches;
+    switch (first->kind) {
+      case TimerKind::kPeriodRelease:
+        HandlePeriodRelease(*first->owner);
+        break;
+      case TimerKind::kTimeout:
+        HandleTimeout(*first->owner);
+        break;
+      case TimerKind::kUserTimer:
+        HandleUserTimer(*first->user);
+        break;
+    }
+  }
+  ProgramHardwareTimer();
+  Charge(ChargeCategory::kInterrupt, cost_.interrupt_exit);
+  need_resched_ = true;
+}
+
+void Kernel::HandlePeriodRelease(Tcb& t) {
+  // Re-arm on the period grid (the timer's expiry, not `now`, avoids drift).
+  Instant this_release = t.period_timer.expiry;
+  ArmSoftTimer(t.period_timer, this_release + t.period);
+  if (t.state == ThreadState::kBlocked && t.block_reason == BlockReason::kWaitPeriod) {
+    StartJob(t);
+    WakeThread(t);
+  } else {
+    // Still busy with the previous job: remember the release (Section 5's
+    // periodic model).
+    ++t.pending_releases;
+    ++stats_.jobs_released;
+    // The previous job's deadline has passed without completion: record the
+    // miss now rather than waiting for the (possibly distant) completion.
+    if (hw_.now() > t.job_deadline && !t.miss_recorded) {
+      t.miss_recorded = true;
+      ++t.deadline_misses;
+      ++stats_.deadline_misses;
+      trace_.Record(hw_.now(), TraceEventType::kDeadlineMiss, t.id.value,
+                    static_cast<int32_t>(t.job_number));
+    }
+  }
+}
+
+void Kernel::StartJob(Tcb& t) {
+  EM_ASSERT(t.periodic);
+  ++t.job_number;
+  if (t.job_number == 1) {
+    t.job_release = Instant() + t.first_release_offset;
+  } else {
+    t.job_release += t.period;
+  }
+  t.job_deadline = t.job_release + t.relative_deadline;
+  ++stats_.jobs_released;
+  trace_.Record(t.job_release, TraceEventType::kJobRelease, t.id.value,
+                static_cast<int32_t>(t.job_number));
+  RecomputeEffective(t);
+}
+
+void Kernel::HandleTimeout(Tcb& t) {
+  switch (t.block_reason) {
+    case BlockReason::kSleep:
+      WakeThread(t);
+      return;
+    case BlockReason::kWaitMailboxRecv: {
+      Mailbox* mbox = MailboxPtr(t.waiting_mailbox);
+      EM_ASSERT(mbox != nullptr);
+      mbox->recv_waiters.erase(t);
+      ++mbox->recv_timeouts;
+      t.syscall_status = Status::kTimedOut;
+      t.syscall_length = 0;
+      WakeThread(t);
+      return;
+    }
+    default:
+      EM_PANIC("timeout fired for thread '%s' in unexpected state %d", t.name,
+               static_cast<int>(t.block_reason));
+  }
+}
+
+// --- Scheduling syscalls ---
+
+Kernel::SyscallOutcome Kernel::SysCompute(Tcb& t, Duration amount) {
+  EM_ASSERT(&t == current_);
+  if (!amount.is_positive()) {
+    return {false};
+  }
+  t.remaining_compute = amount;
+  return {true};
+}
+
+Kernel::SyscallOutcome Kernel::SysWaitPeriod(Tcb& t, SemId next_sem) {
+  EM_ASSERT(&t == current_);
+  ++stats_.syscalls;
+  Charge(ChargeCategory::kSyscall, cost_.syscall);
+  EM_ASSERT_MSG(t.periodic, "WaitNextPeriod on aperiodic thread '%s'", t.name);
+
+  // Complete the current job.
+  ++t.jobs_completed;
+  ++stats_.jobs_completed;
+  Duration response = hw_.now() - t.job_release;
+  t.total_response += response;
+  if (response > t.max_response) {
+    t.max_response = response;
+  }
+  trace_.Record(hw_.now(), TraceEventType::kJobComplete, t.id.value,
+                static_cast<int32_t>(t.job_number));
+  if (hw_.now() > t.job_deadline && !t.miss_recorded) {
+    ++t.deadline_misses;
+    ++stats_.deadline_misses;
+    trace_.Record(hw_.now(), TraceEventType::kDeadlineMiss, t.id.value,
+                  static_cast<int32_t>(t.job_number));
+  }
+  t.miss_recorded = false;
+
+  t.wakeup_hint = next_sem;
+  if (t.pending_releases > 0) {
+    // The next release already arrived (overrun): start the new job without
+    // blocking. Section 6.2.2's first concern — the context switch the CSE
+    // scheme would have saved simply never existed here.
+    --t.pending_releases;
+    --stats_.jobs_released;  // StartJob will re-count it
+    StartJob(t);
+    t.wakeup_hint = kNoSem;
+    if (next_sem.valid()) {
+      Semaphore* sem = SemPtr(next_sem);
+      EM_ASSERT(sem != nullptr);
+      if (sem->mode == SemMode::kCse) {
+        ScopedSemPath path(*this);
+        Charge(ChargeCategory::kSemaphore, cost_.sem_cse_check);
+        if (sem->owner == nullptr) {
+          JoinPreAcquire(*sem, t);
+        }
+      }
+    }
+    // The new deadline may demote this thread; let the scheduler re-evaluate.
+    need_resched_ = true;
+    t.resume_pending = true;
+    return {true};
+  }
+  BlockThread(t, BlockReason::kWaitPeriod);
+  return {true};
+}
+
+Kernel::SyscallOutcome Kernel::SysSleep(Tcb& t, Duration amount, SemId next_sem) {
+  EM_ASSERT(&t == current_);
+  ++stats_.syscalls;
+  Charge(ChargeCategory::kSyscall, cost_.syscall);
+  if (!amount.is_positive()) {
+    if (need_resched_) {
+      t.resume_pending = true;
+      return {true};
+    }
+    return {false};
+  }
+  t.wakeup_hint = next_sem;
+  ArmSoftTimer(t.timeout_timer, hw_.now() + amount);
+  BlockThread(t, BlockReason::kSleep);
+  return {true};
+}
+
+Kernel::SyscallOutcome Kernel::SysYield(Tcb& t) {
+  EM_ASSERT(&t == current_);
+  ++stats_.syscalls;
+  Charge(ChargeCategory::kSyscall, cost_.syscall);
+  need_resched_ = true;
+  t.resume_pending = true;
+  return {true};
+}
+
+// The CSE unblock path (Section 6.2, Figure 8): before making a woken thread
+// ready, check the semaphore it is about to acquire. If the semaphore is
+// held, perform priority inheritance *now* and leave the thread blocked on
+// the semaphore — eliminating context switch C2. If it is free, park the
+// thread in the pre-acquire queue (Section 6.3.1).
+void Kernel::WakeThread(Tcb& t) {
+  EM_ASSERT(t.is_blocked());
+  SemId hint = t.wakeup_hint;
+  t.wakeup_hint = kNoSem;
+  if (hint.valid()) {
+    Semaphore* sem = SemPtr(hint);
+    EM_ASSERT_MSG(sem != nullptr, "CSE hint names unknown semaphore %d", hint.value);
+    if (sem->mode == SemMode::kCse) {
+      ScopedSemPath path(*this);
+      Charge(ChargeCategory::kSemaphore, cost_.sem_cse_check);
+      if (sem->owner != nullptr && sem->owner != &t) {
+        ++stats_.cse_early_pi;
+        t.blocked_on = sem;
+        t.block_reason = BlockReason::kWaitSem;
+        t.cse_waiter = true;
+        EnqueueWaiter(*sem, t);
+        DoInheritance(*sem, t);
+        trace_.Record(hw_.now(), TraceEventType::kSemCseEarlyPi, t.id.value, sem->id.value);
+        return;  // remains blocked; woken by the holder's release
+      }
+      if (sem->owner == nullptr) {
+        JoinPreAcquire(*sem, t);
+      }
+    }
+  }
+  MakeReady(t);
+}
+
+// --- Accessors ---
+
+const Tcb& Kernel::thread(ThreadId id) const {
+  EM_ASSERT(id.valid() && static_cast<size_t>(id.value) < threads_.size());
+  return *threads_[id.value];
+}
+
+const Semaphore& Kernel::semaphore(SemId id) const {
+  EM_ASSERT(id.valid() && static_cast<size_t>(id.value) < semaphores_.size());
+  return *semaphores_[id.value];
+}
+
+const Mailbox& Kernel::mailbox(MailboxId id) const {
+  EM_ASSERT(id.valid() && static_cast<size_t>(id.value) < mailboxes_.size());
+  return *mailboxes_[id.value];
+}
+
+const StateMessageBuffer& Kernel::state_message(SmsgId id) const {
+  EM_ASSERT(id.valid() && static_cast<size_t>(id.value) < smsgs_.size());
+  return *smsgs_[id.value];
+}
+
+const Condvar& Kernel::condvar(CondvarId id) const {
+  EM_ASSERT(id.valid() && static_cast<size_t>(id.value) < condvars_.size());
+  return *condvars_[id.value];
+}
+
+std::span<uint8_t> Kernel::RegionDataFor(ProcessId process, RegionId region, bool write) {
+  if (!process.valid() || static_cast<size_t>(process.value) >= processes_.size() ||
+      !region.valid() || static_cast<size_t>(region.value) >= regions_.size()) {
+    return {};
+  }
+  const Process& p = *processes_[process.value];
+  uint64_t bit = 1ull << region.value;
+  if ((p.map_read & bit) == 0) {
+    return {};
+  }
+  if (write && (p.map_write & bit) == 0) {
+    return {};
+  }
+  SharedRegion& r = *regions_[region.value];
+  return std::span<uint8_t>(r.data.get(), r.size);
+}
+
+void Kernel::ResetChargeAccounting() {
+  for (Duration& d : stats_.charged) {
+    d = Duration();
+  }
+  stats_.sem_path_time = Duration();
+  stats_.compute_time = Duration();
+  stats_.idle_time = Duration();
+}
+
+void Kernel::DumpThreads() const {
+  std::printf("%3s %-14s %-9s %4s %4s %9s %7s %7s %10s %10s\n", "id", "name", "state", "band",
+              "rank", "period", "jobs", "misses", "worst-resp", "cpu");
+  for (const auto& t : threads_) {
+    char period[24];
+    char response[24];
+    char cpu[24];
+    FormatDuration(t->period, period, sizeof(period));
+    FormatDuration(t->max_response, response, sizeof(response));
+    FormatDuration(t->cpu_time, cpu, sizeof(cpu));
+    std::printf("%3d %-14s %-9s %4d %4d %9s %7llu %7llu %10s %10s\n", t->id.value, t->name,
+                ThreadStateToString(t->state), t->base_band, t->base_rm_rank,
+                t->periodic ? period : "-", static_cast<unsigned long long>(t->jobs_completed),
+                static_cast<unsigned long long>(t->deadline_misses), response, cpu);
+  }
+}
+
+}  // namespace emeralds

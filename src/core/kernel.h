@@ -1,0 +1,279 @@
+// The EMERALDS kernel.
+//
+// One Kernel instance is one node: it owns the thread/semaphore/IPC object
+// pools, the CSD scheduler, the software-timer service, the interrupt
+// handlers, and the executive that runs application coroutines on the virtual
+// CPU. Construction allocates every pool ("kernel init"); nothing allocates
+// on kernel fast paths afterwards.
+//
+// Paper mapping:
+//   Section 5  -> Scheduler/Band (src/core/band.h, scheduler.h), executive
+//   Section 6  -> SysAcquire/SysRelease/WakeThread (semaphore.cc) with
+//                 context-switch elimination, early PI, the pre-acquire
+//                 queue, and place-holder PI swaps
+//   Section 7  -> mailboxes and state messages (ipc.cc)
+//   Figure 1   -> condition variables, timers/clock services, interrupt
+//                 handling and user-level device-driver support, processes
+//                 with memory protection
+
+#ifndef SRC_CORE_KERNEL_H_
+#define SRC_CORE_KERNEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/time.h"
+#include "src/core/band.h"
+#include "src/core/config.h"
+#include "src/core/objects.h"
+#include "src/core/scheduler.h"
+#include "src/core/stats.h"
+#include "src/core/tcb.h"
+#include "src/hal/hardware.h"
+#include "src/hal/trace.h"
+
+namespace emeralds {
+
+// Recv() timeout sentinel: fail with kWouldBlock instead of blocking.
+inline constexpr Duration kNoWait = Nanoseconds(-1);
+
+class Kernel {
+ public:
+  Kernel(Hardware& hw, const KernelConfig& config);
+  ~Kernel();
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- Configuration phase (before Start) ---
+
+  Result<ProcessId> CreateProcess(const char* name);
+  Result<ThreadId> CreateThread(const ThreadParams& params);
+  Result<SemId> CreateSemaphore(const char* name, int initial_count = 1,
+                                AccessPolicy access = {});
+  // Overrides the kernel-wide default semaphore mode for one semaphore.
+  Result<SemId> CreateSemaphoreWithMode(const char* name, int initial_count, SemMode mode,
+                                        AccessPolicy access = {});
+  Result<CondvarId> CreateCondvar(const char* name, AccessPolicy access = {});
+  Result<MailboxId> CreateMailbox(const char* name, size_t depth, AccessPolicy access = {});
+  Result<SmsgId> CreateStateMessage(const char* name, size_t size_bytes, int num_slots,
+                                    AccessPolicy access = {});
+  Result<RegionId> CreateRegion(const char* name, size_t size_bytes);
+  Status MapRegion(ProcessId process, RegionId region, bool read, bool write);
+
+  // Application timers (Figure 1's clock services): each expiry releases the
+  // counting semaphore `signal_target` (create it with initial_count 0); a
+  // thread paces itself by acquiring it. Start/Stop may be called at any
+  // time, including from the host between RunUntil calls.
+  Result<TimerId> CreateTimer(const char* name, SemId signal_target);
+  Status StartTimer(TimerId timer, Duration initial_delay, Duration period = Duration());
+  Status StopTimer(TimerId timer);
+  const UserTimer& user_timer(TimerId id) const;
+  // Routes `line` to `thread`: the kernel ISR stub wakes the (user-level)
+  // driver thread on each interrupt.
+  Status BindIrqThread(ThreadId thread, int line);
+
+  // Releases periodic threads (at their first_release offsets) and readies
+  // aperiodic ones. Assigns rate-monotonic ranks to threads that asked for
+  // automatic ranking.
+  void Start();
+
+  // --- Execution ---
+
+  // Runs the node until the virtual clock reaches `t` (work stamped exactly
+  // `t` is processed; thread code at `t` is not started).
+  void RunUntil(Instant t);
+  void RunFor(Duration d) { RunUntil(hw_.now() + d); }
+
+  // --- Introspection ---
+
+  Instant now() const { return hw_.now(); }
+  bool started() const { return started_; }
+  const KernelStats& stats() const { return stats_; }
+  TraceSink& trace() { return trace_; }
+  Scheduler& scheduler() { return sched_; }
+  const CostModel& cost_model() const { return cost_; }
+  Hardware& hardware() { return hw_; }
+
+  size_t thread_count() const { return threads_.size(); }
+  const Tcb& thread(ThreadId id) const;
+  ThreadId current_thread() const { return current_ != nullptr ? current_->id : ThreadId(); }
+  const Semaphore& semaphore(SemId id) const;
+  const Mailbox& mailbox(MailboxId id) const;
+  const StateMessageBuffer& state_message(SmsgId id) const;
+  const Condvar& condvar(CondvarId id) const;
+
+  // Resets the per-category charge accounting (not the object state); benches
+  // use this to measure windows.
+  void ResetChargeAccounting();
+
+  // Prints a per-thread status table (state, band, jobs, misses, response
+  // times, CPU time) to stdout. Debugging/CLI aid.
+  void DumpThreads() const;
+
+  // Shared-memory access check: returns the region bytes when `process`
+  // mapped the region with sufficient rights, else an empty span.
+  std::span<uint8_t> RegionDataFor(ProcessId process, RegionId region, bool write);
+
+ private:
+  friend class ThreadApi;
+  friend struct internal::ComputeAwait;
+  friend struct internal::WaitPeriodAwait;
+  friend struct internal::AcquireAwait;
+  friend struct internal::ReleaseAwait;
+  friend struct internal::CondWaitAwait;
+  friend struct internal::CondWakeAwait;
+  friend struct internal::SendAwait;
+  friend struct internal::RecvAwait;
+  friend struct internal::StateWriteAwait;
+  friend struct internal::StateReadAwait;
+  friend struct internal::SleepAwait;
+  friend struct internal::WaitIrqAwait;
+  friend struct internal::YieldAwait;
+
+  struct SyscallOutcome {
+    bool suspend;
+  };
+
+  // RAII scope marking charges as semaphore-path time (Figure 11's metric).
+  class ScopedSemPath {
+   public:
+    explicit ScopedSemPath(Kernel& kernel) : kernel_(kernel), prev_(kernel.sem_path_) {
+      kernel_.sem_path_ = true;
+    }
+    ~ScopedSemPath() { kernel_.sem_path_ = prev_; }
+
+   private:
+    Kernel& kernel_;
+    bool prev_;
+  };
+
+  // Hardware one-shot timer: expiry raises the timer IRQ line.
+  class OneShotTimer : public HardwareTimer {
+   public:
+    void OnExpire(Hardware& hw) override { hw.irq().Raise(kIrqTimer); }
+  };
+
+  // --- Syscall implementations (called from awaitables; `t` == current) ---
+  SyscallOutcome SysCompute(Tcb& t, Duration amount);
+  SyscallOutcome SysWaitPeriod(Tcb& t, SemId next_sem);
+  SyscallOutcome SysAcquire(Tcb& t, SemId sem);
+  SyscallOutcome SysRelease(Tcb& t, SemId sem);
+  SyscallOutcome SysCondWait(Tcb& t, CondvarId condvar, SemId mutex);
+  SyscallOutcome SysCondWake(Tcb& t, CondvarId condvar, bool broadcast);
+  SyscallOutcome SysSend(Tcb& t, MailboxId mailbox, std::span<const uint8_t> data, bool wait);
+  SyscallOutcome SysRecv(Tcb& t, MailboxId mailbox, std::span<uint8_t> buffer, Duration timeout,
+                         SemId next_sem);
+  SyscallOutcome SysStateWrite(Tcb& t, SmsgId smsg, std::span<const uint8_t> data);
+  SyscallOutcome SysStateRead(Tcb& t, SmsgId smsg, std::span<uint8_t> buffer);
+  SyscallOutcome SysSleep(Tcb& t, Duration amount, SemId next_sem);
+  SyscallOutcome SysWaitIrq(Tcb& t, int line, SemId next_sem);
+  SyscallOutcome SysYield(Tcb& t);
+
+  // --- Executive ---
+  void Reschedule();
+  void ContextSwitch(Tcb* next);
+  void ResumeThread(Tcb& t);
+  void FinishComputeDrain(Tcb& t);
+  void AdvanceCompute(Tcb& t, Duration amount);
+  void AdvanceIdleTo(Instant target);
+  void DispatchDueWork();
+  void Watchdog();
+
+  // --- Charging ---
+  void Charge(ChargeCategory category, Duration amount);
+  void ChargeQueueOps(const ChargeList& charges);
+
+  // --- Thread state transitions ---
+  void BlockThread(Tcb& t, BlockReason reason);
+  void MakeReady(Tcb& t);
+  // The unblock path with the CSE hook (Section 6.2): may convert the wake
+  // into early PI (thread stays blocked) or a pre-acquire enqueue.
+  void WakeThread(Tcb& t);
+  void ExitThread(Tcb& t);
+
+  // --- Timers / clock service ---
+  void ArmSoftTimer(SoftTimer& timer, Instant expiry);
+  void CancelSoftTimer(SoftTimer& timer);
+  void ProgramHardwareTimer();
+  void TimerIsr();
+  void HandlePeriodRelease(Tcb& t);
+  void HandleTimeout(Tcb& t);
+  void HandleUserTimer(UserTimer& timer);
+  void StartJob(Tcb& t);
+  // ISR-context counting-semaphore signal (no owner, no PI).
+  void SignalCountingSem(Semaphore& sem, uint64_t* overruns);
+
+  // --- Semaphore internals (semaphore.cc) ---
+  Semaphore* SemPtr(SemId id);
+  void EnqueueWaiter(Semaphore& sem, Tcb& waiter);
+  Tcb* HighestWaiter(Semaphore& sem, int* visits);
+  void DoInheritance(Semaphore& sem, Tcb& donor);
+  void InheritOne(Semaphore& sem, Tcb& holder, Tcb& donor);
+  void DissolveSwap(Tcb& holder);
+  void UndoInheritance(Tcb& holder, Semaphore& released);
+  void RecomputeEffective(Tcb& t);
+  void ReleaseLocked(Tcb& owner, Semaphore& sem);
+  void GrantTo(Semaphore& sem, Tcb& waiter);
+  void JoinPreAcquire(Semaphore& sem, Tcb& t);
+  void LeavePreAcquire(Tcb& t);
+  void FreezePreAcquirers(Semaphore& sem, Tcb& except);
+  void ThawPreAcquirers(Semaphore& sem);
+  void HeldAdd(Tcb& t, Semaphore& sem);
+  void HeldRemove(Tcb& t, Semaphore& sem);
+
+  // --- Condvar internals (condvar.cc) ---
+  Condvar* CondvarPtr(CondvarId id);
+  void WakeCondWaiter(Condvar& cv, Tcb& waiter);
+
+  // --- Mailbox / state-message internals (ipc.cc) ---
+  Mailbox* MailboxPtr(MailboxId id);
+  StateMessageBuffer* SmsgPtr(SmsgId id);
+  Duration CopyCost(size_t bytes) const;
+  void DeliverToWaiter(Mailbox& mbox, MboxMessage&& message);
+  void AdmitBlockedSender(Mailbox& mbox);
+  void FinishStateWrite(Tcb& t);
+  void FinishStateRead(Tcb& t);
+
+  // --- Interrupts (irq.cc) ---
+  static void IrqTrampoline(void* context, int line);
+  void HandleIrq(int line);
+
+  Hardware& hw_;
+  KernelConfig config_;
+  CostModel cost_;
+  Scheduler sched_;
+  TraceSink trace_;
+  KernelStats stats_;
+
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<std::unique_ptr<Tcb>> threads_;
+  std::vector<std::unique_ptr<Semaphore>> semaphores_;
+  std::vector<std::unique_ptr<Condvar>> condvars_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<StateMessageBuffer>> smsgs_;
+  std::vector<std::unique_ptr<SharedRegion>> regions_;
+  std::vector<std::unique_ptr<UserTimer>> user_timers_;
+
+  SoftTimerList soft_timers_;
+  uint64_t timer_seq_ = 0;
+  OneShotTimer oneshot_;
+
+  Tcb* current_ = nullptr;
+  bool need_resched_ = false;
+  bool started_ = false;
+  bool sem_path_ = false;
+  // Attribution for the next context switch: true when a semaphore operation
+  // triggered the pending reschedule.
+  bool resched_from_sem_ = false;
+
+  Tcb* irq_threads_[kNumIrqLines] = {};
+
+  // Livelock watchdog.
+  Instant watchdog_time_;
+  uint64_t watchdog_resumes_ = 0;
+};
+
+}  // namespace emeralds
+
+#endif  // SRC_CORE_KERNEL_H_

@@ -1,0 +1,166 @@
+// Kernel object definitions: semaphores, condition variables, mailboxes,
+// state messages, shared-memory regions, processes.
+
+#ifndef SRC_CORE_OBJECTS_H_
+#define SRC_CORE_OBJECTS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/base/intrusive_list.h"
+#include "src/base/ring_buffer.h"
+#include "src/base/static_vector.h"
+#include "src/base/time.h"
+#include "src/core/config.h"
+#include "src/core/ids.h"
+#include "src/core/tcb.h"
+
+namespace emeralds {
+
+// Which processes may use an object. Bit i of `mask` grants process i; the
+// default grants everyone (embedded applications often run in one protection
+// domain, but the checks are real when a mask is set).
+struct AccessPolicy {
+  uint32_t mask = 0xffffffff;
+
+  bool Allows(ProcessId process) const {
+    return process.valid() && process.value < 32 && (mask & (1u << process.value)) != 0;
+  }
+  static AccessPolicy Only(std::initializer_list<ProcessId> processes) {
+    AccessPolicy policy{0};
+    for (ProcessId p : processes) {
+      policy.mask |= 1u << p.value;
+    }
+    return policy;
+  }
+};
+
+struct Process {
+  ProcessId id;
+  char name[24] = {};
+  // Per-region mapping rights: bit r of map_read/map_write covers region r.
+  uint64_t map_read = 0;
+  uint64_t map_write = 0;
+};
+
+struct Semaphore {
+  SemId id;
+  char name[24] = {};
+  SemMode mode = SemMode::kCse;
+  int initial_count = 1;
+  int count = 1;
+  bool binary = true;  // initial_count == 1: mutex semantics with PI
+
+  Tcb* owner = nullptr;  // binary semaphores: current lock holder
+
+  // Wait queue, ordered highest effective priority first.
+  IntrusiveList<Tcb, &Tcb::wait_node> waiters;
+
+  // Pre-acquire queue (Section 6.3.1): threads whose preceding blocking call
+  // completed with this semaphore as their hint, but which have not yet
+  // called acquire_sem(). While the semaphore is held, members are frozen.
+  IntrusiveList<Tcb, &Tcb::preacq_node> pre_acquire;
+
+  // Place-holder PI bookkeeping (Section 6.2): when the holder inherits an
+  // FP waiter's priority we swap their queue positions; `placeholder` is the
+  // blocked waiter standing in the holder's old slot, and `holder_prev_rank`
+  // is the rank the holder returns to when the swap is undone.
+  Tcb* placeholder = nullptr;
+  int holder_prev_rank = 0;
+
+  // Owner's held-semaphores list (singly linked through semaphores).
+  Semaphore* next_held = nullptr;
+
+  AccessPolicy access;
+
+  uint64_t acquires = 0;
+  uint64_t contended_acquires = 0;
+  uint64_t handoffs = 0;
+};
+
+struct Condvar {
+  CondvarId id;
+  char name[24] = {};
+  IntrusiveList<Tcb, &Tcb::wait_node> waiters;  // highest effective prio first
+  AccessPolicy access;
+  uint64_t signals = 0;
+  uint64_t broadcasts = 0;
+};
+
+inline constexpr size_t kMaxMessageBytes = 64;
+
+struct MboxMessage {
+  StaticVector<uint8_t, kMaxMessageBytes> bytes;
+  ThreadId sender;
+  Instant sent_at;
+};
+
+struct Mailbox {
+  MailboxId id;
+  char name[24] = {};
+  std::unique_ptr<RingBuffer<MboxMessage>> queue;
+  IntrusiveList<Tcb, &Tcb::wait_node> recv_waiters;  // highest prio first
+  IntrusiveList<Tcb, &Tcb::wait_node> send_waiters;  // highest prio first
+  AccessPolicy access;
+  uint64_t sends = 0;
+  uint64_t receives = 0;
+  uint64_t send_blocks = 0;
+  uint64_t recv_blocks = 0;
+  uint64_t recv_timeouts = 0;
+};
+
+// Single-writer multi-reader state message (Section 7, reconstructed). The
+// writer rotates through `num_slots` versioned slots and commits with a single
+// index store; readers validate their slot's version after the (preemptible)
+// copy and retry if the writer lapped them.
+struct StateMessageBuffer {
+  SmsgId id;
+  char name[24] = {};
+  size_t size = 0;       // payload bytes per slot
+  int num_slots = 0;
+  std::unique_ptr<uint8_t[]> data;      // num_slots * size
+  std::unique_ptr<uint64_t[]> slot_seq; // 0 = slot being written / invalid
+  int latest_slot = -1;
+  uint64_t latest_seq = 0;
+  ThreadId writer;  // exclusive writer, fixed at creation or first write
+  AccessPolicy access;
+  uint64_t writes = 0;
+  uint64_t reads = 0;
+  uint64_t read_retries = 0;
+
+  uint8_t* SlotData(int slot) { return data.get() + static_cast<size_t>(slot) * size; }
+
+  // Minimum slot count guaranteeing retry-free reads: the writer may commit
+  // at most ceil(read_time / writer_period) times during one read, plus the
+  // slot being read and the slot under construction.
+  static int MinSlots(Duration max_read_time, Duration writer_min_period) {
+    EM_ASSERT(writer_min_period.is_positive());
+    int64_t commits = (max_read_time.nanos() + writer_min_period.nanos() - 1) /
+                      writer_min_period.nanos();
+    return static_cast<int>(commits) + 2;
+  }
+};
+
+struct SharedRegion {
+  RegionId id;
+  char name[24] = {};
+  size_t size = 0;
+  std::unique_ptr<uint8_t[]> data;
+};
+
+// Application timer (Figure 1's "Timers" service): one-shot or periodic;
+// each expiry signals a counting semaphore, the classic RTOS timer-to-task
+// notification (a thread paces itself by acquiring the semaphore).
+struct UserTimer {
+  TimerId id;
+  char name[24] = {};
+  SemId signal_target;
+  Duration period;  // zero => one-shot
+  SoftTimer soft;
+  uint64_t fires = 0;
+  uint64_t overruns = 0;  // expiries that found the previous signal unconsumed
+};
+
+}  // namespace emeralds
+
+#endif  // SRC_CORE_OBJECTS_H_

@@ -1,0 +1,167 @@
+#include "src/core/scheduler.h"
+
+namespace emeralds {
+
+Scheduler::Scheduler(const SchedulerSpec& spec) {
+  EM_ASSERT_MSG(!spec.bands.empty(), "scheduler needs at least one band");
+  for (size_t i = 0; i < spec.bands.size(); ++i) {
+    if (i + 1 < spec.bands.size()) {
+      // CSD structure: every non-final band is a dynamic-priority EDF queue.
+      EM_ASSERT_MSG(spec.bands[i] == QueueKind::kEdfList,
+                    "non-final scheduler bands must be EDF queues");
+    }
+    bands_.push_back(MakeBand(spec.bands[i], static_cast<int>(i)));
+  }
+}
+
+Scheduler::~Scheduler() {
+  for (auto& list : boosted_) {
+    list.clear();
+  }
+}
+
+void Scheduler::AddThread(Tcb& task) {
+  if (task.base_band < 0) {
+    task.base_band = num_bands() - 1;
+  }
+  EM_ASSERT_MSG(task.base_band < num_bands(), "thread band %d out of range", task.base_band);
+  task.effective_band = task.base_band;
+  bands_[task.base_band]->AddTask(task);
+}
+
+void Scheduler::RemoveThread(Tcb& task) {
+  if (task.boosted_into_band >= 0) {
+    RemoveBoost(task);
+  }
+  bands_[task.base_band]->RemoveTask(task);
+}
+
+void Scheduler::Block(Tcb& task, ChargeList& charges) {
+  bands_[task.base_band]->Block(task, charges);
+  if (task.boosted_into_band >= 0) {
+    --boosted_ready_[task.boosted_into_band];
+  }
+}
+
+void Scheduler::Unblock(Tcb& task, ChargeList& charges) {
+  bands_[task.base_band]->Unblock(task, charges);
+  if (task.boosted_into_band >= 0) {
+    ++boosted_ready_[task.boosted_into_band];
+  }
+}
+
+Tcb* Scheduler::Select(ChargeList& charges, int* queues_parsed) {
+  int parsed = 0;
+  for (int b = 0; b < num_bands(); ++b) {
+    ++parsed;
+    Band& band = *bands_[b];
+    bool band_ready = band.HasReady();
+    bool boost_ready = boosted_ready_[b] > 0;
+    if (!band_ready && !boost_ready) {
+      continue;  // "the DP queue is skipped completely"
+    }
+    int units = 0;
+    Tcb* best = band_ready ? band.SelectReady(&units) : nullptr;
+    if (boost_ready) {
+      // Boosted foreigners are parsed alongside the band's own queue.
+      for (Tcb& task : boosted_[b]) {
+        ++units;
+        if (!task.ready) {
+          continue;
+        }
+        if (best == nullptr || HigherPriority(task, *best)) {
+          best = &task;
+        }
+      }
+    }
+    EM_ASSERT(best != nullptr);
+    charges.push_back(QueueCharge{band.kind(), QueueOp::kSelect, units});
+    *queues_parsed = parsed;
+    return best;
+  }
+  *queues_parsed = parsed;
+  return nullptr;
+}
+
+void Scheduler::BoostInto(Tcb& task, int band) {
+  EM_ASSERT(band >= 0 && band < num_bands());
+  EM_ASSERT_MSG(band < task.effective_band, "boost must raise the band");
+  if (task.boosted_into_band >= 0) {
+    boosted_[task.boosted_into_band].erase(task);
+    if (task.ready) {
+      --boosted_ready_[task.boosted_into_band];
+    }
+  }
+  boosted_[band].push_back(task);
+  task.boosted_into_band = band;
+  task.effective_band = band;
+  if (task.ready) {
+    ++boosted_ready_[band];
+  }
+}
+
+void Scheduler::RemoveBoost(Tcb& task) {
+  EM_ASSERT(task.boosted_into_band >= 0);
+  boosted_[task.boosted_into_band].erase(task);
+  if (task.ready) {
+    --boosted_ready_[task.boosted_into_band];
+  }
+  task.boosted_into_band = -1;
+  task.effective_band = task.base_band;
+}
+
+bool Scheduler::CanSwapFp(const Tcb& holder, const Tcb& waiter) const {
+  if (holder.base_band != waiter.base_band) {
+    return false;
+  }
+  if (bands_[holder.base_band]->kind() != QueueKind::kRmList) {
+    return false;
+  }
+  if (holder.boosted_into_band >= 0 || waiter.boosted_into_band >= 0) {
+    return false;
+  }
+  return !waiter.ready;
+}
+
+RmBand* Scheduler::FpBandOf(const Tcb& task) {
+  Band& band = *bands_[task.base_band];
+  if (band.kind() != QueueKind::kRmList) {
+    return nullptr;
+  }
+  return static_cast<RmBand*>(&band);
+}
+
+bool Scheduler::HigherPriority(const Tcb& a, const Tcb& b) const {
+  if (a.effective_band != b.effective_band) {
+    return a.effective_band < b.effective_band;
+  }
+  int band = a.effective_band;
+  EM_ASSERT(band >= 0 && band < num_bands());
+  if (bands_[band]->kind() == QueueKind::kEdfList) {
+    if (a.effective_deadline != b.effective_deadline) {
+      return a.effective_deadline < b.effective_deadline;
+    }
+  }
+  if (a.effective_rm_rank != b.effective_rm_rank) {
+    return a.effective_rm_rank < b.effective_rm_rank;
+  }
+  return a.id < b.id;
+}
+
+void Scheduler::Validate() const {
+  for (const auto& band : bands_) {
+    band->Validate();
+  }
+  for (int b = 0; b < num_bands(); ++b) {
+    int ready = 0;
+    for (const Tcb& task : const_cast<Scheduler*>(this)->boosted_[b]) {
+      EM_ASSERT(task.boosted_into_band == b);
+      if (task.ready) {
+        ++ready;
+      }
+    }
+    EM_ASSERT_MSG(ready == boosted_ready_[b], "boosted ready counter drift in band %d", b);
+  }
+}
+
+}  // namespace emeralds

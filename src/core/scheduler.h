@@ -1,0 +1,75 @@
+// The CSD scheduler: an ordered list of bands (Section 5.3).
+//
+// CSD-x keeps x queues: dynamic-priority EDF queues first, a fixed-priority
+// queue last, with strictly decreasing priority. Selection walks the queue
+// list (charging the 0.55 us/queue parse cost) and stops at the first queue
+// with a ready task. Pure EDF / RM / RM-heap schedulers are the one-band
+// special cases, so every policy shares the same block/unblock/select
+// framework that Table 1 measures.
+//
+// Priority inheritance may temporarily *boost* a task into a higher band
+// (when a DP task waits on a semaphore held by a lower-band task); boosted
+// tasks are kept on a per-band side list that selection also parses.
+
+#ifndef SRC_CORE_SCHEDULER_H_
+#define SRC_CORE_SCHEDULER_H_
+
+#include <memory>
+
+#include "src/base/static_vector.h"
+#include "src/core/band.h"
+#include "src/core/config.h"
+
+namespace emeralds {
+
+class Scheduler {
+ public:
+  explicit Scheduler(const SchedulerSpec& spec);
+  ~Scheduler();
+
+  int num_bands() const { return static_cast<int>(bands_.size()); }
+  Band& band(int index) {
+    EM_ASSERT(index >= 0 && index < num_bands());
+    return *bands_[index];
+  }
+
+  // Membership. The task's base_band selects its home queue; -1 maps to the
+  // last (fixed-priority) band.
+  void AddThread(Tcb& task);
+  void RemoveThread(Tcb& task);
+
+  void Block(Tcb& task, ChargeList& charges);
+  void Unblock(Tcb& task, ChargeList& charges);
+
+  // Picks the highest-priority ready task across bands. `queues_parsed`
+  // counts inspected queues for the CSD parse charge.
+  Tcb* Select(ChargeList& charges, int* queues_parsed);
+
+  // --- Priority-inheritance support ---
+
+  // Makes `task` selectable in `band` (a higher-priority band than its
+  // effective one) without leaving its home queue.
+  void BoostInto(Tcb& task, int band);
+  // Ends a boost; restores effective_band to the task's base band.
+  void RemoveBoost(Tcb& task);
+
+  // True when the place-holder swap applies: both tasks live in the same
+  // RmBand, neither is boosted, and the waiter is blocked.
+  bool CanSwapFp(const Tcb& holder, const Tcb& waiter) const;
+  RmBand* FpBandOf(const Tcb& task);
+
+  // Total order used for wait queues and preemption decisions: band first,
+  // then the band's key (deadline for EDF bands, rank for RM bands).
+  bool HigherPriority(const Tcb& a, const Tcb& b) const;
+
+  void Validate() const;
+
+ private:
+  StaticVector<std::unique_ptr<Band>, kMaxBands> bands_;
+  IntrusiveList<Tcb, &Tcb::boost_node> boosted_[kMaxBands];
+  int boosted_ready_[kMaxBands] = {};
+};
+
+}  // namespace emeralds
+
+#endif  // SRC_CORE_SCHEDULER_H_

@@ -1,0 +1,63 @@
+#include "src/core/stats.h"
+
+#include <cstdio>
+
+namespace emeralds {
+
+const char* ChargeCategoryToString(ChargeCategory category) {
+  switch (category) {
+    case ChargeCategory::kScheduling:
+      return "scheduling";
+    case ChargeCategory::kContextSwitch:
+      return "context_switch";
+    case ChargeCategory::kSyscall:
+      return "syscall";
+    case ChargeCategory::kSemaphore:
+      return "semaphore";
+    case ChargeCategory::kPi:
+      return "priority_inheritance";
+    case ChargeCategory::kIpc:
+      return "ipc";
+    case ChargeCategory::kInterrupt:
+      return "interrupt";
+    case ChargeCategory::kTimerSvc:
+      return "timer_service";
+  }
+  return "?";
+}
+
+void PrintKernelStats(const KernelStats& stats) {
+  std::printf("kernel time breakdown:\n");
+  std::printf("  %-22s %12.1f us\n", "application compute", stats.compute_time.micros_f());
+  std::printf("  %-22s %12.1f us\n", "idle", stats.idle_time.micros_f());
+  for (int c = 0; c < kNumChargeCategories; ++c) {
+    if (stats.charged[c].is_positive()) {
+      std::printf("  %-22s %12.1f us\n", ChargeCategoryToString(static_cast<ChargeCategory>(c)),
+                  stats.charged[c].micros_f());
+    }
+  }
+  std::printf("scheduler: %llu selections, %llu context switches\n",
+              static_cast<unsigned long long>(stats.selections),
+              static_cast<unsigned long long>(stats.context_switches));
+  std::printf("jobs: %llu released, %llu completed, %llu deadline misses\n",
+              static_cast<unsigned long long>(stats.jobs_released),
+              static_cast<unsigned long long>(stats.jobs_completed),
+              static_cast<unsigned long long>(stats.deadline_misses));
+  std::printf("semaphores: %llu acquires (%llu contended), PI %llu "
+              "(swaps %llu, reinserts %llu), CSE saved %llu switches\n",
+              static_cast<unsigned long long>(stats.sem_acquires),
+              static_cast<unsigned long long>(stats.sem_contended),
+              static_cast<unsigned long long>(stats.pi_inherits),
+              static_cast<unsigned long long>(stats.pi_swaps),
+              static_cast<unsigned long long>(stats.pi_reinserts),
+              static_cast<unsigned long long>(stats.cse_switches_saved));
+  std::printf("ipc: %llu mailbox sends, %llu receives; %llu state-msg writes, "
+              "%llu reads (%llu retries)\n",
+              static_cast<unsigned long long>(stats.mailbox_sends),
+              static_cast<unsigned long long>(stats.mailbox_receives),
+              static_cast<unsigned long long>(stats.smsg_writes),
+              static_cast<unsigned long long>(stats.smsg_reads),
+              static_cast<unsigned long long>(stats.smsg_read_retries));
+}
+
+}  // namespace emeralds

@@ -1,0 +1,89 @@
+// Kernel accounting: where virtual time went and what the kernel did.
+
+#ifndef SRC_CORE_STATS_H_
+#define SRC_CORE_STATS_H_
+
+#include <cstdint>
+
+#include "src/base/time.h"
+#include "src/hal/cost_model.h"
+
+namespace emeralds {
+
+// Category a charge is attributed to. kSemPath additionally accumulates for
+// any charge made while the kernel is on a semaphore-induced path (acquire,
+// release, PI, CSE checks, and the context switches they trigger) — that is
+// the quantity Figure 11 plots.
+enum class ChargeCategory : int {
+  kScheduling = 0,    // queue t_b / t_u / t_s and CSD queue parsing
+  kContextSwitch = 1,
+  kSyscall = 2,       // user/kernel transitions
+  kSemaphore = 3,     // semaphore bookkeeping incl. CSE checks
+  kPi = 4,            // priority-inheritance work
+  kIpc = 5,           // mailbox + state-message fixed costs and copies
+  kInterrupt = 6,     // interrupt entry/exit
+  kTimerSvc = 7,      // software-timer dispatch
+};
+inline constexpr int kNumChargeCategories = 8;
+
+const char* ChargeCategoryToString(ChargeCategory category);
+
+struct KernelStats {
+  // Virtual time by destination.
+  Duration charged[kNumChargeCategories];
+  Duration sem_path_time;  // see ChargeCategory comment
+  Duration compute_time;   // application Compute() execution
+  Duration idle_time;
+
+  // Scheduler activity.
+  uint64_t context_switches = 0;
+  uint64_t selections = 0;
+  uint64_t queue_op_count[kNumQueueKinds][kNumQueueOps] = {};
+  uint64_t queue_op_units[kNumQueueKinds][kNumQueueOps] = {};
+
+  // Thread / job activity.
+  uint64_t jobs_released = 0;
+  uint64_t jobs_completed = 0;
+  uint64_t deadline_misses = 0;
+  uint64_t syscalls = 0;
+
+  // Semaphores.
+  uint64_t sem_acquires = 0;
+  uint64_t sem_contended = 0;
+  uint64_t sem_handoffs = 0;
+  uint64_t pi_inherits = 0;
+  uint64_t pi_swaps = 0;       // optimized place-holder swaps
+  uint64_t pi_reinserts = 0;   // un-optimized sorted re-inserts
+  uint64_t cse_early_pi = 0;   // unblocks converted to early PI (Fig. 8)
+  uint64_t cse_grants = 0;     // locks handed over before acquire_sem() ran
+  uint64_t cse_switches_saved = 0;
+  uint64_t cse_hint_misses = 0;  // hint named a semaphore never acquired
+  uint64_t preacquire_freezes = 0;
+
+  // IPC.
+  uint64_t mailbox_sends = 0;
+  uint64_t mailbox_receives = 0;
+  uint64_t smsg_writes = 0;
+  uint64_t smsg_reads = 0;
+  uint64_t smsg_read_retries = 0;
+
+  // Interrupts / timers.
+  uint64_t interrupts = 0;
+  uint64_t timer_dispatches = 0;
+
+  Duration total_charged() const {
+    Duration total;
+    for (const Duration& d : charged) {
+      total += d;
+    }
+    return total;
+  }
+};
+
+// Writes a human-readable summary (charge breakdown, scheduler and semaphore
+// activity) to stdout; examples and debugging sessions use it.
+void PrintKernelStats(const KernelStats& stats);
+
+}  // namespace emeralds
+
+#endif  // SRC_CORE_STATS_H_

@@ -1,0 +1,45 @@
+#include "src/core/tcb.h"
+
+namespace emeralds {
+
+const char* ThreadStateToString(ThreadState state) {
+  switch (state) {
+    case ThreadState::kNew:
+      return "new";
+    case ThreadState::kReady:
+      return "ready";
+    case ThreadState::kRunning:
+      return "running";
+    case ThreadState::kBlocked:
+      return "blocked";
+    case ThreadState::kFinished:
+      return "finished";
+  }
+  return "?";
+}
+
+const char* BlockReasonToString(BlockReason reason) {
+  switch (reason) {
+    case BlockReason::kNone:
+      return "none";
+    case BlockReason::kWaitPeriod:
+      return "wait_period";
+    case BlockReason::kWaitSem:
+      return "wait_sem";
+    case BlockReason::kPreAcquire:
+      return "pre_acquire";
+    case BlockReason::kWaitCondvar:
+      return "wait_condvar";
+    case BlockReason::kWaitMailboxRecv:
+      return "wait_mailbox_recv";
+    case BlockReason::kWaitMailboxSend:
+      return "wait_mailbox_send";
+    case BlockReason::kWaitIrq:
+      return "wait_irq";
+    case BlockReason::kSleep:
+      return "sleep";
+  }
+  return "?";
+}
+
+}  // namespace emeralds

@@ -1,0 +1,48 @@
+// Coroutine plumbing for thread bodies.
+//
+// Application threads are written as C++20 coroutines; every kernel
+// interaction is a co_await on an awaitable returned by ThreadApi. The kernel
+// executive owns the coroutine handle and resumes it when the thread is
+// dispatched. Code between awaits runs in zero virtual time; CPU consumption
+// is modelled explicitly with ThreadApi::Compute().
+
+#ifndef SRC_CORE_THREAD_BODY_H_
+#define SRC_CORE_THREAD_BODY_H_
+
+#include <coroutine>
+
+#include "src/base/assert.h"
+
+namespace emeralds {
+
+// Return type of a thread-body coroutine. Ownership of the handle transfers
+// to the kernel when the thread is created.
+class ThreadBody {
+ public:
+  struct promise_type {
+    ThreadBody get_return_object() {
+      return ThreadBody(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { EM_PANIC("exception escaped a thread body"); }
+  };
+
+  ThreadBody() = default;
+  explicit ThreadBody(std::coroutine_handle<promise_type> handle) : handle_(handle) {}
+
+  // The kernel takes the handle exactly once at thread creation.
+  std::coroutine_handle<> release() {
+    auto h = handle_;
+    handle_ = nullptr;
+    return h;
+  }
+
+ private:
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace emeralds
+
+#endif  // SRC_CORE_THREAD_BODY_H_

@@ -1,0 +1,18 @@
+#include "src/hal/clock.h"
+
+#include "src/base/assert.h"
+
+namespace emeralds {
+
+void VirtualClock::AdvanceTo(Instant t) {
+  EM_ASSERT_MSG(t >= now_, "clock moved backwards (%lld < %lld ns)",
+                static_cast<long long>(t.nanos()), static_cast<long long>(now_.nanos()));
+  now_ = t;
+}
+
+void VirtualClock::AdvanceBy(Duration d) {
+  EM_ASSERT_MSG(!d.is_negative(), "negative clock advance");
+  now_ += d;
+}
+
+}  // namespace emeralds

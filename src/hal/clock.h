@@ -1,0 +1,29 @@
+// The virtual clock: monotonically advancing simulated time.
+
+#ifndef SRC_HAL_CLOCK_H_
+#define SRC_HAL_CLOCK_H_
+
+#include "src/base/time.h"
+
+namespace emeralds {
+
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  Instant now() const { return now_; }
+
+  // Moves the clock forward to `t`. Panics on an attempt to move backwards —
+  // the executive and cost-charging paths must only ever add time.
+  void AdvanceTo(Instant t);
+
+  // Convenience: advances by a non-negative duration.
+  void AdvanceBy(Duration d);
+
+ private:
+  Instant now_;
+};
+
+}  // namespace emeralds
+
+#endif  // SRC_HAL_CLOCK_H_

@@ -1,0 +1,125 @@
+#include "src/hal/devices.h"
+
+#include <cmath>
+
+namespace emeralds {
+
+// --- FieldbusDevice ---
+
+FieldbusDevice::FieldbusDevice(Hardware& hw, const Config& config)
+    : hw_(hw),
+      config_(config),
+      rng_(config.seed),
+      rx_queue_(config.rx_queue_depth),
+      tx_timer_(*this) {
+  EM_ASSERT(config.bit_rate > 0);
+  EM_ASSERT(config.rx_period.is_positive());
+}
+
+FieldbusDevice::~FieldbusDevice() {
+  Stop();
+  hw_.DisarmTimer(tx_timer_);
+}
+
+void FieldbusDevice::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  ScheduleNextRx();
+}
+
+void FieldbusDevice::Stop() {
+  running_ = false;
+  hw_.DisarmTimer(*this);
+}
+
+FieldbusDevice::Frame FieldbusDevice::ReadFrame() {
+  EM_ASSERT_MSG(rx_ready(), "ReadFrame with empty RX queue");
+  return rx_queue_.pop();
+}
+
+bool FieldbusDevice::WriteFrame(const Frame& frame) {
+  if (tx_busy_) {
+    return false;
+  }
+  tx_busy_ = true;
+  tx_complete_at_ = hw_.now() + FrameTxTime(frame);
+  hw_.ArmTimer(tx_timer_, tx_complete_at_);
+  return true;
+}
+
+Duration FieldbusDevice::FrameTxTime(const Frame& frame) const {
+  // CAN-style framing: ~47 bits of overhead plus 8 bits per payload byte.
+  int64_t bits = 47 + 8 * static_cast<int64_t>(frame.payload.size());
+  return Nanoseconds(bits * 1000000000 / config_.bit_rate);
+}
+
+void FieldbusDevice::ScheduleNextRx() {
+  Duration jitter;
+  if (config_.rx_jitter.is_positive()) {
+    jitter = Nanoseconds(rng_.UniformInt(0, config_.rx_jitter.nanos() - 1));
+  }
+  hw_.ArmTimer(*this, hw_.now() + config_.rx_period + jitter);
+}
+
+void FieldbusDevice::OnExpire(Hardware& hw) {
+  // RX arrival.
+  Frame frame;
+  frame.id = next_rx_id_++;
+  for (int i = 0; i < 4; ++i) {
+    frame.payload.push_back(static_cast<uint8_t>(rng_.UniformInt(0, 255)));
+  }
+  if (rx_queue_.push_overwrite(frame)) {
+    ++rx_overruns_;
+  }
+  ++frames_received_;
+  hw.irq().Raise(kIrqFieldbus);
+  if (running_) {
+    ScheduleNextRx();
+  }
+}
+
+void FieldbusDevice::TxTimer::OnExpire(Hardware& hw) {
+  device_.tx_busy_ = false;
+  device_.tx_done_ = true;
+  ++device_.frames_sent_;
+  hw.irq().Raise(kIrqFieldbus);
+}
+
+// --- SensorDevice ---
+
+SensorDevice::SensorDevice(Hardware& hw, const Config& config) : hw_(hw), config_(config) {
+  EM_ASSERT(config.period.is_positive());
+  EM_ASSERT(config.waveform_period.is_positive());
+}
+
+SensorDevice::~SensorDevice() { Stop(); }
+
+void SensorDevice::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  hw_.ArmTimer(*this, hw_.now() + config_.period);
+}
+
+void SensorDevice::Stop() {
+  running_ = false;
+  hw_.DisarmTimer(*this);
+}
+
+void SensorDevice::OnExpire(Hardware& hw) {
+  double phase = static_cast<double>(hw.now().nanos() % config_.waveform_period.nanos()) /
+                 static_cast<double>(config_.waveform_period.nanos());
+  latest_sample_ = config_.amplitude * std::sin(2.0 * 3.14159265358979323846 * phase);
+  ++sample_seq_;
+  if (config_.raise_irq) {
+    hw.irq().Raise(kIrqSensor);
+  }
+  if (running_) {
+    hw.ArmTimer(*this, hw.now() + config_.period);
+  }
+}
+
+}  // namespace emeralds

@@ -1,0 +1,134 @@
+// Simulated peripheral devices.
+//
+// The paper's target systems talk to sensors, actuators, and a 1-2 Mbit/s
+// fieldbus through user-level device drivers (Figure 1). These devices give
+// the driver-support path something real to drive: they act autonomously on
+// hardware timers, expose register-style interfaces, and raise IRQ lines.
+
+#ifndef SRC_HAL_DEVICES_H_
+#define SRC_HAL_DEVICES_H_
+
+#include <cstdint>
+
+#include "src/base/ring_buffer.h"
+#include "src/base/rng.h"
+#include "src/base/static_vector.h"
+#include "src/hal/hardware.h"
+
+namespace emeralds {
+
+// A fieldbus (CAN-like) network interface. Receives frames per a programmed
+// arrival process and raises kIrqFieldbus per frame; transmits at the
+// configured bit rate, raising the same line on TX completion (drivers read
+// the status register to demultiplex).
+class FieldbusDevice : public HardwareTimer {
+ public:
+  struct Frame {
+    uint16_t id = 0;
+    StaticVector<uint8_t, 8> payload;  // CAN-style short frames
+  };
+
+  struct Config {
+    int64_t bit_rate = 1000000;      // 1 Mbit/s
+    Duration rx_period = Milliseconds(10);
+    Duration rx_jitter = Duration(); // uniform [0, jitter) added per arrival
+    size_t rx_queue_depth = 16;
+    uint64_t seed = 1;
+  };
+
+  FieldbusDevice(Hardware& hw, const Config& config);
+  ~FieldbusDevice() override;
+
+  // Starts the periodic RX arrival process.
+  void Start();
+  void Stop();
+
+  // --- Register interface (what a driver thread touches) ---
+
+  bool rx_ready() const { return !rx_queue_.empty(); }
+  bool tx_done() const { return tx_done_; }
+  void ClearTxDone() { tx_done_ = false; }
+
+  // Pops the oldest received frame; rx_ready() must be true.
+  Frame ReadFrame();
+
+  // Begins transmitting `frame`; returns false if the transmitter is busy.
+  // Completion raises kIrqFieldbus with tx_done() set.
+  bool WriteFrame(const Frame& frame);
+  bool tx_busy() const { return tx_busy_; }
+
+  uint64_t rx_overruns() const { return rx_overruns_; }
+  uint64_t frames_received() const { return frames_received_; }
+  uint64_t frames_sent() const { return frames_sent_; }
+
+ protected:
+  void OnExpire(Hardware& hw) override;
+
+ private:
+  Duration FrameTxTime(const Frame& frame) const;
+  void ScheduleNextRx();
+
+  Hardware& hw_;
+  Config config_;
+  Rng rng_;
+  RingBuffer<Frame> rx_queue_;
+  bool running_ = false;
+  bool tx_busy_ = false;
+  bool tx_done_ = false;
+  Instant tx_complete_at_;
+  uint64_t rx_overruns_ = 0;
+  uint64_t frames_received_ = 0;
+  uint64_t frames_sent_ = 0;
+  uint16_t next_rx_id_ = 0x100;
+
+  // TX completion uses its own hardware timer so RX arrivals keep flowing
+  // while a frame is on the wire.
+  class TxTimer : public HardwareTimer {
+   public:
+    explicit TxTimer(FieldbusDevice& device) : device_(device) {}
+
+   protected:
+    void OnExpire(Hardware& hw) override;
+
+   private:
+    FieldbusDevice& device_;
+  };
+  TxTimer tx_timer_;
+};
+
+// A periodic sensor: every `period` it latches a new sample into a register
+// and (optionally) raises kIrqSensor. The sample follows a deterministic
+// waveform so control examples produce reproducible output.
+class SensorDevice : public HardwareTimer {
+ public:
+  struct Config {
+    Duration period = Milliseconds(5);
+    bool raise_irq = true;
+    double amplitude = 100.0;
+    Duration waveform_period = Milliseconds(500);
+  };
+
+  SensorDevice(Hardware& hw, const Config& config);
+  ~SensorDevice() override;
+
+  void Start();
+  void Stop();
+
+  // Latest latched sample and its sequence number (register reads).
+  double latest_sample() const { return latest_sample_; }
+  uint64_t sample_seq() const { return sample_seq_; }
+
+ protected:
+  void OnExpire(Hardware& hw) override;
+
+ private:
+  Hardware& hw_;
+  Config config_;
+  bool running_ = false;
+  double latest_sample_ = 0.0;
+  uint64_t sample_seq_ = 0;
+};
+
+}  // namespace emeralds
+
+#endif  // SRC_HAL_DEVICES_H_

@@ -1,0 +1,58 @@
+#include "src/hal/hardware.h"
+
+namespace emeralds {
+
+HardwareTimer::~HardwareTimer() {
+  // Self-disarm so timers may be destroyed in any order relative to the
+  // Hardware instance (which clears the list in its own destructor).
+  if (armed() && hardware_ != nullptr) {
+    hardware_->DisarmTimer(*this);
+  }
+}
+
+Hardware::~Hardware() { timers_.clear(); }
+
+void Hardware::ArmTimer(HardwareTimer& timer, Instant when) {
+  EM_ASSERT_MSG(when >= now(), "timer armed in the past");
+  if (timer.armed()) {
+    timers_.erase(timer);
+  }
+  timer.hardware_ = this;
+  timer.expiry_ = when;
+  timer.arm_seq_ = next_arm_seq_++;
+  // Sorted insert by (expiry, arm_seq). Timer lists are short (one per device
+  // plus the kernel's programmable timer), so the O(n) scan is irrelevant.
+  for (HardwareTimer& other : timers_) {
+    if (when < other.expiry_ || (when == other.expiry_ && timer.arm_seq_ < other.arm_seq_)) {
+      timers_.insert_before(other, timer);
+      return;
+    }
+  }
+  timers_.push_back(timer);
+}
+
+void Hardware::DisarmTimer(HardwareTimer& timer) {
+  if (timer.armed()) {
+    timers_.erase(timer);
+  }
+}
+
+Instant Hardware::NextTimerExpiry() const {
+  const HardwareTimer* first = timers_.front();
+  return first == nullptr ? Instant::Max() : first->expiry();
+}
+
+int Hardware::FireDueTimers() {
+  int fired = 0;
+  while (true) {
+    HardwareTimer* first = timers_.front();
+    if (first == nullptr || first->expiry() > now()) {
+      return fired;
+    }
+    timers_.erase(*first);
+    ++fired;
+    first->OnExpire(*this);
+  }
+}
+
+}  // namespace emeralds

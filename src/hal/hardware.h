@@ -1,0 +1,87 @@
+// The virtual hardware platform: clock + interrupt controller + hardware
+// timers.
+//
+// A HardwareTimer models any time-triggered hardware activity: the kernel's
+// programmable one-shot timer and the autonomous behaviour of simulated
+// devices (a fieldbus frame arriving, a sensor sample completing). Timers are
+// kept in an intrusive list ordered by (expiry, arm sequence) so simultaneous
+// expiries fire deterministically in arming order.
+//
+// The executive drives time: it asks for the next expiry, advances the clock,
+// and calls FireDueTimers(). Timer callbacks typically raise IRQ lines; the
+// kernel dispatches those separately (interrupts stay "disabled" while the
+// kernel is inside a critical section).
+
+#ifndef SRC_HAL_HARDWARE_H_
+#define SRC_HAL_HARDWARE_H_
+
+#include <cstdint>
+
+#include "src/base/intrusive_list.h"
+#include "src/base/time.h"
+#include "src/hal/clock.h"
+#include "src/hal/interrupts.h"
+
+namespace emeralds {
+
+class Hardware;
+
+class HardwareTimer {
+ public:
+  virtual ~HardwareTimer();
+
+  bool armed() const { return node_.linked(); }
+  Instant expiry() const { return expiry_; }
+
+ protected:
+  HardwareTimer() = default;
+
+  // Invoked by Hardware when the clock reaches the programmed expiry. The
+  // timer has already been disarmed; the callback may re-arm it.
+  virtual void OnExpire(Hardware& hw) = 0;
+
+ private:
+  friend class Hardware;
+
+  ListNode<HardwareTimer> node_;
+  Instant expiry_;
+  uint64_t arm_seq_ = 0;
+  Hardware* hardware_ = nullptr;  // set while armed, for self-disarm
+};
+
+class Hardware {
+ public:
+  Hardware() = default;
+  Hardware(const Hardware&) = delete;
+  Hardware& operator=(const Hardware&) = delete;
+  ~Hardware();
+
+  VirtualClock& clock() { return clock_; }
+  const VirtualClock& clock() const { return clock_; }
+  Instant now() const { return clock_.now(); }
+
+  InterruptController& irq() { return irq_; }
+  const InterruptController& irq() const { return irq_; }
+
+  // Arms `timer` to expire at `when` (>= now). Re-arming an armed timer
+  // reprograms it.
+  void ArmTimer(HardwareTimer& timer, Instant when);
+  void DisarmTimer(HardwareTimer& timer);
+
+  // Earliest armed expiry, or Instant::Max() if no timer is armed.
+  Instant NextTimerExpiry() const;
+
+  // Fires (and disarms) every timer whose expiry is <= now. Returns the
+  // number fired. Callbacks may arm new timers; ones due now also fire.
+  int FireDueTimers();
+
+ private:
+  VirtualClock clock_;
+  InterruptController irq_;
+  IntrusiveList<HardwareTimer, &HardwareTimer::node_> timers_;
+  uint64_t next_arm_seq_ = 0;
+};
+
+}  // namespace emeralds
+
+#endif  // SRC_HAL_HARDWARE_H_

@@ -1,0 +1,79 @@
+#include "src/hal/interrupts.h"
+
+namespace emeralds {
+
+void InterruptController::Attach(int line, IrqHandler handler, void* context) {
+  CheckLine(line);
+  lines_[line].handler = handler;
+  lines_[line].context = context;
+}
+
+void InterruptController::Detach(int line) {
+  CheckLine(line);
+  lines_[line].handler = nullptr;
+  lines_[line].context = nullptr;
+}
+
+void InterruptController::Raise(int line) {
+  CheckLine(line);
+  lines_[line].pending = true;
+  ++lines_[line].raised;
+}
+
+void InterruptController::SetEnabled(int line, bool enabled) {
+  CheckLine(line);
+  lines_[line].enabled = enabled;
+}
+
+bool InterruptController::enabled(int line) const {
+  CheckLine(line);
+  return lines_[line].enabled;
+}
+
+bool InterruptController::pending(int line) const {
+  CheckLine(line);
+  return lines_[line].pending;
+}
+
+bool InterruptController::AnyDeliverable() const {
+  if (!global_enable_) {
+    return false;
+  }
+  for (const Line& line : lines_) {
+    if (line.pending && line.enabled && line.handler != nullptr) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int InterruptController::DispatchPending() {
+  int dispatched = 0;
+  bool progressed = true;
+  while (global_enable_ && progressed) {
+    progressed = false;
+    for (int i = 0; i < kNumIrqLines; ++i) {
+      Line& line = lines_[i];
+      if (line.pending && line.enabled && line.handler != nullptr) {
+        line.pending = false;
+        ++line.dispatched;
+        ++dispatched;
+        progressed = true;
+        line.handler(line.context, i);
+      }
+    }
+  }
+  return dispatched;
+}
+
+uint64_t InterruptController::raised_count(int line) const {
+  CheckLine(line);
+  return lines_[line].raised;
+}
+
+uint64_t InterruptController::dispatched_count(int line) const {
+  CheckLine(line);
+  return lines_[line].dispatched;
+}
+
+}  // namespace emeralds

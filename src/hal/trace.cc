@@ -1,0 +1,59 @@
+#include "src/hal/trace.h"
+
+#include <cstdio>
+
+namespace emeralds {
+
+const char* TraceEventTypeToString(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kContextSwitch:
+      return "context_switch";
+    case TraceEventType::kJobRelease:
+      return "job_release";
+    case TraceEventType::kJobComplete:
+      return "job_complete";
+    case TraceEventType::kDeadlineMiss:
+      return "deadline_miss";
+    case TraceEventType::kSemAcquire:
+      return "sem_acquire";
+    case TraceEventType::kSemAcquireBlock:
+      return "sem_acquire_block";
+    case TraceEventType::kSemRelease:
+      return "sem_release";
+    case TraceEventType::kSemCseEarlyPi:
+      return "sem_cse_early_pi";
+    case TraceEventType::kPiInherit:
+      return "pi_inherit";
+    case TraceEventType::kPiRestore:
+      return "pi_restore";
+    case TraceEventType::kIrq:
+      return "irq";
+    case TraceEventType::kMsgSend:
+      return "msg_send";
+    case TraceEventType::kMsgRecv:
+      return "msg_recv";
+    case TraceEventType::kThreadExit:
+      return "thread_exit";
+  }
+  return "?";
+}
+
+size_t TraceSink::ExportCsv(std::FILE* out) const {
+  std::fprintf(out, "time_us,event,arg0,arg1\n");
+  for (size_t i = 0; i < size(); ++i) {
+    const TraceEvent& e = at(i);
+    std::fprintf(out, "%lld,%s,%d,%d\n", static_cast<long long>(e.time.micros()),
+                 TraceEventTypeToString(e.type), e.arg0, e.arg1);
+  }
+  return size();
+}
+
+void TraceSink::Dump() const {
+  for (size_t i = 0; i < size(); ++i) {
+    const TraceEvent& e = at(i);
+    std::printf("%12.3fms  %-18s %4d %4d\n", e.time.millis_f(), TraceEventTypeToString(e.type),
+                e.arg0, e.arg1);
+  }
+}
+
+}  // namespace emeralds

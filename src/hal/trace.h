@@ -1,0 +1,84 @@
+// Execution tracing.
+//
+// The trace sink records timestamped kernel events (context switches, job
+// releases, deadline misses, semaphore operations) into a bounded ring.
+// Figure 2's schedule trace and many integration tests are built on it.
+
+#ifndef SRC_HAL_TRACE_H_
+#define SRC_HAL_TRACE_H_
+
+#include <cstdint>
+#include <cstdio>
+
+#include "src/base/ring_buffer.h"
+#include "src/base/time.h"
+
+namespace emeralds {
+
+enum class TraceEventType : uint8_t {
+  kContextSwitch,   // arg0 = outgoing thread id (-1 = idle), arg1 = incoming
+  kJobRelease,      // arg0 = thread id, arg1 = job number
+  kJobComplete,     // arg0 = thread id, arg1 = job number
+  kDeadlineMiss,    // arg0 = thread id, arg1 = job number
+  kSemAcquire,      // arg0 = thread id, arg1 = semaphore id
+  kSemAcquireBlock, // arg0 = thread id, arg1 = semaphore id
+  kSemRelease,      // arg0 = thread id, arg1 = semaphore id
+  kSemCseEarlyPi,   // arg0 = thread id, arg1 = semaphore id (saved switch)
+  kPiInherit,       // arg0 = holder thread id, arg1 = donor thread id
+  kPiRestore,       // arg0 = holder thread id, arg1 = semaphore id
+  kIrq,             // arg0 = line
+  kMsgSend,         // arg0 = thread id, arg1 = object id
+  kMsgRecv,         // arg0 = thread id, arg1 = object id
+  kThreadExit,      // arg0 = thread id
+};
+
+const char* TraceEventTypeToString(TraceEventType type);
+
+struct TraceEvent {
+  Instant time;
+  TraceEventType type = TraceEventType::kContextSwitch;
+  int32_t arg0 = 0;
+  int32_t arg1 = 0;
+};
+
+class TraceSink {
+ public:
+  // `capacity` == 0 disables recording entirely (counting still works).
+  explicit TraceSink(size_t capacity)
+      : enabled_(capacity > 0), events_(capacity > 0 ? capacity : 1) {}
+
+  void Record(Instant time, TraceEventType type, int32_t arg0, int32_t arg1) {
+    ++total_recorded_;
+    if (enabled_) {
+      events_.push_overwrite(TraceEvent{time, type, arg0, arg1});
+    }
+  }
+
+  // Oldest-first access to the retained window.
+  size_t size() const { return enabled_ ? events_.size() : 0; }
+  const TraceEvent& at(size_t index) const { return events_.at(index); }
+
+  uint64_t total_recorded() const { return total_recorded_; }
+
+  void Clear() {
+    events_.clear();
+    total_recorded_ = 0;
+  }
+
+  // Writes a human-readable dump of the retained events to stdout.
+  void Dump() const;
+
+  // Writes the retained events as CSV (time_us,event,arg0,arg1) to `out`,
+  // for external plotting (Gantt charts of the schedule). Returns the number
+  // of rows written.
+  size_t ExportCsv(std::FILE* out) const;
+
+ private:
+  bool enabled_;
+  RingBuffer<TraceEvent> events_;
+  uint64_t total_recorded_ = 0;
+};
+
+}  // namespace emeralds
+
+#endif  // SRC_HAL_TRACE_H_

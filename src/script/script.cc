@@ -1,0 +1,181 @@
+#include "src/script/script.h"
+
+#include <memory>
+
+#include "src/base/assert.h"
+#include "src/core/objects.h"
+
+namespace emeralds {
+
+Action Action::Compute(Duration d) {
+  Action a;
+  a.kind = Kind::kCompute;
+  a.duration = d;
+  return a;
+}
+Action Action::Acquire(SemId sem) {
+  Action a;
+  a.kind = Kind::kAcquire;
+  a.sem = sem;
+  return a;
+}
+Action Action::Release(SemId sem) {
+  Action a;
+  a.kind = Kind::kRelease;
+  a.sem = sem;
+  return a;
+}
+Action Action::WaitPeriod() {
+  Action a;
+  a.kind = Kind::kWaitPeriod;
+  return a;
+}
+Action Action::Sleep(Duration d) {
+  Action a;
+  a.kind = Kind::kSleep;
+  a.duration = d;
+  return a;
+}
+Action Action::WaitIrq(int line) {
+  Action a;
+  a.kind = Kind::kWaitIrq;
+  a.irq_line = line;
+  return a;
+}
+Action Action::Recv(MailboxId mailbox, size_t bytes) {
+  Action a;
+  a.kind = Kind::kRecv;
+  a.mailbox = mailbox;
+  a.bytes = bytes;
+  return a;
+}
+Action Action::Send(MailboxId mailbox, size_t bytes) {
+  Action a;
+  a.kind = Kind::kSend;
+  a.mailbox = mailbox;
+  a.bytes = bytes;
+  return a;
+}
+Action Action::StateWrite(SmsgId smsg, size_t bytes) {
+  Action a;
+  a.kind = Kind::kStateWrite;
+  a.smsg = smsg;
+  a.bytes = bytes;
+  return a;
+}
+Action Action::StateRead(SmsgId smsg, size_t bytes) {
+  Action a;
+  a.kind = Kind::kStateRead;
+  a.smsg = smsg;
+  a.bytes = bytes;
+  return a;
+}
+
+bool Action::blocking() const {
+  switch (kind) {
+    case Kind::kWaitPeriod:
+    case Kind::kSleep:
+    case Kind::kWaitIrq:
+    case Kind::kRecv:
+      return true;
+    // kAcquire blocks too, but it is the *target* of hints, not a carrier;
+    // kSend may block when the mailbox is full, but the wake path for a
+    // blocked send re-enters user code at the send itself, so the paper's
+    // hint placement applies to the call *after* it — treated as a carrier.
+    case Kind::kSend:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int Instrument(Script& script) {
+  int hints = 0;
+  size_t count = script.actions.size();
+  for (size_t i = 0; i < count; ++i) {
+    Action& action = script.actions[i];
+    action.next_sem_hint = kNoSem;
+    if (!action.blocking()) {
+      continue;
+    }
+    // Scan forward (wrapping once around the loop) through non-blocking
+    // actions for the next kernel call; a kAcquire yields a hint.
+    for (size_t step = 1; step <= count; ++step) {
+      const Action& next = script.actions[(i + step) % count];
+      if (next.kind == Action::Kind::kAcquire) {
+        action.next_sem_hint = next.sem;
+        ++hints;
+        break;
+      }
+      if (next.blocking()) {
+        break;  // another blocking call intervenes: no hint
+      }
+      // kCompute / kRelease / state-message ops are looked through, exactly
+      // like straight-line code between the blocking call and acquire_sem.
+    }
+  }
+  return hints;
+}
+
+ThreadBodyFactory MakeScriptBody(Script script) {
+  auto shared = std::make_shared<Script>(std::move(script));
+  return [shared](ThreadApi api) -> ThreadBody {
+    // Scratch buffers for IPC payloads (script payload contents are don't-
+    // care bytes of the requested size).
+    uint8_t buffer[kMaxMessageBytes] = {};
+    uint64_t iterations = shared->iterations;
+    for (uint64_t iter = 0; iterations == 0 || iter < iterations; ++iter) {
+      for (const Action& action : shared->actions) {
+        switch (action.kind) {
+          case Action::Kind::kCompute:
+            co_await api.Compute(action.duration);
+            break;
+          case Action::Kind::kAcquire: {
+            Status status = co_await api.Acquire(action.sem);
+            EM_ASSERT_MSG(status == Status::kOk, "script acquire failed: %s",
+                          StatusToString(status));
+            break;
+          }
+          case Action::Kind::kRelease: {
+            Status status = co_await api.Release(action.sem);
+            EM_ASSERT_MSG(status == Status::kOk, "script release failed: %s",
+                          StatusToString(status));
+            break;
+          }
+          case Action::Kind::kWaitPeriod:
+            co_await api.WaitNextPeriod(action.next_sem_hint);
+            break;
+          case Action::Kind::kSleep:
+            co_await api.Sleep(action.duration, action.next_sem_hint);
+            break;
+          case Action::Kind::kWaitIrq:
+            co_await api.WaitIrq(action.irq_line, action.next_sem_hint);
+            break;
+          case Action::Kind::kRecv: {
+            size_t n = action.bytes < sizeof(buffer) ? action.bytes : sizeof(buffer);
+            co_await api.Recv(action.mailbox, std::span<uint8_t>(buffer, n), Duration(),
+                              action.next_sem_hint);
+            break;
+          }
+          case Action::Kind::kSend: {
+            size_t n = action.bytes < sizeof(buffer) ? action.bytes : sizeof(buffer);
+            co_await api.Send(action.mailbox, std::span<const uint8_t>(buffer, n));
+            break;
+          }
+          case Action::Kind::kStateWrite: {
+            size_t n = action.bytes < sizeof(buffer) ? action.bytes : sizeof(buffer);
+            co_await api.StateWrite(action.smsg, std::span<const uint8_t>(buffer, n));
+            break;
+          }
+          case Action::Kind::kStateRead: {
+            size_t n = action.bytes < sizeof(buffer) ? action.bytes : sizeof(buffer);
+            co_await api.StateRead(action.smsg, std::span<uint8_t>(buffer, n));
+            break;
+          }
+        }
+      }
+    }
+  };
+}
+
+}  // namespace emeralds

@@ -1,0 +1,83 @@
+// Declarative task scripts and the code-parser analogue (Section 6.2.1).
+//
+// EMERALDS's context-switch elimination needs every blocking call to carry
+// the identifier of the semaphore the task will acquire next. The paper
+// automates this with a parser over the application's C source; here task
+// code can be written as a declarative action script, and Instrument()
+// performs the identical transformation: it back-annotates each blocking
+// action with the id of the upcoming acquire (or -1), looking through
+// non-blocking actions and wrapping around the loop, "so the application
+// programmer does not have to make any manual modifications to the code".
+//
+// MakeScriptBody() turns an (instrumented) script into a thread body the
+// kernel can run.
+
+#ifndef SRC_SCRIPT_SCRIPT_H_
+#define SRC_SCRIPT_SCRIPT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/core/config.h"
+#include "src/core/ids.h"
+
+namespace emeralds {
+
+struct Action {
+  enum class Kind {
+    kCompute,     // consume CPU
+    kAcquire,     // acquire_sem
+    kRelease,     // release_sem
+    kWaitPeriod,  // end of job (blocking)
+    kSleep,       // blocking delay
+    kWaitIrq,     // blocking wait for a device interrupt
+    kRecv,        // blocking mailbox receive
+    kSend,        // mailbox send (may block when full)
+    kStateWrite,  // state-message publish (non-blocking)
+    kStateRead,   // state-message snapshot (non-blocking)
+  };
+
+  Kind kind = Kind::kCompute;
+  Duration duration;        // kCompute / kSleep
+  SemId sem;                // kAcquire / kRelease
+  MailboxId mailbox;        // kSend / kRecv
+  SmsgId smsg;              // kStateWrite / kStateRead
+  int irq_line = -1;        // kWaitIrq
+  size_t bytes = 0;         // payload size for IPC actions
+  // Filled in by Instrument(): the CSE hint attached to blocking actions.
+  SemId next_sem_hint;
+
+  static Action Compute(Duration d);
+  static Action Acquire(SemId sem);
+  static Action Release(SemId sem);
+  static Action WaitPeriod();
+  static Action Sleep(Duration d);
+  static Action WaitIrq(int line);
+  static Action Recv(MailboxId mailbox, size_t bytes);
+  static Action Send(MailboxId mailbox, size_t bytes);
+  static Action StateWrite(SmsgId smsg, size_t bytes);
+  static Action StateRead(SmsgId smsg, size_t bytes);
+
+  bool blocking() const;
+};
+
+struct Script {
+  std::vector<Action> actions;
+  // Number of times the action list repeats; 0 = repeat until the kernel
+  // stops being run.
+  uint64_t iterations = 0;
+};
+
+// The "code parser": annotates every blocking action with the semaphore id
+// of the next kAcquire, scanning through non-blocking actions and wrapping
+// around the loop boundary. Returns the number of hints inserted.
+int Instrument(Script& script);
+
+// Adapts a script into a thread body. The script is copied into the
+// coroutine, so the caller's Script may go out of scope.
+ThreadBodyFactory MakeScriptBody(Script script);
+
+}  // namespace emeralds
+
+#endif  // SRC_SCRIPT_SCRIPT_H_

@@ -1,0 +1,64 @@
+// Task-set models and the paper's workload generator.
+//
+// Figures 3-5 use randomly generated periodic workloads: periods are drawn so
+// that single-digit (5-9 ms), double-digit (10-99 ms) and triple-digit
+// (100-999 ms) values are equally likely; execution times are random and then
+// scaled until the workload becomes infeasible (breakdown). Period-divided
+// variants (/2, /3) produce Figures 4 and 5. Table 2 is the fixed ten-task
+// example whose RM schedule misses tau_5's deadline.
+
+#ifndef SRC_WORKLOAD_WORKLOAD_H_
+#define SRC_WORKLOAD_WORKLOAD_H_
+
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/time.h"
+
+namespace emeralds {
+
+struct PeriodicTask {
+  Duration period;
+  Duration wcet;
+  Duration deadline;  // relative; equals period unless set otherwise
+
+  double utilization() const {
+    return static_cast<double>(wcet.nanos()) / static_cast<double>(period.nanos());
+  }
+};
+
+struct TaskSet {
+  std::vector<PeriodicTask> tasks;
+
+  int size() const { return static_cast<int>(tasks.size()); }
+  double Utilization() const;
+
+  // Sorts shortest-period-first (rate-monotonic priority order; stable).
+  void SortByPeriod();
+  bool IsSortedByPeriod() const;
+
+  // Returns a copy with every execution time multiplied by `factor`.
+  TaskSet ScaledBy(double factor) const;
+  // Returns a copy with every period (and deadline) divided by `divisor`
+  // (Figures 4 and 5).
+  TaskSet PeriodsDividedBy(int64_t divisor) const;
+};
+
+struct WorkloadGenConfig {
+  // Uniform utilization weight range per task before normalization.
+  double min_task_weight = 0.02;
+  double max_task_weight = 0.20;
+  // Total utilization the generated set is normalized to (the breakdown
+  // search rescales from here, so the exact value only anchors the search).
+  double initial_utilization = 0.50;
+};
+
+// One random workload per the paper's recipe. Periods are whole milliseconds.
+TaskSet GenerateWorkload(Rng& rng, int num_tasks, const WorkloadGenConfig& config = {});
+
+// Table 2: U = 0.88, feasible under EDF, infeasible under RM.
+TaskSet Table2Workload();
+
+}  // namespace emeralds
+
+#endif  // SRC_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,187 @@
+// Cyclic-executive builder tests: frame-size selection, packing correctness,
+// and the rejection modes the paper cites as motivation for CSD.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/breakdown.h"
+#include "src/analysis/cyclic.h"
+#include "src/base/rng.h"
+
+namespace emeralds {
+namespace {
+
+PeriodicTask Task(int64_t period_ms, int64_t wcet_us) {
+  PeriodicTask task;
+  task.period = Milliseconds(period_ms);
+  task.deadline = task.period;
+  task.wcet = Microseconds(wcet_us);
+  return task;
+}
+
+// Every placed slice respects its frame capacity and the builder's own
+// accounting; total placed time equals total demand over the hyperperiod.
+void CheckScheduleConsistent(const TaskSet& set, const CyclicSchedule& schedule,
+                             double scale = 1.0) {
+  ASSERT_TRUE(schedule.feasible);
+  int64_t placed = 0;
+  int64_t entries = 0;
+  for (const auto& frame : schedule.frames) {
+    int64_t used = 0;
+    for (const CyclicSlice& slice : frame) {
+      EXPECT_GE(slice.task, 0);
+      EXPECT_LT(slice.task, set.size());
+      EXPECT_GT(slice.duration_us, 0);
+      used += slice.duration_us;
+      placed += slice.duration_us;
+      ++entries;
+    }
+    EXPECT_LE(used, schedule.frame_us);
+  }
+  EXPECT_EQ(entries, schedule.table_entries);
+  // Total demand over the hyperperiod: jobs-per-hyperperiod x ceil(scaled
+  // wcet in us), mirroring the builder's rounding.
+  int64_t demand = 0;
+  for (const PeriodicTask& task : set.tasks) {
+    int64_t scaled_ns =
+        static_cast<int64_t>(static_cast<double>(task.wcet.nanos()) * scale + 0.5);
+    int64_t cost_us = std::max<int64_t>((scaled_ns + 999) / 1000, 1);
+    demand += (schedule.hyperperiod_us / task.period.micros()) * cost_us;
+  }
+  EXPECT_EQ(placed, demand);
+}
+
+TEST(CyclicTest, HarmonicWorkloadBuildsCompactTable) {
+  TaskSet set;
+  set.tasks = {Task(10, 2000), Task(20, 4000), Task(40, 8000)};
+  CyclicSchedule schedule = BuildCyclicSchedule(set);
+  ASSERT_TRUE(schedule.feasible);
+  EXPECT_EQ(schedule.hyperperiod_us, 40000);
+  // Largest divisor of 40ms that holds the 8ms job and satisfies
+  // 2f - gcd(f, P) <= P for all tasks is f = 10ms... check the builder's
+  // choice satisfies the conditions instead of hard-coding it.
+  EXPECT_GE(schedule.frame_us, 8000);
+  EXPECT_EQ(schedule.hyperperiod_us % schedule.frame_us, 0);
+  CheckScheduleConsistent(set, schedule);
+  // Harmonic periods: tiny table.
+  EXPECT_LE(schedule.table_entries, 8);
+}
+
+TEST(CyclicTest, Table2RejectedByGreedyPacking) {
+  // Weakness 1 made concrete: Table 2 (U = 0.887, feasible under EDF and
+  // CSD) defeats the greedy EDF packer — "feasible workloads may get
+  // rejected". H = lcm(4,...,300) ms = 21 s.
+  TaskSet set = Table2Workload();
+  CyclicSchedule schedule = BuildCyclicSchedule(set);
+  EXPECT_FALSE(schedule.feasible);
+  EXPECT_EQ(schedule.reject, CyclicReject::kPackingFailed);
+  // Scaled to U ~= 0.62 it builds — but with a five-figure table.
+  CyclicScheduleOptions options;
+  options.scale = 0.7;
+  CyclicSchedule scaled = BuildCyclicSchedule(set, options);
+  ASSERT_TRUE(scaled.feasible);
+  EXPECT_EQ(scaled.hyperperiod_us, 21000000);
+  EXPECT_GT(scaled.table_entries, 5000);
+  CheckScheduleConsistent(set, scaled, options.scale);
+}
+
+TEST(CyclicTest, RelativelyPrimePeriodsExplodeHyperperiod) {
+  TaskSet set;
+  // 101, 103, 107, 109 ms: pairwise coprime -> H ~ 1.2e8 ms = 1.2e5 s.
+  set.tasks = {Task(101, 500), Task(103, 500), Task(107, 500), Task(109, 500)};
+  CyclicSchedule schedule = BuildCyclicSchedule(set);
+  EXPECT_FALSE(schedule.feasible);
+  EXPECT_EQ(schedule.reject, CyclicReject::kHyperperiodTooBig);
+}
+
+TEST(CyclicTest, OverUtilizedRejected) {
+  TaskSet set;
+  set.tasks = {Task(10, 6000), Task(10, 6000)};
+  CyclicSchedule schedule = BuildCyclicSchedule(set);
+  EXPECT_FALSE(schedule.feasible);
+  EXPECT_EQ(schedule.reject, CyclicReject::kOverUtilized);
+}
+
+TEST(CyclicTest, LongJobSplitsAcrossFrames) {
+  TaskSet set;
+  // A 12ms job with a 10ms-period neighbour: the containment condition caps
+  // the frame at 10ms, so the job must be sliced across frames (the manual
+  // decomposition the builder grants the baseline).
+  set.tasks = {Task(10, 1000), Task(30, 12000)};
+  CyclicSchedule schedule = BuildCyclicSchedule(set);
+  ASSERT_TRUE(schedule.feasible);
+  EXPECT_LE(schedule.frame_us, 10000);
+  int frames_with_long_task = 0;
+  for (const auto& frame : schedule.frames) {
+    for (const CyclicSlice& slice : frame) {
+      if (slice.task == 1) {
+        ++frames_with_long_task;
+      }
+    }
+  }
+  EXPECT_GE(frames_with_long_task, 2);  // genuinely split
+  CheckScheduleConsistent(set, schedule);
+}
+
+TEST(CyclicTest, FrameLimitRejectsHugeTables) {
+  TaskSet set;
+  set.tasks = {Task(10, 2000), Task(20, 4000), Task(40, 8000)};
+  CyclicScheduleOptions options;
+  options.max_frames = 2;  // H/f would need more frames than allowed
+  CyclicSchedule schedule = BuildCyclicSchedule(set, options);
+  EXPECT_FALSE(schedule.feasible);
+  EXPECT_EQ(schedule.reject, CyclicReject::kTableTooBig);
+}
+
+TEST(CyclicTest, AperiodicDelayBoundIsTwoFrames) {
+  TaskSet set;
+  set.tasks = {Task(10, 2000), Task(20, 4000)};
+  CyclicSchedule schedule = BuildCyclicSchedule(set);
+  ASSERT_TRUE(schedule.feasible);
+  EXPECT_EQ(schedule.WorstAperiodicStartDelay().micros(), 2 * schedule.frame_us);
+}
+
+TEST(CyclicTest, TableBytesCountsEntries) {
+  TaskSet set;
+  set.tasks = {Task(10, 2000), Task(20, 4000)};
+  CyclicSchedule schedule = BuildCyclicSchedule(set);
+  ASSERT_TRUE(schedule.feasible);
+  EXPECT_EQ(schedule.TableBytes(), schedule.table_entries * 6);
+}
+
+TEST(CyclicTest, RejectStringsCovered) {
+  EXPECT_STREQ(CyclicRejectToString(CyclicReject::kNone), "none");
+  EXPECT_STREQ(CyclicRejectToString(CyclicReject::kPackingFailed), "job packing failed");
+  EXPECT_STREQ(CyclicRejectToString(CyclicReject::kHyperperiodTooBig),
+               "hyperperiod too large");
+}
+
+TEST(CyclicTest, BreakdownBelowPriorityDriven) {
+  // Weakness 1 in aggregate: across random paper-recipe workloads the cyclic
+  // builder's breakdown utilization trails EDF's analytic breakdown (and is
+  // frequently zero when no schedule exists at any utilization).
+  Rng rng(31);
+  double cyclic_sum = 0.0;
+  double edf_sum = 0.0;
+  const int kTrials = 10;
+  for (int i = 0; i < kTrials; ++i) {
+    Rng trial = rng.Fork(i);
+    TaskSet set = GenerateWorkload(trial, 10);
+    cyclic_sum += CyclicBreakdownUtilization(set);
+    edf_sum += ComputeBreakdown(set, PolicySpec::Edf(), CostModel::Zero()).utilization;
+  }
+  EXPECT_LT(cyclic_sum, edf_sum);
+}
+
+TEST(CyclicTest, DeterministicOutput) {
+  TaskSet set = Table2Workload();
+  CyclicSchedule a = BuildCyclicSchedule(set);
+  CyclicSchedule b = BuildCyclicSchedule(set);
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.frame_us, b.frame_us);
+  EXPECT_EQ(a.table_entries, b.table_entries);
+}
+
+}  // namespace
+}  // namespace emeralds

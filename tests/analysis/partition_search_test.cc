@@ -1,0 +1,112 @@
+// Properties of the off-line CSD allocation search (Section 5.5.3).
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/breakdown.h"
+#include "src/base/rng.h"
+
+namespace emeralds {
+namespace {
+
+// The search maximizes over partitions, so its result can never be below the
+// breakdown of any specific partition we evaluate directly.
+TEST(PartitionSearchTest, SearchDominatesFixedPartitions) {
+  Rng rng(71);
+  CostModel cost = CostModel::MC68040_25MHz();
+  OverheadModel model(cost);
+  for (int trial = 0; trial < 5; ++trial) {
+    Rng t = rng.Fork(trial);
+    TaskSet set = GenerateWorkload(t, 20).PeriodsDividedBy(2);
+    BreakdownResult best = ComputeBreakdown(set, PolicySpec::Csd(2), cost);
+    double raw = set.Utilization();
+    for (int r = 0; r <= 20; r += 4) {
+      // Bisect the fixed partition {r, n-r}.
+      double lo = 0.0;
+      double hi = 1.02 / raw;
+      for (int iter = 0; iter < 24; ++iter) {
+        double mid = 0.5 * (lo + hi);
+        if (CsdFeasible(set, {r, 20 - r}, mid, model)) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      EXPECT_GE(best.utilization + 0.005, lo * raw) << "r=" << r;
+    }
+  }
+}
+
+// The winning partition itself must be feasible just below the reported
+// breakdown and infeasible just above it.
+TEST(PartitionSearchTest, ReportedPartitionIsTightAtBreakdown) {
+  Rng rng(72);
+  CostModel cost = CostModel::MC68040_25MHz();
+  OverheadModel model(cost);
+  for (int trial = 0; trial < 5; ++trial) {
+    Rng t = rng.Fork(trial);
+    TaskSet set = GenerateWorkload(t, 15).PeriodsDividedBy(3);
+    BreakdownResult best = ComputeBreakdown(set, PolicySpec::Csd(3), cost);
+    ASSERT_EQ(best.partition.size(), 3u);
+    double raw = set.Utilization();
+    EXPECT_TRUE(CsdFeasible(set, best.partition, (best.utilization - 0.01) / raw, model));
+    // Some OTHER partition may admit a bit more, but the search maximum means
+    // none should beat it by more than the bisection precision.
+    EXPECT_FALSE(CsdFeasible(set, best.partition, (best.utilization + 0.01) / raw, model));
+  }
+}
+
+// CSD-2 with everything in the DP queue equals EDF up to the queue-parse
+// overhead; with everything in FP it equals RM.
+TEST(PartitionSearchTest, DegenerateParititionsBracketPureSchedulers) {
+  Rng rng(73);
+  CostModel cost = CostModel::MC68040_25MHz();
+  OverheadModel model(cost);
+  TaskSet set = GenerateWorkload(rng, 12);
+  double raw = set.Utilization();
+  double edf = ComputeBreakdown(set, PolicySpec::Edf(), cost).utilization;
+  double rm = ComputeBreakdown(set, PolicySpec::Rm(), cost).utilization;
+  auto fixed_breakdown = [&](std::vector<int> sizes) {
+    double lo = 0.0;
+    double hi = 1.02 / raw;
+    for (int iter = 0; iter < 24; ++iter) {
+      double mid = 0.5 * (lo + hi);
+      if (CsdFeasible(set, sizes, mid, model)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo * raw;
+  };
+  double all_dp = fixed_breakdown({12, 0});
+  double all_fp = fixed_breakdown({0, 12});
+  EXPECT_LE(all_dp, edf + 0.005);          // parse overhead only hurts
+  EXPECT_GT(all_dp, edf - 0.03);           // ... and only slightly
+  EXPECT_NEAR(all_fp, rm, 0.02);           // FP-only CSD-2 ~= RM (+parse)
+}
+
+// Zero-cost model: the best CSD partition achieves EDF's 100% (put
+// everything in the DP queue; no parse cost to pay).
+TEST(PartitionSearchTest, ZeroCostCsdReachesFullUtilization) {
+  Rng rng(74);
+  TaskSet set = GenerateWorkload(rng, 10);
+  BreakdownResult result = ComputeBreakdown(set, PolicySpec::Csd(2), CostModel::Zero());
+  EXPECT_NEAR(result.utilization, 1.0, 0.01);
+}
+
+// BestCsdPartition at a fixed scale prefers allocations with headroom: the
+// returned partition must stay feasible at a slightly higher scale whenever
+// any partition does.
+TEST(PartitionSearchTest, BestPartitionHasHeadroom) {
+  TaskSet set = Table2Workload();
+  CostModel cost = CostModel::Zero();
+  OverheadModel model(cost);
+  std::vector<int> best = BestCsdPartition(set, 2, 1.0, cost);
+  ASSERT_FALSE(best.empty());
+  // The all-DP partition survives up to U = 1 (scale 1.127); the chosen one
+  // must match that headroom within tolerance.
+  EXPECT_TRUE(CsdFeasible(set, best, 1.10, model));
+}
+
+}  // namespace
+}  // namespace emeralds

@@ -1,0 +1,168 @@
+// StaticVector and RingBuffer unit tests.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/base/ring_buffer.h"
+#include "src/base/static_vector.h"
+
+namespace emeralds {
+namespace {
+
+TEST(StaticVectorTest, StartsEmpty) {
+  StaticVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(v.full());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(StaticVectorTest, PushAndIndex) {
+  StaticVector<int, 4> v;
+  v.push_back(10);
+  v.push_back(20);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 10);
+  EXPECT_EQ(v[1], 20);
+  EXPECT_EQ(v.front(), 10);
+  EXPECT_EQ(v.back(), 20);
+}
+
+TEST(StaticVectorTest, FullAtCapacity) {
+  StaticVector<int, 2> v;
+  v.push_back(1);
+  v.push_back(2);
+  EXPECT_TRUE(v.full());
+}
+
+TEST(StaticVectorTest, PopBackDestroys) {
+  static int live = 0;
+  struct Probe {
+    Probe() { ++live; }
+    Probe(const Probe&) { ++live; }
+    ~Probe() { --live; }
+  };
+  {
+    StaticVector<Probe, 4> v;
+    v.emplace_back();
+    v.emplace_back();
+    EXPECT_EQ(live, 2);
+    v.pop_back();
+    EXPECT_EQ(live, 1);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(StaticVectorTest, NonTrivialElements) {
+  StaticVector<std::string, 3> v;
+  v.push_back("hello");
+  v.emplace_back(5, 'x');
+  EXPECT_EQ(v[0], "hello");
+  EXPECT_EQ(v[1], "xxxxx");
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(StaticVectorTest, CopyConstructAndAssign) {
+  StaticVector<int, 4> a;
+  a.push_back(1);
+  a.push_back(2);
+  StaticVector<int, 4> b(a);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[1], 2);
+  StaticVector<int, 4> c;
+  c.push_back(9);
+  c = a;
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0], 1);
+}
+
+TEST(StaticVectorTest, EraseAtShiftsElements) {
+  StaticVector<int, 5> v;
+  for (int i = 1; i <= 5; ++i) {
+    v.push_back(i);
+  }
+  v.erase_at(1);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 3);
+  EXPECT_EQ(v[3], 5);
+}
+
+TEST(StaticVectorTest, RangeForIteration) {
+  StaticVector<int, 4> v;
+  v.push_back(1);
+  v.push_back(2);
+  v.push_back(3);
+  int sum = 0;
+  for (int x : v) {
+    sum += x;
+  }
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(RingBufferTest, PushPopFifo) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.pop(), 1);
+  EXPECT_EQ(rb.pop(), 2);
+  rb.push(4);
+  EXPECT_EQ(rb.pop(), 3);
+  EXPECT_EQ(rb.pop(), 4);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBufferTest, WrapAroundManyTimes) {
+  RingBuffer<int> rb(2);
+  for (int i = 0; i < 100; ++i) {
+    rb.push(i);
+    EXPECT_EQ(rb.pop(), i);
+  }
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBufferTest, PushOverwriteEvictsOldest) {
+  RingBuffer<int> rb(2);
+  EXPECT_FALSE(rb.push_overwrite(1));
+  EXPECT_FALSE(rb.push_overwrite(2));
+  EXPECT_TRUE(rb.push_overwrite(3));
+  EXPECT_EQ(rb.size(), 2u);
+  EXPECT_EQ(rb.pop(), 2);
+  EXPECT_EQ(rb.pop(), 3);
+}
+
+TEST(RingBufferTest, AtIndexesFromFront) {
+  RingBuffer<int> rb(3);
+  rb.push(7);
+  rb.push(8);
+  EXPECT_EQ(rb.at(0), 7);
+  EXPECT_EQ(rb.at(1), 8);
+  rb.pop();
+  rb.push(9);
+  EXPECT_EQ(rb.at(0), 8);
+  EXPECT_EQ(rb.at(1), 9);
+}
+
+TEST(RingBufferTest, FrontPeeksWithoutRemoving) {
+  RingBuffer<int> rb(2);
+  rb.push(5);
+  EXPECT_EQ(rb.front(), 5);
+  EXPECT_EQ(rb.size(), 1u);
+}
+
+TEST(RingBufferTest, ClearResets) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(3);
+  EXPECT_EQ(rb.pop(), 3);
+}
+
+}  // namespace
+}  // namespace emeralds

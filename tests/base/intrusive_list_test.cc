@@ -1,0 +1,227 @@
+#include "src/base/intrusive_list.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace emeralds {
+namespace {
+
+struct Item {
+  explicit Item(int v) : value(v) {}
+  int value;
+  ListNode<Item> node;
+  ListNode<Item> other_node;  // second membership
+};
+
+using List = IntrusiveList<Item, &Item::node>;
+using OtherList = IntrusiveList<Item, &Item::other_node>;
+
+std::vector<int> Values(List& list) {
+  std::vector<int> out;
+  for (Item& item : list) {
+    out.push_back(item.value);
+  }
+  return out;
+}
+
+TEST(IntrusiveListTest, StartsEmpty) {
+  List list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.front(), nullptr);
+  EXPECT_EQ(list.back(), nullptr);
+  EXPECT_EQ(list.pop_front(), nullptr);
+}
+
+TEST(IntrusiveListTest, PushBackPreservesOrder) {
+  List list;
+  Item a(1), b(2), c(3);
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  EXPECT_EQ(Values(list), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(list.size(), 3u);
+  list.clear();
+}
+
+TEST(IntrusiveListTest, PushFront) {
+  List list;
+  Item a(1), b(2);
+  list.push_front(a);
+  list.push_front(b);
+  EXPECT_EQ(Values(list), (std::vector<int>{2, 1}));
+  list.clear();
+}
+
+TEST(IntrusiveListTest, InsertBeforeAndAfter) {
+  List list;
+  Item a(1), b(2), c(3), d(4);
+  list.push_back(a);
+  list.push_back(c);
+  list.insert_before(c, b);
+  list.insert_after(c, d);
+  EXPECT_EQ(Values(list), (std::vector<int>{1, 2, 3, 4}));
+  list.clear();
+}
+
+TEST(IntrusiveListTest, EraseMiddle) {
+  List list;
+  Item a(1), b(2), c(3);
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  list.erase(b);
+  EXPECT_EQ(Values(list), (std::vector<int>{1, 3}));
+  EXPECT_FALSE(List::IsLinked(b));
+  EXPECT_TRUE(List::IsLinked(a));
+  list.clear();
+}
+
+TEST(IntrusiveListTest, PopFrontReturnsInOrder) {
+  List list;
+  Item a(1), b(2);
+  list.push_back(a);
+  list.push_back(b);
+  EXPECT_EQ(list.pop_front(), &a);
+  EXPECT_EQ(list.pop_front(), &b);
+  EXPECT_EQ(list.pop_front(), nullptr);
+}
+
+TEST(IntrusiveListTest, NextAndPrevNavigation) {
+  List list;
+  Item a(1), b(2), c(3);
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  EXPECT_EQ(list.next(a), &b);
+  EXPECT_EQ(list.next(c), nullptr);
+  EXPECT_EQ(list.prev(a), nullptr);
+  EXPECT_EQ(list.prev(c), &b);
+  list.clear();
+}
+
+TEST(IntrusiveListTest, DualMembership) {
+  List list;
+  OtherList other;
+  Item a(1);
+  list.push_back(a);
+  other.push_back(a);
+  EXPECT_TRUE(List::IsLinked(a));
+  EXPECT_TRUE(OtherList::IsLinked(a));
+  list.erase(a);
+  EXPECT_FALSE(List::IsLinked(a));
+  EXPECT_TRUE(OtherList::IsLinked(a));
+  other.clear();
+}
+
+TEST(IntrusiveListTest, SwapNonAdjacent) {
+  List list;
+  Item a(1), b(2), c(3), d(4), e(5);
+  for (Item* item : {&a, &b, &c, &d, &e}) {
+    list.push_back(*item);
+  }
+  list.SwapPositions(b, d);
+  EXPECT_EQ(Values(list), (std::vector<int>{1, 4, 3, 2, 5}));
+  list.clear();
+}
+
+TEST(IntrusiveListTest, SwapAdjacentForward) {
+  List list;
+  Item a(1), b(2), c(3);
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  list.SwapPositions(a, b);
+  EXPECT_EQ(Values(list), (std::vector<int>{2, 1, 3}));
+  list.clear();
+}
+
+TEST(IntrusiveListTest, SwapAdjacentBackward) {
+  List list;
+  Item a(1), b(2), c(3);
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  list.SwapPositions(c, b);  // arguments reversed relative to positions
+  EXPECT_EQ(Values(list), (std::vector<int>{1, 3, 2}));
+  list.clear();
+}
+
+TEST(IntrusiveListTest, SwapEndsOfList) {
+  List list;
+  Item a(1), b(2), c(3);
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  list.SwapPositions(a, c);
+  EXPECT_EQ(Values(list), (std::vector<int>{3, 2, 1}));
+  EXPECT_EQ(list.front()->value, 3);
+  EXPECT_EQ(list.back()->value, 1);
+  list.clear();
+}
+
+TEST(IntrusiveListTest, SwapSelfIsNoop) {
+  List list;
+  Item a(1), b(2);
+  list.push_back(a);
+  list.push_back(b);
+  list.SwapPositions(a, a);
+  EXPECT_EQ(Values(list), (std::vector<int>{1, 2}));
+  list.clear();
+}
+
+TEST(IntrusiveListTest, SwapTwoElementList) {
+  List list;
+  Item a(1), b(2);
+  list.push_back(a);
+  list.push_back(b);
+  list.SwapPositions(a, b);
+  EXPECT_EQ(Values(list), (std::vector<int>{2, 1}));
+  list.SwapPositions(a, b);
+  EXPECT_EQ(Values(list), (std::vector<int>{1, 2}));
+  list.clear();
+}
+
+TEST(IntrusiveListTest, SwapPreservesSize) {
+  List list;
+  Item a(1), b(2), c(3), d(4);
+  for (Item* item : {&a, &b, &c, &d}) {
+    list.push_back(*item);
+  }
+  list.SwapPositions(a, d);
+  list.SwapPositions(b, c);
+  EXPECT_EQ(list.size(), 4u);
+  EXPECT_EQ(Values(list), (std::vector<int>{4, 3, 2, 1}));
+  list.clear();
+}
+
+// Exhaustive SwapPositions property check over every pair in a 6-element
+// list: swapping i and j then re-reading must yield exactly the transposed
+// sequence, and swapping back must restore it.
+TEST(IntrusiveListTest, SwapAllPairsProperty) {
+  constexpr int kN = 6;
+  for (int i = 0; i < kN; ++i) {
+    for (int j = 0; j < kN; ++j) {
+      List list;
+      std::vector<Item> items;
+      items.reserve(kN);
+      for (int v = 0; v < kN; ++v) {
+        items.emplace_back(v);
+      }
+      for (Item& item : items) {
+        list.push_back(item);
+      }
+      list.SwapPositions(items[i], items[j]);
+      std::vector<int> expected{0, 1, 2, 3, 4, 5};
+      std::swap(expected[i], expected[j]);
+      EXPECT_EQ(Values(list), expected) << "i=" << i << " j=" << j;
+      list.SwapPositions(items[i], items[j]);
+      EXPECT_EQ(Values(list), (std::vector<int>{0, 1, 2, 3, 4, 5}));
+      list.clear();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emeralds

@@ -1,0 +1,121 @@
+// Model-based test: the intrusive list against std::list under long random
+// operation sequences (the scheduler queues ride on these primitives, so
+// structural drift here would corrupt scheduling silently).
+
+#include <algorithm>
+#include <list>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/intrusive_list.h"
+#include "src/base/rng.h"
+
+namespace emeralds {
+namespace {
+
+struct Item {
+  explicit Item(int v) : value(v) {}
+  int value;
+  ListNode<Item> node;
+};
+
+using List = IntrusiveList<Item, &Item::node>;
+
+class ListModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ListModelTest, MatchesStdListUnderRandomOps) {
+  Rng rng(5000 + GetParam());
+  constexpr int kItems = 24;
+  std::vector<std::unique_ptr<Item>> pool;
+  for (int i = 0; i < kItems; ++i) {
+    pool.push_back(std::make_unique<Item>(i));
+  }
+  List list;
+  std::list<int> model;
+
+  auto check = [&]() {
+    ASSERT_EQ(list.size(), model.size());
+    auto it = model.begin();
+    for (Item& item : list) {
+      ASSERT_NE(it, model.end());
+      EXPECT_EQ(item.value, *it);
+      ++it;
+    }
+    if (!model.empty()) {
+      EXPECT_EQ(list.front()->value, model.front());
+      EXPECT_EQ(list.back()->value, model.back());
+    } else {
+      EXPECT_EQ(list.front(), nullptr);
+    }
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    int op = static_cast<int>(rng.UniformInt(0, 5));
+    Item& candidate = *pool[rng.UniformInt(0, kItems - 1)];
+    bool linked = List::IsLinked(candidate);
+    switch (op) {
+      case 0:  // push_back
+        if (!linked) {
+          list.push_back(candidate);
+          model.push_back(candidate.value);
+        }
+        break;
+      case 1:  // push_front
+        if (!linked) {
+          list.push_front(candidate);
+          model.push_front(candidate.value);
+        }
+        break;
+      case 2:  // erase
+        if (linked) {
+          list.erase(candidate);
+          model.erase(std::find(model.begin(), model.end(), candidate.value));
+        }
+        break;
+      case 3: {  // insert_before a random linked anchor
+        if (linked || list.empty()) {
+          break;
+        }
+        size_t index = static_cast<size_t>(rng.UniformInt(0, static_cast<int>(list.size()) - 1));
+        Item* anchor = list.front();
+        for (size_t i = 0; i < index; ++i) {
+          anchor = list.next(*anchor);
+        }
+        list.insert_before(*anchor, candidate);
+        auto it = std::find(model.begin(), model.end(), anchor->value);
+        model.insert(it, candidate.value);
+        break;
+      }
+      case 4: {  // SwapPositions of two linked items
+        Item& other = *pool[rng.UniformInt(0, kItems - 1)];
+        if (!linked || !List::IsLinked(other)) {
+          break;
+        }
+        list.SwapPositions(candidate, other);
+        auto a = std::find(model.begin(), model.end(), candidate.value);
+        auto b = std::find(model.begin(), model.end(), other.value);
+        std::iter_swap(a, b);
+        break;
+      }
+      default:  // pop_front
+        if (!model.empty()) {
+          Item* popped = list.pop_front();
+          ASSERT_NE(popped, nullptr);
+          EXPECT_EQ(popped->value, model.front());
+          model.pop_front();
+        }
+        break;
+    }
+    if (step % 97 == 0) {
+      check();
+    }
+  }
+  check();
+  list.clear();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ListModelTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace emeralds

@@ -1,0 +1,190 @@
+// Time, Status/Result, Rng, and math helper tests.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/base/math.h"
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/base/time.h"
+
+namespace emeralds {
+namespace {
+
+TEST(TimeTest, DurationConstruction) {
+  EXPECT_EQ(Microseconds(3).nanos(), 3000);
+  EXPECT_EQ(Milliseconds(2).micros(), 2000);
+  EXPECT_EQ(Seconds(1).millis(), 1000);
+  EXPECT_EQ(MicrosecondsF(0.25).nanos(), 250);
+  EXPECT_EQ(MicrosecondsF(0.36).nanos(), 360);
+  EXPECT_EQ(MillisecondsF(1.5).micros(), 1500);
+}
+
+TEST(TimeTest, DurationArithmetic) {
+  Duration d = Milliseconds(3) + Microseconds(500);
+  EXPECT_EQ(d.micros(), 3500);
+  EXPECT_EQ((d - Milliseconds(1)).micros(), 2500);
+  EXPECT_EQ((Microseconds(10) * 4).micros(), 40);
+  EXPECT_EQ((Milliseconds(10) / 4).micros(), 2500);
+  EXPECT_EQ(Milliseconds(10) / Milliseconds(3), 3);
+}
+
+TEST(TimeTest, DurationComparison) {
+  EXPECT_LT(Microseconds(999), Milliseconds(1));
+  EXPECT_EQ(Microseconds(1000), Milliseconds(1));
+  EXPECT_TRUE(Duration().is_zero());
+  EXPECT_TRUE(Microseconds(1).is_positive());
+  EXPECT_TRUE((-Microseconds(1)).is_negative());
+}
+
+TEST(TimeTest, InstantArithmetic) {
+  Instant t = Instant() + Milliseconds(5);
+  EXPECT_EQ(t.nanos(), 5000000);
+  EXPECT_EQ((t - Instant()).millis(), 5);
+  EXPECT_LT(t, t + Microseconds(1));
+  EXPECT_GT(Instant::Max(), t);
+}
+
+TEST(TimeTest, FormatDuration) {
+  char buf[32];
+  EXPECT_STREQ(FormatDuration(Nanoseconds(12), buf, sizeof(buf)), "12ns");
+  EXPECT_STREQ(FormatDuration(Microseconds(12), buf, sizeof(buf)), "12.000us");
+  EXPECT_STREQ(FormatDuration(Milliseconds(3), buf, sizeof(buf)), "3.000ms");
+  EXPECT_STREQ(FormatDuration(Seconds(2), buf, sizeof(buf)), "2.000s");
+}
+
+TEST(StatusTest, ToStringCoversCodes) {
+  EXPECT_STREQ(StatusToString(Status::kOk), "kOk");
+  EXPECT_STREQ(StatusToString(Status::kTimedOut), "kTimedOut");
+  EXPECT_STREQ(StatusToString(Status::kWouldBlock), "kWouldBlock");
+  EXPECT_STREQ(StatusToString(Status::kPermissionDenied), "kPermissionDenied");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.status(), Status::kOk);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::kNotFound);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status(), Status::kNotFound);
+}
+
+TEST(ResultTest, NonTrivialValueLifetime) {
+  static int live = 0;
+  struct Probe {
+    Probe() { ++live; }
+    Probe(const Probe&) { ++live; }
+    Probe(Probe&&) { ++live; }
+    ~Probe() { --live; }
+  };
+  {
+    Result<Probe> r{Probe()};
+    EXPECT_TRUE(r.ok());
+    EXPECT_GE(live, 1);
+    Result<Probe> copy = r;
+    EXPECT_TRUE(copy.ok());
+    Result<Probe> err(Status::kBusy);
+    err = r;
+    EXPECT_TRUE(err.ok());
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(ResultTest, TakeValueMovesOut) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  std::unique_ptr<int> p = r.take_value();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ForkIndependentStreams) {
+  Rng root(5);
+  Rng a = root.Fork(0);
+  Rng b = root.Fork(1);
+  EXPECT_NE(a.Next(), b.Next());
+  // Forking is deterministic.
+  Rng a2 = root.Fork(0);
+  a2.Next();  // consume one to align with `a` above
+  Rng a3 = root.Fork(0);
+  EXPECT_EQ(a3.Next(), Rng(5).Fork(0).Next());
+}
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(10, 5), 2);
+  EXPECT_EQ(CeilDiv(11, 5), 3);
+  EXPECT_EQ(CeilDiv(0, 5), 0);
+  EXPECT_EQ(CeilDiv(1, 1), 1);
+}
+
+TEST(MathTest, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(8), 3);
+  EXPECT_EQ(CeilLog2(9), 4);
+  // Table 1 usage: ceil(log2(n + 1)).
+  EXPECT_EQ(CeilLog2(15 + 1), 4);
+  EXPECT_EQ(CeilLog2(58 + 1), 6);
+}
+
+TEST(MathTest, GcdLcm) {
+  EXPECT_EQ(Gcd(12, 18), 6);
+  EXPECT_EQ(Gcd(7, 5), 1);
+  EXPECT_EQ(LcmSaturating(4, 6), 12);
+  EXPECT_EQ(LcmSaturating(0, 6), 0);
+  // Coprime 2^40 and 2^40+1: the true LCM (~2^80) overflows and saturates.
+  EXPECT_EQ(LcmSaturating(int64_t{1} << 40, (int64_t{1} << 40) + 1), INT64_MAX);
+}
+
+}  // namespace
+}  // namespace emeralds

@@ -1,0 +1,215 @@
+// Condition-variable tests: wait/signal/broadcast, mutex re-acquisition,
+// priority-ordered wakeup.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/kernel_env.h"
+
+namespace emeralds {
+namespace {
+
+ThreadParams Aperiodic(const char* name, ThreadBodyFactory body) {
+  ThreadParams params;
+  params.name = name;
+  params.body = std::move(body);
+  return params;
+}
+
+TEST(CondvarTest, SignalWakesOneWaiter) {
+  SimEnv env(ZeroCostConfig());
+  SemId mutex = env.k().CreateSemaphore("m").value();
+  CondvarId cv = env.k().CreateCondvar("cv").value();
+  bool flag = false;
+  int64_t woke_us = -1;
+
+  env.k().CreateThread(Aperiodic("waiter", [&](ThreadApi api) -> ThreadBody {
+    co_await api.Acquire(mutex);
+    while (!flag) {
+      co_await api.Wait(cv, mutex);
+    }
+    woke_us = api.now().micros();
+    co_await api.Release(mutex);
+  }));
+  env.k().CreateThread(Aperiodic("signaller", [&](ThreadApi api) -> ThreadBody {
+    co_await api.Sleep(Milliseconds(5));
+    co_await api.Acquire(mutex);
+    flag = true;
+    co_await api.Signal(cv);
+    co_await api.Release(mutex);
+  }));
+  env.StartAndRunFor(Milliseconds(10));
+  EXPECT_EQ(woke_us, 5000);
+}
+
+TEST(CondvarTest, WaitReleasesMutex) {
+  SimEnv env(ZeroCostConfig());
+  SemId mutex = env.k().CreateSemaphore("m").value();
+  CondvarId cv = env.k().CreateCondvar("cv").value();
+  bool other_got_mutex = false;
+
+  env.k().CreateThread(Aperiodic("waiter", [&](ThreadApi api) -> ThreadBody {
+    co_await api.Acquire(mutex);
+    co_await api.Wait(cv, mutex);  // must release the mutex while waiting
+    co_await api.Release(mutex);
+  }));
+  env.k().CreateThread(Aperiodic("prober", [&](ThreadApi api) -> ThreadBody {
+    co_await api.Sleep(Milliseconds(1));
+    Status status = co_await api.Acquire(mutex);
+    other_got_mutex = status == Status::kOk;
+    co_await api.Release(mutex);
+  }));
+  env.StartAndRunFor(Milliseconds(5));
+  EXPECT_TRUE(other_got_mutex);
+}
+
+TEST(CondvarTest, WokenWaiterHoldsMutexAgain) {
+  SimEnv env(ZeroCostConfig());
+  SemId mutex = env.k().CreateSemaphore("m").value();
+  CondvarId cv = env.k().CreateCondvar("cv").value();
+  bool checked = false;
+
+  env.k().CreateThread(Aperiodic("waiter", [&](ThreadApi api) -> ThreadBody {
+    co_await api.Acquire(mutex);
+    co_await api.Wait(cv, mutex);
+    // On resume we must own the mutex: release must succeed.
+    Status status = co_await api.Release(mutex);
+    checked = status == Status::kOk;
+  }));
+  env.k().CreateThread(Aperiodic("signaller", [&](ThreadApi api) -> ThreadBody {
+    co_await api.Sleep(Milliseconds(1));
+    co_await api.Signal(cv);
+  }));
+  env.StartAndRunFor(Milliseconds(5));
+  EXPECT_TRUE(checked);
+}
+
+TEST(CondvarTest, SignalWhenMutexHeldDefersWakeup) {
+  SimEnv env(ZeroCostConfig());
+  SemId mutex = env.k().CreateSemaphore("m").value();
+  CondvarId cv = env.k().CreateCondvar("cv").value();
+  int64_t woke_us = -1;
+
+  env.k().CreateThread(Aperiodic("waiter", [&](ThreadApi api) -> ThreadBody {
+    co_await api.Acquire(mutex);
+    co_await api.Wait(cv, mutex);
+    woke_us = api.now().micros();
+    co_await api.Release(mutex);
+  }));
+  // Signaller holds the mutex over the signal and for 3ms after.
+  env.k().CreateThread(Aperiodic("signaller", [&](ThreadApi api) -> ThreadBody {
+    co_await api.Sleep(Milliseconds(1));
+    co_await api.Acquire(mutex);
+    co_await api.Signal(cv);
+    co_await api.Compute(Milliseconds(3));  // waiter must not run yet
+    co_await api.Release(mutex);
+  }));
+  env.StartAndRunFor(Milliseconds(10));
+  EXPECT_EQ(woke_us, 4000);  // only after the mutex was released
+}
+
+TEST(CondvarTest, BroadcastWakesAll) {
+  SimEnv env(ZeroCostConfig());
+  SemId mutex = env.k().CreateSemaphore("m").value();
+  CondvarId cv = env.k().CreateCondvar("cv").value();
+  int woken = 0;
+  for (int i = 0; i < 4; ++i) {
+    env.k().CreateThread(Aperiodic("waiter", [&](ThreadApi api) -> ThreadBody {
+      co_await api.Acquire(mutex);
+      co_await api.Wait(cv, mutex);
+      ++woken;
+      co_await api.Release(mutex);
+    }));
+  }
+  env.k().CreateThread(Aperiodic("b", [&](ThreadApi api) -> ThreadBody {
+    co_await api.Sleep(Milliseconds(1));
+    co_await api.Broadcast(cv);
+  }));
+  env.StartAndRunFor(Milliseconds(5));
+  EXPECT_EQ(woken, 4);
+}
+
+TEST(CondvarTest, SignalWithNoWaitersIsNoop) {
+  SimEnv env(ZeroCostConfig());
+  CondvarId cv = env.k().CreateCondvar("cv").value();
+  Status status = Status::kInvalidArgument;
+  env.k().CreateThread(Aperiodic("s", [&](ThreadApi api) -> ThreadBody {
+    status = co_await api.Signal(cv);
+  }));
+  env.StartAndRunFor(Milliseconds(1));
+  EXPECT_EQ(status, Status::kOk);
+}
+
+TEST(CondvarTest, HighestPriorityWaiterWokenFirst) {
+  SimEnv env(ZeroCostConfig(SchedulerSpec::Edf()));
+  SemId mutex = env.k().CreateSemaphore("m").value();
+  CondvarId cv = env.k().CreateCondvar("cv").value();
+  std::vector<char> order;
+
+  ThreadParams lo;
+  lo.name = "lo";
+  lo.period = Milliseconds(100);  // later deadline: lower priority
+  lo.body = [&](ThreadApi api) -> ThreadBody {
+    co_await api.Acquire(mutex);
+    co_await api.Wait(cv, mutex);
+    order.push_back('L');
+    co_await api.Release(mutex);
+    co_await api.WaitNextPeriod();
+  };
+  env.k().CreateThread(lo);
+  ThreadParams hi;
+  hi.name = "hi";
+  hi.period = Milliseconds(50);
+  hi.first_release = Microseconds(100);
+  hi.body = [&](ThreadApi api) -> ThreadBody {
+    co_await api.Acquire(mutex);
+    co_await api.Wait(cv, mutex);
+    order.push_back('H');
+    co_await api.Release(mutex);
+    co_await api.WaitNextPeriod();
+  };
+  env.k().CreateThread(hi);
+  ThreadParams sig;
+  sig.name = "sig";
+  sig.body = [&](ThreadApi api) -> ThreadBody {
+    co_await api.Sleep(Milliseconds(1));
+    co_await api.Signal(cv);
+    co_await api.Sleep(Milliseconds(1));
+    co_await api.Signal(cv);
+  };
+  env.k().CreateThread(sig);
+  env.StartAndRunFor(Milliseconds(10));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 'H');
+  EXPECT_EQ(order[1], 'L');
+}
+
+TEST(CondvarTest, WaitWithoutMutexFails) {
+  SimEnv env(ZeroCostConfig());
+  SemId mutex = env.k().CreateSemaphore("m").value();
+  CondvarId cv = env.k().CreateCondvar("cv").value();
+  Status status = Status::kOk;
+  env.k().CreateThread(Aperiodic("w", [&](ThreadApi api) -> ThreadBody {
+    status = co_await api.Wait(cv, mutex);  // does not hold the mutex
+  }));
+  env.StartAndRunFor(Milliseconds(1));
+  EXPECT_EQ(status, Status::kFailedPrecondition);
+}
+
+TEST(CondvarTest, BadHandlesRejected) {
+  SimEnv env(ZeroCostConfig());
+  SemId mutex = env.k().CreateSemaphore("m").value();
+  Status wait_status = Status::kOk;
+  Status signal_status = Status::kOk;
+  env.k().CreateThread(Aperiodic("w", [&](ThreadApi api) -> ThreadBody {
+    wait_status = co_await api.Wait(CondvarId(9), mutex);
+    signal_status = co_await api.Signal(CondvarId(9));
+  }));
+  env.StartAndRunFor(Milliseconds(1));
+  EXPECT_EQ(wait_status, Status::kBadHandle);
+  EXPECT_EQ(signal_status, Status::kBadHandle);
+}
+
+}  // namespace
+}  // namespace emeralds

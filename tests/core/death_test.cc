@@ -1,0 +1,117 @@
+// Death tests: programming errors the kernel turns into panics rather than
+// silent corruption.
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/kernel_env.h"
+
+namespace emeralds {
+namespace {
+
+ThreadParams Aperiodic(const char* name, ThreadBodyFactory body) {
+  ThreadParams params;
+  params.name = name;
+  params.body = std::move(body);
+  return params;
+}
+
+using KernelDeathTest = ::testing::Test;
+
+TEST(KernelDeathTest, RecursiveAcquirePanics) {
+  auto run = [] {
+    SimEnv env(ZeroCostConfig());
+    SemId sem = env.k().CreateSemaphore("m").value();
+    env.k().CreateThread(Aperiodic("rec", [sem](ThreadApi api) -> ThreadBody {
+      co_await api.Acquire(sem);
+      co_await api.Acquire(sem);  // recursive: not supported, must panic
+    }));
+    env.StartAndRunFor(Milliseconds(1));
+  };
+  EXPECT_DEATH(run(), "recursive acquire");
+}
+
+TEST(KernelDeathTest, ExitWhileHoldingSemaphorePanics) {
+  auto run = [] {
+    SimEnv env(ZeroCostConfig());
+    SemId sem = env.k().CreateSemaphore("m").value();
+    env.k().CreateThread(Aperiodic("leaker", [sem](ThreadApi api) -> ThreadBody {
+      co_await api.Acquire(sem);
+      // returns without releasing
+    }));
+    env.StartAndRunFor(Milliseconds(1));
+  };
+  EXPECT_DEATH(run(), "exited while holding");
+}
+
+TEST(KernelDeathTest, WaitNextPeriodOnAperiodicPanics) {
+  auto run = [] {
+    SimEnv env(ZeroCostConfig());
+    env.k().CreateThread(Aperiodic("oops", [](ThreadApi api) -> ThreadBody {
+      co_await api.WaitNextPeriod();
+    }));
+    env.StartAndRunFor(Milliseconds(1));
+  };
+  EXPECT_DEATH(run(), "aperiodic");
+}
+
+TEST(KernelDeathTest, StartTwicePanics) {
+  auto run = [] {
+    SimEnv env(ZeroCostConfig());
+    env.k().Start();
+    env.k().Start();
+  };
+  EXPECT_DEATH(run(), "Start");
+}
+
+TEST(KernelDeathTest, RunBeforeStartPanics) {
+  auto run = [] {
+    SimEnv env(ZeroCostConfig());
+    env.k().RunUntil(Instant() + Milliseconds(1));
+  };
+  EXPECT_DEATH(run(), "before Start");
+}
+
+TEST(KernelDeathTest, CreateThreadAfterStartPanics) {
+  auto run = [] {
+    SimEnv env(ZeroCostConfig());
+    env.k().Start();
+    ThreadParams params;
+    params.name = "late";
+    params.body = [](ThreadApi api) -> ThreadBody { co_return; };
+    env.k().CreateThread(params);
+  };
+  EXPECT_DEATH(run(), "before Start");
+}
+
+TEST(KernelDeathTest, MixedExplicitAndAutoRanksPanic) {
+  auto run = [] {
+    SimEnv env(ZeroCostConfig(SchedulerSpec::Rm()));
+    ThreadParams a;
+    a.name = "explicit";
+    a.period = Milliseconds(10);
+    a.rm_rank = 0;
+    a.body = [](ThreadApi api) -> ThreadBody { co_return; };
+    env.k().CreateThread(a);
+    ThreadParams b;
+    b.name = "auto";
+    b.period = Milliseconds(20);
+    b.body = [](ThreadApi api) -> ThreadBody { co_return; };
+    env.k().CreateThread(b);
+    env.k().Start();
+  };
+  EXPECT_DEATH(run(), "rm_rank");
+}
+
+TEST(PanicHookTest, HookRunsBeforeAbort) {
+  PanicHook old = SetPanicHook([](const char* file, int line, const char* message) {
+    // The hook runs in the death-test child; print so the parent can match.
+    std::fprintf(stderr, "hook saw: %s at line %d of %s\n", message, line, file);
+  });
+  EXPECT_DEATH(EM_PANIC("custom failure %d", 42), "hook saw: custom failure 42");
+  SetPanicHook(old);
+}
+
+}  // namespace
+}  // namespace emeralds

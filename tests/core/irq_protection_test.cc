@@ -1,0 +1,244 @@
+// User-level device-driver support (IRQ routing to threads) and memory
+// protection (processes, shared regions, object ACLs).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/hal/devices.h"
+#include "tests/testing/kernel_env.h"
+
+namespace emeralds {
+namespace {
+
+ThreadParams Aperiodic(const char* name, ThreadBodyFactory body) {
+  ThreadParams params;
+  params.name = name;
+  params.body = std::move(body);
+  return params;
+}
+
+TEST(IrqTest, DriverThreadWokenByInterrupt) {
+  SimEnv env(ZeroCostConfig());
+  SensorDevice::Config sensor_config;
+  sensor_config.period = Milliseconds(5);
+  SensorDevice sensor(env.hw, sensor_config);
+  std::vector<int64_t> service_times_us;
+
+  ThreadParams driver = Aperiodic("driver", [&](ThreadApi api) -> ThreadBody {
+    for (int i = 0; i < 3; ++i) {
+      co_await api.WaitIrq(kIrqSensor);
+      service_times_us.push_back(api.now().micros());
+    }
+  });
+  ThreadId driver_id = env.k().CreateThread(driver).value();
+  ASSERT_EQ(env.k().BindIrqThread(driver_id, kIrqSensor), Status::kOk);
+  sensor.Start();
+  env.StartAndRunFor(Milliseconds(20));
+  EXPECT_EQ(service_times_us, (std::vector<int64_t>{5000, 10000, 15000}));
+}
+
+TEST(IrqTest, PendingIrqLatchedWhileDriverBusy) {
+  SimEnv env(ZeroCostConfig());
+  int serviced = 0;
+  ThreadParams driver = Aperiodic("driver", [&](ThreadApi api) -> ThreadBody {
+    co_await api.Sleep(Milliseconds(10));  // miss some interrupts
+    for (int i = 0; i < 3; ++i) {
+      co_await api.WaitIrq(kIrqFieldbus);
+      ++serviced;
+    }
+  });
+  ThreadId driver_id = env.k().CreateThread(driver).value();
+  env.k().BindIrqThread(driver_id, kIrqFieldbus);
+  FieldbusDevice::Config bus_config;
+  bus_config.rx_period = Milliseconds(3);
+  FieldbusDevice bus(env.hw, bus_config);
+  bus.Start();
+  env.StartAndRunFor(Milliseconds(12));
+  // IRQs at 3, 6, 9 were latched; the driver drained them at t=10 without
+  // blocking (10/3 -> 3 pending).
+  EXPECT_EQ(serviced, 3);
+}
+
+TEST(IrqTest, WaitIrqByUnboundThreadDenied) {
+  SimEnv env(ZeroCostConfig());
+  Status status = Status::kOk;
+  env.k().CreateThread(Aperiodic("rogue", [&](ThreadApi api) -> ThreadBody {
+    status = co_await api.WaitIrq(kIrqSensor);
+  }));
+  env.StartAndRunFor(Milliseconds(1));
+  EXPECT_EQ(status, Status::kPermissionDenied);
+}
+
+TEST(IrqTest, BindValidation) {
+  SimEnv env(ZeroCostConfig());
+  ThreadParams t = Aperiodic("d", [](ThreadApi api) -> ThreadBody { co_return; });
+  ThreadId id = env.k().CreateThread(t).value();
+  EXPECT_EQ(env.k().BindIrqThread(id, kIrqTimer), Status::kInvalidArgument);  // reserved
+  EXPECT_EQ(env.k().BindIrqThread(id, 99), Status::kInvalidArgument);
+  EXPECT_EQ(env.k().BindIrqThread(ThreadId(55), kIrqSensor), Status::kBadHandle);
+  EXPECT_EQ(env.k().BindIrqThread(id, kIrqSensor), Status::kOk);
+}
+
+TEST(IrqTest, DriverRespondsAtItsPriority) {
+  // The ISR stub only wakes the driver; the driver runs at thread priority,
+  // after any higher-priority work (user-level device drivers, Figure 1).
+  SimEnv env(ZeroCostConfig(SchedulerSpec::Edf()));
+  SensorDevice::Config sensor_config;
+  sensor_config.period = Milliseconds(4);
+  SensorDevice sensor(env.hw, sensor_config);
+  int64_t serviced_at_us = -1;
+
+  ThreadParams driver;
+  driver.name = "driver";
+  driver.period = Milliseconds(100);  // low priority (long deadline)
+  driver.body = [&](ThreadApi api) -> ThreadBody {
+    co_await api.WaitIrq(kIrqSensor);
+    serviced_at_us = api.now().micros();
+    co_await api.WaitNextPeriod();
+  };
+  ThreadId driver_id = env.k().CreateThread(driver).value();
+  env.k().BindIrqThread(driver_id, kIrqSensor);
+
+  // High-priority periodic busy thread running when the IRQ lands.
+  ThreadParams busy;
+  busy.name = "busy";
+  busy.period = Milliseconds(10);
+  busy.first_release = Milliseconds(3);
+  busy.body = [&](ThreadApi api) -> ThreadBody {
+    co_await api.Compute(Milliseconds(3));
+    co_await api.WaitNextPeriod();
+  };
+  env.k().CreateThread(busy);
+  sensor.Start();
+  env.StartAndRunFor(Milliseconds(10));
+  // IRQ at t=4 while `busy` (deadline 13 < driver's 100) runs until t=6.
+  EXPECT_EQ(serviced_at_us, 6000);
+}
+
+TEST(ProtectionTest, RegionRequiresMapping) {
+  SimEnv env(ZeroCostConfig());
+  ProcessId app = env.k().CreateProcess("app").value();
+  RegionId region = env.k().CreateRegion("shm", 128).value();
+  size_t unmapped_size = 99;
+  size_t mapped_size = 0;
+
+  ThreadParams t;
+  t.name = "t";
+  t.process = app;
+  t.body = [&](ThreadApi api) -> ThreadBody {
+    unmapped_size = api.RegionData(region, /*write=*/false).size();
+    co_await api.Sleep(Milliseconds(2));
+    mapped_size = api.RegionData(region, false).size();
+  };
+  env.k().CreateThread(t);
+  env.k().MapRegion(app, region, true, false);  // map before Start; the
+  // first read below still sees it, so unmap to exercise the deny path.
+  env.k().MapRegion(app, region, false, false);
+  env.k().Start();
+  env.k().RunUntil(Instant() + Milliseconds(1));
+  env.k().MapRegion(app, region, true, true);
+  env.k().RunUntil(Instant() + Milliseconds(5));
+  EXPECT_EQ(unmapped_size, 0u);
+  EXPECT_EQ(mapped_size, 128u);
+}
+
+TEST(ProtectionTest, WriteMappingEnforced) {
+  SimEnv env(ZeroCostConfig());
+  ProcessId app = env.k().CreateProcess("app").value();
+  RegionId region = env.k().CreateRegion("shm", 64).value();
+  env.k().MapRegion(app, region, true, false);  // read-only
+  size_t writable = 99;
+  size_t readable = 0;
+  ThreadParams t;
+  t.name = "t";
+  t.process = app;
+  t.body = [&](ThreadApi api) -> ThreadBody {
+    readable = api.RegionData(region, false).size();
+    writable = api.RegionData(region, true).size();
+    co_return;
+  };
+  env.k().CreateThread(t);
+  env.StartAndRunFor(Milliseconds(1));
+  EXPECT_EQ(readable, 64u);
+  EXPECT_EQ(writable, 0u);
+}
+
+TEST(ProtectionTest, SharedRegionVisibleAcrossProcesses) {
+  SimEnv env(ZeroCostConfig());
+  ProcessId p1 = env.k().CreateProcess("p1").value();
+  ProcessId p2 = env.k().CreateProcess("p2").value();
+  RegionId region = env.k().CreateRegion("shm", 16).value();
+  env.k().MapRegion(p1, region, true, true);
+  env.k().MapRegion(p2, region, true, false);
+  uint8_t seen = 0;
+
+  ThreadParams writer;
+  writer.name = "writer";
+  writer.process = p1;
+  writer.body = [&](ThreadApi api) -> ThreadBody {
+    api.RegionData(region, true)[3] = 0x5a;
+    co_return;
+  };
+  env.k().CreateThread(writer);
+  ThreadParams reader;
+  reader.name = "reader";
+  reader.process = p2;
+  reader.body = [&](ThreadApi api) -> ThreadBody {
+    co_await api.Sleep(Milliseconds(1));
+    seen = api.RegionData(region, false)[3];
+  };
+  env.k().CreateThread(reader);
+  env.StartAndRunFor(Milliseconds(3));
+  EXPECT_EQ(seen, 0x5a);
+}
+
+TEST(ProtectionTest, SemaphoreAclEnforced) {
+  SimEnv env(ZeroCostConfig());
+  ProcessId trusted = env.k().CreateProcess("trusted").value();
+  ProcessId untrusted = env.k().CreateProcess("untrusted").value();
+  SemId sem =
+      env.k().CreateSemaphore("locked-down", 1, AccessPolicy::Only({trusted})).value();
+  Status trusted_status = Status::kPermissionDenied;
+  Status untrusted_status = Status::kOk;
+
+  ThreadParams good;
+  good.name = "good";
+  good.process = trusted;
+  good.body = [&](ThreadApi api) -> ThreadBody {
+    trusted_status = co_await api.Acquire(sem);
+    co_await api.Release(sem);
+  };
+  env.k().CreateThread(good);
+  ThreadParams bad;
+  bad.name = "bad";
+  bad.process = untrusted;
+  bad.body = [&](ThreadApi api) -> ThreadBody {
+    untrusted_status = co_await api.Acquire(sem);
+  };
+  env.k().CreateThread(bad);
+  env.StartAndRunFor(Milliseconds(1));
+  EXPECT_EQ(trusted_status, Status::kOk);
+  EXPECT_EQ(untrusted_status, Status::kPermissionDenied);
+}
+
+TEST(ProtectionTest, MailboxAclEnforced) {
+  SimEnv env(ZeroCostConfig());
+  ProcessId a = env.k().CreateProcess("a").value();
+  ProcessId b = env.k().CreateProcess("b").value();
+  MailboxId mbox = env.k().CreateMailbox("private", 2, AccessPolicy::Only({a})).value();
+  Status denied = Status::kOk;
+  ThreadParams t;
+  t.name = "intruder";
+  t.process = b;
+  t.body = [&](ThreadApi api) -> ThreadBody {
+    uint8_t payload[1] = {1};
+    denied = co_await api.Send(mbox, payload);
+  };
+  env.k().CreateThread(t);
+  env.StartAndRunFor(Milliseconds(1));
+  EXPECT_EQ(denied, Status::kPermissionDenied);
+}
+
+}  // namespace
+}  // namespace emeralds

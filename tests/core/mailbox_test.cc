@@ -1,0 +1,275 @@
+// Mailbox IPC tests: send/receive, blocking semantics on both ends,
+// timeouts, priority-ordered waiters, and the CSE hint on receive.
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/kernel_env.h"
+
+namespace emeralds {
+namespace {
+
+ThreadParams Aperiodic(const char* name, ThreadBodyFactory body) {
+  ThreadParams params;
+  params.name = name;
+  params.body = std::move(body);
+  return params;
+}
+
+std::span<const uint8_t> Bytes(const char* s) {
+  return std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(s), std::strlen(s));
+}
+
+TEST(MailboxTest, SendThenReceive) {
+  SimEnv env(ZeroCostConfig());
+  MailboxId mbox = env.k().CreateMailbox("m", 4).value();
+  char received[16] = {};
+  size_t received_len = 0;
+
+  env.k().CreateThread(Aperiodic("sender", [&](ThreadApi api) -> ThreadBody {
+    co_await api.Send(mbox, Bytes("hello"));
+  }));
+  env.k().CreateThread(Aperiodic("receiver", [&](ThreadApi api) -> ThreadBody {
+    uint8_t buffer[16];
+    RecvResult result = co_await api.Recv(mbox, buffer);
+    received_len = result.length;
+    std::memcpy(received, buffer, result.length);
+  }));
+  env.StartAndRunFor(Milliseconds(1));
+  EXPECT_EQ(received_len, 5u);
+  EXPECT_STREQ(received, "hello");
+}
+
+TEST(MailboxTest, ReceiverBlocksUntilMessage) {
+  SimEnv env(ZeroCostConfig());
+  MailboxId mbox = env.k().CreateMailbox("m", 4).value();
+  int64_t received_at_us = -1;
+
+  env.k().CreateThread(Aperiodic("receiver", [&](ThreadApi api) -> ThreadBody {
+    uint8_t buffer[8];
+    co_await api.Recv(mbox, buffer);
+    received_at_us = api.now().micros();
+  }));
+  env.k().CreateThread(Aperiodic("sender", [&](ThreadApi api) -> ThreadBody {
+    co_await api.Sleep(Milliseconds(3));
+    co_await api.Send(mbox, Bytes("x"));
+  }));
+  env.StartAndRunFor(Milliseconds(10));
+  EXPECT_EQ(received_at_us, 3000);
+}
+
+TEST(MailboxTest, MessagesDeliveredInFifoOrder) {
+  SimEnv env(ZeroCostConfig());
+  MailboxId mbox = env.k().CreateMailbox("m", 8).value();
+  std::vector<uint8_t> received;
+
+  env.k().CreateThread(Aperiodic("sender", [&](ThreadApi api) -> ThreadBody {
+    for (uint8_t i = 1; i <= 4; ++i) {
+      co_await api.Send(mbox, std::span<const uint8_t>(&i, 1));
+    }
+  }));
+  env.k().CreateThread(Aperiodic("receiver", [&](ThreadApi api) -> ThreadBody {
+    for (int i = 0; i < 4; ++i) {
+      uint8_t b = 0;
+      co_await api.Recv(mbox, std::span<uint8_t>(&b, 1));
+      received.push_back(b);
+    }
+  }));
+  env.StartAndRunFor(Milliseconds(1));
+  EXPECT_EQ(received, (std::vector<uint8_t>{1, 2, 3, 4}));
+}
+
+TEST(MailboxTest, SenderBlocksWhenFull) {
+  SimEnv env(ZeroCostConfig());
+  MailboxId mbox = env.k().CreateMailbox("m", 2).value();
+  int64_t third_send_done_us = -1;
+
+  env.k().CreateThread(Aperiodic("sender", [&](ThreadApi api) -> ThreadBody {
+    co_await api.Send(mbox, Bytes("a"));
+    co_await api.Send(mbox, Bytes("b"));
+    co_await api.Send(mbox, Bytes("c"));  // blocks: queue depth 2
+    third_send_done_us = api.now().micros();
+  }));
+  env.k().CreateThread(Aperiodic("receiver", [&](ThreadApi api) -> ThreadBody {
+    co_await api.Sleep(Milliseconds(5));
+    uint8_t b;
+    co_await api.Recv(mbox, std::span<uint8_t>(&b, 1));
+  }));
+  env.StartAndRunFor(Milliseconds(10));
+  EXPECT_EQ(third_send_done_us, 5000);
+  EXPECT_GE(env.k().mailbox(mbox).send_blocks, 1u);
+}
+
+TEST(MailboxTest, TrySendReturnsWouldBlock) {
+  SimEnv env(ZeroCostConfig());
+  MailboxId mbox = env.k().CreateMailbox("m", 1).value();
+  Status second = Status::kOk;
+  env.k().CreateThread(Aperiodic("sender", [&](ThreadApi api) -> ThreadBody {
+    co_await api.TrySend(mbox, Bytes("a"));
+    second = co_await api.TrySend(mbox, Bytes("b"));
+  }));
+  env.StartAndRunFor(Milliseconds(1));
+  EXPECT_EQ(second, Status::kWouldBlock);
+}
+
+TEST(MailboxTest, RecvTimeoutExpires) {
+  SimEnv env(ZeroCostConfig());
+  MailboxId mbox = env.k().CreateMailbox("m", 2).value();
+  Status status = Status::kOk;
+  int64_t timed_out_at_us = -1;
+  env.k().CreateThread(Aperiodic("receiver", [&](ThreadApi api) -> ThreadBody {
+    uint8_t buffer[4];
+    RecvResult result = co_await api.Recv(mbox, buffer, Milliseconds(4));
+    status = result.status;
+    timed_out_at_us = api.now().micros();
+  }));
+  env.StartAndRunFor(Milliseconds(10));
+  EXPECT_EQ(status, Status::kTimedOut);
+  EXPECT_EQ(timed_out_at_us, 4000);
+  EXPECT_EQ(env.k().mailbox(mbox).recv_timeouts, 1u);
+}
+
+TEST(MailboxTest, RecvNoWaitReturnsImmediately) {
+  SimEnv env(ZeroCostConfig());
+  MailboxId mbox = env.k().CreateMailbox("m", 2).value();
+  Status status = Status::kOk;
+  env.k().CreateThread(Aperiodic("receiver", [&](ThreadApi api) -> ThreadBody {
+    uint8_t buffer[4];
+    RecvResult result = co_await api.Recv(mbox, buffer, kNoWait);
+    status = result.status;
+  }));
+  env.StartAndRunFor(Milliseconds(1));
+  EXPECT_EQ(status, Status::kWouldBlock);
+}
+
+TEST(MailboxTest, TimeoutCancelledByDelivery) {
+  SimEnv env(ZeroCostConfig());
+  MailboxId mbox = env.k().CreateMailbox("m", 2).value();
+  Status status = Status::kTimedOut;
+  env.k().CreateThread(Aperiodic("receiver", [&](ThreadApi api) -> ThreadBody {
+    uint8_t buffer[4];
+    RecvResult result = co_await api.Recv(mbox, buffer, Milliseconds(10));
+    status = result.status;
+    // Sleep past the original timeout: a stale timer must not fire.
+    co_await api.Sleep(Milliseconds(20));
+  }));
+  env.k().CreateThread(Aperiodic("sender", [&](ThreadApi api) -> ThreadBody {
+    co_await api.Sleep(Milliseconds(2));
+    co_await api.Send(mbox, Bytes("x"));
+  }));
+  env.StartAndRunFor(Milliseconds(30));
+  EXPECT_EQ(status, Status::kOk);
+}
+
+TEST(MailboxTest, HighestPriorityReceiverServedFirst) {
+  SimEnv env(ZeroCostConfig(SchedulerSpec::Edf()));
+  MailboxId mbox = env.k().CreateMailbox("m", 2).value();
+  std::vector<char> order;
+
+  ThreadParams lo;
+  lo.name = "lo";
+  lo.period = Milliseconds(100);
+  lo.body = [&](ThreadApi api) -> ThreadBody {
+    uint8_t b[4];
+    co_await api.Recv(mbox, b);
+    order.push_back('L');
+    co_await api.WaitNextPeriod();
+  };
+  env.k().CreateThread(lo);
+  ThreadParams hi;
+  hi.name = "hi";
+  hi.period = Milliseconds(20);
+  hi.first_release = Microseconds(100);
+  hi.body = [&](ThreadApi api) -> ThreadBody {
+    uint8_t b[4];
+    co_await api.Recv(mbox, b);
+    order.push_back('H');
+    co_await api.WaitNextPeriod();
+  };
+  env.k().CreateThread(hi);
+  ThreadParams sender;
+  sender.name = "sender";
+  sender.body = [&](ThreadApi api) -> ThreadBody {
+    co_await api.Sleep(Milliseconds(1));
+    co_await api.Send(mbox, Bytes("1"));
+    co_await api.Send(mbox, Bytes("2"));
+  };
+  env.k().CreateThread(sender);
+  env.StartAndRunFor(Milliseconds(10));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 'H');
+}
+
+TEST(MailboxTest, OversizedMessageRejected) {
+  SimEnv env(ZeroCostConfig());
+  MailboxId mbox = env.k().CreateMailbox("m", 2).value();
+  Status status = Status::kOk;
+  env.k().CreateThread(Aperiodic("sender", [&](ThreadApi api) -> ThreadBody {
+    uint8_t big[kMaxMessageBytes + 1] = {};
+    status = co_await api.Send(mbox, big);
+  }));
+  env.StartAndRunFor(Milliseconds(1));
+  EXPECT_EQ(status, Status::kInvalidArgument);
+}
+
+TEST(MailboxTest, ShortReceiverBufferTruncates) {
+  SimEnv env(ZeroCostConfig());
+  MailboxId mbox = env.k().CreateMailbox("m", 2).value();
+  size_t got = 0;
+  env.k().CreateThread(Aperiodic("both", [&](ThreadApi api) -> ThreadBody {
+    co_await api.Send(mbox, Bytes("longmessage"));
+    uint8_t small[4];
+    RecvResult result = co_await api.Recv(mbox, small);
+    got = result.length;
+  }));
+  env.StartAndRunFor(Milliseconds(1));
+  EXPECT_EQ(got, 4u);
+}
+
+// A blocking receive followed by a semaphore acquire participates in the CSE
+// scheme ("all blocking calls take an extra parameter").
+TEST(MailboxTest, RecvCarriesCseHint) {
+  KernelConfig config = ZeroCostConfig();
+  config.default_sem_mode = SemMode::kCse;
+  SimEnv env(config);
+  SemId sem = env.k().CreateSemaphore("S").value();
+  MailboxId mbox = env.k().CreateMailbox("m", 2).value();
+  int64_t section_at_us = -1;
+
+  ThreadParams consumer;
+  consumer.name = "consumer";
+  consumer.period = Milliseconds(100);
+  consumer.body = [&](ThreadApi api) -> ThreadBody {
+    uint8_t b[4];
+    co_await api.Recv(mbox, b, Duration(), sem);  // instrumented hint
+    co_await api.Acquire(sem);
+    section_at_us = api.now().micros();
+    co_await api.Release(sem);
+    co_await api.WaitNextPeriod();
+  };
+  env.k().CreateThread(consumer);
+  ThreadParams producer;
+  producer.name = "producer";
+  producer.period = Milliseconds(100);
+  producer.first_release = Milliseconds(1);
+  producer.body = [&](ThreadApi api) -> ThreadBody {
+    co_await api.Acquire(sem);
+    co_await api.Send(mbox, Bytes("go"));  // wakes consumer while S is held
+    co_await api.Compute(Milliseconds(2));
+    co_await api.Release(sem);
+    co_await api.WaitNextPeriod();
+  };
+  env.k().CreateThread(producer);
+
+  env.StartAndRunFor(Milliseconds(10));
+  // The consumer's wake at t=1 was converted to early PI; it entered the
+  // section right at the producer's release (t=3).
+  EXPECT_EQ(section_at_us, 3000);
+  EXPECT_EQ(env.k().stats().cse_early_pi, 1u);
+  EXPECT_EQ(env.k().stats().cse_switches_saved, 1u);
+}
+
+}  // namespace
+}  // namespace emeralds

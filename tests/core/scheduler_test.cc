@@ -1,0 +1,231 @@
+// Scheduler (CSD band framework) unit tests: band ordering, queue parsing,
+// boosting, priority comparison.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/scheduler.h"
+
+namespace emeralds {
+namespace {
+
+std::vector<std::unique_ptr<Tcb>> MakeTasks(int n, int band) {
+  std::vector<std::unique_ptr<Tcb>> tasks;
+  for (int i = 0; i < n; ++i) {
+    auto t = std::make_unique<Tcb>();
+    t->id = ThreadId(band * 100 + i);
+    t->base_band = band;
+    t->base_rm_rank = band * 100 + i;
+    t->effective_rm_rank = t->base_rm_rank;
+    t->effective_deadline = Instant() + Milliseconds(10 * (i + 1));
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+TEST(SchedulerTest, Csd2HasEdfOverRm) {
+  Scheduler sched(SchedulerSpec::Csd(2));
+  ASSERT_EQ(sched.num_bands(), 2);
+  EXPECT_EQ(sched.band(0).kind(), QueueKind::kEdfList);
+  EXPECT_EQ(sched.band(1).kind(), QueueKind::kRmList);
+}
+
+TEST(SchedulerTest, Csd4HasThreeEdfQueues) {
+  Scheduler sched(SchedulerSpec::Csd(4));
+  ASSERT_EQ(sched.num_bands(), 4);
+  for (int b = 0; b < 3; ++b) {
+    EXPECT_EQ(sched.band(b).kind(), QueueKind::kEdfList);
+  }
+  EXPECT_EQ(sched.band(3).kind(), QueueKind::kRmList);
+}
+
+TEST(SchedulerTest, NegativeBandMapsToLast) {
+  Scheduler sched(SchedulerSpec::Csd(3));
+  Tcb t;
+  t.base_band = -1;
+  sched.AddThread(t);
+  EXPECT_EQ(t.base_band, 2);
+  sched.RemoveThread(t);
+}
+
+TEST(SchedulerTest, DpQueueHasPriorityOverFp) {
+  Scheduler sched(SchedulerSpec::Csd(2));
+  auto dp = MakeTasks(2, 0);
+  auto fp = MakeTasks(2, 1);
+  for (auto& t : dp) {
+    sched.AddThread(*t);
+  }
+  for (auto& t : fp) {
+    sched.AddThread(*t);
+  }
+  ChargeList charges;
+  sched.Unblock(*fp[0], charges);
+  sched.Unblock(*dp[1], charges);
+  charges.clear();
+  int parsed = 0;
+  Tcb* selected = sched.Select(charges, &parsed);
+  EXPECT_EQ(selected, dp[1].get());
+  EXPECT_EQ(parsed, 1);  // found ready work in the first queue
+  for (auto& t : dp) {
+    sched.RemoveThread(*t);
+  }
+  for (auto& t : fp) {
+    sched.RemoveThread(*t);
+  }
+}
+
+TEST(SchedulerTest, EmptyDpQueueIsSkipped) {
+  Scheduler sched(SchedulerSpec::Csd(3));
+  auto fp = MakeTasks(2, 2);
+  for (auto& t : fp) {
+    sched.AddThread(*t);
+  }
+  ChargeList charges;
+  sched.Unblock(*fp[1], charges);
+  charges.clear();
+  int parsed = 0;
+  Tcb* selected = sched.Select(charges, &parsed);
+  EXPECT_EQ(selected, fp[1].get());
+  EXPECT_EQ(parsed, 3);  // walked past two empty DP queues
+  // Only the selecting band contributes a select charge.
+  ASSERT_EQ(charges.size(), 1u);
+  EXPECT_EQ(charges[0].kind, QueueKind::kRmList);
+  for (auto& t : fp) {
+    sched.RemoveThread(*t);
+  }
+}
+
+TEST(SchedulerTest, IdleWhenNothingReady) {
+  Scheduler sched(SchedulerSpec::Csd(2));
+  auto dp = MakeTasks(1, 0);
+  sched.AddThread(*dp[0]);
+  ChargeList charges;
+  int parsed = 0;
+  EXPECT_EQ(sched.Select(charges, &parsed), nullptr);
+  EXPECT_EQ(parsed, 2);
+  EXPECT_TRUE(charges.empty());
+  sched.RemoveThread(*dp[0]);
+}
+
+TEST(SchedulerTest, BoostMakesTaskSelectableInHigherBand) {
+  Scheduler sched(SchedulerSpec::Csd(2));
+  auto dp = MakeTasks(1, 0);
+  auto fp = MakeTasks(1, 1);
+  sched.AddThread(*dp[0]);
+  sched.AddThread(*fp[0]);
+  ChargeList charges;
+  sched.Unblock(*fp[0], charges);
+  // FP task inherits into the DP band (cross-band PI).
+  sched.BoostInto(*fp[0], 0);
+  fp[0]->effective_deadline = Instant() + Milliseconds(1);
+  charges.clear();
+  int parsed = 0;
+  Tcb* selected = sched.Select(charges, &parsed);
+  EXPECT_EQ(selected, fp[0].get());
+  EXPECT_EQ(parsed, 1);
+  EXPECT_EQ(fp[0]->effective_band, 0);
+  sched.RemoveBoost(*fp[0]);
+  EXPECT_EQ(fp[0]->effective_band, 1);
+  sched.Validate();
+  sched.RemoveThread(*dp[0]);
+  sched.RemoveThread(*fp[0]);
+}
+
+TEST(SchedulerTest, BoostedTaskCompetesByDeadline) {
+  Scheduler sched(SchedulerSpec::Csd(2));
+  auto dp = MakeTasks(1, 0);
+  auto fp = MakeTasks(1, 1);
+  sched.AddThread(*dp[0]);
+  sched.AddThread(*fp[0]);
+  ChargeList charges;
+  sched.Unblock(*dp[0], charges);
+  sched.Unblock(*fp[0], charges);
+  sched.BoostInto(*fp[0], 0);
+  // DP task's own deadline is earlier: it wins despite the boost.
+  dp[0]->effective_deadline = Instant() + Milliseconds(1);
+  fp[0]->effective_deadline = Instant() + Milliseconds(5);
+  charges.clear();
+  int parsed = 0;
+  EXPECT_EQ(sched.Select(charges, &parsed), dp[0].get());
+  sched.RemoveBoost(*fp[0]);
+  sched.RemoveThread(*dp[0]);
+  sched.RemoveThread(*fp[0]);
+}
+
+TEST(SchedulerTest, BlockedBoostedTaskNotSelected) {
+  Scheduler sched(SchedulerSpec::Csd(2));
+  auto fp = MakeTasks(2, 1);
+  sched.AddThread(*fp[0]);
+  sched.AddThread(*fp[1]);
+  ChargeList charges;
+  sched.Unblock(*fp[0], charges);
+  sched.BoostInto(*fp[0], 0);
+  sched.Block(*fp[0], charges);
+  sched.Unblock(*fp[1], charges);
+  charges.clear();
+  int parsed = 0;
+  EXPECT_EQ(sched.Select(charges, &parsed), fp[1].get());
+  sched.Validate();
+  sched.RemoveThread(*fp[0]);
+  sched.RemoveThread(*fp[1]);
+}
+
+TEST(SchedulerTest, HigherPriorityBandFirst) {
+  Scheduler sched(SchedulerSpec::Csd(2));
+  auto dp = MakeTasks(1, 0);
+  auto fp = MakeTasks(1, 1);
+  sched.AddThread(*dp[0]);
+  sched.AddThread(*fp[0]);
+  EXPECT_TRUE(sched.HigherPriority(*dp[0], *fp[0]));
+  EXPECT_FALSE(sched.HigherPriority(*fp[0], *dp[0]));
+  sched.RemoveThread(*dp[0]);
+  sched.RemoveThread(*fp[0]);
+}
+
+TEST(SchedulerTest, HigherPriorityWithinEdfBandByDeadline) {
+  Scheduler sched(SchedulerSpec::Edf());
+  auto tasks = MakeTasks(2, 0);
+  sched.AddThread(*tasks[0]);
+  sched.AddThread(*tasks[1]);
+  tasks[0]->effective_deadline = Instant() + Milliseconds(9);
+  tasks[1]->effective_deadline = Instant() + Milliseconds(3);
+  EXPECT_TRUE(sched.HigherPriority(*tasks[1], *tasks[0]));
+  sched.RemoveThread(*tasks[0]);
+  sched.RemoveThread(*tasks[1]);
+}
+
+TEST(SchedulerTest, HigherPriorityWithinRmBandByRank) {
+  Scheduler sched(SchedulerSpec::Rm());
+  auto tasks = MakeTasks(2, 0);
+  sched.AddThread(*tasks[0]);
+  sched.AddThread(*tasks[1]);
+  EXPECT_TRUE(sched.HigherPriority(*tasks[0], *tasks[1]));
+  sched.RemoveThread(*tasks[0]);
+  sched.RemoveThread(*tasks[1]);
+}
+
+TEST(SchedulerTest, CanSwapFpRequiresSameRmBandAndBlockedWaiter) {
+  Scheduler sched(SchedulerSpec::Csd(2));
+  auto dp = MakeTasks(1, 0);
+  auto fp = MakeTasks(2, 1);
+  sched.AddThread(*dp[0]);
+  sched.AddThread(*fp[0]);
+  sched.AddThread(*fp[1]);
+  ChargeList charges;
+  sched.Unblock(*fp[1], charges);
+  // waiter fp[0] blocked, holder fp[1] ready, both in the RM band: OK.
+  EXPECT_TRUE(sched.CanSwapFp(*fp[1], *fp[0]));
+  // Cross-band pair: not swappable.
+  EXPECT_FALSE(sched.CanSwapFp(*fp[1], *dp[0]));
+  // Ready waiter: not swappable.
+  sched.Unblock(*fp[0], charges);
+  EXPECT_FALSE(sched.CanSwapFp(*fp[1], *fp[0]));
+  sched.RemoveThread(*dp[0]);
+  sched.RemoveThread(*fp[0]);
+  sched.RemoveThread(*fp[1]);
+}
+
+}  // namespace
+}  // namespace emeralds

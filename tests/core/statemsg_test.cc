@@ -1,0 +1,247 @@
+// State-message tests (Section 7, reconstructed): single-writer invariant,
+// freshness, non-blocking reads, torn-read detection and retry under
+// preemption, and the MinSlots sizing rule.
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/kernel_env.h"
+
+namespace emeralds {
+namespace {
+
+ThreadParams Aperiodic(const char* name, ThreadBodyFactory body) {
+  ThreadParams params;
+  params.name = name;
+  params.body = std::move(body);
+  return params;
+}
+
+TEST(StateMessageTest, ReadReturnsLatestWrite) {
+  SimEnv env(ZeroCostConfig());
+  SmsgId smsg = env.k().CreateStateMessage("s", 4, 3).value();
+  uint32_t got = 0;
+  uint64_t seq = 0;
+  env.k().CreateThread(Aperiodic("rw", [&](ThreadApi api) -> ThreadBody {
+    for (uint32_t v = 1; v <= 3; ++v) {
+      co_await api.StateWrite(smsg, std::span<const uint8_t>(
+                                        reinterpret_cast<const uint8_t*>(&v), sizeof(v)));
+    }
+    uint8_t buffer[4];
+    StateReadResult result = co_await api.StateRead(smsg, buffer);
+    EXPECT_EQ(result.status, Status::kOk);
+    seq = result.sequence;
+    std::memcpy(&got, buffer, 4);
+  }));
+  env.StartAndRunFor(Milliseconds(1));
+  EXPECT_EQ(got, 3u);
+  EXPECT_EQ(seq, 3u);
+}
+
+TEST(StateMessageTest, ReadBeforeAnyWriteFails) {
+  SimEnv env(ZeroCostConfig());
+  SmsgId smsg = env.k().CreateStateMessage("s", 4, 3).value();
+  Status status = Status::kOk;
+  env.k().CreateThread(Aperiodic("r", [&](ThreadApi api) -> ThreadBody {
+    uint8_t buffer[4];
+    StateReadResult result = co_await api.StateRead(smsg, buffer);
+    status = result.status;
+  }));
+  env.StartAndRunFor(Milliseconds(1));
+  EXPECT_EQ(status, Status::kWouldBlock);
+}
+
+TEST(StateMessageTest, SecondWriterRejected) {
+  SimEnv env(ZeroCostConfig());
+  SmsgId smsg = env.k().CreateStateMessage("s", 4, 3).value();
+  Status second_status = Status::kOk;
+  uint32_t value = 7;
+  auto bytes = std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&value), 4);
+  env.k().CreateThread(Aperiodic("w1", [&, bytes](ThreadApi api) -> ThreadBody {
+    co_await api.StateWrite(smsg, bytes);
+  }));
+  env.k().CreateThread(Aperiodic("w2", [&, bytes](ThreadApi api) -> ThreadBody {
+    co_await api.Sleep(Milliseconds(1));
+    second_status = co_await api.StateWrite(smsg, bytes);
+  }));
+  env.StartAndRunFor(Milliseconds(5));
+  EXPECT_EQ(second_status, Status::kPermissionDenied);
+}
+
+TEST(StateMessageTest, NeverBlocksReaders) {
+  SimEnv env(ZeroCostConfig());
+  SmsgId smsg = env.k().CreateStateMessage("s", 8, 3).value();
+  int reads = 0;
+  uint64_t value = 1;
+  env.k().CreateThread(Aperiodic("w", [&](ThreadApi api) -> ThreadBody {
+    for (int i = 0; i < 100; ++i) {
+      co_await api.StateWrite(
+          smsg, std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&value), 8));
+      co_await api.Sleep(Microseconds(100));
+    }
+  }));
+  for (int r = 0; r < 3; ++r) {
+    env.k().CreateThread(Aperiodic("r", [&](ThreadApi api) -> ThreadBody {
+      for (int i = 0; i < 50; ++i) {
+        uint8_t buffer[8];
+        StateReadResult result = co_await api.StateRead(smsg, buffer);
+        if (result.status == Status::kOk) {
+          ++reads;
+        }
+        co_await api.Sleep(Microseconds(200));
+      }
+    }));
+  }
+  env.StartAndRunFor(Milliseconds(20));
+  EXPECT_EQ(reads, 150);
+  EXPECT_EQ(env.k().state_message(smsg).writes, 100u);
+}
+
+// With the calibrated cost model, copies take time and a reader can be
+// preempted mid-copy by the writer. With generous slots the snapshot is
+// always consistent (monotone sequence, never torn).
+TEST(StateMessageTest, SnapshotsConsistentUnderPreemption) {
+  SimEnv env(CalibratedConfig(SchedulerSpec::Edf()));
+  SmsgId smsg = env.k().CreateStateMessage("s", 64, 8).value();
+  std::vector<uint64_t> sequences;
+  bool torn = false;
+
+  // Writer: high priority, period 1ms; payload = 16 copies of the sequence
+  // number, so torn reads are detectable.
+  ThreadParams writer;
+  writer.name = "writer";
+  writer.period = Milliseconds(1);
+  writer.body = [&](ThreadApi api) -> ThreadBody {
+    uint32_t v = 0;
+    for (;;) {
+      ++v;
+      uint32_t payload[16];
+      for (uint32_t& w : payload) {
+        w = v;
+      }
+      co_await api.StateWrite(smsg, std::span<const uint8_t>(
+                                        reinterpret_cast<const uint8_t*>(payload), 64));
+      co_await api.WaitNextPeriod();
+    }
+  };
+  env.k().CreateThread(writer);
+  // Reader: low priority (period 5ms), gets preempted by the writer.
+  ThreadParams reader;
+  reader.name = "reader";
+  reader.period = Milliseconds(5);
+  reader.body = [&](ThreadApi api) -> ThreadBody {
+    for (;;) {
+      uint8_t buffer[64];
+      StateReadResult result = co_await api.StateRead(smsg, buffer);
+      if (result.status == Status::kOk) {
+        sequences.push_back(result.sequence);
+        uint32_t payload[16];
+        std::memcpy(payload, buffer, 64);
+        for (int i = 1; i < 16; ++i) {
+          if (payload[i] != payload[0]) {
+            torn = true;
+          }
+        }
+      }
+      co_await api.WaitNextPeriod();
+    }
+  };
+  env.k().CreateThread(reader);
+
+  env.StartAndRunFor(Milliseconds(100));
+  ASSERT_GT(sequences.size(), 10u);
+  EXPECT_FALSE(torn);
+  for (size_t i = 1; i < sequences.size(); ++i) {
+    EXPECT_GE(sequences[i], sequences[i - 1]);  // freshness is monotone
+  }
+}
+
+// A single-slot buffer with a fast writer forces the reader's validation to
+// detect overwrites (retries observed), while an adequately sized buffer
+// (MinSlots) yields retry-free reads.
+TEST(StateMessageTest, SlotSizingControlsRetries) {
+  // A 2 KB payload takes ~512 words * 0.4us ~= 205us to copy, so every read
+  // spans at least one release of the 500us writer, which preempts mid-copy.
+  constexpr size_t kBytes = 2048;
+  auto run = [](int slots) -> std::pair<uint64_t, uint64_t> {
+    SimEnv env(CalibratedConfig(SchedulerSpec::Edf()));
+    SmsgId smsg = env.k().CreateStateMessage("s", kBytes, slots).value();
+    ThreadParams writer;
+    writer.name = "writer";
+    writer.period = Microseconds(500);
+    writer.body = [smsg](ThreadApi api) -> ThreadBody {
+      std::vector<uint8_t> payload(kBytes, 0);
+      for (;;) {
+        co_await api.StateWrite(smsg, payload);
+        co_await api.WaitNextPeriod();
+      }
+    };
+    env.k().CreateThread(writer);
+    ThreadParams reader;
+    reader.name = "reader";
+    reader.period = Milliseconds(2);
+    // Phase-shift the reader off the writer's release grid so every read
+    // window [t, t+205us) straddles a writer release.
+    reader.first_release = Microseconds(300);
+    reader.body = [smsg](ThreadApi api) -> ThreadBody {
+      std::vector<uint8_t> buffer(kBytes);
+      for (;;) {
+        co_await api.StateRead(smsg, buffer);
+        co_await api.WaitNextPeriod();
+      }
+    };
+    env.k().CreateThread(reader);
+    env.k().Start();
+    env.k().RunUntil(Instant() + Milliseconds(50));
+    return {env.k().stats().smsg_reads, env.k().stats().smsg_read_retries};
+  };
+
+  auto [reads_tight, retries_tight] = run(1);
+  EXPECT_GT(retries_tight, 0u);  // single slot: the writer laps the reader
+
+  // MinSlots(250us read, 500us writer period) = ceil(0.5) + 2 = 3.
+  int slots = StateMessageBuffer::MinSlots(Microseconds(250), Microseconds(500));
+  EXPECT_EQ(slots, 3);
+  auto [reads_sized, retries_sized] = run(slots);
+  EXPECT_GT(reads_sized, 0u);
+  EXPECT_EQ(retries_sized, 0u);
+}
+
+TEST(StateMessageTest, MinSlotsFormula) {
+  EXPECT_EQ(StateMessageBuffer::MinSlots(Microseconds(10), Milliseconds(1)), 3);
+  EXPECT_EQ(StateMessageBuffer::MinSlots(Milliseconds(5), Milliseconds(1)), 7);
+  EXPECT_EQ(StateMessageBuffer::MinSlots(Duration(), Milliseconds(1)), 2);
+}
+
+TEST(StateMessageTest, OversizedWriteRejected) {
+  SimEnv env(ZeroCostConfig());
+  SmsgId smsg = env.k().CreateStateMessage("s", 4, 2).value();
+  Status status = Status::kOk;
+  env.k().CreateThread(Aperiodic("w", [&](ThreadApi api) -> ThreadBody {
+    uint8_t big[8] = {};
+    status = co_await api.StateWrite(smsg, big);
+  }));
+  env.StartAndRunFor(Milliseconds(1));
+  EXPECT_EQ(status, Status::kInvalidArgument);
+}
+
+TEST(StateMessageTest, ShortWriteZeroFills) {
+  SimEnv env(ZeroCostConfig());
+  SmsgId smsg = env.k().CreateStateMessage("s", 8, 2).value();
+  uint8_t out[8];
+  env.k().CreateThread(Aperiodic("rw", [&](ThreadApi api) -> ThreadBody {
+    uint8_t partial[3] = {0xaa, 0xbb, 0xcc};
+    co_await api.StateWrite(smsg, partial);
+    co_await api.StateRead(smsg, out);
+  }));
+  env.StartAndRunFor(Milliseconds(1));
+  EXPECT_EQ(out[0], 0xaa);
+  EXPECT_EQ(out[2], 0xcc);
+  EXPECT_EQ(out[3], 0);
+  EXPECT_EQ(out[7], 0);
+}
+
+}  // namespace
+}  // namespace emeralds

@@ -1,0 +1,218 @@
+// Randomized stress tests: many threads with random periods, lock patterns,
+// and IPC, run for simulated seconds with the scheduler's structural
+// invariants validated after every reschedule. These are the property tests
+// for the kernel as a whole: whatever interleaving the random workload
+// produces, queue order/highestp/boost-counter invariants must hold, locks
+// must end up released, and priority inheritance must fully unwind.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "tests/testing/kernel_env.h"
+
+namespace emeralds {
+namespace {
+
+struct StressParams {
+  uint64_t seed;
+  SchedulerSpec spec;
+  SemMode mode;
+  const char* name;
+};
+
+class KernelStressTest : public ::testing::TestWithParam<int> {};
+
+// Locks are always taken in ascending id order, so the random task set is
+// deadlock-free by construction.
+TEST_P(KernelStressTest, RandomLockingWorkloadKeepsInvariants) {
+  int variant = GetParam();
+  SchedulerSpec specs[] = {SchedulerSpec::Edf(), SchedulerSpec::Rm(), SchedulerSpec::Csd(2),
+                           SchedulerSpec::Csd(3), SchedulerSpec::RmHeap()};
+  SemMode modes[] = {SemMode::kStandard, SemMode::kCse};
+  SchedulerSpec spec = specs[variant % 5];
+  SemMode mode = modes[variant % 2];
+  Rng rng(7700 + variant);
+
+  KernelConfig config = CalibratedConfig(spec);
+  config.default_sem_mode = mode;
+  config.debug_validate = true;  // Scheduler::Validate on every reschedule
+  config.trace_capacity = 0;
+  SimEnv env(config);
+
+  constexpr int kNumLocks = 4;
+  SemId locks[kNumLocks];
+  for (int i = 0; i < kNumLocks; ++i) {
+    locks[i] = env.k().CreateSemaphoreWithMode("lock", 1, mode).value();
+  }
+
+  const int num_threads = 8 + static_cast<int>(rng.UniformInt(0, 8));
+  int num_bands = env.k().scheduler().num_bands();
+  for (int i = 0; i < num_threads; ++i) {
+    ThreadParams params;
+    params.name = "stress";
+    params.period = Milliseconds(rng.UniformInt(5, 60));
+    params.band = static_cast<int>(rng.UniformInt(0, num_bands - 1));
+    // One or two locks in ascending order, compute inside and outside.
+    int first = static_cast<int>(rng.UniformInt(0, kNumLocks - 1));
+    int second = static_cast<int>(rng.UniformInt(first, kNumLocks - 1));
+    bool nested = rng.Bernoulli(0.4) && second != first;
+    Duration outer = Microseconds(rng.UniformInt(50, 800));
+    Duration inner = Microseconds(rng.UniformInt(50, 400));
+    SemId lock_a = locks[first];
+    SemId lock_b = locks[second];
+    bool hint = rng.Bernoulli(0.5);
+    params.body = [=](ThreadApi api) -> ThreadBody {
+      for (;;) {
+        co_await api.Compute(outer);
+        Status status = co_await api.Acquire(lock_a);
+        EM_ASSERT(status == Status::kOk);
+        co_await api.Compute(inner);
+        if (nested) {
+          status = co_await api.Acquire(lock_b);
+          EM_ASSERT(status == Status::kOk);
+          co_await api.Compute(inner);
+          co_await api.Release(lock_b);
+        }
+        co_await api.Release(lock_a);
+        co_await api.WaitNextPeriod(hint ? lock_a : kNoSem);
+      }
+    };
+    ASSERT_TRUE(env.k().CreateThread(params).ok());
+  }
+
+  env.StartAndRunFor(Seconds(2));
+
+  // Post-conditions: progress happened; every lock is free or held by a
+  // runnable thread mid-section; PI has unwound for every thread that holds
+  // nothing.
+  const KernelStats& stats = env.k().stats();
+  EXPECT_GT(stats.jobs_completed, 100u);
+  env.k().scheduler().Validate();
+  for (int i = 0; i < kNumLocks; ++i) {
+    const Semaphore& sem = env.k().semaphore(locks[i]);
+    if (sem.owner != nullptr) {
+      EXPECT_TRUE(sem.owner->runnable() || sem.owner->is_blocked());
+    } else {
+      EXPECT_EQ(sem.count, 1);
+      EXPECT_TRUE(sem.waiters.empty());
+    }
+  }
+  for (size_t i = 0; i < env.k().thread_count(); ++i) {
+    const Tcb& t = env.k().thread(ThreadId(static_cast<int>(i)));
+    if (t.held_head == nullptr) {
+      // No held semaphores: no residual boost or borrowed queue slot.
+      EXPECT_EQ(t.boosted_into_band, -1) << t.name;
+      EXPECT_EQ(t.pi_swap_sem, nullptr) << t.name;
+      EXPECT_EQ(t.effective_band, t.base_band) << t.name;
+      if (t.blocked_on == nullptr) {
+        EXPECT_EQ(t.effective_rm_rank, t.base_rm_rank) << t.name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, KernelStressTest, ::testing::Range(0, 10));
+
+class IpcStressTest : public ::testing::TestWithParam<int> {};
+
+// Producer/consumer meshes over mailboxes and state messages with random
+// rates; conservation laws must hold (every received message was sent, state
+// message sequences are monotone per reader).
+TEST_P(IpcStressTest, MessageConservation) {
+  Rng rng(9100 + GetParam());
+  KernelConfig config = CalibratedConfig(SchedulerSpec::Edf());
+  config.debug_validate = true;
+  config.trace_capacity = 0;
+  SimEnv env(config);
+
+  MailboxId mbox = env.k().CreateMailbox("bus", 1 + rng.UniformInt(0, 7)).value();
+  SmsgId smsg = env.k().CreateStateMessage("state", 16, 4).value();
+
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  bool sequence_regressed = false;
+
+  const int producers = 1 + static_cast<int>(rng.UniformInt(0, 2));
+  for (int i = 0; i < producers; ++i) {
+    ThreadParams producer;
+    producer.name = "producer";
+    producer.period = Milliseconds(rng.UniformInt(3, 20));
+    bool try_send = rng.Bernoulli(0.3);
+    producer.body = [&, try_send](ThreadApi api) -> ThreadBody {
+      uint8_t payload[16] = {};
+      for (;;) {
+        Status status = try_send ? co_await api.TrySend(mbox, payload)
+                                 : co_await api.Send(mbox, payload);
+        if (status == Status::kOk) {
+          ++sent;
+        }
+        co_await api.WaitNextPeriod();
+      }
+    };
+    env.k().CreateThread(producer);
+  }
+  const int consumers = 1 + static_cast<int>(rng.UniformInt(0, 2));
+  for (int i = 0; i < consumers; ++i) {
+    ThreadParams consumer;
+    consumer.name = "consumer";
+    consumer.period = Milliseconds(rng.UniformInt(3, 25));
+    Duration timeout = Milliseconds(rng.UniformInt(1, 10));
+    consumer.body = [&, timeout](ThreadApi api) -> ThreadBody {
+      uint8_t buffer[16];
+      for (;;) {
+        RecvResult r = co_await api.Recv(mbox, buffer, timeout);
+        if (r.status == Status::kOk) {
+          ++received;
+        }
+        co_await api.WaitNextPeriod();
+      }
+    };
+    env.k().CreateThread(consumer);
+  }
+  // One state-message writer plus a reader checking sequence monotonicity.
+  ThreadParams writer;
+  writer.name = "writer";
+  writer.period = Milliseconds(rng.UniformInt(2, 8));
+  writer.body = [&](ThreadApi api) -> ThreadBody {
+    uint8_t payload[16] = {};
+    for (;;) {
+      co_await api.StateWrite(smsg, payload);
+      co_await api.WaitNextPeriod();
+    }
+  };
+  env.k().CreateThread(writer);
+  ThreadParams reader;
+  reader.name = "reader";
+  reader.period = Milliseconds(rng.UniformInt(2, 12));
+  reader.body = [&](ThreadApi api) -> ThreadBody {
+    uint64_t last = 0;
+    for (;;) {
+      uint8_t buffer[16];
+      StateReadResult r = co_await api.StateRead(smsg, buffer);
+      if (r.status == Status::kOk) {
+        if (r.sequence < last) {
+          sequence_regressed = true;
+        }
+        last = r.sequence;
+      }
+      co_await api.WaitNextPeriod();
+    }
+  };
+  env.k().CreateThread(reader);
+
+  env.StartAndRunFor(Seconds(2));
+
+  const Mailbox& box = env.k().mailbox(mbox);
+  EXPECT_GT(sent, 50u);
+  // Conservation: everything sent is either received or still queued.
+  EXPECT_EQ(sent, received + box.queue->size());
+  EXPECT_FALSE(sequence_regressed);
+  EXPECT_EQ(env.k().stats().mailbox_sends, sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IpcStressTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace emeralds

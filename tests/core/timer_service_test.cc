@@ -1,0 +1,160 @@
+// Application timer service tests (Figure 1's "Timers / Clock services"):
+// timers signalling counting semaphores, pacing threads, overrun detection;
+// plus per-thread response-time accounting.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/kernel_env.h"
+
+namespace emeralds {
+namespace {
+
+TEST(TimerServiceTest, PeriodicTimerPacesThread) {
+  SimEnv env(ZeroCostConfig());
+  SemId tick = env.k().CreateSemaphore("tick", 0).value();  // counting, empty
+  TimerId timer = env.k().CreateTimer("pace", tick).value();
+  std::vector<int64_t> wake_times_us;
+
+  ThreadParams worker;
+  worker.name = "worker";
+  worker.body = [&](ThreadApi api) -> ThreadBody {
+    for (;;) {
+      co_await api.Acquire(tick);
+      wake_times_us.push_back(api.now().micros());
+    }
+  };
+  env.k().CreateThread(worker);
+  ASSERT_EQ(env.k().StartTimer(timer, Milliseconds(3), Milliseconds(10)), Status::kOk);
+  env.StartAndRunFor(Milliseconds(35));
+  EXPECT_EQ(wake_times_us, (std::vector<int64_t>{3000, 13000, 23000, 33000}));
+  EXPECT_EQ(env.k().user_timer(timer).fires, 4u);
+  EXPECT_EQ(env.k().user_timer(timer).overruns, 0u);
+}
+
+TEST(TimerServiceTest, OneShotFiresOnce) {
+  SimEnv env(ZeroCostConfig());
+  SemId tick = env.k().CreateSemaphore("tick", 0).value();
+  TimerId timer = env.k().CreateTimer("once", tick).value();
+  env.k().StartTimer(timer, Milliseconds(5));  // no period
+  ThreadParams worker;
+  worker.name = "worker";
+  int wakes = 0;
+  worker.body = [&](ThreadApi api) -> ThreadBody {
+    co_await api.Acquire(tick);
+    ++wakes;
+  };
+  env.k().CreateThread(worker);
+  env.StartAndRunFor(Milliseconds(50));
+  EXPECT_EQ(wakes, 1);
+  EXPECT_EQ(env.k().user_timer(timer).fires, 1u);
+}
+
+TEST(TimerServiceTest, StopCancelsFutureFires) {
+  SimEnv env(ZeroCostConfig());
+  SemId tick = env.k().CreateSemaphore("tick", 0).value();
+  TimerId timer = env.k().CreateTimer("t", tick).value();
+  env.k().StartTimer(timer, Milliseconds(5), Milliseconds(5));
+  env.k().Start();
+  env.k().RunUntil(Instant() + Milliseconds(12));  // fires at 5, 10
+  ASSERT_EQ(env.k().StopTimer(timer), Status::kOk);
+  env.k().RunUntil(Instant() + Milliseconds(50));
+  EXPECT_EQ(env.k().user_timer(timer).fires, 2u);
+}
+
+TEST(TimerServiceTest, UnconsumedSignalsCountAsOverruns) {
+  SimEnv env(ZeroCostConfig());
+  SemId tick = env.k().CreateSemaphore("tick", 0).value();
+  TimerId timer = env.k().CreateTimer("t", tick).value();
+  env.k().StartTimer(timer, Milliseconds(1), Milliseconds(1));
+  // Nobody acquires the semaphore: every fire after the first finds the
+  // previous signal unconsumed.
+  env.StartAndRunFor(Milliseconds(10) + Microseconds(500));
+  EXPECT_EQ(env.k().user_timer(timer).fires, 10u);
+  EXPECT_EQ(env.k().user_timer(timer).overruns, 9u);
+  EXPECT_EQ(env.k().semaphore(tick).count, 10);
+}
+
+TEST(TimerServiceTest, SignalsAccumulateAndDrain) {
+  SimEnv env(ZeroCostConfig());
+  SemId tick = env.k().CreateSemaphore("tick", 0).value();
+  TimerId timer = env.k().CreateTimer("t", tick).value();
+  env.k().StartTimer(timer, Milliseconds(1), Milliseconds(1));
+  int drained = 0;
+  ThreadParams worker;
+  worker.name = "late-worker";
+  worker.body = [&](ThreadApi api) -> ThreadBody {
+    co_await api.Sleep(Milliseconds(5) + Microseconds(500));  // 5 fires queue up
+    for (int i = 0; i < 5; ++i) {
+      co_await api.Acquire(tick);
+      ++drained;
+    }
+  };
+  env.k().CreateThread(worker);
+  env.StartAndRunFor(Milliseconds(6));
+  EXPECT_EQ(drained, 5);
+}
+
+TEST(TimerServiceTest, BinaryTargetRejected) {
+  SimEnv env(ZeroCostConfig());
+  SemId mutex = env.k().CreateSemaphore("mutex", 1).value();  // binary
+  EXPECT_EQ(env.k().CreateTimer("t", mutex).status(), Status::kInvalidArgument);
+}
+
+TEST(TimerServiceTest, BadHandlesRejected) {
+  SimEnv env(ZeroCostConfig());
+  EXPECT_EQ(env.k().CreateTimer("t", SemId(42)).status(), Status::kBadHandle);
+  EXPECT_EQ(env.k().StartTimer(TimerId(5), Milliseconds(1)), Status::kBadHandle);
+  EXPECT_EQ(env.k().StopTimer(TimerId(5)), Status::kBadHandle);
+  SemId tick = env.k().CreateSemaphore("tick", 0).value();
+  TimerId timer = env.k().CreateTimer("t", tick).value();
+  EXPECT_EQ(env.k().StartTimer(timer, -Milliseconds(1)), Status::kInvalidArgument);
+}
+
+TEST(TimerServiceTest, RestartReprograms) {
+  SimEnv env(ZeroCostConfig());
+  SemId tick = env.k().CreateSemaphore("tick", 0).value();
+  TimerId timer = env.k().CreateTimer("t", tick).value();
+  env.k().StartTimer(timer, Milliseconds(20));
+  env.k().Start();
+  env.k().RunUntil(Instant() + Milliseconds(5));
+  env.k().StartTimer(timer, Milliseconds(2));  // reprogram earlier
+  env.k().RunUntil(Instant() + Milliseconds(10));
+  EXPECT_EQ(env.k().user_timer(timer).fires, 1u);
+  env.k().RunUntil(Instant() + Milliseconds(50));
+  EXPECT_EQ(env.k().user_timer(timer).fires, 1u);  // original 20ms shot gone
+}
+
+TEST(ResponseStatsTest, TracksWorstAndTotalResponse) {
+  SimEnv env(ZeroCostConfig());
+  // Two jobs: the second is delayed 3ms by a higher-priority interloper.
+  ThreadParams victim;
+  victim.name = "victim";
+  victim.period = Milliseconds(10);
+  victim.body = [](ThreadApi api) -> ThreadBody {
+    for (;;) {
+      co_await api.Compute(Milliseconds(1));
+      co_await api.WaitNextPeriod();
+    }
+  };
+  ThreadId victim_id = env.k().CreateThread(victim).value();
+  ThreadParams hog;
+  hog.name = "hog";
+  hog.period = Milliseconds(100);
+  hog.first_release = Milliseconds(10);
+  hog.relative_deadline = Milliseconds(5);  // higher EDF priority at t=10
+  hog.body = [](ThreadApi api) -> ThreadBody {
+    co_await api.Compute(Milliseconds(3));
+    co_await api.WaitNextPeriod();
+  };
+  env.k().CreateThread(hog);
+  env.StartAndRunFor(Milliseconds(25));
+  const Tcb& t = env.k().thread(victim_id);
+  ASSERT_EQ(t.jobs_completed, 3u);
+  EXPECT_EQ(t.max_response.millis(), 4);          // job 2: 3ms blocked + 1ms
+  EXPECT_EQ(t.total_response.millis(), 1 + 4 + 1);
+}
+
+}  // namespace
+}  // namespace emeralds

@@ -1,0 +1,152 @@
+// Simulated device tests: fieldbus NIC and periodic sensor.
+
+#include <gtest/gtest.h>
+
+#include "src/hal/devices.h"
+
+namespace emeralds {
+namespace {
+
+void RunHardwareFor(Hardware& hw, Duration d) {
+  Instant end = hw.now() + d;
+  while (true) {
+    Instant next = hw.NextTimerExpiry();
+    if (next > end) {
+      break;
+    }
+    hw.clock().AdvanceTo(next);
+    hw.FireDueTimers();
+  }
+  hw.clock().AdvanceTo(end);
+}
+
+TEST(FieldbusDeviceTest, PeriodicFramesArrive) {
+  Hardware hw;
+  FieldbusDevice::Config config;
+  config.rx_period = Milliseconds(10);
+  FieldbusDevice bus(hw, config);
+  bus.Start();
+  RunHardwareFor(hw, Milliseconds(55));
+  EXPECT_EQ(bus.frames_received(), 5u);
+  EXPECT_TRUE(bus.rx_ready());
+  EXPECT_EQ(hw.irq().raised_count(kIrqFieldbus), 5u);
+}
+
+TEST(FieldbusDeviceTest, ReadFrameDrainsQueue) {
+  Hardware hw;
+  FieldbusDevice::Config config;
+  config.rx_period = Milliseconds(5);
+  FieldbusDevice bus(hw, config);
+  bus.Start();
+  RunHardwareFor(hw, Milliseconds(12));
+  ASSERT_TRUE(bus.rx_ready());
+  FieldbusDevice::Frame f1 = bus.ReadFrame();
+  FieldbusDevice::Frame f2 = bus.ReadFrame();
+  EXPECT_EQ(f2.id, f1.id + 1);  // in-order delivery
+  EXPECT_EQ(f1.payload.size(), 4u);
+  EXPECT_FALSE(bus.rx_ready());
+}
+
+TEST(FieldbusDeviceTest, QueueOverrunCounts) {
+  Hardware hw;
+  FieldbusDevice::Config config;
+  config.rx_period = Milliseconds(1);
+  config.rx_queue_depth = 4;
+  FieldbusDevice bus(hw, config);
+  bus.Start();
+  RunHardwareFor(hw, Milliseconds(10));
+  EXPECT_GT(bus.rx_overruns(), 0u);
+  EXPECT_EQ(bus.frames_received(), 10u);
+}
+
+TEST(FieldbusDeviceTest, TransmitTakesWireTime) {
+  Hardware hw;
+  FieldbusDevice::Config config;
+  config.bit_rate = 1000000;  // 1 Mbit/s
+  FieldbusDevice bus(hw, config);
+  FieldbusDevice::Frame frame;
+  frame.id = 0x42;
+  for (int i = 0; i < 8; ++i) {
+    frame.payload.push_back(static_cast<uint8_t>(i));
+  }
+  EXPECT_TRUE(bus.WriteFrame(frame));
+  EXPECT_TRUE(bus.tx_busy());
+  EXPECT_FALSE(bus.WriteFrame(frame));  // busy
+  // 47 + 64 bits at 1 Mbit/s = 111 us.
+  RunHardwareFor(hw, Microseconds(110));
+  EXPECT_TRUE(bus.tx_busy());
+  RunHardwareFor(hw, Microseconds(2));
+  EXPECT_FALSE(bus.tx_busy());
+  EXPECT_TRUE(bus.tx_done());
+  EXPECT_EQ(bus.frames_sent(), 1u);
+  bus.ClearTxDone();
+  EXPECT_FALSE(bus.tx_done());
+}
+
+TEST(FieldbusDeviceTest, StopHaltsArrivals) {
+  Hardware hw;
+  FieldbusDevice::Config config;
+  config.rx_period = Milliseconds(2);
+  FieldbusDevice bus(hw, config);
+  bus.Start();
+  RunHardwareFor(hw, Milliseconds(5));
+  uint64_t count = bus.frames_received();
+  bus.Stop();
+  RunHardwareFor(hw, Milliseconds(20));
+  EXPECT_EQ(bus.frames_received(), count);
+}
+
+TEST(FieldbusDeviceTest, JitterStaysWithinBound) {
+  Hardware hw;
+  FieldbusDevice::Config config;
+  config.rx_period = Milliseconds(10);
+  config.rx_jitter = Milliseconds(3);
+  FieldbusDevice bus(hw, config);
+  bus.Start();
+  // Arrivals are period + [0, jitter); after 10 periods at most
+  // 10*13 = 130 ms, at least 100 ms.
+  RunHardwareFor(hw, Milliseconds(131));
+  EXPECT_GE(bus.frames_received(), 10u);
+  EXPECT_LE(bus.frames_received(), 13u);
+}
+
+TEST(SensorDeviceTest, LatchesSamplesPeriodically) {
+  Hardware hw;
+  SensorDevice::Config config;
+  config.period = Milliseconds(5);
+  SensorDevice sensor(hw, config);
+  sensor.Start();
+  EXPECT_EQ(sensor.sample_seq(), 0u);
+  RunHardwareFor(hw, Milliseconds(26));
+  EXPECT_EQ(sensor.sample_seq(), 5u);
+  EXPECT_EQ(hw.irq().raised_count(kIrqSensor), 5u);
+}
+
+TEST(SensorDeviceTest, WaveformBounded) {
+  Hardware hw;
+  SensorDevice::Config config;
+  config.period = Milliseconds(1);
+  config.amplitude = 50.0;
+  SensorDevice sensor(hw, config);
+  sensor.Start();
+  for (int i = 0; i < 100; ++i) {
+    RunHardwareFor(hw, Milliseconds(1));
+    EXPECT_LE(sensor.latest_sample(), 50.0);
+    EXPECT_GE(sensor.latest_sample(), -50.0);
+  }
+}
+
+TEST(SensorDeviceTest, NoIrqWhenDisabled) {
+  Hardware hw;
+  SensorDevice::Config config;
+  config.period = Milliseconds(5);
+  config.raise_irq = false;
+  SensorDevice sensor(hw, config);
+  sensor.Start();
+  RunHardwareFor(hw, Milliseconds(20));
+  EXPECT_GT(sensor.sample_seq(), 0u);
+  EXPECT_EQ(hw.irq().raised_count(kIrqSensor), 0u);
+}
+
+}  // namespace
+}  // namespace emeralds

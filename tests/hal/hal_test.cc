@@ -1,0 +1,236 @@
+// Virtual hardware tests: clock, hardware timers, interrupt controller,
+// cost model, trace sink.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/hal/cost_model.h"
+#include "src/hal/hardware.h"
+#include "src/hal/trace.h"
+
+namespace emeralds {
+namespace {
+
+TEST(VirtualClockTest, StartsAtZeroAndAdvances) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now().nanos(), 0);
+  clock.AdvanceBy(Microseconds(5));
+  EXPECT_EQ(clock.now().micros(), 5);
+  clock.AdvanceTo(Instant() + Milliseconds(1));
+  EXPECT_EQ(clock.now().micros(), 1000);
+}
+
+TEST(VirtualClockTest, ZeroAdvanceAllowed) {
+  VirtualClock clock;
+  clock.AdvanceTo(clock.now());
+  clock.AdvanceBy(Duration());
+  EXPECT_EQ(clock.now().nanos(), 0);
+}
+
+class RecordingTimer : public HardwareTimer {
+ public:
+  explicit RecordingTimer(std::vector<int>* log, int id) : log_(log), id_(id) {}
+  void OnExpire(Hardware& hw) override { log_->push_back(id_); }
+
+ private:
+  std::vector<int>* log_;
+  int id_;
+};
+
+TEST(HardwareTimerTest, FiresInExpiryOrder) {
+  Hardware hw;
+  std::vector<int> log;
+  RecordingTimer t1(&log, 1), t2(&log, 2), t3(&log, 3);
+  hw.ArmTimer(t2, Instant() + Microseconds(20));
+  hw.ArmTimer(t1, Instant() + Microseconds(10));
+  hw.ArmTimer(t3, Instant() + Microseconds(30));
+  EXPECT_EQ(hw.NextTimerExpiry(), Instant() + Microseconds(10));
+  hw.clock().AdvanceTo(Instant() + Microseconds(25));
+  EXPECT_EQ(hw.FireDueTimers(), 2);
+  EXPECT_EQ(log, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(t3.armed());
+}
+
+TEST(HardwareTimerTest, SimultaneousExpiryFiresInArmOrder) {
+  Hardware hw;
+  std::vector<int> log;
+  RecordingTimer t1(&log, 1), t2(&log, 2);
+  hw.ArmTimer(t2, Instant() + Microseconds(10));  // armed first
+  hw.ArmTimer(t1, Instant() + Microseconds(10));
+  hw.clock().AdvanceTo(Instant() + Microseconds(10));
+  hw.FireDueTimers();
+  EXPECT_EQ(log, (std::vector<int>{2, 1}));
+}
+
+TEST(HardwareTimerTest, RearmReprograms) {
+  Hardware hw;
+  std::vector<int> log;
+  RecordingTimer t(&log, 1);
+  hw.ArmTimer(t, Instant() + Microseconds(10));
+  hw.ArmTimer(t, Instant() + Microseconds(50));
+  hw.clock().AdvanceTo(Instant() + Microseconds(20));
+  EXPECT_EQ(hw.FireDueTimers(), 0);
+  EXPECT_TRUE(t.armed());
+  hw.clock().AdvanceTo(Instant() + Microseconds(50));
+  EXPECT_EQ(hw.FireDueTimers(), 1);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(HardwareTimerTest, DisarmPreventsFire) {
+  Hardware hw;
+  std::vector<int> log;
+  RecordingTimer t(&log, 1);
+  hw.ArmTimer(t, Instant() + Microseconds(10));
+  hw.DisarmTimer(t);
+  hw.clock().AdvanceTo(Instant() + Microseconds(20));
+  EXPECT_EQ(hw.FireDueTimers(), 0);
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(hw.NextTimerExpiry(), Instant::Max());
+}
+
+class RearmingTimer : public HardwareTimer {
+ public:
+  explicit RearmingTimer(int* count) : count_(count) {}
+  void OnExpire(Hardware& hw) override {
+    ++*count_;
+    if (*count_ < 3) {
+      hw.ArmTimer(*this, hw.now());  // due immediately
+    }
+  }
+
+ private:
+  int* count_;
+};
+
+TEST(HardwareTimerTest, CallbackMayRearmDueImmediately) {
+  Hardware hw;
+  int count = 0;
+  RearmingTimer t(&count);
+  hw.ArmTimer(t, Instant());
+  EXPECT_EQ(hw.FireDueTimers(), 3);
+  EXPECT_EQ(count, 3);
+}
+
+struct IrqRecorder {
+  std::vector<int> lines;
+  static void Handler(void* context, int line) {
+    static_cast<IrqRecorder*>(context)->lines.push_back(line);
+  }
+};
+
+TEST(InterruptControllerTest, DispatchCallsHandler) {
+  InterruptController ic;
+  IrqRecorder rec;
+  ic.Attach(3, &IrqRecorder::Handler, &rec);
+  ic.Raise(3);
+  EXPECT_TRUE(ic.pending(3));
+  EXPECT_EQ(ic.DispatchPending(), 1);
+  EXPECT_FALSE(ic.pending(3));
+  EXPECT_EQ(rec.lines, (std::vector<int>{3}));
+}
+
+TEST(InterruptControllerTest, CoalescesWhilePending) {
+  InterruptController ic;
+  IrqRecorder rec;
+  ic.Attach(1, &IrqRecorder::Handler, &rec);
+  ic.Raise(1);
+  ic.Raise(1);
+  EXPECT_EQ(ic.DispatchPending(), 1);
+  EXPECT_EQ(ic.raised_count(1), 2u);
+  EXPECT_EQ(ic.dispatched_count(1), 1u);
+}
+
+TEST(InterruptControllerTest, MaskedLineNotDelivered) {
+  InterruptController ic;
+  IrqRecorder rec;
+  ic.Attach(2, &IrqRecorder::Handler, &rec);
+  ic.SetEnabled(2, false);
+  ic.Raise(2);
+  EXPECT_FALSE(ic.AnyDeliverable());
+  EXPECT_EQ(ic.DispatchPending(), 0);
+  ic.SetEnabled(2, true);
+  EXPECT_TRUE(ic.AnyDeliverable());
+  EXPECT_EQ(ic.DispatchPending(), 1);
+}
+
+TEST(InterruptControllerTest, GlobalDisableBlocksAll) {
+  InterruptController ic;
+  IrqRecorder rec;
+  ic.Attach(0, &IrqRecorder::Handler, &rec);
+  ic.SetGlobalEnable(false);
+  ic.Raise(0);
+  EXPECT_EQ(ic.DispatchPending(), 0);
+  ic.SetGlobalEnable(true);
+  EXPECT_EQ(ic.DispatchPending(), 1);
+}
+
+TEST(InterruptControllerTest, FixedPriorityOrder) {
+  InterruptController ic;
+  IrqRecorder rec;
+  ic.Attach(5, &IrqRecorder::Handler, &rec);
+  ic.Attach(1, &IrqRecorder::Handler, &rec);
+  ic.Raise(5);
+  ic.Raise(1);
+  ic.DispatchPending();
+  EXPECT_EQ(rec.lines, (std::vector<int>{1, 5}));
+}
+
+TEST(InterruptControllerTest, UnattachedPendingNotDeliverable) {
+  InterruptController ic;
+  ic.Raise(7);
+  EXPECT_TRUE(ic.pending(7));
+  EXPECT_FALSE(ic.AnyDeliverable());
+}
+
+TEST(CostModelTest, Table1EdfFits) {
+  CostModel m = CostModel::MC68040_25MHz();
+  // t_b = 1.6, t_u = 1.2, t_s = 1.2 + 0.25 n.
+  EXPECT_EQ(m.QueueCost(QueueKind::kEdfList, QueueOp::kBlock, 1).nanos(), 1600);
+  EXPECT_EQ(m.QueueCost(QueueKind::kEdfList, QueueOp::kUnblock, 1).nanos(), 1200);
+  EXPECT_EQ(m.QueueCost(QueueKind::kEdfList, QueueOp::kSelect, 10).nanos(), 1200 + 2500);
+}
+
+TEST(CostModelTest, Table1RmFits) {
+  CostModel m = CostModel::MC68040_25MHz();
+  // t_b = 1.0 + 0.36 n, t_u = 1.4, t_s = 0.6.
+  EXPECT_EQ(m.QueueCost(QueueKind::kRmList, QueueOp::kBlock, 10).nanos(), 1000 + 3600);
+  EXPECT_EQ(m.QueueCost(QueueKind::kRmList, QueueOp::kUnblock, 1).nanos(), 1400);
+  EXPECT_EQ(m.QueueCost(QueueKind::kRmList, QueueOp::kSelect, 1).nanos(), 600);
+}
+
+TEST(CostModelTest, Table1HeapFits) {
+  CostModel m = CostModel::MC68040_25MHz();
+  // t_b = 0.4 + 2.8 ceil(log2(n+1)) with `units` = levels.
+  EXPECT_EQ(m.QueueCost(QueueKind::kRmHeap, QueueOp::kBlock, 4).nanos(), 400 + 4 * 2800);
+  EXPECT_EQ(m.QueueCost(QueueKind::kRmHeap, QueueOp::kUnblock, 4).nanos(), 1900 + 4 * 700);
+  EXPECT_EQ(m.QueueCost(QueueKind::kRmHeap, QueueOp::kSelect, 1).nanos(), 600);
+}
+
+TEST(CostModelTest, ZeroModelChargesNothing) {
+  CostModel m = CostModel::Zero();
+  EXPECT_TRUE(m.QueueCost(QueueKind::kEdfList, QueueOp::kSelect, 50).is_zero());
+  EXPECT_TRUE(m.context_switch.is_zero());
+  EXPECT_TRUE(m.syscall.is_zero());
+}
+
+TEST(TraceSinkTest, RecordsAndOverwrites) {
+  TraceSink sink(2);
+  sink.Record(Instant(), TraceEventType::kJobRelease, 1, 1);
+  sink.Record(Instant() + Microseconds(1), TraceEventType::kJobComplete, 1, 1);
+  sink.Record(Instant() + Microseconds(2), TraceEventType::kDeadlineMiss, 2, 1);
+  EXPECT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.total_recorded(), 3u);
+  EXPECT_EQ(sink.at(0).type, TraceEventType::kJobComplete);
+  EXPECT_EQ(sink.at(1).type, TraceEventType::kDeadlineMiss);
+}
+
+TEST(TraceSinkTest, ZeroCapacityCountsOnly) {
+  TraceSink sink(0);
+  sink.Record(Instant(), TraceEventType::kIrq, 1, 0);
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.total_recorded(), 1u);
+}
+
+}  // namespace
+}  // namespace emeralds

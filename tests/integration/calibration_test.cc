@@ -1,0 +1,95 @@
+// Calibration regression: the Figure 11 anchors the cost model was tuned to
+// (EXPERIMENTS.md). If a cost-model or semaphore-path change moves these,
+// the evaluation no longer matches the paper — fail loudly.
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/kernel_env.h"
+
+namespace emeralds {
+namespace {
+
+// The Figure 6 scenario from bench/fig11_semaphore_overhead, one data point.
+double PairOverheadUs(SchedulerSpec spec, SemMode mode, int queue_length) {
+  KernelConfig config;
+  config.scheduler = spec;
+  config.cost_model = CostModel::MC68040_25MHz();
+  config.default_sem_mode = mode;
+  config.trace_capacity = 0;
+  SimEnv env(config);
+  SemId sem = env.k().CreateSemaphoreWithMode("S", 1, mode).value();
+
+  ThreadParams t2;
+  t2.name = "T2";
+  t2.period = Milliseconds(10);
+  t2.body = [sem](ThreadApi api) -> ThreadBody {
+    for (;;) {
+      co_await api.Acquire(sem);
+      co_await api.Compute(Milliseconds(1));
+      co_await api.Release(sem);
+      co_await api.WaitNextPeriod(sem);
+    }
+  };
+  env.k().CreateThread(t2);
+  ThreadParams t1;
+  t1.name = "T1";
+  t1.period = Milliseconds(50);
+  t1.body = [sem](ThreadApi api) -> ThreadBody {
+    co_await api.Compute(Milliseconds(8));
+    co_await api.Acquire(sem);
+    co_await api.Compute(Milliseconds(3));
+    co_await api.Release(sem);
+    co_await api.WaitNextPeriod();
+  };
+  env.k().CreateThread(t1);
+  for (int i = 0; i < queue_length - 2; ++i) {
+    ThreadParams filler;
+    filler.name = "filler";
+    filler.period = Milliseconds(11 + (i % 38));
+    filler.first_release = Seconds(50);
+    filler.body = [](ThreadApi api) -> ThreadBody {
+      for (;;) {
+        co_await api.WaitNextPeriod();
+      }
+    };
+    env.k().CreateThread(filler);
+  }
+  env.k().Start();
+  env.k().RunUntil(Instant() + Microseconds(9500));
+  env.k().ResetChargeAccounting();
+  env.k().RunUntil(Instant() + Microseconds(12500));
+  return env.k().stats().sem_path_time.micros_f();
+}
+
+TEST(CalibrationTest, DpStandardAnchor) {
+  // Paper: ~39.3 us at DP queue length 15, slope 0.5 us/task.
+  EXPECT_NEAR(PairOverheadUs(SchedulerSpec::Edf(), SemMode::kStandard, 15), 39.0, 0.5);
+  double at3 = PairOverheadUs(SchedulerSpec::Edf(), SemMode::kStandard, 3);
+  double at27 = PairOverheadUs(SchedulerSpec::Edf(), SemMode::kStandard, 27);
+  EXPECT_NEAR((at27 - at3) / 24.0, 0.50, 0.02);
+}
+
+TEST(CalibrationTest, DpNewSchemeHalvesTheSlope) {
+  double at3 = PairOverheadUs(SchedulerSpec::Edf(), SemMode::kCse, 3);
+  double at27 = PairOverheadUs(SchedulerSpec::Edf(), SemMode::kCse, 27);
+  EXPECT_NEAR((at27 - at3) / 24.0, 0.25, 0.02);
+}
+
+TEST(CalibrationTest, FpNewSchemeConstantAtPaperValue) {
+  // Paper: constant 29.4 us regardless of FP queue length.
+  for (int n : {3, 15, 30}) {
+    EXPECT_NEAR(PairOverheadUs(SchedulerSpec::Rm(), SemMode::kCse, n), 29.4, 0.3) << n;
+  }
+}
+
+TEST(CalibrationTest, FpSavingsNearPaperPercent) {
+  // Paper: ~26% saved at FP queue length 15 (we measure ~28%).
+  double standard = PairOverheadUs(SchedulerSpec::Rm(), SemMode::kStandard, 15);
+  double cse = PairOverheadUs(SchedulerSpec::Rm(), SemMode::kCse, 15);
+  double saving = 100.0 * (standard - cse) / standard;
+  EXPECT_GT(saving, 20.0);
+  EXPECT_LT(saving, 35.0);
+}
+
+}  // namespace
+}  // namespace emeralds

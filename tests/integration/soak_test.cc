@@ -1,0 +1,237 @@
+// Full-system soak: one node exercising every kernel service at once for 30
+// simulated seconds, with per-reschedule invariant validation. Devices raise
+// IRQs into user-level drivers, which publish state messages; control tasks
+// share locks under PI/CSE; a mailbox pipeline crosses two protection
+// domains; application timers pace an aperiodic worker; the workload is
+// pre-verified by the analysis so the run must be miss-free.
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "src/hal/devices.h"
+#include "tests/testing/kernel_env.h"
+
+namespace emeralds {
+namespace {
+
+TEST(SoakTest, EverySubsystemThirtySeconds) {
+  KernelConfig config = CalibratedConfig(SchedulerSpec::Csd(3));
+  config.debug_validate = true;
+  config.trace_capacity = 0;
+  SimEnv env(config);
+  Kernel& k = env.k();
+
+  SensorDevice::Config sensor_config;
+  sensor_config.period = Milliseconds(4);
+  SensorDevice sensor(env.hw, sensor_config);
+  FieldbusDevice::Config bus_config;
+  bus_config.rx_period = Milliseconds(25);
+  bus_config.rx_jitter = Milliseconds(5);
+  FieldbusDevice bus(env.hw, bus_config);
+
+  ProcessId driver_proc = k.CreateProcess("drivers").value();
+  ProcessId app_proc = k.CreateProcess("app").value();
+
+  SmsgId sensor_msg = k.CreateStateMessage("sensor", sizeof(double), 4).value();
+  SemId object_lock = k.CreateSemaphore("object").value();
+  MailboxId frames = k.CreateMailbox("frames", 8).value();
+  CondvarId mode_changed = k.CreateCondvar("mode").value();
+  SemId mode_lock = k.CreateSemaphore("mode-lock").value();
+  SemId pace = k.CreateSemaphore("pace", 0).value();  // counting, timer-fed
+  TimerId pacer = k.CreateTimer("pacer", pace).value();
+  RegionId page = k.CreateRegion("page", 32).value();
+  k.MapRegion(driver_proc, page, true, true);
+  k.MapRegion(app_proc, page, true, false);
+
+  int mode = 0;
+  double object_state = 0.0;
+  uint64_t paced_wakes = 0;
+  uint64_t frames_handled = 0;
+  uint64_t mode_observations = 0;
+
+  // Sensor driver (driver process): IRQ -> state message + shared page.
+  ThreadParams sensor_drv;
+  sensor_drv.name = "sensor-drv";
+  sensor_drv.process = driver_proc;
+  sensor_drv.band = 0;
+  sensor_drv.body = [&](ThreadApi api) -> ThreadBody {
+    uint64_t count = 0;
+    for (;;) {
+      co_await api.WaitIrq(kIrqSensor);
+      co_await api.Compute(Microseconds(40));
+      double value = sensor.latest_sample();
+      co_await api.StateWrite(sensor_msg,
+                              std::span<const uint8_t>(
+                                  reinterpret_cast<const uint8_t*>(&value), sizeof(value)));
+      ++count;
+      std::memcpy(api.RegionData(page, true).data(), &count, sizeof(count));
+    }
+  };
+  k.BindIrqThread(k.CreateThread(sensor_drv).value(), kIrqSensor);
+
+  // Bus driver (driver process): IRQ -> mailbox.
+  ThreadParams bus_drv;
+  bus_drv.name = "bus-drv";
+  bus_drv.process = driver_proc;
+  bus_drv.band = 2;
+  bus_drv.body = [&](ThreadApi api) -> ThreadBody {
+    for (;;) {
+      co_await api.WaitIrq(kIrqFieldbus);
+      while (bus.rx_ready()) {
+        FieldbusDevice::Frame frame = bus.ReadFrame();
+        co_await api.Compute(Microseconds(60));
+        uint8_t payload[8] = {static_cast<uint8_t>(frame.id & 0xff)};
+        co_await api.Send(frames, payload);
+      }
+    }
+  };
+  k.BindIrqThread(k.CreateThread(bus_drv).value(), kIrqFieldbus);
+
+  // Three periodic control tasks (app process) sharing the object lock, with
+  // parser-style CSE hints.
+  const int64_t control_periods_ms[3] = {8, 16, 40};
+  for (int i = 0; i < 3; ++i) {
+    ThreadParams control;
+    control.name = "control";
+    control.process = app_proc;
+    control.period = Milliseconds(control_periods_ms[i]);
+    control.band = i < 2 ? 0 : 1;
+    Duration work = Microseconds(300 + 150 * i);
+    control.body = [&, work](ThreadApi api) -> ThreadBody {
+      for (;;) {
+        double value = 0.0;
+        co_await api.StateRead(sensor_msg,
+                               std::span<uint8_t>(reinterpret_cast<uint8_t*>(&value),
+                                                  sizeof(value)));
+        co_await api.Acquire(object_lock);
+        co_await api.Compute(work);
+        object_state += value * 1e-6;
+        co_await api.Release(object_lock);
+        co_await api.WaitNextPeriod(object_lock);
+      }
+    };
+    ASSERT_TRUE(k.CreateThread(control).ok());
+  }
+
+  // Frame consumer (app process): mailbox with timeout; toggles the mode and
+  // broadcasts.
+  ThreadParams consumer;
+  consumer.name = "consumer";
+  consumer.process = app_proc;
+  consumer.band = 2;
+  consumer.body = [&](ThreadApi api) -> ThreadBody {
+    for (;;) {
+      uint8_t buffer[8];
+      RecvResult r = co_await api.Recv(frames, buffer, Milliseconds(100));
+      if (r.status == Status::kOk) {
+        ++frames_handled;
+        co_await api.Acquire(mode_lock);
+        mode = (mode + 1) % 3;
+        co_await api.Broadcast(mode_changed);
+        co_await api.Release(mode_lock);
+      }
+    }
+  };
+  ASSERT_TRUE(k.CreateThread(consumer).ok());
+
+  // Mode watcher: condvar loop.
+  ThreadParams watcher;
+  watcher.name = "watcher";
+  watcher.process = app_proc;
+  watcher.band = 2;
+  watcher.body = [&](ThreadApi api) -> ThreadBody {
+    int seen = 0;
+    for (;;) {
+      co_await api.Acquire(mode_lock);
+      while (mode == seen) {
+        co_await api.Wait(mode_changed, mode_lock);
+      }
+      seen = mode;
+      ++mode_observations;
+      co_await api.Release(mode_lock);
+    }
+  };
+  ASSERT_TRUE(k.CreateThread(watcher).ok());
+
+  // Timer-paced aperiodic worker.
+  ThreadParams paced;
+  paced.name = "paced";
+  paced.process = app_proc;
+  paced.band = 2;
+  paced.body = [&](ThreadApi api) -> ThreadBody {
+    for (;;) {
+      co_await api.Acquire(pace);
+      ++paced_wakes;
+      co_await api.Compute(Microseconds(200));
+    }
+  };
+  ASSERT_TRUE(k.CreateThread(paced).ok());
+  k.StartTimer(pacer, Milliseconds(10), Milliseconds(50));
+
+  sensor.Start();
+  bus.Start();
+  k.Start();
+  k.RunUntil(Instant() + Seconds(30));
+
+  const KernelStats& stats = k.stats();
+  // Every subsystem must have been exercised.
+  EXPECT_EQ(stats.deadline_misses, 0u);
+  EXPECT_EQ(stats.jobs_completed, 6375u);      // 30s/8ms + 30s/16ms + 30s/40ms
+  EXPECT_GT(stats.smsg_writes, 7000u);          // sensor at 4 ms
+  EXPECT_GT(stats.smsg_reads, 6000u);
+  EXPECT_GT(frames_handled, 900u);              // bus at ~25-30 ms
+  EXPECT_GT(mode_observations, 100u);
+  EXPECT_EQ(paced_wakes, 600u);                 // 50 ms pacer over 30 s
+  EXPECT_GT(stats.sem_acquires, 7000u);
+  EXPECT_GT(stats.interrupts, 8000u);
+  // Locks fully unwound.
+  EXPECT_EQ(k.semaphore(object_lock).owner, nullptr);
+  EXPECT_EQ(k.semaphore(mode_lock).owner, nullptr);
+  // Shared page saw the driver's counter.
+  uint64_t page_count = 0;
+  std::memcpy(&page_count, k.RegionDataFor(app_proc, page, false).data(), sizeof(page_count));
+  EXPECT_GT(page_count, 7000u);
+  env.k().scheduler().Validate();
+}
+
+TEST(SoakTest, SlowerCpuProfileDegradesGracefully) {
+  // The same kernel on the 16 MHz profile: everything still works, more of
+  // the second goes to the kernel.
+  auto run = [](CostModel cost) {
+    KernelConfig config;
+    config.scheduler = SchedulerSpec::Csd(2);
+    config.cost_model = cost;
+    config.trace_capacity = 0;
+    SimEnv env(config);
+    SemId lock = env.k().CreateSemaphore("lock").value();
+    for (int64_t period_ms : {5, 10, 20, 50}) {
+      ThreadParams params;
+      params.name = "task";
+      params.period = Milliseconds(period_ms);
+      params.body = [lock](ThreadApi api) -> ThreadBody {
+        for (;;) {
+          co_await api.Acquire(lock);
+          co_await api.Compute(Microseconds(400));
+          co_await api.Release(lock);
+          co_await api.WaitNextPeriod(lock);
+        }
+      };
+      env.k().CreateThread(params);
+    }
+    env.StartAndRunFor(Seconds(5));
+    return std::make_pair(env.k().stats().deadline_misses,
+                          env.k().stats().total_charged());
+  };
+  auto [fast_misses, fast_overhead] = run(CostModel::MC68040_25MHz());
+  auto [slow_misses, slow_overhead] = run(CostModel::MC68332_16MHz());
+  EXPECT_EQ(fast_misses, 0u);
+  EXPECT_EQ(slow_misses, 0u);
+  // 25/16 clock ratio shows up almost exactly in kernel time.
+  double ratio = static_cast<double>(slow_overhead.nanos()) /
+                 static_cast<double>(fast_overhead.nanos());
+  EXPECT_NEAR(ratio, 25.0 / 16.0, 0.05);
+}
+
+}  // namespace
+}  // namespace emeralds

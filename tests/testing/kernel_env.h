@@ -1,0 +1,43 @@
+// Shared scaffolding for kernel tests: a Hardware + Kernel pair with
+// convenient configs (zero-cost for logic tests, MC68040 for timing tests).
+
+#ifndef TESTS_TESTING_KERNEL_ENV_H_
+#define TESTS_TESTING_KERNEL_ENV_H_
+
+#include <memory>
+
+#include "src/core/kernel.h"
+#include "src/hal/hardware.h"
+
+namespace emeralds {
+
+inline KernelConfig ZeroCostConfig(SchedulerSpec spec = SchedulerSpec::Edf()) {
+  KernelConfig config;
+  config.scheduler = spec;
+  config.cost_model = CostModel::Zero();
+  return config;
+}
+
+inline KernelConfig CalibratedConfig(SchedulerSpec spec = SchedulerSpec::Edf()) {
+  KernelConfig config;
+  config.scheduler = spec;
+  config.cost_model = CostModel::MC68040_25MHz();
+  return config;
+}
+
+struct SimEnv {
+  Hardware hw;
+  std::unique_ptr<Kernel> kernel;
+
+  explicit SimEnv(const KernelConfig& config) : kernel(std::make_unique<Kernel>(hw, config)) {}
+
+  Kernel& k() { return *kernel; }
+  void StartAndRunFor(Duration d) {
+    kernel->Start();
+    kernel->RunUntil(Instant() + d);
+  }
+};
+
+}  // namespace emeralds
+
+#endif  // TESTS_TESTING_KERNEL_ENV_H_

@@ -1,0 +1,110 @@
+// Workload generator tests: the paper's period-class recipe, scaling,
+// Table 2's reconstructed task set.
+
+#include <gtest/gtest.h>
+
+#include "src/workload/workload.h"
+
+namespace emeralds {
+namespace {
+
+TEST(WorkloadTest, Table2HasTenTasksAtPointEightEight) {
+  TaskSet set = Table2Workload();
+  EXPECT_EQ(set.size(), 10);
+  EXPECT_NEAR(set.Utilization(), 0.88, 0.01);
+  EXPECT_TRUE(set.IsSortedByPeriod());
+  // tau_5 is the troublesome task: period 8 ms, preceded by 4..7 ms tasks.
+  EXPECT_EQ(set.tasks[4].period.millis(), 8);
+  EXPECT_EQ(set.tasks[0].period.millis(), 4);
+  // tau_6..tau_10 have "much longer periods".
+  EXPECT_GE(set.tasks[5].period.millis(), 100);
+}
+
+TEST(WorkloadTest, ScaledByMultipliesWcets) {
+  TaskSet set = Table2Workload();
+  TaskSet scaled = set.ScaledBy(0.5);
+  EXPECT_NEAR(scaled.Utilization(), set.Utilization() * 0.5, 1e-9);
+  EXPECT_EQ(scaled.tasks[0].period, set.tasks[0].period);
+  EXPECT_EQ(scaled.tasks[0].wcet.micros(), 500);
+}
+
+TEST(WorkloadTest, PeriodsDividedKeepsWcets) {
+  TaskSet set = Table2Workload();
+  TaskSet divided = set.PeriodsDividedBy(2);
+  EXPECT_EQ(divided.tasks[0].period.millis(), 2);
+  EXPECT_EQ(divided.tasks[0].deadline.millis(), 2);
+  EXPECT_EQ(divided.tasks[0].wcet, set.tasks[0].wcet);
+  EXPECT_NEAR(divided.Utilization(), set.Utilization() * 2.0, 1e-9);
+}
+
+TEST(WorkloadTest, SortByPeriodIsStable) {
+  TaskSet set;
+  PeriodicTask a{Milliseconds(10), Microseconds(1), Milliseconds(10)};
+  PeriodicTask b{Milliseconds(5), Microseconds(2), Milliseconds(5)};
+  PeriodicTask c{Milliseconds(10), Microseconds(3), Milliseconds(10)};
+  set.tasks = {a, b, c};
+  set.SortByPeriod();
+  EXPECT_EQ(set.tasks[0].wcet.micros(), 2);
+  EXPECT_EQ(set.tasks[1].wcet.micros(), 1);  // a before c (stable)
+  EXPECT_EQ(set.tasks[2].wcet.micros(), 3);
+}
+
+class WorkloadGenTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadGenTest, GeneratorInvariants) {
+  int n = GetParam();
+  Rng rng(1000 + n);
+  for (int trial = 0; trial < 20; ++trial) {
+    TaskSet set = GenerateWorkload(rng, n);
+    ASSERT_EQ(set.size(), n);
+    EXPECT_TRUE(set.IsSortedByPeriod());
+    EXPECT_NEAR(set.Utilization(), 0.5, 0.05);  // normalized (+ rounding)
+    for (const PeriodicTask& task : set.tasks) {
+      EXPECT_GE(task.period.millis(), 5);
+      EXPECT_LE(task.period.millis(), 999);
+      EXPECT_TRUE(task.wcet.is_positive());
+      EXPECT_LE(task.wcet, task.period);
+      EXPECT_EQ(task.deadline, task.period);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WorkloadGenTest, ::testing::Values(1, 5, 10, 25, 50));
+
+TEST(WorkloadGenStatsTest, PeriodClassesEquallyLikely) {
+  Rng rng(7);
+  int single = 0;
+  int double_digit = 0;
+  int triple = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    TaskSet set = GenerateWorkload(rng, 10);
+    for (const PeriodicTask& task : set.tasks) {
+      int64_t ms = task.period.millis();
+      if (ms < 10) {
+        ++single;
+      } else if (ms < 100) {
+        ++double_digit;
+      } else {
+        ++triple;
+      }
+    }
+  }
+  // 3000 samples; each class should get roughly a third.
+  EXPECT_NEAR(single / 3000.0, 1.0 / 3.0, 0.05);
+  EXPECT_NEAR(double_digit / 3000.0, 1.0 / 3.0, 0.05);
+  EXPECT_NEAR(triple / 3000.0, 1.0 / 3.0, 0.05);
+}
+
+TEST(WorkloadGenStatsTest, DeterministicForSameSeed) {
+  Rng a(99);
+  Rng b(99);
+  TaskSet sa = GenerateWorkload(a, 20);
+  TaskSet sb = GenerateWorkload(b, 20);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(sa.tasks[i].period, sb.tasks[i].period);
+    EXPECT_EQ(sa.tasks[i].wcet, sb.tasks[i].wcet);
+  }
+}
+
+}  // namespace
+}  // namespace emeralds
