@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_csdx_queues.dir/ablation_csdx_queues.cc.o"
+  "CMakeFiles/ablation_csdx_queues.dir/ablation_csdx_queues.cc.o.d"
+  "ablation_csdx_queues"
+  "ablation_csdx_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_csdx_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cyclic_executive.dir/ablation_cyclic_executive.cc.o"
+  "CMakeFiles/ablation_cyclic_executive.dir/ablation_cyclic_executive.cc.o.d"
+  "ablation_cyclic_executive"
+  "ablation_cyclic_executive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cyclic_executive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pi_placeholder.dir/ablation_pi_placeholder.cc.o"
+  "CMakeFiles/ablation_pi_placeholder.dir/ablation_pi_placeholder.cc.o.d"
+  "ablation_pi_placeholder"
+  "ablation_pi_placeholder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pi_placeholder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

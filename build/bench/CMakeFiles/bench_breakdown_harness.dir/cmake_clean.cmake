@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_breakdown_harness.dir/breakdown_harness.cc.o"
+  "CMakeFiles/bench_breakdown_harness.dir/breakdown_harness.cc.o.d"
+  "libbench_breakdown_harness.a"
+  "libbench_breakdown_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_breakdown_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

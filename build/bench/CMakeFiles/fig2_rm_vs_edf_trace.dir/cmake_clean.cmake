@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_rm_vs_edf_trace.dir/fig2_rm_vs_edf_trace.cc.o"
+  "CMakeFiles/fig2_rm_vs_edf_trace.dir/fig2_rm_vs_edf_trace.cc.o.d"
+  "fig2_rm_vs_edf_trace"
+  "fig2_rm_vs_edf_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_rm_vs_edf_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

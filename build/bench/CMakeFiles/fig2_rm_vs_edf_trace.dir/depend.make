@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_rm_vs_edf_trace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_breakdown_base.dir/fig3_breakdown_base.cc.o"
+  "CMakeFiles/fig3_breakdown_base.dir/fig3_breakdown_base.cc.o.d"
+  "fig3_breakdown_base"
+  "fig3_breakdown_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_breakdown_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

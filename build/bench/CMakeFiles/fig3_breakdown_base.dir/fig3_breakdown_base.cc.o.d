@@ -1,0 +1,3 @@
+bench/CMakeFiles/fig3_breakdown_base.dir/fig3_breakdown_base.cc.o: \
+ /root/repo/bench/fig3_breakdown_base.cc /usr/include/stdc-predef.h \
+ /root/repo/bench/breakdown_harness.h

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_breakdown_div2.cc" "bench/CMakeFiles/fig4_breakdown_div2.dir/fig4_breakdown_div2.cc.o" "gcc" "bench/CMakeFiles/fig4_breakdown_div2.dir/fig4_breakdown_div2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/emeralds_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/emeralds_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/emeralds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/emeralds_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hal/CMakeFiles/emeralds_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/emeralds_base.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/bench_breakdown_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_breakdown_div2.dir/fig4_breakdown_div2.cc.o"
+  "CMakeFiles/fig4_breakdown_div2.dir/fig4_breakdown_div2.cc.o.d"
+  "fig4_breakdown_div2"
+  "fig4_breakdown_div2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_breakdown_div2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+bench/CMakeFiles/fig4_breakdown_div2.dir/fig4_breakdown_div2.cc.o: \
+ /root/repo/bench/fig4_breakdown_div2.cc /usr/include/stdc-predef.h \
+ /root/repo/bench/breakdown_harness.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_breakdown_div3.dir/fig5_breakdown_div3.cc.o"
+  "CMakeFiles/fig5_breakdown_div3.dir/fig5_breakdown_div3.cc.o.d"
+  "fig5_breakdown_div3"
+  "fig5_breakdown_div3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_breakdown_div3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+bench/CMakeFiles/fig5_breakdown_div3.dir/fig5_breakdown_div3.cc.o: \
+ /root/repo/bench/fig5_breakdown_div3.cc /usr/include/stdc-predef.h \
+ /root/repo/bench/breakdown_harness.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_state_messages.dir/sec7_state_messages.cc.o"
+  "CMakeFiles/sec7_state_messages.dir/sec7_state_messages.cc.o.d"
+  "sec7_state_messages"
+  "sec7_state_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_state_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

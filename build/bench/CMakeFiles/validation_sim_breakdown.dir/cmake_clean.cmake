@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_sim_breakdown.dir/validation_sim_breakdown.cc.o"
+  "CMakeFiles/validation_sim_breakdown.dir/validation_sim_breakdown.cc.o.d"
+  "validation_sim_breakdown"
+  "validation_sim_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_sim_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

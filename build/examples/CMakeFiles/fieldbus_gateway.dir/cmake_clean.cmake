@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fieldbus_gateway.dir/fieldbus_gateway.cpp.o"
+  "CMakeFiles/fieldbus_gateway.dir/fieldbus_gateway.cpp.o.d"
+  "fieldbus_gateway"
+  "fieldbus_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fieldbus_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/voice_codec.cpp" "examples/CMakeFiles/voice_codec.dir/voice_codec.cpp.o" "gcc" "examples/CMakeFiles/voice_codec.dir/voice_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/emeralds_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/emeralds_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/emeralds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/emeralds_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hal/CMakeFiles/emeralds_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/emeralds_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

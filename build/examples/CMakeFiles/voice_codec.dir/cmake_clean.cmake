@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voice_codec.dir/voice_codec.cpp.o"
+  "CMakeFiles/voice_codec.dir/voice_codec.cpp.o.d"
+  "voice_codec"
+  "voice_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voice_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

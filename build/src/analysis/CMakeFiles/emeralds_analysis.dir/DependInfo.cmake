@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/breakdown.cc" "src/analysis/CMakeFiles/emeralds_analysis.dir/breakdown.cc.o" "gcc" "src/analysis/CMakeFiles/emeralds_analysis.dir/breakdown.cc.o.d"
+  "/root/repo/src/analysis/cyclic.cc" "src/analysis/CMakeFiles/emeralds_analysis.dir/cyclic.cc.o" "gcc" "src/analysis/CMakeFiles/emeralds_analysis.dir/cyclic.cc.o.d"
+  "/root/repo/src/analysis/overhead.cc" "src/analysis/CMakeFiles/emeralds_analysis.dir/overhead.cc.o" "gcc" "src/analysis/CMakeFiles/emeralds_analysis.dir/overhead.cc.o.d"
+  "/root/repo/src/analysis/sched_test.cc" "src/analysis/CMakeFiles/emeralds_analysis.dir/sched_test.cc.o" "gcc" "src/analysis/CMakeFiles/emeralds_analysis.dir/sched_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/emeralds_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/hal/CMakeFiles/emeralds_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/emeralds_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

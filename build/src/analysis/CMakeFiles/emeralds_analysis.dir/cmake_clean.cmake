@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emeralds_analysis.dir/breakdown.cc.o"
+  "CMakeFiles/emeralds_analysis.dir/breakdown.cc.o.d"
+  "CMakeFiles/emeralds_analysis.dir/cyclic.cc.o"
+  "CMakeFiles/emeralds_analysis.dir/cyclic.cc.o.d"
+  "CMakeFiles/emeralds_analysis.dir/overhead.cc.o"
+  "CMakeFiles/emeralds_analysis.dir/overhead.cc.o.d"
+  "CMakeFiles/emeralds_analysis.dir/sched_test.cc.o"
+  "CMakeFiles/emeralds_analysis.dir/sched_test.cc.o.d"
+  "libemeralds_analysis.a"
+  "libemeralds_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emeralds_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emeralds_base.dir/assert.cc.o"
+  "CMakeFiles/emeralds_base.dir/assert.cc.o.d"
+  "CMakeFiles/emeralds_base.dir/log.cc.o"
+  "CMakeFiles/emeralds_base.dir/log.cc.o.d"
+  "CMakeFiles/emeralds_base.dir/rng.cc.o"
+  "CMakeFiles/emeralds_base.dir/rng.cc.o.d"
+  "CMakeFiles/emeralds_base.dir/status.cc.o"
+  "CMakeFiles/emeralds_base.dir/status.cc.o.d"
+  "CMakeFiles/emeralds_base.dir/time.cc.o"
+  "CMakeFiles/emeralds_base.dir/time.cc.o.d"
+  "libemeralds_base.a"
+  "libemeralds_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emeralds_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/api.cc" "src/core/CMakeFiles/emeralds_core.dir/api.cc.o" "gcc" "src/core/CMakeFiles/emeralds_core.dir/api.cc.o.d"
+  "/root/repo/src/core/band.cc" "src/core/CMakeFiles/emeralds_core.dir/band.cc.o" "gcc" "src/core/CMakeFiles/emeralds_core.dir/band.cc.o.d"
+  "/root/repo/src/core/condvar.cc" "src/core/CMakeFiles/emeralds_core.dir/condvar.cc.o" "gcc" "src/core/CMakeFiles/emeralds_core.dir/condvar.cc.o.d"
+  "/root/repo/src/core/ipc.cc" "src/core/CMakeFiles/emeralds_core.dir/ipc.cc.o" "gcc" "src/core/CMakeFiles/emeralds_core.dir/ipc.cc.o.d"
+  "/root/repo/src/core/irq.cc" "src/core/CMakeFiles/emeralds_core.dir/irq.cc.o" "gcc" "src/core/CMakeFiles/emeralds_core.dir/irq.cc.o.d"
+  "/root/repo/src/core/kernel.cc" "src/core/CMakeFiles/emeralds_core.dir/kernel.cc.o" "gcc" "src/core/CMakeFiles/emeralds_core.dir/kernel.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/emeralds_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/emeralds_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/semaphore.cc" "src/core/CMakeFiles/emeralds_core.dir/semaphore.cc.o" "gcc" "src/core/CMakeFiles/emeralds_core.dir/semaphore.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/emeralds_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/emeralds_core.dir/stats.cc.o.d"
+  "/root/repo/src/core/taskset_runner.cc" "src/core/CMakeFiles/emeralds_core.dir/taskset_runner.cc.o" "gcc" "src/core/CMakeFiles/emeralds_core.dir/taskset_runner.cc.o.d"
+  "/root/repo/src/core/tcb.cc" "src/core/CMakeFiles/emeralds_core.dir/tcb.cc.o" "gcc" "src/core/CMakeFiles/emeralds_core.dir/tcb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/emeralds_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/hal/CMakeFiles/emeralds_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/emeralds_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emeralds_core.dir/api.cc.o"
+  "CMakeFiles/emeralds_core.dir/api.cc.o.d"
+  "CMakeFiles/emeralds_core.dir/band.cc.o"
+  "CMakeFiles/emeralds_core.dir/band.cc.o.d"
+  "CMakeFiles/emeralds_core.dir/condvar.cc.o"
+  "CMakeFiles/emeralds_core.dir/condvar.cc.o.d"
+  "CMakeFiles/emeralds_core.dir/ipc.cc.o"
+  "CMakeFiles/emeralds_core.dir/ipc.cc.o.d"
+  "CMakeFiles/emeralds_core.dir/irq.cc.o"
+  "CMakeFiles/emeralds_core.dir/irq.cc.o.d"
+  "CMakeFiles/emeralds_core.dir/kernel.cc.o"
+  "CMakeFiles/emeralds_core.dir/kernel.cc.o.d"
+  "CMakeFiles/emeralds_core.dir/scheduler.cc.o"
+  "CMakeFiles/emeralds_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/emeralds_core.dir/semaphore.cc.o"
+  "CMakeFiles/emeralds_core.dir/semaphore.cc.o.d"
+  "CMakeFiles/emeralds_core.dir/stats.cc.o"
+  "CMakeFiles/emeralds_core.dir/stats.cc.o.d"
+  "CMakeFiles/emeralds_core.dir/taskset_runner.cc.o"
+  "CMakeFiles/emeralds_core.dir/taskset_runner.cc.o.d"
+  "CMakeFiles/emeralds_core.dir/tcb.cc.o"
+  "CMakeFiles/emeralds_core.dir/tcb.cc.o.d"
+  "libemeralds_core.a"
+  "libemeralds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emeralds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

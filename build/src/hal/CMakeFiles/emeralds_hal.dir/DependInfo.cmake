@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hal/clock.cc" "src/hal/CMakeFiles/emeralds_hal.dir/clock.cc.o" "gcc" "src/hal/CMakeFiles/emeralds_hal.dir/clock.cc.o.d"
+  "/root/repo/src/hal/cost_model.cc" "src/hal/CMakeFiles/emeralds_hal.dir/cost_model.cc.o" "gcc" "src/hal/CMakeFiles/emeralds_hal.dir/cost_model.cc.o.d"
+  "/root/repo/src/hal/devices.cc" "src/hal/CMakeFiles/emeralds_hal.dir/devices.cc.o" "gcc" "src/hal/CMakeFiles/emeralds_hal.dir/devices.cc.o.d"
+  "/root/repo/src/hal/hardware.cc" "src/hal/CMakeFiles/emeralds_hal.dir/hardware.cc.o" "gcc" "src/hal/CMakeFiles/emeralds_hal.dir/hardware.cc.o.d"
+  "/root/repo/src/hal/interrupts.cc" "src/hal/CMakeFiles/emeralds_hal.dir/interrupts.cc.o" "gcc" "src/hal/CMakeFiles/emeralds_hal.dir/interrupts.cc.o.d"
+  "/root/repo/src/hal/trace.cc" "src/hal/CMakeFiles/emeralds_hal.dir/trace.cc.o" "gcc" "src/hal/CMakeFiles/emeralds_hal.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/emeralds_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emeralds_hal.dir/clock.cc.o"
+  "CMakeFiles/emeralds_hal.dir/clock.cc.o.d"
+  "CMakeFiles/emeralds_hal.dir/cost_model.cc.o"
+  "CMakeFiles/emeralds_hal.dir/cost_model.cc.o.d"
+  "CMakeFiles/emeralds_hal.dir/devices.cc.o"
+  "CMakeFiles/emeralds_hal.dir/devices.cc.o.d"
+  "CMakeFiles/emeralds_hal.dir/hardware.cc.o"
+  "CMakeFiles/emeralds_hal.dir/hardware.cc.o.d"
+  "CMakeFiles/emeralds_hal.dir/interrupts.cc.o"
+  "CMakeFiles/emeralds_hal.dir/interrupts.cc.o.d"
+  "CMakeFiles/emeralds_hal.dir/trace.cc.o"
+  "CMakeFiles/emeralds_hal.dir/trace.cc.o.d"
+  "libemeralds_hal.a"
+  "libemeralds_hal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emeralds_hal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

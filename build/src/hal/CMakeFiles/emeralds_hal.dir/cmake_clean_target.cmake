@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libemeralds_hal.a"
+)

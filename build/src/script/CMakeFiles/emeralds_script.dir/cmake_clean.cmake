@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emeralds_script.dir/script.cc.o"
+  "CMakeFiles/emeralds_script.dir/script.cc.o.d"
+  "libemeralds_script.a"
+  "libemeralds_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emeralds_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

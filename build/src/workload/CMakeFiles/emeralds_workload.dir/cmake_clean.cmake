@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emeralds_workload.dir/workload.cc.o"
+  "CMakeFiles/emeralds_workload.dir/workload.cc.o.d"
+  "libemeralds_workload.a"
+  "libemeralds_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emeralds_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

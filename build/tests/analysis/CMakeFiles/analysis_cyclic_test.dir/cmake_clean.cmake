@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_cyclic_test.dir/cyclic_test.cc.o"
+  "CMakeFiles/analysis_cyclic_test.dir/cyclic_test.cc.o.d"
+  "analysis_cyclic_test"
+  "analysis_cyclic_test.pdb"
+  "analysis_cyclic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_cyclic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_partition_search_test.dir/partition_search_test.cc.o"
+  "CMakeFiles/analysis_partition_search_test.dir/partition_search_test.cc.o.d"
+  "analysis_partition_search_test"
+  "analysis_partition_search_test.pdb"
+  "analysis_partition_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_partition_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_containers_test.dir/containers_test.cc.o"
+  "CMakeFiles/base_containers_test.dir/containers_test.cc.o.d"
+  "base_containers_test"
+  "base_containers_test.pdb"
+  "base_containers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_containers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

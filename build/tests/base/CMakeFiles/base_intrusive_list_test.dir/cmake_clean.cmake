@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_intrusive_list_test.dir/intrusive_list_test.cc.o"
+  "CMakeFiles/base_intrusive_list_test.dir/intrusive_list_test.cc.o.d"
+  "base_intrusive_list_test"
+  "base_intrusive_list_test.pdb"
+  "base_intrusive_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_intrusive_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_list_model_test.dir/list_model_test.cc.o"
+  "CMakeFiles/base_list_model_test.dir/list_model_test.cc.o.d"
+  "base_list_model_test"
+  "base_list_model_test.pdb"
+  "base_list_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_list_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

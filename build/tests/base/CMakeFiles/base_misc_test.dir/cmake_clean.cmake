@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/base_misc_test.dir/misc_test.cc.o"
+  "CMakeFiles/base_misc_test.dir/misc_test.cc.o.d"
+  "base_misc_test"
+  "base_misc_test.pdb"
+  "base_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/base_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

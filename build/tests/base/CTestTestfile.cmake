@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/base
+# Build directory: /root/repo/build/tests/base
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base/base_intrusive_list_test[1]_include.cmake")
+include("/root/repo/build/tests/base/base_containers_test[1]_include.cmake")
+include("/root/repo/build/tests/base/base_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/base/base_list_model_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_advanced_test.dir/advanced_test.cc.o"
+  "CMakeFiles/core_advanced_test.dir/advanced_test.cc.o.d"
+  "core_advanced_test"
+  "core_advanced_test.pdb"
+  "core_advanced_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_advanced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

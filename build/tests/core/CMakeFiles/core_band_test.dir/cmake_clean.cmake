@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_band_test.dir/band_test.cc.o"
+  "CMakeFiles/core_band_test.dir/band_test.cc.o.d"
+  "core_band_test"
+  "core_band_test.pdb"
+  "core_band_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_band_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_condvar_test.dir/condvar_test.cc.o"
+  "CMakeFiles/core_condvar_test.dir/condvar_test.cc.o.d"
+  "core_condvar_test"
+  "core_condvar_test.pdb"
+  "core_condvar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_condvar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_death_test.dir/death_test.cc.o"
+  "CMakeFiles/core_death_test.dir/death_test.cc.o.d"
+  "core_death_test"
+  "core_death_test.pdb"
+  "core_death_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_death_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

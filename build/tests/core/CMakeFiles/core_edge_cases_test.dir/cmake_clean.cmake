@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_edge_cases_test.dir/edge_cases_test.cc.o"
+  "CMakeFiles/core_edge_cases_test.dir/edge_cases_test.cc.o.d"
+  "core_edge_cases_test"
+  "core_edge_cases_test.pdb"
+  "core_edge_cases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

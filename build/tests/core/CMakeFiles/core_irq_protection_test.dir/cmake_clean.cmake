@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_irq_protection_test.dir/irq_protection_test.cc.o"
+  "CMakeFiles/core_irq_protection_test.dir/irq_protection_test.cc.o.d"
+  "core_irq_protection_test"
+  "core_irq_protection_test.pdb"
+  "core_irq_protection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_irq_protection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mailbox_test.dir/mailbox_test.cc.o"
+  "CMakeFiles/core_mailbox_test.dir/mailbox_test.cc.o.d"
+  "core_mailbox_test"
+  "core_mailbox_test.pdb"
+  "core_mailbox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mailbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

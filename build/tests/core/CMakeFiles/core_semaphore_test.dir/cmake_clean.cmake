@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_semaphore_test.dir/semaphore_test.cc.o"
+  "CMakeFiles/core_semaphore_test.dir/semaphore_test.cc.o.d"
+  "core_semaphore_test"
+  "core_semaphore_test.pdb"
+  "core_semaphore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_semaphore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_statemsg_test.dir/statemsg_test.cc.o"
+  "CMakeFiles/core_statemsg_test.dir/statemsg_test.cc.o.d"
+  "core_statemsg_test"
+  "core_statemsg_test.pdb"
+  "core_statemsg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_statemsg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_timer_service_test.dir/timer_service_test.cc.o"
+  "CMakeFiles/core_timer_service_test.dir/timer_service_test.cc.o.d"
+  "core_timer_service_test"
+  "core_timer_service_test.pdb"
+  "core_timer_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_timer_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

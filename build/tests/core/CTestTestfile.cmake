@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/core_band_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_kernel_exec_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_semaphore_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_condvar_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_mailbox_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_statemsg_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_irq_protection_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_timer_service_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_death_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_advanced_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_matrix_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hal_devices_test.dir/devices_test.cc.o"
+  "CMakeFiles/hal_devices_test.dir/devices_test.cc.o.d"
+  "hal_devices_test"
+  "hal_devices_test.pdb"
+  "hal_devices_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hal_devices_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_soak_test.dir/soak_test.cc.o"
+  "CMakeFiles/integration_soak_test.dir/soak_test.cc.o.d"
+  "integration_soak_test"
+  "integration_soak_test.pdb"
+  "integration_soak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_soak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/integration
+# Build directory: /root/repo/build/tests/integration
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/integration/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/integration_soak_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/integration_calibration_test[1]_include.cmake")
