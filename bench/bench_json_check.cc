@@ -1,0 +1,71 @@
+// Validates a BENCH_breakdown.json perf trajectory: the file must parse as
+// JSON, carry the expected schema tag, and have well-formed points. Run by
+// the bench_smoke CTest label after fig3_breakdown_base emits a report.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_report.h"
+
+int main(int argc, char** argv) {
+  using namespace emeralds;
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: bench_json_check <report.json>\n");
+    return 2;
+  }
+
+  std::FILE* f = std::fopen(argv[1], "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::string text;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+
+  JsonValue root;
+  std::string error;
+  if (!JsonParse(text, &root, &error)) {
+    std::fprintf(stderr, "FAIL: %s does not parse: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+
+  const JsonValue* schema = root.Find("schema");
+  if (schema == nullptr || schema->type != JsonValue::Type::kString ||
+      schema->string != "emeralds.bench.breakdown/1") {
+    std::fprintf(stderr, "FAIL: missing or unexpected schema tag\n");
+    return 1;
+  }
+  const JsonValue* points = root.Find("points");
+  if (points == nullptr || points->type != JsonValue::Type::kArray || points->array.empty()) {
+    std::fprintf(stderr, "FAIL: missing or empty points array\n");
+    return 1;
+  }
+  for (const JsonValue& point : points->array) {
+    for (const char* key : {"n", "wall_seconds", "workloads_per_sec", "eval_reduction",
+                            "reference_mismatches"}) {
+      const JsonValue* v = point.Find(key);
+      if (v == nullptr || v->type != JsonValue::Type::kNumber) {
+        std::fprintf(stderr, "FAIL: point missing numeric \"%s\"\n", key);
+        return 1;
+      }
+    }
+    const JsonValue* evals = point.Find("evals");
+    if (evals == nullptr || evals->Find("full_evals") == nullptr) {
+      std::fprintf(stderr, "FAIL: point missing evals.full_evals\n");
+      return 1;
+    }
+    const JsonValue* mism = point.Find("reference_mismatches");
+    if (mism->number != 0.0) {
+      std::fprintf(stderr, "FAIL: reference_mismatches = %g at n = %g\n", mism->number,
+                   point.Find("n")->number);
+      return 1;
+    }
+  }
+  std::printf("OK: %s (%zu points)\n", argv[1], points->array.size());
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Machine-readable perf trajectory for the breakdown benches.
+//
+// The breakdown harness emits a JSON report (schema
+// "emeralds.bench.breakdown/1") with per-point wall time, throughput, average
+// breakdown utilizations, and schedulability-test evaluation counts for both
+// the optimized CsdEvaluator engine and the naive reference sample — the
+// numbers behind the engine's ">= 10x fewer evaluations" claim. The schema is
+// documented in docs/analysis.md; bench_json_check validates emitted files
+// with the reader half of this header.
+
+#ifndef BENCH_BENCH_REPORT_H_
+#define BENCH_BENCH_REPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/csd_evaluator.h"
+
+namespace emeralds {
+
+struct BenchPoint {
+  int n = 0;
+  double wall_seconds = 0.0;  // optimized sweep, all policies and workloads
+  double workloads_per_sec = 0.0;
+  // Policy name -> average breakdown utilization in percent.
+  std::vector<std::pair<std::string, double>> avg_breakdown_pct;
+  CsdSearchStats evals;            // optimized engine, all workloads
+  int reference_sample = 0;        // workloads re-run on the naive engine
+  CsdSearchStats reference_evals;  // naive engine over that sample
+  double reference_wall_seconds = 0.0;
+  // Naive full evaluations per workload / optimized full evaluations per
+  // workload (0 when no reference sample ran).
+  double eval_reduction = 0.0;
+  // Workloads in the sample where the naive search's result differed from the
+  // optimized one. Golden equivalence says this stays 0.
+  int reference_mismatches = 0;
+};
+
+struct BenchReport {
+  std::string figure;
+  int divide = 1;
+  int workloads_per_point = 0;
+  std::vector<BenchPoint> points;
+};
+
+// Serializes the report under schema "emeralds.bench.breakdown/1". Returns
+// false when the file cannot be written.
+bool WriteBenchReport(const BenchReport& report, const std::string& path);
+
+// Output path for the report: $EMERALDS_BENCH_JSON, or `fallback` when unset.
+std::string BenchJsonPath(const char* fallback);
+
+// --- Minimal JSON reader (the validation side of the reporting layer) ---
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+// Strict recursive-descent parse of one complete JSON document. On failure
+// returns false and describes the problem (with a byte offset) in *error.
+bool JsonParse(const std::string& text, JsonValue* out, std::string* error);
+
+}  // namespace emeralds
+
+#endif  // BENCH_BENCH_REPORT_H_

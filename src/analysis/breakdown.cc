@@ -2,109 +2,200 @@
 
 #include <algorithm>
 #include <functional>
+#include <memory>
 
 #include "src/base/assert.h"
 
 namespace emeralds {
 namespace {
 
-// Converts split points (ascending positions in the sorted task list) into
-// band sizes. CSD-2: {r} -> {r, n-r}; CSD-3: {q, r} -> {q, r-q, n-r}; ...
-std::vector<int> SizesFromSplits(const std::vector<int>& splits, int n) {
-  std::vector<int> sizes;
-  sizes.reserve(splits.size() + 1);
-  int prev = 0;
-  for (int s : splits) {
-    sizes.push_back(s - prev);
-    prev = s;
+// Converts a partition (band sizes) back to split positions, dropping the
+// implicit final boundary at n.
+std::vector<int> SplitsFromSizes(const std::vector<int>& sizes) {
+  std::vector<int> splits;
+  if (sizes.empty()) {
+    return splits;
   }
-  sizes.push_back(n - prev);
-  return sizes;
+  splits.reserve(sizes.size() - 1);
+  int acc = 0;
+  for (size_t b = 0; b + 1 < sizes.size(); ++b) {
+    acc += sizes[b];
+    splits.push_back(acc);
+  }
+  return splits;
 }
 
-class CsdSearch {
- public:
-  CsdSearch(const TaskSet& tasks, int queues, const OverheadModel& model, double hi_scale,
-            double precision_scale)
-      : tasks_(tasks),
-        n_(tasks.size()),
-        queues_(queues),
-        model_(model),
-        hi_scale_(hi_scale),
-        precision_scale_(precision_scale) {}
+// Candidate starting points for the CSD-x hill climb, derived from the best
+// CSD-(x-1) split tuple: one seed per gap of {0} U prev U {n} with an extra
+// boundary at the gap midpoint, plus one duplicating the last boundary (an
+// empty extra band). For x = 4 seeded from CSD-3's {q, r} this yields the
+// four classic seeds {q/2, q, r}, {q, (q+r)/2, r}, {q, r, (r+n)/2}, {q, r, r}.
+std::vector<std::vector<int>> HillClimbSeeds(std::vector<int> prev, int x, int n) {
+  std::sort(prev.begin(), prev.end());
+  if (static_cast<int>(prev.size()) > x - 2) {
+    prev.resize(x - 2);
+  }
+  while (static_cast<int>(prev.size()) < x - 2) {
+    prev.push_back(prev.empty() ? 0 : prev.back());
+  }
+  std::vector<std::vector<int>> seeds;
+  auto add = [&](std::vector<int> s) {
+    std::sort(s.begin(), s.end());
+    seeds.push_back(std::move(s));
+  };
+  for (size_t gap = 0; gap <= prev.size(); ++gap) {
+    int lo = gap == 0 ? 0 : prev[gap - 1];
+    int hi = gap == prev.size() ? n : prev[gap];
+    std::vector<int> s = prev;
+    s.push_back((lo + hi) / 2);
+    add(std::move(s));
+  }
+  std::vector<int> dup = prev;
+  dup.push_back(prev.empty() ? 0 : prev.back());
+  add(std::move(dup));
+  return seeds;
+}
 
-  bool Feasible(const std::vector<int>& splits, double scale) {
-    ++evals_;
-    return CsdFeasible(tasks_, SizesFromSplits(splits, n_), scale, model_);
+// The partition search proper, identical for both engines: a floor-probed
+// scan (losers cost at most one schedulability test — or none when the
+// engine can prove infeasibility from its bounds) with warm-started
+// bisection from the incumbent best scale.
+class CsdBreakdownSearch {
+ public:
+  CsdBreakdownSearch(CsdEngine& engine, int n, int x, double hi_scale, double precision_scale,
+                     CsdSearchStats* stats)
+      : engine_(engine),
+        n_(n),
+        x_(x),
+        hi_scale_(hi_scale),
+        precision_scale_(precision_scale),
+        stats_(stats) {}
+
+  double ProbeScale() const {
+    return best_ <= 0.0 ? precision_scale_ : best_ + precision_scale_;
   }
 
-  // Breakdown scale for one partition, but only if it beats `floor`
-  // (returns floor unchanged otherwise). The floor test makes scanning the
-  // whole partition space cheap: losers cost one schedulability test.
-  double ImproveScale(const std::vector<int>& splits, double floor) {
-    double probe = floor <= 0.0 ? precision_scale_ : floor + precision_scale_;
-    if (!Feasible(splits, probe)) {
-      return floor;
+  // Evaluates one split tuple: skip if the engine proves it infeasible at the
+  // probe scale, probe just above the incumbent otherwise, and bisect to the
+  // partition's breakdown scale only when the probe succeeds.
+  void Consider(const std::vector<int>& splits) {
+    ++considered_;
+    ++stats_->considered;
+    double probe = ProbeScale();
+    if (engine_.ProvablyInfeasible(splits, probe)) {
+      ++stats_->pruned;
+      return;
     }
+    if (!engine_.Feasible(splits, probe)) {
+      return;
+    }
+    // The probe succeeded, so this partition beats the incumbent — but
+    // usually only by a few precision steps. Gallop a geometrically growing
+    // bracket up from the probe instead of bisecting down from the global
+    // upper bound; a one-step improvement then settles in two tests.
     double lo = probe;
     double hi = hi_scale_;
+    double step = precision_scale_;
+    while (lo + step < hi) {
+      if (engine_.Feasible(splits, lo + step)) {
+        lo += step;
+        step *= 2.0;
+      } else {
+        hi = lo + step;
+        break;
+      }
+    }
     while (hi - lo > precision_scale_) {
       double mid = 0.5 * (lo + hi);
-      if (Feasible(splits, mid)) {
+      if (engine_.Feasible(splits, mid)) {
         lo = mid;
       } else {
         hi = mid;
       }
     }
+    best_ = lo;
     best_splits_ = splits;
-    return lo;
   }
 
-  int evals() const { return evals_; }
+  // Strong incumbents first: the degenerate all-DP (EDF-like) and all-FP
+  // (RM-like) partitions. Raising `best` early makes every later probe run
+  // at a scale where the engine's bounds prune hardest.
+  void SeedIncumbents() {
+    Consider(std::vector<int>(x_ - 1, n_));
+    Consider(std::vector<int>(x_ - 1, 0));
+  }
+
+  // Exhaustive over all non-decreasing split tuples (O(n^(x-1)) partitions).
+  // Subtrees whose DP prefix is already provably over-utilized at the probe
+  // scale are cut wholesale; the bound is monotone in the split position, so
+  // the scan over a dimension stops at the first pruned value.
+  void RunExhaustive() {
+    std::vector<int> splits(x_ - 1, 0);
+    std::function<void(int, int)> enumerate = [&](int dim, int min_value) {
+      if (dim == x_ - 1) {
+        Consider(splits);
+        return;
+      }
+      for (int v = min_value; v <= n_; ++v) {
+        if (engine_.PrefixProvablyInfeasible(v, ProbeScale())) {
+          break;
+        }
+        splits[dim] = v;
+        enumerate(dim + 1, v);
+      }
+    };
+    enumerate(0, 0);
+  }
+
+  // Seeded hill climb for CSD-4+ with a budget on tuples considered.
+  void RunHillClimb(const std::vector<int>& prev_splits, int budget) {
+    std::vector<std::vector<int>> seeds = HillClimbSeeds(prev_splits, x_, n_);
+    for (const std::vector<int>& seed : seeds) {
+      Consider(seed);
+    }
+    std::vector<int> current = best_splits_.empty() ? seeds[0] : best_splits_;
+    bool improved = true;
+    // The budget covers only this search's own tuples (considered_, not the
+    // shared stats, which may include an internal CSD-(x-1) seeding run).
+    while (improved && considered_ < budget) {
+      improved = false;
+      for (size_t dim = 0; dim < current.size(); ++dim) {
+        for (int delta : {-1, 1}) {
+          std::vector<int> next = current;
+          next[dim] += delta;
+          if (next[dim] < 0 || next[dim] > n_) {
+            continue;
+          }
+          std::sort(next.begin(), next.end());
+          double prev_best = best_;
+          Consider(next);
+          if (best_ > prev_best) {
+            current = best_splits_;
+            improved = true;
+          }
+        }
+      }
+    }
+  }
+
+  double best() const { return best_; }
   const std::vector<int>& best_splits() const { return best_splits_; }
 
  private:
-  const TaskSet& tasks_;
+  CsdEngine& engine_;
   int n_;
-  int queues_;
-  const OverheadModel& model_;
+  int x_;
   double hi_scale_;
   double precision_scale_;
-  int evals_ = 0;
+  CsdSearchStats* stats_;
+  int considered_ = 0;
+  double best_ = 0.0;
   std::vector<int> best_splits_;
 };
 
-}  // namespace
-
-const char* PolicySpec::Name() const {
-  switch (kind) {
-    case Kind::kEdf:
-      return "EDF";
-    case Kind::kRm:
-      return "RM";
-    case Kind::kRmHeap:
-      return "RM-heap";
-    case Kind::kCsd:
-      switch (csd_queues) {
-        case 2:
-          return "CSD-2";
-        case 3:
-          return "CSD-3";
-        case 4:
-          return "CSD-4";
-        case 5:
-          return "CSD-5";
-        case 6:
-          return "CSD-6";
-        default:
-          return "CSD-x";
-      }
-  }
-  return "?";
-}
-
-BreakdownResult ComputeBreakdown(const TaskSet& sorted_tasks, PolicySpec policy,
-                                 const CostModel& cost, const BreakdownOptions& options) {
+BreakdownResult ComputeBreakdownImpl(const TaskSet& sorted_tasks, PolicySpec policy,
+                                     const CostModel& cost, const BreakdownOptions& options,
+                                     bool use_reference_engine) {
   EM_ASSERT(sorted_tasks.IsSortedByPeriod());
   BreakdownResult result;
   int n = sorted_tasks.size();
@@ -155,64 +246,163 @@ BreakdownResult ComputeBreakdown(const TaskSet& sorted_tasks, PolicySpec policy,
   // --- CSD ---
   EM_ASSERT(policy.kind == PolicySpec::Kind::kCsd && policy.csd_queues >= 2);
   int x = policy.csd_queues;
-  CsdSearch search(sorted_tasks, x, model, hi_scale, precision_scale);
-  double best = 0.0;
-  std::vector<int> best_splits;
+  CsdSearchStats stats;
+  std::unique_ptr<CsdEngine> engine;
+  if (use_reference_engine) {
+    engine = std::make_unique<NaiveCsdEngine>(sorted_tasks, model, &stats);
+  } else {
+    engine = std::make_unique<CsdEvaluator>(sorted_tasks, x, model, &stats);
+  }
+  CsdBreakdownSearch search(*engine, n, x, hi_scale, precision_scale, &stats);
+  search.SeedIncumbents();
 
+  if (x <= 3 || options.exhaustive) {
+    search.RunExhaustive();
+  } else {
+    // CSD-4+: seed from the best CSD-(x-1) allocation, then hill-climb. The
+    // caller can pass the CSD-(x-1) result it already computed for this
+    // workload (options.csd_seed); otherwise it is computed here.
+    std::vector<int> prev_splits;
+    if (options.csd_seed != nullptr) {
+      prev_splits = SplitsFromSizes(options.csd_seed->partition);
+    } else {
+      BreakdownOptions sub = options;
+      sub.csd_seed = nullptr;
+      sub.stats = &stats;
+      BreakdownResult prev = ComputeBreakdownImpl(sorted_tasks, PolicySpec::Csd(x - 1), cost,
+                                                  sub, use_reference_engine);
+      prev_splits = SplitsFromSizes(prev.partition);
+    }
+    search.RunHillClimb(prev_splits, options.max_hill_evals);
+  }
+
+  if (options.stats != nullptr) {
+    options.stats->Add(stats);
+  }
+  result.utilization = search.best() * raw_util;
+  if (!search.best_splits().empty()) {
+    result.partition = CsdSizesFromSplits(search.best_splits(), n);
+  }
+  return result;
+}
+
+}  // namespace
+
+const char* PolicySpec::Name() const {
+  switch (kind) {
+    case Kind::kEdf:
+      return "EDF";
+    case Kind::kRm:
+      return "RM";
+    case Kind::kRmHeap:
+      return "RM-heap";
+    case Kind::kCsd:
+      switch (csd_queues) {
+        case 2:
+          return "CSD-2";
+        case 3:
+          return "CSD-3";
+        case 4:
+          return "CSD-4";
+        case 5:
+          return "CSD-5";
+        case 6:
+          return "CSD-6";
+        default:
+          return "CSD-x";
+      }
+  }
+  return "?";
+}
+
+BreakdownResult ComputeBreakdown(const TaskSet& sorted_tasks, PolicySpec policy,
+                                 const CostModel& cost, const BreakdownOptions& options) {
+  return ComputeBreakdownImpl(sorted_tasks, policy, cost, options,
+                              /*use_reference_engine=*/false);
+}
+
+BreakdownResult ComputeBreakdownReference(const TaskSet& sorted_tasks, PolicySpec policy,
+                                          const CostModel& cost,
+                                          const BreakdownOptions& options) {
+  return ComputeBreakdownImpl(sorted_tasks, policy, cost, options,
+                              /*use_reference_engine=*/true);
+}
+
+std::vector<int> BestCsdPartition(const TaskSet& sorted_tasks, int queues, double scale,
+                                  const CostModel& cost, bool exhaustive,
+                                  CsdSearchStats* stats_out) {
+  EM_ASSERT(queues >= 2);
+  int n = sorted_tasks.size();
+  OverheadModel model(cost);
+  CsdSearchStats stats;
+  CsdEvaluator eval(sorted_tasks, queues, model, &stats);
+  // Among feasible allocations, prefer the one with the most headroom: the
+  // largest extra scaling the allocation still admits. Losers are floor-
+  // probed at the incumbent's margin (one test — or none when the bounds
+  // prune) before paying the headroom bisection.
+  double best_margin = -1.0;
+  bool found = false;
+  int considered_here = 0;
+  std::vector<int> best_splits;
   auto consider = [&](const std::vector<int>& splits) {
-    double improved = search.ImproveScale(splits, best);
-    if (improved > best) {
-      best = improved;
+    ++considered_here;
+    ++stats.considered;
+    double probe = found ? best_margin : scale;
+    if (eval.ProvablyInfeasible(splits, probe)) {
+      ++stats.pruned;
+      return;
+    }
+    if (!eval.Feasible(splits, probe)) {
+      return;
+    }
+    double lo = probe;
+    double hi = scale * 4.0 + 1.0;
+    for (int iter = 0; iter < 24; ++iter) {
+      double mid = 0.5 * (lo + hi);
+      if (eval.Feasible(splits, mid)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo > best_margin) {
+      best_margin = lo;
       best_splits = splits;
+      found = true;
     }
   };
 
-  if (x == 2) {
-    for (int r = 0; r <= n; ++r) {
-      consider({r});
-    }
-  } else if (x == 3 || options.exhaustive) {
-    // Exhaustive over all non-decreasing split tuples (O(n^(x-1)) partitions;
-    // the floor test keeps each loser at one schedulability test).
-    std::vector<int> splits(x - 1, 0);
+  if (queues <= 3 || exhaustive) {
+    std::vector<int> splits(queues - 1, 0);
     std::function<void(int, int)> enumerate = [&](int dim, int min_value) {
-      if (dim == x - 1) {
+      if (dim == queues - 1) {
         consider(splits);
         return;
       }
       for (int v = min_value; v <= n; ++v) {
+        if (eval.PrefixProvablyInfeasible(v, found ? best_margin : scale)) {
+          break;
+        }
         splits[dim] = v;
         enumerate(dim + 1, v);
       }
     };
     enumerate(0, 0);
   } else {
-    // CSD-4+: seed from the best CSD-3 allocation, then hill-climb.
-    BreakdownOptions sub = options;
-    BreakdownResult csd3 = ComputeBreakdown(sorted_tasks, PolicySpec::Csd(3), cost, sub);
-    int q3 = 0;
-    int r3 = 0;
-    if (csd3.partition.size() == 3) {
-      q3 = csd3.partition[0];
-      r3 = q3 + csd3.partition[1];
-    }
-    std::vector<std::vector<int>> seeds;
-    auto make_seed = [&](std::vector<int> points) {
-      std::sort(points.begin(), points.end());
-      points.resize(x - 1, points.empty() ? 0 : points.back());
-      std::sort(points.begin(), points.end());
-      seeds.push_back(points);
-    };
-    make_seed({q3 / 2, q3, r3});
-    make_seed({q3, (q3 + r3) / 2, r3});
-    make_seed({q3, r3, (r3 + n) / 2});
-    make_seed({q3, r3, r3});
-    for (const auto& seed : seeds) {
+    // Seeded hill climb, as the header promises for queues >= 4: start from
+    // the best CSD-(queues-1) allocation and walk split boundaries uphill on
+    // the headroom objective.
+    std::vector<int> prev_sizes =
+        BestCsdPartition(sorted_tasks, queues - 1, scale, cost, /*exhaustive=*/false, &stats);
+    std::vector<int> prev_splits = SplitsFromSizes(prev_sizes);
+    std::vector<std::vector<int>> seeds = HillClimbSeeds(prev_splits, queues, n);
+    for (const std::vector<int>& seed : seeds) {
       consider(seed);
     }
+    std::vector<int> current = found ? best_splits : seeds[0];
+    constexpr int kHillBudget = 500;
     bool improved = true;
-    std::vector<int> current = best_splits.empty() ? seeds[0] : best_splits;
-    while (improved && search.evals() < options.max_hill_evals) {
+    while (improved && considered_here < kHillBudget) {
       improved = false;
       for (size_t dim = 0; dim < current.size(); ++dim) {
         for (int delta : {-1, 1}) {
@@ -222,9 +412,9 @@ BreakdownResult ComputeBreakdown(const TaskSet& sorted_tasks, PolicySpec policy,
             continue;
           }
           std::sort(next.begin(), next.end());
-          double prev_best = best;
+          double prev_margin = best_margin;
           consider(next);
-          if (best > prev_best) {
+          if (best_margin > prev_margin) {
             current = best_splits;
             improved = true;
           }
@@ -233,53 +423,13 @@ BreakdownResult ComputeBreakdown(const TaskSet& sorted_tasks, PolicySpec policy,
     }
   }
 
-  result.utilization = best * raw_util;
-  if (!best_splits.empty()) {
-    result.partition = SizesFromSplits(best_splits, n);
+  if (stats_out != nullptr) {
+    stats_out->Add(stats);
   }
-  return result;
-}
-
-std::vector<int> BestCsdPartition(const TaskSet& sorted_tasks, int queues, double scale,
-                                  const CostModel& cost, bool exhaustive) {
-  EM_ASSERT(queues >= 2);
-  int n = sorted_tasks.size();
-  OverheadModel model(cost);
-  // Among feasible allocations, prefer the one with the most headroom: probe
-  // feasibility at increasing scales and keep the last feasible allocation.
-  std::vector<int> best;
-  double best_margin = -1.0;
-  std::vector<int> splits(queues - 1, 0);
-  std::function<void(int, int)> enumerate = [&](int dim, int min_value) {
-    if (dim == queues - 1) {
-      std::vector<int> sizes = SizesFromSplits(splits, n);
-      if (!CsdFeasible(sorted_tasks, sizes, scale, model)) {
-        return;
-      }
-      // Headroom: largest extra scaling this allocation still admits.
-      double lo = scale;
-      double hi = scale * 4.0 + 1.0;
-      for (int iter = 0; iter < 24; ++iter) {
-        double mid = 0.5 * (lo + hi);
-        if (CsdFeasible(sorted_tasks, sizes, mid, model)) {
-          lo = mid;
-        } else {
-          hi = mid;
-        }
-      }
-      if (lo > best_margin) {
-        best_margin = lo;
-        best = sizes;
-      }
-      return;
-    }
-    for (int v = min_value; v <= n; ++v) {
-      splits[dim] = v;
-      enumerate(dim + 1, v);
-    }
-  };
-  enumerate(0, 0);
-  return best;
+  if (!found) {
+    return {};
+  }
+  return CsdSizesFromSplits(best_splits, n);
 }
 
 }  // namespace emeralds

@@ -7,12 +7,19 @@
 // under the best task-to-queue allocation", found by the off-line search of
 // Section 5.5.3 (exhaustive for two and three queues, seeded hill-climbing
 // for four and more — the paper itself stops exhaustive search at three).
+//
+// The search runs on the pruned/cached CsdEvaluator engine by default (see
+// csd_evaluator.h); ComputeBreakdownReference runs the identical search on
+// the naive engine (a fresh CsdFeasible per query) and must return identical
+// results — the golden-equivalence tests enforce this. docs/analysis.md
+// describes the engine architecture and its pruning invariants.
 
 #ifndef SRC_ANALYSIS_BREAKDOWN_H_
 #define SRC_ANALYSIS_BREAKDOWN_H_
 
 #include <vector>
 
+#include "src/analysis/csd_evaluator.h"
 #include "src/analysis/overhead.h"
 #include "src/analysis/sched_test.h"
 #include "src/workload/workload.h"
@@ -32,30 +39,53 @@ struct PolicySpec {
   const char* Name() const;
 };
 
-struct BreakdownOptions {
-  // Bisection resolution in utilization units.
-  double precision = 0.002;
-  // Force exhaustive partition search for CSD-4+ (CSD-2/3 are always
-  // exhaustive, as in the paper).
-  bool exhaustive = false;
-  // Evaluation budget for the hill-climbing CSD-4+ search.
-  int max_hill_evals = 500;
-};
-
 struct BreakdownResult {
   double utilization = 0.0;
   // CSD only: the winning queue sizes (DP queues first, FP last).
   std::vector<int> partition;
 };
 
+struct BreakdownOptions {
+  // Bisection resolution in utilization units.
+  double precision = 0.002;
+  // Force exhaustive partition search for CSD-4+ (CSD-2/3 are always
+  // exhaustive, as in the paper).
+  bool exhaustive = false;
+  // Budget on split tuples considered by the hill-climbing CSD-4+ search.
+  int max_hill_evals = 500;
+  // Optional warm start for the CSD-4+ hill climb: the breakdown result of
+  // CSD-(x-1) for the SAME workload and cost model. When set, the search
+  // seeds from its winning partition instead of recomputing the whole
+  // CSD-(x-1) breakdown internally — the harness threads the CSD-3 result
+  // into CSD-4 this way, halving the per-workload search cost. Ignored for
+  // exhaustive searches. Must outlive the call.
+  const BreakdownResult* csd_seed = nullptr;
+  // Optional: evaluation counters are accumulated (+=) into this struct,
+  // including any internal CSD-(x-1) seeding recursion.
+  CsdSearchStats* stats = nullptr;
+};
+
 BreakdownResult ComputeBreakdown(const TaskSet& sorted_tasks, PolicySpec policy,
                                  const CostModel& cost, const BreakdownOptions& options = {});
 
+// The retained naive reference: the identical search driven by fresh
+// CsdFeasible calls with no pruning, memoization, or table reuse. Exists so
+// golden-equivalence tests and the benchmark reports can compare results and
+// evaluation counts against the optimized engine; results must match
+// ComputeBreakdown exactly.
+BreakdownResult ComputeBreakdownReference(const TaskSet& sorted_tasks, PolicySpec policy,
+                                          const CostModel& cost,
+                                          const BreakdownOptions& options = {});
+
 // Best CSD allocation at a fixed scale (the paper's 2-3 minute off-line
 // search, exposed for workload configuration and the examples). Returns an
-// empty vector when no allocation is feasible.
+// empty vector when no allocation is feasible. Exhaustive for queues <= 3;
+// for queues >= 4 with exhaustive == false, a hill climb seeded from the
+// best CSD-(queues-1) allocation replaces the O(n^(queues-1)) enumeration.
+// Optional `stats` accumulates evaluation counters.
 std::vector<int> BestCsdPartition(const TaskSet& sorted_tasks, int queues, double scale,
-                                  const CostModel& cost, bool exhaustive = true);
+                                  const CostModel& cost, bool exhaustive = true,
+                                  CsdSearchStats* stats = nullptr);
 
 }  // namespace emeralds
 

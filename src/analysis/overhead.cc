@@ -85,4 +85,42 @@ Duration OverheadModel::CsdTaskOverhead(const std::vector<int>& dp_lengths, int 
   return PerPeriod(t_b, t_u, t_s_block, t_s_unblock);
 }
 
+Duration OverheadModel::CsdDpOverheadLowerBound(int x, int dp_total) const {
+  EM_ASSERT(x >= 2 && dp_total >= 1);
+  Duration parse = cost_.csd_queue_parse * x;
+  // The longest DP queue holds at least ceil(dp_total / (x - 1)) tasks, so the
+  // worst DP selection every blocking task pays is at least the cheapest
+  // select over lengths in [lmin, dp_total] (linear fit: endpoint minimum).
+  int lmin = (dp_total + x - 2) / (x - 1);
+  Duration worst_lo = Cost(QueueKind::kEdfList, QueueOp::kSelect, lmin);
+  Duration worst_hi = Cost(QueueKind::kEdfList, QueueOp::kSelect, dp_total);
+  Duration worst_sel = worst_lo < worst_hi ? worst_lo : worst_hi;
+  // The task's own queue length ranges over [1, dp_total] — except with a
+  // single DP queue, where it is exactly dp_total.
+  Duration own_lo = Cost(QueueKind::kEdfList, QueueOp::kSelect, x == 2 ? dp_total : 1);
+  Duration own_sel = own_lo < worst_hi ? own_lo : worst_hi;
+  Duration t_b = Cost(QueueKind::kEdfList, QueueOp::kBlock, 1);
+  Duration t_u = Cost(QueueKind::kEdfList, QueueOp::kUnblock, 1);
+  return PerPeriod(t_b, t_u, worst_sel + parse, own_sel + parse);
+}
+
+Duration OverheadModel::CsdFpOverheadLowerBound(int x, int dp_total, int fp_length) const {
+  EM_ASSERT(x >= 2 && dp_total >= 0 && fp_length >= 1);
+  Duration parse = cost_.csd_queue_parse * x;
+  // t_b, t_u and the blocking-side selection are exact for this (dp_total,
+  // fp_length); only the unblock selection's worst-DP-queue term is bounded.
+  Duration t_b = Cost(QueueKind::kRmList, QueueOp::kBlock, fp_length);
+  Duration t_u = Cost(QueueKind::kRmList, QueueOp::kUnblock, 1);
+  Duration fp_select = Cost(QueueKind::kRmList, QueueOp::kSelect, 1);
+  Duration worst_dp;  // zero when the DP queues are empty (exact)
+  if (dp_total >= 1) {
+    int lmin = (dp_total + x - 2) / (x - 1);
+    Duration lo = Cost(QueueKind::kEdfList, QueueOp::kSelect, lmin);
+    Duration hi = Cost(QueueKind::kEdfList, QueueOp::kSelect, dp_total);
+    worst_dp = lo < hi ? lo : hi;
+  }
+  Duration t_s_unblock = (worst_dp > fp_select ? worst_dp : fp_select) + parse;
+  return PerPeriod(t_b, t_u, fp_select + parse, t_s_unblock);
+}
+
 }  // namespace emeralds

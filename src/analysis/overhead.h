@@ -37,6 +37,20 @@ class OverheadModel {
   Duration CsdTaskOverhead(const std::vector<int>& dp_lengths, int fp_length,
                            int dp_index) const;
 
+  // Provable lower bounds on CsdTaskOverhead over every x-queue partition
+  // that places `dp_total` tasks in the DP queues (and, for the FP variant,
+  // `fp_length` tasks in the FP queue). The partition search's pruning
+  // bounds combine these with scaled execution times to reject split tuples
+  // without running a full schedulability test: since real overheads can
+  // only be larger, a workload infeasible at the lower bound is infeasible,
+  // period. The bounds are tight in everything except how the DP tasks split
+  // across queues: by pigeonhole the longest DP queue holds at least
+  // ceil(dp_total/(x-1)) tasks, which lower-bounds the worst DP selection
+  // cost every blocking task pays; the Table 1 fits are linear, so each
+  // component's minimum over a queue-length interval sits at an endpoint.
+  Duration CsdDpOverheadLowerBound(int x, int dp_total) const;
+  Duration CsdFpOverheadLowerBound(int x, int dp_total, int fp_length) const;
+
   const CostModel& cost() const { return cost_; }
 
  private:

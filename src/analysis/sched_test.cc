@@ -14,13 +14,6 @@ int64_t ScaledCost(const PeriodicTask& task, double scale, Duration overhead) {
   return static_cast<int64_t>(c + 0.5) + overhead.nanos();
 }
 
-// Conservative caps for the processor-demand test: when the level-j busy
-// window (or the number of test points) explodes, the set is declared
-// infeasible. This only triggers with total utilization very close to 1,
-// where the breakdown search is within its precision anyway.
-constexpr int kMaxBusyIterations = 256;
-constexpr size_t kMaxDemandPoints = 200000;
-
 }  // namespace
 
 bool ResponseTimeWithin(int64_t own_cost_ns, int64_t deadline_ns,
@@ -112,7 +105,8 @@ bool CsdFeasible(const TaskSet& sorted_tasks, const std::vector<int>& band_sizes
     }
   }
 
-  // --- DP bands ---
+  // --- DP bands: cumulative-utilization checks (the naive O(n) rescans the
+  // CsdEvaluator replaces with prefix sums) ---
   int band_start = 0;
   for (int band = 0; band < num_dp; ++band) {
     int band_end = band_start + band_sizes[band];
@@ -128,6 +122,22 @@ bool CsdFeasible(const TaskSet& sorted_tasks, const std::vector<int>& band_sizes
     }
     if (u > 1.0) {
       return false;
+    }
+    band_start = band_end;
+  }
+
+  return CsdDemandAndRtaFeasible(sorted_tasks, band_sizes, cost_ns);
+}
+
+bool CsdDemandAndRtaFeasible(const TaskSet& sorted_tasks, const std::vector<int>& band_sizes,
+                             const std::vector<int64_t>& cost_ns) {
+  int num_dp = static_cast<int>(band_sizes.size()) - 1;
+
+  int band_start = 0;
+  for (int band = 0; band < num_dp; ++band) {
+    int band_end = band_start + band_sizes[band];
+    if (band_sizes[band] == 0) {
+      continue;
     }
     if (band_start > 0) {
       // Lower DP band: processor-demand test with request-bound interference
@@ -196,12 +206,18 @@ bool CsdFeasible(const TaskSet& sorted_tasks, const std::vector<int>& band_sizes
   }
 
   // --- FP band: response-time analysis ---
+  return CsdFpRtaFeasible(sorted_tasks, band_start, cost_ns);
+}
+
+bool CsdFpRtaFeasible(const TaskSet& sorted_tasks, int fp_start,
+                      const std::vector<int64_t>& cost_ns) {
+  int n = sorted_tasks.size();
   std::vector<std::pair<int64_t, int64_t>> interferers;
   interferers.reserve(n);
-  for (int i = 0; i < band_start; ++i) {
+  for (int i = 0; i < fp_start; ++i) {
     interferers.emplace_back(cost_ns[i], sorted_tasks.tasks[i].period.nanos());
   }
-  for (int i = band_start; i < n; ++i) {
+  for (int i = fp_start; i < n; ++i) {
     if (!ResponseTimeWithin(cost_ns[i], sorted_tasks.tasks[i].deadline.nanos(), interferers)) {
       return false;
     }

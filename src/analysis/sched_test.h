@@ -18,6 +18,8 @@
 #ifndef SRC_ANALYSIS_SCHED_TEST_H_
 #define SRC_ANALYSIS_SCHED_TEST_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/analysis/overhead.h"
@@ -35,6 +37,33 @@ bool RmFeasible(const TaskSet& sorted_tasks, double scale, const OverheadModel& 
 // queue. Entries may be zero. Sum must equal the task count.
 bool CsdFeasible(const TaskSet& sorted_tasks, const std::vector<int>& band_sizes, double scale,
                  const OverheadModel& model);
+
+// Conservative caps for the iterative analyses: when the busy window (or the
+// number of processor-demand test points) explodes, the set is declared
+// infeasible. This only triggers with total utilization very close to 1,
+// where the breakdown search is within its precision anyway. Shared between
+// the reference tests here and the optimized CsdEvaluator.
+inline constexpr int kMaxBusyIterations = 256;
+inline constexpr size_t kMaxDemandPoints = 200000;
+
+// The busy-window / processor-demand / response-time portion of CsdFeasible,
+// given the final per-task inflated costs (execution time at the probed scale
+// plus the per-band scheduler overhead). All arithmetic is on int64
+// nanoseconds, so any caller producing identical costs gets identical
+// verdicts — the optimized CsdEvaluator builds costs from precomputed tables
+// and shares this exact logic. The per-band cumulative-utilization checks are
+// NOT included (CsdFeasible rescans for them; the evaluator uses prefix
+// sums).
+bool CsdDemandAndRtaFeasible(const TaskSet& sorted_tasks, const std::vector<int>& band_sizes,
+                             const std::vector<int64_t>& cost_ns);
+
+// The FP band's response-time stage alone (the final stage of
+// CsdDemandAndRtaFeasible): tasks fp_start..n-1 against interference from
+// every task above them. All-int64, so any caller with identical costs gets
+// the identical verdict; the optimized engine runs it as an exact prefilter
+// before paying the processor-demand stage.
+bool CsdFpRtaFeasible(const TaskSet& sorted_tasks, int fp_start,
+                      const std::vector<int64_t>& cost_ns);
 
 // Shared helper: response-time analysis for one task given higher-priority
 // interferers (costs in nanoseconds). Returns false on divergence past the

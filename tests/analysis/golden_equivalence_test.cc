@@ -1,0 +1,188 @@
+// Golden equivalence: the optimized CSD partition-search engine
+// (CsdEvaluator: prefix-sum tables, memoized scale intervals, lower-bound and
+// exact-stage pruning) must be indistinguishable from the retained naive
+// reference (a fresh CsdFeasible per query) — same winning partitions, same
+// breakdown utilizations — while doing an order of magnitude fewer full
+// schedulability tests.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/breakdown.h"
+#include "src/analysis/csd_evaluator.h"
+#include "src/analysis/sched_test.h"
+#include "src/base/rng.h"
+#include "src/workload/workload.h"
+
+namespace emeralds {
+namespace {
+
+TaskSet FigureWorkload(int n, int divide, int w) {
+  // The breakdown harness's exact seeding, so these assertions cover the
+  // workloads the benchmarks report on.
+  Rng root(20260704);
+  Rng rng = root.Fork(static_cast<uint64_t>(n) * 10000 + divide * 1000 + w);
+  return GenerateWorkload(rng, n).PeriodsDividedBy(divide);
+}
+
+// Optimized and reference searches over 30 seeded workloads spanning
+// n = 5..50, divides 1 and 3, and CSD-2/3/4 must agree on the result.
+TEST(GoldenEquivalence, BreakdownMatchesReferenceAcrossWorkloads) {
+  const CostModel cost = CostModel::MC68040_25MHz();
+  const BreakdownOptions options;
+  int checked = 0;
+  for (int divide : {1, 3}) {
+    for (int n = 5; n <= 50; n += 15) {  // 5, 20, 35, 50
+      int workloads = n == 50 ? 1 : 3;
+      for (int w = 0; w < workloads; ++w) {
+        TaskSet set = FigureWorkload(n, divide, w);
+        for (int queues : {2, 3, 4}) {
+          SCOPED_TRACE(testing::Message() << "n=" << n << " divide=" << divide << " w=" << w
+                                          << " queues=" << queues);
+          BreakdownResult opt = ComputeBreakdown(set, PolicySpec::Csd(queues), cost, options);
+          BreakdownResult ref =
+              ComputeBreakdownReference(set, PolicySpec::Csd(queues), cost, options);
+          EXPECT_NEAR(opt.utilization, ref.utilization, options.precision);
+          EXPECT_EQ(opt.partition, ref.partition);
+          ++checked;
+        }
+      }
+    }
+  }
+  EXPECT_GE(checked, 20 * 3);
+}
+
+// The CSD-3-seeded CSD-4 search (as the harness runs it) must also match the
+// unseeded reference: both derive the same seed partition, so the hill climbs
+// walk the same path.
+TEST(GoldenEquivalence, SeededCsd4MatchesUnseededReference) {
+  const CostModel cost = CostModel::MC68040_25MHz();
+  for (int w = 0; w < 3; ++w) {
+    TaskSet set = FigureWorkload(25, 1, w);
+    SCOPED_TRACE(testing::Message() << "w=" << w);
+    BreakdownOptions options;
+    BreakdownResult csd3 = ComputeBreakdown(set, PolicySpec::Csd(3), cost, options);
+    options.csd_seed = &csd3;
+    BreakdownResult opt = ComputeBreakdown(set, PolicySpec::Csd(4), cost, options);
+    BreakdownResult ref = ComputeBreakdownReference(set, PolicySpec::Csd(4), cost, {});
+    EXPECT_NEAR(opt.utilization, ref.utilization, 0.002);
+    EXPECT_EQ(opt.partition, ref.partition);
+  }
+}
+
+// Pointwise: every CsdEvaluator::Feasible answer equals a fresh CsdFeasible,
+// across all CSD-3 partitions of a 12-task set and a ladder of scales —
+// including repeat queries, which the memo must answer consistently.
+TEST(GoldenEquivalence, EvaluatorFeasibleMatchesCsdFeasiblePointwise) {
+  const CostModel cost = CostModel::MC68040_25MHz();
+  const OverheadModel model(cost);
+  const int n = 12;
+  TaskSet set = FigureWorkload(n, 1, 0);
+  CsdSearchStats stats;
+  CsdEvaluator eval(set, 3, model, &stats);
+  for (double scale : {0.4, 0.8, 1.0, 1.1, 0.8}) {
+    for (int q = 0; q <= n; ++q) {
+      for (int r = q; r <= n; ++r) {
+        std::vector<int> splits = {q, r};
+        bool got = eval.Feasible(splits, scale);
+        bool want = CsdFeasible(set, CsdSizesFromSplits(splits, n), scale, model);
+        ASSERT_EQ(got, want) << "q=" << q << " r=" << r << " scale=" << scale;
+      }
+    }
+  }
+  EXPECT_GT(stats.cache_hits, 0);  // the repeated 0.8 pass must hit the memo
+}
+
+// A partition the evaluator prunes must be one the full test rejects: pruning
+// soundness, probed at the scales the breakdown search would use.
+TEST(GoldenEquivalence, PrunedPartitionsAreInfeasible) {
+  const CostModel cost = CostModel::MC68040_25MHz();
+  const OverheadModel model(cost);
+  const int n = 20;
+  TaskSet set = FigureWorkload(n, 3, 0);
+  CsdSearchStats stats;
+  CsdEvaluator eval(set, 3, model, &stats);
+  int pruned = 0;
+  for (double scale : {0.9, 1.0, 1.05}) {
+    for (int q = 0; q <= n; ++q) {
+      for (int r = q; r <= n; ++r) {
+        std::vector<int> splits = {q, r};
+        if (eval.ProvablyInfeasible(splits, scale)) {
+          ++pruned;
+          EXPECT_FALSE(CsdFeasible(set, CsdSizesFromSplits(splits, n), scale, model))
+              << "q=" << q << " r=" << r << " scale=" << scale;
+        }
+      }
+    }
+  }
+  EXPECT_GT(pruned, 0);  // the bound must actually fire at these scales
+}
+
+// The tentpole criterion: on the Figure 3 sweep at n = 50, the optimized
+// engine (CSD-4 seeded from CSD-3, as the harness runs it) does >= 10x fewer
+// full schedulability tests than the naive baseline.
+TEST(GoldenEquivalence, TenfoldFewerEvaluationsAtN50) {
+  const CostModel cost = CostModel::MC68040_25MHz();
+  TaskSet set = FigureWorkload(50, 1, 0);
+
+  CsdSearchStats opt_stats;
+  BreakdownOptions opt_options;
+  opt_options.stats = &opt_stats;
+  BreakdownResult csd3;
+  for (int queues : {2, 3, 4}) {
+    BreakdownOptions o = opt_options;
+    if (queues == 4) {
+      o.csd_seed = &csd3;
+    }
+    BreakdownResult result = ComputeBreakdown(set, PolicySpec::Csd(queues), cost, o);
+    if (queues == 3) {
+      csd3 = result;
+    }
+  }
+
+  CsdSearchStats ref_stats;
+  BreakdownOptions ref_options;
+  ref_options.stats = &ref_stats;
+  for (int queues : {2, 3, 4}) {
+    ComputeBreakdownReference(set, PolicySpec::Csd(queues), cost, ref_options);
+  }
+
+  ASSERT_GT(opt_stats.full_evals, 0);
+  EXPECT_GE(ref_stats.full_evals, 10 * opt_stats.full_evals)
+      << "optimized=" << opt_stats.full_evals << " naive=" << ref_stats.full_evals;
+}
+
+// Regression for BestCsdPartition's once-ignored `exhaustive` parameter: with
+// exhaustive == false and queues >= 4 the seeded hill climb must return a
+// feasible allocation while evaluating far fewer tuples than the
+// enumeration.
+TEST(GoldenEquivalence, BestCsdPartitionHillClimbHonorsExhaustiveFlag) {
+  const CostModel cost = CostModel::MC68040_25MHz();
+  const OverheadModel model(cost);
+  const int n = 12;
+  TaskSet set = FigureWorkload(n, 1, 1);
+  const double scale = 0.5;  // comfortably feasible
+
+  CsdSearchStats exhaustive_stats;
+  std::vector<int> full =
+      BestCsdPartition(set, 4, scale, cost, /*exhaustive=*/true, &exhaustive_stats);
+  ASSERT_FALSE(full.empty());
+  EXPECT_TRUE(CsdFeasible(set, full, scale, model));
+
+  CsdSearchStats climb_stats;
+  std::vector<int> climbed =
+      BestCsdPartition(set, 4, scale, cost, /*exhaustive=*/false, &climb_stats);
+  ASSERT_FALSE(climbed.empty());
+  EXPECT_TRUE(CsdFeasible(set, climbed, scale, model));
+
+  // The climb (including its internal CSD-3 seeding search) must consider
+  // well under half of what the full enumeration visits.
+  EXPECT_LT(climb_stats.considered * 2, exhaustive_stats.considered)
+      << "climb=" << climb_stats.considered << " exhaustive=" << exhaustive_stats.considered;
+}
+
+}  // namespace
+}  // namespace emeralds
