@@ -1,11 +1,85 @@
-// Validates a BENCH_breakdown.json perf trajectory: the file must parse as
-// JSON, carry the expected schema tag, and have well-formed points. Run by
-// the bench_smoke CTest label after fig3_breakdown_base emits a report.
+// Validates the JSON reports the repo's CI gates on, dispatching on the
+// schema tag:
+//   emeralds.bench.breakdown/1 — perf trajectory (bench_smoke label)
+//   emeralds.obs.run/1         — observability run report (obs_smoke label)
+// For the obs schema the check is substantive, not just structural: the
+// embedded invariant-violation list must be empty and every reconciliation
+// flag true, so a kernel whose trace disagrees with its own counters fails CI.
 
 #include <cstdio>
 #include <string>
 
 #include "bench/bench_report.h"
+
+namespace {
+
+using emeralds::JsonValue;
+
+bool RequireNumbers(const JsonValue& obj, const char* section,
+                    std::initializer_list<const char*> keys) {
+  for (const char* key : keys) {
+    const JsonValue* v = obj.Find(key);
+    if (v == nullptr || v->type != JsonValue::Type::kNumber) {
+      std::fprintf(stderr, "FAIL: %s missing numeric \"%s\"\n", section, key);
+      return false;
+    }
+  }
+  return true;
+}
+
+int CheckObsRun(const char* path, const JsonValue& root) {
+  for (const char* section : {"trace", "kernel_stats", "analysis", "reconciliation",
+                              "snapshots"}) {
+    const JsonValue* v = root.Find(section);
+    if (v == nullptr || v->type != JsonValue::Type::kObject) {
+      std::fprintf(stderr, "FAIL: missing \"%s\" object\n", section);
+      return 1;
+    }
+  }
+  const JsonValue* tasks = root.Find("tasks");
+  if (tasks == nullptr || tasks->type != JsonValue::Type::kArray) {
+    std::fprintf(stderr, "FAIL: missing tasks array\n");
+    return 1;
+  }
+  if (!RequireNumbers(*root.Find("trace"), "trace", {"total_recorded", "retained", "dropped"}) ||
+      !RequireNumbers(*root.Find("kernel_stats"), "kernel_stats",
+                      {"context_switches", "jobs_completed", "deadline_misses", "sem_acquires",
+                       "cse_switches_saved"}) ||
+      !RequireNumbers(*root.Find("analysis"), "analysis",
+                      {"context_switches", "jobs_completed", "sem_blocks"})) {
+    return 1;
+  }
+  const JsonValue* violations = root.Find("analysis")->Find("violations");
+  if (violations == nullptr || violations->type != JsonValue::Type::kArray) {
+    std::fprintf(stderr, "FAIL: analysis missing violations array\n");
+    return 1;
+  }
+  if (!violations->array.empty()) {
+    std::fprintf(stderr, "FAIL: %zu trace invariant violation(s), first kind: %s\n",
+                 violations->array.size(),
+                 violations->array[0].Find("kind") != nullptr
+                     ? violations->array[0].Find("kind")->string.c_str()
+                     : "?");
+    return 1;
+  }
+  const JsonValue& recon = *root.Find("reconciliation");
+  for (const char* key : {"context_switches_match", "deadline_misses_match",
+                          "jobs_completed_match", "cse_early_pi_match"}) {
+    const JsonValue* v = recon.Find(key);
+    if (v == nullptr || v->type != JsonValue::Type::kBool) {
+      std::fprintf(stderr, "FAIL: reconciliation missing bool \"%s\"\n", key);
+      return 1;
+    }
+    if (!v->boolean) {
+      std::fprintf(stderr, "FAIL: reconciliation %s is false\n", key);
+      return 1;
+    }
+  }
+  std::printf("OK: %s (obs run, %zu task rows, 0 violations)\n", path, tasks->array.size());
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace emeralds;
@@ -35,9 +109,15 @@ int main(int argc, char** argv) {
   }
 
   const JsonValue* schema = root.Find("schema");
-  if (schema == nullptr || schema->type != JsonValue::Type::kString ||
-      schema->string != "emeralds.bench.breakdown/1") {
-    std::fprintf(stderr, "FAIL: missing or unexpected schema tag\n");
+  if (schema == nullptr || schema->type != JsonValue::Type::kString) {
+    std::fprintf(stderr, "FAIL: missing schema tag\n");
+    return 1;
+  }
+  if (schema->string == "emeralds.obs.run/1") {
+    return CheckObsRun(argv[1], root);
+  }
+  if (schema->string != "emeralds.bench.breakdown/1") {
+    std::fprintf(stderr, "FAIL: unexpected schema tag \"%s\"\n", schema->string.c_str());
     return 1;
   }
   const JsonValue* points = root.Find("points");

@@ -1,61 +1,10 @@
 #include "bench/bench_report.h"
 
-#include <cctype>
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 
 namespace emeralds {
 namespace {
-
-void AppendEscaped(std::string* out, const std::string& s) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      case '\r':
-        *out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
-
-void AppendNumber(std::string* out, double value) {
-  if (!std::isfinite(value)) {  // JSON has no NaN/Inf
-    *out += "0";
-    return;
-  }
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.10g", value);
-  *out += buf;
-}
-
-void AppendInt(std::string* out, int64_t value) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
-  *out += buf;
-}
 
 void AppendStats(std::string* out, const char* indent, const CsdSearchStats& stats) {
   *out += "{\n";
@@ -64,7 +13,7 @@ void AppendStats(std::string* out, const char* indent, const CsdSearchStats& sta
     *out += "  \"";
     *out += name;
     *out += "\": ";
-    AppendInt(out, v);
+    JsonAppendInt(out, v);
     *out += last ? "\n" : ",\n";
   };
   field("full_evals", stats.full_evals, false);
@@ -83,40 +32,40 @@ bool WriteBenchReport(const BenchReport& report, const std::string& path) {
   out += "{\n";
   out += "  \"schema\": \"emeralds.bench.breakdown/1\",\n";
   out += "  \"figure\": ";
-  AppendEscaped(&out, report.figure);
+  JsonAppendEscaped(&out, report.figure);
   out += ",\n  \"divide\": ";
-  AppendInt(&out, report.divide);
+  JsonAppendInt(&out, report.divide);
   out += ",\n  \"workloads_per_point\": ";
-  AppendInt(&out, report.workloads_per_point);
+  JsonAppendInt(&out, report.workloads_per_point);
   out += ",\n  \"points\": [";
   for (size_t i = 0; i < report.points.size(); ++i) {
     const BenchPoint& p = report.points[i];
     out += i == 0 ? "\n" : ",\n";
     out += "    {\n      \"n\": ";
-    AppendInt(&out, p.n);
+    JsonAppendInt(&out, p.n);
     out += ",\n      \"wall_seconds\": ";
-    AppendNumber(&out, p.wall_seconds);
+    JsonAppendNumber(&out, p.wall_seconds);
     out += ",\n      \"workloads_per_sec\": ";
-    AppendNumber(&out, p.workloads_per_sec);
+    JsonAppendNumber(&out, p.workloads_per_sec);
     out += ",\n      \"avg_breakdown_pct\": {";
     for (size_t k = 0; k < p.avg_breakdown_pct.size(); ++k) {
       out += k == 0 ? "" : ", ";
-      AppendEscaped(&out, p.avg_breakdown_pct[k].first);
+      JsonAppendEscaped(&out, p.avg_breakdown_pct[k].first);
       out += ": ";
-      AppendNumber(&out, p.avg_breakdown_pct[k].second);
+      JsonAppendNumber(&out, p.avg_breakdown_pct[k].second);
     }
     out += "},\n      \"evals\": ";
     AppendStats(&out, "      ", p.evals);
     out += ",\n      \"reference_sample\": ";
-    AppendInt(&out, p.reference_sample);
+    JsonAppendInt(&out, p.reference_sample);
     out += ",\n      \"reference_evals\": ";
     AppendStats(&out, "      ", p.reference_evals);
     out += ",\n      \"reference_wall_seconds\": ";
-    AppendNumber(&out, p.reference_wall_seconds);
+    JsonAppendNumber(&out, p.reference_wall_seconds);
     out += ",\n      \"eval_reduction\": ";
-    AppendNumber(&out, p.eval_reduction);
+    JsonAppendNumber(&out, p.eval_reduction);
     out += ",\n      \"reference_mismatches\": ";
-    AppendInt(&out, p.reference_mismatches);
+    JsonAppendInt(&out, p.reference_mismatches);
     out += "\n    }";
   }
   out += "\n  ]\n}\n";
@@ -133,269 +82,6 @@ bool WriteBenchReport(const BenchReport& report, const std::string& path) {
 std::string BenchJsonPath(const char* fallback) {
   const char* env = std::getenv("EMERALDS_BENCH_JSON");
   return env != nullptr && env[0] != '\0' ? env : fallback;
-}
-
-const JsonValue* JsonValue::Find(const std::string& key) const {
-  if (type != Type::kObject) {
-    return nullptr;
-  }
-  for (const auto& [name, value] : object) {
-    if (name == key) {
-      return &value;
-    }
-  }
-  return nullptr;
-}
-
-namespace {
-
-class JsonParser {
- public:
-  JsonParser(const std::string& text, std::string* error) : text_(text), error_(error) {}
-
-  bool Parse(JsonValue* out) {
-    SkipSpace();
-    if (!ParseValue(out, 0)) {
-      return false;
-    }
-    SkipSpace();
-    if (pos_ != text_.size()) {
-      return Fail("trailing characters");
-    }
-    return true;
-  }
-
- private:
-  static constexpr int kMaxDepth = 64;
-
-  bool Fail(const char* what) {
-    char buf[96];
-    std::snprintf(buf, sizeof(buf), "%s at offset %zu", what, pos_);
-    *error_ = buf;
-    return false;
-  }
-
-  void SkipSpace() {
-    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Literal(const char* word) {
-    size_t len = std::strlen(word);
-    if (text_.compare(pos_, len, word) != 0) {
-      return Fail("invalid literal");
-    }
-    pos_ += len;
-    return true;
-  }
-
-  bool ParseString(std::string* out) {
-    if (text_[pos_] != '"') {
-      return Fail("expected string");
-    }
-    ++pos_;
-    while (pos_ < text_.size()) {
-      char c = text_[pos_];
-      if (c == '"') {
-        ++pos_;
-        return true;
-      }
-      if (static_cast<unsigned char>(c) < 0x20) {
-        return Fail("control character in string");
-      }
-      if (c == '\\') {
-        if (pos_ + 1 >= text_.size()) {
-          break;
-        }
-        char esc = text_[pos_ + 1];
-        pos_ += 2;
-        switch (esc) {
-          case '"':
-          case '\\':
-          case '/':
-            out->push_back(esc);
-            break;
-          case 'b':
-            out->push_back('\b');
-            break;
-          case 'f':
-            out->push_back('\f');
-            break;
-          case 'n':
-            out->push_back('\n');
-            break;
-          case 'r':
-            out->push_back('\r');
-            break;
-          case 't':
-            out->push_back('\t');
-            break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) {
-              return Fail("truncated \\u escape");
-            }
-            for (int i = 0; i < 4; ++i) {
-              if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
-                return Fail("invalid \\u escape");
-              }
-            }
-            pos_ += 4;
-            out->push_back('?');  // validated, not decoded: the bench schema is ASCII
-            break;
-          }
-          default:
-            return Fail("invalid escape");
-        }
-      } else {
-        out->push_back(c);
-        ++pos_;
-      }
-    }
-    return Fail("unterminated string");
-  }
-
-  bool ParseValue(JsonValue* out, int depth) {
-    if (depth > kMaxDepth) {
-      return Fail("nesting too deep");
-    }
-    if (pos_ >= text_.size()) {
-      return Fail("unexpected end of input");
-    }
-    char c = text_[pos_];
-    if (c == '{') {
-      out->type = JsonValue::Type::kObject;
-      ++pos_;
-      SkipSpace();
-      if (pos_ < text_.size() && text_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      for (;;) {
-        SkipSpace();
-        if (pos_ >= text_.size()) {
-          return Fail("unterminated object");
-        }
-        std::string key;
-        if (!ParseString(&key)) {
-          return false;
-        }
-        SkipSpace();
-        if (pos_ >= text_.size() || text_[pos_] != ':') {
-          return Fail("expected ':'");
-        }
-        ++pos_;
-        SkipSpace();
-        JsonValue member;
-        if (!ParseValue(&member, depth + 1)) {
-          return false;
-        }
-        out->object.emplace_back(std::move(key), std::move(member));
-        SkipSpace();
-        if (pos_ >= text_.size()) {
-          return Fail("unterminated object");
-        }
-        if (text_[pos_] == ',') {
-          ++pos_;
-          continue;
-        }
-        if (text_[pos_] == '}') {
-          ++pos_;
-          return true;
-        }
-        return Fail("expected ',' or '}'");
-      }
-    }
-    if (c == '[') {
-      out->type = JsonValue::Type::kArray;
-      ++pos_;
-      SkipSpace();
-      if (pos_ < text_.size() && text_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      for (;;) {
-        SkipSpace();
-        JsonValue element;
-        if (!ParseValue(&element, depth + 1)) {
-          return false;
-        }
-        out->array.push_back(std::move(element));
-        SkipSpace();
-        if (pos_ >= text_.size()) {
-          return Fail("unterminated array");
-        }
-        if (text_[pos_] == ',') {
-          ++pos_;
-          continue;
-        }
-        if (text_[pos_] == ']') {
-          ++pos_;
-          return true;
-        }
-        return Fail("expected ',' or ']'");
-      }
-    }
-    if (c == '"') {
-      out->type = JsonValue::Type::kString;
-      return ParseString(&out->string);
-    }
-    if (c == 't') {
-      out->type = JsonValue::Type::kBool;
-      out->boolean = true;
-      return Literal("true");
-    }
-    if (c == 'f') {
-      out->type = JsonValue::Type::kBool;
-      out->boolean = false;
-      return Literal("false");
-    }
-    if (c == 'n') {
-      return Literal("null");
-    }
-    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
-      out->type = JsonValue::Type::kNumber;
-      size_t start = pos_;
-      if (text_[pos_] == '-') {
-        ++pos_;
-      }
-      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-        ++pos_;
-      }
-      if (pos_ < text_.size() && text_[pos_] == '.') {
-        ++pos_;
-        while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-          ++pos_;
-        }
-      }
-      if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
-        ++pos_;
-        if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
-          ++pos_;
-        }
-        while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-          ++pos_;
-        }
-      }
-      if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
-        return Fail("invalid number");
-      }
-      out->number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
-      return true;
-    }
-    return Fail("unexpected character");
-  }
-
-  const std::string& text_;
-  std::string* error_;
-  size_t pos_ = 0;
-};
-
-}  // namespace
-
-bool JsonParse(const std::string& text, JsonValue* out, std::string* error) {
-  std::string unused;
-  return JsonParser(text, error != nullptr ? error : &unused).Parse(out);
 }
 
 }  // namespace emeralds

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/analysis/csd_evaluator.h"
+#include "src/base/json.h"
 
 namespace emeralds {
 
@@ -49,26 +50,8 @@ struct BenchReport {
 bool WriteBenchReport(const BenchReport& report, const std::string& path);
 
 // Output path for the report: $EMERALDS_BENCH_JSON, or `fallback` when unset.
+// (The JSON reader used by the validation side lives in src/base/json.h.)
 std::string BenchJsonPath(const char* fallback);
-
-// --- Minimal JSON reader (the validation side of the reporting layer) ---
-
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  // Object member lookup; nullptr when absent or not an object.
-  const JsonValue* Find(const std::string& key) const;
-};
-
-// Strict recursive-descent parse of one complete JSON document. On failure
-// returns false and describes the problem (with a byte offset) in *error.
-bool JsonParse(const std::string& text, JsonValue* out, std::string* error);
 
 }  // namespace emeralds
 

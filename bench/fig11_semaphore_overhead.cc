@@ -19,22 +19,31 @@
 //    (place-holder swaps + highestp). ~26% saving at length 15.
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "src/core/kernel.h"
 #include "src/hal/hardware.h"
+#include "src/obs/obs_report.h"
+#include "src/obs/perfetto_export.h"
 
 namespace emeralds {
 namespace {
 
-double MeasurePairOverheadUs(SchedulerSpec spec, SemMode mode, int queue_length) {
+double MeasurePairOverheadUs(SchedulerSpec spec, SemMode mode, int queue_length,
+                             bool with_obs = false) {
   Hardware hw;
   KernelConfig config;
   config.scheduler = spec;
   config.cost_model = CostModel::MC68040_25MHz();
   config.default_sem_mode = mode;
-  config.trace_capacity = 0;
+  config.trace_capacity = with_obs ? 4096 : 0;
   config.max_threads = 64;
   Kernel kernel(hw, config);
+  if (with_obs) {
+    kernel.EnableStatsSampling(Milliseconds(2), 64);
+  }
   SemId sem = kernel.CreateSemaphoreWithMode("S", 1, mode).value();
 
   // T2: high priority, contends at its second release (t=10ms).
@@ -49,7 +58,8 @@ double MeasurePairOverheadUs(SchedulerSpec spec, SemMode mode, int queue_length)
       co_await api.WaitNextPeriod(sem);  // parser-inserted hint
     }
   };
-  kernel.CreateThread(t2);
+  std::vector<ThreadId> ids;
+  ids.push_back(kernel.CreateThread(t2).value());
 
   // T1: low priority; holds S across T2's release.
   ThreadParams t1;
@@ -62,7 +72,7 @@ double MeasurePairOverheadUs(SchedulerSpec spec, SemMode mode, int queue_length)
     co_await api.Release(sem);
     co_await api.WaitNextPeriod();
   };
-  kernel.CreateThread(t1);
+  ids.push_back(kernel.CreateThread(t1).value());
 
   // Fillers: released far beyond the horizon, so they sit blocked in the
   // queue and only lengthen parses and scans. Their periods (11..48 ms) rank
@@ -85,6 +95,32 @@ double MeasurePairOverheadUs(SchedulerSpec spec, SemMode mode, int queue_length)
   kernel.RunUntil(Instant() + Microseconds(9500));
   kernel.ResetChargeAccounting();
   kernel.RunUntil(Instant() + Microseconds(12500));
+
+  // Representative observability bundle (EMERALDS_OBS_DIR): the contended
+  // CSE handoff is the run worth looking at in Perfetto — the early-PI
+  // marker and the saved context switch are directly visible.
+  if (with_obs) {
+    const char* dir = std::getenv("EMERALDS_OBS_DIR");
+    if (dir != nullptr && dir[0] != '\0') {
+      std::string base = std::string(dir) + "/fig11_contended";
+      std::FILE* csv = std::fopen((base + ".trace.csv").c_str(), "w");
+      if (csv != nullptr) {
+        kernel.trace().ExportCsv(csv);
+        std::fclose(csv);
+      }
+      std::FILE* pf = std::fopen((base + ".perfetto.json").c_str(), "w");
+      if (pf != nullptr) {
+        obs::ExportPerfettoJson(kernel, pf);
+        std::fclose(pf);
+      }
+      obs::ObsRunInfo info;
+      info.label = "fig11_contended";
+      info.scheduler = "FP";
+      info.run_duration = Microseconds(12500);
+      obs::WriteObsRunReportFile(base + ".run.json", info, kernel, ids);
+      std::printf("[obs] wrote %s.{trace.csv,perfetto.json,run.json}\n", base.c_str());
+    }
+  }
   return kernel.stats().sem_path_time.micros_f();
 }
 
@@ -120,5 +156,8 @@ int main() {
   RunSweep("FP (RM)", SchedulerSpec::Rm());
   std::printf("paper anchors (FP): new scheme constant (29.4 us in the paper's accounting);\n");
   std::printf("standard linear; ~10.4 us (26%%) saved at queue length 15\n");
+  if (std::getenv("EMERALDS_OBS_DIR") != nullptr) {
+    MeasurePairOverheadUs(SchedulerSpec::Rm(), SemMode::kCse, 15, /*with_obs=*/true);
+  }
   return 0;
 }

@@ -8,27 +8,64 @@
 // workload is feasible.
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "src/core/taskset_runner.h"
 #include "src/hal/hardware.h"
+#include "src/obs/obs_report.h"
+#include "src/obs/perfetto_export.h"
 #include "src/workload/workload.h"
 
 namespace emeralds {
 namespace {
 
-void RunScenario(const char* label, SchedulerSpec spec, const std::vector<int>& bands,
-                 bool print_trace) {
+// With EMERALDS_OBS_DIR set, each scenario also exports its observability
+// bundle there: <slug>.trace.csv (TraceSink window), <slug>.perfetto.json
+// (load at ui.perfetto.dev), <slug>.run.json (emeralds.obs.run/1). The
+// obs_smoke CTest label runs the RM scenario this way and feeds the bundle
+// through bench_json_check and trace_inspect.
+void ExportObsBundle(const char* slug, const char* scheduler, Kernel& kernel,
+                     const std::vector<ThreadId>& ids, Duration horizon) {
+  const char* dir = std::getenv("EMERALDS_OBS_DIR");
+  if (dir == nullptr || dir[0] == '\0') {
+    return;
+  }
+  std::string base = std::string(dir) + "/" + slug;
+
+  std::FILE* csv = std::fopen((base + ".trace.csv").c_str(), "w");
+  if (csv != nullptr) {
+    kernel.trace().ExportCsv(csv);
+    std::fclose(csv);
+  }
+  std::FILE* pf = std::fopen((base + ".perfetto.json").c_str(), "w");
+  if (pf != nullptr) {
+    obs::ExportPerfettoJson(kernel, pf);
+    std::fclose(pf);
+  }
+  obs::ObsRunInfo info;
+  info.label = slug;
+  info.scheduler = scheduler;
+  info.run_duration = horizon;
+  obs::WriteObsRunReportFile(base + ".run.json", info, kernel, ids);
+  std::printf("[obs] wrote %s.{trace.csv,perfetto.json,run.json}\n", base.c_str());
+}
+
+void RunScenario(const char* label, const char* slug, SchedulerSpec spec,
+                 const std::vector<int>& bands, bool print_trace) {
   Hardware hw;
   KernelConfig config;
   config.scheduler = spec;
   config.cost_model = CostModel::Zero();  // the paper's Figure 2 is idealized
   config.trace_capacity = 8192;
   Kernel kernel(hw, config);
+  kernel.EnableStatsSampling(Milliseconds(5), 64);
   TaskSet set = Table2Workload();
   std::vector<ThreadId> ids = SpawnTaskSet(kernel, set, bands);
   kernel.Start();
   kernel.RunUntil(Instant() + Milliseconds(40));
+  ExportObsBundle(slug, label, kernel, ids, Milliseconds(40));
 
   std::printf("--- %s ---\n", label);
   if (print_trace) {
@@ -72,9 +109,10 @@ int main() {
                 set.tasks[i].wcet.millis_f());
   }
   std::printf("\n");
-  RunScenario("RM (Figure 2: tau_5 starves)", SchedulerSpec::Rm(), {}, /*print_trace=*/true);
-  RunScenario("EDF (feasible)", SchedulerSpec::Edf(), {}, /*print_trace=*/false);
-  RunScenario("CSD-2, tau_1..tau_5 in the DP queue (feasible)", SchedulerSpec::Csd(2),
-              {0, 0, 0, 0, 0, 1, 1, 1, 1, 1}, /*print_trace=*/false);
+  RunScenario("RM (Figure 2: tau_5 starves)", "fig2_rm", SchedulerSpec::Rm(), {},
+              /*print_trace=*/true);
+  RunScenario("EDF (feasible)", "fig2_edf", SchedulerSpec::Edf(), {}, /*print_trace=*/false);
+  RunScenario("CSD-2, tau_1..tau_5 in the DP queue (feasible)", "fig2_csd2",
+              SchedulerSpec::Csd(2), {0, 0, 0, 0, 0, 1, 1, 1, 1, 1}, /*print_trace=*/false);
   return 0;
 }

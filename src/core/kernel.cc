@@ -320,6 +320,9 @@ void Kernel::SignalCountingSem(Semaphore& sem, uint64_t* overruns) {
     waiter->syscall_status = Status::kOk;
     ++sem.handoffs;
     ++stats_.sem_handoffs;
+    // As in SysRelease: the handoff is where the blocked acquire completes,
+    // and the trace analyzer pairs it with the kSemAcquireBlock.
+    trace_.Record(hw_.now(), TraceEventType::kSemAcquire, waiter->id.value, sem.id.value);
     MakeReady(*waiter);
     return;
   }
@@ -329,6 +332,14 @@ void Kernel::SignalCountingSem(Semaphore& sem, uint64_t* overruns) {
   if (sem.count < (1 << 30)) {
     ++sem.count;
   }
+}
+
+void Kernel::EnableStatsSampling(Duration period, size_t capacity) {
+  EM_ASSERT_MSG(!started_, "EnableStatsSampling after Start()");
+  EM_ASSERT_MSG(period.is_positive(), "stats sampling period must be positive");
+  stats_sample_period_ = period;
+  stats_sampler_ = std::make_unique<StatsSampler>(capacity);
+  stats_sample_timer_.kind = TimerKind::kStatsSample;
 }
 
 // --- Start / rank assignment ---
@@ -388,6 +399,9 @@ void Kernel::Start() {
       t.state = ThreadState::kReady;
       t.resume_pending = true;
     }
+  }
+  if (stats_sampler_ != nullptr) {
+    ArmSoftTimer(stats_sample_timer_, start + stats_sample_period_);
   }
   need_resched_ = true;
 }
@@ -665,6 +679,10 @@ void Kernel::TimerIsr() {
       case TimerKind::kUserTimer:
         HandleUserTimer(*first->user);
         break;
+      case TimerKind::kStatsSample:
+        stats_sampler_->Sample(hw_.now(), stats_);
+        ArmSoftTimer(stats_sample_timer_, first->expiry + stats_sample_period_);
+        break;
     }
   }
   ProgramHardwareTimer();
@@ -906,6 +924,9 @@ void Kernel::ResetChargeAccounting() {
   stats_.sem_path_time = Duration();
   stats_.compute_time = Duration();
   stats_.idle_time = Duration();
+  if (stats_sampler_ != nullptr) {
+    stats_sampler_->Rebase(stats_);
+  }
 }
 
 void Kernel::DumpThreads() const {

@@ -73,6 +73,12 @@ class Kernel {
   // driver thread on each interrupt.
   Status BindIrqThread(ThreadId thread, int line);
 
+  // Observability: samples KernelStats into a delta-encoded ring every
+  // `period` of virtual time, driven by a kernel software timer (charged as
+  // timer-service work like any other expiry). Call before Start(); the ring
+  // (`capacity` samples) is allocated here, never on the sampling path.
+  void EnableStatsSampling(Duration period, size_t capacity);
+
   // Releases periodic threads (at their first_release offsets) and readies
   // aperiodic ones. Assigns rate-monotonic ranks to threads that asked for
   // automatic ranking.
@@ -90,7 +96,10 @@ class Kernel {
   Instant now() const { return hw_.now(); }
   bool started() const { return started_; }
   const KernelStats& stats() const { return stats_; }
+  // Snapshot ring; nullptr unless EnableStatsSampling() was called.
+  const StatsSampler* stats_sampler() const { return stats_sampler_.get(); }
   TraceSink& trace() { return trace_; }
+  const TraceSink& trace() const { return trace_; }
   Scheduler& scheduler() { return sched_; }
   const CostModel& cost_model() const { return cost_; }
   Hardware& hardware() { return hw_; }
@@ -258,6 +267,11 @@ class Kernel {
   SoftTimerList soft_timers_;
   uint64_t timer_seq_ = 0;
   OneShotTimer oneshot_;
+
+  // Observability sampler (EnableStatsSampling).
+  std::unique_ptr<StatsSampler> stats_sampler_;
+  SoftTimer stats_sample_timer_;
+  Duration stats_sample_period_;
 
   Tcb* current_ = nullptr;
   bool need_resched_ = false;

@@ -408,6 +408,9 @@ Kernel::SyscallOutcome Kernel::SysRelease(Tcb& t, SemId id) {
       waiter->syscall_status = Status::kOk;
       ++sem->handoffs;
       ++stats_.sem_handoffs;
+      // The blocked acquire completes at handoff; record it so the trace
+      // analyzer sees every kSemAcquireBlock resolved.
+      trace_.Record(hw_.now(), TraceEventType::kSemAcquire, waiter->id.value, sem->id.value);
       MakeReady(*waiter);
     } else if (sem->count < (1 << 30)) {
       // Counting semaphores may exceed their initial count (timer signals,

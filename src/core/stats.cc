@@ -26,38 +26,66 @@ const char* ChargeCategoryToString(ChargeCategory category) {
   return "?";
 }
 
-void PrintKernelStats(const KernelStats& stats) {
-  std::printf("kernel time breakdown:\n");
-  std::printf("  %-22s %12.1f us\n", "application compute", stats.compute_time.micros_f());
-  std::printf("  %-22s %12.1f us\n", "idle", stats.idle_time.micros_f());
+void PrintKernelStats(const KernelStats& stats, std::FILE* out) {
+  std::fprintf(out, "kernel time breakdown:\n");
+  std::fprintf(out, "  %-22s %12.1f us\n", "application compute", stats.compute_time.micros_f());
+  std::fprintf(out, "  %-22s %12.1f us\n", "idle", stats.idle_time.micros_f());
   for (int c = 0; c < kNumChargeCategories; ++c) {
     if (stats.charged[c].is_positive()) {
-      std::printf("  %-22s %12.1f us\n", ChargeCategoryToString(static_cast<ChargeCategory>(c)),
-                  stats.charged[c].micros_f());
+      std::fprintf(out, "  %-22s %12.1f us\n",
+                   ChargeCategoryToString(static_cast<ChargeCategory>(c)),
+                   stats.charged[c].micros_f());
     }
   }
-  std::printf("scheduler: %llu selections, %llu context switches\n",
-              static_cast<unsigned long long>(stats.selections),
-              static_cast<unsigned long long>(stats.context_switches));
-  std::printf("jobs: %llu released, %llu completed, %llu deadline misses\n",
-              static_cast<unsigned long long>(stats.jobs_released),
-              static_cast<unsigned long long>(stats.jobs_completed),
-              static_cast<unsigned long long>(stats.deadline_misses));
-  std::printf("semaphores: %llu acquires (%llu contended), PI %llu "
-              "(swaps %llu, reinserts %llu), CSE saved %llu switches\n",
-              static_cast<unsigned long long>(stats.sem_acquires),
-              static_cast<unsigned long long>(stats.sem_contended),
-              static_cast<unsigned long long>(stats.pi_inherits),
-              static_cast<unsigned long long>(stats.pi_swaps),
-              static_cast<unsigned long long>(stats.pi_reinserts),
-              static_cast<unsigned long long>(stats.cse_switches_saved));
-  std::printf("ipc: %llu mailbox sends, %llu receives; %llu state-msg writes, "
-              "%llu reads (%llu retries)\n",
-              static_cast<unsigned long long>(stats.mailbox_sends),
-              static_cast<unsigned long long>(stats.mailbox_receives),
-              static_cast<unsigned long long>(stats.smsg_writes),
-              static_cast<unsigned long long>(stats.smsg_reads),
-              static_cast<unsigned long long>(stats.smsg_read_retries));
+  std::fprintf(out, "scheduler: %llu selections, %llu context switches\n",
+               static_cast<unsigned long long>(stats.selections),
+               static_cast<unsigned long long>(stats.context_switches));
+  std::fprintf(out, "jobs: %llu released, %llu completed, %llu deadline misses\n",
+               static_cast<unsigned long long>(stats.jobs_released),
+               static_cast<unsigned long long>(stats.jobs_completed),
+               static_cast<unsigned long long>(stats.deadline_misses));
+  std::fprintf(out,
+               "semaphores: %llu acquires (%llu contended), PI %llu "
+               "(swaps %llu, reinserts %llu), CSE saved %llu switches\n",
+               static_cast<unsigned long long>(stats.sem_acquires),
+               static_cast<unsigned long long>(stats.sem_contended),
+               static_cast<unsigned long long>(stats.pi_inherits),
+               static_cast<unsigned long long>(stats.pi_swaps),
+               static_cast<unsigned long long>(stats.pi_reinserts),
+               static_cast<unsigned long long>(stats.cse_switches_saved));
+  std::fprintf(out,
+               "ipc: %llu mailbox sends, %llu receives; %llu state-msg writes, "
+               "%llu reads (%llu retries)\n",
+               static_cast<unsigned long long>(stats.mailbox_sends),
+               static_cast<unsigned long long>(stats.mailbox_receives),
+               static_cast<unsigned long long>(stats.smsg_writes),
+               static_cast<unsigned long long>(stats.smsg_reads),
+               static_cast<unsigned long long>(stats.smsg_read_retries));
+}
+
+void StatsSampler::Sample(Instant now, const KernelStats& current) {
+  StatsDelta d;
+  d.time = now;
+  for (int c = 0; c < kNumChargeCategories; ++c) {
+    d.charged[c] = current.charged[c] - last_.charged[c];
+  }
+  d.sem_path_time = current.sem_path_time - last_.sem_path_time;
+  d.compute_time = current.compute_time - last_.compute_time;
+  d.idle_time = current.idle_time - last_.idle_time;
+  d.context_switches = current.context_switches - last_.context_switches;
+  d.jobs_released = current.jobs_released - last_.jobs_released;
+  d.jobs_completed = current.jobs_completed - last_.jobs_completed;
+  d.deadline_misses = current.deadline_misses - last_.deadline_misses;
+  d.sem_acquires = current.sem_acquires - last_.sem_acquires;
+  d.sem_contended = current.sem_contended - last_.sem_contended;
+  d.pi_inherits = current.pi_inherits - last_.pi_inherits;
+  d.cse_switches_saved = current.cse_switches_saved - last_.cse_switches_saved;
+  d.interrupts = current.interrupts - last_.interrupts;
+  d.timer_dispatches = current.timer_dispatches - last_.timer_dispatches;
+  if (samples_.push_overwrite(d)) {
+    ++dropped_;
+  }
+  last_ = current;
 }
 
 }  // namespace emeralds

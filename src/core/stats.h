@@ -4,7 +4,9 @@
 #define SRC_CORE_STATS_H_
 
 #include <cstdint>
+#include <cstdio>
 
+#include "src/base/ring_buffer.h"
 #include "src/base/time.h"
 #include "src/hal/cost_model.h"
 
@@ -81,8 +83,60 @@ struct KernelStats {
 };
 
 // Writes a human-readable summary (charge breakdown, scheduler and semaphore
-// activity) to stdout; examples and debugging sessions use it.
-void PrintKernelStats(const KernelStats& stats);
+// activity) to `out` (default stdout); examples, debugging sessions, and
+// tests that capture the output use it.
+void PrintKernelStats(const KernelStats& stats, std::FILE* out = stdout);
+
+// --- Periodic snapshots (the time-series half of the observability layer) ---
+
+// One sampling interval's worth of kernel activity: every field is the
+// *delta* since the previous snapshot, so a ring of these is a time series of
+// charge-category rates without storing full KernelStats copies (the
+// small-memory trade: ~1/3 the size, and rates are what the consumer wants).
+struct StatsDelta {
+  Instant time;  // sample instant (virtual clock); interval is (prev, time]
+  Duration charged[kNumChargeCategories];
+  Duration sem_path_time;
+  Duration compute_time;
+  Duration idle_time;
+  uint64_t context_switches = 0;
+  uint64_t jobs_released = 0;
+  uint64_t jobs_completed = 0;
+  uint64_t deadline_misses = 0;
+  uint64_t sem_acquires = 0;
+  uint64_t sem_contended = 0;
+  uint64_t pi_inherits = 0;
+  uint64_t cse_switches_saved = 0;
+  uint64_t interrupts = 0;
+  uint64_t timer_dispatches = 0;
+};
+
+// Bounded ring of periodic StatsDelta samples. The kernel drives Sample()
+// from a software timer when EnableStatsSampling() was called; storage is
+// allocated once at construction, and when the ring fills the oldest interval
+// is evicted (dropped() counts evictions, mirroring TraceSink).
+class StatsSampler {
+ public:
+  explicit StatsSampler(size_t capacity) : samples_(capacity > 0 ? capacity : 1) {}
+
+  // Records the interval (last sample, now] as a delta of `current` against
+  // the previous cumulative snapshot.
+  void Sample(Instant now, const KernelStats& current);
+
+  size_t size() const { return samples_.size(); }
+  const StatsDelta& at(size_t index) const { return samples_.at(index); }
+  uint64_t dropped() const { return dropped_; }
+
+  // Re-baselines the cumulative reference so the next delta starts from
+  // `current` (Kernel::ResetChargeAccounting zeroes the charge Durations,
+  // which would otherwise make the next interval's deltas negative).
+  void Rebase(const KernelStats& current) { last_ = current; }
+
+ private:
+  RingBuffer<StatsDelta> samples_;
+  KernelStats last_;  // cumulative counters at the previous sample
+  uint64_t dropped_ = 0;
+};
 
 }  // namespace emeralds
 

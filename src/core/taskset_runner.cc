@@ -1,5 +1,7 @@
 #include "src/core/taskset_runner.h"
 
+#include <cstdio>
+
 namespace emeralds {
 
 std::vector<int> BandsFromPartition(const std::vector<int>& partition) {
@@ -40,6 +42,28 @@ std::vector<ThreadId> SpawnTaskSet(Kernel& kernel, const TaskSet& set,
     ids.push_back(id.value());
   }
   return ids;
+}
+
+std::vector<TaskRunRow> CollectPerTaskStats(const Kernel& kernel,
+                                            const std::vector<ThreadId>& ids) {
+  std::vector<TaskRunRow> rows;
+  rows.reserve(ids.size());
+  for (ThreadId id : ids) {
+    const Tcb& t = kernel.thread(id);
+    TaskRunRow row;
+    row.id = id;
+    std::snprintf(row.name, sizeof(row.name), "%s", t.name);
+    row.period = t.period;
+    row.jobs_completed = t.jobs_completed;
+    row.deadline_misses = t.deadline_misses;
+    row.max_response = t.max_response;
+    row.avg_response =
+        t.jobs_completed > 0 ? t.total_response / static_cast<int64_t>(t.jobs_completed)
+                             : Duration();
+    row.cpu_time = t.cpu_time;
+    rows.push_back(row);
+  }
+  return rows;
 }
 
 TaskSetRunStats CollectRunStats(const Kernel& kernel, const std::vector<ThreadId>& ids) {

@@ -37,6 +37,23 @@ struct TaskSetRunStats {
 
 TaskSetRunStats CollectRunStats(const Kernel& kernel, const std::vector<ThreadId>& ids);
 
+// Per-task row of the same summary, in `ids` order: what the observability
+// report (src/obs/obs_report.h) embeds so trace-derived metrics can be
+// reconciled against the kernel's own per-thread counters.
+struct TaskRunRow {
+  ThreadId id;
+  char name[24] = {};
+  Duration period;
+  uint64_t jobs_completed = 0;
+  uint64_t deadline_misses = 0;
+  Duration max_response;
+  Duration avg_response;  // total_response / jobs_completed (zero when idle)
+  Duration cpu_time;
+};
+
+std::vector<TaskRunRow> CollectPerTaskStats(const Kernel& kernel,
+                                            const std::vector<ThreadId>& ids);
+
 }  // namespace emeralds
 
 #endif  // SRC_CORE_TASKSET_RUNNER_H_

@@ -22,6 +22,7 @@ enum class TimerKind : uint8_t {
   kPeriodRelease,  // periodic job release for `owner`
   kTimeout,        // sleep / receive-timeout for `owner`
   kUserTimer,      // application timer object (`user` points at it)
+  kStatsSample,    // periodic KernelStats snapshot (observability sampler)
 };
 
 struct SoftTimer {

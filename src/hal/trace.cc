@@ -1,6 +1,7 @@
 #include "src/hal/trace.h"
 
 #include <cstdio>
+#include <cstring>
 
 namespace emeralds {
 
@@ -38,6 +39,17 @@ const char* TraceEventTypeToString(TraceEventType type) {
   return "?";
 }
 
+bool TraceEventTypeFromString(const char* name, TraceEventType* out) {
+  for (int i = 0; i < kNumTraceEventTypes; ++i) {
+    TraceEventType type = static_cast<TraceEventType>(i);
+    if (std::strcmp(name, TraceEventTypeToString(type)) == 0) {
+      *out = type;
+      return true;
+    }
+  }
+  return false;
+}
+
 size_t TraceSink::ExportCsv(std::FILE* out) const {
   std::fprintf(out, "time_us,event,arg0,arg1\n");
   for (size_t i = 0; i < size(); ++i) {
@@ -45,14 +57,22 @@ size_t TraceSink::ExportCsv(std::FILE* out) const {
     std::fprintf(out, "%lld,%s,%d,%d\n", static_cast<long long>(e.time.micros()),
                  TraceEventTypeToString(e.type), e.arg0, e.arg1);
   }
+  if (dropped_ > 0) {
+    std::fprintf(out, "# dropped=%llu\n", static_cast<unsigned long long>(dropped_));
+  }
   return size();
 }
 
-void TraceSink::Dump() const {
+void TraceSink::Dump(std::FILE* out) const {
   for (size_t i = 0; i < size(); ++i) {
     const TraceEvent& e = at(i);
-    std::printf("%12.3fms  %-18s %4d %4d\n", e.time.millis_f(), TraceEventTypeToString(e.type),
-                e.arg0, e.arg1);
+    std::fprintf(out, "%12.3fms  %-18s %4d %4d\n", e.time.millis_f(),
+                 TraceEventTypeToString(e.type), e.arg0, e.arg1);
+  }
+  if (dropped_ > 0) {
+    std::fprintf(out, "(%llu of %llu events dropped; window shows the most recent %zu)\n",
+                 static_cast<unsigned long long>(dropped_),
+                 static_cast<unsigned long long>(total_recorded_), size());
   }
 }
 

@@ -2,7 +2,8 @@
 //
 // The trace sink records timestamped kernel events (context switches, job
 // releases, deadline misses, semaphore operations) into a bounded ring.
-// Figure 2's schedule trace and many integration tests are built on it.
+// Figure 2's schedule trace, many integration tests, and the src/obs/
+// observability pipeline (Perfetto export, trace analyzer) are built on it.
 
 #ifndef SRC_HAL_TRACE_H_
 #define SRC_HAL_TRACE_H_
@@ -32,7 +33,16 @@ enum class TraceEventType : uint8_t {
   kThreadExit,      // arg0 = thread id
 };
 
+// One past the last enumerator. Keep in sync when adding event types; the
+// round-trip test over [0, kNumTraceEventTypes) catches a missing name.
+inline constexpr int kNumTraceEventTypes =
+    static_cast<int>(TraceEventType::kThreadExit) + 1;
+
 const char* TraceEventTypeToString(TraceEventType type);
+
+// Inverse of TraceEventTypeToString; false when `name` is not an event name.
+// The trace CSV importer (src/obs/trace_csv.h) is built on it.
+bool TraceEventTypeFromString(const char* name, TraceEventType* out);
 
 struct TraceEvent {
   Instant time;
@@ -50,7 +60,11 @@ class TraceSink {
   void Record(Instant time, TraceEventType type, int32_t arg0, int32_t arg1) {
     ++total_recorded_;
     if (enabled_) {
-      events_.push_overwrite(TraceEvent{time, type, arg0, arg1});
+      if (events_.push_overwrite(TraceEvent{time, type, arg0, arg1})) {
+        ++dropped_;
+      }
+    } else {
+      ++dropped_;
     }
   }
 
@@ -60,23 +74,33 @@ class TraceSink {
 
   uint64_t total_recorded() const { return total_recorded_; }
 
+  // Events recorded but not retained: ring evictions plus everything recorded
+  // while retention is disabled. total_recorded() == size() + dropped().
+  // Non-zero means the retained window is a *suffix* of the run and derived
+  // metrics (histograms, invariant checks) describe only that window.
+  uint64_t dropped() const { return dropped_; }
+
   void Clear() {
     events_.clear();
     total_recorded_ = 0;
+    dropped_ = 0;
   }
 
-  // Writes a human-readable dump of the retained events to stdout.
-  void Dump() const;
+  // Writes a human-readable dump of the retained events to `out`
+  // (default stdout), followed by a drop note when events were lost.
+  void Dump(std::FILE* out = stdout) const;
 
   // Writes the retained events as CSV (time_us,event,arg0,arg1) to `out`,
-  // for external plotting (Gantt charts of the schedule). Returns the number
-  // of rows written.
+  // for external plotting (Gantt charts of the schedule) and trace_inspect
+  // replay. When events were dropped, a trailing "# dropped=N" comment line
+  // records the loss. Returns the number of data rows written.
   size_t ExportCsv(std::FILE* out) const;
 
  private:
   bool enabled_;
   RingBuffer<TraceEvent> events_;
   uint64_t total_recorded_ = 0;
+  uint64_t dropped_ = 0;
 };
 
 }  // namespace emeralds

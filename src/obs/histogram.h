@@ -1,0 +1,103 @@
+// Fixed-size log2 latency histogram.
+//
+// The trace analyzer accumulates response-time and blocking-time
+// distributions per task. Consistent with the kernel's small-memory ethos the
+// histogram is a fixed array of power-of-two buckets — no heap, O(1) insert —
+// sized so bucket 0 holds sub-microsecond samples and the last bucket
+// everything from ~2.3 minutes up.
+
+#ifndef SRC_OBS_HISTOGRAM_H_
+#define SRC_OBS_HISTOGRAM_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "src/base/time.h"
+
+namespace emeralds {
+namespace obs {
+
+class Log2Histogram {
+ public:
+  // Bucket i covers [2^i us, 2^(i+1) us); bucket 0 additionally absorbs
+  // everything below 1 us, the last bucket everything above its floor.
+  static constexpr int kNumBuckets = 28;
+
+  void Add(Duration value) {
+    ++count_;
+    total_ += value;
+    if (count_ == 1 || value < min_) {
+      min_ = value;
+    }
+    if (value > max_) {
+      max_ = value;
+    }
+    ++buckets_[BucketIndex(value)];
+  }
+
+  static int BucketIndex(Duration value) {
+    int64_t us = value.micros();
+    if (us <= 0) {
+      return 0;
+    }
+    int index = std::bit_width(static_cast<uint64_t>(us)) - 1;
+    return index < kNumBuckets ? index : kNumBuckets - 1;
+  }
+
+  // Inclusive lower edge of bucket `index` in microseconds.
+  static int64_t BucketFloorUs(int index) { return index == 0 ? 0 : int64_t{1} << index; }
+
+  uint64_t count() const { return count_; }
+  uint64_t bucket(int index) const { return buckets_[index]; }
+  Duration min() const { return min_; }
+  Duration max() const { return max_; }
+  Duration total() const { return total_; }
+  Duration mean() const {
+    return count_ > 0 ? total_ / static_cast<int64_t>(count_) : Duration();
+  }
+
+  // Upper edge of the first bucket at which the running count reaches
+  // `fraction` of the samples — a bucket-resolution percentile (what a log2
+  // histogram can answer). `fraction` in (0, 1]; zero duration when empty.
+  Duration ApproxPercentile(double fraction) const {
+    if (count_ == 0) {
+      return Duration();
+    }
+    uint64_t target = static_cast<uint64_t>(fraction * static_cast<double>(count_));
+    if (target < 1) {
+      target = 1;
+    }
+    uint64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen >= target) {
+        Duration upper = Microseconds(int64_t{1} << (i + 1));
+        return upper < max_ ? upper : max_;
+      }
+    }
+    return max_;
+  }
+
+  // Index of the last non-empty bucket (-1 when empty); printers use it to
+  // bound their loops.
+  int HighestBucket() const {
+    for (int i = kNumBuckets - 1; i >= 0; --i) {
+      if (buckets_[i] > 0) {
+        return i;
+      }
+    }
+    return -1;
+  }
+
+ private:
+  uint64_t buckets_[kNumBuckets] = {};
+  uint64_t count_ = 0;
+  Duration min_;
+  Duration max_;
+  Duration total_;
+};
+
+}  // namespace obs
+}  // namespace emeralds
+
+#endif  // SRC_OBS_HISTOGRAM_H_

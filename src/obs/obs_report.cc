@@ -1,0 +1,307 @@
+#include "src/obs/obs_report.h"
+
+#include "src/base/json.h"
+#include "src/core/kernel.h"
+
+namespace emeralds {
+namespace obs {
+namespace {
+
+// Tiny structural writer over the shared JsonAppend* helpers: tracks whether
+// a separator comma is due so sections can be emitted linearly.
+class Json {
+ public:
+  void OpenObject() { Punct('{'); }
+  void CloseObject() { Raw('}'); }
+  void OpenArray() { Punct('['); }
+  void CloseArray() { Raw(']'); }
+
+  void Key(const char* name) {
+    Sep();
+    JsonAppendEscaped(&out_, name);
+    out_ += ':';
+    need_comma_ = false;  // the value follows with no comma
+  }
+
+  void String(const char* name, const std::string& value) {
+    Key(name);
+    JsonAppendEscaped(&out_, value);
+    need_comma_ = true;
+  }
+  void Int(const char* name, int64_t value) {
+    Key(name);
+    JsonAppendInt(&out_, value);
+    need_comma_ = true;
+  }
+  void Number(const char* name, double value) {
+    Key(name);
+    JsonAppendNumber(&out_, value);
+    need_comma_ = true;
+  }
+  void Bool(const char* name, bool value) {
+    Key(name);
+    out_ += value ? "true" : "false";
+    need_comma_ = true;
+  }
+  void IntElem(int64_t value) {
+    Sep();
+    JsonAppendInt(&out_, value);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Punct(char c) {
+    Sep();
+    out_ += c;
+    need_comma_ = false;
+  }
+  void Raw(char c) {
+    out_ += c;
+    need_comma_ = true;
+  }
+  void Sep() {
+    if (need_comma_) {
+      out_ += ',';
+    }
+    need_comma_ = true;
+  }
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+void AppendHistogram(Json& j, const char* name, const Log2Histogram& h) {
+  j.Key(name);
+  j.OpenObject();
+  j.Int("count", static_cast<int64_t>(h.count()));
+  j.Number("min_us", h.count() > 0 ? h.min().micros_f() : 0.0);
+  j.Number("max_us", h.count() > 0 ? h.max().micros_f() : 0.0);
+  j.Number("mean_us", h.mean().micros_f());
+  j.Number("p50_us", h.ApproxPercentile(0.50).micros_f());
+  j.Number("p99_us", h.ApproxPercentile(0.99).micros_f());
+  // Sparse bucket list: [floor_us, count] pairs up to the highest used one.
+  j.Key("buckets");
+  j.OpenArray();
+  for (int b = 0; b <= h.HighestBucket(); ++b) {
+    if (h.bucket(b) == 0) {
+      continue;
+    }
+    j.OpenArray();
+    j.IntElem(Log2Histogram::BucketFloorUs(b));
+    j.IntElem(static_cast<int64_t>(h.bucket(b)));
+    j.CloseArray();
+  }
+  j.CloseArray();
+  j.CloseObject();
+}
+
+void AppendChargedUs(Json& j, const Duration (&charged)[kNumChargeCategories]) {
+  j.Key("charged_us");
+  j.OpenObject();
+  for (int c = 0; c < kNumChargeCategories; ++c) {
+    j.Number(ChargeCategoryToString(static_cast<ChargeCategory>(c)), charged[c].micros_f());
+  }
+  j.CloseObject();
+}
+
+void AppendKernelStats(Json& j, const KernelStats& s) {
+  j.Key("kernel_stats");
+  j.OpenObject();
+  j.Int("context_switches", static_cast<int64_t>(s.context_switches));
+  j.Int("jobs_released", static_cast<int64_t>(s.jobs_released));
+  j.Int("jobs_completed", static_cast<int64_t>(s.jobs_completed));
+  j.Int("deadline_misses", static_cast<int64_t>(s.deadline_misses));
+  j.Int("sem_acquires", static_cast<int64_t>(s.sem_acquires));
+  j.Int("sem_contended", static_cast<int64_t>(s.sem_contended));
+  j.Int("sem_handoffs", static_cast<int64_t>(s.sem_handoffs));
+  j.Int("pi_inherits", static_cast<int64_t>(s.pi_inherits));
+  j.Int("cse_early_pi", static_cast<int64_t>(s.cse_early_pi));
+  j.Int("cse_grants", static_cast<int64_t>(s.cse_grants));
+  j.Int("cse_switches_saved", static_cast<int64_t>(s.cse_switches_saved));
+  j.Int("interrupts", static_cast<int64_t>(s.interrupts));
+  j.Int("timer_dispatches", static_cast<int64_t>(s.timer_dispatches));
+  j.Number("compute_time_us", s.compute_time.micros_f());
+  j.Number("idle_time_us", s.idle_time.micros_f());
+  j.Number("sem_path_time_us", s.sem_path_time.micros_f());
+  j.Number("total_charged_us", s.total_charged().micros_f());
+  AppendChargedUs(j, s.charged);
+  j.CloseObject();
+}
+
+void AppendTaskRows(Json& j, const std::vector<TaskRunRow>& rows) {
+  j.Key("tasks");
+  j.OpenArray();
+  for (const TaskRunRow& r : rows) {
+    j.OpenObject();
+    j.Int("id", r.id.value);
+    j.String("name", r.name);
+    j.Number("period_us", r.period.micros_f());
+    j.Int("jobs_completed", static_cast<int64_t>(r.jobs_completed));
+    j.Int("deadline_misses", static_cast<int64_t>(r.deadline_misses));
+    j.Number("max_response_us", r.max_response.micros_f());
+    j.Number("avg_response_us", r.avg_response.micros_f());
+    j.Number("cpu_time_us", r.cpu_time.micros_f());
+    j.CloseObject();
+  }
+  j.CloseArray();
+}
+
+void AppendAnalysis(Json& j, const TraceAnalysis& a) {
+  j.Key("analysis");
+  j.OpenObject();
+  j.Int("context_switches", static_cast<int64_t>(a.context_switches));
+  j.Int("deadline_misses", static_cast<int64_t>(a.deadline_misses));
+  j.Int("jobs_released", static_cast<int64_t>(a.jobs_released));
+  j.Int("jobs_completed", static_cast<int64_t>(a.jobs_completed));
+  j.Int("sem_acquires", static_cast<int64_t>(a.sem_acquires));
+  j.Int("sem_blocks", static_cast<int64_t>(a.sem_blocks));
+  j.Int("cse_early_pi", static_cast<int64_t>(a.cse_early_pi));
+  j.Int("max_pi_chain_depth", a.max_pi_chain_depth);
+  j.Int("unresolved_blocks_at_end", static_cast<int64_t>(a.unresolved_blocks_at_end));
+  j.Key("violations");
+  j.OpenArray();
+  for (const TraceViolation& v : a.violations) {
+    j.OpenObject();
+    j.String("kind", InvariantKindToString(v.kind));
+    j.Int("event_index", static_cast<int64_t>(v.event_index));
+    j.String("detail", v.detail);
+    j.CloseObject();
+  }
+  j.CloseArray();
+  j.Key("tasks");
+  j.OpenArray();
+  for (const TaskMetrics& t : a.tasks) {
+    if (!t.seen) {
+      continue;
+    }
+    j.OpenObject();
+    j.Int("thread_id", t.thread_id);
+    j.Int("releases", static_cast<int64_t>(t.releases));
+    j.Int("completes", static_cast<int64_t>(t.completes));
+    j.Int("deadline_misses", static_cast<int64_t>(t.deadline_misses));
+    j.Int("switches_in", static_cast<int64_t>(t.switches_in));
+    j.Int("preemptions", static_cast<int64_t>(t.preemptions));
+    j.Int("sem_acquires", static_cast<int64_t>(t.sem_acquires));
+    j.Int("sem_blocks", static_cast<int64_t>(t.sem_blocks));
+    j.Int("cse_early_pi", static_cast<int64_t>(t.cse_early_pi));
+    j.Int("pi_donated", static_cast<int64_t>(t.pi_donated));
+    j.Int("pi_received", static_cast<int64_t>(t.pi_received));
+    j.Int("max_pi_depth", t.max_pi_depth);
+    j.Number("run_time_us", t.run_time.micros_f());
+    AppendHistogram(j, "response", t.response);
+    AppendHistogram(j, "blocking", t.blocking);
+    j.CloseObject();
+  }
+  j.CloseArray();
+  j.CloseObject();
+}
+
+// Replay-vs-kernel agreement. Only meaningful for an untruncated trace: a
+// suffix window legitimately undercounts, so `checked` records whether the
+// equalities were actually enforced.
+void AppendReconciliation(Json& j, const TraceAnalysis& a, const KernelStats& s) {
+  const bool checked = a.dropped_events == 0;
+  j.Key("reconciliation");
+  j.OpenObject();
+  j.Bool("checked", checked);
+  j.Bool("context_switches_match", !checked || a.context_switches == s.context_switches);
+  j.Bool("deadline_misses_match", !checked || a.deadline_misses == s.deadline_misses);
+  j.Bool("jobs_completed_match", !checked || a.jobs_completed == s.jobs_completed);
+  j.Bool("cse_early_pi_match", !checked || a.cse_early_pi == s.cse_early_pi);
+  j.Int("kernel_context_switches", static_cast<int64_t>(s.context_switches));
+  j.Int("analyzer_context_switches", static_cast<int64_t>(a.context_switches));
+  j.Int("kernel_deadline_misses", static_cast<int64_t>(s.deadline_misses));
+  j.Int("analyzer_deadline_misses", static_cast<int64_t>(a.deadline_misses));
+  j.CloseObject();
+}
+
+void AppendSnapshots(Json& j, const StatsSampler* sampler) {
+  j.Key("snapshots");
+  if (sampler == nullptr) {
+    j.OpenObject();
+    j.Bool("enabled", false);
+    j.Key("samples");
+    j.OpenArray();
+    j.CloseArray();
+    j.CloseObject();
+    return;
+  }
+  j.OpenObject();
+  j.Bool("enabled", true);
+  j.Int("dropped", static_cast<int64_t>(sampler->dropped()));
+  j.Key("samples");
+  j.OpenArray();
+  for (size_t i = 0; i < sampler->size(); ++i) {
+    const StatsDelta& d = sampler->at(i);
+    j.OpenObject();
+    j.Number("time_us", static_cast<double>(d.time.nanos()) / 1e3);
+    j.Int("context_switches", static_cast<int64_t>(d.context_switches));
+    j.Int("jobs_released", static_cast<int64_t>(d.jobs_released));
+    j.Int("jobs_completed", static_cast<int64_t>(d.jobs_completed));
+    j.Int("deadline_misses", static_cast<int64_t>(d.deadline_misses));
+    j.Int("sem_acquires", static_cast<int64_t>(d.sem_acquires));
+    j.Int("sem_contended", static_cast<int64_t>(d.sem_contended));
+    j.Int("pi_inherits", static_cast<int64_t>(d.pi_inherits));
+    j.Int("cse_switches_saved", static_cast<int64_t>(d.cse_switches_saved));
+    j.Int("interrupts", static_cast<int64_t>(d.interrupts));
+    j.Int("timer_dispatches", static_cast<int64_t>(d.timer_dispatches));
+    j.Number("compute_time_us", d.compute_time.micros_f());
+    j.Number("idle_time_us", d.idle_time.micros_f());
+    j.Number("sem_path_time_us", d.sem_path_time.micros_f());
+    AppendChargedUs(j, d.charged);
+    j.CloseObject();
+  }
+  j.CloseArray();
+  j.CloseObject();
+}
+
+}  // namespace
+
+std::string BuildObsRunReport(const ObsRunInfo& info, const Kernel& kernel,
+                              const std::vector<ThreadId>& task_ids) {
+  const TraceSink& trace = kernel.trace();
+  TraceAnalysis analysis = AnalyzeTrace(trace);
+
+  Json j;
+  j.OpenObject();
+  j.String("schema", kObsRunSchema);
+  j.String("label", info.label);
+  j.String("scheduler", info.scheduler);
+  j.Number("run_duration_us", info.run_duration.micros_f());
+
+  j.Key("trace");
+  j.OpenObject();
+  j.Int("total_recorded", static_cast<int64_t>(trace.total_recorded()));
+  j.Int("retained", static_cast<int64_t>(trace.size()));
+  j.Int("dropped", static_cast<int64_t>(trace.dropped()));
+  j.CloseObject();
+
+  AppendKernelStats(j, kernel.stats());
+  AppendTaskRows(j, CollectPerTaskStats(kernel, task_ids));
+  AppendAnalysis(j, analysis);
+  AppendReconciliation(j, analysis, kernel.stats());
+  AppendSnapshots(j, kernel.stats_sampler());
+  j.CloseObject();
+  return j.str() + "\n";
+}
+
+void WriteObsRunReport(std::FILE* out, const ObsRunInfo& info, const Kernel& kernel,
+                       const std::vector<ThreadId>& task_ids) {
+  std::string text = BuildObsRunReport(info, kernel, task_ids);
+  std::fwrite(text.data(), 1, text.size(), out);
+}
+
+bool WriteObsRunReportFile(const std::string& path, const ObsRunInfo& info,
+                           const Kernel& kernel, const std::vector<ThreadId>& task_ids) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  WriteObsRunReport(f, info, kernel, task_ids);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace obs
+}  // namespace emeralds

@@ -1,0 +1,304 @@
+#include "src/obs/perfetto_export.h"
+
+#include <cinttypes>
+
+#include "src/base/json.h"
+#include "src/core/kernel.h"
+
+namespace emeralds {
+namespace obs {
+namespace {
+
+constexpr int kPid = 1;
+
+// Emits traceEvents entries with the shared pid/comma bookkeeping.
+class EventWriter {
+ public:
+  explicit EventWriter(std::FILE* out) : out_(out) {}
+
+  void Open(const char* ph, double ts_us, int tid) {
+    std::fprintf(out_, "%s  {\"ph\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f",
+                 count_ == 0 ? "" : ",\n", ph, kPid, tid, ts_us);
+    ++count_;
+  }
+
+  void Field(const char* key, const char* value) {
+    std::string buf;
+    JsonAppendEscaped(&buf, value);
+    std::fprintf(out_, ",\"%s\":%s", key, buf.c_str());
+  }
+
+  void Raw(const char* text) { std::fputs(text, out_); }
+  void Dur(double dur_us) { std::fprintf(out_, ",\"dur\":%.3f", dur_us); }
+  void Close() { std::fputs("}", out_); }
+
+  // Metadata entry (no timestamp).
+  void Metadata(const char* name, int tid, const std::string& value) {
+    std::string buf;
+    JsonAppendEscaped(&buf, value);
+    std::fprintf(out_,
+                 "%s  {\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\",\"args\":{\"name\":%s}}",
+                 count_ == 0 ? "" : ",\n", kPid, tid, name, buf.c_str());
+    ++count_;
+  }
+
+  // Instant marker (thread scope).
+  void Instant(double ts_us, int tid, const char* name, const char* cat) {
+    Open("i", ts_us, tid);
+    Field("name", name);
+    Field("cat", cat);
+    Raw(",\"s\":\"t\"");
+    Close();
+  }
+
+  // Async span begin/end: these pair by (cat, id) and render as a nested
+  // track slice, which is how job and semaphore spans appear per thread.
+  void Async(const char* ph, double ts_us, int tid, const char* name, const char* cat,
+             const char* id) {
+    Open(ph, ts_us, tid);
+    Field("name", name);
+    Field("cat", cat);
+    Field("id", id);
+    Close();
+  }
+
+  size_t count() const { return count_; }
+
+ private:
+  std::FILE* out_;
+  size_t count_ = 0;
+};
+
+double TsUs(Instant t) { return static_cast<double>(t.nanos()) / 1e3; }
+
+std::string ThreadLabel(const PerfettoExportOptions& options, int32_t id) {
+  if (id >= 0 && static_cast<size_t>(id) < options.thread_names.size() &&
+      !options.thread_names[id].empty()) {
+    return options.thread_names[id];
+  }
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "t%d", id);
+  return buf;
+}
+
+}  // namespace
+
+size_t ExportPerfettoJson(const TraceEvent* events, size_t count,
+                          const PerfettoExportOptions& options, std::FILE* out) {
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", out);
+  EventWriter w(out);
+  w.Metadata("process_name", 0, options.process_name);
+
+  // Thread-name metadata for every thread id that appears in the window.
+  std::vector<bool> named;
+  auto name_thread = [&](int32_t id) {
+    if (id < 0 || id > 65535) {
+      return;
+    }
+    if (static_cast<size_t>(id) >= named.size()) {
+      named.resize(id + 1, false);
+    }
+    if (!named[id]) {
+      named[id] = true;
+      w.Metadata("thread_name", id, ThreadLabel(options, id));
+    }
+  };
+  for (size_t i = 0; i < count; ++i) {
+    const TraceEvent& e = events[i];
+    name_thread(e.arg0);
+    if (e.type == TraceEventType::kContextSwitch || e.type == TraceEventType::kPiInherit) {
+      name_thread(e.arg1);
+    }
+  }
+
+  if (options.dropped_events > 0 && count > 0) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "%" PRIu64 " events dropped before window",
+                  options.dropped_events);
+    w.Open("i", TsUs(events[0].time), 0);
+    w.Field("name", label);
+    w.Field("cat", "trace");
+    w.Raw(",\"s\":\"p\"");
+    w.Close();
+  }
+
+  // Running-state tracking for per-thread "running" slices.
+  struct OpenSlice {
+    bool open = false;
+    Instant since;
+  };
+  std::vector<OpenSlice> running;
+  auto slice = [&](int32_t id) -> OpenSlice* {
+    if (id < 0 || id > 65535) {
+      return nullptr;
+    }
+    if (static_cast<size_t>(id) >= running.size()) {
+      running.resize(id + 1);
+    }
+    return &running[id];
+  };
+  // Open block spans per thread (semaphore id, or -1): the resolving
+  // acquire closes the span before opening the hold span.
+  std::vector<int32_t> blocked_on;
+  auto blocked_slot = [&](int32_t id) -> int32_t* {
+    if (id < 0 || id > 65535) {
+      return nullptr;
+    }
+    if (static_cast<size_t>(id) >= blocked_on.size()) {
+      blocked_on.resize(id + 1, -1);
+    }
+    return &blocked_on[id];
+  };
+  uint64_t flow_id = 0;
+  char name[64];
+  char span_id[48];
+
+  for (size_t i = 0; i < count; ++i) {
+    const TraceEvent& e = events[i];
+    double ts = TsUs(e.time);
+    switch (e.type) {
+      case TraceEventType::kContextSwitch: {
+        OpenSlice* outgoing = slice(e.arg0);
+        if (outgoing != nullptr && outgoing->open) {
+          w.Open("X", TsUs(outgoing->since), e.arg0);
+          w.Field("name", "running");
+          w.Field("cat", "sched");
+          w.Dur(ts - TsUs(outgoing->since));
+          w.Close();
+          outgoing->open = false;
+        }
+        OpenSlice* incoming = slice(e.arg1);
+        if (incoming != nullptr) {
+          incoming->open = true;
+          incoming->since = e.time;
+        }
+        break;
+      }
+      case TraceEventType::kJobRelease:
+      case TraceEventType::kJobComplete:
+        std::snprintf(span_id, sizeof(span_id), "job.t%d.%d", e.arg0, e.arg1);
+        std::snprintf(name, sizeof(name), "job %d", e.arg1);
+        w.Async(e.type == TraceEventType::kJobRelease ? "b" : "e", ts, e.arg0, name, "job",
+                span_id);
+        break;
+      case TraceEventType::kDeadlineMiss:
+        std::snprintf(name, sizeof(name), "DEADLINE MISS job %d", e.arg1);
+        w.Instant(ts, e.arg0, name, "deadline");
+        break;
+      case TraceEventType::kSemAcquire:
+      case TraceEventType::kSemRelease: {
+        if (e.type == TraceEventType::kSemAcquire) {
+          // A resolving acquire ends the thread's open block span first.
+          int32_t* blocked = blocked_slot(e.arg0);
+          if (blocked != nullptr && *blocked == e.arg1) {
+            std::snprintf(span_id, sizeof(span_id), "block.t%d.s%d", e.arg0, e.arg1);
+            std::snprintf(name, sizeof(name), "blocked on S%d", e.arg1);
+            w.Async("e", ts, e.arg0, name, "semblock", span_id);
+            *blocked = -1;
+          }
+        }
+        // Hold span on the holder's track: acquire opens, release closes.
+        std::snprintf(span_id, sizeof(span_id), "hold.t%d.s%d", e.arg0, e.arg1);
+        std::snprintf(name, sizeof(name), "holds S%d", e.arg1);
+        w.Async(e.type == TraceEventType::kSemAcquire ? "b" : "e", ts, e.arg0, name, "sem",
+                span_id);
+        break;
+      }
+      case TraceEventType::kSemAcquireBlock: {
+        std::snprintf(span_id, sizeof(span_id), "block.t%d.s%d", e.arg0, e.arg1);
+        std::snprintf(name, sizeof(name), "blocked on S%d", e.arg1);
+        w.Async("b", ts, e.arg0, name, "semblock", span_id);
+        int32_t* blocked = blocked_slot(e.arg0);
+        if (blocked != nullptr) {
+          *blocked = e.arg1;
+        }
+        break;
+      }
+      case TraceEventType::kSemCseEarlyPi:
+        std::snprintf(name, sizeof(name), "CSE early PI (S%d, saved switch)", e.arg1);
+        w.Instant(ts, e.arg0, name, "cse");
+        break;
+      case TraceEventType::kPiInherit: {
+        // Arrow donor -> holder as a flow pair.
+        ++flow_id;
+        char idnum[24];
+        std::snprintf(idnum, sizeof(idnum), ",\"id\":%" PRIu64, flow_id);
+        w.Open("s", ts, e.arg1);
+        w.Field("name", "pi");
+        w.Field("cat", "pi");
+        w.Raw(idnum);
+        w.Close();
+        w.Open("f", ts, e.arg0);
+        w.Field("name", "pi");
+        w.Field("cat", "pi");
+        w.Raw(",\"bp\":\"e\"");
+        w.Raw(idnum);
+        w.Close();
+        break;
+      }
+      case TraceEventType::kPiRestore:
+        std::snprintf(name, sizeof(name), "PI restore (S%d)", e.arg1);
+        w.Instant(ts, e.arg0, name, "pi");
+        break;
+      case TraceEventType::kIrq:
+        std::snprintf(name, sizeof(name), "irq %d", e.arg0);
+        w.Instant(ts, 0, name, "irq");
+        break;
+      case TraceEventType::kMsgSend:
+      case TraceEventType::kMsgRecv:
+        std::snprintf(name, sizeof(name), "%s obj %d",
+                      e.type == TraceEventType::kMsgSend ? "send" : "recv", e.arg1);
+        w.Instant(ts, e.arg0, name, "ipc");
+        break;
+      case TraceEventType::kThreadExit:
+        w.Instant(ts, e.arg0, "thread exit", "sched");
+        break;
+    }
+  }
+
+  // Close still-open running slices and block spans at the window edge so
+  // the viewer does not render them as zero-length.
+  if (count > 0) {
+    double end_ts = TsUs(events[count - 1].time);
+    for (size_t id = 0; id < running.size(); ++id) {
+      if (running[id].open && end_ts > TsUs(running[id].since)) {
+        w.Open("X", TsUs(running[id].since), static_cast<int>(id));
+        w.Field("name", "running");
+        w.Field("cat", "sched");
+        w.Dur(end_ts - TsUs(running[id].since));
+        w.Close();
+      }
+    }
+  }
+
+  std::fputs("\n]}\n", out);
+  return w.count();
+}
+
+std::vector<std::string> KernelThreadNames(const Kernel& kernel) {
+  std::vector<std::string> names;
+  names.reserve(kernel.thread_count());
+  for (size_t i = 0; i < kernel.thread_count(); ++i) {
+    const Tcb& t = kernel.thread(ThreadId(static_cast<int>(i)));
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%s/%d", t.name, t.id.value);
+    names.push_back(buf);
+  }
+  return names;
+}
+
+size_t ExportPerfettoJson(const Kernel& kernel, std::FILE* out) {
+  const TraceSink& sink = kernel.trace();
+  std::vector<TraceEvent> events;
+  events.reserve(sink.size());
+  for (size_t i = 0; i < sink.size(); ++i) {
+    events.push_back(sink.at(i));
+  }
+  PerfettoExportOptions options;
+  options.thread_names = KernelThreadNames(kernel);
+  options.dropped_events = sink.dropped();
+  return ExportPerfettoJson(events.data(), events.size(), options, out);
+}
+
+}  // namespace obs
+}  // namespace emeralds

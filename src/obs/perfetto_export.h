@@ -1,0 +1,47 @@
+// Perfetto / Chrome trace-event JSON export.
+//
+// Turns the TraceSink event ring into a JSON file loadable at
+// ui.perfetto.dev (or chrome://tracing): per-thread "running" slices built
+// from context switches, async spans for jobs (release -> complete) and
+// semaphore holds/blocks, flow arrows for priority inheritance, and instant
+// markers for deadline misses, CSE saved switches, and IRQs.
+
+#ifndef SRC_OBS_PERFETTO_EXPORT_H_
+#define SRC_OBS_PERFETTO_EXPORT_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/hal/trace.h"
+
+namespace emeralds {
+
+class Kernel;
+
+namespace obs {
+
+struct PerfettoExportOptions {
+  std::string process_name = "emeralds";
+  // Display name per thread id; ids without an entry render as "t<id>".
+  std::vector<std::string> thread_names;
+  // Events lost ahead of the retained window (TraceSink::dropped());
+  // surfaced as a marker slice so truncation is visible in the UI.
+  uint64_t dropped_events = 0;
+};
+
+// Writes the event window as Chrome trace-event JSON to `out`. Returns the
+// number of traceEvents entries emitted (0 only for an empty window).
+size_t ExportPerfettoJson(const TraceEvent* events, size_t count,
+                          const PerfettoExportOptions& options, std::FILE* out);
+
+// Convenience: exports a kernel's retained trace with its thread names.
+size_t ExportPerfettoJson(const Kernel& kernel, std::FILE* out);
+
+// Thread display names ("<name>/<id>") in thread-id order, for options.
+std::vector<std::string> KernelThreadNames(const Kernel& kernel);
+
+}  // namespace obs
+}  // namespace emeralds
+
+#endif  // SRC_OBS_PERFETTO_EXPORT_H_

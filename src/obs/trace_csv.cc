@@ -1,0 +1,123 @@
+#include "src/obs/trace_csv.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace emeralds {
+namespace obs {
+namespace {
+
+bool Fail(std::string* error, size_t line, const char* what) {
+  if (error != nullptr) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "line %zu: %s", line, what);
+    *error = buf;
+  }
+  return false;
+}
+
+// Splits `row` on commas into exactly 4 fields, in place.
+bool SplitRow(char* row, char* fields[4]) {
+  int n = 0;
+  char* p = row;
+  fields[n++] = p;
+  while (*p != '\0') {
+    if (*p == ',') {
+      *p = '\0';
+      if (n == 4) {
+        return false;  // too many fields
+      }
+      fields[n++] = p + 1;
+    }
+    ++p;
+  }
+  return n == 4;
+}
+
+bool ParseInt(const char* s, long long* out) {
+  char* end = nullptr;
+  *out = std::strtoll(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+}  // namespace
+
+bool ImportTraceCsv(const std::string& text, TraceCsvImport* out, std::string* error) {
+  out->events.clear();
+  out->dropped = 0;
+
+  size_t pos = 0;
+  size_t line_no = 0;
+  bool saw_header = false;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    size_t len = (eol == std::string::npos ? text.size() : eol) - pos;
+    std::string line = text.substr(pos, len);
+    pos += len + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      unsigned long long dropped = 0;
+      if (std::sscanf(line.c_str(), "# dropped=%llu", &dropped) == 1) {
+        out->dropped = dropped;
+      }
+      continue;  // unknown comments are ignored
+    }
+    if (!saw_header) {
+      if (line != "time_us,event,arg0,arg1") {
+        return Fail(error, line_no, "expected header \"time_us,event,arg0,arg1\"");
+      }
+      saw_header = true;
+      continue;
+    }
+
+    char row[160];
+    if (line.size() >= sizeof(row)) {
+      return Fail(error, line_no, "row too long");
+    }
+    std::memcpy(row, line.c_str(), line.size() + 1);
+    char* fields[4];
+    if (!SplitRow(row, fields)) {
+      return Fail(error, line_no, "expected 4 comma-separated fields");
+    }
+    long long time_us = 0;
+    long long arg0 = 0;
+    long long arg1 = 0;
+    if (!ParseInt(fields[0], &time_us)) {
+      return Fail(error, line_no, "bad time_us");
+    }
+    TraceEvent e;
+    if (!TraceEventTypeFromString(fields[1], &e.type)) {
+      return Fail(error, line_no, "unknown event type");
+    }
+    if (!ParseInt(fields[2], &arg0) || !ParseInt(fields[3], &arg1)) {
+      return Fail(error, line_no, "bad arg");
+    }
+    e.time = Instant::FromNanos(time_us * 1000);
+    e.arg0 = static_cast<int32_t>(arg0);
+    e.arg1 = static_cast<int32_t>(arg1);
+    out->events.push_back(e);
+  }
+  if (!saw_header) {
+    return Fail(error, line_no, "missing header");
+  }
+  return true;
+}
+
+bool ImportTraceCsv(std::FILE* in, TraceCsvImport* out, std::string* error) {
+  std::string text;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+    text.append(buf, n);
+  }
+  return ImportTraceCsv(text, out, error);
+}
+
+}  // namespace obs
+}  // namespace emeralds

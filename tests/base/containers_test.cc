@@ -135,6 +135,31 @@ TEST(RingBufferTest, PushOverwriteEvictsOldest) {
   EXPECT_EQ(rb.pop(), 3);
 }
 
+TEST(RingBufferTest, PushOverwriteWrapsManyTimes) {
+  RingBuffer<int> rb(3);
+  for (int i = 0; i < 100; ++i) {
+    bool evicted = rb.push_overwrite(i);
+    EXPECT_EQ(evicted, i >= 3) << i;
+  }
+  // The window is always the most recent `capacity` values, oldest first.
+  ASSERT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.at(0), 97);
+  EXPECT_EQ(rb.at(1), 98);
+  EXPECT_EQ(rb.at(2), 99);
+}
+
+TEST(RingBufferTest, PushOverwriteAfterPopDoesNotEvict) {
+  RingBuffer<int> rb(2);
+  rb.push_overwrite(1);
+  rb.push_overwrite(2);
+  EXPECT_EQ(rb.pop(), 1);
+  // One slot free again: no eviction until full once more.
+  EXPECT_FALSE(rb.push_overwrite(3));
+  EXPECT_TRUE(rb.push_overwrite(4));
+  EXPECT_EQ(rb.at(0), 3);
+  EXPECT_EQ(rb.at(1), 4);
+}
+
 TEST(RingBufferTest, AtIndexesFromFront) {
   RingBuffer<int> rb(3);
   rb.push(7);

@@ -1,6 +1,8 @@
 // Virtual hardware tests: clock, hardware timers, interrupt controller,
 // cost model, trace sink.
 
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -230,6 +232,131 @@ TEST(TraceSinkTest, ZeroCapacityCountsOnly) {
   sink.Record(Instant(), TraceEventType::kIrq, 1, 0);
   EXPECT_EQ(sink.size(), 0u);
   EXPECT_EQ(sink.total_recorded(), 1u);
+  EXPECT_EQ(sink.dropped(), 1u);
+}
+
+TEST(TraceSinkTest, DroppedCountsEvictions) {
+  TraceSink sink(2);
+  for (int i = 0; i < 5; ++i) {
+    sink.Record(Instant() + Microseconds(i), TraceEventType::kIrq, i, 0);
+  }
+  EXPECT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.dropped(), 3u);
+  EXPECT_EQ(sink.total_recorded(), sink.size() + sink.dropped());
+  sink.Clear();
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_EQ(sink.total_recorded(), 0u);
+}
+
+TEST(TraceEventTypeTest, ToStringFromStringRoundTripsAllEnumerators) {
+  for (int i = 0; i < kNumTraceEventTypes; ++i) {
+    TraceEventType type = static_cast<TraceEventType>(i);
+    const char* name = TraceEventTypeToString(type);
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "?") << "enumerator " << i << " has no name";
+    TraceEventType back;
+    ASSERT_TRUE(TraceEventTypeFromString(name, &back)) << name;
+    EXPECT_EQ(back, type) << name;
+  }
+  // Names must be unique, or FromString could not invert ToString.
+  for (int i = 0; i < kNumTraceEventTypes; ++i) {
+    for (int j = i + 1; j < kNumTraceEventTypes; ++j) {
+      EXPECT_STRNE(TraceEventTypeToString(static_cast<TraceEventType>(i)),
+                   TraceEventTypeToString(static_cast<TraceEventType>(j)));
+    }
+  }
+  TraceEventType unused;
+  EXPECT_FALSE(TraceEventTypeFromString("not_an_event", &unused));
+  EXPECT_FALSE(TraceEventTypeFromString("", &unused));
+}
+
+// Reads `f` back into a string (the CSV/dump tests write to tmpfile()).
+std::string ReadAll(std::FILE* f) {
+  std::rewind(f);
+  std::string text;
+  char buf[1024];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  return text;
+}
+
+size_t CountLines(const std::string& text) {
+  size_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') {
+      ++lines;
+    }
+  }
+  return lines;
+}
+
+void FillSink(TraceSink& sink, int events) {
+  for (int i = 0; i < events; ++i) {
+    sink.Record(Instant() + Microseconds(i), TraceEventType::kContextSwitch, i - 1, i);
+  }
+}
+
+TEST(TraceSinkTest, ExportCsvRowCountsAtCapacityBoundaries) {
+  struct Case {
+    int events;
+    size_t expected_rows;
+    bool expect_drop_note;
+  };
+  // Capacity 4: empty, one row, exactly full, wrapped.
+  for (const Case& c : {Case{0, 0, false}, Case{1, 1, false}, Case{4, 4, false},
+                        Case{7, 4, true}}) {
+    TraceSink sink(4);
+    FillSink(sink, c.events);
+    std::FILE* f = std::tmpfile();
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(sink.ExportCsv(f), c.expected_rows) << c.events << " events";
+    std::string text = ReadAll(f);
+    std::fclose(f);
+    // Header + rows + optional "# dropped=N" trailer.
+    EXPECT_EQ(CountLines(text), 1 + c.expected_rows + (c.expect_drop_note ? 1 : 0))
+        << c.events << " events";
+    EXPECT_EQ(text.rfind("time_us,event,arg0,arg1\n", 0), 0u);
+    EXPECT_EQ(text.find("# dropped=") != std::string::npos, c.expect_drop_note)
+        << c.events << " events";
+  }
+}
+
+TEST(TraceSinkTest, ExportCsvWrappedKeepsNewestRows) {
+  TraceSink sink(4);
+  FillSink(sink, 7);  // events 3..6 survive
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  sink.ExportCsv(f);
+  std::string text = ReadAll(f);
+  std::fclose(f);
+  EXPECT_NE(text.find("\n3,context_switch,2,3\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("\n6,context_switch,5,6\n"), std::string::npos) << text;
+  EXPECT_EQ(text.find("\n2,context_switch"), std::string::npos) << text;
+  EXPECT_NE(text.find("# dropped=3\n"), std::string::npos) << text;
+}
+
+TEST(TraceSinkTest, DumpWritesToGivenStream) {
+  TraceSink sink(4);
+  sink.Record(Instant() + Microseconds(5), TraceEventType::kJobRelease, 2, 0);
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  sink.Dump(f);
+  std::string text = ReadAll(f);
+  std::fclose(f);
+  EXPECT_NE(text.find("job_release"), std::string::npos) << text;
+}
+
+TEST(TraceSinkTest, DumpNotesDroppedEvents) {
+  TraceSink sink(2);
+  FillSink(sink, 5);
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  sink.Dump(f);
+  std::string text = ReadAll(f);
+  std::fclose(f);
+  EXPECT_NE(text.find("3 of 5 events dropped"), std::string::npos) << text;
 }
 
 }  // namespace
