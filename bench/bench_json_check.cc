@@ -2,9 +2,11 @@
 // schema tag:
 //   emeralds.bench.breakdown/1 — perf trajectory (bench_smoke label)
 //   emeralds.obs.run/1         — observability run report (obs_smoke label)
-// For the obs schema the check is substantive, not just structural: the
-// embedded invariant-violation list must be empty and every reconciliation
-// flag true, so a kernel whose trace disagrees with its own counters fails CI.
+//   emeralds.fuzz.torture/1    — torture-harness sweep report
+// For the obs and fuzz schemas the check is substantive, not just
+// structural: invariant-violation lists must be empty, reconciliation flags
+// true, and every torture run ok — so a kernel whose trace disagrees with
+// its own counters (or a failing fuzz seed) fails CI.
 
 #include <cstdio>
 #include <string>
@@ -79,6 +81,54 @@ int CheckObsRun(const char* path, const JsonValue& root) {
   return 0;
 }
 
+int CheckFuzzTorture(const char* path, const JsonValue& root) {
+  const JsonValue* runs = root.Find("runs");
+  if (runs == nullptr || runs->type != JsonValue::Type::kArray || runs->array.empty()) {
+    std::fprintf(stderr, "FAIL: missing or empty runs array\n");
+    return 1;
+  }
+  uint64_t ops = 0;
+  for (const JsonValue& run : runs->array) {
+    if (!RequireNumbers(run, "run", {"seed", "ops_executed", "violations", "fault_mismatches"})) {
+      return 1;
+    }
+    const JsonValue* ok = run.Find("ok");
+    if (ok == nullptr || ok->type != JsonValue::Type::kBool) {
+      std::fprintf(stderr, "FAIL: run missing bool \"ok\"\n");
+      return 1;
+    }
+    if (!ok->boolean) {
+      const JsonValue* repro = run.Find("repro");
+      std::fprintf(stderr, "FAIL: torture seed %g failed; repro: %s\n",
+                   run.Find("seed")->number,
+                   repro != nullptr ? repro->string.c_str() : "?");
+      return 1;
+    }
+    if (run.Find("violations")->number != 0.0 || run.Find("fault_mismatches")->number != 0.0) {
+      std::fprintf(stderr, "FAIL: seed %g has violations/fault mismatches\n",
+                   run.Find("seed")->number);
+      return 1;
+    }
+    const JsonValue* recon = run.Find("reconciliation");
+    if (recon == nullptr || recon->Find("checked") == nullptr || recon->Find("ok") == nullptr) {
+      std::fprintf(stderr, "FAIL: run missing reconciliation {checked, ok}\n");
+      return 1;
+    }
+    ops += static_cast<uint64_t>(run.Find("ops_executed")->number);
+  }
+  const JsonValue* totals = root.Find("totals");
+  if (totals == nullptr || !RequireNumbers(*totals, "totals", {"runs", "failed", "ops_executed"})) {
+    return 1;
+  }
+  if (totals->Find("failed")->number != 0.0) {
+    std::fprintf(stderr, "FAIL: totals.failed = %g\n", totals->Find("failed")->number);
+    return 1;
+  }
+  std::printf("OK: %s (torture sweep, %zu runs, %llu ops, 0 failures)\n", path,
+              runs->array.size(), static_cast<unsigned long long>(ops));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,6 +165,9 @@ int main(int argc, char** argv) {
   }
   if (schema->string == "emeralds.obs.run/1") {
     return CheckObsRun(argv[1], root);
+  }
+  if (schema->string == "emeralds.fuzz.torture/1") {
+    return CheckFuzzTorture(argv[1], root);
   }
   if (schema->string != "emeralds.bench.breakdown/1") {
     std::fprintf(stderr, "FAIL: unexpected schema tag \"%s\"\n", schema->string.c_str());

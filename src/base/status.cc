@@ -32,6 +32,8 @@ const char* StatusToString(Status status) {
       return "kCancelled";
     case Status::kBufferTooSmall:
       return "kBufferTooSmall";
+    case Status::kTruncated:
+      return "kTruncated";
   }
   return "<unknown Status>";
 }

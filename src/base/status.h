@@ -31,6 +31,9 @@ enum class Status : int {
   kWouldBlock = -11,
   kCancelled = -12,
   kBufferTooSmall = -13,
+  // Data was delivered but did not fit the caller's buffer; the payload was
+  // cut to the buffer size (mailbox receive into a short buffer).
+  kTruncated = -14,
 };
 
 // Human-readable name for a status code ("kOk", "kTimedOut", ...).

@@ -145,9 +145,11 @@ Kernel::SyscallOutcome Kernel::SysRecv(Tcb& t, MailboxId id, std::span<uint8_t> 
   if (!mbox->queue->empty()) {
     MboxMessage message = mbox->queue->pop();
     size_t n = std::min(buffer.size(), message.bytes.size());
-    std::memcpy(buffer.data(), message.bytes.data(), n);
+    if (n > 0) {
+      std::memcpy(buffer.data(), message.bytes.data(), n);
+    }
     Charge(ChargeCategory::kIpc, CopyCost(n));
-    t.syscall_status = Status::kOk;
+    t.syscall_status = RecvCopyStatus(n, message.bytes.size());
     t.syscall_length = n;
     ++mbox->receives;
     ++stats_.mailbox_receives;
@@ -193,17 +195,36 @@ Kernel::SyscallOutcome Kernel::SysRecv(Tcb& t, MailboxId id, std::span<uint8_t> 
   return {true};
 }
 
+// A short receive buffer cuts the payload: the caller gets the prefix that
+// fits plus kTruncated, never a silent kOk.
+Status Kernel::RecvCopyStatus(size_t copied, size_t message_size) {
+  if (copied < message_size) {
+    ++stats_.mailbox_truncations;
+    return Status::kTruncated;
+  }
+  return Status::kOk;
+}
+
+// A blocked receive resolves exactly once — by delivery or by timeout — and
+// both resolutions funnel through here so the TCB never keeps a stale wait
+// record (dangling recv_buffer span, waiting_mailbox id, armed timer).
+void Kernel::FinishMailboxRecvWait(Tcb& receiver) {
+  CancelSoftTimer(receiver.timeout_timer);
+  receiver.recv_buffer = {};
+  receiver.waiting_mailbox = MailboxId();
+}
+
 void Kernel::DeliverToWaiter(Mailbox& mbox, MboxMessage&& message) {
   Tcb* receiver = mbox.recv_waiters.front();  // priority-ordered at insert
   EM_ASSERT(receiver != nullptr);
   mbox.recv_waiters.erase(*receiver);
-  CancelSoftTimer(receiver->timeout_timer);
   size_t n = std::min(receiver->recv_buffer.size(), message.bytes.size());
   if (n > 0) {
     std::memcpy(receiver->recv_buffer.data(), message.bytes.data(), n);
   }
-  receiver->syscall_status = Status::kOk;
+  receiver->syscall_status = RecvCopyStatus(n, message.bytes.size());
   receiver->syscall_length = n;
+  FinishMailboxRecvWait(*receiver);
   ++mbox.receives;
   ++stats_.mailbox_receives;
   trace_.Record(hw_.now(), TraceEventType::kMsgRecv, receiver->id.value, mbox.id.value);
@@ -227,6 +248,7 @@ void Kernel::AdmitBlockedSender(Mailbox& mbox) {
   ++mbox.sends;
   ++stats_.mailbox_sends;
   sender->send_data = {};
+  sender->waiting_mailbox = MailboxId();
   sender->syscall_status = Status::kOk;
   trace_.Record(hw_.now(), TraceEventType::kMsgSend, sender->id.value, mbox.id.value);
   WakeThread(*sender);

@@ -477,6 +477,13 @@ void Kernel::Reschedule() {
   }
   if (next != current_) {
     ContextSwitch(next);
+  } else if (next != nullptr && next->state == ThreadState::kReady) {
+    // The current thread blocked and was rewoken within one dispatch window
+    // (e.g. WaitNextPeriod at an instant its release timer was already due
+    // but not yet dispatched: charges advance time without dispatching).
+    // Selecting it again means no context switch ever happened; restore
+    // kRunning without charging for a switch.
+    next->state = ThreadState::kRunning;
   }
   if (config_.debug_validate) {
     sched_.Validate();
@@ -741,6 +748,7 @@ void Kernel::HandleTimeout(Tcb& t) {
       ++mbox->recv_timeouts;
       t.syscall_status = Status::kTimedOut;
       t.syscall_length = 0;
+      FinishMailboxRecvWait(t);
       WakeThread(t);
       return;
     }
@@ -855,7 +863,7 @@ void Kernel::WakeThread(Tcb& t) {
     if (sem->mode == SemMode::kCse) {
       ScopedSemPath path(*this);
       Charge(ChargeCategory::kSemaphore, cost_.sem_cse_check);
-      if (sem->owner != nullptr && sem->owner != &t) {
+      if (sem->owner != nullptr && sem->owner != &t && !PiChainTooDeep(*sem)) {
         ++stats_.cse_early_pi;
         t.blocked_on = sem;
         t.block_reason = BlockReason::kWaitSem;

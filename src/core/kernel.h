@@ -38,6 +38,12 @@ namespace emeralds {
 // Recv() timeout sentinel: fail with kWouldBlock instead of blocking.
 inline constexpr Duration kNoWait = Nanoseconds(-1);
 
+// Longest blocking chain (holder -> semaphore the holder waits on -> its
+// holder -> ...) the priority-inheritance walk will traverse. An acquire that
+// would extend a chain to this depth fails with kResourceExhausted and a
+// kPiChainLimit trace instant instead of panicking the node.
+inline constexpr int kMaxPiChainDepth = 16;
+
 class Kernel {
  public:
   Kernel(Hardware& hw, const KernelConfig& config);
@@ -217,6 +223,7 @@ class Kernel {
   Semaphore* SemPtr(SemId id);
   void EnqueueWaiter(Semaphore& sem, Tcb& waiter);
   Tcb* HighestWaiter(Semaphore& sem, int* visits);
+  bool PiChainTooDeep(const Semaphore& sem) const;
   void DoInheritance(Semaphore& sem, Tcb& donor);
   void InheritOne(Semaphore& sem, Tcb& holder, Tcb& donor);
   void DissolveSwap(Tcb& holder);
@@ -239,6 +246,8 @@ class Kernel {
   Mailbox* MailboxPtr(MailboxId id);
   StateMessageBuffer* SmsgPtr(SmsgId id);
   Duration CopyCost(size_t bytes) const;
+  Status RecvCopyStatus(size_t copied, size_t message_size);
+  void FinishMailboxRecvWait(Tcb& receiver);
   void DeliverToWaiter(Mailbox& mbox, MboxMessage&& message);
   void AdmitBlockedSender(Mailbox& mbox);
   void FinishStateWrite(Tcb& t);

@@ -71,12 +71,40 @@ Tcb* Kernel::HighestWaiter(Semaphore& sem, int* visits) {
 
 // --- Priority inheritance ---
 
+// Depth of the blocking chain hanging off `sem`: its holder, the semaphore
+// that holder waits on, that semaphore's holder, and so on. Blocking on `sem`
+// would make the chain one longer than the walk counts here. The walk stops
+// at the cap, so a deadlock cycle (which has no end) also reports "too deep"
+// instead of looping forever.
+bool Kernel::PiChainTooDeep(const Semaphore& sem) const {
+  int depth = 0;
+  const Semaphore* s = &sem;
+  while (s->owner != nullptr) {
+    if (++depth >= kMaxPiChainDepth) {
+      return true;
+    }
+    if (s->owner->blocked_on == nullptr) {
+      return false;
+    }
+    s = s->owner->blocked_on;
+  }
+  return false;
+}
+
 void Kernel::DoInheritance(Semaphore& sem, Tcb& donor) {
   Semaphore* s = &sem;
   Tcb* d = &donor;
   int depth = 0;
   while (s->owner != nullptr) {
-    EM_ASSERT_MSG(++depth < 16, "priority-inheritance chain too deep (deadlock?)");
+    if (++depth >= kMaxPiChainDepth) {
+      // SysAcquire refuses chains this deep up front, but condvar wakes and
+      // CSE early PI can still extend one concurrently; truncating the
+      // propagation is safe (inheritance is a latency bound, not a safety
+      // invariant), and panicking the node is not.
+      ++stats_.pi_chain_limit_hits;
+      trace_.Record(hw_.now(), TraceEventType::kPiChainLimit, d->id.value, s->id.value);
+      break;
+    }
     Tcb* holder = s->owner;
     if (!sched_.HigherPriority(*d, *holder)) {
       break;
@@ -340,6 +368,16 @@ Kernel::SyscallOutcome Kernel::SysAcquire(Tcb& t, SemId id) {
       return {false};
     }
     EM_ASSERT_MSG(sem->owner != &t, "recursive acquire of '%s' by '%s'", sem->name, t.name);
+    if (PiChainTooDeep(*sem)) {
+      // Deep-but-legal nesting (or an outright deadlock cycle): refuse the
+      // acquire instead of blocking into a chain the PI walk cannot cover.
+      // Checked before the kSemAcquireBlock record so the trace never shows
+      // an unresolvable block.
+      ++stats_.pi_chain_limit_hits;
+      t.syscall_status = Status::kResourceExhausted;
+      trace_.Record(hw_.now(), TraceEventType::kPiChainLimit, t.id.value, sem->id.value);
+      return {false};
+    }
     // Contended path (Figures 6/7): PI, join the wait queue, block.
     ++stats_.sem_contended;
     ++sem->contended_acquires;

@@ -61,10 +61,12 @@ struct KernelStats {
   uint64_t cse_switches_saved = 0;
   uint64_t cse_hint_misses = 0;  // hint named a semaphore never acquired
   uint64_t preacquire_freezes = 0;
+  uint64_t pi_chain_limit_hits = 0;  // acquires refused / walks cut at the depth cap
 
   // IPC.
   uint64_t mailbox_sends = 0;
   uint64_t mailbox_receives = 0;
+  uint64_t mailbox_truncations = 0;  // receives that cut the payload (kTruncated)
   uint64_t smsg_writes = 0;
   uint64_t smsg_reads = 0;
   uint64_t smsg_read_retries = 0;

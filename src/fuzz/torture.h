@@ -1,0 +1,144 @@
+// Deterministic kernel torture harness.
+//
+// One RunTorture() call is one fully reproducible stress run: a seed drives
+// every choice — topology (threads across DP/FP bands, nested semaphore
+// chains, condvars, mailboxes, state messages with deliberately lapped
+// readers, a user timer, an IRQ-driven driver thread), the per-thread
+// operation schedules, the syscall-boundary fault plan (bad handles,
+// permission denials, oversized payloads, short receive buffers), and the
+// host-side injections between executive slices (IRQ storms, timer toggles,
+// mid-run charge-accounting resets). Because the simulation itself is
+// deterministic, the same (seed, op budget) always produces bit-identical
+// traces; TortureResult::trace_digest makes that checkable in one compare.
+//
+// Three oracles run after every run:
+//   1. obs::AnalyzeTrace over the retained trace must report zero structural
+//      invariant violations (truncation-aware, so a deliberately tiny ring is
+//      a fault case, not a false positive);
+//   2. obs::ComputeReconciliation must agree with the kernel's own counters
+//      whenever the trace was not truncated — and must *refuse* to check
+//      (checked == false) when it was;
+//   3. every injected fault must come back with exactly the status the
+//      syscall contract promises (kBadHandle, kPermissionDenied, ...).
+//
+// A failing seed is shrunk by bisecting the global operation budget
+// (BisectFailingOpLimit) and reported as a one-line repro command.
+
+#ifndef SRC_FUZZ_TORTURE_H_
+#define SRC_FUZZ_TORTURE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/core/stats.h"
+#include "src/obs/obs_report.h"
+#include "src/obs/trace_analyzer.h"
+
+namespace emeralds {
+namespace fuzz {
+
+inline constexpr const char* kTortureSchema = "emeralds.fuzz.torture/1";
+
+// Operation kinds the generated thread bodies draw from. The order is part
+// of the replay contract: reordering changes every seed's schedule.
+enum class OpKind : int {
+  kCompute = 0,      // preemptible CPU burn
+  kSleep,            // timed block
+  kYield,            // reschedule without blocking
+  kLockChain,        // acquire an ascending semaphore chain, compute, release
+  kCondWait,         // mutex-protected condvar wait
+  kCondSignal,       // signal or broadcast
+  kMboxSend,         // mailbox send / try-send with random payload
+  kMboxRecv,         // receive with random (often short) buffer and timeout
+  kStateWrite,       // state-message publish (designated writer only)
+  kStateRead,        // state-message snapshot (lapped readers expected)
+  kTimerWait,        // pace on the user timer's counting semaphore
+  kIrqWait,          // bound driver thread waits for its IRQ line
+  kFaultBadHandle,   // syscall on a handle that was never created
+  kFaultPermission,  // syscall on an object another process locked down
+  kFaultOversized,   // state write larger than the buffer
+};
+inline constexpr int kNumOpKinds = static_cast<int>(OpKind::kFaultOversized) + 1;
+
+const char* OpKindToString(OpKind kind);
+
+struct TortureOptions {
+  uint64_t seed = 1;
+  // Global operation budget, consumed across all threads in executive order.
+  int ops = 2000;
+  // Replay cap for shrinking: execute only the first `op_limit` operations
+  // of the schedule (< 0 means `ops`). Same seed + same limit => same run.
+  int op_limit = -1;
+  bool inject_faults = true;    // include the kFault* ops in schedules
+  bool irq_storms = true;       // host-raised IRQ bursts between slices
+  bool charge_resets = true;    // mid-run ResetChargeAccounting() calls
+  bool tiny_trace_ring = false; // force ring overflow (truncation fault case)
+  // Virtual-time cap; the run ends earlier once the op budget drains. Blocked
+  // threads (condvar waits, forever-receives) make op throughput bursty, so
+  // the default leaves generous headroom.
+  Duration max_run_time = Seconds(20);
+};
+
+// Per-run coverage: which operations actually executed and which statuses
+// came back. Statuses are indexed by -(int)status (0 == kOk).
+struct TortureCoverage {
+  uint64_t op_counts[kNumOpKinds] = {};
+  uint64_t status_counts[32] = {};
+  uint64_t irq_storms = 0;
+  uint64_t charge_resets = 0;
+  uint64_t timer_toggles = 0;
+};
+
+struct TortureResult {
+  bool ok = false;
+  uint64_t seed = 0;
+  int ops_executed = 0;
+  // First failure in human-readable form; empty when ok.
+  std::string failure;
+  // Oracle outcomes.
+  size_t violations = 0;
+  obs::Reconciliation reconciliation;
+  uint64_t fault_mismatches = 0;
+  // FNV-1a over the retained trace window (time, type, args) and the
+  // reconciled counters: equal digests == bit-identical runs.
+  uint64_t trace_digest = 0;
+  uint64_t trace_retained = 0;
+  uint64_t trace_dropped = 0;
+  Duration virtual_time;
+  KernelStats stats;
+  TortureCoverage coverage;
+};
+
+// Runs one seeded torture run to completion and applies the oracles.
+TortureResult RunTorture(const TortureOptions& options);
+
+// Writes the trace CSV of one run to `path` (re-runs the seed; cheap and
+// deterministic). Returns false when the file cannot be created.
+bool ExportTortureTraceCsv(const TortureOptions& options, const std::string& path);
+
+// Smallest op budget in [1, hi] for which `fails` still holds, assuming
+// monotonicity (best effort otherwise); the workhorse behind shrinking.
+int BisectSmallestFailing(int hi, const std::function<bool(int)>& fails);
+
+// Shrinks a failing run by bisecting the operation budget. Returns options
+// with op_limit set to the smallest still-failing budget.
+TortureOptions ShrinkFailingRun(const TortureOptions& options);
+
+// One-line command that reproduces this exact run with the torture CLI.
+std::string ReproCommand(const TortureOptions& options);
+
+// Appends one run's JSON object (schema fragment) to `out`.
+void AppendTortureRunJson(std::string* out, const TortureOptions& options,
+                          const TortureResult& result);
+
+// Full report: {"schema": "emeralds.fuzz.torture/1", "runs": [...], totals}.
+std::string BuildTortureReport(const std::vector<TortureOptions>& options,
+                               const std::vector<TortureResult>& results);
+
+}  // namespace fuzz
+}  // namespace emeralds
+
+#endif  // SRC_FUZZ_TORTURE_H_

@@ -35,6 +35,8 @@ const char* TraceEventTypeToString(TraceEventType type) {
       return "msg_recv";
     case TraceEventType::kThreadExit:
       return "thread_exit";
+    case TraceEventType::kPiChainLimit:
+      return "pi_chain_limit";
   }
   return "?";
 }

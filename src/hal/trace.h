@@ -31,12 +31,13 @@ enum class TraceEventType : uint8_t {
   kMsgSend,         // arg0 = thread id, arg1 = object id
   kMsgRecv,         // arg0 = thread id, arg1 = object id
   kThreadExit,      // arg0 = thread id
+  kPiChainLimit,    // arg0 = thread id, arg1 = semaphore id (depth cap hit)
 };
 
 // One past the last enumerator. Keep in sync when adding event types; the
 // round-trip test over [0, kNumTraceEventTypes) catches a missing name.
 inline constexpr int kNumTraceEventTypes =
-    static_cast<int>(TraceEventType::kThreadExit) + 1;
+    static_cast<int>(TraceEventType::kPiChainLimit) + 1;
 
 const char* TraceEventTypeToString(TraceEventType type);
 

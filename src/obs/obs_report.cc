@@ -197,18 +197,18 @@ void AppendAnalysis(Json& j, const TraceAnalysis& a) {
   j.CloseObject();
 }
 
-// Replay-vs-kernel agreement. Only meaningful for an untruncated trace: a
-// suffix window legitimately undercounts, so `checked` records whether the
-// equalities were actually enforced.
 void AppendReconciliation(Json& j, const TraceAnalysis& a, const KernelStats& s) {
-  const bool checked = a.dropped_events == 0;
+  Reconciliation r = ComputeReconciliation(a, s);
   j.Key("reconciliation");
   j.OpenObject();
-  j.Bool("checked", checked);
-  j.Bool("context_switches_match", !checked || a.context_switches == s.context_switches);
-  j.Bool("deadline_misses_match", !checked || a.deadline_misses == s.deadline_misses);
-  j.Bool("jobs_completed_match", !checked || a.jobs_completed == s.jobs_completed);
-  j.Bool("cse_early_pi_match", !checked || a.cse_early_pi == s.cse_early_pi);
+  j.Bool("checked", r.checked);
+  j.Bool("context_switches_match", r.context_switches_match);
+  j.Bool("deadline_misses_match", r.deadline_misses_match);
+  j.Bool("jobs_completed_match", r.jobs_completed_match);
+  j.Bool("cse_early_pi_match", r.cse_early_pi_match);
+  j.Bool("msg_sends_match", r.msg_sends_match);
+  j.Bool("msg_recvs_match", r.msg_recvs_match);
+  j.Bool("pi_chain_limit_match", r.pi_chain_limit_match);
   j.Int("kernel_context_switches", static_cast<int64_t>(s.context_switches));
   j.Int("analyzer_context_switches", static_cast<int64_t>(a.context_switches));
   j.Int("kernel_deadline_misses", static_cast<int64_t>(s.deadline_misses));
@@ -257,6 +257,22 @@ void AppendSnapshots(Json& j, const StatsSampler* sampler) {
 }
 
 }  // namespace
+
+Reconciliation ComputeReconciliation(const TraceAnalysis& a, const KernelStats& s) {
+  Reconciliation r;
+  r.checked = a.dropped_events == 0;
+  if (!r.checked) {
+    return r;  // suffix window: equalities would legitimately fail
+  }
+  r.context_switches_match = a.context_switches == s.context_switches;
+  r.deadline_misses_match = a.deadline_misses == s.deadline_misses;
+  r.jobs_completed_match = a.jobs_completed == s.jobs_completed;
+  r.cse_early_pi_match = a.cse_early_pi == s.cse_early_pi;
+  r.msg_sends_match = a.msg_sends == s.mailbox_sends + s.smsg_writes;
+  r.msg_recvs_match = a.msg_recvs == s.mailbox_receives + s.smsg_reads;
+  r.pi_chain_limit_match = a.pi_chain_limit == s.pi_chain_limit_hits;
+  return r;
+}
 
 std::string BuildObsRunReport(const ObsRunInfo& info, const Kernel& kernel,
                               const std::vector<ThreadId>& task_ids) {

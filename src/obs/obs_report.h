@@ -32,6 +32,29 @@ struct ObsRunInfo {
   Duration run_duration;  // simulated time covered by the run
 };
 
+// Replay-vs-kernel agreement: does the analyzer's replay of the trace arrive
+// at the same counters the kernel incremented live? Only meaningful for an
+// untruncated trace — a suffix window legitimately undercounts — so `checked`
+// records whether the equalities were actually enforced. The torture harness
+// uses this as its second oracle (the first is zero invariant violations).
+struct Reconciliation {
+  bool checked = false;
+  bool context_switches_match = true;
+  bool deadline_misses_match = true;
+  bool jobs_completed_match = true;
+  bool cse_early_pi_match = true;
+  bool msg_sends_match = true;
+  bool msg_recvs_match = true;
+  bool pi_chain_limit_match = true;
+
+  bool ok() const {
+    return context_switches_match && deadline_misses_match && jobs_completed_match &&
+           cse_early_pi_match && msg_sends_match && msg_recvs_match && pi_chain_limit_match;
+  }
+};
+
+Reconciliation ComputeReconciliation(const TraceAnalysis& analysis, const KernelStats& stats);
+
 // Renders the full report as a JSON string. `task_ids` selects the taskset
 // threads for the per-task rows (pass {} to skip them). The trace analysis is
 // recomputed here from the kernel's retained trace window.

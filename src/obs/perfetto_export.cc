@@ -253,6 +253,10 @@ size_t ExportPerfettoJson(const TraceEvent* events, size_t count,
       case TraceEventType::kThreadExit:
         w.Instant(ts, e.arg0, "thread exit", "sched");
         break;
+      case TraceEventType::kPiChainLimit:
+        std::snprintf(name, sizeof(name), "PI chain limit (S%d)", e.arg1);
+        w.Instant(ts, e.arg0, name, "pi");
+        break;
     }
   }
 

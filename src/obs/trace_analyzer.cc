@@ -237,8 +237,17 @@ TraceAnalysis AnalyzeTrace(const TraceEvent* events, size_t count, uint64_t drop
         }
         break;
       case TraceEventType::kIrq:
+        break;
       case TraceEventType::kMsgSend:
+        ++out.msg_sends;
+        break;
       case TraceEventType::kMsgRecv:
+        ++out.msg_recvs;
+        break;
+      case TraceEventType::kPiChainLimit:
+        // A refused acquire: the thread did not block, so no track state
+        // changes — only the stream-wide count for reconciliation.
+        ++out.pi_chain_limit;
         break;
       case TraceEventType::kThreadExit:
         if (t0 != nullptr) {

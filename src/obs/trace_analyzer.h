@@ -91,7 +91,10 @@ struct TraceAnalysis {
   uint64_t jobs_completed = 0;
   uint64_t sem_acquires = 0;
   uint64_t sem_blocks = 0;
+  uint64_t msg_sends = 0;  // kMsgSend: mailbox sends + state-message writes
+  uint64_t msg_recvs = 0;  // kMsgRecv: mailbox receives + state-message reads
   uint64_t cse_early_pi = 0;
+  uint64_t pi_chain_limit = 0;  // kPiChainLimit instants (refused deep acquires)
   int max_pi_chain_depth = 0;
   // Acquire-blocks still unresolved when the window ends. Not a violation:
   // a run cut at a time bound legitimately ends with blocked threads.

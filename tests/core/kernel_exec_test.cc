@@ -146,6 +146,37 @@ TEST(KernelExecTest, OverrunConsumesPendingReleaseWithoutBlocking) {
   EXPECT_EQ(job_starts_us[2], 30000);
 }
 
+// Regression: a thread whose WaitNextPeriod call lands *after* its next
+// release instant — because charged syscall time (not compute) carried the
+// clock across the release boundary, so the release timer has not been
+// dispatched yet — blocks, is immediately rewoken by the due timer, and is
+// re-selected while still `current_`. The executive must restore kRunning
+// on that no-switch path instead of asserting. Found by the torture harness
+// (torture --seed=2 --ops=10000).
+TEST(KernelExecTest, ReleaseDueDuringWaitPeriodSyscallDoesNotWedge) {
+  SimEnv env(CalibratedConfig());
+  SemId pace = env.k().CreateSemaphore("pace", 0).value();
+  uint64_t jobs = 0;
+  // Period 100us; each job computes 80us then issues charged syscalls
+  // (releases of a counting semaphore) that push completion past the next
+  // release grid point without any dispatch opportunity.
+  env.k().CreateThread(Periodic("tight", Microseconds(100), [&](ThreadApi api) -> ThreadBody {
+    for (;;) {
+      ++jobs;
+      co_await api.Compute(Microseconds(80));
+      for (int i = 0; i < 15; ++i) {
+        co_await api.Release(pace);
+      }
+      co_await api.WaitNextPeriod();
+    }
+  }));
+  env.StartAndRunFor(Milliseconds(20));
+  // The run survives and keeps releasing jobs (overloaded, so misses are
+  // expected — wedging or panicking is not).
+  EXPECT_GT(jobs, 50u);
+  EXPECT_GT(env.k().stats().jobs_completed, 50u);
+}
+
 TEST(KernelExecTest, SleepWakesAtRequestedTime) {
   SimEnv env(ZeroCostConfig());
   int64_t woke_us = -1;

@@ -217,15 +217,121 @@ TEST(MailboxTest, OversizedMessageRejected) {
 TEST(MailboxTest, ShortReceiverBufferTruncates) {
   SimEnv env(ZeroCostConfig());
   MailboxId mbox = env.k().CreateMailbox("m", 2).value();
+  Status status = Status::kOk;
   size_t got = 0;
+  char small[5] = {};
   env.k().CreateThread(Aperiodic("both", [&](ThreadApi api) -> ThreadBody {
     co_await api.Send(mbox, Bytes("longmessage"));
-    uint8_t small[4];
-    RecvResult result = co_await api.Recv(mbox, small);
+    RecvResult result = co_await api.Recv(
+        mbox, std::span<uint8_t>(reinterpret_cast<uint8_t*>(small), 4));
+    status = result.status;
     got = result.length;
   }));
   env.StartAndRunFor(Milliseconds(1));
+  // The prefix that fits is delivered, but the cut is reported, not silent.
+  EXPECT_EQ(status, Status::kTruncated);
   EXPECT_EQ(got, 4u);
+  EXPECT_STREQ(small, "long");
+  EXPECT_EQ(env.k().stats().mailbox_truncations, 1u);
+}
+
+TEST(MailboxTest, ShortBufferTruncatesOnDirectDelivery) {
+  // Same bug's second arm: the blocked-receiver path (DeliverToWaiter) used
+  // to report kOk for a cut payload too.
+  SimEnv env(ZeroCostConfig());
+  MailboxId mbox = env.k().CreateMailbox("m", 2).value();
+  Status status = Status::kOk;
+  size_t got = 0;
+  char small[5] = {};
+  env.k().CreateThread(Aperiodic("receiver", [&](ThreadApi api) -> ThreadBody {
+    RecvResult result = co_await api.Recv(
+        mbox, std::span<uint8_t>(reinterpret_cast<uint8_t*>(small), 4));
+    status = result.status;
+    got = result.length;
+  }));
+  env.k().CreateThread(Aperiodic("sender", [&](ThreadApi api) -> ThreadBody {
+    co_await api.Sleep(Milliseconds(1));
+    co_await api.Send(mbox, Bytes("longmessage"));
+  }));
+  env.StartAndRunFor(Milliseconds(5));
+  EXPECT_EQ(status, Status::kTruncated);
+  EXPECT_EQ(got, 4u);
+  EXPECT_STREQ(small, "long");
+  EXPECT_EQ(env.k().stats().mailbox_truncations, 1u);
+}
+
+TEST(MailboxTest, ExactFitBufferIsNotTruncation) {
+  SimEnv env(ZeroCostConfig());
+  MailboxId mbox = env.k().CreateMailbox("m", 2).value();
+  Status status = Status::kTruncated;
+  env.k().CreateThread(Aperiodic("both", [&](ThreadApi api) -> ThreadBody {
+    co_await api.Send(mbox, Bytes("1234"));
+    uint8_t buffer[4];
+    RecvResult result = co_await api.Recv(mbox, buffer);
+    status = result.status;
+  }));
+  env.StartAndRunFor(Milliseconds(1));
+  EXPECT_EQ(status, Status::kOk);
+  EXPECT_EQ(env.k().stats().mailbox_truncations, 0u);
+}
+
+TEST(MailboxTest, TimeoutVsDeliverySameInstant) {
+  // The receive timeout and a send land on the same instant. The timer ISR
+  // runs before any thread resumes, so the receive must time out, the
+  // message must be queued (not lost, not delivered into the dead wait), and
+  // the TCB must not keep a stale wait record.
+  SimEnv env(ZeroCostConfig());
+  MailboxId mbox = env.k().CreateMailbox("m", 2).value();
+  Status first = Status::kOk;
+  Status second = Status::kTimedOut;
+  size_t second_len = 0;
+  ThreadId receiver =
+      env.k()
+          .CreateThread(Aperiodic("receiver", [&](ThreadApi api) -> ThreadBody {
+            uint8_t buffer[8];
+            RecvResult r1 = co_await api.Recv(mbox, buffer, Milliseconds(2));
+            first = r1.status;
+            RecvResult r2 = co_await api.Recv(mbox, buffer, Milliseconds(10));
+            second = r2.status;
+            second_len = r2.length;
+          }))
+          .value();
+  env.k().CreateThread(Aperiodic("sender", [&](ThreadApi api) -> ThreadBody {
+    co_await api.Sleep(Milliseconds(2));
+    co_await api.Send(mbox, Bytes("x"));
+  }));
+  env.StartAndRunFor(Milliseconds(20));
+  EXPECT_EQ(first, Status::kTimedOut);
+  EXPECT_EQ(second, Status::kOk);
+  EXPECT_EQ(second_len, 1u);
+  EXPECT_EQ(env.k().mailbox(mbox).recv_timeouts, 1u);
+  EXPECT_EQ(env.k().mailbox(mbox).receives, 1u);
+  const Tcb& tcb = env.k().thread(receiver);
+  EXPECT_FALSE(tcb.waiting_mailbox.valid());
+  EXPECT_TRUE(tcb.recv_buffer.empty());
+}
+
+TEST(MailboxTest, DeliveryClearsWaitRecord) {
+  // After a successful blocked receive the TCB's wait fields are reset in the
+  // same place the timeout path resets them.
+  SimEnv env(ZeroCostConfig());
+  MailboxId mbox = env.k().CreateMailbox("m", 2).value();
+  ThreadId receiver =
+      env.k()
+          .CreateThread(Aperiodic("receiver", [&](ThreadApi api) -> ThreadBody {
+            uint8_t buffer[8];
+            co_await api.Recv(mbox, buffer, Milliseconds(10));
+            co_await api.Sleep(Milliseconds(20));
+          }))
+          .value();
+  env.k().CreateThread(Aperiodic("sender", [&](ThreadApi api) -> ThreadBody {
+    co_await api.Sleep(Milliseconds(1));
+    co_await api.Send(mbox, Bytes("x"));
+  }));
+  env.StartAndRunFor(Milliseconds(5));
+  const Tcb& tcb = env.k().thread(receiver);
+  EXPECT_FALSE(tcb.waiting_mailbox.valid());
+  EXPECT_TRUE(tcb.recv_buffer.empty());
 }
 
 // A blocking receive followed by a semaphore acquire participates in the CSE

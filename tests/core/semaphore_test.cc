@@ -536,5 +536,59 @@ TEST(SemaphoreCountingTest, WaiterWokenOnRelease) {
   EXPECT_EQ(order[2], 2);  // third worker admitted only after a release
 }
 
+// A blocking chain one past kMaxPiChainDepth: T_i holds S_i and blocks on
+// S_{i-1}. The acquire that would extend the chain past the cap must fail
+// with kResourceExhausted and a kPiChainLimit trace instant — it used to
+// hard-assert and kill the whole simulation.
+TEST(SemaphoreTest, DeepPiChainFailsGracefully) {
+  SimEnv env(ZeroCostConfig());
+  const int chain = kMaxPiChainDepth + 1;  // 17 threads, 17 semaphores
+  std::vector<SemId> sems;
+  for (int i = 0; i < chain; ++i) {
+    sems.push_back(env.k().CreateSemaphore("s").value());
+  }
+  std::vector<Status> nested(chain, Status::kCancelled);
+
+  ThreadParams head;
+  head.name = "t0";
+  head.body = [&](ThreadApi api) -> ThreadBody {
+    co_await api.Acquire(sems[0]);
+    co_await api.Sleep(Milliseconds(100));  // runnable end of the chain
+    co_await api.Release(sems[0]);
+  };
+  env.k().CreateThread(head);
+  for (int i = 1; i < chain; ++i) {
+    ThreadParams params;
+    params.name = "t";
+    params.body = [&, i](ThreadApi api) -> ThreadBody {
+      co_await api.Sleep(Milliseconds(i));  // stagger: the chain grows in order
+      co_await api.Acquire(sems[i]);
+      nested[i] = co_await api.Acquire(sems[i - 1]);
+      if (nested[i] == Status::kOk) {
+        co_await api.Release(sems[i - 1]);
+      }
+      co_await api.Release(sems[i]);
+    };
+    env.k().CreateThread(params);
+  }
+  env.StartAndRunFor(Milliseconds(300));
+
+  // Every link up to the cap blocked and eventually acquired; the link that
+  // would have made the chain 17 deep was refused instead of panicking.
+  for (int i = 1; i < chain - 1; ++i) {
+    EXPECT_EQ(nested[i], Status::kOk) << "link " << i;
+  }
+  EXPECT_EQ(nested[chain - 1], Status::kResourceExhausted);
+  EXPECT_GE(env.k().stats().pi_chain_limit_hits, 1u);
+  bool saw_limit_event = false;
+  const TraceSink& trace = env.k().trace();
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (trace.at(i).type == TraceEventType::kPiChainLimit) {
+      saw_limit_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_limit_event);
+}
+
 }  // namespace
 }  // namespace emeralds

@@ -2,6 +2,7 @@
 // freshness, non-blocking reads, torn-read detection and retry under
 // preemption, and the MinSlots sizing rule.
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -207,6 +208,188 @@ TEST(StateMessageTest, SlotSizingControlsRetries) {
   auto [reads_sized, retries_sized] = run(slots);
   EXPECT_GT(reads_sized, 0u);
   EXPECT_EQ(retries_sized, 0u);
+}
+
+// A single-slot buffer under a fast writer: the reader is lapped mid-copy and
+// must retry, but a successful read never exposes a torn payload — every word
+// of the snapshot matches, and the sequence is one the writer committed.
+TEST(StateMessageTest, LappedReaderRetriesButIsNeverTorn) {
+  constexpr size_t kBytes = 2048;
+  constexpr size_t kWords = kBytes / sizeof(uint32_t);
+  SimEnv env(CalibratedConfig(SchedulerSpec::Edf()));
+  SmsgId smsg = env.k().CreateStateMessage("s", kBytes, 1).value();
+
+  ThreadParams writer;
+  writer.name = "writer";
+  writer.period = Microseconds(500);
+  writer.body = [smsg](ThreadApi api) -> ThreadBody {
+    uint32_t v = 0;
+    std::vector<uint32_t> payload(kWords);
+    for (;;) {
+      ++v;
+      std::fill(payload.begin(), payload.end(), v);
+      co_await api.StateWrite(
+          smsg, std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(payload.data()), kBytes));
+      co_await api.WaitNextPeriod();
+    }
+  };
+  env.k().CreateThread(writer);
+
+  int ok_reads = 0;
+  int torn = 0;
+  uint64_t retried_reads = 0;
+  ThreadParams reader;
+  reader.name = "reader";
+  reader.period = Milliseconds(2);
+  reader.first_release = Microseconds(300);
+  reader.body = [&](ThreadApi api) -> ThreadBody {
+    std::vector<uint8_t> buffer(kBytes);
+    for (;;) {
+      StateReadResult result = co_await api.StateRead(smsg, buffer);
+      if (result.status == Status::kOk) {
+        ++ok_reads;
+        retried_reads += result.retries;
+        uint32_t words[kWords];
+        std::memcpy(words, buffer.data(), kBytes);
+        for (size_t i = 1; i < kWords; ++i) {
+          if (words[i] != words[0]) {
+            ++torn;
+            break;
+          }
+        }
+        // The payload is the writer's sequence stamp, so a consistent
+        // snapshot's content must equal its version.
+        EXPECT_EQ(words[0], result.sequence);
+      }
+      co_await api.WaitNextPeriod();
+    }
+  };
+  env.k().CreateThread(reader);
+
+  env.StartAndRunFor(Milliseconds(50));
+  EXPECT_GT(ok_reads, 0);
+  EXPECT_GT(retried_reads, 0u);  // the single slot forces validation failures
+  EXPECT_EQ(torn, 0);
+  EXPECT_GT(env.k().stats().smsg_read_retries, 0u);
+}
+
+// A writer that recommits the single slot faster than the reader can ever
+// finish a copy: every validation fails, and after the retry cap the read is
+// reported as kBusy ("pathologically under-sized") instead of spinning.
+TEST(StateMessageTest, PathologicallyUndersizedBufferReportsBusy) {
+  constexpr size_t kBytes = 2048;
+  SimEnv env(CalibratedConfig(SchedulerSpec::Edf()));
+  SmsgId smsg = env.k().CreateStateMessage("s", kBytes, 1).value();
+
+  // ~208us of copy every 400us: the idle gap between writer jobs (~180us) is
+  // shorter than the reader's ~207us copy, so every read window straddles a
+  // recommit of the single slot and every validation fails. (The period must
+  // leave headroom — an overloaded writer skips releases and the occasional
+  // long gap would let a read slip through.)
+  ThreadParams writer;
+  writer.name = "writer";
+  writer.period = Microseconds(400);
+  writer.body = [smsg](ThreadApi api) -> ThreadBody {
+    std::vector<uint8_t> payload(kBytes, 0xab);
+    for (;;) {
+      co_await api.StateWrite(smsg, payload);
+      co_await api.WaitNextPeriod();
+    }
+  };
+  env.k().CreateThread(writer);
+
+  std::vector<StateReadResult> results;
+  ThreadParams reader;
+  reader.name = "reader";
+  reader.period = Milliseconds(20);
+  reader.first_release = Milliseconds(1);  // after the writer's first commit
+  reader.body = [&](ThreadApi api) -> ThreadBody {
+    std::vector<uint8_t> buffer(kBytes);
+    for (;;) {
+      results.push_back(co_await api.StateRead(smsg, buffer));
+      co_await api.WaitNextPeriod();
+    }
+  };
+  env.k().CreateThread(reader);
+
+  env.StartAndRunFor(Milliseconds(40));
+  ASSERT_GT(results.size(), 0u);
+  for (const StateReadResult& r : results) {
+    EXPECT_EQ(r.status, Status::kBusy);
+    EXPECT_EQ(r.retries, 9u);  // the retry cap, then give up
+  }
+}
+
+// MinSlots boundary: sizing from the reader's true worst-case read window
+// (copy time plus preemption by unrelated tasks) gives retry-free reads;
+// sizing from the bare copy time alone — ignoring that a mid-copy preemption
+// stretches the window across extra writer commits — comes up short and the
+// reader is lapped.
+TEST(StateMessageTest, MinSlotsBoundaryWithPreemptionStretchedReads) {
+  constexpr size_t kBytes = 2048;
+  auto run = [](int slots) -> std::pair<uint64_t, uint64_t> {
+    SimEnv env(CalibratedConfig(SchedulerSpec::Edf()));
+    SmsgId smsg = env.k().CreateStateMessage("s", kBytes, slots).value();
+    ThreadParams writer;
+    writer.name = "writer";
+    writer.period = Microseconds(500);
+    writer.body = [smsg](ThreadApi api) -> ThreadBody {
+      std::vector<uint8_t> payload(kBytes, 0x5a);
+      for (;;) {
+        co_await api.StateWrite(smsg, payload);
+        co_await api.WaitNextPeriod();
+      }
+    };
+    env.k().CreateThread(writer);
+    // A middle-deadline hog that preempts the reader mid-copy and stretches
+    // its read window well past the bare ~207us copy time.
+    ThreadParams hog;
+    hog.name = "hog";
+    hog.period = Milliseconds(2);
+    hog.body = [](ThreadApi api) -> ThreadBody {
+      for (;;) {
+        co_await api.Compute(Microseconds(800));
+        co_await api.WaitNextPeriod();
+      }
+    };
+    env.k().CreateThread(hog);
+    // The reader's period is a multiple of the hog's, and its release is
+    // placed just before a hog release: every copy starts, is immediately
+    // preempted by the hog for ~1ms of wall time, and resumes — the same
+    // stretched-window geometry on every read.
+    ThreadParams reader;
+    reader.name = "reader";
+    reader.period = Milliseconds(8);
+    reader.first_release = Microseconds(1900);
+    reader.body = [smsg](ThreadApi api) -> ThreadBody {
+      std::vector<uint8_t> buffer(kBytes);
+      for (;;) {
+        co_await api.StateRead(smsg, buffer);
+        co_await api.WaitNextPeriod();
+      }
+    };
+    env.k().CreateThread(reader);
+    env.k().Start();
+    env.k().RunUntil(Instant() + Milliseconds(80));
+    return {env.k().stats().smsg_reads, env.k().stats().smsg_read_retries};
+  };
+
+  // Sized for the bare copy time only (~207us -> ceil + 2 = 3 slots): one
+  // preemption-stretched read window spans enough writer commits to wrap the
+  // ring, so the reader retries.
+  int under = StateMessageBuffer::MinSlots(Microseconds(210), Microseconds(500));
+  ASSERT_EQ(under, 3);
+  auto [reads_under, retries_under] = run(under);
+  EXPECT_GT(reads_under, 0u);
+  EXPECT_GT(retries_under, 0u);
+
+  // Sized for the true worst-case window (copy + hog + writer interference,
+  // bounded here by 2.5ms): retry-free.
+  int enough = StateMessageBuffer::MinSlots(Microseconds(2500), Microseconds(500));
+  ASSERT_EQ(enough, 7);
+  auto [reads_enough, retries_enough] = run(enough);
+  EXPECT_GT(reads_enough, 0u);
+  EXPECT_EQ(retries_enough, 0u);
 }
 
 TEST(StateMessageTest, MinSlotsFormula) {

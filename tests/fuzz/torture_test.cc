@@ -1,0 +1,162 @@
+// Fixed-seed regression tests over the torture harness: a small sweep that
+// must stay clean, determinism (same seed => same digest), the tiny-ring
+// truncation contract, fault-injection coverage, and the shrinking bisector.
+
+#include <gtest/gtest.h>
+
+#include "src/fuzz/torture.h"
+
+namespace emeralds {
+namespace fuzz {
+namespace {
+
+TEST(TortureTest, FixedSeedSweepIsClean) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    TortureOptions options;
+    options.seed = seed;
+    options.ops = 3000;
+    TortureResult result = RunTorture(options);
+    EXPECT_TRUE(result.ok) << "seed " << seed << ": " << result.failure << "\n  repro: "
+                           << ReproCommand(options);
+    EXPECT_EQ(result.violations, 0u);
+    EXPECT_EQ(result.fault_mismatches, 0u);
+    EXPECT_TRUE(result.reconciliation.checked);
+    EXPECT_TRUE(result.reconciliation.ok());
+    EXPECT_EQ(result.ops_executed, options.ops);
+  }
+}
+
+TEST(TortureTest, SameSeedIsBitDeterministic) {
+  TortureOptions options;
+  options.seed = 42;
+  options.ops = 2000;
+  TortureResult a = RunTorture(options);
+  TortureResult b = RunTorture(options);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.ops_executed, b.ops_executed);
+  EXPECT_EQ(a.trace_retained, b.trace_retained);
+  EXPECT_EQ(a.virtual_time, b.virtual_time);
+}
+
+TEST(TortureTest, DifferentSeedsDiverge) {
+  TortureOptions a_opt;
+  a_opt.seed = 1;
+  a_opt.ops = 1000;
+  TortureOptions b_opt = a_opt;
+  b_opt.seed = 2;
+  EXPECT_NE(RunTorture(a_opt).trace_digest, RunTorture(b_opt).trace_digest);
+}
+
+TEST(TortureTest, OpLimitPrefixIsStable) {
+  // The shrinking contract: a capped run executes exactly the eligible
+  // prefix of the same schedule, deterministically.
+  TortureOptions options;
+  options.seed = 9;
+  options.ops = 1500;
+  options.op_limit = 300;
+  TortureResult a = RunTorture(options);
+  TortureResult b = RunTorture(options);
+  EXPECT_EQ(a.ops_executed, 300);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+}
+
+TEST(TortureTest, TinyRingTruncationRefusesReconciliation) {
+  TortureOptions options;
+  options.seed = 3;
+  options.ops = 3000;
+  options.tiny_trace_ring = true;
+  TortureResult result = RunTorture(options);
+  // The deliberately tiny ring must overflow, the analyzer must stay
+  // violation-free on the retained window, and reconciliation must refuse
+  // to compare against a truncated trace.
+  EXPECT_TRUE(result.ok) << result.failure;
+  EXPECT_GT(result.trace_dropped, 0u);
+  EXPECT_FALSE(result.reconciliation.checked);
+}
+
+TEST(TortureTest, FaultInjectionCoversAllFaultKinds) {
+  // Across a few seeds, every fault op kind must actually execute and every
+  // injected fault must have come back with its contract status (otherwise
+  // fault_mismatches would be non-zero and ok would be false).
+  uint64_t bad_handle = 0;
+  uint64_t permission = 0;
+  uint64_t oversized = 0;
+  uint64_t truncations = 0;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    TortureOptions options;
+    options.seed = seed;
+    options.ops = 4000;
+    TortureResult result = RunTorture(options);
+    ASSERT_TRUE(result.ok) << "seed " << seed << ": " << result.failure;
+    bad_handle += result.coverage.op_counts[static_cast<int>(OpKind::kFaultBadHandle)];
+    permission += result.coverage.op_counts[static_cast<int>(OpKind::kFaultPermission)];
+    oversized += result.coverage.op_counts[static_cast<int>(OpKind::kFaultOversized)];
+    truncations += result.stats.mailbox_truncations;
+    EXPECT_EQ(result.fault_mismatches, 0u);
+  }
+  EXPECT_GT(bad_handle, 0u);
+  EXPECT_GT(permission, 0u);
+  EXPECT_GT(oversized, 0u);
+  // Short receive buffers are part of the schedule, so truncations happen.
+  EXPECT_GT(truncations, 0u);
+}
+
+TEST(TortureTest, CoverageCountsMatchBudget) {
+  TortureOptions options;
+  options.seed = 5;
+  options.ops = 2000;
+  TortureResult result = RunTorture(options);
+  ASSERT_TRUE(result.ok) << result.failure;
+  uint64_t total = 0;
+  for (int i = 0; i < kNumOpKinds; ++i) {
+    total += result.coverage.op_counts[i];
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(result.ops_executed));
+}
+
+TEST(TortureTest, BisectFindsSmallestFailingBudget) {
+  // Synthetic monotone predicate: fails at >= 137.
+  int calls = 0;
+  int found = BisectSmallestFailing(10000, [&](int limit) {
+    ++calls;
+    return limit >= 137;
+  });
+  EXPECT_EQ(found, 137);
+  EXPECT_LE(calls, 16);  // log2(10000) + slack, not a linear scan
+
+  // Degenerate edges: always-failing shrinks to 1; the bisector never
+  // probes outside [1, hi].
+  EXPECT_EQ(BisectSmallestFailing(50, [](int) { return true; }), 1);
+}
+
+TEST(TortureTest, ReproCommandRoundTrips) {
+  TortureOptions options;
+  options.seed = 77;
+  options.ops = 1234;
+  options.op_limit = 99;
+  options.inject_faults = false;
+  options.tiny_trace_ring = true;
+  std::string repro = ReproCommand(options);
+  EXPECT_NE(repro.find("--seed=77"), std::string::npos);
+  EXPECT_NE(repro.find("--ops=1234"), std::string::npos);
+  EXPECT_NE(repro.find("--op-limit=99"), std::string::npos);
+  EXPECT_NE(repro.find("--no-faults"), std::string::npos);
+  EXPECT_NE(repro.find("--tiny-ring"), std::string::npos);
+}
+
+TEST(TortureTest, ReportCarriesSchemaAndRuns) {
+  TortureOptions options;
+  options.seed = 1;
+  options.ops = 500;
+  TortureResult result = RunTorture(options);
+  std::string report = BuildTortureReport({options}, {result});
+  EXPECT_NE(report.find("\"schema\": \"emeralds.fuzz.torture/1\""), std::string::npos);
+  EXPECT_NE(report.find("\"runs\""), std::string::npos);
+  EXPECT_NE(report.find("\"reconciliation\""), std::string::npos);
+  EXPECT_NE(report.find("\"totals\""), std::string::npos);
+  EXPECT_NE(report.find("\"repro\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace emeralds

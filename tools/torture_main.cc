@@ -1,0 +1,170 @@
+// CLI for the deterministic torture harness.
+//
+//   torture --seed=7 --ops=2000            one run, verbose result
+//   torture --runs=20 --ops=10000          seed sweep (seeds 1..20)
+//   torture --budget-seconds=60            sweep until the wall-clock budget
+//   torture --seed=7 --check-determinism   run twice, compare trace digests
+//   torture --seed=7 --trace-csv=out.csv   export the run's trace
+//   torture --runs=8 --json=report.json    machine-readable report
+//
+// On failure: prints the one-line repro command, shrinks the op budget by
+// bisection, and exits 1.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/torture.h"
+
+namespace emeralds {
+namespace fuzz {
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) {
+    return false;
+  }
+  if (arg[len] == '\0') {
+    *value = nullptr;
+    return true;
+  }
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+void PrintResult(const TortureOptions& options, const TortureResult& result) {
+  std::printf("seed=%llu %s ops=%d vtime=%lldus trace=%llu(+%llu dropped) digest=%016llx\n",
+              static_cast<unsigned long long>(result.seed), result.ok ? "OK" : "FAIL",
+              result.ops_executed, static_cast<long long>(result.virtual_time.micros()),
+              static_cast<unsigned long long>(result.trace_retained),
+              static_cast<unsigned long long>(result.trace_dropped),
+              static_cast<unsigned long long>(result.trace_digest));
+  if (!result.ok) {
+    std::printf("  failure: %s\n", result.failure.c_str());
+    std::printf("  repro:   %s\n", ReproCommand(options).c_str());
+  }
+}
+
+int Run(int argc, char** argv) {
+  TortureOptions base;
+  int runs = 1;
+  double budget_seconds = 0;
+  const char* json_path = nullptr;
+  const char* csv_path = nullptr;
+  bool check_determinism = false;
+  bool seed_given = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (ParseFlag(argv[i], "--seed", &v) && v != nullptr) {
+      base.seed = std::strtoull(v, nullptr, 10);
+      seed_given = true;
+    } else if (ParseFlag(argv[i], "--ops", &v) && v != nullptr) {
+      base.ops = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--op-limit", &v) && v != nullptr) {
+      base.op_limit = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--runs", &v) && v != nullptr) {
+      runs = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--budget-seconds", &v) && v != nullptr) {
+      budget_seconds = std::atof(v);
+    } else if (ParseFlag(argv[i], "--json", &v) && v != nullptr) {
+      json_path = v;
+    } else if (ParseFlag(argv[i], "--trace-csv", &v) && v != nullptr) {
+      csv_path = v;
+    } else if (ParseFlag(argv[i], "--no-faults", &v)) {
+      base.inject_faults = false;
+    } else if (ParseFlag(argv[i], "--no-irq-storms", &v)) {
+      base.irq_storms = false;
+    } else if (ParseFlag(argv[i], "--no-charge-resets", &v)) {
+      base.charge_resets = false;
+    } else if (ParseFlag(argv[i], "--tiny-ring", &v)) {
+      base.tiny_trace_ring = true;
+    } else if (ParseFlag(argv[i], "--check-determinism", &v)) {
+      check_determinism = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  if (check_determinism) {
+    TortureResult a = RunTorture(base);
+    TortureResult b = RunTorture(base);
+    PrintResult(base, a);
+    if (a.trace_digest != b.trace_digest) {
+      std::printf("DETERMINISM FAIL: digests %016llx vs %016llx for seed=%llu\n",
+                  static_cast<unsigned long long>(a.trace_digest),
+                  static_cast<unsigned long long>(b.trace_digest),
+                  static_cast<unsigned long long>(base.seed));
+      return 1;
+    }
+    std::printf("determinism OK: two runs of seed=%llu produced identical digests\n",
+                static_cast<unsigned long long>(base.seed));
+    return a.ok ? 0 : 1;
+  }
+
+  if (csv_path != nullptr) {
+    if (!ExportTortureTraceCsv(base, csv_path)) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path);
+      return 2;
+    }
+    std::printf("trace csv written to %s\n", csv_path);
+  }
+
+  std::vector<TortureOptions> all_options;
+  std::vector<TortureResult> all_results;
+  int failed = 0;
+  auto start = std::chrono::steady_clock::now();
+  // With an explicit --seed and no --runs the sweep is that single seed;
+  // otherwise seeds count up from the base seed (default 1).
+  int planned = (seed_given && runs == 1) ? 1 : runs;
+  for (int i = 0;; ++i) {
+    if (budget_seconds > 0) {
+      double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      if (i > 0 && elapsed >= budget_seconds) {
+        break;
+      }
+    } else if (i >= planned) {
+      break;
+    }
+    TortureOptions options = base;
+    options.seed = base.seed + static_cast<uint64_t>(i);
+    TortureResult result = RunTorture(options);
+    PrintResult(options, result);
+    if (!result.ok) {
+      ++failed;
+      TortureOptions shrunk = ShrinkFailingRun(options);
+      std::printf("  shrunk:  %s\n", ReproCommand(shrunk).c_str());
+    }
+    all_options.push_back(options);
+    all_results.push_back(result);
+  }
+
+  if (json_path != nullptr) {
+    std::string report = BuildTortureReport(all_options, all_results);
+    std::FILE* out = std::fopen(json_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 2;
+    }
+    std::fwrite(report.data(), 1, report.size(), out);
+    std::fclose(out);
+    std::printf("report written to %s\n", json_path);
+  }
+
+  std::printf("%zu run(s), %d failed\n", all_results.size(), failed);
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace emeralds
+
+int main(int argc, char** argv) { return emeralds::fuzz::Run(argc, argv); }
