@@ -1,0 +1,215 @@
+#include "bench/bench_compare.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace emeralds {
+namespace bench {
+namespace {
+
+void Failf(CompareResult* r, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  r->failures.push_back(buf);
+}
+
+void Notef(CompareResult* r, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  r->notes.push_back(buf);
+}
+
+double NumberOr(const JsonValue& obj, const char* key, double fallback) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr && v->type == JsonValue::Type::kNumber ? v->number : fallback;
+}
+
+bool BoolOr(const JsonValue& obj, const char* key, bool fallback) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr && v->type == JsonValue::Type::kBool ? v->boolean : fallback;
+}
+
+// --- emeralds.obs.cycles/1 ---
+
+// Buckets excluded from the growth gate: user time belongs to the workload,
+// idle is the complement (a faster kernel means *more* idle), and
+// unattributed must be zero anyway (conservation covers it).
+bool GatedBucket(const std::string& name) {
+  return name != "user" && name != "idle" && name != "unattributed";
+}
+
+void CompareCycles(const JsonValue& baseline, const JsonValue& candidate,
+                   const CompareOptions& opt, CompareResult* r) {
+  const JsonValue* base_c = baseline.Find("cycles");
+  const JsonValue* cand_c = candidate.Find("cycles");
+  if (base_c == nullptr || cand_c == nullptr) {
+    Failf(r, "cycles section missing (baseline %s, candidate %s)",
+          base_c != nullptr ? "present" : "absent", cand_c != nullptr ? "present" : "absent");
+    return;
+  }
+  if (!BoolOr(*cand_c, "conserved", false) || !BoolOr(*cand_c, "clock_conserved", false)) {
+    Failf(r, "candidate ledger not conserved (residual %.0f ns, unattributed %.0f ns)",
+          NumberOr(*cand_c, "residual_ns", -1), NumberOr(*cand_c, "clock_unattributed_ns", -1));
+  }
+  double base_elapsed = NumberOr(*base_c, "elapsed_ns", -1);
+  double cand_elapsed = NumberOr(*cand_c, "elapsed_ns", -2);
+  if (base_elapsed != cand_elapsed) {
+    Failf(r, "elapsed_ns differs: baseline %.0f vs candidate %.0f (virtual time is "
+             "deterministic; regenerate the baseline if the workload changed)",
+          base_elapsed, cand_elapsed);
+    return;
+  }
+  const JsonValue* base_b = base_c->Find("buckets_ns");
+  const JsonValue* cand_b = cand_c->Find("buckets_ns");
+  if (base_b == nullptr || base_b->type != JsonValue::Type::kObject || cand_b == nullptr ||
+      cand_b->type != JsonValue::Type::kObject) {
+    Failf(r, "buckets_ns object missing");
+    return;
+  }
+  // Candidate buckets gate against the baseline; buckets only in one side
+  // compare against zero.
+  for (const auto& kv : cand_b->object) {
+    if (!GatedBucket(kv.first)) {
+      continue;
+    }
+    double cand = kv.second.number;
+    double base = NumberOr(*base_b, kv.first.c_str(), 0.0);
+    double ceiling = base * (1.0 + opt.rel_tolerance) + static_cast<double>(opt.abs_slack_ns);
+    if (cand > ceiling) {
+      Failf(r, "bucket %s regressed: %.0f ns vs baseline %.0f ns (+%.1f%%, ceiling %.0f)",
+            kv.first.c_str(), cand, base, base > 0 ? 100.0 * (cand - base) / base : 0.0,
+            ceiling);
+    } else if (cand != base) {
+      Notef(r, "bucket %s: %.0f ns vs baseline %.0f ns (within tolerance)", kv.first.c_str(),
+            cand, base);
+    }
+  }
+  for (const auto& kv : base_b->object) {
+    if (GatedBucket(kv.first) && cand_b->Find(kv.first) == nullptr && kv.second.number != 0.0) {
+      Notef(r, "bucket %s present only in baseline (%.0f ns)", kv.first.c_str(),
+            kv.second.number);
+    }
+  }
+}
+
+// --- emeralds.bench.breakdown/1 ---
+
+void CompareBreakdown(const JsonValue& baseline, const JsonValue& candidate,
+                      const CompareOptions& opt, CompareResult* r) {
+  const JsonValue* base_p = baseline.Find("points");
+  const JsonValue* cand_p = candidate.Find("points");
+  if (base_p == nullptr || base_p->type != JsonValue::Type::kArray || cand_p == nullptr ||
+      cand_p->type != JsonValue::Type::kArray) {
+    Failf(r, "points array missing");
+    return;
+  }
+  if (base_p->array.size() != cand_p->array.size()) {
+    Failf(r, "point count differs: baseline %zu vs candidate %zu (pin EMERALDS_WORKLOADS to "
+             "the baseline's value)",
+          base_p->array.size(), cand_p->array.size());
+    return;
+  }
+  for (size_t i = 0; i < base_p->array.size(); ++i) {
+    const JsonValue& base = base_p->array[i];
+    const JsonValue& cand = cand_p->array[i];
+    double n = NumberOr(base, "n", -1);
+    if (n != NumberOr(cand, "n", -2)) {
+      Failf(r, "point %zu: n differs (baseline %.0f vs candidate %.0f)", i, n,
+            NumberOr(cand, "n", -2));
+      continue;
+    }
+    if (NumberOr(cand, "reference_mismatches", -1) != 0.0) {
+      Failf(r, "n=%.0f: candidate has %.0f reference mismatches", n,
+            NumberOr(cand, "reference_mismatches", -1));
+    }
+    const JsonValue* base_e = base.Find("evals");
+    const JsonValue* cand_e = cand.Find("evals");
+    double base_full = base_e != nullptr ? NumberOr(*base_e, "full_evals", -1) : -1;
+    double cand_full = cand_e != nullptr ? NumberOr(*cand_e, "full_evals", -1) : -1;
+    if (base_full < 0 || cand_full < 0) {
+      Failf(r, "n=%.0f: evals.full_evals missing", n);
+    } else if (cand_full > base_full * (1.0 + opt.rel_tolerance)) {
+      Failf(r, "n=%.0f: full_evals regressed %.0f -> %.0f (+%.1f%%)", n, base_full, cand_full,
+            base_full > 0 ? 100.0 * (cand_full - base_full) / base_full : 0.0);
+    }
+    double base_red = NumberOr(base, "eval_reduction", 0.0);
+    double cand_red = NumberOr(cand, "eval_reduction", 0.0);
+    if (cand_red < base_red * (1.0 - opt.rel_tolerance)) {
+      Failf(r, "n=%.0f: eval_reduction regressed %.3f -> %.3f", n, base_red, cand_red);
+    }
+    // Wall-clock throughput is machine-dependent: informational only.
+    double base_wps = NumberOr(base, "workloads_per_sec", 0.0);
+    double cand_wps = NumberOr(cand, "workloads_per_sec", 0.0);
+    if (base_wps > 0 && cand_wps > 0 && std::fabs(cand_wps - base_wps) > 0.25 * base_wps) {
+      Notef(r, "n=%.0f: workloads_per_sec %.0f vs baseline %.0f (not gated)", n, cand_wps,
+            base_wps);
+    }
+  }
+}
+
+}  // namespace
+
+CompareResult CompareReports(const JsonValue& baseline, const JsonValue& candidate,
+                             const CompareOptions& options) {
+  CompareResult r;
+  const JsonValue* base_schema = baseline.Find("schema");
+  const JsonValue* cand_schema = candidate.Find("schema");
+  if (base_schema == nullptr || cand_schema == nullptr ||
+      base_schema->type != JsonValue::Type::kString ||
+      cand_schema->type != JsonValue::Type::kString) {
+    Failf(&r, "schema tag missing");
+    return r;
+  }
+  if (base_schema->string != cand_schema->string) {
+    Failf(&r, "schema mismatch: baseline %s vs candidate %s", base_schema->string.c_str(),
+          cand_schema->string.c_str());
+    return r;
+  }
+  if (base_schema->string == "emeralds.obs.cycles/1") {
+    CompareCycles(baseline, candidate, options, &r);
+  } else if (base_schema->string == "emeralds.bench.breakdown/1") {
+    CompareBreakdown(baseline, candidate, options, &r);
+  } else {
+    Failf(&r, "schema %s is not gated by bench_compare", base_schema->string.c_str());
+  }
+  r.ok = r.failures.empty();
+  return r;
+}
+
+CompareResult CompareReportFiles(const std::string& baseline_path,
+                                 const std::string& candidate_path,
+                                 const CompareOptions& options) {
+  CompareResult r;
+  JsonValue docs[2];
+  const std::string* paths[2] = {&baseline_path, &candidate_path};
+  for (int i = 0; i < 2; ++i) {
+    std::FILE* f = std::fopen(paths[i]->c_str(), "rb");
+    if (f == nullptr) {
+      Failf(&r, "cannot open %s", paths[i]->c_str());
+      return r;
+    }
+    std::string text;
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      text.append(buf, got);
+    }
+    std::fclose(f);
+    std::string error;
+    if (!JsonParse(text, &docs[i], &error)) {
+      Failf(&r, "%s does not parse: %s", paths[i]->c_str(), error.c_str());
+      return r;
+    }
+  }
+  return CompareReports(docs[0], docs[1], options);
+}
+
+}  // namespace bench
+}  // namespace emeralds

@@ -1,0 +1,62 @@
+// Perf-regression gate over the committed bench baselines.
+//
+// Compares a freshly produced report against the baseline committed at the
+// repo root, dispatching on the schema tag:
+//   emeralds.obs.cycles/1      — per-bucket cycle-attribution ledger
+//     (BENCH_cycles.json). The run is pure virtual time, so elapsed_ns must
+//     match exactly and every kernel-overhead bucket may grow at most
+//     rel_tolerance (plus a small absolute slack for near-zero buckets).
+//     The user and idle buckets are excluded: user time is the workload's,
+//     and idle is the complement that *shrinks* when the kernel regresses.
+//   emeralds.bench.breakdown/1 — CSD partition-search perf trajectory
+//     (BENCH_breakdown.json). Work counters (full_evals) may grow at most
+//     rel_tolerance and eval_reduction may shrink at most rel_tolerance;
+//     wall-clock fields (wall_seconds, workloads_per_sec) are machine-
+//     dependent and deliberately not gated.
+// Both comparisons also re-require the candidate's own invariants
+// (conservation, zero reference mismatches) so a report that fails its own
+// contract never passes the gate.
+
+#ifndef BENCH_BENCH_COMPARE_H_
+#define BENCH_BENCH_COMPARE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/json.h"
+
+namespace emeralds {
+namespace bench {
+
+struct CompareOptions {
+  // Maximum relative growth of a gated metric before the gate fails. 3% by
+  // default, so an injected 5% scheduler-bucket regression reliably fails.
+  double rel_tolerance = 0.03;
+  // Absolute per-metric slack in nanoseconds for cycle buckets: keeps
+  // near-zero buckets (a few charges total) from tripping on one extra
+  // operation. Small against any real bucket.
+  int64_t abs_slack_ns = 20000;
+};
+
+struct CompareResult {
+  bool ok = false;
+  std::vector<std::string> failures;  // gate-failing metric verdicts
+  std::vector<std::string> notes;     // informational diffs (not gated)
+};
+
+// Compares two parsed reports with matching schema tags. Unknown or
+// mismatched schemas fail with a diagnostic in `failures`.
+CompareResult CompareReports(const JsonValue& baseline, const JsonValue& candidate,
+                             const CompareOptions& options);
+
+// File variant: parses both paths, then compares. I/O and parse errors are
+// reported as failures.
+CompareResult CompareReportFiles(const std::string& baseline_path,
+                                 const std::string& candidate_path,
+                                 const CompareOptions& options);
+
+}  // namespace bench
+}  // namespace emeralds
+
+#endif  // BENCH_BENCH_COMPARE_H_

@@ -1,0 +1,65 @@
+// CLI for the perf-regression gate (see bench_compare.h):
+//
+//   bench_compare <baseline.json> <candidate.json> [--tolerance=0.03]
+//                 [--abs-slack-ns=20000]
+//
+// Exit status: 0 within tolerance, 1 regression (or the candidate violates
+// its own invariants), 2 usage / I/O / parse failure.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bench/bench_compare.h"
+
+int main(int argc, char** argv) {
+  using emeralds::bench::CompareOptions;
+  using emeralds::bench::CompareReportFiles;
+  using emeralds::bench::CompareResult;
+
+  const char* baseline = nullptr;
+  const char* candidate = nullptr;
+  CompareOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--tolerance=", 12) == 0) {
+      options.rel_tolerance = std::atof(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--abs-slack-ns=", 15) == 0) {
+      options.abs_slack_ns = std::atoll(argv[i] + 15);
+    } else if (baseline == nullptr) {
+      baseline = argv[i];
+    } else if (candidate == nullptr) {
+      candidate = argv[i];
+    } else {
+      baseline = nullptr;
+      break;
+    }
+  }
+  if (baseline == nullptr || candidate == nullptr) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline.json> <candidate.json> "
+                 "[--tolerance=0.03] [--abs-slack-ns=20000]\n");
+    return 2;
+  }
+
+  CompareResult result = CompareReportFiles(baseline, candidate, options);
+  for (const std::string& note : result.notes) {
+    std::printf("note: %s\n", note.c_str());
+  }
+  for (const std::string& failure : result.failures) {
+    std::fprintf(stderr, "FAIL: %s\n", failure.c_str());
+  }
+  // I/O and parse problems surface as failures mentioning the path; map the
+  // "could not even compare" cases to exit 2.
+  if (!result.ok) {
+    for (const std::string& failure : result.failures) {
+      if (failure.find("cannot open") != std::string::npos ||
+          failure.find("does not parse") != std::string::npos) {
+        return 2;
+      }
+    }
+    std::fprintf(stderr, "bench_compare: %s regressed against %s\n", candidate, baseline);
+    return 1;
+  }
+  std::printf("OK: %s within tolerance of %s\n", candidate, baseline);
+  return 0;
+}

@@ -2,11 +2,13 @@
 // schema tag:
 //   emeralds.bench.breakdown/1 — perf trajectory (bench_smoke label)
 //   emeralds.obs.run/1         — observability run report (obs_smoke label)
+//   emeralds.obs.cycles/1      — cycle-attribution ledger report
 //   emeralds.fuzz.torture/1    — torture-harness sweep report
 // For the obs and fuzz schemas the check is substantive, not just
 // structural: invariant-violation lists must be empty, reconciliation flags
-// true, and every torture run ok — so a kernel whose trace disagrees with
-// its own counters (or a failing fuzz seed) fails CI.
+// true, every torture run ok, and the cycle ledger conserved (bucket sum ==
+// elapsed, residual exactly zero) — so a kernel whose trace disagrees with
+// its own counters, whose ledger leaks time, or a failing fuzz seed fails CI.
 
 #include <cstdio>
 #include <string>
@@ -29,8 +31,86 @@ bool RequireNumbers(const JsonValue& obj, const char* section,
   return true;
 }
 
+// Substantive validation of a "cycles" section (embedded in obs.run or the
+// standalone obs.cycles document): conservation must be asserted AND the
+// integers must back it up (residual exactly zero, ledger total == elapsed).
+bool CheckCyclesSection(const JsonValue& cycles, const char* ctx) {
+  if (!RequireNumbers(cycles, ctx,
+                      {"epoch_ns", "elapsed_ns", "ledger_total_ns", "residual_ns",
+                       "clock_unattributed_ns", "headroom_low_events"})) {
+    return false;
+  }
+  const JsonValue* buckets = cycles.Find("buckets_ns");
+  if (buckets == nullptr || buckets->type != JsonValue::Type::kObject) {
+    std::fprintf(stderr, "FAIL: %s missing buckets_ns object\n", ctx);
+    return false;
+  }
+  const JsonValue* bands = cycles.Find("sched_bands");
+  if (bands == nullptr || bands->type != JsonValue::Type::kArray) {
+    std::fprintf(stderr, "FAIL: %s missing sched_bands array\n", ctx);
+    return false;
+  }
+  for (const char* key : {"conserved", "clock_conserved"}) {
+    const JsonValue* v = cycles.Find(key);
+    if (v == nullptr || v->type != JsonValue::Type::kBool) {
+      std::fprintf(stderr, "FAIL: %s missing bool \"%s\"\n", ctx, key);
+      return false;
+    }
+    if (!v->boolean) {
+      std::fprintf(stderr, "FAIL: %s %s is false\n", ctx, key);
+      return false;
+    }
+  }
+  if (cycles.Find("residual_ns")->number != 0.0 ||
+      cycles.Find("clock_unattributed_ns")->number != 0.0) {
+    std::fprintf(stderr, "FAIL: %s residual_ns=%g clock_unattributed_ns=%g (must be 0)\n", ctx,
+                 cycles.Find("residual_ns")->number,
+                 cycles.Find("clock_unattributed_ns")->number);
+    return false;
+  }
+  double sum = 0.0;
+  for (const auto& kv : buckets->object) {
+    if (kv.second.type != JsonValue::Type::kNumber) {
+      std::fprintf(stderr, "FAIL: %s bucket \"%s\" not numeric\n", ctx, kv.first.c_str());
+      return false;
+    }
+    sum += kv.second.number;
+  }
+  if (sum != cycles.Find("elapsed_ns")->number) {
+    std::fprintf(stderr, "FAIL: %s bucket sum %g != elapsed %g\n", ctx, sum,
+                 cycles.Find("elapsed_ns")->number);
+    return false;
+  }
+  return true;
+}
+
+int CheckObsCycles(const char* path, const JsonValue& root) {
+  const JsonValue* cycles = root.Find("cycles");
+  if (cycles == nullptr || cycles->type != JsonValue::Type::kObject) {
+    std::fprintf(stderr, "FAIL: missing \"cycles\" object\n");
+    return 1;
+  }
+  if (!CheckCyclesSection(*cycles, "cycles")) {
+    return 1;
+  }
+  const JsonValue* tasks = root.Find("tasks");
+  if (tasks == nullptr || tasks->type != JsonValue::Type::kArray) {
+    std::fprintf(stderr, "FAIL: missing tasks array\n");
+    return 1;
+  }
+  for (const JsonValue& task : tasks->array) {
+    if (!RequireNumbers(task, "task",
+                        {"id", "jobs_completed", "user_ns", "overhead_ns", "cost_ewma_ns",
+                         "headroom_min_ns", "headroom_low_events"})) {
+      return 1;
+    }
+  }
+  std::printf("OK: %s (cycles report, %zu task rows, conserved)\n", path, tasks->array.size());
+  return 0;
+}
+
 int CheckObsRun(const char* path, const JsonValue& root) {
-  for (const char* section : {"trace", "kernel_stats", "analysis", "reconciliation",
+  for (const char* section : {"trace", "kernel_stats", "cycles", "analysis", "reconciliation",
                               "snapshots"}) {
     const JsonValue* v = root.Find(section);
     if (v == nullptr || v->type != JsonValue::Type::kObject) {
@@ -51,6 +131,9 @@ int CheckObsRun(const char* path, const JsonValue& root) {
                       {"context_switches", "jobs_completed", "sem_blocks"})) {
     return 1;
   }
+  if (!CheckCyclesSection(*root.Find("cycles"), "cycles")) {
+    return 1;
+  }
   const JsonValue* violations = root.Find("analysis")->Find("violations");
   if (violations == nullptr || violations->type != JsonValue::Type::kArray) {
     std::fprintf(stderr, "FAIL: analysis missing violations array\n");
@@ -66,7 +149,7 @@ int CheckObsRun(const char* path, const JsonValue& root) {
   }
   const JsonValue& recon = *root.Find("reconciliation");
   for (const char* key : {"context_switches_match", "deadline_misses_match",
-                          "jobs_completed_match", "cse_early_pi_match"}) {
+                          "jobs_completed_match", "cse_early_pi_match", "headroom_low_match"}) {
     const JsonValue* v = recon.Find(key);
     if (v == nullptr || v->type != JsonValue::Type::kBool) {
       std::fprintf(stderr, "FAIL: reconciliation missing bool \"%s\"\n", key);
@@ -112,6 +195,19 @@ int CheckFuzzTorture(const char* path, const JsonValue& root) {
     const JsonValue* recon = run.Find("reconciliation");
     if (recon == nullptr || recon->Find("checked") == nullptr || recon->Find("ok") == nullptr) {
       std::fprintf(stderr, "FAIL: run missing reconciliation {checked, ok}\n");
+      return 1;
+    }
+    // Fourth oracle: the cycle ledger must be conserved on every run,
+    // including truncated-ring ones where reconciliation refuses to check.
+    const JsonValue* cyc = run.Find("cycles");
+    const JsonValue* conserved = cyc != nullptr ? cyc->Find("conserved") : nullptr;
+    if (conserved == nullptr || conserved->type != JsonValue::Type::kBool) {
+      std::fprintf(stderr, "FAIL: run missing cycles.conserved\n");
+      return 1;
+    }
+    if (!conserved->boolean) {
+      std::fprintf(stderr, "FAIL: seed %g cycle ledger not conserved\n",
+                   run.Find("seed")->number);
       return 1;
     }
     ops += static_cast<uint64_t>(run.Find("ops_executed")->number);
@@ -165,6 +261,9 @@ int main(int argc, char** argv) {
   }
   if (schema->string == "emeralds.obs.run/1") {
     return CheckObsRun(argv[1], root);
+  }
+  if (schema->string == "emeralds.obs.cycles/1") {
+    return CheckObsCycles(argv[1], root);
   }
   if (schema->string == "emeralds.fuzz.torture/1") {
     return CheckFuzzTorture(argv[1], root);

@@ -3,8 +3,8 @@
 namespace emeralds {
 namespace {
 
-void AppendCharge(ChargeList& charges, QueueKind kind, QueueOp op, int units) {
-  charges.push_back(QueueCharge{kind, op, units});
+void AppendCharge(ChargeList& charges, const Band& band, QueueOp op, int units) {
+  charges.push_back(QueueCharge{band.kind(), op, units, band.index()});
 }
 
 }  // namespace
@@ -31,14 +31,14 @@ void EdfBand::Block(Tcb& task, ChargeList& charges) {
   task.ready = false;
   --ready_count_;
   // "A task is blocked ... by changing one entry in the task control block."
-  AppendCharge(charges, QueueKind::kEdfList, QueueOp::kBlock, 1);
+  AppendCharge(charges, *this, QueueOp::kBlock, 1);
 }
 
 void EdfBand::Unblock(Tcb& task, ChargeList& charges) {
   EM_ASSERT(!task.ready);
   task.ready = true;
   ++ready_count_;
-  AppendCharge(charges, QueueKind::kEdfList, QueueOp::kUnblock, 1);
+  AppendCharge(charges, *this, QueueOp::kUnblock, 1);
 }
 
 Tcb* EdfBand::SelectReady(int* units) {
@@ -118,7 +118,7 @@ void RmBand::Block(Tcb& task, ChargeList& charges) {
     }
     highestp_ = next;
   }
-  AppendCharge(charges, QueueKind::kRmList, QueueOp::kBlock, visits);
+  AppendCharge(charges, *this, QueueOp::kBlock, visits);
 }
 
 void RmBand::Unblock(Tcb& task, ChargeList& charges) {
@@ -128,7 +128,7 @@ void RmBand::Unblock(Tcb& task, ChargeList& charges) {
   if (highestp_ == nullptr || task.effective_rm_rank < highestp_->effective_rm_rank) {
     highestp_ = &task;
   }
-  AppendCharge(charges, QueueKind::kRmList, QueueOp::kUnblock, 1);
+  AppendCharge(charges, *this, QueueOp::kUnblock, 1);
 }
 
 Tcb* RmBand::SelectReady(int* units) {
@@ -288,7 +288,7 @@ void RmHeapBand::Block(Tcb& task, ChargeList& charges) {
   task.ready = false;
   int units = 0;
   HeapRemove(task.heap_index, &units);
-  AppendCharge(charges, QueueKind::kRmHeap, QueueOp::kBlock, units);
+  AppendCharge(charges, *this, QueueOp::kBlock, units);
 }
 
 void RmHeapBand::Unblock(Tcb& task, ChargeList& charges) {
@@ -297,7 +297,7 @@ void RmHeapBand::Unblock(Tcb& task, ChargeList& charges) {
   heap_.push_back(&task);
   task.heap_index = heap_.size() - 1;
   int units = SiftUp(task.heap_index) + 1;
-  AppendCharge(charges, QueueKind::kRmHeap, QueueOp::kUnblock, units);
+  AppendCharge(charges, *this, QueueOp::kUnblock, units);
 }
 
 Tcb* RmHeapBand::SelectReady(int* units) {

@@ -34,6 +34,7 @@ struct QueueCharge {
   QueueKind kind;
   QueueOp op;
   int units;
+  int band;  // which CSD band's queue did the work (ledger per-band split)
 };
 
 // A kernel entry performs at most a handful of queue operations.

@@ -87,6 +87,12 @@ struct KernelConfig {
   // Trace ring capacity (0 disables event retention; counters still work).
   size_t trace_capacity = 4096;
 
+  // Deadline-headroom monitor: a job whose predicted completion (release +
+  // per-job cost EWMA) leaves less slack than this margin raises a
+  // kHeadroomLow trace instant and bumps the headroom counters. Zero flags
+  // only predicted misses (negative slack).
+  Duration headroom_low_margin;
+
   // Run the scheduler's structural invariant checks after every reschedule
   // (panics on violation). For tests; costs host time, no virtual time.
   bool debug_validate = false;

@@ -35,6 +35,10 @@ Kernel::Kernel(Hardware& hw, const KernelConfig& config)
   Result<ProcessId> kernel_process = CreateProcess("kernel");
   EM_ASSERT(kernel_process.ok() && kernel_process.value() == kKernelProcess);
 
+  static_assert(kMaxBands == kMaxStatBands,
+                "per-band cycle table must cover every CSD band");
+  stats_.cycles_epoch = hw_.now();
+
   hw_.irq().Attach(kIrqTimer, &Kernel::IrqTrampoline, this);
 }
 
@@ -533,15 +537,19 @@ void Kernel::FinishComputeDrain(Tcb& t) {
 
 void Kernel::AdvanceCompute(Tcb& t, Duration amount) {
   EM_ASSERT(amount.is_positive() && amount <= t.remaining_compute);
-  hw_.clock().AdvanceBy(amount);
+  hw_.clock().AdvanceBy(amount, CycleBucket::kUser);
   t.remaining_compute -= amount;
   t.cpu_time += amount;
   stats_.compute_time += amount;
+  stats_.cycles.Add(CycleBucket::kUser, amount);
+  t.cycles.Add(CycleBucket::kUser, amount);
 }
 
 void Kernel::AdvanceIdleTo(Instant target) {
-  stats_.idle_time += target - hw_.now();
-  hw_.clock().AdvanceTo(target);
+  Duration idle = target - hw_.now();
+  stats_.idle_time += idle;
+  stats_.cycles.Add(CycleBucket::kIdle, idle);
+  hw_.clock().AdvanceTo(target, CycleBucket::kIdle);
 }
 
 void Kernel::Watchdog() {
@@ -560,11 +568,21 @@ void Kernel::Watchdog() {
 // --- Charging ---
 
 void Kernel::Charge(ChargeCategory category, Duration amount) {
+  ChargeBucket(category, DefaultCycleBucket(category), amount);
+}
+
+void Kernel::ChargeBucket(ChargeCategory category, CycleBucket bucket, Duration amount) {
   if (!amount.is_positive()) {
     return;
   }
-  hw_.clock().AdvanceBy(amount);
+  hw_.clock().AdvanceBy(amount, bucket);
   stats_.charged[static_cast<int>(category)] += amount;
+  stats_.cycles.Add(bucket, amount);
+  if (current_ != nullptr) {
+    // Kernel work is billed to the thread that triggered it (the running
+    // thread — interference from ISRs included, as on real hardware).
+    current_->cycles.Add(bucket, amount);
+  }
   if (sem_path_) {
     stats_.sem_path_time += amount;
   }
@@ -572,7 +590,11 @@ void Kernel::Charge(ChargeCategory category, Duration amount) {
 
 void Kernel::ChargeQueueOps(const ChargeList& charges) {
   for (const QueueCharge& qc : charges) {
-    Charge(ChargeCategory::kScheduling, cost_.QueueCost(qc.kind, qc.op, qc.units));
+    Duration amount = cost_.QueueCost(qc.kind, qc.op, qc.units);
+    ChargeBucket(ChargeCategory::kScheduling, CycleBucketForQueueOp(qc.op), amount);
+    if (qc.band >= 0 && qc.band < kMaxStatBands) {
+      stats_.sched_band_cycles[qc.band][static_cast<int>(qc.op)] += amount;
+    }
     ++stats_.queue_op_count[static_cast<int>(qc.kind)][static_cast<int>(qc.op)];
     stats_.queue_op_units[static_cast<int>(qc.kind)][static_cast<int>(qc.op)] +=
         static_cast<uint64_t>(qc.units);
@@ -687,6 +709,10 @@ void Kernel::TimerIsr() {
         HandleUserTimer(*first->user);
         break;
       case TimerKind::kStatsSample:
+        // The sampler's own cost lands in the ledger like any other work,
+        // and is charged before Sample() so it falls inside the interval it
+        // closes.
+        Charge(ChargeCategory::kStatsObs, cost_.stats_sample);
         stats_sampler_->Sample(hw_.now(), stats_);
         ArmSoftTimer(stats_sample_timer_, first->expiry + stats_sample_period_);
         break;
@@ -733,7 +759,46 @@ void Kernel::StartJob(Tcb& t) {
   ++stats_.jobs_released;
   trace_.Record(t.job_release, TraceEventType::kJobRelease, t.id.value,
                 static_cast<int32_t>(t.job_number));
+  PredictHeadroom(t);
+  t.job_cost_baseline = t.cycles.total();
   RecomputeEffective(t);
+}
+
+void Kernel::PredictHeadroom(Tcb& t) {
+  if (!t.job_cost_seeded) {
+    return;  // no observed cost yet — the first job seeds the EWMA
+  }
+  // Slack if the new job costs what jobs of this task have been costing.
+  // Predicting from `now` (not the nominal release) folds in any lateness the
+  // release already accumulated.
+  Instant predicted = hw_.now() + t.job_cost_ewma;
+  Duration slack = t.job_deadline - predicted;
+  if (slack < config_.headroom_low_margin) {
+    ++t.headroom_low_events;
+    ++stats_.headroom_low_events;
+    int64_t slack_us = slack.micros();
+    if (slack_us > INT32_MAX) slack_us = INT32_MAX;
+    if (slack_us < INT32_MIN) slack_us = INT32_MIN;
+    trace_.Record(hw_.now(), TraceEventType::kHeadroomLow, t.id.value,
+                  static_cast<int32_t>(slack_us));
+  }
+}
+
+void Kernel::RecordJobCost(Tcb& t) {
+  Duration job_cost = t.cycles.total() - t.job_cost_baseline;
+  if (!t.job_cost_seeded) {
+    t.job_cost_ewma = job_cost;
+    t.job_cost_seeded = true;
+  } else {
+    // Integer EWMA, alpha = 1/4: cheap, monotone-stable, good enough for a
+    // slack predictor.
+    t.job_cost_ewma += (job_cost - t.job_cost_ewma) / 4;
+  }
+  Duration headroom = t.job_deadline - hw_.now();  // negative on a miss
+  if (!t.headroom_seen || headroom < t.headroom_min) {
+    t.headroom_min = headroom;
+    t.headroom_seen = true;
+  }
 }
 
 void Kernel::HandleTimeout(Tcb& t) {
@@ -785,6 +850,7 @@ Kernel::SyscallOutcome Kernel::SysWaitPeriod(Tcb& t, SemId next_sem) {
   }
   trace_.Record(hw_.now(), TraceEventType::kJobComplete, t.id.value,
                 static_cast<int32_t>(t.job_number));
+  RecordJobCost(t);
   if (hw_.now() > t.job_deadline && !t.miss_recorded) {
     ++t.deadline_misses;
     ++stats_.deadline_misses;
@@ -932,6 +998,16 @@ void Kernel::ResetChargeAccounting() {
   stats_.sem_path_time = Duration();
   stats_.compute_time = Duration();
   stats_.idle_time = Duration();
+  // Re-base the cycle ledger: conservation is windowed against cycles_epoch,
+  // so a mid-run reset keeps the invariant exact. Per-task ledgers are
+  // cumulative (like cpu_time) and are left alone.
+  stats_.cycles = CycleLedger();
+  for (auto& per_band : stats_.sched_band_cycles) {
+    for (Duration& d : per_band) {
+      d = Duration();
+    }
+  }
+  stats_.cycles_epoch = hw_.now();
   if (stats_sampler_ != nullptr) {
     stats_sampler_->Rebase(stats_);
   }

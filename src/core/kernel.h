@@ -107,8 +107,10 @@ class Kernel {
   TraceSink& trace() { return trace_; }
   const TraceSink& trace() const { return trace_; }
   Scheduler& scheduler() { return sched_; }
+  const Scheduler& scheduler() const { return sched_; }
   const CostModel& cost_model() const { return cost_; }
   Hardware& hardware() { return hw_; }
+  const Hardware& hardware() const { return hw_; }
 
   size_t thread_count() const { return threads_.size(); }
   const Tcb& thread(ThreadId id) const;
@@ -196,7 +198,12 @@ class Kernel {
   void Watchdog();
 
   // --- Charging ---
+  // Every path that advances the virtual clock funnels through ChargeBucket,
+  // AdvanceCompute, or AdvanceIdleTo, each of which mirrors the advance into
+  // the stats ledger (and the current thread's) — that is what makes the
+  // cycle-conservation invariant hold to the tick.
   void Charge(ChargeCategory category, Duration amount);
+  void ChargeBucket(ChargeCategory category, CycleBucket bucket, Duration amount);
   void ChargeQueueOps(const ChargeList& charges);
 
   // --- Thread state transitions ---
@@ -216,6 +223,10 @@ class Kernel {
   void HandleTimeout(Tcb& t);
   void HandleUserTimer(UserTimer& timer);
   void StartJob(Tcb& t);
+  // Headroom monitor halves: predict slack at release, record the observed
+  // cost EWMA and worst slack at completion.
+  void PredictHeadroom(Tcb& t);
+  void RecordJobCost(Tcb& t);
   // ISR-context counting-semaphore signal (no owner, no PI).
   void SignalCountingSem(Semaphore& sem, uint64_t* overruns);
 

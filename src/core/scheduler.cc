@@ -75,7 +75,7 @@ Tcb* Scheduler::Select(ChargeList& charges, int* queues_parsed) {
       }
     }
     EM_ASSERT(best != nullptr);
-    charges.push_back(QueueCharge{band.kind(), QueueOp::kSelect, units});
+    charges.push_back(QueueCharge{band.kind(), QueueOp::kSelect, units, band.index()});
     *queues_parsed = parsed;
     return best;
   }

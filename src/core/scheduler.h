@@ -32,6 +32,10 @@ class Scheduler {
     EM_ASSERT(index >= 0 && index < num_bands());
     return *bands_[index];
   }
+  const Band& band(int index) const {
+    EM_ASSERT(index >= 0 && index < num_bands());
+    return *bands_[index];
+  }
 
   // Membership. The task's base_band selects its home queue; -1 maps to the
   // last (fixed-priority) band.

@@ -22,8 +22,18 @@ const char* ChargeCategoryToString(ChargeCategory category) {
       return "interrupt";
     case ChargeCategory::kTimerSvc:
       return "timer_service";
+    case ChargeCategory::kStatsObs:
+      return "stats_observability";
   }
   return "?";
+}
+
+CycleConservation CheckCycleConservation(const KernelStats& stats, Instant now) {
+  CycleConservation c;
+  c.elapsed = now - stats.cycles_epoch;
+  c.ledger_total = stats.cycle_total();
+  c.residual = c.elapsed - c.ledger_total;
+  return c;
 }
 
 void PrintKernelStats(const KernelStats& stats, std::FILE* out) {
@@ -37,6 +47,16 @@ void PrintKernelStats(const KernelStats& stats, std::FILE* out) {
                    stats.charged[c].micros_f());
     }
   }
+  std::fprintf(out, "cycle ledger (since epoch %lld us):\n",
+               static_cast<long long>(stats.cycles_epoch.micros()));
+  for (int b = 0; b < kNumCycleBuckets; ++b) {
+    if (stats.cycles.buckets[b].is_positive()) {
+      std::fprintf(out, "  %-22s %12.1f us\n",
+                   CycleBucketToString(static_cast<CycleBucket>(b)),
+                   stats.cycles.buckets[b].micros_f());
+    }
+  }
+  std::fprintf(out, "  %-22s %12.1f us\n", "ledger total", stats.cycle_total().micros_f());
   std::fprintf(out, "scheduler: %llu selections, %llu context switches\n",
                static_cast<unsigned long long>(stats.selections),
                static_cast<unsigned long long>(stats.context_switches));
@@ -72,6 +92,9 @@ void StatsSampler::Sample(Instant now, const KernelStats& current) {
   d.sem_path_time = current.sem_path_time - last_.sem_path_time;
   d.compute_time = current.compute_time - last_.compute_time;
   d.idle_time = current.idle_time - last_.idle_time;
+  for (int b = 0; b < kNumCycleBuckets; ++b) {
+    d.cycles.buckets[b] = current.cycles.buckets[b] - last_.cycles.buckets[b];
+  }
   d.context_switches = current.context_switches - last_.context_switches;
   d.jobs_released = current.jobs_released - last_.jobs_released;
   d.jobs_completed = current.jobs_completed - last_.jobs_completed;
@@ -82,6 +105,7 @@ void StatsSampler::Sample(Instant now, const KernelStats& current) {
   d.cse_switches_saved = current.cse_switches_saved - last_.cse_switches_saved;
   d.interrupts = current.interrupts - last_.interrupts;
   d.timer_dispatches = current.timer_dispatches - last_.timer_dispatches;
+  d.headroom_low_events = current.headroom_low_events - last_.headroom_low_events;
   if (samples_.push_overwrite(d)) {
     ++dropped_;
   }

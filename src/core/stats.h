@@ -25,10 +25,43 @@ enum class ChargeCategory : int {
   kIpc = 5,           // mailbox + state-message fixed costs and copies
   kInterrupt = 6,     // interrupt entry/exit
   kTimerSvc = 7,      // software-timer dispatch
+  kStatsObs = 8,      // stats sampling / observability overhead
 };
-inline constexpr int kNumChargeCategories = 8;
+inline constexpr int kNumChargeCategories = 9;
 
 const char* ChargeCategoryToString(ChargeCategory category);
+
+// The attribution bucket a plain Charge(category, ...) lands in. Queue
+// operations are finer-grained (per QueueOp, via CycleBucketForQueueOp); the
+// only kScheduling charges left on this path are CSD queue parsing.
+constexpr CycleBucket DefaultCycleBucket(ChargeCategory category) {
+  switch (category) {
+    case ChargeCategory::kScheduling:
+      return CycleBucket::kSchedParse;
+    case ChargeCategory::kContextSwitch:
+      return CycleBucket::kContextSwitch;
+    case ChargeCategory::kSyscall:
+      return CycleBucket::kSyscall;
+    case ChargeCategory::kSemaphore:
+      return CycleBucket::kSemaphore;
+    case ChargeCategory::kPi:
+      return CycleBucket::kPi;
+    case ChargeCategory::kIpc:
+      return CycleBucket::kIpc;
+    case ChargeCategory::kInterrupt:
+      return CycleBucket::kIrq;
+    case ChargeCategory::kTimerSvc:
+      return CycleBucket::kTimerSvc;
+    case ChargeCategory::kStatsObs:
+      return CycleBucket::kStatsObs;
+  }
+  return CycleBucket::kUnattributed;
+}
+
+// Mirror of config.h's kMaxBands for the per-band scheduler-cycle table
+// (stats.h sits below config.h in the include order; kernel.cc
+// static_asserts the two stay equal).
+inline constexpr int kMaxStatBands = 8;
 
 struct KernelStats {
   // Virtual time by destination.
@@ -36,6 +69,16 @@ struct KernelStats {
   Duration sem_path_time;  // see ChargeCategory comment
   Duration compute_time;   // application Compute() execution
   Duration idle_time;
+
+  // Cycle-attribution ledger: every clock advance the kernel makes lands in
+  // exactly one bucket. Windowed — ResetChargeAccounting zeroes it and
+  // re-bases cycles_epoch — so the conservation invariant is
+  //   cycle_total() == now - cycles_epoch, exact to the tick.
+  CycleLedger cycles;
+  Instant cycles_epoch;  // set at kernel construction and on charge resets
+  // Scheduler queue time split per CSD band (DP1/DP2/.../FP) and QueueOp —
+  // the runtime form of the paper's Figure 3-5 breakdowns.
+  Duration sched_band_cycles[kMaxStatBands][kNumQueueOps] = {};
 
   // Scheduler activity.
   uint64_t context_switches = 0;
@@ -75,6 +118,12 @@ struct KernelStats {
   uint64_t interrupts = 0;
   uint64_t timer_dispatches = 0;
 
+  // Deadline-headroom monitor: jobs whose predicted completion (release time
+  // + per-job cost EWMA) left less slack than the configured margin.
+  uint64_t headroom_low_events = 0;
+
+  Duration cycle_total() const { return cycles.total(); }
+
   Duration total_charged() const {
     Duration total;
     for (const Duration& d : charged) {
@@ -84,10 +133,26 @@ struct KernelStats {
   }
 };
 
-// Writes a human-readable summary (charge breakdown, scheduler and semaphore
-// activity) to `out` (default stdout); examples, debugging sessions, and
-// tests that capture the output use it.
+// Writes a human-readable summary (charge breakdown, cycle ledger, scheduler
+// and semaphore activity) to `out` (default stdout); examples, debugging
+// sessions, and tests that capture the output use it.
 void PrintKernelStats(const KernelStats& stats, std::FILE* out = stdout);
+
+// --- Conservation invariant ---
+
+// The hard invariant behind the ledger: between cycles_epoch and `now`, every
+// virtual tick the kernel spent is in exactly one bucket, so the bucket sum
+// equals elapsed time with zero residual. Checked by obs_report, the trace
+// analyzer cross-check in trace_inspect, and the torture harness's fourth
+// oracle.
+struct CycleConservation {
+  Duration elapsed;       // now - cycles_epoch
+  Duration ledger_total;  // sum over all buckets
+  Duration residual;      // elapsed - ledger_total; zero when conserved
+  bool exact() const { return residual.nanos() == 0; }
+};
+
+CycleConservation CheckCycleConservation(const KernelStats& stats, Instant now);
 
 // --- Periodic snapshots (the time-series half of the observability layer) ---
 
@@ -101,6 +166,9 @@ struct StatsDelta {
   Duration sem_path_time;
   Duration compute_time;
   Duration idle_time;
+  // Per-bucket cycle deltas. Conservation holds per interval too: absent a
+  // charge reset inside it, the bucket sum equals time - prev.time.
+  CycleLedger cycles;
   uint64_t context_switches = 0;
   uint64_t jobs_released = 0;
   uint64_t jobs_completed = 0;
@@ -111,6 +179,7 @@ struct StatsDelta {
   uint64_t cse_switches_saved = 0;
   uint64_t interrupts = 0;
   uint64_t timer_dispatches = 0;
+  uint64_t headroom_low_events = 0;
 };
 
 // Bounded ring of periodic StatsDelta samples. The kernel drives Sample()

@@ -49,6 +49,15 @@ struct TaskRunRow {
   Duration max_response;
   Duration avg_response;  // total_response / jobs_completed (zero when idle)
   Duration cpu_time;
+  // Cycle-attribution / headroom columns (see Tcb). overhead_cycles is the
+  // per-task ledger total minus its kUser share: kernel time billed to the
+  // thread.
+  Duration user_cycles;
+  Duration overhead_cycles;
+  Duration job_cost_ewma;
+  Duration headroom_min;  // meaningful only when headroom_seen
+  bool headroom_seen = false;
+  uint64_t headroom_low_events = 0;
 };
 
 std::vector<TaskRunRow> CollectPerTaskStats(const Kernel& kernel,

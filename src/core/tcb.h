@@ -19,6 +19,7 @@
 #include "src/core/api.h"
 #include "src/core/ids.h"
 #include "src/core/timer.h"
+#include "src/hal/cycles.h"
 
 namespace emeralds {
 
@@ -95,6 +96,23 @@ struct Tcb {
   Duration cpu_time;
   Duration max_response;    // worst job response time (completion - release)
   Duration total_response;  // sum over completed jobs (for averages)
+
+  // --- Cycle attribution / headroom monitor ---
+  // Per-task ledger: charges made while this thread was current (kUser equals
+  // cpu_time; the rest is kernel work billed to the thread that triggered
+  // it). Cumulative since boot, like cpu_time — ResetChargeAccounting leaves
+  // it alone.
+  CycleLedger cycles;
+  // EWMA (alpha = 1/4, integer) of per-job attributed cycles; the first
+  // completed job seeds it.
+  Duration job_cost_ewma;
+  bool job_cost_seeded = false;
+  Duration job_cost_baseline;  // per-task ledger total at job start
+  // Worst observed slack at completion (deadline - completion; negative on a
+  // miss), and jobs flagged low-headroom at release by the predictor.
+  Duration headroom_min;
+  bool headroom_seen = false;
+  uint64_t headroom_low_events = 0;
 
   // --- Synchronization state ---
   Semaphore* blocked_on = nullptr;  // semaphore this thread waits on

@@ -552,6 +552,15 @@ TortureResult RunTorture(const TortureOptions& options) {
     result.virtual_time = kernel.now() - Instant();
     result.stats = kernel.stats();
 
+    // Oracle 4: cycle conservation. Stats-window exactness survives the
+    // mid-run charge resets (the epoch rebases with them), and the clock's
+    // unattributed bucket catches any advance that bypassed the kernel.
+    CycleConservation conservation = CheckCycleConservation(kernel.stats(), kernel.now());
+    result.cycle_residual_ns = conservation.residual.nanos();
+    result.cycle_unattributed_ns =
+        kernel.hardware().clock().ledger().at(CycleBucket::kUnattributed).nanos();
+    result.cycles_conserved = conservation.exact() && result.cycle_unattributed_ns == 0;
+
     if (result.violations > 0) {
       result.failure = "trace invariant violated: " + analysis.violations[0].detail;
     } else if (st.fault_mismatches > 0) {
@@ -561,6 +570,13 @@ TortureResult RunTorture(const TortureOptions& options) {
       result.failure = "reconciliation mismatch (trace vs kernel counters)";
     } else if (result.trace_dropped > 0 && result.reconciliation.checked) {
       result.failure = "reconciliation claimed a truncated trace was checked";
+    } else if (!result.cycles_conserved) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "cycle conservation violated: residual %lld ns, unattributed %lld ns",
+                    static_cast<long long>(result.cycle_residual_ns),
+                    static_cast<long long>(result.cycle_unattributed_ns));
+      result.failure = buf;
     }
   });
   result.ops_executed = st.executed;
@@ -644,6 +660,13 @@ void AppendTortureRunJson(std::string* out, const TortureOptions& options,
                 "     \"reconciliation\": {\"checked\": %s, \"ok\": %s},\n",
                 result.reconciliation.checked ? "true" : "false",
                 result.reconciliation.ok() ? "true" : "false");
+  *out += buffer;
+  std::snprintf(buffer, sizeof(buffer),
+                "     \"cycles\": {\"conserved\": %s, \"residual_ns\": %lld, "
+                "\"unattributed_ns\": %lld},\n",
+                result.cycles_conserved ? "true" : "false",
+                static_cast<long long>(result.cycle_residual_ns),
+                static_cast<long long>(result.cycle_unattributed_ns));
   *out += buffer;
   std::snprintf(buffer, sizeof(buffer),
                 "     \"trace\": {\"retained\": %llu, \"dropped\": %llu, \"digest\": "

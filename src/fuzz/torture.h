@@ -11,7 +11,7 @@
 // deterministic, the same (seed, op budget) always produces bit-identical
 // traces; TortureResult::trace_digest makes that checkable in one compare.
 //
-// Three oracles run after every run:
+// Four oracles run after every run:
 //   1. obs::AnalyzeTrace over the retained trace must report zero structural
 //      invariant violations (truncation-aware, so a deliberately tiny ring is
 //      a fault case, not a false positive);
@@ -19,7 +19,11 @@
 //      whenever the trace was not truncated — and must *refuse* to check
 //      (checked == false) when it was;
 //   3. every injected fault must come back with exactly the status the
-//      syscall contract promises (kBadHandle, kPermissionDenied, ...).
+//      syscall contract promises (kBadHandle, kPermissionDenied, ...);
+//   4. the cycle-attribution ledger must conserve: bucket sum == elapsed
+//      virtual time since the charge epoch, exact to the tick, and no clock
+//      advance may bypass the kernel's charging paths. Unlike oracle 2 this
+//      is trace-independent, so it is enforced even on a truncated ring.
 //
 // A failing seed is shrunk by bisecting the global operation budget
 // (BisectFailingOpLimit) and reported as a one-line repro command.
@@ -102,6 +106,11 @@ struct TortureResult {
   size_t violations = 0;
   obs::Reconciliation reconciliation;
   uint64_t fault_mismatches = 0;
+  // Fourth oracle: ledger sum == elapsed since the charge epoch (exact) AND
+  // every clock advance went through a charging path (no unattributed time).
+  bool cycles_conserved = false;
+  int64_t cycle_residual_ns = 0;
+  int64_t cycle_unattributed_ns = 0;
   // FNV-1a over the retained trace window (time, type, args) and the
   // reconciled counters: equal digests == bit-identical runs.
   uint64_t trace_digest = 0;

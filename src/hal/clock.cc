@@ -4,14 +4,16 @@
 
 namespace emeralds {
 
-void VirtualClock::AdvanceTo(Instant t) {
+void VirtualClock::AdvanceTo(Instant t, CycleBucket bucket) {
   EM_ASSERT_MSG(t >= now_, "clock moved backwards (%lld < %lld ns)",
                 static_cast<long long>(t.nanos()), static_cast<long long>(now_.nanos()));
+  ledger_.Add(bucket, t - now_);
   now_ = t;
 }
 
-void VirtualClock::AdvanceBy(Duration d) {
+void VirtualClock::AdvanceBy(Duration d, CycleBucket bucket) {
   EM_ASSERT_MSG(!d.is_negative(), "negative clock advance");
+  ledger_.Add(bucket, d);
   now_ += d;
 }
 

@@ -4,6 +4,7 @@
 #define SRC_HAL_CLOCK_H_
 
 #include "src/base/time.h"
+#include "src/hal/cycles.h"
 
 namespace emeralds {
 
@@ -14,14 +15,21 @@ class VirtualClock {
   Instant now() const { return now_; }
 
   // Moves the clock forward to `t`. Panics on an attempt to move backwards —
-  // the executive and cost-charging paths must only ever add time.
-  void AdvanceTo(Instant t);
+  // the executive and cost-charging paths must only ever add time. Every
+  // advance is attributed to a CycleBucket; callers outside a kernel (hal
+  // tests, host drivers) default to kUnattributed.
+  void AdvanceTo(Instant t, CycleBucket bucket = CycleBucket::kUnattributed);
 
   // Convenience: advances by a non-negative duration.
-  void AdvanceBy(Duration d);
+  void AdvanceBy(Duration d, CycleBucket bucket = CycleBucket::kUnattributed);
+
+  // Cumulative attribution since construction. Conservation holds by
+  // construction here: ledger().total() == now() - Instant().
+  const CycleLedger& ledger() const { return ledger_; }
 
  private:
   Instant now_;
+  CycleLedger ledger_;
 };
 
 }  // namespace emeralds

@@ -52,6 +52,9 @@ CostModel CostModel::MC68040_25MHz() {
   m.mailbox_fixed = MicrosecondsF(8.0);
   m.copy_per_word = MicrosecondsF(0.4);
   m.statemsg_fixed = MicrosecondsF(2.0);
+  // Copying the counter block into the sampler ring: a few cache lines of
+  // loads/stores plus the delta arithmetic, comparable to a mailbox header.
+  m.stats_sample = MicrosecondsF(2.0);
   return m;
 }
 
@@ -82,6 +85,7 @@ CostModel CostModel::ScaledBy(double factor) const {
   m.mailbox_fixed = scale(m.mailbox_fixed);
   m.copy_per_word = scale(m.copy_per_word);
   m.statemsg_fixed = scale(m.statemsg_fixed);
+  m.stats_sample = scale(m.stats_sample);
   return m;
 }
 

@@ -17,6 +17,7 @@
 #define SRC_HAL_COST_MODEL_H_
 
 #include "src/base/time.h"
+#include "src/hal/cycles.h"
 
 namespace emeralds {
 
@@ -34,6 +35,15 @@ enum class QueueOp : int {
   kSelect = 2,  // t_s: pick next task to run
 };
 inline constexpr int kNumQueueOps = 3;
+
+// The attribution bucket a queue operation's cost lands in. Kept next to the
+// Table 1 coefficients so the ledger's scheduler rows and the cost model's
+// charge sites cannot drift apart.
+constexpr CycleBucket CycleBucketForQueueOp(QueueOp op) {
+  return op == QueueOp::kBlock     ? CycleBucket::kSchedBlock
+         : op == QueueOp::kUnblock ? CycleBucket::kSchedUnblock
+                                   : CycleBucket::kSchedSelect;
+}
 
 // cost = fixed + per_unit * units, where `units` is the operation count the
 // kernel actually performed (nodes visited / heap levels traversed).
@@ -93,6 +103,11 @@ struct CostModel {
   // State-message IPC: fixed overhead of the user-level send/receive stubs
   // (index arithmetic, version check); copies cost copy_per_word.
   Duration statemsg_fixed;
+
+  // One KernelStats snapshot into the sampler ring (the observability
+  // subsystem's own overhead — it shows up in the ledger like everything
+  // else, under CycleBucket::kStatsObs).
+  Duration stats_sample;
 
   Duration QueueCost(QueueKind kind, QueueOp op, int units) const {
     return queue[static_cast<int>(kind)][static_cast<int>(op)].At(units);

@@ -1,0 +1,41 @@
+#include "src/hal/cycles.h"
+
+namespace emeralds {
+
+const char* CycleBucketToString(CycleBucket bucket) {
+  switch (bucket) {
+    case CycleBucket::kUser:
+      return "user";
+    case CycleBucket::kSchedSelect:
+      return "sched_select";
+    case CycleBucket::kSchedBlock:
+      return "sched_block";
+    case CycleBucket::kSchedUnblock:
+      return "sched_unblock";
+    case CycleBucket::kSchedParse:
+      return "sched_parse";
+    case CycleBucket::kContextSwitch:
+      return "context_switch";
+    case CycleBucket::kSyscall:
+      return "syscall";
+    case CycleBucket::kSemaphore:
+      return "semaphore";
+    case CycleBucket::kPi:
+      return "pi";
+    case CycleBucket::kIpc:
+      return "ipc";
+    case CycleBucket::kIrq:
+      return "irq";
+    case CycleBucket::kTimerSvc:
+      return "timer_service";
+    case CycleBucket::kStatsObs:
+      return "stats_obs";
+    case CycleBucket::kIdle:
+      return "idle";
+    case CycleBucket::kUnattributed:
+      return "unattributed";
+  }
+  return "?";
+}
+
+}  // namespace emeralds

@@ -37,6 +37,8 @@ const char* TraceEventTypeToString(TraceEventType type) {
       return "thread_exit";
     case TraceEventType::kPiChainLimit:
       return "pi_chain_limit";
+    case TraceEventType::kHeadroomLow:
+      return "headroom_low";
   }
   return "?";
 }

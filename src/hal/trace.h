@@ -32,12 +32,13 @@ enum class TraceEventType : uint8_t {
   kMsgRecv,         // arg0 = thread id, arg1 = object id
   kThreadExit,      // arg0 = thread id
   kPiChainLimit,    // arg0 = thread id, arg1 = semaphore id (depth cap hit)
+  kHeadroomLow,     // arg0 = thread id, arg1 = predicted slack in us (signed)
 };
 
 // One past the last enumerator. Keep in sync when adding event types; the
 // round-trip test over [0, kNumTraceEventTypes) catches a missing name.
 inline constexpr int kNumTraceEventTypes =
-    static_cast<int>(TraceEventType::kPiChainLimit) + 1;
+    static_cast<int>(TraceEventType::kHeadroomLow) + 1;
 
 const char* TraceEventTypeToString(TraceEventType type);
 

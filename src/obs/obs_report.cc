@@ -2,74 +2,12 @@
 
 #include "src/base/json.h"
 #include "src/core/kernel.h"
+#include "src/obs/cycles_report.h"
+#include "src/obs/json_writer.h"
 
 namespace emeralds {
 namespace obs {
 namespace {
-
-// Tiny structural writer over the shared JsonAppend* helpers: tracks whether
-// a separator comma is due so sections can be emitted linearly.
-class Json {
- public:
-  void OpenObject() { Punct('{'); }
-  void CloseObject() { Raw('}'); }
-  void OpenArray() { Punct('['); }
-  void CloseArray() { Raw(']'); }
-
-  void Key(const char* name) {
-    Sep();
-    JsonAppendEscaped(&out_, name);
-    out_ += ':';
-    need_comma_ = false;  // the value follows with no comma
-  }
-
-  void String(const char* name, const std::string& value) {
-    Key(name);
-    JsonAppendEscaped(&out_, value);
-    need_comma_ = true;
-  }
-  void Int(const char* name, int64_t value) {
-    Key(name);
-    JsonAppendInt(&out_, value);
-    need_comma_ = true;
-  }
-  void Number(const char* name, double value) {
-    Key(name);
-    JsonAppendNumber(&out_, value);
-    need_comma_ = true;
-  }
-  void Bool(const char* name, bool value) {
-    Key(name);
-    out_ += value ? "true" : "false";
-    need_comma_ = true;
-  }
-  void IntElem(int64_t value) {
-    Sep();
-    JsonAppendInt(&out_, value);
-  }
-
-  const std::string& str() const { return out_; }
-
- private:
-  void Punct(char c) {
-    Sep();
-    out_ += c;
-    need_comma_ = false;
-  }
-  void Raw(char c) {
-    out_ += c;
-    need_comma_ = true;
-  }
-  void Sep() {
-    if (need_comma_) {
-      out_ += ',';
-    }
-    need_comma_ = true;
-  }
-
-  std::string out_;
-  bool need_comma_ = false;
-};
 
 void AppendHistogram(Json& j, const char* name, const Log2Histogram& h) {
   j.Key(name);
@@ -142,6 +80,12 @@ void AppendTaskRows(Json& j, const std::vector<TaskRunRow>& rows) {
     j.Number("max_response_us", r.max_response.micros_f());
     j.Number("avg_response_us", r.avg_response.micros_f());
     j.Number("cpu_time_us", r.cpu_time.micros_f());
+    j.Number("user_cycles_us", r.user_cycles.micros_f());
+    j.Number("overhead_cycles_us", r.overhead_cycles.micros_f());
+    j.Number("cost_ewma_us", r.job_cost_ewma.micros_f());
+    j.Bool("headroom_seen", r.headroom_seen);
+    j.Number("headroom_min_us", r.headroom_seen ? r.headroom_min.micros_f() : 0.0);
+    j.Int("headroom_low_events", static_cast<int64_t>(r.headroom_low_events));
     j.CloseObject();
   }
   j.CloseArray();
@@ -209,6 +153,7 @@ void AppendReconciliation(Json& j, const TraceAnalysis& a, const KernelStats& s)
   j.Bool("msg_sends_match", r.msg_sends_match);
   j.Bool("msg_recvs_match", r.msg_recvs_match);
   j.Bool("pi_chain_limit_match", r.pi_chain_limit_match);
+  j.Bool("headroom_low_match", r.headroom_low_match);
   j.Int("kernel_context_switches", static_cast<int64_t>(s.context_switches));
   j.Int("analyzer_context_switches", static_cast<int64_t>(a.context_switches));
   j.Int("kernel_deadline_misses", static_cast<int64_t>(s.deadline_misses));
@@ -246,10 +191,17 @@ void AppendSnapshots(Json& j, const StatsSampler* sampler) {
     j.Int("cse_switches_saved", static_cast<int64_t>(d.cse_switches_saved));
     j.Int("interrupts", static_cast<int64_t>(d.interrupts));
     j.Int("timer_dispatches", static_cast<int64_t>(d.timer_dispatches));
+    j.Int("headroom_low_events", static_cast<int64_t>(d.headroom_low_events));
     j.Number("compute_time_us", d.compute_time.micros_f());
     j.Number("idle_time_us", d.idle_time.micros_f());
     j.Number("sem_path_time_us", d.sem_path_time.micros_f());
     AppendChargedUs(j, d.charged);
+    j.Key("cycles_ns");
+    j.OpenObject();
+    for (int b = 0; b < kNumCycleBuckets; ++b) {
+      j.Int(CycleBucketToString(static_cast<CycleBucket>(b)), d.cycles.buckets[b].nanos());
+    }
+    j.CloseObject();
     j.CloseObject();
   }
   j.CloseArray();
@@ -271,6 +223,7 @@ Reconciliation ComputeReconciliation(const TraceAnalysis& a, const KernelStats& 
   r.msg_sends_match = a.msg_sends == s.mailbox_sends + s.smsg_writes;
   r.msg_recvs_match = a.msg_recvs == s.mailbox_receives + s.smsg_reads;
   r.pi_chain_limit_match = a.pi_chain_limit == s.pi_chain_limit_hits;
+  r.headroom_low_match = a.headroom_low == s.headroom_low_events;
   return r;
 }
 
@@ -294,6 +247,7 @@ std::string BuildObsRunReport(const ObsRunInfo& info, const Kernel& kernel,
   j.CloseObject();
 
   AppendKernelStats(j, kernel.stats());
+  AppendCyclesSection(j, kernel);
   AppendTaskRows(j, CollectPerTaskStats(kernel, task_ids));
   AppendAnalysis(j, analysis);
   AppendReconciliation(j, analysis, kernel.stats());

@@ -257,7 +257,39 @@ size_t ExportPerfettoJson(const TraceEvent* events, size_t count,
         std::snprintf(name, sizeof(name), "PI chain limit (S%d)", e.arg1);
         w.Instant(ts, e.arg0, name, "pi");
         break;
+      case TraceEventType::kHeadroomLow:
+        std::snprintf(name, sizeof(name), "headroom low (slack %d us)", e.arg1);
+        w.Instant(ts, e.arg0, name, "headroom");
+        break;
     }
+  }
+
+  // Cycle-attribution counter tracks: one stacked "C" event per sample on
+  // the "cycles (us/interval)" track, plus a headroom-low rate track.
+  for (const PerfettoCounterSample& s : options.counter_samples) {
+    double ts = TsUs(s.time);
+    w.Open("C", ts, 0);
+    w.Field("name", "cycles (us/interval)");
+    w.Raw(",\"args\":{");
+    bool first = true;
+    for (int b = 0; b < kNumCycleBuckets; ++b) {
+      char field[64];
+      std::snprintf(field, sizeof(field), "%s\"%s\":%.3f", first ? "" : ",",
+                    CycleBucketToString(static_cast<CycleBucket>(b)),
+                    static_cast<double>(s.cycles.buckets[b].nanos()) / 1e3);
+      w.Raw(field);
+      first = false;
+    }
+    w.Raw("}");
+    w.Close();
+
+    w.Open("C", ts, 0);
+    w.Field("name", "headroom_low (events/interval)");
+    char field[64];
+    std::snprintf(field, sizeof(field), ",\"args\":{\"events\":%" PRIu64 "}",
+                  s.headroom_low_events);
+    w.Raw(field);
+    w.Close();
   }
 
   // Close still-open running slices and block spans at the window edge so
@@ -301,6 +333,17 @@ size_t ExportPerfettoJson(const Kernel& kernel, std::FILE* out) {
   PerfettoExportOptions options;
   options.thread_names = KernelThreadNames(kernel);
   options.dropped_events = sink.dropped();
+  if (const StatsSampler* sampler = kernel.stats_sampler()) {
+    options.counter_samples.reserve(sampler->size());
+    for (size_t i = 0; i < sampler->size(); ++i) {
+      const StatsDelta& d = sampler->at(i);
+      PerfettoCounterSample s;
+      s.time = d.time;
+      s.cycles = d.cycles;
+      s.headroom_low_events = d.headroom_low_events;
+      options.counter_samples.push_back(s);
+    }
+  }
   return ExportPerfettoJson(events.data(), events.size(), options, out);
 }
 

@@ -4,7 +4,10 @@
 // ui.perfetto.dev (or chrome://tracing): per-thread "running" slices built
 // from context switches, async spans for jobs (release -> complete) and
 // semaphore holds/blocks, flow arrows for priority inheritance, and instant
-// markers for deadline misses, CSE saved switches, and IRQs.
+// markers for deadline misses, CSE saved switches, low-headroom jobs, and
+// IRQs. When counter samples are supplied (the kernel overload pulls them
+// from the StatsSampler ring), per-bucket cycle-attribution counter tracks
+// are emitted alongside the events.
 
 #ifndef SRC_OBS_PERFETTO_EXPORT_H_
 #define SRC_OBS_PERFETTO_EXPORT_H_
@@ -13,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/hal/cycles.h"
 #include "src/hal/trace.h"
 
 namespace emeralds {
@@ -21,6 +25,15 @@ class Kernel;
 
 namespace obs {
 
+// One sampling interval of the cycle-attribution ledger, rendered as a
+// stacked "C" (counter) event: each bucket becomes a series on the
+// "cycles (us/interval)" track.
+struct PerfettoCounterSample {
+  Instant time;  // sample instant; the values cover (prev sample, time]
+  CycleLedger cycles;
+  uint64_t headroom_low_events = 0;  // events inside this interval
+};
+
 struct PerfettoExportOptions {
   std::string process_name = "emeralds";
   // Display name per thread id; ids without an entry render as "t<id>".
@@ -28,6 +41,9 @@ struct PerfettoExportOptions {
   // Events lost ahead of the retained window (TraceSink::dropped());
   // surfaced as a marker slice so truncation is visible in the UI.
   uint64_t dropped_events = 0;
+  // Cycle-ledger counter samples (typically the StatsSampler ring); empty
+  // means no counter tracks.
+  std::vector<PerfettoCounterSample> counter_samples;
 };
 
 // Writes the event window as Chrome trace-event JSON to `out`. Returns the

@@ -249,6 +249,12 @@ TraceAnalysis AnalyzeTrace(const TraceEvent* events, size_t count, uint64_t drop
         // changes — only the stream-wide count for reconciliation.
         ++out.pi_chain_limit;
         break;
+      case TraceEventType::kHeadroomLow:
+        ++out.headroom_low;
+        if (m0 != nullptr) {
+          ++m0->headroom_low;
+        }
+        break;
       case TraceEventType::kThreadExit:
         if (t0 != nullptr) {
           if (running_known && running == e.arg0) {

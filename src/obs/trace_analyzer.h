@@ -74,6 +74,7 @@ struct TaskMetrics {
   uint64_t cse_early_pi = 0;
   uint64_t pi_donated = 0;   // kPiInherit events with this thread as donor
   uint64_t pi_received = 0;  // kPiInherit events with this thread as holder
+  uint64_t headroom_low = 0; // kHeadroomLow instants for this thread
   int max_pi_depth = 0;      // deepest inheritance chain ending at this thread
   Duration run_time;         // switched-in time inside the window
   Log2Histogram response;    // job release -> complete
@@ -95,6 +96,7 @@ struct TraceAnalysis {
   uint64_t msg_recvs = 0;  // kMsgRecv: mailbox receives + state-message reads
   uint64_t cse_early_pi = 0;
   uint64_t pi_chain_limit = 0;  // kPiChainLimit instants (refused deep acquires)
+  uint64_t headroom_low = 0;    // kHeadroomLow instants (predicted tight slack)
   int max_pi_chain_depth = 0;
   // Acquire-blocks still unresolved when the window ends. Not a violation:
   // a run cut at a time bound legitimately ends with blocked threads.

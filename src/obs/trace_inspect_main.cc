@@ -6,11 +6,14 @@
 // prints per-task response/blocking histograms plus preemption / PI / CSE
 // counters. With --run it cross-checks the analyzer's counters against the
 // kernel counters recorded in an emeralds.obs.run/1 report produced by the
-// same run; with --perfetto it additionally re-emits the window as
-// Chrome/Perfetto trace JSON.
+// same run, and renders the report's cycle-attribution section as a
+// Table 1 / Figure 3-style per-bucket breakdown (re-verifying the
+// conservation invariant from the JSON integers); with --perfetto it
+// additionally re-emits the window as Chrome/Perfetto trace JSON.
 //
 // Exit status: 0 clean; 1 usage / I/O / parse failure; 2 invariant
-// violations; 3 reconciliation mismatch against the run report.
+// violations; 3 reconciliation mismatch or cycle-conservation failure
+// against the run report.
 
 #include <cinttypes>
 #include <cstdio>
@@ -114,6 +117,69 @@ bool CheckCounter(const JsonValue& root, const char* key, uint64_t analyzer_valu
   return match;
 }
 
+int64_t ObjInt(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr && v->type == JsonValue::Type::kNumber ? static_cast<int64_t>(v->number)
+                                                             : 0;
+}
+
+// Renders the run report's cycle-attribution section as the Table 1 /
+// Figure 3-style breakdown and re-checks the conservation invariant from
+// the JSON integers (bucket sum == elapsed, exact to the tick). Returns
+// false when the section is missing, the recomputed sum disagrees with
+// elapsed, or the report's own verdict is false.
+bool PrintCyclesBreakdown(const JsonValue& root) {
+  const JsonValue* c = root.Find("cycles");
+  if (c == nullptr || c->type != JsonValue::Type::kObject) {
+    std::printf("cycles: section MISSING from run report\n");
+    return false;
+  }
+  const JsonValue* buckets = c->Find("buckets_ns");
+  if (buckets == nullptr || buckets->type != JsonValue::Type::kObject) {
+    std::printf("cycles: buckets_ns MISSING from run report\n");
+    return false;
+  }
+  int64_t elapsed = ObjInt(*c, "elapsed_ns");
+  std::printf("cycle attribution (%.1f us elapsed since epoch %.1f us):\n", elapsed / 1e3,
+              ObjInt(*c, "epoch_ns") / 1e3);
+  int64_t sum = 0;
+  for (const auto& kv : buckets->object) {
+    int64_t ns =
+        kv.second.type == JsonValue::Type::kNumber ? static_cast<int64_t>(kv.second.number) : 0;
+    sum += ns;
+    if (ns == 0) {
+      continue;
+    }
+    double pct = elapsed > 0 ? 100.0 * static_cast<double>(ns) / static_cast<double>(elapsed)
+                             : 0.0;
+    std::printf("  %-16s %12.1f us  %5.1f%%\n", kv.first.c_str(), ns / 1e3, pct);
+  }
+  const JsonValue* bands = c->Find("sched_bands");
+  if (bands != nullptr && bands->type == JsonValue::Type::kArray && !bands->array.empty()) {
+    std::printf("  scheduler cost by band:\n");
+    for (const JsonValue& b : bands->array) {
+      const JsonValue* label = b.Find("label");
+      std::printf("    %-4s (band %lld): block %.1fus  unblock %.1fus  select %.1fus\n",
+                  label != nullptr ? label->string.c_str() : "?",
+                  static_cast<long long>(ObjInt(b, "band")), ObjInt(b, "block_ns") / 1e3,
+                  ObjInt(b, "unblock_ns") / 1e3, ObjInt(b, "select_ns") / 1e3);
+    }
+  }
+  const JsonValue* verdict = c->Find("conserved");
+  bool reported = verdict != nullptr && verdict->type == JsonValue::Type::kBool &&
+                  verdict->boolean;
+  bool recomputed = sum == elapsed;
+  std::printf("  conservation: ledger %.1f us vs elapsed %.1f us -> %s (report: %s)\n",
+              sum / 1e3, elapsed / 1e3, recomputed ? "exact" : "VIOLATED",
+              reported ? "conserved" : "NOT conserved");
+  int64_t unattributed = ObjInt(*c, "clock_unattributed_ns");
+  if (unattributed != 0) {
+    std::printf("  WARNING: %.1f us advanced outside the kernel's charging paths\n",
+                unattributed / 1e3);
+  }
+  return recomputed && reported;
+}
+
 int Main(int argc, char** argv) {
   const char* csv_path = nullptr;
   const char* run_path = nullptr;
@@ -203,6 +269,11 @@ int Main(int argc, char** argv) {
       if (!all && status == 0) {
         status = 3;
       }
+    }
+    // The cycle breakdown and its conservation invariant hold regardless of
+    // trace truncation: they come from the kernel's own counters.
+    if (!PrintCyclesBreakdown(root) && status == 0) {
+      status = 3;
     }
   }
 

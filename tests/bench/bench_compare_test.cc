@@ -1,0 +1,184 @@
+// Perf-regression gate tests: an injected scheduler-bucket regression beyond
+// tolerance must fail, within-tolerance drift must pass, the user/idle
+// buckets and wall-clock throughput must stay ungated, and a candidate that
+// violates its own invariants must never pass.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_compare.h"
+#include "src/base/json.h"
+
+namespace emeralds {
+namespace bench {
+namespace {
+
+JsonValue Parse(const std::string& text) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_TRUE(JsonParse(text, &doc, &error)) << error;
+  return doc;
+}
+
+// A minimal but conserved emeralds.obs.cycles/1 document. The caller picks
+// the scheduler-select, user, and idle buckets; everything else is fixed so
+// elapsed always matches across variants (sum = 2'000'000'000 by
+// construction when select + user + idle == 1'940'000'000).
+std::string CyclesDoc(long long select_ns, long long user_ns, long long idle_ns,
+                      bool conserved = true) {
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf),
+                "{\"schema\":\"emeralds.obs.cycles/1\",\"cycles\":{"
+                "\"epoch_ns\":0,\"elapsed_ns\":2000000000,"
+                "\"ledger_total_ns\":2000000000,\"residual_ns\":0,"
+                "\"conserved\":%s,\"clock_conserved\":true,"
+                "\"clock_unattributed_ns\":0,\"headroom_low_events\":7,"
+                "\"buckets_ns\":{\"user\":%lld,\"sched_select\":%lld,"
+                "\"sched_block\":20000000,\"context_switch\":30000000,"
+                "\"syscall\":10000000,\"idle\":%lld}}}",
+                conserved ? "true" : "false", user_ns, select_ns, idle_ns);
+  return buf;
+}
+
+TEST(BenchCompareCyclesTest, IdenticalReportsPass) {
+  JsonValue doc = Parse(CyclesDoc(60000000, 900000000, 980000000));
+  CompareResult r = CompareReports(doc, doc, CompareOptions());
+  EXPECT_TRUE(r.ok) << (r.failures.empty() ? "" : r.failures[0]);
+  EXPECT_TRUE(r.failures.empty());
+}
+
+TEST(BenchCompareCyclesTest, FivePercentSchedulerRegressionFails) {
+  JsonValue base = Parse(CyclesDoc(60000000, 900000000, 980000000));
+  // +5% on sched_select, paid for out of idle so the candidate still
+  // conserves and elapsed still matches: only the regression should trip.
+  JsonValue cand = Parse(CyclesDoc(63000000, 900000000, 977000000));
+  CompareResult r = CompareReports(base, cand, CompareOptions());
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_NE(r.failures[0].find("sched_select"), std::string::npos) << r.failures[0];
+  EXPECT_NE(r.failures[0].find("regressed"), std::string::npos) << r.failures[0];
+}
+
+TEST(BenchCompareCyclesTest, WithinToleranceGrowthPasses) {
+  JsonValue base = Parse(CyclesDoc(60000000, 900000000, 980000000));
+  // +2% on sched_select is inside the 3% gate; it surfaces as a note only.
+  JsonValue cand = Parse(CyclesDoc(61200000, 900000000, 978800000));
+  CompareResult r = CompareReports(base, cand, CompareOptions());
+  EXPECT_TRUE(r.ok) << (r.failures.empty() ? "" : r.failures[0]);
+  EXPECT_FALSE(r.notes.empty());
+}
+
+TEST(BenchCompareCyclesTest, UserAndIdleBucketsAreNotGated) {
+  JsonValue base = Parse(CyclesDoc(60000000, 900000000, 980000000));
+  // The workload itself got 10% more expensive (user up, idle down): not the
+  // kernel's regression to gate.
+  JsonValue cand = Parse(CyclesDoc(60000000, 990000000, 890000000));
+  CompareResult r = CompareReports(base, cand, CompareOptions());
+  EXPECT_TRUE(r.ok) << (r.failures.empty() ? "" : r.failures[0]);
+}
+
+TEST(BenchCompareCyclesTest, TighterToleranceCatchesSmallerRegressions) {
+  JsonValue base = Parse(CyclesDoc(60000000, 900000000, 980000000));
+  JsonValue cand = Parse(CyclesDoc(61200000, 900000000, 978800000));
+  CompareOptions strict;
+  strict.rel_tolerance = 0.01;
+  strict.abs_slack_ns = 0;
+  EXPECT_FALSE(CompareReports(base, cand, strict).ok);
+}
+
+TEST(BenchCompareCyclesTest, UnconservedCandidateFails) {
+  JsonValue base = Parse(CyclesDoc(60000000, 900000000, 980000000));
+  JsonValue cand = Parse(CyclesDoc(60000000, 900000000, 980000000, /*conserved=*/false));
+  CompareResult r = CompareReports(base, cand, CompareOptions());
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.failures.empty());
+  EXPECT_NE(r.failures[0].find("not conserved"), std::string::npos) << r.failures[0];
+}
+
+TEST(BenchCompareCyclesTest, ElapsedMismatchFails) {
+  JsonValue base = Parse(CyclesDoc(60000000, 900000000, 980000000));
+  std::string longer = CyclesDoc(60000000, 900000000, 980000000);
+  // A different virtual-time horizon means the runs are not comparable.
+  size_t pos = longer.find("\"elapsed_ns\":2000000000");
+  ASSERT_NE(pos, std::string::npos);
+  longer.replace(pos, 23, "\"elapsed_ns\":2000000001");
+  CompareResult r = CompareReports(base, Parse(longer), CompareOptions());
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.failures.empty());
+  EXPECT_NE(r.failures[0].find("elapsed_ns differs"), std::string::npos) << r.failures[0];
+}
+
+TEST(BenchCompareCyclesTest, SchemaMismatchFails) {
+  JsonValue cycles = Parse(CyclesDoc(60000000, 900000000, 980000000));
+  JsonValue other = Parse("{\"schema\":\"emeralds.obs.run/1\"}");
+  CompareResult r = CompareReports(cycles, other, CompareOptions());
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.failures.empty());
+  EXPECT_NE(r.failures[0].find("schema mismatch"), std::string::npos) << r.failures[0];
+}
+
+// --- emeralds.bench.breakdown/1 ---
+
+std::string BreakdownDoc(long long full_evals, double eval_reduction, double wps,
+                         long long mismatches = 0) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"schema\":\"emeralds.bench.breakdown/1\",\"points\":[{"
+                "\"n\":10,\"reference_mismatches\":%lld,"
+                "\"evals\":{\"full_evals\":%lld},"
+                "\"eval_reduction\":%.3f,\"workloads_per_sec\":%.1f}]}",
+                mismatches, full_evals, eval_reduction, wps);
+  return buf;
+}
+
+TEST(BenchCompareBreakdownTest, IdenticalReportsPass) {
+  JsonValue doc = Parse(BreakdownDoc(1000, 0.800, 5000));
+  EXPECT_TRUE(CompareReports(doc, doc, CompareOptions()).ok);
+}
+
+TEST(BenchCompareBreakdownTest, FullEvalsRegressionFails) {
+  JsonValue base = Parse(BreakdownDoc(1000, 0.800, 5000));
+  JsonValue cand = Parse(BreakdownDoc(1050, 0.800, 5000));
+  CompareResult r = CompareReports(base, cand, CompareOptions());
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.failures.empty());
+  EXPECT_NE(r.failures[0].find("full_evals regressed"), std::string::npos) << r.failures[0];
+}
+
+TEST(BenchCompareBreakdownTest, EvalReductionShrinkFails) {
+  JsonValue base = Parse(BreakdownDoc(1000, 0.800, 5000));
+  JsonValue cand = Parse(BreakdownDoc(1000, 0.760, 5000));
+  CompareResult r = CompareReports(base, cand, CompareOptions());
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.failures.empty());
+  EXPECT_NE(r.failures[0].find("eval_reduction regressed"), std::string::npos)
+      << r.failures[0];
+}
+
+TEST(BenchCompareBreakdownTest, WallClockThroughputIsNotGated) {
+  JsonValue base = Parse(BreakdownDoc(1000, 0.800, 5000));
+  // Half the throughput (a slower machine) is a note, never a failure.
+  JsonValue cand = Parse(BreakdownDoc(1000, 0.800, 2500));
+  CompareResult r = CompareReports(base, cand, CompareOptions());
+  EXPECT_TRUE(r.ok) << (r.failures.empty() ? "" : r.failures[0]);
+  EXPECT_FALSE(r.notes.empty());
+}
+
+TEST(BenchCompareBreakdownTest, ReferenceMismatchFailsTheCandidate) {
+  JsonValue base = Parse(BreakdownDoc(1000, 0.800, 5000));
+  JsonValue cand = Parse(BreakdownDoc(1000, 0.800, 5000, /*mismatches=*/1));
+  EXPECT_FALSE(CompareReports(base, cand, CompareOptions()).ok);
+}
+
+TEST(BenchCompareFilesTest, MissingFileIsAnIoFailure) {
+  CompareResult r = CompareReportFiles("/nonexistent/base.json", "/nonexistent/cand.json",
+                                       CompareOptions());
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.failures.empty());
+  EXPECT_NE(r.failures[0].find("cannot open"), std::string::npos) << r.failures[0];
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace emeralds

@@ -23,6 +23,13 @@ TEST(TortureTest, FixedSeedSweepIsClean) {
     EXPECT_TRUE(result.reconciliation.checked);
     EXPECT_TRUE(result.reconciliation.ok());
     EXPECT_EQ(result.ops_executed, options.ops);
+    // Fourth oracle: the cycle ledger must conserve exactly and nothing may
+    // have advanced the clock outside a charging path.
+    EXPECT_TRUE(result.cycles_conserved) << "seed " << seed << ": residual "
+                                         << result.cycle_residual_ns << " ns, unattributed "
+                                         << result.cycle_unattributed_ns << " ns";
+    EXPECT_EQ(result.cycle_residual_ns, 0);
+    EXPECT_EQ(result.cycle_unattributed_ns, 0);
   }
 }
 
@@ -72,6 +79,11 @@ TEST(TortureTest, TinyRingTruncationRefusesReconciliation) {
   EXPECT_TRUE(result.ok) << result.failure;
   EXPECT_GT(result.trace_dropped, 0u);
   EXPECT_FALSE(result.reconciliation.checked);
+  // The cycle-conservation oracle reads kernel counters, not the trace, so
+  // it stays enforced even when the ring truncated.
+  EXPECT_TRUE(result.cycles_conserved);
+  EXPECT_EQ(result.cycle_residual_ns, 0);
+  EXPECT_EQ(result.cycle_unattributed_ns, 0);
 }
 
 TEST(TortureTest, FaultInjectionCoversAllFaultKinds) {
