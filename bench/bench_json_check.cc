@@ -3,6 +3,7 @@
 //   emeralds.bench.breakdown/1 — perf trajectory (bench_smoke label)
 //   emeralds.obs.run/1         — observability run report (obs_smoke label)
 //   emeralds.obs.cycles/1      — cycle-attribution ledger report
+//   emeralds.obs.chains/1      — causal event-chain report (chains_smoke label)
 //   emeralds.fuzz.torture/1    — torture-harness sweep report
 // For the obs and fuzz schemas the check is substantive, not just
 // structural: invariant-violation lists must be empty, reconciliation flags
@@ -84,6 +85,96 @@ bool CheckCyclesSection(const JsonValue& cycles, const char* ctx) {
   return true;
 }
 
+bool RequireHistogram(const JsonValue& obj, const char* ctx, const char* key) {
+  const JsonValue* h = obj.Find(key);
+  if (h == nullptr || h->type != JsonValue::Type::kObject) {
+    std::fprintf(stderr, "FAIL: %s missing histogram \"%s\"\n", ctx, key);
+    return false;
+  }
+  return RequireNumbers(*h, ctx, {"count", "min_us", "max_us", "mean_us", "p99_us", "total_us"});
+}
+
+// Substantive validation of a "chains" section (embedded in obs.run or the
+// standalone obs.chains document). The violations list must be empty — a
+// token-conservation breach (orphan consume in a complete window, origin
+// reuse, malformed token) fails the check outright. Orphan hops are allowed
+// only when the window is incomplete (ring truncation / epoch reset).
+bool CheckChainsSection(const JsonValue& chains, const char* ctx) {
+  if (!RequireNumbers(chains, ctx,
+                      {"chain_emits", "chain_consumes", "origins_minted", "orphan_hops",
+                       "unconsumed_emits"})) {
+    return false;
+  }
+  const JsonValue* complete = chains.Find("complete_window");
+  if (complete == nullptr || complete->type != JsonValue::Type::kBool) {
+    std::fprintf(stderr, "FAIL: %s missing bool \"complete_window\"\n", ctx);
+    return false;
+  }
+  const JsonValue* violations = chains.Find("violations");
+  if (violations == nullptr || violations->type != JsonValue::Type::kArray) {
+    std::fprintf(stderr, "FAIL: %s missing violations array\n", ctx);
+    return false;
+  }
+  if (!violations->array.empty()) {
+    const JsonValue* kind = violations->array[0].Find("kind");
+    std::fprintf(stderr, "FAIL: %s has %zu chain violation(s), first kind: %s\n", ctx,
+                 violations->array.size(),
+                 kind != nullptr ? kind->string.c_str() : "?");
+    return false;
+  }
+  if (complete->boolean && chains.Find("orphan_hops")->number != 0.0) {
+    std::fprintf(stderr, "FAIL: %s complete window but orphan_hops = %g\n", ctx,
+                 chains.Find("orphan_hops")->number);
+    return false;
+  }
+  const JsonValue* list = chains.Find("chains");
+  if (list == nullptr || list->type != JsonValue::Type::kArray) {
+    std::fprintf(stderr, "FAIL: %s missing chains array\n", ctx);
+    return false;
+  }
+  for (const JsonValue& chain : list->array) {
+    const JsonValue* name = chain.Find("name");
+    const JsonValue* resolved = chain.Find("resolved");
+    if (name == nullptr || name->type != JsonValue::Type::kString || resolved == nullptr ||
+        resolved->type != JsonValue::Type::kBool) {
+      std::fprintf(stderr, "FAIL: %s chain missing name/resolved\n", ctx);
+      return false;
+    }
+    if (!RequireNumbers(chain, "chain", {"deadline_us", "completed", "incomplete", "overruns"}) ||
+        !RequireHistogram(chain, name->string.c_str(), "e2e")) {
+      return false;
+    }
+    const JsonValue* hops = chain.Find("hops");
+    if (hops == nullptr || hops->type != JsonValue::Type::kArray) {
+      std::fprintf(stderr, "FAIL: chain \"%s\" missing hops array\n", name->string.c_str());
+      return false;
+    }
+    for (const JsonValue& hop : hops->array) {
+      const JsonValue* kind = hop.Find("endpoint_kind");
+      if (kind == nullptr || kind->type != JsonValue::Type::kString ||
+          !RequireNumbers(hop, "hop", {"endpoint_id", "consumer_tid"}) ||
+          !RequireHistogram(hop, "hop", "queue") || !RequireHistogram(hop, "hop", "exec")) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int CheckObsChains(const char* path, const JsonValue& root) {
+  const JsonValue* report = root.Find("report");
+  if (report == nullptr || report->type != JsonValue::Type::kObject) {
+    std::fprintf(stderr, "FAIL: missing \"report\" object\n");
+    return 1;
+  }
+  if (!CheckChainsSection(*report, "report")) {
+    return 1;
+  }
+  std::printf("OK: %s (chains report, %zu chain(s), 0 violations)\n", path,
+              report->Find("chains")->array.size());
+  return 0;
+}
+
 int CheckObsCycles(const char* path, const JsonValue& root) {
   const JsonValue* cycles = root.Find("cycles");
   if (cycles == nullptr || cycles->type != JsonValue::Type::kObject) {
@@ -111,7 +202,7 @@ int CheckObsCycles(const char* path, const JsonValue& root) {
 
 int CheckObsRun(const char* path, const JsonValue& root) {
   for (const char* section : {"trace", "kernel_stats", "cycles", "analysis", "reconciliation",
-                              "snapshots"}) {
+                              "chains", "snapshots"}) {
     const JsonValue* v = root.Find(section);
     if (v == nullptr || v->type != JsonValue::Type::kObject) {
       std::fprintf(stderr, "FAIL: missing \"%s\" object\n", section);
@@ -134,6 +225,9 @@ int CheckObsRun(const char* path, const JsonValue& root) {
   if (!CheckCyclesSection(*root.Find("cycles"), "cycles")) {
     return 1;
   }
+  if (!CheckChainsSection(*root.Find("chains"), "chains")) {
+    return 1;
+  }
   const JsonValue* violations = root.Find("analysis")->Find("violations");
   if (violations == nullptr || violations->type != JsonValue::Type::kArray) {
     std::fprintf(stderr, "FAIL: analysis missing violations array\n");
@@ -149,7 +243,8 @@ int CheckObsRun(const char* path, const JsonValue& root) {
   }
   const JsonValue& recon = *root.Find("reconciliation");
   for (const char* key : {"context_switches_match", "deadline_misses_match",
-                          "jobs_completed_match", "cse_early_pi_match", "headroom_low_match"}) {
+                          "jobs_completed_match", "cse_early_pi_match", "headroom_low_match",
+                          "chain_events_match"}) {
     const JsonValue* v = recon.Find(key);
     if (v == nullptr || v->type != JsonValue::Type::kBool) {
       std::fprintf(stderr, "FAIL: reconciliation missing bool \"%s\"\n", key);
@@ -210,6 +305,19 @@ int CheckFuzzTorture(const char* path, const JsonValue& root) {
                    run.Find("seed")->number);
       return 1;
     }
+    // Fifth oracle: causal-token conservation. Every run must carry the
+    // chains object and report zero conservation violations.
+    const JsonValue* chains = run.Find("chains");
+    if (chains == nullptr ||
+        !RequireNumbers(*chains, "chains", {"violations", "orphan_hops", "completed", "origins"})) {
+      std::fprintf(stderr, "FAIL: run missing chains {violations, orphan_hops, ...}\n");
+      return 1;
+    }
+    if (chains->Find("violations")->number != 0.0) {
+      std::fprintf(stderr, "FAIL: seed %g has chain-token conservation violations\n",
+                   run.Find("seed")->number);
+      return 1;
+    }
     ops += static_cast<uint64_t>(run.Find("ops_executed")->number);
   }
   const JsonValue* totals = root.Find("totals");
@@ -264,6 +372,9 @@ int main(int argc, char** argv) {
   }
   if (schema->string == "emeralds.obs.cycles/1") {
     return CheckObsCycles(argv[1], root);
+  }
+  if (schema->string == "emeralds.obs.chains/1") {
+    return CheckObsChains(argv[1], root);
   }
   if (schema->string == "emeralds.fuzz.torture/1") {
     return CheckFuzzTorture(argv[1], root);

@@ -156,13 +156,31 @@ class JsonParser {
             if (pos_ + 4 > text_.size()) {
               return Fail("truncated \\u escape");
             }
+            unsigned code = 0;
             for (int i = 0; i < 4; ++i) {
-              if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              char h = text_[pos_ + i];
+              if (!std::isxdigit(static_cast<unsigned char>(h))) {
                 return Fail("invalid \\u escape");
               }
+              code = code * 16 +
+                     static_cast<unsigned>(h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
             }
             pos_ += 4;
-            out->push_back('?');  // validated, not decoded: the report schemas are ASCII
+            // Decode as UTF-8. Surrogate halves (only reachable via escaped
+            // astral-plane text, which no report writer emits) degrade to
+            // '?' rather than producing ill-formed output.
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else if (code >= 0xd800 && code <= 0xdfff) {
+              out->push_back('?');
+            } else {
+              out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
             break;
           }
           default:

@@ -113,11 +113,20 @@ Kernel::SyscallOutcome Kernel::SysCondWake(Tcb& t, CondvarId cv_id, bool broadca
     ++cv->signals;
   }
 
+  // One emit per signal/broadcast; every woken waiter consumes it (broadcast
+  // is a deliberate one-emit-many-consumes fan-out). A signal that finds no
+  // waiter is lost, so nothing is emitted.
+  int32_t endpoint = ChainEndpointPack(ChainEndpointKind::kCondvar, cv->id.value);
+  CausalToken token;
   do {
     Tcb* waiter = cv->waiters.front();  // insert order is priority order
     if (waiter == nullptr) {
       break;
     }
+    if (!token.valid()) {
+      token = ChainEmit(endpoint, &t);
+    }
+    ChainConsume(endpoint, token, *waiter);
     WakeCondWaiter(*cv, *waiter);
   } while (broadcast);
 

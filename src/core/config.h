@@ -4,7 +4,10 @@
 #define SRC_CORE_CONFIG_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "src/base/static_vector.h"
 #include "src/base/time.h"
@@ -69,6 +72,45 @@ struct SchedulerSpec {
   }
 };
 
+// --- Causal event chains -------------------------------------------------
+//
+// A chain names the dataflow path whose end-to-end latency is the real
+// schedulability deliverable for sensor→compute→actuate pipelines: an origin
+// channel, then alternating (channel consumed, consuming task) stages. The
+// channel string is "<kind>:<name>" where kind is one of irq / release /
+// sem / cv / mbox / smsg; irq channels name the line number ("irq:3"),
+// release channels name the periodic task whose job release starts the
+// chain, and the rest name the kernel object. Specs are declared up front in
+// KernelConfig and resolved to object ids at Kernel::Start(); a spec whose
+// names don't resolve is reported unresolved in the chains report rather
+// than failing the boot.
+struct ChainStageSpec {
+  std::string channel;  // "<kind>:<name>", e.g. "smsg:pose"
+  std::string task;     // consuming thread's name, e.g. "actuator"
+};
+
+struct ChainSpec {
+  std::string name;
+  // End-to-end deadline for one chain instance (origin emit to final
+  // consume). Zero disables overrun checking for this chain.
+  Duration deadline;
+  std::vector<ChainStageSpec> stages;
+};
+
+// A spec after name resolution: each stage holds the packed trace endpoint
+// (ChainEndpointPack) and the consuming thread's id (-1 = any consumer).
+struct ResolvedChainStage {
+  int32_t endpoint = 0;
+  int consumer_tid = -1;
+};
+
+struct ResolvedChain {
+  std::string name;
+  Duration deadline;
+  bool resolved = false;  // false: some channel/task name didn't resolve
+  std::vector<ResolvedChainStage> stages;
+};
+
 struct KernelConfig {
   SchedulerSpec scheduler = SchedulerSpec::Edf();
   CostModel cost_model = CostModel::MC68040_25MHz();
@@ -86,6 +128,11 @@ struct KernelConfig {
 
   // Trace ring capacity (0 disables event retention; counters still work).
   size_t trace_capacity = 4096;
+
+  // Declared causal event chains (resolved against object/thread names at
+  // Start(); see ChainSpec above). Token propagation itself is always on —
+  // the specs only drive the chain-latency reports and SLO checks.
+  std::vector<ChainSpec> chains;
 
   // Deadline-headroom monitor: a job whose predicted completion (release +
   // per-job cost EWMA) leaves less slack than this margin raises a

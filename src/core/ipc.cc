@@ -67,6 +67,7 @@ Kernel::SyscallOutcome Kernel::SysSend(Tcb& t, MailboxId id, std::span<const uin
     }
     message.sender = t.id;
     message.sent_at = hw_.now();
+    message.token = ChainEmit(ChainEndpointPack(ChainEndpointKind::kMailbox, mbox->id.value), &t);
     Charge(ChargeCategory::kIpc, CopyCost(data.size()));
     DeliverToWaiter(*mbox, std::move(message));
     ++mbox->sends;
@@ -87,6 +88,7 @@ Kernel::SyscallOutcome Kernel::SysSend(Tcb& t, MailboxId id, std::span<const uin
     }
     message.sender = t.id;
     message.sent_at = hw_.now();
+    message.token = ChainEmit(ChainEndpointPack(ChainEndpointKind::kMailbox, mbox->id.value), &t);
     Charge(ChargeCategory::kIpc, CopyCost(data.size()));
     mbox->queue->push(std::move(message));
     ++mbox->sends;
@@ -154,6 +156,7 @@ Kernel::SyscallOutcome Kernel::SysRecv(Tcb& t, MailboxId id, std::span<uint8_t> 
     ++mbox->receives;
     ++stats_.mailbox_receives;
     trace_.Record(hw_.now(), TraceEventType::kMsgRecv, t.id.value, mbox->id.value);
+    ChainConsume(ChainEndpointPack(ChainEndpointKind::kMailbox, mbox->id.value), message.token, t);
     // Space freed: admit the highest-priority blocked sender, if any.
     AdmitBlockedSender(*mbox);
     if (need_resched_) {
@@ -228,6 +231,10 @@ void Kernel::DeliverToWaiter(Mailbox& mbox, MboxMessage&& message) {
   ++mbox.receives;
   ++stats_.mailbox_receives;
   trace_.Record(hw_.now(), TraceEventType::kMsgRecv, receiver->id.value, mbox.id.value);
+  // Direct handoff runs in the sender's context; the consume names the
+  // receiver explicitly.
+  ChainConsume(ChainEndpointPack(ChainEndpointKind::kMailbox, mbox.id.value), message.token,
+               *receiver);
   WakeThread(*receiver);
 }
 
@@ -243,6 +250,9 @@ void Kernel::AdmitBlockedSender(Mailbox& mbox) {
   }
   message.sender = sender->id;
   message.sent_at = hw_.now();
+  // The blocked send commits here, possibly in another thread's context:
+  // the emit propagates the *sender's* carried token.
+  message.token = ChainEmit(ChainEndpointPack(ChainEndpointKind::kMailbox, mbox.id.value), sender);
   Charge(ChargeCategory::kIpc, CopyCost(sender->send_data.size()));
   mbox.queue->push(std::move(message));
   ++mbox.sends;
@@ -307,8 +317,12 @@ void Kernel::FinishStateWrite(Tcb& t) {
     std::memset(smsg->SlotData(slot) + t.pending_write_data.size(), 0,
                 smsg->size - t.pending_write_data.size());
   }
-  // Commit: bump the version and publish the slot (two atomic stores).
+  // Commit: bump the version and publish the slot (two atomic stores). The
+  // causal token is committed with the version, so a reader whose seqlock
+  // validation succeeds reads the matching token.
   smsg->slot_seq[slot] = ++smsg->latest_seq;
+  smsg->slot_token[slot] =
+      ChainEmit(ChainEndpointPack(ChainEndpointKind::kSmsg, smsg->id.value), &t);
   smsg->latest_slot = slot;
   ++smsg->writes;
   ++stats_.smsg_writes;
@@ -369,6 +383,10 @@ void Kernel::FinishStateRead(Tcb& t) {
     ++smsg->reads;
     ++stats_.smsg_reads;
     trace_.Record(hw_.now(), TraceEventType::kMsgRecv, t.id.value, smsg->id.value);
+    // Re-reads of the same slot consume the same emit — allowed by design
+    // (state messages are sampled, not queued).
+    ChainConsume(ChainEndpointPack(ChainEndpointKind::kSmsg, smsg->id.value),
+                 smsg->slot_token[slot], t);
     t.pending_op = PendingOpKind::kNone;
     t.pending_read_buffer = {};
     t.resume_pending = true;

@@ -34,14 +34,20 @@ void Kernel::HandleIrq(int line) {
   trace_.Record(hw_.now(), TraceEventType::kIrq, line, 0);
   Tcb* driver = irq_threads_[line];
   if (driver != nullptr) {
+    // Every dispatched interrupt is a chain origin, minted in ISR context.
+    int32_t endpoint = ChainEndpointPack(ChainEndpointKind::kIrq, line);
+    CausalToken token = ChainEmit(endpoint, nullptr);
     if (driver->state == ThreadState::kBlocked &&
         driver->block_reason == BlockReason::kWaitIrq && driver->waiting_irq_line == line) {
       driver->waiting_irq_line = -1;
       driver->syscall_status = Status::kOk;
+      ChainConsume(endpoint, token, *driver);
       WakeThread(*driver);
     } else {
-      // Latch the interrupt; the next WaitIrq completes immediately.
+      // Latch the interrupt; the next WaitIrq completes immediately and
+      // consumes the latched token then.
       ++driver->irq_pending_count;
+      driver->irq_latched_token = token;
     }
   }
   Charge(ChargeCategory::kInterrupt, cost_.interrupt_exit);
@@ -63,6 +69,11 @@ Kernel::SyscallOutcome Kernel::SysWaitIrq(Tcb& t, int line, SemId next_sem) {
   if (t.irq_pending_count > 0) {
     --t.irq_pending_count;
     t.syscall_status = Status::kOk;
+    // An IRQ-storm burst latches several fires but only the newest token (a
+    // single overwritten slot, like the counting-sem one); consume it once
+    // and let further drains of the same burst run token-free.
+    ChainConsume(ChainEndpointPack(ChainEndpointKind::kIrq, line), t.irq_latched_token, t);
+    t.irq_latched_token.clear();
     if (need_resched_) {
       t.resume_pending = true;
       return {true};

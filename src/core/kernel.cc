@@ -5,7 +5,9 @@
 #include "src/core/kernel.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "src/base/log.h"
 
@@ -208,6 +210,7 @@ Result<SmsgId> Kernel::CreateStateMessage(const char* name, size_t size_bytes, i
   smsg->num_slots = num_slots;
   smsg->data = std::make_unique<uint8_t[]>(size_bytes * static_cast<size_t>(num_slots));
   smsg->slot_seq = std::make_unique<uint64_t[]>(static_cast<size_t>(num_slots));
+  smsg->slot_token = std::make_unique<CausalToken[]>(static_cast<size_t>(num_slots));
   for (int i = 0; i < num_slots; ++i) {
     smsg->slot_seq[i] = 0;
   }
@@ -315,6 +318,10 @@ void Kernel::HandleUserTimer(UserTimer& timer) {
 void Kernel::SignalCountingSem(Semaphore& sem, uint64_t* overruns) {
   EM_ASSERT(!sem.binary);
   Charge(ChargeCategory::kSemaphore, cost_.sem_fixed);
+  // Timer expiries are chain origins ("timer release" producing op): the
+  // signal runs in ISR context, so the emit always mints a fresh token.
+  int32_t endpoint = ChainEndpointPack(ChainEndpointKind::kSem, sem.id.value);
+  CausalToken token = ChainEmit(endpoint, nullptr);
   int visits = 0;
   Tcb* waiter = HighestWaiter(sem, &visits);
   Charge(ChargeCategory::kSemaphore, cost_.waitq_visit * visits);
@@ -327,14 +334,149 @@ void Kernel::SignalCountingSem(Semaphore& sem, uint64_t* overruns) {
     // As in SysRelease: the handoff is where the blocked acquire completes,
     // and the trace analyzer pairs it with the kSemAcquireBlock.
     trace_.Record(hw_.now(), TraceEventType::kSemAcquire, waiter->id.value, sem.id.value);
+    ChainConsume(endpoint, token, *waiter);
     MakeReady(*waiter);
     return;
   }
+  sem.token = token;
   if (sem.count > 0 && overruns != nullptr) {
     ++*overruns;  // the previous expiry was never consumed
   }
   if (sem.count < (1 << 30)) {
     ++sem.count;
+  }
+}
+
+// --- Causal chain tracing ---
+
+CausalToken Kernel::ChainEmit(int32_t endpoint, const Tcb* carrier) {
+  CausalToken token;
+  if (carrier != nullptr && carrier->chain_token.valid()) {
+    token = carrier->chain_token;
+  } else {
+    token.origin = next_chain_origin_++;
+    if (next_chain_origin_ == 0) {
+      next_chain_origin_ = 1;  // 0 stays the invalid token after wraparound
+    }
+    token.hop = 0;
+    ++stats_.chain_origins;
+  }
+  ++stats_.chain_emits;
+  trace_.Record(hw_.now(), TraceEventType::kChainEmit, static_cast<int32_t>(token.origin),
+                endpoint,
+                ChainHopPack(token.hop, carrier != nullptr ? carrier->id.value : -1));
+  return token;
+}
+
+void Kernel::ChainConsume(int32_t endpoint, CausalToken token, Tcb& consumer) {
+  if (!token.valid()) {
+    return;
+  }
+  if (token.hop >= kMaxChainHops) {
+    // Cyclic pipeline: stop the token instead of growing the hop count
+    // without bound. The consumer starts token-free.
+    consumer.chain_token.clear();
+    return;
+  }
+  token.hop = static_cast<uint16_t>(token.hop + 1);
+  ++stats_.chain_consumes;
+  trace_.Record(hw_.now(), TraceEventType::kChainConsume, static_cast<int32_t>(token.origin),
+                endpoint, ChainHopPack(token.hop, consumer.id.value));
+  consumer.chain_token = token;
+}
+
+void Kernel::ResolveChainSpecs() {
+  resolved_chains_.clear();
+  resolved_chains_.reserve(config_.chains.size());
+  auto find_thread = [this](const std::string& name) -> int {
+    for (const auto& t : threads_) {
+      if (name == t->name) {
+        return t->id.value;
+      }
+    }
+    return -1;
+  };
+  auto resolve_channel = [&](const std::string& channel, int32_t* endpoint) -> bool {
+    size_t colon = channel.find(':');
+    if (colon == std::string::npos) {
+      return false;
+    }
+    std::string kind = channel.substr(0, colon);
+    std::string rest = channel.substr(colon + 1);
+    if (kind == "irq") {
+      char* end = nullptr;
+      long line = std::strtol(rest.c_str(), &end, 10);
+      if (end == rest.c_str() || *end != '\0' || line < 0 || line >= kNumIrqLines) {
+        return false;
+      }
+      *endpoint = ChainEndpointPack(ChainEndpointKind::kIrq, static_cast<int>(line));
+      return true;
+    }
+    if (kind == "release") {
+      int tid = find_thread(rest);
+      if (tid < 0) {
+        return false;
+      }
+      *endpoint = ChainEndpointPack(ChainEndpointKind::kRelease, tid);
+      return true;
+    }
+    if (kind == "sem") {
+      for (const auto& s : semaphores_) {
+        if (rest == s->name) {
+          *endpoint = ChainEndpointPack(ChainEndpointKind::kSem, s->id.value);
+          return true;
+        }
+      }
+      return false;
+    }
+    if (kind == "cv") {
+      for (const auto& c : condvars_) {
+        if (rest == c->name) {
+          *endpoint = ChainEndpointPack(ChainEndpointKind::kCondvar, c->id.value);
+          return true;
+        }
+      }
+      return false;
+    }
+    if (kind == "mbox") {
+      for (const auto& m : mailboxes_) {
+        if (rest == m->name) {
+          *endpoint = ChainEndpointPack(ChainEndpointKind::kMailbox, m->id.value);
+          return true;
+        }
+      }
+      return false;
+    }
+    if (kind == "smsg") {
+      for (const auto& s : smsgs_) {
+        if (rest == s->name) {
+          *endpoint = ChainEndpointPack(ChainEndpointKind::kSmsg, s->id.value);
+          return true;
+        }
+      }
+      return false;
+    }
+    return false;
+  };
+  for (const ChainSpec& spec : config_.chains) {
+    ResolvedChain resolved;
+    resolved.name = spec.name;
+    resolved.deadline = spec.deadline;
+    resolved.resolved = !spec.stages.empty();
+    for (const ChainStageSpec& stage : spec.stages) {
+      ResolvedChainStage out;
+      if (!resolve_channel(stage.channel, &out.endpoint)) {
+        resolved.resolved = false;
+      }
+      if (!stage.task.empty()) {
+        out.consumer_tid = find_thread(stage.task);
+        if (out.consumer_tid < 0) {
+          resolved.resolved = false;
+        }
+      }
+      resolved.stages.push_back(out);
+    }
+    resolved_chains_.push_back(std::move(resolved));
   }
 }
 
@@ -351,6 +493,7 @@ void Kernel::EnableStatsSampling(Duration period, size_t capacity) {
 void Kernel::Start() {
   EM_ASSERT_MSG(!started_, "Start() called twice");
   started_ = true;
+  ResolveChainSpecs();
 
   // Rate-monotonic rank assignment: either every thread carries an explicit
   // rank (produced by the analysis tooling) or none does and the kernel ranks
@@ -759,6 +902,13 @@ void Kernel::StartJob(Tcb& t) {
   ++stats_.jobs_released;
   trace_.Record(t.job_release, TraceEventType::kJobRelease, t.id.value,
                 static_cast<int32_t>(t.job_number));
+  // Each periodic release is a chain origin: mint a fresh token and hand it
+  // straight to the released job (emit + consume pair at the release
+  // endpoint). Recorded at the processing instant, not the nominal release —
+  // chain events have no monotone-time exemption.
+  t.chain_token.clear();
+  int32_t release_ep = ChainEndpointPack(ChainEndpointKind::kRelease, t.id.value);
+  ChainConsume(release_ep, ChainEmit(release_ep, nullptr), t);
   PredictHeadroom(t);
   t.job_cost_baseline = t.cycles.total();
   RecomputeEffective(t);
@@ -858,6 +1008,9 @@ Kernel::SyscallOutcome Kernel::SysWaitPeriod(Tcb& t, SemId next_sem) {
                   static_cast<int32_t>(t.job_number));
   }
   t.miss_recorded = false;
+  // The token is per-job dataflow; the next job starts token-free (StartJob
+  // mints its release origin).
+  t.chain_token.clear();
 
   t.wakeup_hint = next_sem;
   if (t.pending_releases > 0) {

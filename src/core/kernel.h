@@ -132,6 +132,11 @@ class Kernel {
   // mapped the region with sufficient rights, else an empty span.
   std::span<uint8_t> RegionDataFor(ProcessId process, RegionId region, bool write);
 
+  // Declared chains after Start()-time name resolution (empty before Start
+  // or when the config declared none). The chain analyzer and report builder
+  // consume these.
+  const std::vector<ResolvedChain>& resolved_chains() const { return resolved_chains_; }
+
  private:
   friend class ThreadApi;
   friend struct internal::ComputeAwait;
@@ -268,6 +273,20 @@ class Kernel {
   static void IrqTrampoline(void* context, int line);
   void HandleIrq(int line);
 
+  // --- Causal chain tracing ---
+  // Emit at a producing endpoint: propagates `carrier`'s token (nullptr or
+  // an invalid token mints a fresh origin), records kChainEmit, and returns
+  // the token to stamp into the channel. Costs zero virtual time, like any
+  // trace record.
+  CausalToken ChainEmit(int32_t endpoint, const Tcb* carrier);
+  // Consume at the matching endpoint: records kChainConsume with the hop
+  // bumped and `consumer` named explicitly (handoffs run in producer or ISR
+  // context), then parks the bumped token on the consumer's TCB. Invalid or
+  // hop-capped tokens are dropped silently.
+  void ChainConsume(int32_t endpoint, CausalToken token, Tcb& consumer);
+  // Start()-time resolution of config_.chains name strings to object ids.
+  void ResolveChainSpecs();
+
   Hardware& hw_;
   KernelConfig config_;
   CostModel cost_;
@@ -302,6 +321,11 @@ class Kernel {
   bool resched_from_sem_ = false;
 
   Tcb* irq_threads_[kNumIrqLines] = {};
+
+  // Causal chain tracing: next origin id to mint (0 is the invalid token)
+  // and the Start()-resolved chain declarations.
+  uint32_t next_chain_origin_ = 1;
+  std::vector<ResolvedChain> resolved_chains_;
 
   // Livelock watchdog.
   Instant watchdog_time_;

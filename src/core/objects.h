@@ -76,6 +76,13 @@ struct Semaphore {
   uint64_t acquires = 0;
   uint64_t contended_acquires = 0;
   uint64_t handoffs = 0;
+
+  // Counting semaphores: token stamped by the most recent signal/release,
+  // picked up by the next acquire. A single overwritten slot — a count > 1
+  // means later acquires may observe the latest producer's token (the
+  // analyzer permits multi-consume of one emit for exactly this reason).
+  // Binary mutexes carry no dataflow and never touch it.
+  CausalToken token;
 };
 
 struct Condvar {
@@ -93,6 +100,7 @@ struct MboxMessage {
   StaticVector<uint8_t, kMaxMessageBytes> bytes;
   ThreadId sender;
   Instant sent_at;
+  CausalToken token;  // sender's causal token at send time
 };
 
 struct Mailbox {
@@ -120,6 +128,9 @@ struct StateMessageBuffer {
   int num_slots = 0;
   std::unique_ptr<uint8_t[]> data;      // num_slots * size
   std::unique_ptr<uint64_t[]> slot_seq; // 0 = slot being written / invalid
+  // Writer's causal token per slot, committed together with slot_seq; a
+  // reader whose seqlock validation succeeds reads a consistent token.
+  std::unique_ptr<CausalToken[]> slot_token;
   int latest_slot = -1;
   uint64_t latest_seq = 0;
   ThreadId writer;  // exclusive writer, fixed at creation or first write

@@ -396,6 +396,9 @@ Kernel::SyscallOutcome Kernel::SysAcquire(Tcb& t, SemId id) {
     --sem->count;
     t.syscall_status = Status::kOk;
     trace_.Record(hw_.now(), TraceEventType::kSemAcquire, t.id.value, sem->id.value);
+    // Pick up the latest producer's token (a count above one means several
+    // acquires may observe the same emit — permitted multi-consume).
+    ChainConsume(ChainEndpointPack(ChainEndpointKind::kSem, sem->id.value), sem->token, t);
     if (need_resched_) {
       t.resume_pending = true;
       return {true};
@@ -437,6 +440,10 @@ Kernel::SyscallOutcome Kernel::SysRelease(Tcb& t, SemId id) {
     ReleaseLocked(t, *sem);
   } else {
     trace_.Record(hw_.now(), TraceEventType::kSemRelease, t.id.value, sem->id.value);
+    // A counting release is a producing operation: propagate the releaser's
+    // carried token through the handoff (binary mutexes carry no dataflow).
+    int32_t endpoint = ChainEndpointPack(ChainEndpointKind::kSem, sem->id.value);
+    CausalToken token = ChainEmit(endpoint, &t);
     int visits = 0;
     Tcb* waiter = HighestWaiter(*sem, &visits);
     Charge(ChargeCategory::kSemaphore, cost_.waitq_visit * visits);
@@ -449,11 +456,13 @@ Kernel::SyscallOutcome Kernel::SysRelease(Tcb& t, SemId id) {
       // The blocked acquire completes at handoff; record it so the trace
       // analyzer sees every kSemAcquireBlock resolved.
       trace_.Record(hw_.now(), TraceEventType::kSemAcquire, waiter->id.value, sem->id.value);
+      ChainConsume(endpoint, token, *waiter);
       MakeReady(*waiter);
     } else if (sem->count < (1 << 30)) {
       // Counting semaphores may exceed their initial count (timer signals,
       // producer tokens); the cap only guards against runaway loops.
       ++sem->count;
+      sem->token = token;
     }
   }
 

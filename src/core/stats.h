@@ -118,6 +118,12 @@ struct KernelStats {
   uint64_t interrupts = 0;
   uint64_t timer_dispatches = 0;
 
+  // Causal chain tracing: kChainEmit / kChainConsume events recorded, and
+  // origin tokens minted. Reconciled against the trace by obs_report.
+  uint64_t chain_emits = 0;
+  uint64_t chain_consumes = 0;
+  uint64_t chain_origins = 0;
+
   // Deadline-headroom monitor: jobs whose predicted completion (release time
   // + per-job cost EWMA) left less slack than the configured margin.
   uint64_t headroom_low_events = 0;

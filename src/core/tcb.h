@@ -20,6 +20,7 @@
 #include "src/core/ids.h"
 #include "src/core/timer.h"
 #include "src/hal/cycles.h"
+#include "src/hal/trace.h"
 
 namespace emeralds {
 
@@ -164,6 +165,15 @@ struct Tcb {
   SemId condvar_mutex;                     // mutex to re-acquire after Wait
   int waiting_irq_line = -1;
   uint32_t irq_pending_count = 0;          // IRQs that fired while not waiting
+
+  // --- Causal chain tracing ---
+  // Token the thread currently carries: set by the most recent consuming
+  // operation (or the job release), stamped into whatever the thread
+  // produces next, cleared at job completion.
+  CausalToken chain_token;
+  // Token latched alongside irq_pending_count when the IRQ fired while the
+  // driver was not waiting; consumed when SysWaitIrq drains the latch.
+  CausalToken irq_latched_token;
 
   // --- Timers ---
   SoftTimer period_timer;

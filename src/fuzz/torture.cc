@@ -9,6 +9,7 @@
 #include "src/base/rng.h"
 #include "src/core/kernel.h"
 #include "src/hal/hardware.h"
+#include "src/obs/chains.h"
 
 namespace emeralds {
 namespace fuzz {
@@ -344,13 +345,15 @@ uint64_t DigestRun(const Kernel& kernel) {
     hash = Fnv1a(hash, &type, sizeof(type));
     hash = Fnv1a(hash, &e.arg0, sizeof(e.arg0));
     hash = Fnv1a(hash, &e.arg1, sizeof(e.arg1));
+    hash = Fnv1a(hash, &e.arg2, sizeof(e.arg2));
   }
   const KernelStats& s = kernel.stats();
   uint64_t counters[] = {s.context_switches, s.jobs_released,   s.jobs_completed,
                          s.deadline_misses,  s.sem_acquires,    s.mailbox_sends,
                          s.mailbox_receives, s.smsg_writes,     s.smsg_reads,
                          s.smsg_read_retries, s.mailbox_truncations, s.pi_chain_limit_hits,
-                         s.interrupts,       s.timer_dispatches};
+                         s.interrupts,       s.timer_dispatches, s.chain_emits,
+                         s.chain_consumes,   s.chain_origins};
   hash = Fnv1a(hash, counters, sizeof(counters));
   return hash;
 }
@@ -383,6 +386,43 @@ void DriveTorture(const TortureOptions& opt, HarnessState* st, Finish finish) {
   config.default_sem_mode = topo.Bernoulli(0.5) ? SemMode::kCse : SemMode::kStandard;
   config.trace_capacity =
       opt.tiny_trace_ring ? 128 : std::max<size_t>(16384, static_cast<size_t>(opt.ops) * 24);
+
+  // Declared causal chains across the fuzz topology: the chain analyzer
+  // reconstructs instances of these from the trace, and oracle 5 holds the
+  // token stream itself to conservation regardless of what resolves.
+  {
+    char irq_channel[16];
+    std::snprintf(irq_channel, sizeof(irq_channel), "irq:%d", kIrqFieldbus);
+    ChainSpec irq_chain;
+    irq_chain.name = "irq-driver";
+    irq_chain.stages.push_back(ChainStageSpec{irq_channel, "fuzz_irq"});
+    config.chains.push_back(irq_chain);
+
+    ChainSpec timer_chain;
+    timer_chain.name = "timer-sem";
+    timer_chain.deadline = Milliseconds(50);
+    timer_chain.stages.push_back(ChainStageSpec{"sem:timer_sem", ""});
+    config.chains.push_back(timer_chain);
+
+    ChainSpec pub_chain;
+    pub_chain.name = "smsg-pub";
+    pub_chain.stages.push_back(ChainStageSpec{"smsg:smsg", ""});
+    config.chains.push_back(pub_chain);
+
+    // Two-hop: the shepherd's periodic release through its timer-sem nudge.
+    ChainSpec shepherd_chain;
+    shepherd_chain.name = "shepherd-timer";
+    shepherd_chain.stages.push_back(ChainStageSpec{"release:fuzz_shepherd", "fuzz_shepherd"});
+    shepherd_chain.stages.push_back(ChainStageSpec{"sem:timer_sem", ""});
+    config.chains.push_back(shepherd_chain);
+
+    // Deliberately unresolvable: specs naming absent objects must be marked
+    // unresolved, never fail the run.
+    ChainSpec ghost;
+    ghost.name = "ghost";
+    ghost.stages.push_back(ChainStageSpec{"mbox:no_such_mailbox", ""});
+    config.chains.push_back(ghost);
+  }
 
   Hardware hw;
   Kernel kernel(hw, config);
@@ -546,6 +586,22 @@ TortureResult RunTorture(const TortureOptions& options) {
     obs::TraceAnalysis analysis = obs::AnalyzeTrace(kernel.trace());
     result.reconciliation = obs::ComputeReconciliation(analysis, kernel.stats());
     result.violations = analysis.violations.size();
+
+    // Oracle 5: causal-token conservation (and declared-chain bookkeeping).
+    obs::ChainAnalysis chains =
+        obs::AnalyzeChains(kernel.trace(), kernel.resolved_chains());
+    result.chain_violations = chains.violations.size();
+    result.chain_orphan_hops = chains.orphan_hops;
+    result.chain_origins = chains.origins_minted;
+    for (const obs::ChainReport& c : chains.chains) {
+      result.chain_completed += c.completed;
+    }
+    std::string first_chain_violation;
+    if (!chains.violations.empty()) {
+      first_chain_violation = chains.violations[0].detail;
+    } else if (chains.complete_window && chains.orphan_hops > 0) {
+      first_chain_violation = "orphan hops in an untruncated trace";
+    }
     result.trace_retained = kernel.trace().size();
     result.trace_dropped = kernel.trace().dropped();
     result.trace_digest = DigestRun(kernel);
@@ -577,6 +633,8 @@ TortureResult RunTorture(const TortureOptions& options) {
                     static_cast<long long>(result.cycle_residual_ns),
                     static_cast<long long>(result.cycle_unattributed_ns));
       result.failure = buf;
+    } else if (!first_chain_violation.empty()) {
+      result.failure = "chain token conservation: " + first_chain_violation;
     }
   });
   result.ops_executed = st.executed;
@@ -674,6 +732,14 @@ void AppendTortureRunJson(std::string* out, const TortureOptions& options,
                 static_cast<unsigned long long>(result.trace_retained),
                 static_cast<unsigned long long>(result.trace_dropped),
                 static_cast<unsigned long long>(result.trace_digest));
+  *out += buffer;
+  std::snprintf(buffer, sizeof(buffer),
+                "     \"chains\": {\"violations\": %llu, \"orphan_hops\": %llu, "
+                "\"completed\": %llu, \"origins\": %llu},\n",
+                static_cast<unsigned long long>(result.chain_violations),
+                static_cast<unsigned long long>(result.chain_orphan_hops),
+                static_cast<unsigned long long>(result.chain_completed),
+                static_cast<unsigned long long>(result.chain_origins));
   *out += buffer;
   *out += "     \"ops\": {";
   bool first = true;

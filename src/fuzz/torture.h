@@ -11,7 +11,7 @@
 // deterministic, the same (seed, op budget) always produces bit-identical
 // traces; TortureResult::trace_digest makes that checkable in one compare.
 //
-// Four oracles run after every run:
+// Five oracles run after every run:
 //   1. obs::AnalyzeTrace over the retained trace must report zero structural
 //      invariant violations (truncation-aware, so a deliberately tiny ring is
 //      a fault case, not a false positive);
@@ -23,7 +23,12 @@
 //   4. the cycle-attribution ledger must conserve: bucket sum == elapsed
 //      virtual time since the charge epoch, exact to the tick, and no clock
 //      advance may bypass the kernel's charging paths. Unlike oracle 2 this
-//      is trace-independent, so it is enforced even on a truncated ring.
+//      is trace-independent, so it is enforced even on a truncated ring;
+//   5. causal-token conservation: obs::AnalyzeChains over the declared chain
+//      topology must report zero chain violations — every consumed token was
+//      emitted, hop counts advance by exactly one, origins are minted once.
+//      On a truncated ring orphan hops are tolerated (the emit predates the
+//      window) but malformed tokens still fail.
 //
 // A failing seed is shrunk by bisecting the global operation budget
 // (BisectFailingOpLimit) and reported as a one-line repro command.
@@ -111,6 +116,11 @@ struct TortureResult {
   bool cycles_conserved = false;
   int64_t cycle_residual_ns = 0;
   int64_t cycle_unattributed_ns = 0;
+  // Fifth oracle: causal-token conservation over the chain event stream.
+  size_t chain_violations = 0;
+  uint64_t chain_orphan_hops = 0;   // nonzero only on a truncated ring
+  uint64_t chain_completed = 0;     // declared-chain instances completed
+  uint64_t chain_origins = 0;       // origins minted in-window
   // FNV-1a over the retained trace window (time, type, args) and the
   // reconciled counters: equal digests == bit-identical runs.
   uint64_t trace_digest = 0;

@@ -39,6 +39,30 @@ const char* TraceEventTypeToString(TraceEventType type) {
       return "pi_chain_limit";
     case TraceEventType::kHeadroomLow:
       return "headroom_low";
+    case TraceEventType::kChainEmit:
+      return "chain_emit";
+    case TraceEventType::kChainConsume:
+      return "chain_consume";
+    case TraceEventType::kTraceEpoch:
+      return "trace_epoch";
+  }
+  return "?";
+}
+
+const char* ChainEndpointKindToString(ChainEndpointKind kind) {
+  switch (kind) {
+    case ChainEndpointKind::kIrq:
+      return "irq";
+    case ChainEndpointKind::kRelease:
+      return "release";
+    case ChainEndpointKind::kSem:
+      return "sem";
+    case ChainEndpointKind::kCondvar:
+      return "cv";
+    case ChainEndpointKind::kMailbox:
+      return "mbox";
+    case ChainEndpointKind::kSmsg:
+      return "smsg";
   }
   return "?";
 }
@@ -55,11 +79,11 @@ bool TraceEventTypeFromString(const char* name, TraceEventType* out) {
 }
 
 size_t TraceSink::ExportCsv(std::FILE* out) const {
-  std::fprintf(out, "time_us,event,arg0,arg1\n");
+  std::fprintf(out, "time_us,event,arg0,arg1,arg2\n");
   for (size_t i = 0; i < size(); ++i) {
     const TraceEvent& e = at(i);
-    std::fprintf(out, "%lld,%s,%d,%d\n", static_cast<long long>(e.time.micros()),
-                 TraceEventTypeToString(e.type), e.arg0, e.arg1);
+    std::fprintf(out, "%lld,%s,%d,%d,%d\n", static_cast<long long>(e.time.micros()),
+                 TraceEventTypeToString(e.type), e.arg0, e.arg1, e.arg2);
   }
   if (dropped_ > 0) {
     std::fprintf(out, "# dropped=%llu\n", static_cast<unsigned long long>(dropped_));
@@ -70,8 +94,8 @@ size_t TraceSink::ExportCsv(std::FILE* out) const {
 void TraceSink::Dump(std::FILE* out) const {
   for (size_t i = 0; i < size(); ++i) {
     const TraceEvent& e = at(i);
-    std::fprintf(out, "%12.3fms  %-18s %4d %4d\n", e.time.millis_f(),
-                 TraceEventTypeToString(e.type), e.arg0, e.arg1);
+    std::fprintf(out, "%12.3fms  %-18s %4d %4d %4d\n", e.time.millis_f(),
+                 TraceEventTypeToString(e.type), e.arg0, e.arg1, e.arg2);
   }
   if (dropped_ > 0) {
     std::fprintf(out, "(%llu of %llu events dropped; window shows the most recent %zu)\n",

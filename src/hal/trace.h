@@ -33,12 +33,80 @@ enum class TraceEventType : uint8_t {
   kThreadExit,      // arg0 = thread id
   kPiChainLimit,    // arg0 = thread id, arg1 = semaphore id (depth cap hit)
   kHeadroomLow,     // arg0 = thread id, arg1 = predicted slack in us (signed)
+  kChainEmit,       // arg0 = token origin, arg1 = packed endpoint, arg2 = hop/actor
+  kChainConsume,    // arg0 = token origin, arg1 = packed endpoint, arg2 = hop/actor
+  kTraceEpoch,      // arg0 = epoch number (ring was reset; window starts here)
 };
 
 // One past the last enumerator. Keep in sync when adding event types; the
 // round-trip test over [0, kNumTraceEventTypes) catches a missing name.
 inline constexpr int kNumTraceEventTypes =
-    static_cast<int>(TraceEventType::kHeadroomLow) + 1;
+    static_cast<int>(TraceEventType::kTraceEpoch) + 1;
+
+// --- Causal event-chain encoding -----------------------------------------
+//
+// kChainEmit / kChainConsume carry a causal token through three packed int32
+// args so the chain analyzer (src/obs/chains.h) can reconstruct end-to-end
+// dataflow across queueing boundaries:
+//   arg0: token origin id (minted from 1, monotone per run; 0 is invalid)
+//   arg1: producing/consuming endpoint, ChainEndpointPack(kind, channel id)
+//   arg2: ChainHopPack(hop, actor) — hop count plus the acting thread.
+// An emit records the producer-side token (origin, hop); its matching
+// consume records (origin, hop + 1) and names the consuming thread. Consume
+// events may be recorded while the kernel still runs in producer or ISR
+// context (direct handoffs), so the actor is always explicit in arg2 and is
+// never the thread the trace replayer believes is running.
+
+enum class ChainEndpointKind : int {
+  kIrq = 1,   // channel id = IRQ line
+  kRelease,   // channel id = thread id (periodic job release)
+  kSem,       // channel id = semaphore id (counting handoff)
+  kCondvar,   // channel id = condvar id
+  kMailbox,   // channel id = mailbox id
+  kSmsg,      // channel id = state-message buffer id
+};
+
+const char* ChainEndpointKindToString(ChainEndpointKind kind);
+
+constexpr int32_t ChainEndpointPack(ChainEndpointKind kind, int channel_id) {
+  return static_cast<int32_t>((static_cast<uint32_t>(kind) << 24) |
+                              (static_cast<uint32_t>(channel_id) & 0xffffffu));
+}
+constexpr ChainEndpointKind ChainEndpointKindOf(int32_t packed) {
+  return static_cast<ChainEndpointKind>((static_cast<uint32_t>(packed) >> 24) & 0x7fu);
+}
+constexpr int ChainEndpointChannel(int32_t packed) {
+  return static_cast<int>(static_cast<uint32_t>(packed) & 0xffffffu);
+}
+
+// arg2 packing: hop in the high half, actor thread id (+1, so 0 means "no
+// thread" — ISR context) in the low half.
+constexpr int32_t ChainHopPack(int hop, int actor_thread_id) {
+  return static_cast<int32_t>((static_cast<uint32_t>(hop & 0x7fff) << 16) |
+                              (static_cast<uint32_t>(actor_thread_id + 1) & 0xffffu));
+}
+constexpr int ChainHopOf(int32_t packed) {
+  return static_cast<int>((static_cast<uint32_t>(packed) >> 16) & 0x7fffu);
+}
+// -1 when the event was recorded from ISR context (no acting thread).
+constexpr int ChainActorOf(int32_t packed) {
+  return static_cast<int>(static_cast<uint32_t>(packed) & 0xffffu) - 1;
+}
+
+// Hop counts are capped so cyclic pipelines cannot grow tokens without
+// bound; a token that reaches the cap is dropped instead of propagated.
+inline constexpr int kMaxChainHops = 255;
+
+// The causal token itself: carried in the producing thread's TCB, stamped
+// into channel storage (mailbox message, state-message slot, counting-sem
+// handoff slot) at emit, and moved onto the consuming thread's TCB at
+// consume with the hop count bumped. origin == 0 means "no token".
+struct CausalToken {
+  uint32_t origin = 0;
+  uint16_t hop = 0;
+  bool valid() const { return origin != 0; }
+  void clear() { origin = 0; hop = 0; }
+};
 
 const char* TraceEventTypeToString(TraceEventType type);
 
@@ -51,6 +119,7 @@ struct TraceEvent {
   TraceEventType type = TraceEventType::kContextSwitch;
   int32_t arg0 = 0;
   int32_t arg1 = 0;
+  int32_t arg2 = 0;
 };
 
 class TraceSink {
@@ -59,10 +128,11 @@ class TraceSink {
   explicit TraceSink(size_t capacity)
       : enabled_(capacity > 0), events_(capacity > 0 ? capacity : 1) {}
 
-  void Record(Instant time, TraceEventType type, int32_t arg0, int32_t arg1) {
+  void Record(Instant time, TraceEventType type, int32_t arg0, int32_t arg1,
+              int32_t arg2 = 0) {
     ++total_recorded_;
     if (enabled_) {
-      if (events_.push_overwrite(TraceEvent{time, type, arg0, arg1})) {
+      if (events_.push_overwrite(TraceEvent{time, type, arg0, arg1, arg2})) {
         ++dropped_;
       }
     } else {
@@ -86,16 +156,34 @@ class TraceSink {
     events_.clear();
     total_recorded_ = 0;
     dropped_ = 0;
+    epochs_ = 0;
   }
+
+  // Deliberate mid-run restart of the retained window: discards the ring
+  // contents, clears the dropped() counter (the discard was intentional, not
+  // overflow), and records a kTraceEpoch marker as the new window's first
+  // event so downstream consumers can tell "ring was reset here" apart from
+  // "events were lost to overflow". total_recorded() keeps counting across
+  // resets. Unlike Clear(), which wipes the sink back to construction state,
+  // Reset() is the one to call while a run is in flight.
+  void Reset(Instant now) {
+    events_.clear();
+    dropped_ = 0;
+    ++epochs_;
+    Record(now, TraceEventType::kTraceEpoch, static_cast<int32_t>(epochs_), 0);
+  }
+
+  // Number of Reset() calls since construction / Clear().
+  uint64_t epochs() const { return epochs_; }
 
   // Writes a human-readable dump of the retained events to `out`
   // (default stdout), followed by a drop note when events were lost.
   void Dump(std::FILE* out = stdout) const;
 
-  // Writes the retained events as CSV (time_us,event,arg0,arg1) to `out`,
-  // for external plotting (Gantt charts of the schedule) and trace_inspect
-  // replay. When events were dropped, a trailing "# dropped=N" comment line
-  // records the loss. Returns the number of data rows written.
+  // Writes the retained events as CSV (time_us,event,arg0,arg1,arg2) to
+  // `out`, for external plotting (Gantt charts of the schedule) and
+  // trace_inspect replay. When events were dropped, a trailing "# dropped=N"
+  // comment line records the loss. Returns the number of data rows written.
   size_t ExportCsv(std::FILE* out) const;
 
  private:
@@ -103,6 +191,7 @@ class TraceSink {
   RingBuffer<TraceEvent> events_;
   uint64_t total_recorded_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t epochs_ = 0;
 };
 
 }  // namespace emeralds

@@ -2,6 +2,7 @@
 
 #include "src/base/json.h"
 #include "src/core/kernel.h"
+#include "src/obs/chains.h"
 #include "src/obs/cycles_report.h"
 #include "src/obs/json_writer.h"
 
@@ -59,6 +60,9 @@ void AppendKernelStats(Json& j, const KernelStats& s) {
   j.Int("cse_switches_saved", static_cast<int64_t>(s.cse_switches_saved));
   j.Int("interrupts", static_cast<int64_t>(s.interrupts));
   j.Int("timer_dispatches", static_cast<int64_t>(s.timer_dispatches));
+  j.Int("chain_emits", static_cast<int64_t>(s.chain_emits));
+  j.Int("chain_consumes", static_cast<int64_t>(s.chain_consumes));
+  j.Int("chain_origins", static_cast<int64_t>(s.chain_origins));
   j.Number("compute_time_us", s.compute_time.micros_f());
   j.Number("idle_time_us", s.idle_time.micros_f());
   j.Number("sem_path_time_us", s.sem_path_time.micros_f());
@@ -101,6 +105,8 @@ void AppendAnalysis(Json& j, const TraceAnalysis& a) {
   j.Int("sem_acquires", static_cast<int64_t>(a.sem_acquires));
   j.Int("sem_blocks", static_cast<int64_t>(a.sem_blocks));
   j.Int("cse_early_pi", static_cast<int64_t>(a.cse_early_pi));
+  j.Int("chain_emits", static_cast<int64_t>(a.chain_emits));
+  j.Int("chain_consumes", static_cast<int64_t>(a.chain_consumes));
   j.Int("max_pi_chain_depth", a.max_pi_chain_depth);
   j.Int("unresolved_blocks_at_end", static_cast<int64_t>(a.unresolved_blocks_at_end));
   j.Key("violations");
@@ -154,6 +160,7 @@ void AppendReconciliation(Json& j, const TraceAnalysis& a, const KernelStats& s)
   j.Bool("msg_recvs_match", r.msg_recvs_match);
   j.Bool("pi_chain_limit_match", r.pi_chain_limit_match);
   j.Bool("headroom_low_match", r.headroom_low_match);
+  j.Bool("chain_events_match", r.chain_events_match);
   j.Int("kernel_context_switches", static_cast<int64_t>(s.context_switches));
   j.Int("analyzer_context_switches", static_cast<int64_t>(a.context_switches));
   j.Int("kernel_deadline_misses", static_cast<int64_t>(s.deadline_misses));
@@ -224,6 +231,7 @@ Reconciliation ComputeReconciliation(const TraceAnalysis& a, const KernelStats& 
   r.msg_recvs_match = a.msg_recvs == s.mailbox_receives + s.smsg_reads;
   r.pi_chain_limit_match = a.pi_chain_limit == s.pi_chain_limit_hits;
   r.headroom_low_match = a.headroom_low == s.headroom_low_events;
+  r.chain_events_match = a.chain_emits == s.chain_emits && a.chain_consumes == s.chain_consumes;
   return r;
 }
 
@@ -251,6 +259,8 @@ std::string BuildObsRunReport(const ObsRunInfo& info, const Kernel& kernel,
   AppendTaskRows(j, CollectPerTaskStats(kernel, task_ids));
   AppendAnalysis(j, analysis);
   AppendReconciliation(j, analysis, kernel.stats());
+  j.Key("chains");
+  AppendChainsSection(j, AnalyzeChains(trace, kernel.resolved_chains()));
   AppendSnapshots(j, kernel.stats_sampler());
   j.CloseObject();
   return j.str() + "\n";

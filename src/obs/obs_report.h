@@ -47,11 +47,12 @@ struct Reconciliation {
   bool msg_recvs_match = true;
   bool pi_chain_limit_match = true;
   bool headroom_low_match = true;
+  bool chain_events_match = true;  // analyzer's chain emit/consume counts vs kernel's
 
   bool ok() const {
     return context_switches_match && deadline_misses_match && jobs_completed_match &&
            cse_early_pi_match && msg_sends_match && msg_recvs_match && pi_chain_limit_match &&
-           headroom_low_match;
+           headroom_low_match && chain_events_match;
   }
 };
 

@@ -105,6 +105,14 @@ size_t ExportPerfettoJson(const TraceEvent* events, size_t count,
   };
   for (size_t i = 0; i < count; ++i) {
     const TraceEvent& e = events[i];
+    if (e.type == TraceEventType::kChainEmit || e.type == TraceEventType::kChainConsume) {
+      // arg0 is a token origin; the acting thread id is packed into arg2.
+      name_thread(ChainActorOf(e.arg2));
+      continue;
+    }
+    if (e.type == TraceEventType::kTraceEpoch) {
+      continue;  // arg0 is an epoch number
+    }
     name_thread(e.arg0);
     if (e.type == TraceEventType::kContextSwitch || e.type == TraceEventType::kPiInherit) {
       name_thread(e.arg1);
@@ -260,6 +268,35 @@ size_t ExportPerfettoJson(const TraceEvent* events, size_t count,
       case TraceEventType::kHeadroomLow:
         std::snprintf(name, sizeof(name), "headroom low (slack %d us)", e.arg1);
         w.Instant(ts, e.arg0, name, "headroom");
+        break;
+      case TraceEventType::kChainEmit:
+      case TraceEventType::kChainConsume: {
+        // Flow arrow producer -> consumer. Emit and its consume(s) pair by
+        // (origin, endpoint, emit-hop): the consume's hop is one past the
+        // emit's, so it keys with hop - 1. ISR-context events (actor -1)
+        // render on tid 0 alongside the irq instants.
+        bool is_emit = e.type == TraceEventType::kChainEmit;
+        int hop = ChainHopOf(e.arg2);
+        int actor = ChainActorOf(e.arg2);
+        int tid = actor >= 0 ? actor : 0;
+        std::snprintf(span_id, sizeof(span_id), "chain.o%u.h%d.e%d",
+                      static_cast<uint32_t>(e.arg0), is_emit ? hop : hop - 1, e.arg1);
+        std::snprintf(name, sizeof(name), "chain %s:%d",
+                      ChainEndpointKindToString(ChainEndpointKindOf(e.arg1)),
+                      ChainEndpointChannel(e.arg1));
+        w.Open(is_emit ? "s" : "f", ts, tid);
+        w.Field("name", name);
+        w.Field("cat", "chain");
+        if (!is_emit) {
+          w.Raw(",\"bp\":\"e\"");
+        }
+        w.Field("id", span_id);
+        w.Close();
+        break;
+      }
+      case TraceEventType::kTraceEpoch:
+        std::snprintf(name, sizeof(name), "trace epoch %d", e.arg0);
+        w.Instant(ts, 0, name, "trace");
         break;
     }
   }

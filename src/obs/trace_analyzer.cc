@@ -95,7 +95,12 @@ TraceAnalysis AnalyzeTrace(const TraceEvent* events, size_t count, uint64_t drop
       }
     }
 
-    ThreadTrack* t0 = track(e.arg0);
+    // Chain and epoch events carry a token origin / epoch number in arg0,
+    // not a thread id — never grow a task track from them.
+    const bool arg0_is_thread = e.type != TraceEventType::kChainEmit &&
+                                e.type != TraceEventType::kChainConsume &&
+                                e.type != TraceEventType::kTraceEpoch;
+    ThreadTrack* t0 = arg0_is_thread ? track(e.arg0) : nullptr;
     TaskMetrics* m0 = t0 != nullptr ? &out.tasks[e.arg0] : nullptr;
 
     switch (e.type) {
@@ -254,6 +259,18 @@ TraceAnalysis AnalyzeTrace(const TraceEvent* events, size_t count, uint64_t drop
         if (m0 != nullptr) {
           ++m0->headroom_low;
         }
+        break;
+      case TraceEventType::kChainEmit:
+        ++out.chain_emits;
+        break;
+      case TraceEventType::kChainConsume:
+        ++out.chain_consumes;
+        break;
+      case TraceEventType::kTraceEpoch:
+        // A sink reset marker: everything before it in wall time was
+        // discarded, but the retained window only ever starts at or after
+        // the marker, so no per-track state needs resetting here.
+        ++out.trace_epochs;
         break;
       case TraceEventType::kThreadExit:
         if (t0 != nullptr) {

@@ -97,6 +97,9 @@ struct TraceAnalysis {
   uint64_t cse_early_pi = 0;
   uint64_t pi_chain_limit = 0;  // kPiChainLimit instants (refused deep acquires)
   uint64_t headroom_low = 0;    // kHeadroomLow instants (predicted tight slack)
+  uint64_t chain_emits = 0;     // kChainEmit events (causal token emissions)
+  uint64_t chain_consumes = 0;  // kChainConsume events (causal token pickups)
+  uint64_t trace_epochs = 0;    // kTraceEpoch markers (sink resets)
   int max_pi_chain_depth = 0;
   // Acquire-blocks still unresolved when the window ends. Not a violation:
   // a run cut at a time bound legitimately ends with blocked threads.

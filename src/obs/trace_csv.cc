@@ -16,22 +16,24 @@ bool Fail(std::string* error, size_t line, const char* what) {
   return false;
 }
 
-// Splits `row` on commas into exactly 4 fields, in place.
-bool SplitRow(char* row, char* fields[4]) {
+// Splits `row` on commas into 4 or 5 fields, in place. Returns the field
+// count (0 on malformed rows). Four-field rows are the legacy pre-arg2
+// format and import with arg2 = 0.
+int SplitRow(char* row, char* fields[5]) {
   int n = 0;
   char* p = row;
   fields[n++] = p;
   while (*p != '\0') {
     if (*p == ',') {
       *p = '\0';
-      if (n == 4) {
-        return false;  // too many fields
+      if (n == 5) {
+        return 0;  // too many fields
       }
       fields[n++] = p + 1;
     }
     ++p;
   }
-  return n == 4;
+  return n >= 4 ? n : 0;
 }
 
 bool ParseInt(const char* s, long long* out) {
@@ -69,8 +71,8 @@ bool ImportTraceCsv(const std::string& text, TraceCsvImport* out, std::string* e
       continue;  // unknown comments are ignored
     }
     if (!saw_header) {
-      if (line != "time_us,event,arg0,arg1") {
-        return Fail(error, line_no, "expected header \"time_us,event,arg0,arg1\"");
+      if (line != "time_us,event,arg0,arg1,arg2" && line != "time_us,event,arg0,arg1") {
+        return Fail(error, line_no, "expected header \"time_us,event,arg0,arg1,arg2\"");
       }
       saw_header = true;
       continue;
@@ -81,13 +83,15 @@ bool ImportTraceCsv(const std::string& text, TraceCsvImport* out, std::string* e
       return Fail(error, line_no, "row too long");
     }
     std::memcpy(row, line.c_str(), line.size() + 1);
-    char* fields[4];
-    if (!SplitRow(row, fields)) {
-      return Fail(error, line_no, "expected 4 comma-separated fields");
+    char* fields[5];
+    int num_fields = SplitRow(row, fields);
+    if (num_fields == 0) {
+      return Fail(error, line_no, "expected 4 or 5 comma-separated fields");
     }
     long long time_us = 0;
     long long arg0 = 0;
     long long arg1 = 0;
+    long long arg2 = 0;
     if (!ParseInt(fields[0], &time_us)) {
       return Fail(error, line_no, "bad time_us");
     }
@@ -95,12 +99,14 @@ bool ImportTraceCsv(const std::string& text, TraceCsvImport* out, std::string* e
     if (!TraceEventTypeFromString(fields[1], &e.type)) {
       return Fail(error, line_no, "unknown event type");
     }
-    if (!ParseInt(fields[2], &arg0) || !ParseInt(fields[3], &arg1)) {
+    if (!ParseInt(fields[2], &arg0) || !ParseInt(fields[3], &arg1) ||
+        (num_fields == 5 && !ParseInt(fields[4], &arg2))) {
       return Fail(error, line_no, "bad arg");
     }
     e.time = Instant::FromNanos(time_us * 1000);
     e.arg0 = static_cast<int32_t>(arg0);
     e.arg1 = static_cast<int32_t>(arg1);
+    e.arg2 = static_cast<int32_t>(arg2);
     out->events.push_back(e);
   }
   if (!saw_header) {

@@ -1,7 +1,8 @@
 // Importer for TraceSink::ExportCsv output.
 //
-// The CSV export (time_us,event,arg0,arg1 plus an optional trailing
-// "# dropped=N" comment) is the trace interchange format: benches write it
+// The CSV export (time_us,event,arg0,arg1,arg2 plus an optional trailing
+// "# dropped=N" comment; legacy 4-field rows import with arg2 = 0) is the
+// trace interchange format: benches write it
 // next to their JSON reports, and trace_inspect re-imports it here to replay
 // the run through the analyzer offline.
 

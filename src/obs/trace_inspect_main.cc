@@ -1,6 +1,6 @@
 // trace_inspect: offline replay of an exported kernel trace.
 //
-//   trace_inspect <trace.csv> [--run <run.json>] [--perfetto <out.json>]
+//   trace_inspect <trace.csv> [--run <run.json>] [--perfetto <out.json>] [--chains]
 //
 // Reads a TraceSink CSV export, replays it through the trace analyzer, and
 // prints per-task response/blocking histograms plus preemption / PI / CSE
@@ -9,7 +9,10 @@
 // same run, and renders the report's cycle-attribution section as a
 // Table 1 / Figure 3-style per-bucket breakdown (re-verifying the
 // conservation invariant from the JSON integers); with --perfetto it
-// additionally re-emits the window as Chrome/Perfetto trace JSON.
+// additionally re-emits the window as Chrome/Perfetto trace JSON; with
+// --chains it replays the causal-token stream and enforces token
+// conservation (every consume matched to a visible emit, origins minted
+// once) with a per-endpoint traffic summary.
 //
 // Exit status: 0 clean; 1 usage / I/O / parse failure; 2 invariant
 // violations; 3 reconciliation mismatch or cycle-conservation failure
@@ -20,7 +23,10 @@
 #include <cstring>
 #include <string>
 
+#include <map>
+
 #include "src/base/json.h"
+#include "src/obs/chains.h"
 #include "src/obs/obs_report.h"
 #include "src/obs/perfetto_export.h"
 #include "src/obs/trace_analyzer.h"
@@ -180,26 +186,75 @@ bool PrintCyclesBreakdown(const JsonValue& root) {
   return recomputed && reported;
 }
 
+// The --chains view: a spec-free replay of the causal-token stream. Without
+// a ChainSpec registry (a raw CSV carries none) it still checks token
+// conservation and summarizes traffic per endpoint, so a corrupted or
+// kernel-buggy stream fails here exactly like it does under the in-process
+// analyzer. Returns false on any chain violation.
+bool PrintChains(const TraceCsvImport& import) {
+  ChainAnalysis chains =
+      AnalyzeChains(import.events.data(), import.events.size(), import.dropped, {});
+  std::printf("chains: %" PRIu64 " emits, %" PRIu64 " consumes, %" PRIu64
+              " origins minted%s\n",
+              chains.chain_emits, chains.chain_consumes, chains.origins_minted,
+              chains.complete_window ? "" : " (truncated window)");
+  if (chains.orphan_hops > 0) {
+    std::printf("  %" PRIu64 " orphan hop(s): emits fell outside the retained window\n",
+                chains.orphan_hops);
+  }
+  if (chains.unconsumed_emits > 0) {
+    std::printf("  %" PRIu64 " unconsumed emit(s) (banked/overwritten tokens, unread slots)\n",
+                chains.unconsumed_emits);
+  }
+  std::map<int32_t, std::pair<uint64_t, uint64_t>> per_endpoint;  // emits, consumes
+  for (const TraceEvent& e : import.events) {
+    if (e.type == TraceEventType::kChainEmit) {
+      ++per_endpoint[e.arg1].first;
+    } else if (e.type == TraceEventType::kChainConsume) {
+      ++per_endpoint[e.arg1].second;
+    }
+  }
+  for (const auto& kv : per_endpoint) {
+    std::printf("  %s:%d  %" PRIu64 " emits, %" PRIu64 " consumes\n",
+                ChainEndpointKindToString(ChainEndpointKindOf(kv.first)),
+                ChainEndpointChannel(kv.first), kv.second.first, kv.second.second);
+  }
+  if (!chains.ok()) {
+    std::printf("CHAIN VIOLATIONS: %zu\n", chains.violations.size());
+    for (const ChainViolation& v : chains.violations) {
+      std::printf("  [%s] event %zu: %s\n", ChainViolationKindToString(v.kind), v.event_index,
+                  v.detail.c_str());
+    }
+    return false;
+  }
+  std::printf("chain conservation: ok\n");
+  return true;
+}
+
+constexpr const char* kUsage =
+    "usage: trace_inspect <trace.csv> [--run run.json] [--perfetto out.json] [--chains]\n";
+
 int Main(int argc, char** argv) {
   const char* csv_path = nullptr;
   const char* run_path = nullptr;
   const char* perfetto_path = nullptr;
+  bool show_chains = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--run") == 0 && i + 1 < argc) {
       run_path = argv[++i];
     } else if (std::strcmp(argv[i], "--perfetto") == 0 && i + 1 < argc) {
       perfetto_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--chains") == 0) {
+      show_chains = true;
     } else if (csv_path == nullptr && argv[i][0] != '-') {
       csv_path = argv[i];
     } else {
-      std::fprintf(stderr,
-                   "usage: trace_inspect <trace.csv> [--run run.json] [--perfetto out.json]\n");
+      std::fprintf(stderr, "%s", kUsage);
       return 1;
     }
   }
   if (csv_path == nullptr) {
-    std::fprintf(stderr,
-                 "usage: trace_inspect <trace.csv> [--run run.json] [--perfetto out.json]\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 1;
   }
 
@@ -233,6 +288,10 @@ int Main(int argc, char** argv) {
     status = 2;
   } else {
     std::printf("invariants: ok\n");
+  }
+
+  if (show_chains && !PrintChains(import) && status == 0) {
+    status = 2;
   }
 
   if (run_path != nullptr) {

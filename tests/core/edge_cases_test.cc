@@ -213,7 +213,7 @@ TEST(EdgeCaseTest, TraceCsvExport) {
   std::rewind(tmp);
   char header[32] = {};
   ASSERT_NE(std::fgets(header, sizeof(header), tmp), nullptr);
-  EXPECT_STREQ(header, "time_us,event,arg0,arg1\n");
+  EXPECT_STREQ(header, "time_us,event,arg0,arg1,arg2\n");
   std::fclose(tmp);
 }
 

@@ -30,6 +30,13 @@ TEST(TortureTest, FixedSeedSweepIsClean) {
                                          << result.cycle_unattributed_ns << " ns";
     EXPECT_EQ(result.cycle_residual_ns, 0);
     EXPECT_EQ(result.cycle_unattributed_ns, 0);
+    // Fifth oracle: causal-token conservation. Untruncated runs must have no
+    // chain violations and no orphan hops, and the topology's declared
+    // chains must actually complete instances.
+    EXPECT_EQ(result.chain_violations, 0u) << "seed " << seed;
+    EXPECT_EQ(result.chain_orphan_hops, 0u) << "seed " << seed;
+    EXPECT_GT(result.chain_origins, 0u) << "seed " << seed;
+    EXPECT_GT(result.chain_completed, 0u) << "seed " << seed;
   }
 }
 
@@ -84,6 +91,9 @@ TEST(TortureTest, TinyRingTruncationRefusesReconciliation) {
   EXPECT_TRUE(result.cycles_conserved);
   EXPECT_EQ(result.cycle_residual_ns, 0);
   EXPECT_EQ(result.cycle_unattributed_ns, 0);
+  // Token conservation degrades on truncation: consumes whose emits were
+  // overwritten become counted orphan hops, never violations.
+  EXPECT_EQ(result.chain_violations, 0u);
 }
 
 TEST(TortureTest, FaultInjectionCoversAllFaultKinds) {
@@ -167,6 +177,7 @@ TEST(TortureTest, ReportCarriesSchemaAndRuns) {
   EXPECT_NE(report.find("\"reconciliation\""), std::string::npos);
   EXPECT_NE(report.find("\"totals\""), std::string::npos);
   EXPECT_NE(report.find("\"repro\""), std::string::npos);
+  EXPECT_NE(report.find("\"chains\""), std::string::npos);
 }
 
 }  // namespace

@@ -248,6 +248,49 @@ TEST(TraceSinkTest, DroppedCountsEvictions) {
   EXPECT_EQ(sink.total_recorded(), 0u);
 }
 
+TEST(TraceSinkTest, ResetClearsDroppedAndRecordsEpochMarker) {
+  TraceSink sink(4);
+  for (int i = 0; i < 7; ++i) {
+    sink.Record(Instant() + Microseconds(i), TraceEventType::kIrq, i, 0);
+  }
+  EXPECT_EQ(sink.dropped(), 3u);
+  EXPECT_EQ(sink.epochs(), 0u);
+
+  sink.Reset(Instant() + Microseconds(100));
+  // The overflow drops are forgiven — the discard was deliberate — and the
+  // new window opens with exactly one event: the epoch marker.
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_EQ(sink.epochs(), 1u);
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.at(0).type, TraceEventType::kTraceEpoch);
+  EXPECT_EQ(sink.at(0).arg0, 1);
+  EXPECT_EQ(sink.at(0).time, Instant() + Microseconds(100));
+  // total_recorded keeps counting across resets (7 pre-reset + the marker).
+  EXPECT_EQ(sink.total_recorded(), 8u);
+
+  sink.Record(Instant() + Microseconds(101), TraceEventType::kJobRelease, 1, 0);
+  sink.Reset(Instant() + Microseconds(200));
+  EXPECT_EQ(sink.epochs(), 2u);
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.at(0).arg0, 2);
+
+  // Clear() wipes back to construction state, including the epoch count.
+  sink.Clear();
+  EXPECT_EQ(sink.epochs(), 0u);
+  EXPECT_EQ(sink.total_recorded(), 0u);
+}
+
+TEST(TraceSinkTest, ResetOnZeroCapacitySinkStaysDisabled) {
+  TraceSink sink(0);
+  sink.Record(Instant(), TraceEventType::kIrq, 1, 0);
+  sink.Reset(Instant() + Microseconds(5));
+  // Recording is still disabled, so even the marker is counted as dropped —
+  // but the pre-reset drop tally itself was forgiven.
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.dropped(), 1u);
+  EXPECT_EQ(sink.epochs(), 1u);
+}
+
 TEST(TraceEventTypeTest, ToStringFromStringRoundTripsAllEnumerators) {
   for (int i = 0; i < kNumTraceEventTypes; ++i) {
     TraceEventType type = static_cast<TraceEventType>(i);
@@ -317,7 +360,7 @@ TEST(TraceSinkTest, ExportCsvRowCountsAtCapacityBoundaries) {
     // Header + rows + optional "# dropped=N" trailer.
     EXPECT_EQ(CountLines(text), 1 + c.expected_rows + (c.expect_drop_note ? 1 : 0))
         << c.events << " events";
-    EXPECT_EQ(text.rfind("time_us,event,arg0,arg1\n", 0), 0u);
+    EXPECT_EQ(text.rfind("time_us,event,arg0,arg1,arg2\n", 0), 0u);
     EXPECT_EQ(text.find("# dropped=") != std::string::npos, c.expect_drop_note)
         << c.events << " events";
   }
@@ -331,8 +374,8 @@ TEST(TraceSinkTest, ExportCsvWrappedKeepsNewestRows) {
   sink.ExportCsv(f);
   std::string text = ReadAll(f);
   std::fclose(f);
-  EXPECT_NE(text.find("\n3,context_switch,2,3\n"), std::string::npos) << text;
-  EXPECT_NE(text.find("\n6,context_switch,5,6\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("\n3,context_switch,2,3,0\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("\n6,context_switch,5,6,0\n"), std::string::npos) << text;
   EXPECT_EQ(text.find("\n2,context_switch"), std::string::npos) << text;
   EXPECT_NE(text.find("# dropped=3\n"), std::string::npos) << text;
 }

@@ -6,6 +6,9 @@
 //   torture --seed=7 --check-determinism   run twice, compare trace digests
 //   torture --seed=7 --trace-csv=out.csv   export the run's trace
 //   torture --runs=8 --json=report.json    machine-readable report
+//   torture --artifacts-dir=out/           on failure, drop repro.txt, the
+//                                          failing trace CSV, and the report
+//                                          JSON there (CI uploads them)
 //
 // On failure: prints the one-line repro command, shrinks the op budget by
 // bisection, and exits 1.
@@ -58,6 +61,7 @@ int Run(int argc, char** argv) {
   double budget_seconds = 0;
   const char* json_path = nullptr;
   const char* csv_path = nullptr;
+  const char* artifacts_dir = nullptr;
   bool check_determinism = false;
   bool seed_given = false;
 
@@ -78,6 +82,8 @@ int Run(int argc, char** argv) {
       json_path = v;
     } else if (ParseFlag(argv[i], "--trace-csv", &v) && v != nullptr) {
       csv_path = v;
+    } else if (ParseFlag(argv[i], "--artifacts-dir", &v) && v != nullptr) {
+      artifacts_dir = v;
     } else if (ParseFlag(argv[i], "--no-faults", &v)) {
       base.inject_faults = false;
     } else if (ParseFlag(argv[i], "--no-irq-storms", &v)) {
@@ -142,9 +148,39 @@ int Run(int argc, char** argv) {
       ++failed;
       TortureOptions shrunk = ShrinkFailingRun(options);
       std::printf("  shrunk:  %s\n", ReproCommand(shrunk).c_str());
+      // First failure wins the artifact slots: later failures of the same
+      // sweep are almost always the same bug, and CI wants one clear repro.
+      if (artifacts_dir != nullptr && failed == 1) {
+        std::string dir = artifacts_dir;
+        std::string repro_path = dir + "/repro.txt";
+        if (std::FILE* rf = std::fopen(repro_path.c_str(), "w")) {
+          std::fprintf(rf, "%s\n%s\nfailure: %s\n", ReproCommand(options).c_str(),
+                       ReproCommand(shrunk).c_str(), result.failure.c_str());
+          std::fclose(rf);
+        } else {
+          std::fprintf(stderr, "cannot write %s\n", repro_path.c_str());
+        }
+        std::string trace_path = dir + "/failing-trace.csv";
+        if (ExportTortureTraceCsv(options, trace_path)) {
+          std::printf("  artifacts: %s, %s\n", repro_path.c_str(), trace_path.c_str());
+        } else {
+          std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        }
+      }
     }
     all_options.push_back(options);
     all_results.push_back(result);
+  }
+
+  if (artifacts_dir != nullptr && failed > 0) {
+    std::string report_path = std::string(artifacts_dir) + "/torture-report.json";
+    std::string report = BuildTortureReport(all_options, all_results);
+    if (std::FILE* out = std::fopen(report_path.c_str(), "w")) {
+      std::fwrite(report.data(), 1, report.size(), out);
+      std::fclose(out);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", report_path.c_str());
+    }
   }
 
   if (json_path != nullptr) {
