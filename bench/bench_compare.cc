@@ -154,6 +154,92 @@ void CompareBreakdown(const JsonValue& baseline, const JsonValue& candidate,
   }
 }
 
+// --- emeralds.fleet.run/1 ---
+
+const char* StringOr(const JsonValue& obj, const char* key, const char* fallback) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr && v->type == JsonValue::Type::kString ? v->string.c_str() : fallback;
+}
+
+void CompareFleet(const JsonValue& baseline, const JsonValue& candidate,
+                  const CompareOptions& opt, CompareResult* r) {
+  // The candidate must pass its own oracles before any baseline comparison.
+  double failed = NumberOr(candidate, "nodes_failed", -1);
+  if (failed != 0.0) {
+    Failf(r, "candidate has %.0f failed node(s): %s", failed,
+          StringOr(candidate, "first_failure", "?"));
+  }
+  // The run configuration must match, or the aggregates are incomparable.
+  for (const char* key : {"instances", "seed", "run_duration_ms", "slice_ms"}) {
+    double base = NumberOr(baseline, key, -1);
+    double cand = NumberOr(candidate, key, -2);
+    if (base != cand) {
+      Failf(r, "%s differs: baseline %.0f vs candidate %.0f (regenerate the baseline if the "
+               "fleet configuration changed)",
+            key, base, cand);
+      return;
+    }
+  }
+  if (std::string(StringOr(baseline, "timer_queue", "?")) !=
+      StringOr(candidate, "timer_queue", "??")) {
+    Failf(r, "timer_queue differs: baseline %s vs candidate %s",
+          StringOr(baseline, "timer_queue", "?"), StringOr(candidate, "timer_queue", "??"));
+    return;
+  }
+  // Deterministic aggregates: any drift means simulated behavior changed, so
+  // hold them to the relative tolerance in both directions.
+  for (const char* key : {"events_total", "events_per_virtual_sec"}) {
+    double base = NumberOr(baseline, key, -1);
+    double cand = NumberOr(candidate, key, -2);
+    if (base <= 0 || cand <= 0) {
+      Failf(r, "%s missing or non-positive", key);
+      continue;
+    }
+    if (std::fabs(cand - base) > base * opt.rel_tolerance) {
+      Failf(r, "%s drifted: %.0f vs baseline %.0f (%+.1f%%, tolerance %.0f%%; the fleet is "
+               "deterministic — regenerate the baseline if the workload changed)",
+            key, cand, base, 100.0 * (cand - base) / base, 100.0 * opt.rel_tolerance);
+    } else if (cand != base) {
+      Notef(r, "%s: %.0f vs baseline %.0f (within tolerance)", key, cand, base);
+    }
+  }
+  if (std::string(StringOr(baseline, "fleet_digest", "?")) !=
+      StringOr(candidate, "fleet_digest", "??")) {
+    Notef(r, "fleet_digest differs (baseline %s vs %s): per-node traces changed",
+          StringOr(baseline, "fleet_digest", "?"), StringOr(candidate, "fleet_digest", "??"));
+  }
+  for (const char* key : {"deadline_misses", "chain_overruns"}) {
+    double base = NumberOr(baseline, key, 0.0);
+    double cand = NumberOr(candidate, key, 0.0);
+    if (cand != base) {
+      Notef(r, "%s: %.0f vs baseline %.0f (not gated)", key, cand, base);
+    }
+  }
+  // The wheel-vs-list bar: an absolute floor, not a baseline delta — host
+  // timings wobble, but 5x leaves a wide margin over any wobble.
+  const JsonValue* timers = candidate.Find("timers");
+  if (timers == nullptr || timers->type != JsonValue::Type::kObject) {
+    Failf(r, "candidate has no timers section");
+  } else {
+    double speedup = NumberOr(*timers, "speedup_10k", -1);
+    if (speedup < 5.0) {
+      Failf(r, "wheel speedup at 10k pending is %.1fx (floor 5x)", speedup);
+    }
+    const JsonValue* base_t = baseline.Find("timers");
+    double base_speedup = base_t != nullptr ? NumberOr(*base_t, "speedup_10k", 0.0) : 0.0;
+    if (base_speedup > 0) {
+      Notef(r, "speedup_10k: %.1fx vs baseline %.1fx (floor-gated only)", speedup,
+            base_speedup);
+    }
+  }
+  // Wall-clock throughput is machine-dependent: informational only.
+  double base_wps = NumberOr(baseline, "events_per_wall_sec", 0.0);
+  double cand_wps = NumberOr(candidate, "events_per_wall_sec", 0.0);
+  if (base_wps > 0 && cand_wps > 0 && std::fabs(cand_wps - base_wps) > 0.25 * base_wps) {
+    Notef(r, "events_per_wall_sec %.0f vs baseline %.0f (not gated)", cand_wps, base_wps);
+  }
+}
+
 }  // namespace
 
 CompareResult CompareReports(const JsonValue& baseline, const JsonValue& candidate,
@@ -176,6 +262,8 @@ CompareResult CompareReports(const JsonValue& baseline, const JsonValue& candida
     CompareCycles(baseline, candidate, options, &r);
   } else if (base_schema->string == "emeralds.bench.breakdown/1") {
     CompareBreakdown(baseline, candidate, options, &r);
+  } else if (base_schema->string == "emeralds.fleet.run/1") {
+    CompareFleet(baseline, candidate, options, &r);
   } else {
     Failf(&r, "schema %s is not gated by bench_compare", base_schema->string.c_str());
   }

@@ -1,0 +1,93 @@
+// The fleet benchmark behind BENCH_fleet.json.
+//
+// Runs the standard fleet configuration (64 nodes, 100 ms of virtual time
+// each, hierarchical timer wheel) across the host thread pool, measures the
+// timer-queue microbenchmark at 1k / 10k / 100k pending timers, and emits
+// one emeralds.fleet.run/1 report. CI (the fleet_smoke label) validates the
+// report with bench_json_check and gates it against the committed
+// BENCH_fleet.json baseline with bench_compare: the deterministic aggregate
+// rates are held to 3% and the wheel must stay >= 5x the reference sorted
+// list at 10k pending. Wall-clock throughput is reported but never gated.
+//
+// Output: $EMERALDS_BENCH_JSON (default BENCH_fleet.json in the working
+// directory). Exit status is nonzero when a node fails its oracles or the
+// speedup bar is missed, so the bench is its own first gate.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_timers.h"
+#include "src/fleet/fleet.h"
+#include "src/fleet/fleet_report.h"
+
+namespace emeralds {
+namespace {
+
+int Run() {
+  fleet::FleetOptions opt;
+  opt.instances = 64;
+  opt.workers = 0;  // one per host core
+  opt.seed = 1;
+  opt.run_duration = Milliseconds(100);
+  opt.slice = Milliseconds(5);
+  opt.timer_queue = TimerQueueImpl::kWheel;
+
+  std::printf("fleet: %d nodes x %lld ms, timer queue = %s\n", opt.instances,
+              static_cast<long long>(opt.run_duration.millis()),
+              fleet::TimerQueueImplName(opt.timer_queue));
+  fleet::FleetResult result = fleet::RunFleet(opt);
+  std::printf("fleet: %llu events in %.3f s wall (%.0f events/s wall, %.0f events/s virtual), "
+              "%d/%d nodes failed\n",
+              static_cast<unsigned long long>(result.events_total), result.wall_seconds,
+              result.events_per_wall_sec, result.events_per_virtual_sec, result.nodes_failed,
+              result.instances);
+  for (const fleet::NodeResult& node : result.nodes) {
+    if (!node.ok()) {
+      std::fprintf(stderr, "FAIL: node (%s) %s\n", node.scheduler.c_str(),
+                   node.failure.c_str());
+    }
+  }
+
+  std::vector<fleet::TimerBenchPoint> timers =
+      bench::MeasureTimerQueues({1000, 10000, 100000}, 99);
+  double speedup_10k = 0.0;
+  for (const fleet::TimerBenchPoint& point : timers) {
+    std::printf("timers @%6d pending: wheel arm/cancel/service %.0f/%.0f/%.0f ns, "
+                "list %.0f/%.0f/%.0f ns, speedup %.1fx\n",
+                point.pending, point.wheel_arm_ns, point.wheel_cancel_ns,
+                point.wheel_service_ns, point.list_arm_ns, point.list_cancel_ns,
+                point.list_service_ns, point.Speedup());
+    if (point.pending == 10000) {
+      speedup_10k = point.Speedup();
+    }
+  }
+
+  fleet::FleetRunInfo info;
+  info.label = "fleet_baseline";
+  info.run_duration = opt.run_duration;
+  info.slice = opt.slice;
+  const char* env = std::getenv("EMERALDS_BENCH_JSON");
+  std::string path = env != nullptr ? env : "BENCH_fleet.json";
+  if (!fleet::WriteFleetRunReportFile(path, info, result, timers)) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+
+  if (result.nodes_failed > 0) {
+    return 1;
+  }
+  if (speedup_10k < 5.0) {
+    std::fprintf(stderr, "FAIL: wheel speedup at 10k pending is %.1fx (< 5x bar)\n",
+                 speedup_10k);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace emeralds
+
+int main() { return emeralds::Run(); }

@@ -5,7 +5,8 @@
 //   emeralds.obs.cycles/1      — cycle-attribution ledger report
 //   emeralds.obs.chains/1      — causal event-chain report (chains_smoke label)
 //   emeralds.fuzz.torture/1    — torture-harness sweep report
-// For the obs and fuzz schemas the check is substantive, not just
+//   emeralds.fleet.run/1       — fleet simulation report (fleet_smoke label)
+// For the obs, fuzz, and fleet schemas the check is substantive, not just
 // structural: invariant-violation lists must be empty, reconciliation flags
 // true, every torture run ok, and the cycle ledger conserved (bucket sum ==
 // elapsed, residual exactly zero) — so a kernel whose trace disagrees with
@@ -333,6 +334,75 @@ int CheckFuzzTorture(const char* path, const JsonValue& root) {
   return 0;
 }
 
+// The fleet report must carry zero failed nodes, positive deterministic
+// aggregates, and — when the timers section is present — a wheel that beats
+// the reference sorted list by the 5x acceptance floor at 10k pending.
+int CheckFleetRun(const char* path, const JsonValue& root) {
+  if (!RequireNumbers(root, "fleet",
+                      {"instances", "workers", "seed", "run_duration_ms", "slice_ms",
+                       "events_total", "virtual_ms_total", "events_per_virtual_sec",
+                       "jobs_completed", "deadline_misses", "timer_dispatches",
+                       "chain_completed", "chain_overruns", "nodes_total", "nodes_failed",
+                       "arena_high_water_bytes", "wall_seconds", "events_per_wall_sec"})) {
+    return 1;
+  }
+  for (const char* key : {"timer_queue", "fleet_digest", "label"}) {
+    const JsonValue* v = root.Find(key);
+    if (v == nullptr || v->type != JsonValue::Type::kString) {
+      std::fprintf(stderr, "FAIL: fleet missing string \"%s\"\n", key);
+      return 1;
+    }
+  }
+  if (root.Find("nodes_failed")->number != 0.0) {
+    const JsonValue* failure = root.Find("first_failure");
+    std::fprintf(stderr, "FAIL: %g fleet node(s) failed their oracles: %s\n",
+                 root.Find("nodes_failed")->number,
+                 failure != nullptr ? failure->string.c_str() : "?");
+    return 1;
+  }
+  if (root.Find("nodes_total")->number <= 0.0 || root.Find("events_total")->number <= 0.0 ||
+      root.Find("events_per_virtual_sec")->number <= 0.0) {
+    std::fprintf(stderr, "FAIL: fleet ran no nodes or produced no events\n");
+    return 1;
+  }
+  const JsonValue* schedulers = root.Find("schedulers");
+  if (schedulers == nullptr || schedulers->type != JsonValue::Type::kObject) {
+    std::fprintf(stderr, "FAIL: fleet missing schedulers object\n");
+    return 1;
+  }
+  const JsonValue* timers = root.Find("timers");
+  if (timers != nullptr) {
+    const JsonValue* points = timers->Find("points");
+    if (points == nullptr || points->type != JsonValue::Type::kArray || points->array.empty()) {
+      std::fprintf(stderr, "FAIL: timers section missing points array\n");
+      return 1;
+    }
+    for (const JsonValue& point : points->array) {
+      if (!RequireNumbers(point, "timer point", {"pending", "speedup"})) {
+        return 1;
+      }
+      for (const char* impl : {"wheel", "list"}) {
+        const JsonValue* section = point.Find(impl);
+        if (section == nullptr ||
+            !RequireNumbers(*section, impl, {"arm_ns", "cancel_ns", "service_ns"})) {
+          return 1;
+        }
+      }
+    }
+    if (!RequireNumbers(*timers, "timers", {"speedup_10k"})) {
+      return 1;
+    }
+    if (timers->Find("speedup_10k")->number < 5.0) {
+      std::fprintf(stderr, "FAIL: wheel speedup at 10k pending is %gx (floor 5x)\n",
+                   timers->Find("speedup_10k")->number);
+      return 1;
+    }
+  }
+  std::printf("OK: %s (fleet run, %g nodes, %g events, 0 failures)\n", path,
+              root.Find("nodes_total")->number, root.Find("events_total")->number);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -378,6 +448,9 @@ int main(int argc, char** argv) {
   }
   if (schema->string == "emeralds.fuzz.torture/1") {
     return CheckFuzzTorture(argv[1], root);
+  }
+  if (schema->string == "emeralds.fleet.run/1") {
+    return CheckFleetRun(argv[1], root);
   }
   if (schema->string != "emeralds.bench.breakdown/1") {
     std::fprintf(stderr, "FAIL: unexpected schema tag \"%s\"\n", schema->string.c_str());

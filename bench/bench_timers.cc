@@ -1,0 +1,115 @@
+#include "bench/bench_timers.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/base/rng.h"
+#include "src/core/timer_queue.h"
+
+namespace emeralds {
+namespace bench {
+namespace {
+
+double NowNs() {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct OpCosts {
+  double arm_ns = 0.0;
+  double cancel_ns = 0.0;
+  double service_ns = 0.0;
+};
+
+// Steady-state costs with `pending` resident timers. Arm and cancel are
+// measured over a batch of probe timers inserted at (and removed from)
+// random positions; service drains the global minimum repeatedly, exactly
+// the TimerIsr pop path.
+OpCosts MeasureImpl(TimerQueueImpl impl, int pending, uint64_t seed) {
+  const Duration horizon = Milliseconds(100);
+  Rng rng(seed);
+  Instant now;
+
+  // Resident population at random expiries across the horizon (spanning
+  // every wheel level). Filled in descending order so the reference list's
+  // O(n) insert does not make *setup* quadratic at 100k — each insert lands
+  // at the front.
+  std::vector<int64_t> expiries(static_cast<size_t>(pending));
+  for (int64_t& e : expiries) {
+    e = rng.UniformInt(1000, horizon.nanos());
+  }
+  std::sort(expiries.begin(), expiries.end(), std::greater<int64_t>());
+
+  TimerQueue queue(impl);
+  std::vector<SoftTimer> resident(static_cast<size_t>(pending));
+  uint64_t seq = 1;
+  for (int i = 0; i < pending; ++i) {
+    resident[static_cast<size_t>(i)].expiry = Instant() + Nanoseconds(expiries[static_cast<size_t>(i)]);
+    resident[static_cast<size_t>(i)].arm_seq = seq++;
+    queue.Insert(resident[static_cast<size_t>(i)], now);
+  }
+
+  // Fewer probes at greater depth keeps the list's O(n) arms affordable
+  // without starving the wheel's nanosecond ops of samples.
+  int probe_count = pending >= 100000 ? 128 : (pending >= 10000 ? 1024 : 4096);
+  std::vector<SoftTimer> probes(static_cast<size_t>(probe_count));
+  for (SoftTimer& probe : probes) {
+    probe.expiry = Instant() + Nanoseconds(rng.UniformInt(1000, horizon.nanos()));
+  }
+
+  OpCosts costs;
+  double t0 = NowNs();
+  for (SoftTimer& probe : probes) {
+    probe.arm_seq = seq++;
+    queue.Insert(probe, now);
+  }
+  double t1 = NowNs();
+  for (SoftTimer& probe : probes) {
+    queue.Remove(probe);
+  }
+  double t2 = NowNs();
+  costs.arm_ns = (t1 - t0) / probe_count;
+  costs.cancel_ns = (t2 - t1) / probe_count;
+
+  int service_count = std::min(pending, 2048);
+  double t3 = NowNs();
+  for (int i = 0; i < service_count; ++i) {
+    SoftTimer* min = queue.Min();
+    queue.Remove(*min);
+  }
+  double t4 = NowNs();
+  costs.service_ns = (t4 - t3) / service_count;
+
+  queue.Clear();
+  return costs;
+}
+
+}  // namespace
+
+fleet::TimerBenchPoint MeasureTimerQueuePoint(int pending, uint64_t seed) {
+  fleet::TimerBenchPoint point;
+  point.pending = pending;
+  OpCosts wheel = MeasureImpl(TimerQueueImpl::kWheel, pending, seed);
+  OpCosts list = MeasureImpl(TimerQueueImpl::kSortedList, pending, seed);
+  point.wheel_arm_ns = wheel.arm_ns;
+  point.wheel_cancel_ns = wheel.cancel_ns;
+  point.wheel_service_ns = wheel.service_ns;
+  point.list_arm_ns = list.arm_ns;
+  point.list_cancel_ns = list.cancel_ns;
+  point.list_service_ns = list.service_ns;
+  return point;
+}
+
+std::vector<fleet::TimerBenchPoint> MeasureTimerQueues(const std::vector<int>& depths,
+                                                       uint64_t seed) {
+  std::vector<fleet::TimerBenchPoint> points;
+  points.reserve(depths.size());
+  for (int depth : depths) {
+    points.push_back(MeasureTimerQueuePoint(depth, seed));
+  }
+  return points;
+}
+
+}  // namespace bench
+}  // namespace emeralds

@@ -1,0 +1,28 @@
+// Timer-queue microbenchmark: host-side cost of arm / cancel / service with
+// N timers pending, measured for both TimerQueue implementations (the
+// hierarchical wheel and the reference sorted list). The fleet bench embeds
+// the results in BENCH_fleet.json; the 10k-pending speedup is the acceptance
+// number ("wheel >= 5x the list") that bench_json_check enforces.
+
+#ifndef BENCH_BENCH_TIMERS_H_
+#define BENCH_BENCH_TIMERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fleet/fleet_report.h"
+
+namespace emeralds {
+namespace bench {
+
+// One depth point: deterministic expiries from `seed`, wall-clock timings.
+fleet::TimerBenchPoint MeasureTimerQueuePoint(int pending, uint64_t seed);
+
+// The standard sweep (1k / 10k / 100k unless overridden).
+std::vector<fleet::TimerBenchPoint> MeasureTimerQueues(const std::vector<int>& depths,
+                                                       uint64_t seed);
+
+}  // namespace bench
+}  // namespace emeralds
+
+#endif  // BENCH_BENCH_TIMERS_H_

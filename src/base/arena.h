@@ -1,0 +1,97 @@
+// Bump-pointer arena allocator.
+//
+// The fleet runner places each simulated node's top-level state (hardware,
+// kernel, workload closures) into one arena per instance: allocations are a
+// pointer bump into a single contiguous block, so a node's state is
+// cache-isolated from its neighbors, and teardown is one Reset() — objects
+// registered through New<T> get their destructors run LIFO, then the whole
+// block is reclaimed at once. The arena never reallocates or frees
+// individual objects; capacity is fixed at construction (small-memory
+// discipline: size the node up front, fail loudly when it doesn't fit).
+
+#ifndef SRC_BASE_ARENA_H_
+#define SRC_BASE_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "src/base/assert.h"
+
+namespace emeralds {
+
+class Arena {
+ public:
+  explicit Arena(size_t capacity)
+      : block_(new std::byte[capacity]), capacity_(capacity) {}
+  ~Arena() { Reset(); }
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Raw aligned allocation. Panics when the arena is exhausted — fleet
+  // callers size arenas from a measured per-node footprint.
+  void* Allocate(size_t size, size_t align) {
+    EM_ASSERT_MSG((align & (align - 1)) == 0, "alignment must be a power of two");
+    uintptr_t base = reinterpret_cast<uintptr_t>(block_.get());
+    uintptr_t current = base + used_;
+    uintptr_t aligned = (current + align - 1) & ~(uintptr_t{align} - 1);
+    size_t new_used = (aligned - base) + size;
+    EM_ASSERT_MSG(new_used <= capacity_, "arena exhausted: %zu + %zu bytes > %zu",
+                  used_, size, capacity_);
+    used_ = new_used;
+    high_water_ = used_ > high_water_ ? used_ : high_water_;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  // Constructs a T in the arena. Non-trivially-destructible types are
+  // registered on an intrusive finalizer chain (itself arena-allocated) that
+  // Reset() runs in reverse construction order.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    T* object = new (Allocate(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      auto* finalizer = static_cast<Finalizer*>(Allocate(sizeof(Finalizer), alignof(Finalizer)));
+      finalizer->object = object;
+      finalizer->destroy = [](void* p) { static_cast<T*>(p)->~T(); };
+      finalizer->next = finalizers_;
+      finalizers_ = finalizer;
+    }
+    return object;
+  }
+
+  // Runs registered destructors (LIFO) and reclaims the whole block in one
+  // pointer reset. The backing memory is reused by subsequent allocations.
+  void Reset() {
+    for (Finalizer* f = finalizers_; f != nullptr; f = f->next) {
+      f->destroy(f->object);
+    }
+    finalizers_ = nullptr;
+    used_ = 0;
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t used() const { return used_; }
+  // Peak usage across the arena's lifetime (survives Reset) — the number to
+  // size production arenas from.
+  size_t high_water() const { return high_water_; }
+
+ private:
+  struct Finalizer {
+    void* object;
+    void (*destroy)(void*);
+    Finalizer* next;
+  };
+
+  std::unique_ptr<std::byte[]> block_;
+  size_t capacity_;
+  size_t used_ = 0;
+  size_t high_water_ = 0;
+  Finalizer* finalizers_ = nullptr;
+};
+
+}  // namespace emeralds
+
+#endif  // SRC_BASE_ARENA_H_

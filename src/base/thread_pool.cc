@@ -1,0 +1,141 @@
+#include "src/base/thread_pool.h"
+
+#include "src/base/assert.h"
+
+namespace emeralds {
+namespace {
+
+thread_local int tls_worker_index = -1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int workers) {
+  if (workers <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    workers = hw != 0 ? static_cast<int>(hw) : 4;
+  }
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    stop_ = true;
+    ++signal_;
+  }
+  idle_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+int ThreadPool::CurrentWorker() { return tls_worker_index; }
+
+void ThreadPool::Submit(std::function<void()> task) {
+  int target = tls_worker_index;
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    ++pending_;
+    if (target < 0 || target >= worker_count()) {
+      target = static_cast<int>(round_robin_++ % workers_.size());
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[static_cast<size_t>(target)]->mutex);
+    workers_[static_cast<size_t>(target)]->deque.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    ++signal_;
+  }
+  idle_cv_.notify_one();
+}
+
+bool ThreadPool::PopOwn(int self, std::function<void()>& task) {
+  Worker& w = *workers_[static_cast<size_t>(self)];
+  std::lock_guard<std::mutex> lock(w.mutex);
+  if (w.deque.empty()) {
+    return false;
+  }
+  task = std::move(w.deque.back());
+  w.deque.pop_back();
+  return true;
+}
+
+bool ThreadPool::Steal(int self, std::function<void()>& task) {
+  int n = worker_count();
+  for (int offset = 1; offset < n; ++offset) {
+    Worker& victim = *workers_[static_cast<size_t>((self + offset) % n)];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.deque.empty()) {
+      task = std::move(victim.deque.front());
+      victim.deque.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::RunOne(std::function<void()>& task) {
+  task();
+  task = nullptr;
+  std::lock_guard<std::mutex> lock(idle_mutex_);
+  EM_ASSERT(pending_ > 0);
+  if (--pending_ == 0) {
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerMain(int self) {
+  tls_worker_index = self;
+  uint64_t seen;
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    seen = signal_;
+  }
+  std::function<void()> task;
+  for (;;) {
+    if (PopOwn(self, task) || Steal(self, task)) {
+      RunOne(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    if (signal_ != seen) {
+      // A submit landed between our last scan and this lock; rescan before
+      // sleeping — this is what makes a missed wakeup impossible.
+      seen = signal_;
+      continue;
+    }
+    if (stop_) {
+      return;
+    }
+    idle_cv_.wait(lock, [&] { return stop_ || signal_ != seen; });
+    if (stop_ && signal_ == seen) {
+      return;
+    }
+    seen = signal_;
+  }
+}
+
+void ThreadPool::Wait() {
+  EM_ASSERT_MSG(tls_worker_index == -1, "ThreadPool::Wait called from a pool worker");
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void ThreadPool::ParallelFor(int64_t count, const std::function<void(int64_t)>& fn) {
+  for (int64_t i = 0; i < count; ++i) {
+    Submit([&fn, i] { fn(i); });
+  }
+  Wait();
+}
+
+}  // namespace emeralds

@@ -14,6 +14,7 @@
 #include "src/core/api.h"
 #include "src/core/ids.h"
 #include "src/core/thread_body.h"
+#include "src/core/timer.h"
 #include "src/hal/cost_model.h"
 
 namespace emeralds {
@@ -128,6 +129,11 @@ struct KernelConfig {
 
   // Trace ring capacity (0 disables event retention; counters still work).
   size_t trace_capacity = 4096;
+
+  // Pending-timer container for the software-timer service. Both order
+  // timers identically, so runs are bit-identical under either; the sorted
+  // list is the reference implementation for differential testing.
+  TimerQueueImpl timer_queue = TimerQueueImpl::kWheel;
 
   // Declared causal event chains (resolved against object/thread names at
   // Start(); see ChainSpec above). Token propagation itself is always on —

@@ -25,7 +25,8 @@ Kernel::Kernel(Hardware& hw, const KernelConfig& config)
       config_(config),
       cost_(config.cost_model),
       sched_(config.scheduler),
-      trace_(config.trace_capacity) {
+      trace_(config.trace_capacity),
+      soft_timers_(config.timer_queue) {
   processes_.reserve(config_.max_processes);
   threads_.reserve(config_.max_threads);
   semaphores_.reserve(config_.max_semaphores);
@@ -46,7 +47,7 @@ Kernel::Kernel(Hardware& hw, const KernelConfig& config)
 
 Kernel::~Kernel() {
   // Unwind intrusive structures before the pools are destroyed.
-  soft_timers_.clear();
+  soft_timers_.Clear();
   hw_.DisarmTimer(oneshot_);
   for (int line = 0; line < kNumIrqLines; ++line) {
     if (line == kIrqTimer || irq_threads_[line] != nullptr) {
@@ -797,18 +798,11 @@ void Kernel::ExitThread(Tcb& t) {
 
 void Kernel::ArmSoftTimer(SoftTimer& timer, Instant expiry) {
   if (timer.armed()) {
-    soft_timers_.erase(timer);
+    soft_timers_.Remove(timer);
   }
   timer.expiry = expiry;
   timer.arm_seq = timer_seq_++;
-  for (SoftTimer& other : soft_timers_) {
-    if (expiry < other.expiry || (expiry == other.expiry && timer.arm_seq < other.arm_seq)) {
-      soft_timers_.insert_before(other, timer);
-      ProgramHardwareTimer();
-      return;
-    }
-  }
-  soft_timers_.push_back(timer);
+  soft_timers_.Insert(timer, hw_.now());
   ProgramHardwareTimer();
 }
 
@@ -816,12 +810,12 @@ void Kernel::CancelSoftTimer(SoftTimer& timer) {
   if (!timer.armed()) {
     return;
   }
-  soft_timers_.erase(timer);
+  soft_timers_.Remove(timer);
   ProgramHardwareTimer();
 }
 
 void Kernel::ProgramHardwareTimer() {
-  SoftTimer* first = soft_timers_.front();
+  SoftTimer* first = soft_timers_.Min();
   if (first == nullptr) {
     hw_.DisarmTimer(oneshot_);
     return;
@@ -834,11 +828,11 @@ void Kernel::TimerIsr() {
   Charge(ChargeCategory::kInterrupt, cost_.interrupt_entry);
   ++stats_.interrupts;
   for (;;) {
-    SoftTimer* first = soft_timers_.front();
+    SoftTimer* first = soft_timers_.Min();
     if (first == nullptr || first->expiry > hw_.now()) {
       break;
     }
-    soft_timers_.erase(*first);
+    soft_timers_.Remove(*first);
     Charge(ChargeCategory::kTimerSvc, cost_.timer_dispatch);
     ++stats_.timer_dispatches;
     switch (first->kind) {

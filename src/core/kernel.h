@@ -30,6 +30,7 @@
 #include "src/core/scheduler.h"
 #include "src/core/stats.h"
 #include "src/core/tcb.h"
+#include "src/core/timer_queue.h"
 #include "src/hal/hardware.h"
 #include "src/hal/trace.h"
 
@@ -303,7 +304,7 @@ class Kernel {
   std::vector<std::unique_ptr<SharedRegion>> regions_;
   std::vector<std::unique_ptr<UserTimer>> user_timers_;
 
-  SoftTimerList soft_timers_;
+  TimerQueue soft_timers_;
   uint64_t timer_seq_ = 0;
   OneShotTimer oneshot_;
 

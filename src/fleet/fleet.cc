@@ -1,0 +1,371 @@
+#include "src/fleet/fleet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "src/base/arena.h"
+#include "src/base/assert.h"
+#include "src/base/rng.h"
+#include "src/base/thread_pool.h"
+#include "src/core/kernel.h"
+#include "src/obs/chains.h"
+#include "src/obs/obs_report.h"
+#include "src/obs/trace_analyzer.h"
+
+namespace emeralds {
+namespace fleet {
+namespace {
+
+uint64_t Fnv1a(uint64_t hash, const void* data, size_t len) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+// Same digest recipe as the torture harness: the retained trace window plus
+// the reconciled counters. Equal digests == bit-identical runs.
+uint64_t DigestNode(const Kernel& kernel) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  const TraceSink& trace = kernel.trace();
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const TraceEvent& e = trace.at(i);
+    int64_t us = e.time.micros();
+    int32_t type = static_cast<int32_t>(e.type);
+    hash = Fnv1a(hash, &us, sizeof(us));
+    hash = Fnv1a(hash, &type, sizeof(type));
+    hash = Fnv1a(hash, &e.arg0, sizeof(e.arg0));
+    hash = Fnv1a(hash, &e.arg1, sizeof(e.arg1));
+    hash = Fnv1a(hash, &e.arg2, sizeof(e.arg2));
+  }
+  const KernelStats& s = kernel.stats();
+  uint64_t counters[] = {s.context_switches, s.syscalls,         s.jobs_released,
+                         s.jobs_completed,   s.deadline_misses,  s.sem_acquires,
+                         s.mailbox_sends,    s.mailbox_receives, s.interrupts,
+                         s.timer_dispatches, s.chain_emits,      s.chain_consumes,
+                         s.chain_origins};
+  hash = Fnv1a(hash, counters, sizeof(counters));
+  return hash;
+}
+
+// Workload handles, arena-resident (trivially destructible: ids + bytes).
+struct NodeState {
+  SemId tick_sem;
+  TimerId timer;
+  MailboxId mbox;
+  uint8_t payload[8] = {};
+};
+
+// One simulated node: its arena owns the Hardware, the Kernel, and the
+// workload handles; the control block itself is tiny and heap-held.
+struct Node {
+  explicit Node(size_t arena_bytes) : arena(arena_bytes) {}
+
+  Arena arena;
+  Hardware* hw = nullptr;
+  Kernel* kernel = nullptr;
+  NodeState* st = nullptr;
+  Instant end;
+  NodeResult result;
+};
+
+// Every node's simulation is a pure function of (fleet seed, node index,
+// timer_queue): all randomness flows from this fork, and nothing host-side
+// (worker id, steal order, wall time) is ever consulted.
+void BuildNode(Node& node, const FleetOptions& opt, int index) {
+  Rng topo = Rng(opt.seed).Fork(static_cast<uint64_t>(index) + 1);
+  node.result.seed = opt.seed;
+
+  KernelConfig config;
+  switch (index % 4) {
+    case 0:
+      config.scheduler = SchedulerSpec::Edf();
+      node.result.scheduler = "EDF";
+      break;
+    case 1:
+      config.scheduler = SchedulerSpec::Rm();
+      node.result.scheduler = "RM";
+      break;
+    case 2:
+      config.scheduler = SchedulerSpec::Csd(2);
+      node.result.scheduler = "CSD-2";
+      break;
+    default:
+      config.scheduler = SchedulerSpec::Csd(3);
+      node.result.scheduler = "CSD-3";
+      break;
+  }
+  int dp_bands = 0;
+  for (size_t i = 0; i < config.scheduler.bands.size(); ++i) {
+    if (config.scheduler.bands[i] == QueueKind::kEdfList) {
+      ++dp_bands;
+    }
+  }
+  config.cost_model = CostModel::MC68040_25MHz();
+  config.timer_queue = opt.timer_queue;
+  config.trace_capacity =
+      opt.trace_capacity != 0
+          ? opt.trace_capacity
+          : static_cast<size_t>(4096 + opt.run_duration.millis() * 512);
+
+  // Declared causal chains: the timer's tick into the pacer, and the
+  // producer's release through the mailbox. Both carry SLOs so the fleet
+  // report aggregates overruns, and both feed oracle 4.
+  {
+    ChainSpec tick;
+    tick.name = "tick";
+    tick.deadline = Milliseconds(5);
+    tick.stages.push_back(ChainStageSpec{"sem:tick_sem", ""});
+    config.chains.push_back(tick);
+
+    ChainSpec pipe;
+    pipe.name = "pipe";
+    pipe.deadline = Milliseconds(topo.UniformInt(3, 6));
+    pipe.stages.push_back(ChainStageSpec{"release:producer", "producer"});
+    pipe.stages.push_back(ChainStageSpec{"mbox:pipe", ""});
+    config.chains.push_back(pipe);
+  }
+
+  node.hw = node.arena.New<Hardware>();
+  node.kernel = node.arena.New<Kernel>(*node.hw, config);
+  Kernel& kernel = *node.kernel;
+  NodeState* st = node.arena.New<NodeState>();
+  node.st = st;
+
+  st->tick_sem = kernel.CreateSemaphore("tick_sem", 0).value();
+  st->mbox = kernel.CreateMailbox("pipe", static_cast<size_t>(topo.UniformInt(2, 4))).value();
+  st->timer = kernel.CreateTimer("tick", st->tick_sem).value();
+  kernel.StartTimer(st->timer, Microseconds(topo.UniformInt(100, 500)),
+                    Microseconds(topo.UniformInt(400, 900)));
+
+  // Pacer: aperiodic, paced by the user timer's counting semaphore. Its
+  // acquire consumes the timer's chain token (the "tick" chain).
+  {
+    ThreadParams params;
+    params.name = "pacer";
+    Rng body_rng = topo.Fork(11);
+    params.body = [st, body_rng](ThreadApi api) mutable -> ThreadBody {
+      for (;;) {
+        co_await api.Acquire(st->tick_sem);
+        co_await api.Compute(Microseconds(body_rng.UniformInt(20, 60)));
+      }
+    };
+    kernel.CreateThread(params);
+  }
+
+  // Producer: periodic sends into the pipe mailbox ("pipe" chain origin is
+  // its job release).
+  Duration producer_period = Microseconds(topo.UniformInt(1000, 3000));
+  {
+    ThreadParams params;
+    params.name = "producer";
+    params.period = producer_period;
+    params.first_release = Microseconds(topo.UniformInt(0, 400));
+    params.band = dp_bands > 0 ? 0 : -1;
+    Duration cost = Microseconds(topo.UniformInt(100, 250));
+    params.wcet = cost;
+    params.body = [st, cost](ThreadApi api) -> ThreadBody {
+      for (;;) {
+        co_await api.Compute(cost);
+        co_await api.TrySend(st->mbox, std::span<const uint8_t>(st->payload, 8));
+        co_await api.WaitNextPeriod();
+      }
+    };
+    kernel.CreateThread(params);
+  }
+
+  // Consumer: periodic receive with a timeout — the timeout path arms and
+  // cancels a soft timer on nearly every job, which is exactly the churn the
+  // timer wheel is meant to make cheap.
+  {
+    ThreadParams params;
+    params.name = "consumer";
+    Duration period = Microseconds(topo.UniformInt(2000, 5000));
+    params.period = period;
+    params.first_release = Microseconds(topo.UniformInt(0, 400));
+    params.band = dp_bands > 1 ? 1 : (dp_bands > 0 ? 0 : -1);
+    Duration cost = Microseconds(topo.UniformInt(150, 400));
+    params.wcet = cost + period / 4;
+    params.body = [st, cost, period](ThreadApi api) -> ThreadBody {
+      uint8_t buffer[8];
+      for (;;) {
+        co_await api.Recv(st->mbox, std::span<uint8_t>(buffer, sizeof(buffer)), period / 4);
+        co_await api.Compute(cost);
+        co_await api.WaitNextPeriod();
+      }
+    };
+    kernel.CreateThread(params);
+  }
+
+  // Sleeper: pure timer churn in the fixed-priority band.
+  {
+    ThreadParams params;
+    params.name = "sleeper";
+    Rng body_rng = topo.Fork(14);
+    params.body = [body_rng](ThreadApi api) mutable -> ThreadBody {
+      for (;;) {
+        co_await api.Sleep(Microseconds(body_rng.UniformInt(200, 1500)));
+        co_await api.Compute(Microseconds(10));
+      }
+    };
+    kernel.CreateThread(params);
+  }
+
+  kernel.EnableStatsSampling(Milliseconds(2), 128);
+  kernel.Start();
+  node.end = Instant() + opt.run_duration;
+}
+
+// Applies the five per-node oracles and fills the NodeResult. Runs on the
+// pool worker that executed the node's final slice.
+void FinishNode(Node& node) {
+  Kernel& kernel = *node.kernel;
+  NodeResult& r = node.result;
+  const KernelStats& s = kernel.stats();
+
+  r.events = s.context_switches + s.syscalls + s.interrupts + s.timer_dispatches;
+  r.jobs_completed = s.jobs_completed;
+  r.deadline_misses = s.deadline_misses;
+  r.timer_dispatches = s.timer_dispatches;
+  r.virtual_time = kernel.now() - Instant();
+  r.trace_dropped = kernel.trace().dropped();
+  r.trace_digest = DigestNode(kernel);
+
+  obs::TraceAnalysis analysis = obs::AnalyzeTrace(kernel.trace());
+  obs::Reconciliation reconciliation = obs::ComputeReconciliation(analysis, s);
+  obs::ChainAnalysis chains = obs::AnalyzeChains(kernel.trace(), kernel.resolved_chains());
+  for (const obs::ChainReport& c : chains.chains) {
+    r.chain_completed += c.completed;
+    r.chain_overruns += c.overruns;
+  }
+  CycleConservation conservation = CheckCycleConservation(s, kernel.now());
+  int64_t unattributed =
+      kernel.hardware().clock().ledger().at(CycleBucket::kUnattributed).nanos();
+
+  if (!analysis.violations.empty()) {
+    r.failure = "trace invariant violated: " + analysis.violations[0].detail;
+  } else if (r.trace_dropped == 0 && (!reconciliation.checked || !reconciliation.ok())) {
+    r.failure = "reconciliation mismatch (trace vs kernel counters)";
+  } else if (r.trace_dropped > 0 && reconciliation.checked) {
+    r.failure = "reconciliation claimed a truncated trace was checked";
+  } else if (conservation.residual.nanos() != 0 || unattributed != 0) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "cycle conservation violated: residual %lld ns, unattributed %lld ns",
+                  static_cast<long long>(conservation.residual.nanos()),
+                  static_cast<long long>(unattributed));
+    r.failure = buf;
+  } else if (!chains.violations.empty()) {
+    r.failure = "chain token conservation: " + chains.violations[0].detail;
+  } else if (chains.complete_window && chains.orphan_hops > 0) {
+    r.failure = "chain token conservation: orphan hops in an untruncated trace";
+  } else if (r.jobs_completed == 0 || r.timer_dispatches == 0 || s.mailbox_sends == 0) {
+    r.failure = "progress oracle: node wedged (no jobs, timers, or messages)";
+  }
+
+  // Reclaim the node's entire footprint in one shot; record the high-water
+  // mark first so arenas can be sized from measured fleets.
+  node.arena.Reset();
+  r.arena_high_water = node.arena.high_water();
+  node.hw = nullptr;
+  node.kernel = nullptr;
+  node.st = nullptr;
+}
+
+size_t DefaultArenaBytes() {
+  // Top-level node state only; kernel-internal containers (ready queues,
+  // trace ring, TCBs) still come from the heap — the arena isolates and
+  // batch-frees the objects the fleet itself places.
+  return sizeof(Hardware) + sizeof(Kernel) + sizeof(NodeState) + 512;
+}
+
+}  // namespace
+
+const char* TimerQueueImplName(TimerQueueImpl impl) {
+  return impl == TimerQueueImpl::kWheel ? "wheel" : "sorted_list";
+}
+
+FleetResult RunFleet(const FleetOptions& options) {
+  EM_ASSERT_MSG(ThreadPool::CurrentWorker() == -1,
+                "RunFleet must not be called from a pool worker");
+  EM_ASSERT(options.instances > 0);
+
+  FleetOptions opt = options;
+  if (opt.arena_bytes == 0) {
+    opt.arena_bytes = DefaultArenaBytes();
+  }
+
+  std::vector<std::unique_ptr<Node>> nodes;
+  nodes.reserve(static_cast<size_t>(opt.instances));
+  for (int i = 0; i < opt.instances; ++i) {
+    nodes.push_back(std::make_unique<Node>(opt.arena_bytes));
+  }
+
+  auto wall_start = std::chrono::steady_clock::now();
+  int resolved_workers = 0;
+  {
+    ThreadPool pool(opt.workers);
+    resolved_workers = pool.worker_count();
+    // Node slices re-enqueue themselves until the node's virtual horizon;
+    // construction happens on the pool too, so a large fleet boots in
+    // parallel. `step` outlives every task because pool.Wait() (via the
+    // pool's scoped destruction) covers transitively submitted work.
+    std::function<void(int)> step = [&](int index) {
+      Node& node = *nodes[static_cast<size_t>(index)];
+      if (node.kernel == nullptr) {
+        BuildNode(node, opt, index);
+      }
+      Kernel& kernel = *node.kernel;
+      Instant target = std::min(node.end, kernel.now() + opt.slice);
+      kernel.RunUntil(target);
+      if (kernel.now() < node.end) {
+        pool.Submit([&step, index] { step(index); });
+      } else {
+        FinishNode(node);
+      }
+    };
+    for (int i = 0; i < opt.instances; ++i) {
+      pool.Submit([&step, i] { step(i); });
+    }
+    pool.Wait();
+  }
+  double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  FleetResult out;
+  out.instances = opt.instances;
+  out.workers = resolved_workers;
+  out.seed = opt.seed;
+  out.timer_queue = opt.timer_queue;
+  out.wall_seconds = wall_seconds;
+  out.nodes.reserve(nodes.size());
+  uint64_t digest = 0xcbf29ce484222325ULL;
+  for (const std::unique_ptr<Node>& node : nodes) {
+    const NodeResult& r = node->result;
+    out.events_total += r.events;
+    out.jobs_completed += r.jobs_completed;
+    out.deadline_misses += r.deadline_misses;
+    out.timer_dispatches += r.timer_dispatches;
+    out.chain_completed += r.chain_completed;
+    out.chain_overruns += r.chain_overruns;
+    out.virtual_time_total = out.virtual_time_total + r.virtual_time;
+    out.nodes_failed += r.ok() ? 0 : 1;
+    out.arena_high_water = std::max(out.arena_high_water, r.arena_high_water);
+    digest = Fnv1a(digest, &r.trace_digest, sizeof(r.trace_digest));
+    out.nodes.push_back(r);
+  }
+  out.fleet_digest = digest;
+  double virtual_seconds = static_cast<double>(out.virtual_time_total.nanos()) / 1e9;
+  out.events_per_virtual_sec =
+      virtual_seconds > 0 ? static_cast<double>(out.events_total) / virtual_seconds : 0.0;
+  out.events_per_wall_sec =
+      wall_seconds > 0 ? static_cast<double>(out.events_total) / wall_seconds : 0.0;
+  return out;
+}
+
+}  // namespace fleet
+}  // namespace emeralds

@@ -1,0 +1,124 @@
+// Fleet-scale simulation: many independent kernel instances on one host.
+//
+// RunFleet() instantiates `instances` fully independent simulated nodes —
+// each its own Hardware + Kernel + seeded workload, arena-backed so a node's
+// top-level state lives in one contiguous block (cache-isolated from its
+// neighbors, torn down with a single Reset) — and drives them across a
+// work-stealing host thread pool. A node executes in virtual-time slices:
+// each slice is one pool task that advances the kernel by `slice` and
+// re-enqueues itself, so long-running nodes migrate freely between workers
+// and the pool stays balanced without any static partitioning.
+//
+// Determinism contract: a node's simulation depends only on (fleet seed,
+// node index, timer_queue impl). Host scheduling — worker count, steal
+// order, slice interleaving — must not influence any simulated outcome, so
+// the whole FleetResult (per-node digests included) is bit-identical across
+// runs, worker counts, and machines. Tests enforce this.
+//
+// Per-node oracles, mirroring the torture harness (the syscall fault oracle
+// is torture-specific; the fleet adds a progress oracle in its place):
+//   1. obs::AnalyzeTrace reports zero structural invariant violations;
+//   2. obs::ComputeReconciliation agrees with the kernel's counters on an
+//      untruncated trace, and refuses to check a truncated one;
+//   3. the cycle-attribution ledger conserves exactly (bucket sum == elapsed
+//      virtual time; no unattributed clock advance);
+//   4. causal-token conservation over the declared chains (zero chain
+//      violations; zero orphan hops when the window is complete);
+//   5. progress: the node completed jobs, dispatched timers, and consumed
+//      mailbox traffic — a silently wedged node is a failure, not a fast run.
+
+#ifndef SRC_FLEET_FLEET_H_
+#define SRC_FLEET_FLEET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/core/timer.h"
+
+namespace emeralds {
+namespace fleet {
+
+struct FleetOptions {
+  int instances = 16;
+  // Host pool width; <= 0 uses std::thread::hardware_concurrency().
+  int workers = 0;
+  uint64_t seed = 1;
+  // Virtual time each node simulates, and the re-enqueue granularity.
+  Duration run_duration = Milliseconds(100);
+  Duration slice = Milliseconds(5);
+  // Timer fast-path under test; the whole point of the fleet bench.
+  TimerQueueImpl timer_queue = TimerQueueImpl::kWheel;
+  // Per-node arena capacity; 0 sizes it from the node footprint.
+  size_t arena_bytes = 0;
+  // Per-node trace ring; 0 sizes it to retain the whole run. Large fleets
+  // pass a small fixed ring to bound memory — the oracles are
+  // truncation-aware, so a wrapped ring degrades checking, never correctness.
+  size_t trace_capacity = 0;
+};
+
+// One simulated node's outcome. Everything here is deterministic in
+// (fleet seed, node index, timer_queue).
+struct NodeResult {
+  uint64_t seed = 0;
+  std::string scheduler;  // "EDF", "RM", "CSD-2", "CSD-3"
+  // context_switches + syscalls + interrupts + timer_dispatches: the unit
+  // the fleet benchmark rates in events/sec.
+  uint64_t events = 0;
+  uint64_t jobs_completed = 0;
+  uint64_t deadline_misses = 0;
+  uint64_t timer_dispatches = 0;
+  uint64_t chain_completed = 0;
+  uint64_t chain_overruns = 0;  // completed chain instances past their SLO
+  uint64_t trace_digest = 0;    // FNV-1a over the retained window + counters
+  uint64_t trace_dropped = 0;
+  Duration virtual_time;
+  size_t arena_high_water = 0;
+  // First failing oracle in human-readable form; empty when all five pass.
+  std::string failure;
+
+  bool ok() const { return failure.empty(); }
+};
+
+struct FleetResult {
+  int instances = 0;
+  int workers = 0;  // resolved pool width actually used
+  uint64_t seed = 0;
+  TimerQueueImpl timer_queue = TimerQueueImpl::kWheel;
+
+  // Aggregates over all nodes (deterministic).
+  uint64_t events_total = 0;
+  uint64_t jobs_completed = 0;
+  uint64_t deadline_misses = 0;
+  uint64_t timer_dispatches = 0;
+  uint64_t chain_completed = 0;
+  uint64_t chain_overruns = 0;
+  int nodes_failed = 0;
+  Duration virtual_time_total;  // sum of per-node simulated time
+  // events_total / virtual seconds: the gated, machine-independent rate.
+  double events_per_virtual_sec = 0.0;
+  // FNV-1a over the per-node digests in index order: one number that equals
+  // iff every node's run was bit-identical.
+  uint64_t fleet_digest = 0;
+  size_t arena_high_water = 0;  // max across nodes
+
+  // Host-side throughput (informational; never gated — wall time is noise).
+  double wall_seconds = 0.0;
+  double events_per_wall_sec = 0.0;
+
+  std::vector<NodeResult> nodes;  // index order
+
+  bool ok() const { return nodes_failed == 0; }
+};
+
+// Runs the fleet to completion. Blocks until every node has finished and
+// been evaluated; must not be called from a fleet/ThreadPool worker.
+FleetResult RunFleet(const FleetOptions& options);
+
+const char* TimerQueueImplName(TimerQueueImpl impl);
+
+}  // namespace fleet
+}  // namespace emeralds
+
+#endif  // SRC_FLEET_FLEET_H_

@@ -1,0 +1,123 @@
+#include "src/fleet/fleet_report.h"
+
+#include <cstdio>
+#include <map>
+
+#include "src/obs/json_writer.h"
+
+namespace emeralds {
+namespace fleet {
+
+double TimerBenchPoint::Speedup() const {
+  double wheel = wheel_arm_ns + wheel_cancel_ns + wheel_service_ns;
+  double list = list_arm_ns + list_cancel_ns + list_service_ns;
+  return wheel > 0 ? list / wheel : 0.0;
+}
+
+std::string BuildFleetRunReport(const FleetRunInfo& info, const FleetResult& result,
+                                const std::vector<TimerBenchPoint>& timers) {
+  obs::Json json;
+  json.OpenObject();
+  json.String("schema", kFleetRunSchema);
+  json.String("label", info.label);
+  json.String("timer_queue", TimerQueueImplName(result.timer_queue));
+  json.Int("instances", result.instances);
+  json.Int("workers", result.workers);
+  json.Int("seed", static_cast<int64_t>(result.seed));
+  json.Number("run_duration_ms", info.run_duration.millis_f());
+  json.Number("slice_ms", info.slice.millis_f());
+
+  // Deterministic aggregates: identical across machines and worker counts.
+  json.Int("events_total", static_cast<int64_t>(result.events_total));
+  json.Number("virtual_ms_total", result.virtual_time_total.millis_f());
+  json.Number("events_per_virtual_sec", result.events_per_virtual_sec);
+  json.Int("jobs_completed", static_cast<int64_t>(result.jobs_completed));
+  json.Int("deadline_misses", static_cast<int64_t>(result.deadline_misses));
+  json.Int("timer_dispatches", static_cast<int64_t>(result.timer_dispatches));
+  json.Int("chain_completed", static_cast<int64_t>(result.chain_completed));
+  json.Int("chain_overruns", static_cast<int64_t>(result.chain_overruns));
+  json.Int("nodes_total", static_cast<int64_t>(result.nodes.size()));
+  json.Int("nodes_failed", result.nodes_failed);
+  {
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "0x%016llx",
+                  static_cast<unsigned long long>(result.fleet_digest));
+    json.String("fleet_digest", digest);
+  }
+  json.Int("arena_high_water_bytes", static_cast<int64_t>(result.arena_high_water));
+
+  {
+    std::map<std::string, int64_t> schedulers;
+    for (const NodeResult& node : result.nodes) {
+      ++schedulers[node.scheduler];
+    }
+    json.Key("schedulers");
+    json.OpenObject();
+    for (const auto& [name, count] : schedulers) {
+      json.Int(name.c_str(), count);
+    }
+    json.CloseObject();
+  }
+  for (const NodeResult& node : result.nodes) {
+    if (!node.ok()) {
+      json.String("first_failure", node.failure);
+      break;
+    }
+  }
+
+  // Host-side throughput: honest but machine-dependent, so never gated.
+  json.Number("wall_seconds", result.wall_seconds);
+  json.Number("events_per_wall_sec", result.events_per_wall_sec);
+
+  if (!timers.empty()) {
+    double speedup_10k = 0.0;
+    json.Key("timers");
+    json.OpenObject();
+    json.Key("points");
+    json.OpenArray();
+    for (const TimerBenchPoint& point : timers) {
+      json.OpenObject();
+      json.Int("pending", point.pending);
+      json.Key("wheel");
+      json.OpenObject();
+      json.Number("arm_ns", point.wheel_arm_ns);
+      json.Number("cancel_ns", point.wheel_cancel_ns);
+      json.Number("service_ns", point.wheel_service_ns);
+      json.CloseObject();
+      json.Key("list");
+      json.OpenObject();
+      json.Number("arm_ns", point.list_arm_ns);
+      json.Number("cancel_ns", point.list_cancel_ns);
+      json.Number("service_ns", point.list_service_ns);
+      json.CloseObject();
+      json.Number("speedup", point.Speedup());
+      json.CloseObject();
+      if (point.pending == 10000) {
+        speedup_10k = point.Speedup();
+      }
+    }
+    json.CloseArray();
+    json.Number("speedup_10k", speedup_10k);
+    json.CloseObject();
+  }
+
+  json.CloseObject();
+  return json.str();
+}
+
+bool WriteFleetRunReportFile(const std::string& path, const FleetRunInfo& info,
+                             const FleetResult& result,
+                             const std::vector<TimerBenchPoint>& timers) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    return false;
+  }
+  std::string report = BuildFleetRunReport(info, result, timers);
+  std::fwrite(report.data(), 1, report.size(), out);
+  std::fputc('\n', out);
+  std::fclose(out);
+  return true;
+}
+
+}  // namespace fleet
+}  // namespace emeralds

@@ -1,0 +1,61 @@
+// The fleet run report: schema "emeralds.fleet.run/1".
+//
+// One JSON document per fleet run: the configuration (instances, workers,
+// timer-queue implementation, seed), the deterministic aggregates (events,
+// jobs, misses, chain SLO outcomes, the fleet digest), the machine-
+// independent throughput rate (events per simulated second — the number
+// bench_compare gates), the informational wall-clock rate (never gated),
+// and an optional "timers" section from the timer-queue microbenchmark
+// (arm/cancel/service costs at several pending-timer depths, wheel vs the
+// reference sorted list, and the 10k-pending speedup the acceptance bar
+// checks). bench_json_check validates the schema; BENCH_fleet.json is the
+// committed baseline.
+
+#ifndef SRC_FLEET_FLEET_REPORT_H_
+#define SRC_FLEET_FLEET_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fleet/fleet.h"
+
+namespace emeralds {
+namespace fleet {
+
+inline constexpr const char* kFleetRunSchema = "emeralds.fleet.run/1";
+
+// One depth point of the timer-queue microbenchmark: mean host nanoseconds
+// per operation with `pending` timers resident, for both implementations.
+struct TimerBenchPoint {
+  int pending = 0;
+  double wheel_arm_ns = 0.0;
+  double wheel_cancel_ns = 0.0;
+  double wheel_service_ns = 0.0;
+  double list_arm_ns = 0.0;
+  double list_cancel_ns = 0.0;
+  double list_service_ns = 0.0;
+
+  // list / wheel over the summed per-op costs at this depth.
+  double Speedup() const;
+};
+
+struct FleetRunInfo {
+  std::string label;  // e.g. "fleet_baseline"
+  Duration run_duration;
+  Duration slice;
+};
+
+// Renders the full report. `timers` may be empty (the section is omitted);
+// when present it must contain a 10000-pending point — that speedup is the
+// gated "wheel is >= 5x the list" acceptance number.
+std::string BuildFleetRunReport(const FleetRunInfo& info, const FleetResult& result,
+                                const std::vector<TimerBenchPoint>& timers);
+
+bool WriteFleetRunReportFile(const std::string& path, const FleetRunInfo& info,
+                             const FleetResult& result,
+                             const std::vector<TimerBenchPoint>& timers);
+
+}  // namespace fleet
+}  // namespace emeralds
+
+#endif  // SRC_FLEET_FLEET_REPORT_H_

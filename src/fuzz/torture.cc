@@ -383,6 +383,7 @@ void DriveTorture(const TortureOptions& opt, HarnessState* st, Finish finish) {
     }
   }
   config.cost_model = CostModel::MC68040_25MHz();
+  config.timer_queue = opt.timer_queue;
   config.default_sem_mode = topo.Bernoulli(0.5) ? SemMode::kCse : SemMode::kStandard;
   config.trace_capacity =
       opt.tiny_trace_ring ? 128 : std::max<size_t>(16384, static_cast<size_t>(opt.ops) * 24);
@@ -683,12 +684,13 @@ std::string ReproCommand(const TortureOptions& options) {
   char line[256];
   int limit = options.op_limit < 0 ? options.ops : options.op_limit;
   std::snprintf(line, sizeof(line),
-                "torture --seed=%llu --ops=%d --op-limit=%d%s%s%s%s",
+                "torture --seed=%llu --ops=%d --op-limit=%d%s%s%s%s%s",
                 static_cast<unsigned long long>(options.seed), options.ops, limit,
                 options.inject_faults ? "" : " --no-faults",
                 options.irq_storms ? "" : " --no-irq-storms",
                 options.charge_resets ? "" : " --no-charge-resets",
-                options.tiny_trace_ring ? " --tiny-ring" : "");
+                options.tiny_trace_ring ? " --tiny-ring" : "",
+                options.timer_queue == TimerQueueImpl::kSortedList ? " --timer-queue=list" : "");
   return line;
 }
 

@@ -43,6 +43,7 @@
 
 #include "src/base/time.h"
 #include "src/core/stats.h"
+#include "src/core/timer.h"
 #include "src/obs/obs_report.h"
 #include "src/obs/trace_analyzer.h"
 
@@ -85,6 +86,10 @@ struct TortureOptions {
   bool irq_storms = true;       // host-raised IRQ bursts between slices
   bool charge_resets = true;    // mid-run ResetChargeAccounting() calls
   bool tiny_trace_ring = false; // force ring overflow (truncation fault case)
+  // Soft-timer queue implementation under test. The choice must be invisible
+  // to every oracle and to the trace digest — the differential fuzz test
+  // replays seeds under both and requires bit-identical results.
+  TimerQueueImpl timer_queue = TimerQueueImpl::kWheel;
   // Virtual-time cap; the run ends earlier once the op budget drains. Blocked
   // threads (condvar waits, forever-receives) make op throughput bursty, so
   // the default leaves generous headroom.

@@ -1,0 +1,79 @@
+#include "src/base/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace emeralds {
+namespace {
+
+TEST(ArenaTest, AllocatesAlignedAndBumps) {
+  Arena arena(1024);
+  void* a = arena.Allocate(1, 1);
+  void* b = arena.Allocate(8, 8);
+  void* c = arena.Allocate(3, 64);
+  EXPECT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(c) % 64, 0u);
+  EXPECT_GT(arena.used(), 0u);
+  EXPECT_LE(arena.used(), arena.capacity());
+}
+
+TEST(ArenaTest, NewConstructsInPlace) {
+  Arena arena(4096);
+  struct Pod {
+    int x;
+    double y;
+  };
+  Pod* pod = arena.New<Pod>(7, 2.5);
+  EXPECT_EQ(pod->x, 7);
+  EXPECT_EQ(pod->y, 2.5);
+  int* value = arena.New<int>(42);
+  EXPECT_EQ(*value, 42);
+}
+
+struct DtorProbe {
+  explicit DtorProbe(int id, std::string* log) : id_(id), log_(log) {}
+  ~DtorProbe() { log_->append(std::to_string(id_)); }
+  int id_;
+  std::string* log_;
+};
+
+TEST(ArenaTest, ResetRunsDestructorsLifoAndReclaims) {
+  Arena arena(4096);
+  std::string log;
+  arena.New<DtorProbe>(1, &log);
+  arena.New<DtorProbe>(2, &log);
+  arena.New<DtorProbe>(3, &log);
+  size_t used_before = arena.used();
+  EXPECT_GT(used_before, 0u);
+
+  arena.Reset();
+  EXPECT_EQ(log, "321");  // reverse construction order
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.high_water(), used_before);
+
+  // The block is reusable after Reset.
+  log.clear();
+  arena.New<DtorProbe>(9, &log);
+  arena.Reset();
+  EXPECT_EQ(log, "9");
+}
+
+TEST(ArenaTest, DestructorFinalizes) {
+  std::string log;
+  {
+    Arena arena(1024);
+    arena.New<DtorProbe>(5, &log);
+  }
+  EXPECT_EQ(log, "5");
+}
+
+TEST(ArenaDeathTest, PanicsWhenExhausted) {
+  Arena arena(64);
+  EXPECT_DEATH(arena.Allocate(4096, 8), "arena exhausted");
+}
+
+}  // namespace
+}  // namespace emeralds

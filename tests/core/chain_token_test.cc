@@ -1,0 +1,256 @@
+// Causal-token propagation tests: producing operations stamp tokens, consumes
+// pair with their emits (same origin, hop + 1, explicit actor), counters
+// reconcile with the trace, and declared chains resolve and complete with the
+// telescoping latency identity intact.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/obs/chains.h"
+#include "tests/testing/kernel_env.h"
+
+namespace emeralds {
+namespace {
+
+std::vector<TraceEvent> ChainEventsAt(const TraceSink& trace, TraceEventType type,
+                                      int32_t endpoint) {
+  std::vector<TraceEvent> out;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const TraceEvent& e = trace.at(i);
+    if (e.type == type && e.arg1 == endpoint) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+TEST(ChainTokenTest, HopPackRoundTrips) {
+  // ISR context packs actor -1; thread ids and hop counts survive the packing.
+  EXPECT_EQ(ChainHopOf(ChainHopPack(0, -1)), 0);
+  EXPECT_EQ(ChainActorOf(ChainHopPack(0, -1)), -1);
+  EXPECT_EQ(ChainHopOf(ChainHopPack(7, 3)), 7);
+  EXPECT_EQ(ChainActorOf(ChainHopPack(7, 3)), 3);
+  EXPECT_EQ(ChainHopOf(ChainHopPack(kMaxChainHops, 0)), kMaxChainHops);
+  EXPECT_EQ(ChainEndpointKindOf(ChainEndpointPack(ChainEndpointKind::kMailbox, 5)),
+            ChainEndpointKind::kMailbox);
+  EXPECT_EQ(ChainEndpointChannel(ChainEndpointPack(ChainEndpointKind::kMailbox, 5)), 5);
+}
+
+TEST(ChainTokenTest, MailboxHandoffPairsEmitWithConsume) {
+  SimEnv env(ZeroCostConfig());
+  MailboxId mbox = env.k().CreateMailbox("chan", 4).value();
+
+  ThreadParams producer;
+  producer.name = "producer";
+  producer.period = Milliseconds(5);
+  producer.body = [mbox](ThreadApi api) -> ThreadBody {
+    uint8_t payload[4] = {};
+    for (;;) {
+      co_await api.Compute(Microseconds(50));
+      co_await api.Send(mbox, std::span<const uint8_t>(payload, sizeof(payload)));
+      co_await api.WaitNextPeriod();
+    }
+  };
+  env.k().CreateThread(producer);
+
+  ThreadParams consumer;
+  consumer.name = "consumer";
+  consumer.body = [mbox](ThreadApi api) -> ThreadBody {
+    uint8_t buf[4];
+    for (;;) {
+      co_await api.Recv(mbox, std::span<uint8_t>(buf, sizeof(buf)));
+      co_await api.Compute(Microseconds(20));
+    }
+  };
+  ThreadId consumer_id = env.k().CreateThread(consumer).value();
+
+  env.StartAndRunFor(Milliseconds(50));
+
+  int32_t endpoint = ChainEndpointPack(ChainEndpointKind::kMailbox, mbox.value);
+  std::vector<TraceEvent> emits =
+      ChainEventsAt(env.k().trace(), TraceEventType::kChainEmit, endpoint);
+  std::vector<TraceEvent> consumes =
+      ChainEventsAt(env.k().trace(), TraceEventType::kChainConsume, endpoint);
+  ASSERT_GT(emits.size(), 0u);
+  ASSERT_GT(consumes.size(), 0u);
+
+  // Every consume at this endpoint names the receiving thread explicitly and
+  // matches an earlier emit with the same origin one hop back.
+  for (const TraceEvent& c : consumes) {
+    EXPECT_EQ(ChainActorOf(c.arg2), consumer_id.value);
+    EXPECT_GE(ChainHopOf(c.arg2), 1);
+    bool matched = false;
+    for (const TraceEvent& e : emits) {
+      if (e.arg0 == c.arg0 && ChainHopOf(e.arg2) + 1 == ChainHopOf(c.arg2) &&
+          !(c.time < e.time)) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << "consume of origin " << c.arg0 << " at hop "
+                         << ChainHopOf(c.arg2) << " has no matching emit";
+  }
+}
+
+TEST(ChainTokenTest, CountersReconcileWithTrace) {
+  SimEnv env(ZeroCostConfig());
+  MailboxId mbox = env.k().CreateMailbox("chan", 4).value();
+
+  ThreadParams producer;
+  producer.name = "producer";
+  producer.period = Milliseconds(2);
+  producer.body = [mbox](ThreadApi api) -> ThreadBody {
+    uint8_t payload[4] = {};
+    for (;;) {
+      co_await api.TrySend(mbox, std::span<const uint8_t>(payload, sizeof(payload)));
+      co_await api.WaitNextPeriod();
+    }
+  };
+  env.k().CreateThread(producer);
+
+  ThreadParams consumer;
+  consumer.name = "consumer";
+  consumer.body = [mbox](ThreadApi api) -> ThreadBody {
+    uint8_t buf[4];
+    for (;;) {
+      co_await api.Recv(mbox, std::span<uint8_t>(buf, sizeof(buf)));
+    }
+  };
+  env.k().CreateThread(consumer);
+
+  env.StartAndRunFor(Milliseconds(40));
+
+  const TraceSink& trace = env.k().trace();
+  ASSERT_EQ(trace.dropped(), 0u) << "ring too small for this workload";
+  uint64_t emits = 0;
+  uint64_t consumes = 0;
+  uint64_t origins = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const TraceEvent& e = trace.at(i);
+    if (e.type == TraceEventType::kChainEmit) {
+      ++emits;
+      if (ChainHopOf(e.arg2) == 0) {
+        ++origins;
+      }
+    } else if (e.type == TraceEventType::kChainConsume) {
+      ++consumes;
+    }
+  }
+  EXPECT_EQ(env.k().stats().chain_emits, emits);
+  EXPECT_EQ(env.k().stats().chain_consumes, consumes);
+  EXPECT_EQ(env.k().stats().chain_origins, origins);
+  EXPECT_GT(origins, 0u);
+}
+
+TEST(ChainTokenTest, AnalyzerFindsNoViolationsOnCleanRun) {
+  KernelConfig config = ZeroCostConfig();
+  ChainSpec pipe;
+  pipe.name = "pipe";
+  pipe.deadline = Milliseconds(50);
+  pipe.stages.push_back(ChainStageSpec{"release:producer", "producer"});
+  pipe.stages.push_back(ChainStageSpec{"mbox:chan", "consumer"});
+  config.chains.push_back(pipe);
+  // A spec naming a nonexistent object must report unresolved, not fail boot.
+  ChainSpec ghost;
+  ghost.name = "ghost";
+  ghost.stages.push_back(ChainStageSpec{"mbox:no_such_mailbox", ""});
+  config.chains.push_back(ghost);
+
+  SimEnv env(config);
+  MailboxId mbox = env.k().CreateMailbox("chan", 4).value();
+
+  ThreadParams producer;
+  producer.name = "producer";
+  producer.period = Milliseconds(5);
+  producer.body = [mbox](ThreadApi api) -> ThreadBody {
+    uint8_t payload[4] = {};
+    for (;;) {
+      co_await api.Compute(Microseconds(100));
+      co_await api.Send(mbox, std::span<const uint8_t>(payload, sizeof(payload)));
+      co_await api.WaitNextPeriod();
+    }
+  };
+  env.k().CreateThread(producer);
+
+  ThreadParams consumer;
+  consumer.name = "consumer";
+  consumer.body = [mbox](ThreadApi api) -> ThreadBody {
+    uint8_t buf[4];
+    for (;;) {
+      co_await api.Recv(mbox, std::span<uint8_t>(buf, sizeof(buf)));
+      co_await api.Compute(Microseconds(30));
+    }
+  };
+  env.k().CreateThread(consumer);
+
+  env.StartAndRunFor(Milliseconds(100));
+
+  ASSERT_EQ(env.k().resolved_chains().size(), 2u);
+  EXPECT_TRUE(env.k().resolved_chains()[0].resolved);
+  EXPECT_FALSE(env.k().resolved_chains()[1].resolved);
+
+  obs::ChainAnalysis analysis =
+      obs::AnalyzeChains(env.k().trace(), env.k().resolved_chains());
+  EXPECT_TRUE(analysis.ok());
+  EXPECT_TRUE(analysis.complete_window);
+  EXPECT_EQ(analysis.orphan_hops, 0u);
+  EXPECT_GT(analysis.origins_minted, 0u);
+
+  ASSERT_EQ(analysis.chains.size(), 2u);
+  const obs::ChainReport& report = analysis.chains[0];
+  EXPECT_TRUE(report.resolved);
+  EXPECT_GT(report.completed, 0u);
+  EXPECT_EQ(report.overruns, 0u);
+  // Telescoping identity: summed e2e latency equals the per-hop queue + exec
+  // totals exactly.
+  Duration hop_total;
+  for (const obs::ChainHopStats& hop : report.hops) {
+    hop_total += hop.queue.total() + hop.exec.total();
+  }
+  EXPECT_EQ(hop_total.nanos(), report.e2e.total().nanos());
+
+  const obs::ChainReport& ghost_report = analysis.chains[1];
+  EXPECT_FALSE(ghost_report.resolved);
+  EXPECT_EQ(ghost_report.completed, 0u);
+}
+
+TEST(ChainTokenTest, CountingSemHandoffPropagatesTimerToken) {
+  SimEnv env(ZeroCostConfig());
+  SemId tick = env.k().CreateSemaphore("tick", 0).value();
+  TimerId timer = env.k().CreateTimer("ticker", tick).value();
+
+  ThreadParams pacer;
+  pacer.name = "pacer";
+  pacer.body = [tick](ThreadApi api) -> ThreadBody {
+    for (;;) {
+      Status s = co_await api.Acquire(tick);
+      if (s != Status::kOk) {
+        break;
+      }
+      co_await api.Compute(Microseconds(10));
+    }
+  };
+  ThreadId pacer_id = env.k().CreateThread(pacer).value();
+
+  env.k().Start();
+  env.k().StartTimer(timer, Milliseconds(1), Milliseconds(4));
+  env.k().RunUntil(Instant() + Milliseconds(30));
+
+  int32_t endpoint = ChainEndpointPack(ChainEndpointKind::kSem, tick.value);
+  std::vector<TraceEvent> emits =
+      ChainEventsAt(env.k().trace(), TraceEventType::kChainEmit, endpoint);
+  std::vector<TraceEvent> consumes =
+      ChainEventsAt(env.k().trace(), TraceEventType::kChainConsume, endpoint);
+  ASSERT_GT(emits.size(), 0u);
+  ASSERT_GT(consumes.size(), 0u);
+  // The producing side runs in ISR context (no acting thread); the consuming
+  // side is the pacer.
+  EXPECT_EQ(ChainActorOf(emits[0].arg2), -1);
+  for (const TraceEvent& c : consumes) {
+    EXPECT_EQ(ChainActorOf(c.arg2), pacer_id.value);
+  }
+}
+
+}  // namespace
+}  // namespace emeralds

@@ -1,0 +1,192 @@
+// Cycle-attribution ledger tests: the hard conservation invariant (bucket sum
+// == elapsed virtual time, exact to the tick), the Table-1 pricing identity
+// for every QueueKind x QueueOp the scheduler reports, per-task attribution
+// (user == cpu_time exactly), and epoch rebasing across charge resets.
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/kernel_env.h"
+
+namespace emeralds {
+namespace {
+
+// A small workload that exercises every charging path: two contending
+// periodic threads, a mailbox pair, and plenty of preemption.
+void BuildLedgerWorkload(Kernel& kernel) {
+  SemId lock = kernel.CreateSemaphore("lock", 1).value();
+  MailboxId mbox = kernel.CreateMailbox("mbox", 2).value();
+
+  ThreadParams fast;
+  fast.name = "fast";
+  fast.period = Milliseconds(2);
+  fast.first_release = Milliseconds(1);
+  fast.body = [lock](ThreadApi api) -> ThreadBody {
+    for (;;) {
+      co_await api.Compute(Microseconds(120));
+      co_await api.Acquire(lock);
+      co_await api.Compute(Microseconds(80));
+      co_await api.Release(lock);
+      co_await api.WaitNextPeriod();
+    }
+  };
+  kernel.CreateThread(fast);
+
+  ThreadParams slow;
+  slow.name = "slow";
+  slow.period = Milliseconds(5);
+  slow.body = [lock, mbox](ThreadApi api) -> ThreadBody {
+    uint8_t payload[8] = {};
+    for (;;) {
+      co_await api.Acquire(lock);
+      co_await api.Compute(Microseconds(900));
+      co_await api.Release(lock);
+      co_await api.TrySend(mbox, std::span<const uint8_t>(payload, sizeof(payload)));
+      co_await api.WaitNextPeriod();
+    }
+  };
+  kernel.CreateThread(slow);
+
+  ThreadParams drain;
+  drain.name = "drain";
+  drain.period = Milliseconds(4);
+  drain.body = [mbox](ThreadApi api) -> ThreadBody {
+    uint8_t buf[8];
+    for (;;) {
+      co_await api.Recv(mbox, std::span<uint8_t>(buf, sizeof(buf)), Milliseconds(1));
+      co_await api.Compute(Microseconds(150));
+      co_await api.WaitNextPeriod();
+    }
+  };
+  kernel.CreateThread(drain);
+}
+
+// Sum of the three scheduler queue-op buckets recomputed from the operation
+// counters and the Table 1 coefficients. The ledger must match this exactly:
+// counts-to-time conversion happens in one place and nowhere else.
+Duration ExpectedQueueOpTime(const Kernel& kernel, QueueOp op) {
+  const KernelStats& stats = kernel.stats();
+  Duration expected;
+  for (int kind = 0; kind < kNumQueueKinds; ++kind) {
+    uint64_t count = stats.queue_op_count[kind][static_cast<int>(op)];
+    uint64_t units = stats.queue_op_units[kind][static_cast<int>(op)];
+    const LinearCost& cost =
+        kernel.cost_model().queue[kind][static_cast<int>(op)];
+    expected += cost.fixed * static_cast<int64_t>(count) +
+                cost.per_unit * static_cast<int64_t>(units);
+  }
+  return expected;
+}
+
+CycleBucket BucketFor(QueueOp op) { return CycleBucketForQueueOp(op); }
+
+class CycleLedgerSchedulers : public ::testing::TestWithParam<int> {};
+
+TEST_P(CycleLedgerSchedulers, ConservesAndPricesQueueOpsExactly) {
+  SchedulerSpec spec;
+  switch (GetParam()) {
+    case 0: spec = SchedulerSpec::Edf(); break;
+    case 1: spec = SchedulerSpec::Rm(); break;
+    case 2: spec = SchedulerSpec::RmHeap(); break;
+    default: spec = SchedulerSpec::Csd(3); break;
+  }
+  SimEnv env(CalibratedConfig(spec));
+  BuildLedgerWorkload(env.k());
+  env.StartAndRunFor(Milliseconds(200));
+
+  const KernelStats& stats = env.k().stats();
+
+  // Conservation: every tick between the epoch and now is in exactly one
+  // bucket, and no clock advance bypassed the kernel's charging paths.
+  CycleConservation conservation = CheckCycleConservation(stats, env.k().now());
+  EXPECT_EQ(conservation.residual.nanos(), 0)
+      << "elapsed " << conservation.elapsed.nanos() << " ns vs ledger "
+      << conservation.ledger_total.nanos() << " ns";
+  EXPECT_EQ(env.k().hardware().clock().ledger().at(CycleBucket::kUnattributed).nanos(), 0);
+
+  // Exact integer identity per QueueOp: the scheduler buckets hold precisely
+  // fixed * count + per_unit * units summed over the QueueKinds in play.
+  for (QueueOp op : {QueueOp::kBlock, QueueOp::kUnblock, QueueOp::kSelect}) {
+    EXPECT_EQ(stats.cycles.at(BucketFor(op)).nanos(), ExpectedQueueOpTime(env.k(), op).nanos())
+        << "op " << static_cast<int>(op);
+  }
+
+  // The per-band split is a partition of the same time.
+  for (QueueOp op : {QueueOp::kBlock, QueueOp::kUnblock, QueueOp::kSelect}) {
+    Duration band_sum;
+    for (int band = 0; band < kMaxStatBands; ++band) {
+      band_sum += stats.sched_band_cycles[band][static_cast<int>(op)];
+    }
+    EXPECT_EQ(band_sum.nanos(), stats.cycles.at(BucketFor(op)).nanos());
+  }
+
+  // The workload actually exercised the scheduler: selects happened and were
+  // priced (CalibratedConfig costs are non-zero).
+  EXPECT_GT(stats.queue_op_count[0][static_cast<int>(QueueOp::kSelect)] +
+                stats.queue_op_count[1][static_cast<int>(QueueOp::kSelect)] +
+                stats.queue_op_count[2][static_cast<int>(QueueOp::kSelect)],
+            0u);
+  EXPECT_GT(stats.cycles.at(CycleBucket::kSchedSelect).nanos(), 0);
+
+  // User time is the workload's compute, bucket-exact.
+  EXPECT_EQ(stats.cycles.at(CycleBucket::kUser).nanos(), stats.compute_time.nanos());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, CycleLedgerSchedulers, ::testing::Values(0, 1, 2, 3));
+
+TEST(CycleLedgerTest, PerTaskUserEqualsCpuTimeExactly) {
+  SimEnv env(CalibratedConfig(SchedulerSpec::Csd(2)));
+  BuildLedgerWorkload(env.k());
+  env.StartAndRunFor(Milliseconds(100));
+  Duration task_user_sum;
+  for (size_t i = 0; i < env.k().thread_count(); ++i) {
+    const Tcb& t = env.k().thread(ThreadId(static_cast<int>(i)));
+    // A task's user bucket is exactly its own compute; everything else in its
+    // ledger is carried kernel overhead.
+    EXPECT_EQ(t.cycles.at(CycleBucket::kUser).nanos(), t.cpu_time.nanos()) << t.name;
+    EXPECT_GE(t.cycles.total().nanos(), t.cpu_time.nanos()) << t.name;
+    task_user_sum += t.cycles.at(CycleBucket::kUser);
+  }
+  EXPECT_EQ(task_user_sum.nanos(), env.k().stats().compute_time.nanos());
+}
+
+TEST(CycleLedgerTest, ChargeResetRebasesEpochAndStaysConserved) {
+  SimEnv env(CalibratedConfig(SchedulerSpec::Edf()));
+  BuildLedgerWorkload(env.k());
+  env.k().Start();
+  env.k().RunUntil(Instant() + Milliseconds(40));
+
+  env.k().ResetChargeAccounting();
+  Instant epoch = env.k().stats().cycles_epoch;
+  EXPECT_EQ(epoch, env.k().now());
+  EXPECT_EQ(env.k().stats().cycle_total().nanos(), 0);
+
+  env.k().RunUntil(Instant() + Milliseconds(90));
+  CycleConservation conservation =
+      CheckCycleConservation(env.k().stats(), env.k().now());
+  EXPECT_EQ(conservation.elapsed.nanos(), (env.k().now() - epoch).nanos());
+  EXPECT_GE(conservation.elapsed.nanos(), Milliseconds(49).nanos());
+  EXPECT_EQ(conservation.residual.nanos(), 0);
+  // The clock's cumulative ledger still conserves since boot, independent of
+  // the windowed reset.
+  EXPECT_EQ(env.k().hardware().clock().ledger().total().nanos(),
+            (env.k().now() - Instant()).nanos());
+}
+
+TEST(CycleLedgerTest, ZeroCostModelChargesOnlyUserAndIdle) {
+  SimEnv env(ZeroCostConfig());
+  BuildLedgerWorkload(env.k());
+  env.StartAndRunFor(Milliseconds(50));
+  const KernelStats& stats = env.k().stats();
+  CycleConservation conservation = CheckCycleConservation(stats, env.k().now());
+  EXPECT_EQ(conservation.residual.nanos(), 0);
+  for (int b = 0; b < kNumCycleBuckets; ++b) {
+    CycleBucket bucket = static_cast<CycleBucket>(b);
+    if (bucket == CycleBucket::kUser || bucket == CycleBucket::kIdle) {
+      continue;
+    }
+    EXPECT_EQ(stats.cycles.at(bucket).nanos(), 0) << CycleBucketToString(bucket);
+  }
+}
+
+}  // namespace
+}  // namespace emeralds

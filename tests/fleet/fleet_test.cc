@@ -1,0 +1,186 @@
+#include "src/fleet/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fleet/fleet_report.h"
+
+namespace emeralds {
+namespace fleet {
+namespace {
+
+FleetOptions SmallFleet() {
+  FleetOptions opt;
+  opt.instances = 8;
+  opt.workers = 4;
+  opt.seed = 42;
+  opt.run_duration = Milliseconds(50);
+  opt.slice = Milliseconds(5);
+  return opt;
+}
+
+TEST(FleetTest, AllNodesPassOracles) {
+  FleetResult result = RunFleet(SmallFleet());
+  ASSERT_EQ(result.nodes.size(), 8u);
+  for (const NodeResult& node : result.nodes) {
+    EXPECT_TRUE(node.ok()) << node.scheduler << ": " << node.failure;
+    EXPECT_GT(node.events, 0u);
+    EXPECT_GT(node.jobs_completed, 0u);
+    EXPECT_GT(node.timer_dispatches, 0u);
+    // RunUntil overshoots the horizon by the in-flight charge granularity.
+    EXPECT_GE(node.virtual_time, Milliseconds(50));
+    EXPECT_LT(node.virtual_time, Milliseconds(51));
+  }
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.nodes_failed, 0);
+  EXPECT_EQ(result.workers, 4);
+}
+
+TEST(FleetTest, AggregatesSumTheNodes) {
+  FleetResult result = RunFleet(SmallFleet());
+  uint64_t events = 0;
+  uint64_t jobs = 0;
+  Duration virtual_time;
+  for (const NodeResult& node : result.nodes) {
+    events += node.events;
+    jobs += node.jobs_completed;
+    virtual_time = virtual_time + node.virtual_time;
+  }
+  EXPECT_EQ(result.events_total, events);
+  EXPECT_EQ(result.jobs_completed, jobs);
+  EXPECT_EQ(result.virtual_time_total, virtual_time);
+  EXPECT_GT(result.events_per_virtual_sec, 0.0);
+  EXPECT_GT(result.arena_high_water, 0u);
+}
+
+TEST(FleetTest, CoversAllFourSchedulerVariants) {
+  FleetResult result = RunFleet(SmallFleet());
+  int edf = 0;
+  int rm = 0;
+  int csd2 = 0;
+  int csd3 = 0;
+  for (const NodeResult& node : result.nodes) {
+    edf += node.scheduler == "EDF" ? 1 : 0;
+    rm += node.scheduler == "RM" ? 1 : 0;
+    csd2 += node.scheduler == "CSD-2" ? 1 : 0;
+    csd3 += node.scheduler == "CSD-3" ? 1 : 0;
+  }
+  EXPECT_EQ(edf, 2);
+  EXPECT_EQ(rm, 2);
+  EXPECT_EQ(csd2, 2);
+  EXPECT_EQ(csd3, 2);
+}
+
+// The determinism contract: host scheduling must not leak into simulated
+// outcomes, so the digest is identical across repeated runs AND across
+// worker counts (1 worker serializes everything; 8 maximizes stealing).
+TEST(FleetTest, DigestIsStableAcrossRunsAndWorkerCounts) {
+  FleetOptions opt = SmallFleet();
+  FleetResult first = RunFleet(opt);
+  FleetResult second = RunFleet(opt);
+  EXPECT_EQ(first.fleet_digest, second.fleet_digest);
+  EXPECT_EQ(first.events_total, second.events_total);
+
+  opt.workers = 1;
+  FleetResult serial = RunFleet(opt);
+  opt.workers = 8;
+  FleetResult wide = RunFleet(opt);
+  EXPECT_EQ(serial.fleet_digest, first.fleet_digest);
+  EXPECT_EQ(wide.fleet_digest, first.fleet_digest);
+  for (size_t i = 0; i < first.nodes.size(); ++i) {
+    EXPECT_EQ(serial.nodes[i].trace_digest, first.nodes[i].trace_digest) << "node " << i;
+  }
+}
+
+// Different seeds must actually change the workloads.
+TEST(FleetTest, SeedChangesTheFleet) {
+  FleetOptions opt = SmallFleet();
+  FleetResult a = RunFleet(opt);
+  opt.seed = 43;
+  FleetResult b = RunFleet(opt);
+  EXPECT_NE(a.fleet_digest, b.fleet_digest);
+}
+
+// The wheel and the reference sorted list must produce bit-identical fleets:
+// the timer queue is a pure fast path, invisible to every simulated outcome.
+TEST(FleetTest, WheelAndListFleetsAreBitIdentical) {
+  FleetOptions opt = SmallFleet();
+  opt.timer_queue = TimerQueueImpl::kWheel;
+  FleetResult wheel = RunFleet(opt);
+  opt.timer_queue = TimerQueueImpl::kSortedList;
+  FleetResult list = RunFleet(opt);
+  ASSERT_EQ(wheel.nodes.size(), list.nodes.size());
+  for (size_t i = 0; i < wheel.nodes.size(); ++i) {
+    EXPECT_EQ(wheel.nodes[i].trace_digest, list.nodes[i].trace_digest) << "node " << i;
+    EXPECT_EQ(wheel.nodes[i].events, list.nodes[i].events) << "node " << i;
+  }
+  EXPECT_EQ(wheel.fleet_digest, list.fleet_digest);
+  EXPECT_EQ(wheel.events_total, list.events_total);
+}
+
+// The acceptance bar: >= 1000 concurrent kernel instances in one process.
+// A small trace ring bounds memory; the oracles are truncation-aware.
+TEST(FleetTest, SustainsAThousandInstances) {
+  FleetOptions opt;
+  opt.instances = 1000;
+  opt.workers = 8;
+  opt.seed = 7;
+  opt.run_duration = Milliseconds(5);
+  opt.slice = Milliseconds(1);
+  opt.trace_capacity = 2048;
+  FleetResult result = RunFleet(opt);
+  ASSERT_EQ(result.nodes.size(), 1000u);
+  EXPECT_EQ(result.nodes_failed, 0) << [&] {
+    for (const NodeResult& node : result.nodes) {
+      if (!node.ok()) {
+        return node.failure;
+      }
+    }
+    return std::string();
+  }();
+  EXPECT_GT(result.events_total, 0u);
+  for (const NodeResult& node : result.nodes) {
+    EXPECT_GE(node.virtual_time, Milliseconds(5));
+  }
+}
+
+TEST(FleetReportTest, ReportCarriesSchemaAndGatedFields) {
+  FleetOptions opt = SmallFleet();
+  FleetResult result = RunFleet(opt);
+  FleetRunInfo info;
+  info.label = "fleet_test";
+  info.run_duration = opt.run_duration;
+  info.slice = opt.slice;
+  std::vector<TimerBenchPoint> timers(1);
+  timers[0].pending = 10000;
+  timers[0].wheel_arm_ns = 10;
+  timers[0].wheel_cancel_ns = 10;
+  timers[0].wheel_service_ns = 10;
+  timers[0].list_arm_ns = 300;
+  timers[0].list_cancel_ns = 150;
+  timers[0].list_service_ns = 150;
+  std::string report = BuildFleetRunReport(info, result, timers);
+  EXPECT_NE(report.find("\"schema\":\"emeralds.fleet.run/1\""), std::string::npos);
+  EXPECT_NE(report.find("\"events_per_virtual_sec\":"), std::string::npos);
+  EXPECT_NE(report.find("\"fleet_digest\":\"0x"), std::string::npos);
+  EXPECT_NE(report.find("\"timer_queue\":\"wheel\""), std::string::npos);
+  EXPECT_NE(report.find("\"nodes_failed\":0"), std::string::npos);
+  EXPECT_NE(report.find("\"speedup_10k\":20"), std::string::npos);
+  EXPECT_NE(report.find("\"schedulers\":{"), std::string::npos);
+  EXPECT_EQ(report.find("\"first_failure\""), std::string::npos);
+}
+
+TEST(FleetReportTest, TimersSectionIsOptional) {
+  FleetOptions opt = SmallFleet();
+  opt.instances = 4;
+  FleetResult result = RunFleet(opt);
+  FleetRunInfo info;
+  info.label = "no_timers";
+  info.run_duration = opt.run_duration;
+  info.slice = opt.slice;
+  std::string report = BuildFleetRunReport(info, result, {});
+  EXPECT_EQ(report.find("\"timers\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fleet
+}  // namespace emeralds

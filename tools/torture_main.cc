@@ -9,17 +9,26 @@
 //   torture --artifacts-dir=out/           on failure, drop repro.txt, the
 //                                          failing trace CSV, and the report
 //                                          JSON there (CI uploads them)
+//   torture --runs=64 --jobs=8             parallel sweep on the work-stealing
+//                                          pool; each worker drops its first
+//                                          failure's artifacts under
+//                                          <artifacts-dir>/worker-N/
+//   torture --timer-queue=list             run against the reference sorted
+//                                          timer list instead of the wheel
 //
 // On failure: prints the one-line repro command, shrinks the op budget by
-// bisection, and exits 1.
+// bisection, and exits 1. Runs are deterministic per (seed, options), so a
+// --jobs sweep reports exactly what the serial sweep would.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "src/base/thread_pool.h"
 #include "src/fuzz/torture.h"
 
 namespace emeralds {
@@ -58,6 +67,7 @@ void PrintResult(const TortureOptions& options, const TortureResult& result) {
 int Run(int argc, char** argv) {
   TortureOptions base;
   int runs = 1;
+  int jobs = 1;
   double budget_seconds = 0;
   const char* json_path = nullptr;
   const char* csv_path = nullptr;
@@ -76,6 +86,17 @@ int Run(int argc, char** argv) {
       base.op_limit = std::atoi(v);
     } else if (ParseFlag(argv[i], "--runs", &v) && v != nullptr) {
       runs = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--jobs", &v) && v != nullptr) {
+      jobs = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--timer-queue", &v) && v != nullptr) {
+      if (std::strcmp(v, "wheel") == 0) {
+        base.timer_queue = TimerQueueImpl::kWheel;
+      } else if (std::strcmp(v, "list") == 0) {
+        base.timer_queue = TimerQueueImpl::kSortedList;
+      } else {
+        std::fprintf(stderr, "--timer-queue must be wheel or list, got %s\n", v);
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--budget-seconds", &v) && v != nullptr) {
       budget_seconds = std::atof(v);
     } else if (ParseFlag(argv[i], "--json", &v) && v != nullptr) {
@@ -131,45 +152,120 @@ int Run(int argc, char** argv) {
   // With an explicit --seed and no --runs the sweep is that single seed;
   // otherwise seeds count up from the base seed (default 1).
   int planned = (seed_given && runs == 1) ? 1 : runs;
-  for (int i = 0;; ++i) {
-    if (budget_seconds > 0) {
-      double elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-      if (i > 0 && elapsed >= budget_seconds) {
+
+  if (jobs > 1) {
+    // Parallel sweep: seeds fan out over the work-stealing pool in waves (a
+    // wave is all planned runs, or `jobs` seeds at a time under a wall-clock
+    // budget). Each run writes its own result slot, so the collected report
+    // is identical to the serial sweep's; per-worker state (the
+    // first-failure artifact flag) is only ever touched by its own worker.
+    ThreadPool pool(jobs);
+    std::vector<uint8_t> worker_wrote_artifacts(static_cast<size_t>(pool.worker_count()), 0);
+    int next = 0;
+    for (;;) {
+      int wave;
+      if (budget_seconds > 0) {
+        double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        if (next > 0 && elapsed >= budget_seconds) {
+          break;
+        }
+        wave = jobs;
+      } else {
+        wave = planned - next;
+        if (wave <= 0) {
+          break;
+        }
+      }
+      size_t first = all_results.size();
+      for (int i = 0; i < wave; ++i) {
+        TortureOptions options = base;
+        options.seed = base.seed + static_cast<uint64_t>(next + i);
+        all_options.push_back(options);
+        all_results.emplace_back();
+      }
+      for (int i = 0; i < wave; ++i) {
+        size_t slot = first + static_cast<size_t>(i);
+        pool.Submit([&, slot] {
+          all_results[slot] = RunTorture(all_options[slot]);
+          const TortureResult& result = all_results[slot];
+          if (!result.ok && artifacts_dir != nullptr) {
+            int w = ThreadPool::CurrentWorker();
+            if (w >= 0 && worker_wrote_artifacts[static_cast<size_t>(w)] == 0) {
+              worker_wrote_artifacts[static_cast<size_t>(w)] = 1;
+              std::string dir =
+                  std::string(artifacts_dir) + "/worker-" + std::to_string(w);
+              std::error_code ec;
+              std::filesystem::create_directories(dir, ec);
+              std::string repro_path = dir + "/repro.txt";
+              if (std::FILE* rf = std::fopen(repro_path.c_str(), "w")) {
+                std::fprintf(rf, "%s\nfailure: %s\n",
+                             ReproCommand(all_options[slot]).c_str(),
+                             result.failure.c_str());
+                std::fclose(rf);
+              }
+              ExportTortureTraceCsv(all_options[slot], dir + "/failing-trace.csv");
+            }
+          }
+        });
+      }
+      pool.Wait();
+      next += wave;
+    }
+    for (size_t i = 0; i < all_results.size(); ++i) {
+      PrintResult(all_options[i], all_results[i]);
+      if (!all_results[i].ok) {
+        ++failed;
+        if (failed == 1) {
+          // Shrink only the first failure (it re-runs the seed many times);
+          // the parallel sweep's other failures are usually the same bug.
+          TortureOptions shrunk = ShrinkFailingRun(all_options[i]);
+          std::printf("  shrunk:  %s\n", ReproCommand(shrunk).c_str());
+        }
+      }
+    }
+  } else {
+    for (int i = 0;; ++i) {
+      if (budget_seconds > 0) {
+        double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        if (i > 0 && elapsed >= budget_seconds) {
+          break;
+        }
+      } else if (i >= planned) {
         break;
       }
-    } else if (i >= planned) {
-      break;
-    }
-    TortureOptions options = base;
-    options.seed = base.seed + static_cast<uint64_t>(i);
-    TortureResult result = RunTorture(options);
-    PrintResult(options, result);
-    if (!result.ok) {
-      ++failed;
-      TortureOptions shrunk = ShrinkFailingRun(options);
-      std::printf("  shrunk:  %s\n", ReproCommand(shrunk).c_str());
-      // First failure wins the artifact slots: later failures of the same
-      // sweep are almost always the same bug, and CI wants one clear repro.
-      if (artifacts_dir != nullptr && failed == 1) {
-        std::string dir = artifacts_dir;
-        std::string repro_path = dir + "/repro.txt";
-        if (std::FILE* rf = std::fopen(repro_path.c_str(), "w")) {
-          std::fprintf(rf, "%s\n%s\nfailure: %s\n", ReproCommand(options).c_str(),
-                       ReproCommand(shrunk).c_str(), result.failure.c_str());
-          std::fclose(rf);
-        } else {
-          std::fprintf(stderr, "cannot write %s\n", repro_path.c_str());
-        }
-        std::string trace_path = dir + "/failing-trace.csv";
-        if (ExportTortureTraceCsv(options, trace_path)) {
-          std::printf("  artifacts: %s, %s\n", repro_path.c_str(), trace_path.c_str());
-        } else {
-          std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      TortureOptions options = base;
+      options.seed = base.seed + static_cast<uint64_t>(i);
+      TortureResult result = RunTorture(options);
+      PrintResult(options, result);
+      if (!result.ok) {
+        ++failed;
+        TortureOptions shrunk = ShrinkFailingRun(options);
+        std::printf("  shrunk:  %s\n", ReproCommand(shrunk).c_str());
+        // First failure wins the artifact slots: later failures of the same
+        // sweep are almost always the same bug, and CI wants one clear repro.
+        if (artifacts_dir != nullptr && failed == 1) {
+          std::string dir = artifacts_dir;
+          std::string repro_path = dir + "/repro.txt";
+          if (std::FILE* rf = std::fopen(repro_path.c_str(), "w")) {
+            std::fprintf(rf, "%s\n%s\nfailure: %s\n", ReproCommand(options).c_str(),
+                         ReproCommand(shrunk).c_str(), result.failure.c_str());
+            std::fclose(rf);
+          } else {
+            std::fprintf(stderr, "cannot write %s\n", repro_path.c_str());
+          }
+          std::string trace_path = dir + "/failing-trace.csv";
+          if (ExportTortureTraceCsv(options, trace_path)) {
+            std::printf("  artifacts: %s, %s\n", repro_path.c_str(), trace_path.c_str());
+          } else {
+            std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+          }
         }
       }
+      all_options.push_back(options);
+      all_results.push_back(result);
     }
-    all_options.push_back(options);
-    all_results.push_back(result);
   }
 
   if (artifacts_dir != nullptr && failed > 0) {
