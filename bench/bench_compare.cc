@@ -232,6 +232,65 @@ void CompareFleet(const JsonValue& baseline, const JsonValue& candidate,
             base_speedup);
     }
   }
+  // Merged fleet telemetry percentiles: bucket-exact over the union of every
+  // node's samples and deterministic, so when both reports carry the section
+  // the chain e2e percentile tables are held to the same relative tolerance
+  // as the event aggregates.
+  const JsonValue* base_tel = baseline.Find("telemetry");
+  const JsonValue* cand_tel = candidate.Find("telemetry");
+  if (base_tel != nullptr && cand_tel == nullptr) {
+    Failf(r, "baseline has a telemetry section but the candidate does not");
+  } else if (base_tel != nullptr && cand_tel != nullptr) {
+    const JsonValue* base_chains = base_tel->Find("chains");
+    const JsonValue* cand_chains = cand_tel->Find("chains");
+    if (base_chains != nullptr && base_chains->type == JsonValue::Type::kArray &&
+        cand_chains != nullptr && cand_chains->type == JsonValue::Type::kArray) {
+      for (const JsonValue& bc : base_chains->array) {
+        const char* name = StringOr(bc, "name", "?");
+        const JsonValue* cc = nullptr;
+        for (const JsonValue& c : cand_chains->array) {
+          if (std::string(StringOr(c, "name", "")) == name) {
+            cc = &c;
+            break;
+          }
+        }
+        if (cc == nullptr) {
+          Failf(r, "telemetry chain \"%s\" missing from candidate", name);
+          continue;
+        }
+        const JsonValue* be = bc.Find("e2e");
+        const JsonValue* ce = cc->Find("e2e");
+        if (be == nullptr || ce == nullptr) {
+          Failf(r, "telemetry chain \"%s\" missing e2e histogram", name);
+          continue;
+        }
+        for (const char* key : {"p50_us", "p90_us", "p99_us"}) {
+          double base = NumberOr(*be, key, -1);
+          double cand = NumberOr(*ce, key, -2);
+          if (base < 0 || cand < 0) {
+            Failf(r, "telemetry chain \"%s\" missing %s", name, key);
+            continue;
+          }
+          if (std::fabs(cand - base) > base * opt.rel_tolerance) {
+            Failf(r, "chain \"%s\" %s drifted: %.0f vs baseline %.0f (%+.1f%%, tolerance "
+                     "%.0f%%)",
+                  name, key, cand, base, base > 0 ? 100.0 * (cand - base) / base : 0.0,
+                  100.0 * opt.rel_tolerance);
+          } else if (cand != base) {
+            Notef(r, "chain \"%s\" %s: %.0f vs baseline %.0f (within tolerance)", name, key,
+                  cand, base);
+          }
+        }
+      }
+    }
+  }
+  // Telemetry collection overhead rides on wall clock: informational only.
+  const JsonValue* overhead = candidate.Find("telemetry_overhead");
+  if (overhead != nullptr) {
+    Notef(r, "telemetry overhead ratio %.3f (on %.0f vs off %.0f events/s wall, not gated)",
+          NumberOr(*overhead, "ratio", 0.0), NumberOr(*overhead, "on_events_per_wall_sec", 0.0),
+          NumberOr(*overhead, "off_events_per_wall_sec", 0.0));
+  }
   // Wall-clock throughput is machine-dependent: informational only.
   double base_wps = NumberOr(baseline, "events_per_wall_sec", 0.0);
   double cand_wps = NumberOr(candidate, "events_per_wall_sec", 0.0);

@@ -1,9 +1,12 @@
 // The fleet benchmark behind BENCH_fleet.json.
 //
 // Runs the standard fleet configuration (64 nodes, 100 ms of virtual time
-// each, hierarchical timer wheel) across the host thread pool, measures the
-// timer-queue microbenchmark at 1k / 10k / 100k pending timers, and emits
-// one emeralds.fleet.run/1 report. CI (the fleet_smoke label) validates the
+// each, hierarchical timer wheel) across the host thread pool — once with
+// telemetry collection off and once with it on (the digests must be
+// bit-identical; the wall-rate pair prices collection overhead) — measures
+// the timer-queue microbenchmark at 1k / 10k / 100k pending timers, and
+// emits one emeralds.fleet.run/1 report. With $EMERALDS_FLEET_ARTIFACTS set,
+// anomalous nodes additionally drop black-box bundles there. CI (the fleet_smoke label) validates the
 // report with bench_json_check and gates it against the committed
 // BENCH_fleet.json baseline with bench_compare: the deterministic aggregate
 // rates are held to 3% and the wheel must stay >= 5x the reference sorted
@@ -37,17 +40,46 @@ int Run() {
   std::printf("fleet: %d nodes x %lld ms, timer queue = %s\n", opt.instances,
               static_cast<long long>(opt.run_duration.millis()),
               fleet::TimerQueueImplName(opt.timer_queue));
+
+  // Telemetry-off control run first: its wall rate prices the host-side cost
+  // of collection, and its digest proves collection never touches the
+  // simulated outcome. That equality is a hard gate, not a report note —
+  // telemetry that perturbs the run would poison every baseline after it.
+  fleet::FleetOptions off = opt;
+  off.telemetry = false;
+  fleet::FleetResult control = fleet::RunFleet(off);
+
+  if (const char* artifacts = std::getenv("EMERALDS_FLEET_ARTIFACTS")) {
+    opt.artifacts_dir = artifacts;
+  }
   fleet::FleetResult result = fleet::RunFleet(opt);
   std::printf("fleet: %llu events in %.3f s wall (%.0f events/s wall, %.0f events/s virtual), "
               "%d/%d nodes failed\n",
               static_cast<unsigned long long>(result.events_total), result.wall_seconds,
               result.events_per_wall_sec, result.events_per_virtual_sec, result.nodes_failed,
               result.instances);
+  std::printf("telemetry overhead: on %.0f events/s wall vs off %.0f (ratio %.3f)\n",
+              result.events_per_wall_sec, control.events_per_wall_sec,
+              control.events_per_wall_sec > 0
+                  ? result.events_per_wall_sec / control.events_per_wall_sec
+                  : 0.0);
+  if (control.fleet_digest != result.fleet_digest) {
+    std::fprintf(stderr,
+                 "FAIL: telemetry collection changed the fleet digest "
+                 "(off 0x%016llx vs on 0x%016llx)\n",
+                 static_cast<unsigned long long>(control.fleet_digest),
+                 static_cast<unsigned long long>(result.fleet_digest));
+    return 1;
+  }
   for (const fleet::NodeResult& node : result.nodes) {
     if (!node.ok()) {
       std::fprintf(stderr, "FAIL: node (%s) %s\n", node.scheduler.c_str(),
                    node.failure.c_str());
     }
+  }
+  if (!result.blackbox_nodes.empty()) {
+    std::printf("black boxes: %zu bundle(s) under %s\n", result.blackbox_nodes.size(),
+                result.artifacts_dir.c_str());
   }
 
   std::vector<fleet::TimerBenchPoint> timers =
@@ -68,6 +100,9 @@ int Run() {
   info.label = "fleet_baseline";
   info.run_duration = opt.run_duration;
   info.slice = opt.slice;
+  info.trace_capacity = opt.trace_capacity;
+  info.telemetry_on_events_per_wall_sec = result.events_per_wall_sec;
+  info.telemetry_off_events_per_wall_sec = control.events_per_wall_sec;
   const char* env = std::getenv("EMERALDS_BENCH_JSON");
   std::string path = env != nullptr ? env : "BENCH_fleet.json";
   if (!fleet::WriteFleetRunReportFile(path, info, result, timers)) {

@@ -6,6 +6,7 @@
 //   emeralds.obs.chains/1      — causal event-chain report (chains_smoke label)
 //   emeralds.fuzz.torture/1    — torture-harness sweep report
 //   emeralds.fleet.run/1       — fleet simulation report (fleet_smoke label)
+//   emeralds.obs.blackbox/1    — black-box flight-recorder bundle report
 // For the obs, fuzz, and fleet schemas the check is substantive, not just
 // structural: invariant-violation lists must be empty, reconciliation flags
 // true, every torture run ok, and the cycle ledger conserved (bucket sum ==
@@ -334,6 +335,76 @@ int CheckFuzzTorture(const char* path, const JsonValue& root) {
   return 0;
 }
 
+// The merged fleet telemetry section (schema emeralds.fleet.telemetry/1):
+// exact-bucket percentile tables over the whole fleet. Structural plus the
+// one substantive check that matters — the section must actually cover
+// nodes, not be an empty shell.
+bool CheckTelemetrySection(const JsonValue& telemetry, const char* ctx) {
+  const JsonValue* schema = telemetry.Find("schema");
+  if (schema == nullptr || schema->type != JsonValue::Type::kString ||
+      schema->string != "emeralds.fleet.telemetry/1") {
+    std::fprintf(stderr, "FAIL: %s schema is not emeralds.fleet.telemetry/1\n", ctx);
+    return false;
+  }
+  if (!RequireNumbers(telemetry, ctx,
+                      {"nodes_collected", "jobs_completed", "deadline_misses",
+                       "chain_overruns"})) {
+    return false;
+  }
+  if (telemetry.Find("nodes_collected")->number <= 0.0) {
+    std::fprintf(stderr, "FAIL: %s covers no nodes\n", ctx);
+    return false;
+  }
+  const JsonValue* headroom = telemetry.Find("headroom");
+  if (headroom == nullptr ||
+      !RequireNumbers(*headroom, "telemetry headroom",
+                      {"min_us", "min_node", "low_events_total"})) {
+    return false;
+  }
+  const JsonValue* trace = telemetry.Find("trace");
+  if (trace == nullptr ||
+      !RequireNumbers(*trace, "telemetry trace",
+                      {"dropped_total", "worst_node", "worst_node_dropped"})) {
+    return false;
+  }
+  const JsonValue* cycles = telemetry.Find("cycles");
+  if (cycles == nullptr || cycles->Find("buckets_us") == nullptr ||
+      cycles->Find("shares") == nullptr) {
+    std::fprintf(stderr, "FAIL: %s missing cycles {buckets_us, shares}\n", ctx);
+    return false;
+  }
+  if (!RequireHistogram(telemetry, ctx, "response")) {
+    return false;
+  }
+  const JsonValue* chains = telemetry.Find("chains");
+  if (chains == nullptr || chains->type != JsonValue::Type::kArray) {
+    std::fprintf(stderr, "FAIL: %s missing chains array\n", ctx);
+    return false;
+  }
+  for (const JsonValue& chain : chains->array) {
+    const JsonValue* name = chain.Find("name");
+    if (name == nullptr || name->type != JsonValue::Type::kString ||
+        !RequireNumbers(chain, "telemetry chain",
+                        {"deadline_min_us", "deadline_max_us", "completed", "overruns"}) ||
+        !RequireHistogram(chain, name->string.c_str(), "e2e")) {
+      return false;
+    }
+    const JsonValue* hops = chain.Find("hops");
+    if (hops == nullptr || hops->type != JsonValue::Type::kArray) {
+      std::fprintf(stderr, "FAIL: telemetry chain \"%s\" missing hops\n",
+                   name->string.c_str());
+      return false;
+    }
+    for (const JsonValue& hop : hops->array) {
+      if (!RequireHistogram(hop, "telemetry hop", "queue") ||
+          !RequireHistogram(hop, "telemetry hop", "exec")) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 // The fleet report must carry zero failed nodes, positive deterministic
 // aggregates, and — when the timers section is present — a wheel that beats
 // the reference sorted list by the 5x acceptance floor at 10k pending.
@@ -370,6 +441,24 @@ int CheckFleetRun(const char* path, const JsonValue& root) {
     std::fprintf(stderr, "FAIL: fleet missing schedulers object\n");
     return 1;
   }
+  const JsonValue* fleet_trace = root.Find("trace");
+  if (fleet_trace == nullptr ||
+      !RequireNumbers(*fleet_trace, "fleet trace",
+                      {"dropped_total", "worst_node", "worst_node_dropped"})) {
+    return 1;
+  }
+  const JsonValue* triage = root.Find("triage");
+  if (triage == nullptr || triage->type != JsonValue::Type::kObject ||
+      triage->Find("metrics") == nullptr ||
+      triage->Find("metrics")->type != JsonValue::Type::kArray ||
+      triage->Find("outlier_nodes") == nullptr) {
+    std::fprintf(stderr, "FAIL: fleet missing triage {metrics, outlier_nodes}\n");
+    return 1;
+  }
+  const JsonValue* telemetry = root.Find("telemetry");
+  if (telemetry != nullptr && !CheckTelemetrySection(*telemetry, "telemetry")) {
+    return 1;
+  }
   const JsonValue* timers = root.Find("timers");
   if (timers != nullptr) {
     const JsonValue* points = timers->Find("points");
@@ -400,6 +489,59 @@ int CheckFleetRun(const char* path, const JsonValue& root) {
   }
   std::printf("OK: %s (fleet run, %g nodes, %g events, 0 failures)\n", path,
               root.Find("nodes_total")->number, root.Find("events_total")->number);
+  return 0;
+}
+
+// A black-box bundle report (emeralds.obs.blackbox/1) is forensic: it
+// records a (possibly failing) run, so chain violations and invariant
+// breaches are allowed inside it. The check is structural — the bundle must
+// round-trip: label/reason/repro present, the trace accounting coherent,
+// and the embedded node-telemetry block well-formed.
+int CheckObsBlackBox(const char* path, const JsonValue& root) {
+  for (const char* key : {"label", "reason", "repro"}) {
+    const JsonValue* v = root.Find(key);
+    if (v == nullptr || v->type != JsonValue::Type::kString || v->string.empty()) {
+      std::fprintf(stderr, "FAIL: blackbox missing string \"%s\"\n", key);
+      return 1;
+    }
+  }
+  if (!RequireNumbers(root, "blackbox", {"virtual_time_us"})) {
+    return 1;
+  }
+  const JsonValue* trace = root.Find("trace");
+  if (trace == nullptr ||
+      !RequireNumbers(*trace, "blackbox trace", {"retained", "dropped", "total_recorded"})) {
+    return 1;
+  }
+  const JsonValue* threads = root.Find("threads");
+  if (threads == nullptr || threads->type != JsonValue::Type::kArray) {
+    std::fprintf(stderr, "FAIL: blackbox missing threads array\n");
+    return 1;
+  }
+  const JsonValue* stats = root.Find("stats");
+  if (stats == nullptr ||
+      !RequireNumbers(*stats, "blackbox stats",
+                      {"context_switches", "jobs_completed", "deadline_misses",
+                       "timer_dispatches", "headroom_low_events"})) {
+    return 1;
+  }
+  const JsonValue* telemetry = root.Find("telemetry");
+  if (telemetry == nullptr || telemetry->type != JsonValue::Type::kObject ||
+      !RequireHistogram(*telemetry, "blackbox telemetry", "response")) {
+    return 1;
+  }
+  const JsonValue* chains = root.Find("chains");
+  if (chains == nullptr || chains->type != JsonValue::Type::kObject) {
+    std::fprintf(stderr, "FAIL: blackbox missing chains object\n");
+    return 1;
+  }
+  const JsonValue* snapshots = root.Find("snapshots");
+  if (snapshots == nullptr ||
+      !RequireNumbers(*snapshots, "blackbox snapshots", {"count", "dropped"})) {
+    return 1;
+  }
+  std::printf("OK: %s (black box \"%s\": %s)\n", path, root.Find("label")->string.c_str(),
+              root.Find("reason")->string.c_str());
   return 0;
 }
 
@@ -451,6 +593,9 @@ int main(int argc, char** argv) {
   }
   if (schema->string == "emeralds.fleet.run/1") {
     return CheckFleetRun(argv[1], root);
+  }
+  if (schema->string == "emeralds.obs.blackbox/1") {
+    return CheckObsBlackBox(argv[1], root);
   }
   if (schema->string != "emeralds.bench.breakdown/1") {
     std::fprintf(stderr, "FAIL: unexpected schema tag \"%s\"\n", schema->string.c_str());

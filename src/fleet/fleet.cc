@@ -10,6 +10,7 @@
 #include "src/base/rng.h"
 #include "src/base/thread_pool.h"
 #include "src/core/kernel.h"
+#include "src/obs/blackbox.h"
 #include "src/obs/chains.h"
 #include "src/obs/obs_report.h"
 #include "src/obs/trace_analyzer.h"
@@ -79,6 +80,12 @@ struct Node {
 void BuildNode(Node& node, const FleetOptions& opt, int index) {
   Rng topo = Rng(opt.seed).Fork(static_cast<uint64_t>(index) + 1);
   node.result.seed = opt.seed;
+  // Overload injection: the multiplier is applied *after* every topology
+  // draw below, so the Rng stream — and therefore every other node — is
+  // bit-identical whether or not this node is the designated victim.
+  int64_t overload = (index == opt.overload_node && opt.overload_factor > 1)
+                         ? opt.overload_factor
+                         : 1;
 
   KernelConfig config;
   switch (index % 4) {
@@ -166,7 +173,7 @@ void BuildNode(Node& node, const FleetOptions& opt, int index) {
     params.period = producer_period;
     params.first_release = Microseconds(topo.UniformInt(0, 400));
     params.band = dp_bands > 0 ? 0 : -1;
-    Duration cost = Microseconds(topo.UniformInt(100, 250));
+    Duration cost = Microseconds(topo.UniformInt(100, 250) * overload);
     params.wcet = cost;
     params.body = [st, cost](ThreadApi api) -> ThreadBody {
       for (;;) {
@@ -188,7 +195,7 @@ void BuildNode(Node& node, const FleetOptions& opt, int index) {
     params.period = period;
     params.first_release = Microseconds(topo.UniformInt(0, 400));
     params.band = dp_bands > 1 ? 1 : (dp_bands > 0 ? 0 : -1);
-    Duration cost = Microseconds(topo.UniformInt(150, 400));
+    Duration cost = Microseconds(topo.UniformInt(150, 400) * overload);
     params.wcet = cost + period / 4;
     params.body = [st, cost, period](ThreadApi api) -> ThreadBody {
       uint8_t buffer[8];
@@ -220,9 +227,11 @@ void BuildNode(Node& node, const FleetOptions& opt, int index) {
   node.end = Instant() + opt.run_duration;
 }
 
-// Applies the five per-node oracles and fills the NodeResult. Runs on the
-// pool worker that executed the node's final slice.
-void FinishNode(Node& node) {
+// Applies the five per-node oracles, scores the anomaly triage, and (when
+// enabled) collects the node's telemetry block. Pure read of kernel state:
+// the virtual clock has already reached its horizon, so nothing here can
+// perturb the simulated outcome or its digest.
+void EvaluateNode(Node& node, const FleetOptions& opt) {
   Kernel& kernel = *node.kernel;
   NodeResult& r = node.result;
   const KernelStats& s = kernel.stats();
@@ -231,6 +240,7 @@ void FinishNode(Node& node) {
   r.jobs_completed = s.jobs_completed;
   r.deadline_misses = s.deadline_misses;
   r.timer_dispatches = s.timer_dispatches;
+  r.headroom_low_events = s.headroom_low_events;
   r.virtual_time = kernel.now() - Instant();
   r.trace_dropped = kernel.trace().dropped();
   r.trace_digest = DigestNode(kernel);
@@ -267,10 +277,36 @@ void FinishNode(Node& node) {
     r.failure = "progress oracle: node wedged (no jobs, timers, or messages)";
   }
 
+  // Anomaly triage score: deterministic integer badness. Oracle failures
+  // dominate everything; below them deadline misses outrank chain SLO
+  // overruns outrank headroom warnings, with enough spread that counts of a
+  // lesser class cannot outvote one of a greater class in realistic runs.
+  r.anomaly_score = r.deadline_misses * 1000000 + r.chain_overruns * 10000 +
+                    r.headroom_low_events * 100;
+  if (!r.failure.empty()) {
+    r.anomaly_score += 1000000000000ULL;
+    r.anomaly = r.failure;
+  } else if (r.deadline_misses > 0) {
+    r.anomaly = "deadline misses";
+  } else if (r.chain_overruns > 0) {
+    r.anomaly = "chain SLO overruns";
+  } else if (r.headroom_low_events > 0) {
+    r.anomaly = "low deadline headroom";
+  }
+
+  if (opt.telemetry) {
+    r.telemetry = obs::CollectNodeTelemetry(kernel, analysis, chains);
+  }
+}
+
+// EvaluateNode plus teardown. Runs on the pool worker that executed the
+// node's final slice.
+void FinishNode(Node& node, const FleetOptions& opt) {
+  EvaluateNode(node, opt);
   // Reclaim the node's entire footprint in one shot; record the high-water
   // mark first so arenas can be sized from measured fleets.
   node.arena.Reset();
-  r.arena_high_water = node.arena.high_water();
+  node.result.arena_high_water = node.arena.high_water();
   node.hw = nullptr;
   node.kernel = nullptr;
   node.st = nullptr;
@@ -325,7 +361,7 @@ FleetResult RunFleet(const FleetOptions& options) {
       if (kernel.now() < node.end) {
         pool.Submit([&step, index] { step(index); });
       } else {
-        FinishNode(node);
+        FinishNode(node, opt);
       }
     };
     for (int i = 0; i < opt.instances; ++i) {
@@ -342,10 +378,11 @@ FleetResult RunFleet(const FleetOptions& options) {
   out.seed = opt.seed;
   out.timer_queue = opt.timer_queue;
   out.wall_seconds = wall_seconds;
+  out.artifacts_dir = opt.artifacts_dir;
   out.nodes.reserve(nodes.size());
   uint64_t digest = 0xcbf29ce484222325ULL;
-  for (const std::unique_ptr<Node>& node : nodes) {
-    const NodeResult& r = node->result;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const NodeResult& r = nodes[i]->result;
     out.events_total += r.events;
     out.jobs_completed += r.jobs_completed;
     out.deadline_misses += r.deadline_misses;
@@ -354,7 +391,17 @@ FleetResult RunFleet(const FleetOptions& options) {
     out.chain_overruns += r.chain_overruns;
     out.virtual_time_total = out.virtual_time_total + r.virtual_time;
     out.nodes_failed += r.ok() ? 0 : 1;
+    out.nodes_anomalous += r.anomalous() ? 1 : 0;
+    out.headroom_low_total += r.headroom_low_events;
+    out.trace_dropped_total += r.trace_dropped;
+    if (r.trace_dropped > out.trace_dropped_worst) {
+      out.trace_dropped_worst = r.trace_dropped;
+      out.trace_dropped_worst_node = static_cast<int>(i);
+    }
     out.arena_high_water = std::max(out.arena_high_water, r.arena_high_water);
+    if (opt.telemetry) {
+      obs::MergeNodeTelemetry(&out.telemetry, r.telemetry, static_cast<int>(i));
+    }
     digest = Fnv1a(digest, &r.trace_digest, sizeof(r.trace_digest));
     out.nodes.push_back(r);
   }
@@ -364,7 +411,89 @@ FleetResult RunFleet(const FleetOptions& options) {
       virtual_seconds > 0 ? static_cast<double>(out.events_total) / virtual_seconds : 0.0;
   out.events_per_wall_sec =
       wall_seconds > 0 ? static_cast<double>(out.events_total) / wall_seconds : 0.0;
+
+  // Black-box flight recorder: re-run the worst anomalous nodes serially and
+  // bundle their forensic state. The fleet tore each node down right after
+  // its horizon (memory is the budget at fleet scale), but a node is a pure
+  // function of (seed, index), so the re-run reproduces the exact state —
+  // digests are asserted to match.
+  if (!opt.artifacts_dir.empty() && out.nodes_anomalous > 0 && opt.max_blackboxes > 0) {
+    std::vector<int> worst;
+    for (size_t i = 0; i < out.nodes.size(); ++i) {
+      if (out.nodes[i].anomalous()) {
+        worst.push_back(static_cast<int>(i));
+      }
+    }
+    std::sort(worst.begin(), worst.end(), [&out](int a, int b) {
+      const NodeResult& ra = out.nodes[static_cast<size_t>(a)];
+      const NodeResult& rb = out.nodes[static_cast<size_t>(b)];
+      if (ra.anomaly_score != rb.anomaly_score) {
+        return ra.anomaly_score > rb.anomaly_score;
+      }
+      return a < b;
+    });
+    if (worst.size() > static_cast<size_t>(opt.max_blackboxes)) {
+      worst.resize(static_cast<size_t>(opt.max_blackboxes));
+    }
+    for (int index : worst) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "node-%d", index);
+      std::string dir = opt.artifacts_dir + "/" + label;
+      const NodeResult& fleet_view = out.nodes[static_cast<size_t>(index)];
+      InspectNode(opt, index, [&](const Kernel& kernel, const NodeResult& r) {
+        EM_ASSERT_MSG(r.trace_digest == fleet_view.trace_digest,
+                      "black-box re-run diverged from the fleet run");
+        obs::BlackBoxSnapshot box = obs::CaptureBlackBox(
+            kernel, label, r.anomaly, NodeReproCommand(opt, index));
+        obs::WriteBlackBoxBundle(box, dir);
+      });
+      out.blackbox_nodes.push_back(index);
+    }
+  }
   return out;
+}
+
+NodeResult InspectNode(const FleetOptions& options, int index,
+                       const std::function<void(const Kernel&, const NodeResult&)>& visit) {
+  EM_ASSERT(index >= 0 && index < options.instances);
+  FleetOptions opt = options;
+  if (opt.arena_bytes == 0) {
+    opt.arena_bytes = DefaultArenaBytes();
+  }
+  Node node(opt.arena_bytes);
+  BuildNode(node, opt, index);
+  // One shot to the horizon: by the determinism contract this is
+  // bit-identical to the sliced run the fleet performed.
+  node.kernel->RunUntil(node.end);
+  EvaluateNode(node, opt);
+  if (visit) {
+    visit(*node.kernel, node.result);
+  }
+  node.arena.Reset();
+  node.result.arena_high_water = node.arena.high_water();
+  node.hw = nullptr;
+  node.kernel = nullptr;
+  node.st = nullptr;
+  return node.result;
+}
+
+std::string NodeReproCommand(const FleetOptions& options, int index) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "fleet_inspect --instances=%d --seed=%llu --run-ms=%lld --slice-ms=%lld "
+                "--timer-queue=%s --trace-capacity=%llu --node=%d",
+                options.instances, static_cast<unsigned long long>(options.seed),
+                static_cast<long long>(options.run_duration.millis()),
+                static_cast<long long>(options.slice.millis()),
+                TimerQueueImplName(options.timer_queue),
+                static_cast<unsigned long long>(options.trace_capacity), index);
+  std::string cmd = buf;
+  if (options.overload_node >= 0) {
+    std::snprintf(buf, sizeof(buf), " --overload-node=%d --overload-factor=%d",
+                  options.overload_node, options.overload_factor);
+    cmd += buf;
+  }
+  return cmd;
 }
 
 }  // namespace fleet

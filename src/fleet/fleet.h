@@ -31,13 +31,18 @@
 #define SRC_FLEET_FLEET_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "src/base/time.h"
 #include "src/core/timer.h"
+#include "src/obs/telemetry.h"
 
 namespace emeralds {
+
+class Kernel;
+
 namespace fleet {
 
 struct FleetOptions {
@@ -56,6 +61,23 @@ struct FleetOptions {
   // pass a small fixed ring to bound memory — the oracles are
   // truncation-aware, so a wrapped ring degrades checking, never correctness.
   size_t trace_capacity = 0;
+  // Fleet telemetry plane: per-node NodeTelemetry blocks merged into
+  // FleetResult::telemetry. Host-side only — collection happens after each
+  // node reaches its virtual horizon, so digests are bit-identical with
+  // telemetry on or off (tested).
+  bool telemetry = true;
+  // Black-box flight recorder: when non-empty, the worst `max_blackboxes`
+  // anomalous nodes (by anomaly_score, worst first) are re-run serially
+  // after the fleet drains — a node is a pure function of (seed, index), so
+  // the re-run is bit-identical — and their forensic bundles are written
+  // under <artifacts_dir>/node-<index>/.
+  std::string artifacts_dir;
+  int max_blackboxes = 8;
+  // Overload injection for triage tests and demos: multiplies the producer
+  // and consumer compute costs of one node (after its topology draws, so
+  // every other node is untouched). -1 = none.
+  int overload_node = -1;
+  int overload_factor = 8;
 };
 
 // One simulated node's outcome. Everything here is deterministic in
@@ -73,12 +95,21 @@ struct NodeResult {
   uint64_t chain_overruns = 0;  // completed chain instances past their SLO
   uint64_t trace_digest = 0;    // FNV-1a over the retained window + counters
   uint64_t trace_dropped = 0;
+  uint64_t headroom_low_events = 0;
   Duration virtual_time;
   size_t arena_high_water = 0;
   // First failing oracle in human-readable form; empty when all five pass.
   std::string failure;
+  // Anomaly triage: why the node is suspect (empty = healthy) and a
+  // deterministic badness score — oracle failures dominate, then deadline
+  // misses, chain SLO overruns, and headroom-low events.
+  std::string anomaly;
+  uint64_t anomaly_score = 0;
+  // Telemetry block (collected iff FleetOptions::telemetry).
+  obs::NodeTelemetry telemetry;
 
   bool ok() const { return failure.empty(); }
+  bool anomalous() const { return !anomaly.empty(); }
 };
 
 struct FleetResult {
@@ -103,6 +134,19 @@ struct FleetResult {
   uint64_t fleet_digest = 0;
   size_t arena_high_water = 0;  // max across nodes
 
+  // Fleet telemetry plane (merged per-node blocks; nodes_collected == 0
+  // when FleetOptions::telemetry was off).
+  obs::FleetTelemetry telemetry;
+  // Silent ring truncation, surfaced: totals plus the worst offender.
+  uint64_t trace_dropped_total = 0;
+  int trace_dropped_worst_node = -1;
+  uint64_t trace_dropped_worst = 0;
+  uint64_t headroom_low_total = 0;
+  int nodes_anomalous = 0;
+  // Nodes whose black-box bundles were written (worst first), and where.
+  std::vector<int> blackbox_nodes;
+  std::string artifacts_dir;
+
   // Host-side throughput (informational; never gated — wall time is noise).
   double wall_seconds = 0.0;
   double events_per_wall_sec = 0.0;
@@ -115,6 +159,18 @@ struct FleetResult {
 // Runs the fleet to completion. Blocks until every node has finished and
 // been evaluated; must not be called from a fleet/ThreadPool worker.
 FleetResult RunFleet(const FleetOptions& options);
+
+// Deterministically re-runs node `index` of the fleet described by
+// `options` and visits the live kernel (with the filled NodeResult) before
+// the node's arena is torn down. This is the drill-down primitive behind
+// fleet_inspect --node and the black-box recorder: because a node is a
+// pure function of (fleet seed, node index, timer_queue), the revisited
+// state is bit-identical to what the fleet run saw.
+NodeResult InspectNode(const FleetOptions& options, int index,
+                       const std::function<void(const Kernel&, const NodeResult&)>& visit);
+
+// One-line command that re-opens this node with the fleet_inspect CLI.
+std::string NodeReproCommand(const FleetOptions& options, int index);
 
 const char* TimerQueueImplName(TimerQueueImpl impl);
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <map>
 
+#include "src/fleet/triage.h"
 #include "src/obs/json_writer.h"
 
 namespace emeralds {
@@ -26,6 +27,7 @@ std::string BuildFleetRunReport(const FleetRunInfo& info, const FleetResult& res
   json.Int("seed", static_cast<int64_t>(result.seed));
   json.Number("run_duration_ms", info.run_duration.millis_f());
   json.Number("slice_ms", info.slice.millis_f());
+  json.Int("trace_capacity", static_cast<int64_t>(info.trace_capacity));
 
   // Deterministic aggregates: identical across machines and worker counts.
   json.Int("events_total", static_cast<int64_t>(result.events_total));
@@ -38,6 +40,17 @@ std::string BuildFleetRunReport(const FleetRunInfo& info, const FleetResult& res
   json.Int("chain_overruns", static_cast<int64_t>(result.chain_overruns));
   json.Int("nodes_total", static_cast<int64_t>(result.nodes.size()));
   json.Int("nodes_failed", result.nodes_failed);
+  json.Int("nodes_anomalous", result.nodes_anomalous);
+  json.Int("headroom_low_total", static_cast<int64_t>(result.headroom_low_total));
+
+  // Silent ring truncation, surfaced: a node that quietly wrapped its trace
+  // ring has degraded oracle coverage, so the fleet owns up to it here.
+  json.Key("trace");
+  json.OpenObject();
+  json.Int("dropped_total", static_cast<int64_t>(result.trace_dropped_total));
+  json.Int("worst_node", result.trace_dropped_worst_node);
+  json.Int("worst_node_dropped", static_cast<int64_t>(result.trace_dropped_worst));
+  json.CloseObject();
   {
     char digest[32];
     std::snprintf(digest, sizeof(digest), "0x%016llx",
@@ -68,6 +81,44 @@ std::string BuildFleetRunReport(const FleetRunInfo& info, const FleetResult& res
   // Host-side throughput: honest but machine-dependent, so never gated.
   json.Number("wall_seconds", result.wall_seconds);
   json.Number("events_per_wall_sec", result.events_per_wall_sec);
+
+  if (info.telemetry_on_events_per_wall_sec > 0 &&
+      info.telemetry_off_events_per_wall_sec > 0) {
+    json.Key("telemetry_overhead");
+    json.OpenObject();
+    json.Number("on_events_per_wall_sec", info.telemetry_on_events_per_wall_sec);
+    json.Number("off_events_per_wall_sec", info.telemetry_off_events_per_wall_sec);
+    json.Number("ratio", info.telemetry_on_events_per_wall_sec /
+                             info.telemetry_off_events_per_wall_sec);
+    json.CloseObject();
+  }
+
+  // Fleet telemetry plane: exact-bucket percentile tables over the merged
+  // per-node histograms (schema "emeralds.fleet.telemetry/1").
+  if (result.telemetry.nodes_collected > 0) {
+    json.Key("telemetry");
+    obs::AppendFleetTelemetrySection(json, result.telemetry);
+  }
+
+  json.Key("triage");
+  AppendFleetTriageSection(json, ComputeFleetTriage(result));
+
+  if (!result.blackbox_nodes.empty()) {
+    json.Key("blackboxes");
+    json.OpenArray();
+    for (int node : result.blackbox_nodes) {
+      json.OpenObject();
+      json.Int("node", node);
+      char dir[64];
+      std::snprintf(dir, sizeof(dir), "node-%d", node);
+      json.String("dir", dir);
+      json.CloseObject();
+    }
+    json.CloseArray();
+    if (!result.artifacts_dir.empty()) {
+      json.String("artifacts_dir", result.artifacts_dir);
+    }
+  }
 
   if (!timers.empty()) {
     double speedup_10k = 0.0;

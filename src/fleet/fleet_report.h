@@ -43,6 +43,14 @@ struct FleetRunInfo {
   std::string label;  // e.g. "fleet_baseline"
   Duration run_duration;
   Duration slice;
+  // Echoed so fleet_inspect can rebuild the exact FleetOptions from the
+  // report alone (0 = the kernel's retain-everything default).
+  size_t trace_capacity = 0;
+  // Host-side telemetry-collection overhead, measured by bench_fleet as the
+  // events/wall-sec rate with collection on vs off. Informational (wall
+  // clock is never gated); the section is omitted when either is zero.
+  double telemetry_on_events_per_wall_sec = 0.0;
+  double telemetry_off_events_per_wall_sec = 0.0;
 };
 
 // Renders the full report. `timers` may be empty (the section is omitted);

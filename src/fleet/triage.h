@@ -1,0 +1,59 @@
+// Fleet anomaly triage: which nodes deserve a human's attention, ranked.
+//
+// ComputeFleetTriage() turns a FleetResult into per-metric worst-offender
+// tables (top-K, worst first) plus robust outlier flags: a node is an
+// outlier on a metric when its value sits far above the fleet median,
+// measured in MADs (median absolute deviation) so one sick node cannot
+// inflate the yardstick it is judged against. Everything is deterministic
+// integer math — the triage section of the fleet report is byte-stable.
+
+#ifndef SRC_FLEET_TRIAGE_H_
+#define SRC_FLEET_TRIAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fleet/fleet.h"
+
+namespace emeralds {
+namespace obs {
+class Json;
+}  // namespace obs
+
+namespace fleet {
+
+struct TriageEntry {
+  int node = -1;
+  uint64_t value = 0;
+  bool outlier = false;
+};
+
+struct TriageMetric {
+  std::string name;
+  // Worst offenders, value descending (ties by node index ascending); nodes
+  // whose value is zero never make the table. Empty == whole fleet clean.
+  std::vector<TriageEntry> top;
+  uint64_t median = 0;
+  uint64_t mad = 0;  // median absolute deviation from the median
+  int outliers = 0;  // count of flagged nodes across the whole fleet
+};
+
+struct FleetTriage {
+  std::vector<TriageMetric> metrics;
+  // Union of outlier nodes across all metrics, ordered by anomaly_score
+  // descending (ties by index ascending) — the "look here first" list.
+  std::vector<int> outlier_nodes;
+};
+
+// top_k bounds each metric's table, not the outlier flagging (every node is
+// tested against the median/MAD yardstick).
+FleetTriage ComputeFleetTriage(const FleetResult& fleet, int top_k = 5);
+
+// Emits the triage as a JSON object value (caller supplies the key).
+void AppendFleetTriageSection(obs::Json& j, const FleetTriage& triage);
+
+}  // namespace fleet
+}  // namespace emeralds
+
+#endif  // SRC_FLEET_TRIAGE_H_

@@ -9,6 +9,7 @@
 #include "src/base/rng.h"
 #include "src/core/kernel.h"
 #include "src/hal/hardware.h"
+#include "src/obs/blackbox.h"
 #include "src/obs/chains.h"
 
 namespace emeralds {
@@ -654,6 +655,25 @@ bool ExportTortureTraceCsv(const TortureOptions& options, const std::string& pat
   DriveTorture(options, &st, [&](Kernel& kernel) { kernel.trace().ExportCsv(out); });
   std::fclose(out);
   return true;
+}
+
+bool ExportTortureBlackBox(const TortureOptions& options, const TortureResult& result,
+                           const std::string& dir, const std::string& extra_repro) {
+  char label[48];
+  std::snprintf(label, sizeof(label), "torture-seed-%llu",
+                static_cast<unsigned long long>(options.seed));
+  std::string repro = ReproCommand(options);
+  if (!extra_repro.empty()) {
+    repro += "\n" + extra_repro;
+  }
+  bool ok = false;
+  HarnessState st;
+  DriveTorture(options, &st, [&](Kernel& kernel) {
+    obs::BlackBoxSnapshot box = obs::CaptureBlackBox(
+        kernel, label, result.failure.empty() ? "manual export" : result.failure, repro);
+    ok = obs::WriteBlackBoxBundle(box, dir);
+  });
+  return ok;
 }
 
 int BisectSmallestFailing(int hi, const std::function<bool(int)>& fails) {

@@ -143,6 +143,15 @@ TortureResult RunTorture(const TortureOptions& options);
 // deterministic). Returns false when the file cannot be created.
 bool ExportTortureTraceCsv(const TortureOptions& options, const std::string& path);
 
+// Writes the standard black-box forensic bundle for one run under `dir`
+// (repro.txt, trace.csv, blackbox.json — the same layout the fleet's flight
+// recorder emits, so fleet_inspect/trace_inspect tooling reads both).
+// Re-runs the seed deterministically; `result` supplies the failure text.
+// `extra_repro` (e.g. the shrunk repro line) is appended to repro.txt when
+// non-empty. Returns false when the bundle cannot be written.
+bool ExportTortureBlackBox(const TortureOptions& options, const TortureResult& result,
+                           const std::string& dir, const std::string& extra_repro = "");
+
 // Smallest op budget in [1, hi] for which `fails` still holds, assuming
 // monotonicity (best effort otherwise); the workhorse behind shrinking.
 int BisectSmallestFailing(int hi, const std::function<bool(int)>& fails);

@@ -56,10 +56,34 @@ class Log2Histogram {
     return count_ > 0 ? total_ / static_cast<int64_t>(count_) : Duration();
   }
 
-  // Upper edge of the first bucket at which the running count reaches
-  // `fraction` of the samples — a bucket-resolution percentile (what a log2
-  // histogram can answer). `fraction` in (0, 1]; zero duration when empty.
-  Duration ApproxPercentile(double fraction) const {
+  // Lossless merge: bucket-wise sum plus exact min/max/count/total. A merge
+  // of sketches is bucket-identical to the sketch of the concatenated sample
+  // streams (the property test in tests/obs/telemetry_test.cc), which is what
+  // makes per-node histograms aggregable into exact fleet-wide tables.
+  void Merge(const Log2Histogram& other) {
+    if (other.count_ == 0) {
+      return;
+    }
+    if (count_ == 0 || other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+    count_ += other.count_;
+    total_ += other.total_;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+  }
+
+  // Upper bound on the `fraction` percentile: the upper edge of the first
+  // bucket at which the running count reaches `fraction` of the samples,
+  // clamped by the exact max. Every true percentile is <= this bound, and the
+  // bound is tight at bucket granularity — it survives Merge() exactly, so
+  // fleet-wide percentile tables over merged histograms are bucket-exact.
+  // `fraction` in (0, 1]; zero duration when empty.
+  Duration PercentileBound(double fraction) const {
     if (count_ == 0) {
       return Duration();
     }
@@ -71,12 +95,18 @@ class Log2Histogram {
     for (int i = 0; i < kNumBuckets; ++i) {
       seen += buckets_[i];
       if (seen >= target) {
+        if (i == kNumBuckets - 1) {
+          return max_;  // the overflow bucket is unbounded above
+        }
         Duration upper = Microseconds(int64_t{1} << (i + 1));
         return upper < max_ ? upper : max_;
       }
     }
     return max_;
   }
+
+  // Historical name for PercentileBound (the single-node reports use it).
+  Duration ApproxPercentile(double fraction) const { return PercentileBound(fraction); }
 
   // Index of the last non-empty bucket (-1 when empty); printers use it to
   // bound their loops.

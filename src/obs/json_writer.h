@@ -51,6 +51,10 @@ class Json {
     Sep();
     JsonAppendInt(&out_, value);
   }
+  void StringElem(const std::string& value) {
+    Sep();
+    JsonAppendEscaped(&out_, value);
+  }
 
   const std::string& str() const { return out_; }
 

@@ -9,16 +9,18 @@ namespace emeralds {
 namespace obs {
 namespace {
 
-constexpr int kPid = 1;
-
-// Emits traceEvents entries with the shared pid/comma bookkeeping.
+// Emits traceEvents entries with the shared pid/comma bookkeeping. One
+// writer spans every window of a multi-node merge; set_pid() switches the
+// process between windows without resetting the comma state.
 class EventWriter {
  public:
   explicit EventWriter(std::FILE* out) : out_(out) {}
 
+  void set_pid(int pid) { pid_ = pid; }
+
   void Open(const char* ph, double ts_us, int tid) {
     std::fprintf(out_, "%s  {\"ph\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f",
-                 count_ == 0 ? "" : ",\n", ph, kPid, tid, ts_us);
+                 count_ == 0 ? "" : ",\n", ph, pid_, tid, ts_us);
     ++count_;
   }
 
@@ -38,7 +40,7 @@ class EventWriter {
     JsonAppendEscaped(&buf, value);
     std::fprintf(out_,
                  "%s  {\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\",\"args\":{\"name\":%s}}",
-                 count_ == 0 ? "" : ",\n", kPid, tid, name, buf.c_str());
+                 count_ == 0 ? "" : ",\n", pid_, tid, name, buf.c_str());
     ++count_;
   }
 
@@ -66,6 +68,7 @@ class EventWriter {
 
  private:
   std::FILE* out_;
+  int pid_ = 1;
   size_t count_ = 0;
 };
 
@@ -81,12 +84,20 @@ std::string ThreadLabel(const PerfettoExportOptions& options, int32_t id) {
   return buf;
 }
 
-}  // namespace
-
-size_t ExportPerfettoJson(const TraceEvent* events, size_t count,
-                          const PerfettoExportOptions& options, std::FILE* out) {
-  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", out);
-  EventWriter w(out);
+// Emits one window's events through the shared writer. `flow_counter` is
+// the cross-window PI flow-id sequence (flow ids must be unique across the
+// whole document, not per window).
+void ExportWindow(EventWriter& w, const TraceEvent* events, size_t count,
+                  const PerfettoExportOptions& options, uint64_t* flow_counter) {
+  w.set_pid(options.pid);
+  // Node-scoped id prefix: spans and flows from different processes must
+  // never pair, so every id is namespaced once the pid leaves the default.
+  char sp[16];
+  if (options.pid == 1) {
+    sp[0] = '\0';
+  } else {
+    std::snprintf(sp, sizeof(sp), "p%d.", options.pid);
+  }
   w.Metadata("process_name", 0, options.process_name);
 
   // Thread-name metadata for every thread id that appears in the window.
@@ -157,9 +168,8 @@ size_t ExportPerfettoJson(const TraceEvent* events, size_t count,
     }
     return &blocked_on[id];
   };
-  uint64_t flow_id = 0;
   char name[64];
-  char span_id[48];
+  char span_id[64];
 
   for (size_t i = 0; i < count; ++i) {
     const TraceEvent& e = events[i];
@@ -184,7 +194,7 @@ size_t ExportPerfettoJson(const TraceEvent* events, size_t count,
       }
       case TraceEventType::kJobRelease:
       case TraceEventType::kJobComplete:
-        std::snprintf(span_id, sizeof(span_id), "job.t%d.%d", e.arg0, e.arg1);
+        std::snprintf(span_id, sizeof(span_id), "%sjob.t%d.%d", sp, e.arg0, e.arg1);
         std::snprintf(name, sizeof(name), "job %d", e.arg1);
         w.Async(e.type == TraceEventType::kJobRelease ? "b" : "e", ts, e.arg0, name, "job",
                 span_id);
@@ -199,21 +209,21 @@ size_t ExportPerfettoJson(const TraceEvent* events, size_t count,
           // A resolving acquire ends the thread's open block span first.
           int32_t* blocked = blocked_slot(e.arg0);
           if (blocked != nullptr && *blocked == e.arg1) {
-            std::snprintf(span_id, sizeof(span_id), "block.t%d.s%d", e.arg0, e.arg1);
+            std::snprintf(span_id, sizeof(span_id), "%sblock.t%d.s%d", sp, e.arg0, e.arg1);
             std::snprintf(name, sizeof(name), "blocked on S%d", e.arg1);
             w.Async("e", ts, e.arg0, name, "semblock", span_id);
             *blocked = -1;
           }
         }
         // Hold span on the holder's track: acquire opens, release closes.
-        std::snprintf(span_id, sizeof(span_id), "hold.t%d.s%d", e.arg0, e.arg1);
+        std::snprintf(span_id, sizeof(span_id), "%shold.t%d.s%d", sp, e.arg0, e.arg1);
         std::snprintf(name, sizeof(name), "holds S%d", e.arg1);
         w.Async(e.type == TraceEventType::kSemAcquire ? "b" : "e", ts, e.arg0, name, "sem",
                 span_id);
         break;
       }
       case TraceEventType::kSemAcquireBlock: {
-        std::snprintf(span_id, sizeof(span_id), "block.t%d.s%d", e.arg0, e.arg1);
+        std::snprintf(span_id, sizeof(span_id), "%sblock.t%d.s%d", sp, e.arg0, e.arg1);
         std::snprintf(name, sizeof(name), "blocked on S%d", e.arg1);
         w.Async("b", ts, e.arg0, name, "semblock", span_id);
         int32_t* blocked = blocked_slot(e.arg0);
@@ -227,10 +237,16 @@ size_t ExportPerfettoJson(const TraceEvent* events, size_t count,
         w.Instant(ts, e.arg0, name, "cse");
         break;
       case TraceEventType::kPiInherit: {
-        // Arrow donor -> holder as a flow pair.
-        ++flow_id;
-        char idnum[24];
-        std::snprintf(idnum, sizeof(idnum), ",\"id\":%" PRIu64, flow_id);
+        // Arrow donor -> holder as a flow pair. The counter spans windows;
+        // prefixed (string) ids keep cross-node arrows impossible even if a
+        // future caller resets it.
+        ++*flow_counter;
+        char idnum[40];
+        if (options.pid == 1) {
+          std::snprintf(idnum, sizeof(idnum), ",\"id\":%" PRIu64, *flow_counter);
+        } else {
+          std::snprintf(idnum, sizeof(idnum), ",\"id\":\"%s%" PRIu64 "\"", sp, *flow_counter);
+        }
         w.Open("s", ts, e.arg1);
         w.Field("name", "pi");
         w.Field("cat", "pi");
@@ -279,7 +295,7 @@ size_t ExportPerfettoJson(const TraceEvent* events, size_t count,
         int hop = ChainHopOf(e.arg2);
         int actor = ChainActorOf(e.arg2);
         int tid = actor >= 0 ? actor : 0;
-        std::snprintf(span_id, sizeof(span_id), "chain.o%u.h%d.e%d",
+        std::snprintf(span_id, sizeof(span_id), "%schain.o%u.h%d.e%d", sp,
                       static_cast<uint32_t>(e.arg0), is_emit ? hop : hop - 1, e.arg1);
         std::snprintf(name, sizeof(name), "chain %s:%d",
                       ChainEndpointKindToString(ChainEndpointKindOf(e.arg1)),
@@ -343,7 +359,27 @@ size_t ExportPerfettoJson(const TraceEvent* events, size_t count,
       }
     }
   }
+}
 
+}  // namespace
+
+size_t ExportPerfettoJson(const TraceEvent* events, size_t count,
+                          const PerfettoExportOptions& options, std::FILE* out) {
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", out);
+  EventWriter w(out);
+  uint64_t flow_counter = 0;
+  ExportWindow(w, events, count, options, &flow_counter);
+  std::fputs("\n]}\n", out);
+  return w.count();
+}
+
+size_t ExportPerfettoJsonMulti(const std::vector<PerfettoWindow>& windows, std::FILE* out) {
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", out);
+  EventWriter w(out);
+  uint64_t flow_counter = 0;
+  for (const PerfettoWindow& window : windows) {
+    ExportWindow(w, window.events, window.count, window.options, &flow_counter);
+  }
   std::fputs("\n]}\n", out);
   return w.count();
 }

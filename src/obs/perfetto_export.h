@@ -36,6 +36,11 @@ struct PerfettoCounterSample {
 
 struct PerfettoExportOptions {
   std::string process_name = "emeralds";
+  // Process id the window renders under. The default (1) keeps single-node
+  // exports byte-stable; multi-node merges give each node its own pid, and
+  // every async-span / flow id is then prefixed "p<pid>." so spans from
+  // different nodes can never pair with each other.
+  int pid = 1;
   // Display name per thread id; ids without an entry render as "t<id>".
   std::vector<std::string> thread_names;
   // Events lost ahead of the retained window (TraceSink::dropped());
@@ -53,6 +58,19 @@ size_t ExportPerfettoJson(const TraceEvent* events, size_t count,
 
 // Convenience: exports a kernel's retained trace with its thread names.
 size_t ExportPerfettoJson(const Kernel& kernel, std::FILE* out);
+
+// One node's window of a multi-node merge. The events pointer must stay
+// valid for the duration of the export call.
+struct PerfettoWindow {
+  const TraceEvent* events = nullptr;
+  size_t count = 0;
+  PerfettoExportOptions options;
+};
+
+// Merges several node windows into one timeline document: each window
+// renders as its own process (options.pid / options.process_name), with
+// node-scoped span ids. fleet_inspect --merge is built on this.
+size_t ExportPerfettoJsonMulti(const std::vector<PerfettoWindow>& windows, std::FILE* out);
 
 // Thread display names ("<name>/<id>") in thread-id order, for options.
 std::vector<std::string> KernelThreadNames(const Kernel& kernel);

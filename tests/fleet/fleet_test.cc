@@ -91,6 +91,32 @@ TEST(FleetTest, DigestIsStableAcrossRunsAndWorkerCounts) {
   }
 }
 
+// Telemetry collection is a pure host-side read after each node's virtual
+// horizon: digests must be bit-identical with it on or off, and — with it
+// on — across worker counts. This is the zero-virtual-cost guarantee the
+// telemetry plane is built on.
+TEST(FleetTest, TelemetryCollectionNeverPerturbsTheDigest) {
+  FleetOptions opt = SmallFleet();
+  opt.telemetry = false;
+  FleetResult off = RunFleet(opt);
+  EXPECT_EQ(off.telemetry.nodes_collected, 0);
+
+  opt.telemetry = true;
+  for (int workers : {1, 2, 8}) {
+    opt.workers = workers;
+    FleetResult on = RunFleet(opt);
+    EXPECT_EQ(on.fleet_digest, off.fleet_digest) << workers << " workers";
+    EXPECT_EQ(on.events_total, off.events_total) << workers << " workers";
+    EXPECT_EQ(on.telemetry.nodes_collected, opt.instances) << workers << " workers";
+    EXPECT_EQ(on.telemetry.jobs_completed, on.jobs_completed) << workers << " workers";
+    EXPECT_GT(on.telemetry.response.count(), 0u) << workers << " workers";
+    // The merged percentile tables are themselves deterministic.
+    EXPECT_EQ(on.telemetry.response.PercentileBound(0.99),
+              RunFleet(opt).telemetry.response.PercentileBound(0.99))
+        << workers << " workers";
+  }
+}
+
 // Different seeds must actually change the workloads.
 TEST(FleetTest, SeedChangesTheFleet) {
   FleetOptions opt = SmallFleet();

@@ -1,0 +1,385 @@
+// fleet_inspect: drill into a fleet run from its JSON report.
+//
+//   fleet_inspect <fleet_report.json>
+//       Renders the fleet's headline numbers, merged telemetry percentiles,
+//       and the anomaly-triage tables (worst nodes per metric, median/MAD
+//       outlier flags) from the report alone — no simulation.
+//
+//   fleet_inspect <fleet_report.json> --node=N [--dir=D] [--perfetto=out.json]
+//       Deterministically re-runs node N of the fleet the report describes
+//       (a node is a pure function of the fleet seed and its index, so the
+//       replay is bit-identical), prints its oracle verdict and telemetry,
+//       and optionally writes its black-box bundle (--dir) and a Perfetto
+//       timeline with node-scoped track names (--perfetto).
+//
+//   fleet_inspect <fleet_report.json> --merge=N1,N2,... --perfetto=out.json
+//       Re-runs each listed node and merges their trace windows into one
+//       multi-process Perfetto document (one pid per node).
+//
+// The fleet configuration comes from the report; every field can be
+// overridden by flags (--instances, --seed, --run-ms, --slice-ms,
+// --timer-queue, --trace-capacity, --overload-node, --overload-factor), and
+// with a full flag set the report path may be omitted entirely — that is
+// the form NodeReproCommand() emits into black-box repro.txt files.
+//
+// Exit status: 0 clean; 1 usage / I/O / parse failure; 2 an inspected node
+// failed an oracle (table mode: the report records failed nodes).
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/base/json.h"
+#include "src/fleet/fleet.h"
+#include "src/fleet/fleet_report.h"
+#include "src/fleet/triage.h"
+#include "src/obs/blackbox.h"
+#include "src/obs/perfetto_export.h"
+
+namespace emeralds {
+namespace fleet {
+namespace {
+
+int64_t RootInt(const JsonValue& root, const char* key, int64_t fallback) {
+  const JsonValue* v = root.Find(key);
+  return v != nullptr && v->type == JsonValue::Type::kNumber ? static_cast<int64_t>(v->number)
+                                                             : fallback;
+}
+
+double RootNumber(const JsonValue& root, const char* key, double fallback) {
+  const JsonValue* v = root.Find(key);
+  return v != nullptr && v->type == JsonValue::Type::kNumber ? v->number : fallback;
+}
+
+std::string RootString(const JsonValue& root, const char* key) {
+  const JsonValue* v = root.Find(key);
+  return v != nullptr && v->type == JsonValue::Type::kString ? v->string : std::string();
+}
+
+void PrintPercentiles(const char* title, const JsonValue& hist) {
+  std::printf("  %-14s n=%-8lld p50<=%.0fus  p90<=%.0fus  p99<=%.0fus  max=%.0fus\n", title,
+              static_cast<long long>(RootInt(hist, "count", 0)),
+              RootNumber(hist, "p50_us", 0), RootNumber(hist, "p90_us", 0),
+              RootNumber(hist, "p99_us", 0), RootNumber(hist, "max_us", 0));
+}
+
+// Table mode: everything comes from the report document.
+int PrintReport(const JsonValue& root, const char* path) {
+  std::printf("%s: %s fleet, %lld nodes, seed %lld, %s timers\n", path,
+              RootString(root, "label").c_str(), static_cast<long long>(RootInt(root, "instances", 0)),
+              static_cast<long long>(RootInt(root, "seed", 0)),
+              RootString(root, "timer_queue").c_str());
+  std::printf("  events=%lld (%.0f/virtual-sec)  jobs=%lld  misses=%lld  chain overruns=%lld\n",
+              static_cast<long long>(RootInt(root, "events_total", 0)),
+              RootNumber(root, "events_per_virtual_sec", 0),
+              static_cast<long long>(RootInt(root, "jobs_completed", 0)),
+              static_cast<long long>(RootInt(root, "deadline_misses", 0)),
+              static_cast<long long>(RootInt(root, "chain_overruns", 0)));
+  std::printf("  nodes failed=%lld anomalous=%lld  digest=%s\n",
+              static_cast<long long>(RootInt(root, "nodes_failed", 0)),
+              static_cast<long long>(RootInt(root, "nodes_anomalous", 0)),
+              RootString(root, "fleet_digest").c_str());
+  if (const JsonValue* trace = root.Find("trace")) {
+    int64_t dropped = RootInt(*trace, "dropped_total", 0);
+    if (dropped > 0) {
+      std::printf("  trace dropped=%lld (worst: node %lld dropped %lld)\n",
+                  static_cast<long long>(dropped),
+                  static_cast<long long>(RootInt(*trace, "worst_node", -1)),
+                  static_cast<long long>(RootInt(*trace, "worst_node_dropped", 0)));
+    }
+  }
+
+  if (const JsonValue* telemetry = root.Find("telemetry")) {
+    std::printf("telemetry (%s, %lld nodes):\n", RootString(*telemetry, "schema").c_str(),
+                static_cast<long long>(RootInt(*telemetry, "nodes_collected", 0)));
+    if (const JsonValue* response = telemetry->Find("response")) {
+      PrintPercentiles("response", *response);
+    }
+    if (const JsonValue* chains = telemetry->Find("chains")) {
+      for (const JsonValue& c : chains->array) {
+        if (const JsonValue* e2e = c.Find("e2e")) {
+          std::string name = "chain " + RootString(c, "name");
+          PrintPercentiles(name.c_str(), *e2e);
+        }
+      }
+    }
+  }
+
+  if (const JsonValue* triage = root.Find("triage")) {
+    std::printf("triage:\n");
+    if (const JsonValue* metrics = triage->Find("metrics")) {
+      for (const JsonValue& m : metrics->array) {
+        const JsonValue* top = m.Find("top");
+        if (top == nullptr || top->array.empty()) {
+          continue;
+        }
+        std::printf("  %-20s median=%lld mad=%lld outliers=%lld | worst:",
+                    RootString(m, "name").c_str(),
+                    static_cast<long long>(RootInt(m, "median", 0)),
+                    static_cast<long long>(RootInt(m, "mad", 0)),
+                    static_cast<long long>(RootInt(m, "outliers", 0)));
+        for (const JsonValue& e : top->array) {
+          std::printf(" n%lld=%lld%s", static_cast<long long>(RootInt(e, "node", -1)),
+                      static_cast<long long>(RootInt(e, "value", 0)),
+                      e.Find("outlier") != nullptr && e.Find("outlier")->boolean ? "*" : "");
+        }
+        std::printf("\n");
+      }
+    }
+    if (const JsonValue* outliers = triage->Find("outlier_nodes")) {
+      if (!outliers->array.empty()) {
+        std::printf("  outlier nodes:");
+        for (const JsonValue& n : outliers->array) {
+          std::printf(" %lld", static_cast<long long>(n.number));
+        }
+        std::printf("\n");
+      }
+    }
+  }
+
+  if (const JsonValue* boxes = root.Find("blackboxes")) {
+    std::printf("black boxes (%s):", RootString(root, "artifacts_dir").c_str());
+    for (const JsonValue& b : boxes->array) {
+      std::printf(" %s", RootString(b, "dir").c_str());
+    }
+    std::printf("\n");
+  }
+  return RootInt(root, "nodes_failed", 0) > 0 ? 2 : 0;
+}
+
+void PrintNodeResult(int index, const NodeResult& r) {
+  std::printf("node %d: %s, %" PRIu64 " events, %" PRIu64 " jobs, %" PRIu64
+              " misses, %" PRIu64 " chain overruns, %" PRIu64 " headroom-low\n",
+              index, r.scheduler.c_str(), r.events, r.jobs_completed, r.deadline_misses,
+              r.chain_overruns, r.headroom_low_events);
+  std::printf("  digest=0x%016llx  trace dropped=%" PRIu64 "\n",
+              static_cast<unsigned long long>(r.trace_digest), r.trace_dropped);
+  if (r.telemetry.collected && r.telemetry.response.count() > 0) {
+    std::printf("  response: n=%" PRIu64 " p50<=%.0fus p99<=%.0fus max=%.0fus\n",
+                r.telemetry.response.count(),
+                r.telemetry.response.PercentileBound(0.5).micros_f(),
+                r.telemetry.response.PercentileBound(0.99).micros_f(),
+                r.telemetry.response.max().micros_f());
+  }
+  if (r.anomalous()) {
+    std::printf("  ANOMALY (score %" PRIu64 "): %s\n", r.anomaly_score, r.anomaly.c_str());
+  } else {
+    std::printf("  oracles: ok\n");
+  }
+}
+
+constexpr const char* kUsage =
+    "usage: fleet_inspect [report.json] [--node=N | --merge=N1,N2,...]\n"
+    "                     [--dir=DIR] [--perfetto=OUT.json]\n"
+    "                     [--instances=N] [--seed=S] [--run-ms=M] [--slice-ms=K]\n"
+    "                     [--timer-queue=wheel|sorted_list] [--trace-capacity=C]\n"
+    "                     [--overload-node=I] [--overload-factor=F]\n";
+
+bool FlagValue(const char* arg, const char* name, const char** value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+int Main(int argc, char** argv) {
+  const char* report_path = nullptr;
+  const char* dir = nullptr;
+  const char* perfetto_path = nullptr;
+  const char* merge_list = nullptr;
+  int node = -1;
+  FleetOptions opt;
+  opt.instances = 0;  // must come from the report or --instances
+  opt.workers = 1;
+  bool have_config = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (FlagValue(argv[i], "--node", &v)) {
+      node = std::atoi(v);
+    } else if (FlagValue(argv[i], "--merge", &v)) {
+      merge_list = v;
+    } else if (FlagValue(argv[i], "--dir", &v)) {
+      dir = v;
+    } else if (FlagValue(argv[i], "--perfetto", &v)) {
+      perfetto_path = v;
+    } else if (FlagValue(argv[i], "--instances", &v)) {
+      opt.instances = std::atoi(v);
+      have_config = true;
+    } else if (FlagValue(argv[i], "--seed", &v)) {
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (FlagValue(argv[i], "--run-ms", &v)) {
+      opt.run_duration = Milliseconds(std::atoll(v));
+    } else if (FlagValue(argv[i], "--slice-ms", &v)) {
+      opt.slice = Milliseconds(std::atoll(v));
+    } else if (FlagValue(argv[i], "--timer-queue", &v)) {
+      opt.timer_queue = std::strcmp(v, "wheel") == 0 ? TimerQueueImpl::kWheel
+                                                     : TimerQueueImpl::kSortedList;
+    } else if (FlagValue(argv[i], "--trace-capacity", &v)) {
+      opt.trace_capacity = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (FlagValue(argv[i], "--overload-node", &v)) {
+      opt.overload_node = std::atoi(v);
+    } else if (FlagValue(argv[i], "--overload-factor", &v)) {
+      opt.overload_factor = std::atoi(v);
+    } else if (report_path == nullptr && argv[i][0] != '-') {
+      report_path = argv[i];
+    } else {
+      std::fprintf(stderr, "%s", kUsage);
+      return 1;
+    }
+  }
+
+  JsonValue root;
+  bool have_report = false;
+  if (report_path != nullptr) {
+    std::FILE* f = std::fopen(report_path, "r");
+    if (f == nullptr) {
+      std::fprintf(stderr, "fleet_inspect: cannot open %s\n", report_path);
+      return 1;
+    }
+    std::string text;
+    char buf[4096];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      text.append(buf, n);
+    }
+    std::fclose(f);
+    std::string error;
+    if (!JsonParse(text, &root, &error)) {
+      std::fprintf(stderr, "fleet_inspect: %s: %s\n", report_path, error.c_str());
+      return 1;
+    }
+    if (RootString(root, "schema") != kFleetRunSchema) {
+      std::fprintf(stderr, "fleet_inspect: %s is not an %s report\n", report_path,
+                   kFleetRunSchema);
+      return 1;
+    }
+    have_report = true;
+    // Report config first, flags override (flags were already applied above,
+    // so only fill fields the flags left untouched).
+    if (opt.instances == 0) {
+      opt.instances = static_cast<int>(RootInt(root, "instances", 0));
+    }
+    if (opt.seed == 1 && root.Find("seed") != nullptr) {
+      opt.seed = static_cast<uint64_t>(RootInt(root, "seed", 1));
+    }
+    if (opt.run_duration == Milliseconds(100)) {
+      opt.run_duration = Milliseconds(static_cast<int64_t>(RootNumber(root, "run_duration_ms", 100)));
+    }
+    if (opt.slice == Milliseconds(5)) {
+      opt.slice = Milliseconds(static_cast<int64_t>(RootNumber(root, "slice_ms", 5)));
+    }
+    if (opt.trace_capacity == 0) {
+      opt.trace_capacity = static_cast<size_t>(RootInt(root, "trace_capacity", 0));
+    }
+    if (RootString(root, "timer_queue") == "sorted_list") {
+      opt.timer_queue = TimerQueueImpl::kSortedList;
+    }
+    have_config = true;
+  }
+
+  if (!have_config || opt.instances <= 0) {
+    std::fprintf(stderr, "fleet_inspect: need a report or --instances\n%s", kUsage);
+    return 1;
+  }
+
+  // Pure table mode.
+  if (node < 0 && merge_list == nullptr) {
+    if (!have_report) {
+      std::fprintf(stderr, "fleet_inspect: table mode needs a report\n%s", kUsage);
+      return 1;
+    }
+    return PrintReport(root, report_path);
+  }
+
+  // Drill-down: deterministic serial replay of the requested node(s).
+  std::vector<int> targets;
+  if (node >= 0) {
+    targets.push_back(node);
+  } else {
+    for (const char* p = merge_list; *p != '\0';) {
+      targets.push_back(std::atoi(p));
+      const char* comma = std::strchr(p, ',');
+      if (comma == nullptr) {
+        break;
+      }
+      p = comma + 1;
+    }
+  }
+  for (int t : targets) {
+    if (t < 0 || t >= opt.instances) {
+      std::fprintf(stderr, "fleet_inspect: node %d out of range [0, %d)\n", t, opt.instances);
+      return 1;
+    }
+  }
+
+  int status = 0;
+  std::vector<std::vector<TraceEvent>> windows(targets.size());
+  std::vector<obs::PerfettoExportOptions> window_options(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    int index = targets[i];
+    NodeResult result = InspectNode(opt, index, [&](const Kernel& kernel, const NodeResult& r) {
+      obs::BlackBoxSnapshot box = obs::CaptureBlackBox(
+          kernel, "node-" + std::to_string(index),
+          r.anomalous() ? r.anomaly : std::string("manual inspection"),
+          NodeReproCommand(opt, index));
+      windows[i] = box.window;
+      obs::PerfettoExportOptions& po = window_options[i];
+      po.process_name = "node-" + std::to_string(index);
+      po.pid = index + 1;
+      po.thread_names = box.thread_names;
+      po.dropped_events = box.dropped;
+      if (dir != nullptr) {
+        std::string bundle_dir = std::string(dir) + "/node-" + std::to_string(index);
+        if (obs::WriteBlackBoxBundle(box, bundle_dir)) {
+          std::printf("black box: wrote %s/{repro.txt,trace.csv,blackbox.json}\n",
+                      bundle_dir.c_str());
+        } else {
+          std::fprintf(stderr, "fleet_inspect: cannot write bundle under %s\n",
+                       bundle_dir.c_str());
+          status = 1;
+        }
+      }
+    });
+    PrintNodeResult(index, result);
+    if (!result.ok() && status == 0) {
+      status = 2;
+    }
+  }
+
+  if (perfetto_path != nullptr) {
+    std::FILE* pf = std::fopen(perfetto_path, "w");
+    if (pf == nullptr) {
+      std::fprintf(stderr, "fleet_inspect: cannot open %s\n", perfetto_path);
+      return 1;
+    }
+    size_t entries = 0;
+    if (targets.size() == 1) {
+      entries = obs::ExportPerfettoJson(windows[0].data(), windows[0].size(),
+                                        window_options[0], pf);
+    } else {
+      std::vector<obs::PerfettoWindow> merged(targets.size());
+      for (size_t i = 0; i < targets.size(); ++i) {
+        merged[i].events = windows[i].data();
+        merged[i].count = windows[i].size();
+        merged[i].options = window_options[i];
+      }
+      entries = obs::ExportPerfettoJsonMulti(merged, pf);
+    }
+    std::fclose(pf);
+    std::printf("perfetto: wrote %zu entries (%zu node%s) to %s\n", entries, targets.size(),
+                targets.size() == 1 ? "" : "s", perfetto_path);
+  }
+  return status;
+}
+
+}  // namespace
+}  // namespace fleet
+}  // namespace emeralds
+
+int main(int argc, char** argv) { return emeralds::fleet::Main(argc, argv); }

@@ -6,12 +6,14 @@
 //   torture --seed=7 --check-determinism   run twice, compare trace digests
 //   torture --seed=7 --trace-csv=out.csv   export the run's trace
 //   torture --runs=8 --json=report.json    machine-readable report
-//   torture --artifacts-dir=out/           on failure, drop repro.txt, the
-//                                          failing trace CSV, and the report
+//   torture --artifacts-dir=out/           on failure, drop the black-box
+//                                          bundle (repro.txt, trace.csv,
+//                                          blackbox.json — the fleet flight-
+//                                          recorder layout) and the report
 //                                          JSON there (CI uploads them)
 //   torture --runs=64 --jobs=8             parallel sweep on the work-stealing
 //                                          pool; each worker drops its first
-//                                          failure's artifacts under
+//                                          failure's bundle under
 //                                          <artifacts-dir>/worker-N/
 //   torture --timer-queue=list             run against the reference sorted
 //                                          timer list instead of the wheel
@@ -24,7 +26,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -193,18 +194,12 @@ int Run(int argc, char** argv) {
             int w = ThreadPool::CurrentWorker();
             if (w >= 0 && worker_wrote_artifacts[static_cast<size_t>(w)] == 0) {
               worker_wrote_artifacts[static_cast<size_t>(w)] = 1;
+              // Each worker's first failure gets the standard black-box
+              // bundle (repro.txt, trace.csv, blackbox.json) — the same
+              // layout the fleet flight recorder writes.
               std::string dir =
                   std::string(artifacts_dir) + "/worker-" + std::to_string(w);
-              std::error_code ec;
-              std::filesystem::create_directories(dir, ec);
-              std::string repro_path = dir + "/repro.txt";
-              if (std::FILE* rf = std::fopen(repro_path.c_str(), "w")) {
-                std::fprintf(rf, "%s\nfailure: %s\n",
-                             ReproCommand(all_options[slot]).c_str(),
-                             result.failure.c_str());
-                std::fclose(rf);
-              }
-              ExportTortureTraceCsv(all_options[slot], dir + "/failing-trace.csv");
+              ExportTortureBlackBox(all_options[slot], result, dir);
             }
           }
         });
@@ -246,20 +241,14 @@ int Run(int argc, char** argv) {
         // First failure wins the artifact slots: later failures of the same
         // sweep are almost always the same bug, and CI wants one clear repro.
         if (artifacts_dir != nullptr && failed == 1) {
-          std::string dir = artifacts_dir;
-          std::string repro_path = dir + "/repro.txt";
-          if (std::FILE* rf = std::fopen(repro_path.c_str(), "w")) {
-            std::fprintf(rf, "%s\n%s\nfailure: %s\n", ReproCommand(options).c_str(),
-                         ReproCommand(shrunk).c_str(), result.failure.c_str());
-            std::fclose(rf);
+          // Standard black-box bundle (repro.txt with the shrunk line
+          // appended, trace.csv, blackbox.json) at the artifacts root.
+          if (ExportTortureBlackBox(options, result, artifacts_dir,
+                                    "shrunk: " + ReproCommand(shrunk))) {
+            std::printf("  artifacts: %s/{repro.txt,trace.csv,blackbox.json}\n",
+                        artifacts_dir);
           } else {
-            std::fprintf(stderr, "cannot write %s\n", repro_path.c_str());
-          }
-          std::string trace_path = dir + "/failing-trace.csv";
-          if (ExportTortureTraceCsv(options, trace_path)) {
-            std::printf("  artifacts: %s, %s\n", repro_path.c_str(), trace_path.c_str());
-          } else {
-            std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+            std::fprintf(stderr, "cannot write bundle under %s\n", artifacts_dir);
           }
         }
       }
