@@ -299,6 +299,84 @@ void CompareFleet(const JsonValue& baseline, const JsonValue& candidate,
   }
 }
 
+// --- emeralds.bench.smp/1 ---
+
+void CompareSmp(const JsonValue& baseline, const JsonValue& candidate,
+                const CompareOptions& opt, CompareResult* r) {
+  // The run is pure virtual time, so the throughput integers are
+  // deterministic: any drift means partitioned-SMP behavior changed.
+  const JsonValue* base_rows = baseline.Find("throughput");
+  const JsonValue* cand_rows = candidate.Find("throughput");
+  if (base_rows == nullptr || base_rows->type != JsonValue::Type::kArray ||
+      cand_rows == nullptr || cand_rows->type != JsonValue::Type::kArray) {
+    Failf(r, "throughput array missing");
+    return;
+  }
+  if (base_rows->array.size() != cand_rows->array.size()) {
+    Failf(r, "throughput row count differs: baseline %zu vs candidate %zu",
+          base_rows->array.size(), cand_rows->array.size());
+    return;
+  }
+  for (size_t i = 0; i < base_rows->array.size(); ++i) {
+    const JsonValue& base = base_rows->array[i];
+    const JsonValue& cand = cand_rows->array[i];
+    double cores = NumberOr(base, "num_cores", -1);
+    if (cores != NumberOr(cand, "num_cores", -2)) {
+      Failf(r, "row %zu: num_cores differs (baseline %.0f vs candidate %.0f)", i, cores,
+            NumberOr(cand, "num_cores", -2));
+      continue;
+    }
+    if (!BoolOr(cand, "conserved", false)) {
+      Failf(r, "%.0f-core candidate run is not cycle-conserved", cores);
+    }
+    for (const char* key : {"user_ns", "idle_ns", "ipis", "jobs_completed"}) {
+      double base_v = NumberOr(base, key, -1);
+      double cand_v = NumberOr(cand, key, -2);
+      if (std::fabs(cand_v - base_v) > std::fabs(base_v) * opt.rel_tolerance) {
+        Failf(r, "%.0f-core %s drifted: %.0f vs baseline %.0f (virtual time is deterministic; "
+                 "regenerate the baseline if the workload changed)",
+              cores, key, cand_v, base_v);
+      } else if (cand_v != base_v) {
+        Notef(r, "%.0f-core %s: %.0f vs baseline %.0f (within tolerance)", cores, key, cand_v,
+              base_v);
+      }
+    }
+  }
+  // The scaling floor is absolute, like the fleet's wheel speedup.
+  double ratio2 = NumberOr(candidate, "ratio_2core", -1);
+  if (ratio2 < 1.7) {
+    Failf(r, "2-core user-cycle scaling is %.3fx (floor 1.7x)", ratio2);
+  }
+  double base_ratio2 = NumberOr(baseline, "ratio_2core", 0.0);
+  if (base_ratio2 > 0 && ratio2 < base_ratio2 * (1.0 - opt.rel_tolerance)) {
+    Failf(r, "ratio_2core regressed: %.3f vs baseline %.3f", ratio2, base_ratio2);
+  }
+  // Admission counts are exact: the workloads and search are seeded.
+  const JsonValue* base_adm = baseline.Find("admission");
+  const JsonValue* cand_adm = candidate.Find("admission");
+  const JsonValue* base_pts =
+      base_adm != nullptr ? base_adm->Find("points") : nullptr;
+  const JsonValue* cand_pts =
+      cand_adm != nullptr ? cand_adm->Find("points") : nullptr;
+  if (base_pts == nullptr || base_pts->type != JsonValue::Type::kArray || cand_pts == nullptr ||
+      cand_pts->type != JsonValue::Type::kArray ||
+      base_pts->array.size() != cand_pts->array.size()) {
+    Failf(r, "admission points missing or count differs");
+    return;
+  }
+  for (size_t i = 0; i < base_pts->array.size(); ++i) {
+    for (const char* key : {"admitted_1core", "admitted_2core", "admitted_4core"}) {
+      double base_v = NumberOr(base_pts->array[i], key, -1);
+      double cand_v = NumberOr(cand_pts->array[i], key, -2);
+      if (base_v != cand_v) {
+        Failf(r, "admission point %zu: %s differs (%.0f vs baseline %.0f; the sweep is "
+                 "seeded — regenerate the baseline if the search changed)",
+              i, key, cand_v, base_v);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 CompareResult CompareReports(const JsonValue& baseline, const JsonValue& candidate,
@@ -323,6 +401,8 @@ CompareResult CompareReports(const JsonValue& baseline, const JsonValue& candida
     CompareBreakdown(baseline, candidate, options, &r);
   } else if (base_schema->string == "emeralds.fleet.run/1") {
     CompareFleet(baseline, candidate, options, &r);
+  } else if (base_schema->string == "emeralds.bench.smp/1") {
+    CompareSmp(baseline, candidate, options, &r);
   } else {
     Failf(&r, "schema %s is not gated by bench_compare", base_schema->string.c_str());
   }

@@ -7,6 +7,7 @@
 //   emeralds.fuzz.torture/1    — torture-harness sweep report
 //   emeralds.fleet.run/1       — fleet simulation report (fleet_smoke label)
 //   emeralds.obs.blackbox/1    — black-box flight-recorder bundle report
+//   emeralds.bench.smp/1       — partitioned-SMP throughput/admission report
 // For the obs, fuzz, and fleet schemas the check is substantive, not just
 // structural: invariant-violation lists must be empty, reconciliation flags
 // true, every torture run ok, and the cycle ledger conserved (bucket sum ==
@@ -545,6 +546,97 @@ int CheckObsBlackBox(const char* path, const JsonValue& root) {
   return 0;
 }
 
+// The SMP report is gated substantively: every throughput row must conserve
+// its ledger fleet-summed AND per core (residuals exactly zero), the 2-core
+// run must deliver the 1.7x aggregate user-cycle floor over 1-core at equal
+// horizon (recomputed from the integers, not just the reported ratio), and
+// partitioned-CSD admission must be monotone in core count.
+int CheckBenchSmp(const char* path, const JsonValue& root) {
+  if (!RequireNumbers(root, "smp", {"horizon_ms", "ratio_2core", "ratio_4core"})) {
+    return 1;
+  }
+  const JsonValue* rows = root.Find("throughput");
+  if (rows == nullptr || rows->type != JsonValue::Type::kArray || rows->array.empty()) {
+    std::fprintf(stderr, "FAIL: smp missing throughput array\n");
+    return 1;
+  }
+  double user_by_cores[16] = {};
+  for (const JsonValue& row : rows->array) {
+    if (!RequireNumbers(row, "smp throughput row",
+                        {"num_cores", "user_ns", "idle_ns", "ipis", "context_switches",
+                         "jobs_completed"})) {
+      return 1;
+    }
+    const double cores = row.Find("num_cores")->number;
+    const JsonValue* conserved = row.Find("conserved");
+    if (conserved == nullptr || conserved->type != JsonValue::Type::kBool ||
+        !conserved->boolean) {
+      std::fprintf(stderr, "FAIL: smp %g-core row not conserved\n", cores);
+      return 1;
+    }
+    const JsonValue* per_core = row.Find("cores");
+    if (per_core == nullptr || per_core->type != JsonValue::Type::kArray ||
+        per_core->array.size() != static_cast<size_t>(cores)) {
+      std::fprintf(stderr, "FAIL: smp %g-core row missing per-core ledger array\n", cores);
+      return 1;
+    }
+    for (const JsonValue& c : per_core->array) {
+      if (!RequireNumbers(c, "smp per-core ledger",
+                          {"core", "elapsed_ns", "ledger_total_ns", "residual_ns"})) {
+        return 1;
+      }
+      const JsonValue* cons = c.Find("conserved");
+      if (cons == nullptr || cons->type != JsonValue::Type::kBool || !cons->boolean ||
+          c.Find("residual_ns")->number != 0.0) {
+        std::fprintf(stderr, "FAIL: smp %g-core run, core %g: residual %g ns (must be 0)\n",
+                     cores, c.Find("core")->number, c.Find("residual_ns")->number);
+        return 1;
+      }
+    }
+    if (cores >= 1 && cores < 16) {
+      user_by_cores[static_cast<int>(cores)] = row.Find("user_ns")->number;
+    }
+  }
+  if (user_by_cores[1] <= 0.0 || user_by_cores[2] <= 0.0) {
+    std::fprintf(stderr, "FAIL: smp report lacks 1-core and 2-core throughput rows\n");
+    return 1;
+  }
+  const double ratio2 = user_by_cores[2] / user_by_cores[1];
+  if (ratio2 < 1.7) {
+    std::fprintf(stderr, "FAIL: 2-core user-cycle throughput is %.3fx 1-core (floor 1.7x)\n",
+                 ratio2);
+    return 1;
+  }
+  const JsonValue* admission = root.Find("admission");
+  if (admission == nullptr || admission->type != JsonValue::Type::kObject) {
+    std::fprintf(stderr, "FAIL: smp missing admission object\n");
+    return 1;
+  }
+  const JsonValue* points = admission->Find("points");
+  if (points == nullptr || points->type != JsonValue::Type::kArray || points->array.empty()) {
+    std::fprintf(stderr, "FAIL: smp admission missing points array\n");
+    return 1;
+  }
+  for (const JsonValue& p : points->array) {
+    if (!RequireNumbers(p, "smp admission point",
+                        {"utilization", "admitted_1core", "admitted_2core", "admitted_4core"})) {
+      return 1;
+    }
+    const double a1 = p.Find("admitted_1core")->number;
+    const double a2 = p.Find("admitted_2core")->number;
+    const double a4 = p.Find("admitted_4core")->number;
+    if (a2 < a1 || a4 < a2) {
+      std::fprintf(stderr,
+                   "FAIL: admission not monotone in cores at U=%g (1:%g 2:%g 4:%g)\n",
+                   p.Find("utilization")->number, a1, a2, a4);
+      return 1;
+    }
+  }
+  std::printf("OK: %s (smp: 2-core %.3fx user cycles, %zu admission points)\n", path, ratio2,
+              points->array.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -596,6 +688,9 @@ int main(int argc, char** argv) {
   }
   if (schema->string == "emeralds.obs.blackbox/1") {
     return CheckObsBlackBox(argv[1], root);
+  }
+  if (schema->string == "emeralds.bench.smp/1") {
+    return CheckBenchSmp(argv[1], root);
   }
   if (schema->string != "emeralds.bench.breakdown/1") {
     std::fprintf(stderr, "FAIL: unexpected schema tag \"%s\"\n", schema->string.c_str());

@@ -1,0 +1,77 @@
+#include "src/analysis/smp_partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/base/assert.h"
+
+namespace emeralds {
+
+SmpPartitionResult PartitionCsdSmp(const TaskSet& sorted_tasks, int num_cores, int queues,
+                                   double scale, const CostModel& cost, CsdSearchStats* stats) {
+  EM_ASSERT(num_cores >= 1);
+  EM_ASSERT(sorted_tasks.IsSortedByPeriod());
+
+  SmpPartitionResult out;
+  out.assignment.assign(sorted_tasks.tasks.size(), -1);
+  out.cores.resize(num_cores);
+  out.packed = true;
+
+  // Stage 1: first-fit decreasing by scaled utilization. stable_sort keeps
+  // equal-utilization tasks in period order, so the pack is deterministic.
+  std::vector<int> order(sorted_tasks.tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return sorted_tasks.tasks[a].utilization() > sorted_tasks.tasks[b].utilization();
+  });
+  for (int idx : order) {
+    const double u = sorted_tasks.tasks[idx].utilization() * scale;
+    int chosen = -1;
+    for (int c = 0; c < num_cores; ++c) {
+      if (out.cores[c].utilization + u <= 1.0) {
+        chosen = c;
+        break;
+      }
+    }
+    if (chosen < 0) {
+      // No bin has room: the pack failed, but keep the assignment total by
+      // dumping the task on the least-loaded core so the per-core admission
+      // below still reports a complete picture.
+      out.packed = false;
+      chosen = 0;
+      for (int c = 1; c < num_cores; ++c) {
+        if (out.cores[c].utilization < out.cores[chosen].utilization) {
+          chosen = c;
+        }
+      }
+    }
+    out.assignment[idx] = chosen;
+    out.cores[chosen].utilization += u;
+  }
+
+  // Rebuild each core's subset in original (period-sorted) order so the
+  // per-core search matches a single-core search over the same tasks.
+  for (size_t i = 0; i < sorted_tasks.tasks.size(); ++i) {
+    SmpCoreAdmission& core = out.cores[out.assignment[i]];
+    core.tasks.tasks.push_back(sorted_tasks.tasks[i]);
+    core.task_indices.push_back(static_cast<int>(i));
+  }
+
+  // Stage 2: the unchanged single-core CSD-x admission, per core.
+  out.feasible = out.packed;
+  for (SmpCoreAdmission& core : out.cores) {
+    if (core.tasks.tasks.empty()) {
+      core.feasible = true;  // nothing to schedule
+      continue;
+    }
+    core.csd_partition =
+        BestCsdPartition(core.tasks, queues, scale, cost, /*exhaustive=*/queues <= 3, stats);
+    core.feasible = !core.csd_partition.empty();
+    if (!core.feasible) {
+      out.feasible = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace emeralds

@@ -1,0 +1,79 @@
+// Partitioned-SMP admission for CSD (the multi-core extension of the
+// Section 5.5.3 off-line search).
+//
+// EMERALDS' SMP model is fully partitioned: every task is pinned to one core
+// at configuration time and never migrates, so schedulability decomposes into
+// (a) a task-to-core assignment and (b) the unchanged single-core CSD-x test
+// run independently per core. The assignment stage is first-fit decreasing by
+// utilization — the classic partitioned-EDF heuristic — with ties broken by
+// original (period-sorted) task order so the result is deterministic. Each
+// core's task subset then goes through BestCsdPartition exactly as a
+// single-core workload would.
+//
+// At num_cores == 1 the assignment is the identity and the admission result
+// is golden-equivalent to the single-core search by construction (the tests
+// enforce bit-equality of the winning queue partition).
+
+#ifndef SRC_ANALYSIS_SMP_PARTITION_H_
+#define SRC_ANALYSIS_SMP_PARTITION_H_
+
+#include <vector>
+
+#include "src/analysis/breakdown.h"
+#include "src/workload/workload.h"
+
+namespace emeralds {
+
+struct SmpCoreAdmission {
+  // The core's task subset, in the original period-sorted order (filtering a
+  // period-sorted set preserves the sort, so the per-core CSD search sees
+  // exactly what a single-core search over these tasks would).
+  TaskSet tasks;
+  // Indices into the input task set, same order as `tasks`.
+  std::vector<int> task_indices;
+  // Scaled utilization packed onto this core by the FFD stage.
+  double utilization = 0.0;
+  // Winning CSD queue sizes (DP queues first, FP last); empty when the
+  // subset is non-empty and no allocation is feasible. An empty core is
+  // trivially feasible with an empty partition.
+  std::vector<int> csd_partition;
+  bool feasible = false;
+};
+
+struct SmpPartitionResult {
+  // True only when every task found a core under the unit-capacity bin pack
+  // AND every core's subset passed its CSD-x test.
+  bool feasible = false;
+  // True when the FFD stage alone succeeded (every task placed in a core
+  // with scaled utilization <= 1.0 after placement).
+  bool packed = false;
+  // task index -> core id. Always fully populated: a task that overflows
+  // every bin is placed on the least-loaded core (and `packed` turns false)
+  // so the per-core reports stay meaningful.
+  std::vector<int> assignment;
+  std::vector<SmpCoreAdmission> cores;
+
+  double max_core_utilization() const {
+    double m = 0.0;
+    for (const SmpCoreAdmission& c : cores) {
+      if (c.utilization > m) {
+        m = c.utilization;
+      }
+    }
+    return m;
+  }
+};
+
+// Runs the two-stage partitioned admission: FFD by scaled utilization
+// (capacity 1.0 per core), then per-core BestCsdPartition(queues, scale,
+// cost) with the same exhaustive-below-four-queues policy as the single-core
+// search. `sorted_tasks` must be period-sorted (RM order), as for every other
+// analysis entry point. Optional `stats` accumulates the per-core search
+// counters.
+SmpPartitionResult PartitionCsdSmp(const TaskSet& sorted_tasks, int num_cores, int queues,
+                                   double scale, const CostModel& cost,
+                                   CsdSearchStats* stats = nullptr);
+
+}  // namespace emeralds
+
+#endif  // SRC_ANALYSIS_SMP_PARTITION_H_

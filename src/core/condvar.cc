@@ -18,7 +18,7 @@ Condvar* Kernel::CondvarPtr(CondvarId id) {
 }
 
 Kernel::SyscallOutcome Kernel::SysCondWait(Tcb& t, CondvarId cv_id, SemId mutex_id) {
-  EM_ASSERT(&t == current_);
+  EM_ASSERT(&t == cores_[t.core]->current);
   ++stats_.syscalls;
   Charge(ChargeCategory::kSyscall, cost_.syscall);
   Condvar* cv = CondvarPtr(cv_id);
@@ -47,7 +47,7 @@ Kernel::SyscallOutcome Kernel::SysCondWait(Tcb& t, CondvarId cv_id, SemId mutex_
   Tcb* insert_before = nullptr;
   for (Tcb& other : cv->waiters) {
     ++visits;
-    if (sched_.HigherPriority(t, other)) {
+    if (HigherPriority(t, other)) {
       insert_before = &other;
       break;
     }
@@ -94,7 +94,7 @@ void Kernel::WakeCondWaiter(Condvar& cv, Tcb& waiter) {
 }
 
 Kernel::SyscallOutcome Kernel::SysCondWake(Tcb& t, CondvarId cv_id, bool broadcast) {
-  EM_ASSERT(&t == current_);
+  EM_ASSERT(&t == cores_[t.core]->current);
   ++stats_.syscalls;
   Charge(ChargeCategory::kSyscall, cost_.syscall);
   Condvar* cv = CondvarPtr(cv_id);
@@ -131,7 +131,7 @@ Kernel::SyscallOutcome Kernel::SysCondWake(Tcb& t, CondvarId cv_id, bool broadca
   } while (broadcast);
 
   t.syscall_status = Status::kOk;
-  if (need_resched_) {
+  if (need_resched()) {
     t.resume_pending = true;
     return {true};
   }

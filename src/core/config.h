@@ -24,6 +24,11 @@ namespace emeralds {
 // sweep ablation.
 inline constexpr int kMaxBands = 8;
 
+// Maximum number of virtual cores. Partitioned SMP: each thread is pinned to
+// one core at creation and never migrates; cross-core wakes are priced as
+// virtual IPIs (CycleBucket::kIpi).
+inline constexpr int kMaxCores = 8;
+
 // Fixed-priority rank assignment for threads that ask for automatic ranking
 // (Section 5.3: "or any fixed-priority scheduler such as deadline-monotonic
 // [18], but for simplicity, we assume RM").
@@ -114,6 +119,11 @@ struct ResolvedChain {
 
 struct KernelConfig {
   SchedulerSpec scheduler = SchedulerSpec::Edf();
+
+  // Number of virtual cores (partitioned scheduling, no migration). Each core
+  // gets its own scheduler state block built from `scheduler`; threads are
+  // pinned via ThreadParams::core. 1 = the paper's single-CPU EMERALDS.
+  int num_cores = 1;
   CostModel cost_model = CostModel::MC68040_25MHz();
   SemMode default_sem_mode = SemMode::kCse;
   FpRankPolicy fp_rank_policy = FpRankPolicy::kRateMonotonic;
@@ -169,6 +179,10 @@ struct ThreadParams {
   // the lowest-priority (fixed-priority) band. The CSD partition search in
   // src/analysis/ produces these assignments.
   int band = -1;
+
+  // Core this thread is pinned to for its whole lifetime (partitioned SMP,
+  // no migration). Must be in [0, KernelConfig::num_cores).
+  int core = 0;
 
   // Fixed-priority rank; -1 lets the kernel assign rate-monotonic ranks
   // (shorter period = higher priority) at Start().

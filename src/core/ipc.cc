@@ -39,7 +39,7 @@ Duration Kernel::CopyCost(size_t bytes) const {
 
 Kernel::SyscallOutcome Kernel::SysSend(Tcb& t, MailboxId id, std::span<const uint8_t> data,
                                        bool wait) {
-  EM_ASSERT(&t == current_);
+  EM_ASSERT(&t == cores_[t.core]->current);
   ++stats_.syscalls;
   Charge(ChargeCategory::kSyscall, cost_.syscall);
   Mailbox* mbox = MailboxPtr(id);
@@ -74,7 +74,7 @@ Kernel::SyscallOutcome Kernel::SysSend(Tcb& t, MailboxId id, std::span<const uin
     ++stats_.mailbox_sends;
     trace_.Record(hw_.now(), TraceEventType::kMsgSend, t.id.value, mbox->id.value);
     t.syscall_status = Status::kOk;
-    if (need_resched_) {
+    if (need_resched()) {
       t.resume_pending = true;
       return {true};
     }
@@ -114,7 +114,7 @@ Kernel::SyscallOutcome Kernel::SysSend(Tcb& t, MailboxId id, std::span<const uin
   Tcb* insert_before = nullptr;
   for (Tcb& other : mbox->send_waiters) {
     ++visits;
-    if (sched_.HigherPriority(t, other)) {
+    if (HigherPriority(t, other)) {
       insert_before = &other;
       break;
     }
@@ -130,7 +130,7 @@ Kernel::SyscallOutcome Kernel::SysSend(Tcb& t, MailboxId id, std::span<const uin
 
 Kernel::SyscallOutcome Kernel::SysRecv(Tcb& t, MailboxId id, std::span<uint8_t> buffer,
                                        Duration timeout, SemId next_sem) {
-  EM_ASSERT(&t == current_);
+  EM_ASSERT(&t == cores_[t.core]->current);
   ++stats_.syscalls;
   Charge(ChargeCategory::kSyscall, cost_.syscall);
   Mailbox* mbox = MailboxPtr(id);
@@ -159,7 +159,7 @@ Kernel::SyscallOutcome Kernel::SysRecv(Tcb& t, MailboxId id, std::span<uint8_t> 
     ChainConsume(ChainEndpointPack(ChainEndpointKind::kMailbox, mbox->id.value), message.token, t);
     // Space freed: admit the highest-priority blocked sender, if any.
     AdmitBlockedSender(*mbox);
-    if (need_resched_) {
+    if (need_resched()) {
       t.resume_pending = true;
       return {true};
     }
@@ -184,7 +184,7 @@ Kernel::SyscallOutcome Kernel::SysRecv(Tcb& t, MailboxId id, std::span<uint8_t> 
   Tcb* insert_before = nullptr;
   for (Tcb& other : mbox->recv_waiters) {
     ++visits;
-    if (sched_.HigherPriority(t, other)) {
+    if (HigherPriority(t, other)) {
       insert_before = &other;
       break;
     }
@@ -267,7 +267,7 @@ void Kernel::AdmitBlockedSender(Mailbox& mbox) {
 // --- State messages ---
 
 Kernel::SyscallOutcome Kernel::SysStateWrite(Tcb& t, SmsgId id, std::span<const uint8_t> data) {
-  EM_ASSERT(&t == current_);
+  EM_ASSERT(&t == cores_[t.core]->current);
   // User-level operation: no syscall trap is charged.
   StateMessageBuffer* smsg = SmsgPtr(id);
   if (smsg == nullptr) {
@@ -299,7 +299,7 @@ Kernel::SyscallOutcome Kernel::SysStateWrite(Tcb& t, SmsgId id, std::span<const 
   t.remaining_compute = cost_.statemsg_fixed + CopyCost(data.size());
   if (!t.remaining_compute.is_positive()) {
     FinishStateWrite(t);
-    if (need_resched_) {
+    if (need_resched()) {
       return {true};  // resume_pending already set
     }
     t.resume_pending = false;
@@ -334,7 +334,7 @@ void Kernel::FinishStateWrite(Tcb& t) {
 }
 
 Kernel::SyscallOutcome Kernel::SysStateRead(Tcb& t, SmsgId id, std::span<uint8_t> buffer) {
-  EM_ASSERT(&t == current_);
+  EM_ASSERT(&t == cores_[t.core]->current);
   StateMessageBuffer* smsg = SmsgPtr(id);
   if (smsg == nullptr) {
     t.syscall_status = Status::kBadHandle;
@@ -358,7 +358,7 @@ Kernel::SyscallOutcome Kernel::SysStateRead(Tcb& t, SmsgId id, std::span<uint8_t
   t.remaining_compute = cost_.statemsg_fixed + CopyCost(std::min(buffer.size(), smsg->size));
   if (!t.remaining_compute.is_positive()) {
     FinishStateRead(t);
-    if (need_resched_) {
+    if (need_resched()) {
       return {true};  // resume_pending already set
     }
     t.resume_pending = false;

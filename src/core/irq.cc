@@ -51,11 +51,13 @@ void Kernel::HandleIrq(int line) {
     }
   }
   Charge(ChargeCategory::kInterrupt, cost_.interrupt_exit);
-  need_resched_ = true;
+  // ISRs run on the boot core; a woken driver pinned elsewhere already paid
+  // its IPI through WakeThread -> MakeReady -> NotifyCore.
+  cores_[active_core_]->need_resched = true;
 }
 
 Kernel::SyscallOutcome Kernel::SysWaitIrq(Tcb& t, int line, SemId next_sem) {
-  EM_ASSERT(&t == current_);
+  EM_ASSERT(&t == cores_[t.core]->current);
   ++stats_.syscalls;
   Charge(ChargeCategory::kSyscall, cost_.syscall);
   if (line < 0 || line >= kNumIrqLines) {
@@ -74,7 +76,7 @@ Kernel::SyscallOutcome Kernel::SysWaitIrq(Tcb& t, int line, SemId next_sem) {
     // and let further drains of the same burst run token-free.
     ChainConsume(ChainEndpointPack(ChainEndpointKind::kIrq, line), t.irq_latched_token, t);
     t.irq_latched_token.clear();
-    if (need_resched_) {
+    if (need_resched()) {
       t.resume_pending = true;
       return {true};
     }

@@ -24,9 +24,15 @@ Kernel::Kernel(Hardware& hw, const KernelConfig& config)
     : hw_(hw),
       config_(config),
       cost_(config.cost_model),
-      sched_(config.scheduler),
       trace_(config.trace_capacity),
       soft_timers_(config.timer_queue) {
+  EM_ASSERT_MSG(config_.num_cores >= 1 && config_.num_cores <= kMaxCores,
+                "num_cores %d outside [1, %d]", config_.num_cores, kMaxCores);
+  cores_.reserve(static_cast<size_t>(config_.num_cores));
+  for (int c = 0; c < config_.num_cores; ++c) {
+    cores_.push_back(std::make_unique<CoreState>(config_.scheduler));
+  }
+  stats_.num_cores = config_.num_cores;
   processes_.reserve(config_.max_processes);
   threads_.reserve(config_.max_threads);
   semaphores_.reserve(config_.max_semaphores);
@@ -40,6 +46,8 @@ Kernel::Kernel(Hardware& hw, const KernelConfig& config)
 
   static_assert(kMaxBands == kMaxStatBands,
                 "per-band cycle table must cover every CSD band");
+  static_assert(kMaxCores == kMaxStatCores,
+                "per-core cycle ledgers must cover every core");
   stats_.cycles_epoch = hw_.now();
 
   hw_.irq().Attach(kIrqTimer, &Kernel::IrqTrampoline, this);
@@ -67,14 +75,14 @@ Kernel::~Kernel() {
   }
   for (auto& t : threads_) {
     if (t->boosted_into_band >= 0) {
-      sched_.RemoveBoost(*t);
+      sched_of(*t).RemoveBoost(*t);
     }
   }
   for (auto& t : threads_) {
     // kNew threads were never handed to the scheduler (Start() not reached);
     // kFinished threads were removed at exit.
     if (t->state != ThreadState::kFinished && t->state != ThreadState::kNew) {
-      sched_.RemoveThread(*t);
+      sched_of(*t).RemoveThread(*t);
     }
     if (t->coroutine) {
       t->coroutine.destroy();
@@ -112,6 +120,9 @@ Result<ThreadId> Kernel::CreateThread(const ThreadParams& params) {
       params.first_release.is_negative()) {
     return Status::kInvalidArgument;
   }
+  if (params.core < 0 || params.core >= config_.num_cores) {
+    return Status::kInvalidArgument;
+  }
   auto tcb = std::make_unique<Tcb>();
   tcb->id = ThreadId(static_cast<int>(threads_.size()));
   tcb->process = params.process;
@@ -123,6 +134,7 @@ Result<ThreadId> Kernel::CreateThread(const ThreadParams& params) {
   tcb->first_release_offset = params.first_release;
   tcb->base_band = params.band;
   tcb->base_rm_rank = params.rm_rank;
+  tcb->core = params.core;
   tcb->wcet = params.wcet;
   tcb->period_timer.kind = TimerKind::kPeriodRelease;
   tcb->period_timer.owner = tcb.get();
@@ -375,7 +387,9 @@ void Kernel::ChainConsume(int32_t endpoint, CausalToken token, Tcb& consumer) {
   }
   if (token.hop >= kMaxChainHops) {
     // Cyclic pipeline: stop the token instead of growing the hop count
-    // without bound. The consumer starts token-free.
+    // without bound. The consumer starts token-free; the analyzer counts the
+    // dropped token as a saturated hop, never a conservation violation.
+    ++stats_.chain_hop_saturations;
     consumer.chain_token.clear();
     return;
   }
@@ -532,7 +546,7 @@ void Kernel::Start() {
   for (auto& owned : threads_) {
     Tcb& t = *owned;
     t.effective_rm_rank = t.base_rm_rank;
-    sched_.AddThread(t);
+    sched_of(t).AddThread(t);
     if (t.periodic) {
       t.state = ThreadState::kBlocked;
       t.block_reason = BlockReason::kWaitPeriod;
@@ -543,7 +557,7 @@ void Kernel::Start() {
       t.effective_deadline = Instant::Max();
       t.state = ThreadState::kBlocked;
       ChargeList charges;
-      sched_.Unblock(t, charges);
+      sched_of(t).Unblock(t, charges);
       t.state = ThreadState::kReady;
       t.resume_pending = true;
     }
@@ -551,7 +565,9 @@ void Kernel::Start() {
   if (stats_sampler_ != nullptr) {
     ArmSoftTimer(stats_sample_timer_, start + stats_sample_period_);
   }
-  need_resched_ = true;
+  for (auto& cs : cores_) {
+    cs->need_resched = true;
+  }
 }
 
 // --- Executive ---
@@ -560,12 +576,47 @@ void Kernel::RunUntil(Instant end) {
   EM_ASSERT_MSG(started_, "RunUntil before Start()");
   for (;;) {
     DispatchDueWork();
-    if (need_resched_) {
-      Reschedule();
+    if (ServiceDrains()) {
+      continue;  // a drained compute may unblock more work
+    }
+    bool rescheduled = false;
+    for (int c = 0; c < config_.num_cores; ++c) {
+      if (cores_[c]->need_resched) {
+        Reschedule(c);
+        rescheduled = true;
+      }
+    }
+    if (rescheduled) {
       continue;  // charges may have made hardware work due
     }
-    Tcb* cur = current_;
-    if (cur == nullptr) {
+    // Classify every core: the lowest core whose current thread finished its
+    // compute gets resumed first (deterministic order); otherwise all
+    // mid-compute cores advance together to the nearest compute horizon.
+    // A core whose current thread was blocked cross-core (state != kRunning)
+    // counts as idle until its pending reschedule runs.
+    Tcb* to_resume = nullptr;
+    bool any_compute = false;
+    Instant horizon = Instant::Max();
+    for (int c = 0; c < config_.num_cores; ++c) {
+      Tcb* t = cores_[c]->current;
+      if (t == nullptr || t->state != ThreadState::kRunning) {
+        continue;
+      }
+      if (t->remaining_compute.is_positive()) {
+        any_compute = true;
+        horizon = std::min(horizon, hw_.now() + t->remaining_compute);
+      } else if (to_resume == nullptr) {
+        to_resume = t;
+      }
+    }
+    if (to_resume != nullptr) {
+      if (hw_.now() >= end) {
+        return;  // thread code at exactly `end` runs on the next RunUntil
+      }
+      ResumeThread(*to_resume);
+      continue;
+    }
+    if (!any_compute) {
       Instant next = hw_.NextTimerExpiry();
       Instant target = std::min(next, end);
       if (target > hw_.now()) {
@@ -576,25 +627,16 @@ void Kernel::RunUntil(Instant end) {
       }
       return;  // idle through `end`
     }
-    if (cur->remaining_compute.is_positive()) {
-      Instant target = std::min(hw_.now() + cur->remaining_compute,
-                                std::min(hw_.NextTimerExpiry(), end));
-      if (target > hw_.now()) {
-        AdvanceCompute(*cur, target - hw_.now());
-      }
-      if (cur->remaining_compute.is_zero()) {
-        FinishComputeDrain(*cur);
-        continue;
-      }
-      if (hw_.now() >= end) {
-        return;  // mid-compute at the horizon
-      }
+    Instant target = std::min(horizon, std::min(hw_.NextTimerExpiry(), end));
+    if (target > hw_.now()) {
+      AdvanceWorld(target - hw_.now());
+    }
+    if (ServiceDrains()) {
       continue;
     }
     if (hw_.now() >= end) {
-      return;  // thread code at exactly `end` runs on the next RunUntil
+      return;  // mid-compute at the horizon
     }
-    ResumeThread(*cur);
   }
 }
 
@@ -608,53 +650,60 @@ void Kernel::DispatchDueWork() {
   }
 }
 
-void Kernel::Reschedule() {
-  need_resched_ = false;
-  bool sem_attr = resched_from_sem_;
-  resched_from_sem_ = false;
+void Kernel::Reschedule(int core) {
+  CoreState& cs = *cores_[core];
+  ScopedActiveCore active(*this, core);
+  cs.need_resched = false;
+  bool sem_attr = cs.resched_from_sem;
+  cs.resched_from_sem = false;
   ScopedSemPath path_guard(*this);
   sem_path_ = sem_attr;  // scope restores the previous value on exit
 
   ChargeList charges;
   int parsed = 0;
-  Tcb* next = sched_.Select(charges, &parsed);
+  Tcb* next = cs.sched.Select(charges, &parsed);
   ++stats_.selections;
   ChargeQueueOps(charges);
-  if (sched_.num_bands() > 1) {
+  if (cs.sched.num_bands() > 1) {
     Charge(ChargeCategory::kScheduling, cost_.csd_queue_parse * parsed);
   }
-  if (next != current_) {
-    ContextSwitch(next);
+  if (next != cs.current) {
+    ContextSwitch(core, next);
   } else if (next != nullptr && next->state == ThreadState::kReady) {
     // The current thread blocked and was rewoken within one dispatch window
     // (e.g. WaitNextPeriod at an instant its release timer was already due
     // but not yet dispatched: charges advance time without dispatching).
     // Selecting it again means no context switch ever happened; restore
-    // kRunning without charging for a switch.
+    // kRunning without charging for a switch. This holds per band set: Select
+    // compares TCB identity, so a thread rewoken into a *different* band
+    // (PI boost, new deadline) than the one it blocked from still restores
+    // kRunning here — band membership never leaves it stranded kReady.
     next->state = ThreadState::kRunning;
   }
   if (config_.debug_validate) {
-    sched_.Validate();
+    cs.sched.Validate();
   }
 }
 
-void Kernel::ContextSwitch(Tcb* next) {
+void Kernel::ContextSwitch(int core, Tcb* next) {
+  CoreState& cs = *cores_[core];
   Charge(ChargeCategory::kContextSwitch, cost_.context_switch);
   ++stats_.context_switches;
   trace_.Record(hw_.now(), TraceEventType::kContextSwitch,
-                current_ != nullptr ? current_->id.value : -1,
-                next != nullptr ? next->id.value : -1);
-  if (current_ != nullptr && current_->state == ThreadState::kRunning) {
-    current_->state = ThreadState::kReady;
+                cs.current != nullptr ? cs.current->id.value : -1,
+                next != nullptr ? next->id.value : -1, core);
+  if (cs.current != nullptr && cs.current->state == ThreadState::kRunning) {
+    cs.current->state = ThreadState::kReady;
   }
-  current_ = next;
+  cs.current = next;
   if (next != nullptr) {
     next->state = ThreadState::kRunning;
   }
 }
 
 void Kernel::ResumeThread(Tcb& t) {
-  EM_ASSERT(&t == current_ && t.state == ThreadState::kRunning);
+  ScopedActiveCore active(*this, t.core);
+  EM_ASSERT(&t == cores_[t.core]->current && t.state == ThreadState::kRunning);
   EM_ASSERT(t.remaining_compute.is_zero());
   Watchdog();
   t.resume_pending = false;
@@ -679,21 +728,105 @@ void Kernel::FinishComputeDrain(Tcb& t) {
   }
 }
 
-void Kernel::AdvanceCompute(Tcb& t, Duration amount) {
-  EM_ASSERT(amount.is_positive() && amount <= t.remaining_compute);
-  hw_.clock().AdvanceBy(amount, CycleBucket::kUser);
-  t.remaining_compute -= amount;
-  t.cpu_time += amount;
-  stats_.compute_time += amount;
-  stats_.cycles.Add(CycleBucket::kUser, amount);
-  t.cycles.Add(CycleBucket::kUser, amount);
+bool Kernel::ServiceDrains() {
+  bool serviced = false;
+  for (int c = 0; c < config_.num_cores; ++c) {
+    CoreState& cs = *cores_[c];
+    if (!cs.drain_pending) {
+      continue;
+    }
+    cs.drain_pending = false;
+    Tcb* t = cs.current;
+    if (t != nullptr && t->remaining_compute.is_zero()) {
+      ScopedActiveCore active(*this, c);
+      FinishComputeDrain(*t);
+      serviced = true;
+    }
+  }
+  return serviced;
+}
+
+void Kernel::AdvanceWorld(Duration amount) {
+  EM_ASSERT(amount.is_positive());
+  bool any_user = false;
+  for (int c = 0; c < config_.num_cores; ++c) {
+    CoreState& cs = *cores_[c];
+    Tcb* t = cs.current;
+    if (t != nullptr && t->state == ThreadState::kRunning &&
+        t->remaining_compute.is_positive()) {
+      EM_ASSERT(amount <= t->remaining_compute);
+      t->remaining_compute -= amount;
+      t->cpu_time += amount;
+      t->cycles.Add(CycleBucket::kUser, amount);
+      stats_.compute_time += amount;
+      stats_.cycles.Add(CycleBucket::kUser, amount);
+      stats_.core_cycles[c].Add(CycleBucket::kUser, amount);
+      any_user = true;
+      if (t->remaining_compute.is_zero()) {
+        cs.drain_pending = true;
+      }
+    } else {
+      stats_.idle_time += amount;
+      stats_.cycles.Add(CycleBucket::kIdle, amount);
+      stats_.core_cycles[c].Add(CycleBucket::kIdle, amount);
+    }
+  }
+  hw_.clock().AdvanceBy(amount, any_user ? CycleBucket::kUser : CycleBucket::kIdle);
+}
+
+void Kernel::MirrorAdvance(Duration amount) {
+  for (int c = 0; c < config_.num_cores; ++c) {
+    if (c == active_core_) {
+      continue;
+    }
+    CoreState& cs = *cores_[c];
+    Tcb* t = cs.current;
+    Duration overlap;
+    if (t != nullptr && t->state == ThreadState::kRunning &&
+        t->remaining_compute.is_positive()) {
+      overlap = std::min(amount, t->remaining_compute);
+      t->remaining_compute -= overlap;
+      t->cpu_time += overlap;
+      t->cycles.Add(CycleBucket::kUser, overlap);
+      stats_.compute_time += overlap;
+      stats_.cycles.Add(CycleBucket::kUser, overlap);
+      stats_.core_cycles[c].Add(CycleBucket::kUser, overlap);
+      if (t->remaining_compute.is_zero()) {
+        // Never finish the drain inline: MirrorAdvance runs under a charge
+        // mid-syscall (FinishState{Write,Read} recursion hazard); the
+        // executive services the flag at a safe point.
+        cs.drain_pending = true;
+      }
+    }
+    Duration idle = amount - overlap;
+    if (idle.is_positive()) {
+      stats_.idle_time += idle;
+      stats_.cycles.Add(CycleBucket::kIdle, idle);
+      stats_.core_cycles[c].Add(CycleBucket::kIdle, idle);
+    }
+  }
 }
 
 void Kernel::AdvanceIdleTo(Instant target) {
   Duration idle = target - hw_.now();
-  stats_.idle_time += idle;
-  stats_.cycles.Add(CycleBucket::kIdle, idle);
+  for (int c = 0; c < config_.num_cores; ++c) {
+    stats_.idle_time += idle;
+    stats_.cycles.Add(CycleBucket::kIdle, idle);
+    stats_.core_cycles[c].Add(CycleBucket::kIdle, idle);
+  }
   hw_.clock().AdvanceTo(target, CycleBucket::kIdle);
+}
+
+void Kernel::NotifyCore(int core, bool from_sem) {
+  CoreState& cs = *cores_[core];
+  cs.need_resched = true;
+  cs.resched_from_sem = cs.resched_from_sem || from_sem;
+  if (core != active_core_) {
+    // Cross-core wake: the active core pays for posting a virtual IPI (the
+    // target core's entry/exit is folded into the same constant).
+    ++stats_.ipis;
+    ChargeBucket(ChargeCategory::kInterrupt, CycleBucket::kIpi, cost_.ipi);
+  }
 }
 
 void Kernel::Watchdog() {
@@ -703,8 +836,9 @@ void Kernel::Watchdog() {
     return;
   }
   if (++watchdog_resumes_ > 1000000) {
+    Tcb* cur = cores_[active_core_]->current;
     EM_PANIC("executive livelock: thread %d resumed 1M times at t=%lld ns without progress",
-             current_ != nullptr ? current_->id.value : -1,
+             cur != nullptr ? cur->id.value : -1,
              static_cast<long long>(hw_.now().nanos()));
   }
 }
@@ -722,13 +856,19 @@ void Kernel::ChargeBucket(ChargeCategory category, CycleBucket bucket, Duration 
   hw_.clock().AdvanceBy(amount, bucket);
   stats_.charged[static_cast<int>(category)] += amount;
   stats_.cycles.Add(bucket, amount);
-  if (current_ != nullptr) {
+  stats_.core_cycles[active_core_].Add(bucket, amount);
+  Tcb* cur = cores_[active_core_]->current;
+  if (cur != nullptr) {
     // Kernel work is billed to the thread that triggered it (the running
     // thread — interference from ISRs included, as on real hardware).
-    current_->cycles.Add(bucket, amount);
+    cur->cycles.Add(bucket, amount);
   }
   if (sem_path_) {
     stats_.sem_path_time += amount;
+  }
+  if (config_.num_cores > 1) {
+    // While this core does kernel work, the other cores keep running.
+    MirrorAdvance(amount);
   }
 }
 
@@ -756,42 +896,40 @@ void Kernel::BlockThread(Tcb& t, BlockReason reason) {
     LeavePreAcquire(t);
   }
   ChargeList charges;
-  sched_.Block(t, charges);
+  sched_of(t).Block(t, charges);
   ChargeQueueOps(charges);
   t.state = ThreadState::kBlocked;
   t.block_reason = reason;
-  if (&t == current_) {
-    need_resched_ = true;
-    resched_from_sem_ = resched_from_sem_ || sem_path_;
+  if (&t == cores_[t.core]->current) {
+    NotifyCore(t.core, sem_path_);
   }
 }
 
 void Kernel::MakeReady(Tcb& t) {
   EM_ASSERT_MSG(t.is_blocked(), "MakeReady on non-blocked thread");
   ChargeList charges;
-  sched_.Unblock(t, charges);
+  sched_of(t).Unblock(t, charges);
   ChargeQueueOps(charges);
   t.state = ThreadState::kReady;
   t.block_reason = BlockReason::kNone;
   if (t.remaining_compute.is_zero() && t.pending_op == PendingOpKind::kNone) {
     t.resume_pending = true;
   }
-  need_resched_ = true;
-  resched_from_sem_ = resched_from_sem_ || sem_path_;
+  NotifyCore(t.core, sem_path_);
 }
 
 void Kernel::ExitThread(Tcb& t) {
   EM_ASSERT_MSG(t.held_head == nullptr, "thread '%s' exited while holding a semaphore", t.name);
-  trace_.Record(hw_.now(), TraceEventType::kThreadExit, t.id.value, 0);
+  trace_.Record(hw_.now(), TraceEventType::kThreadExit, t.id.value, 0, t.core);
   if (t.preacq_sem != nullptr) {
     LeavePreAcquire(t);
   }
   CancelSoftTimer(t.period_timer);
   CancelSoftTimer(t.timeout_timer);
-  sched_.RemoveThread(t);
+  sched_of(t).RemoveThread(t);
   t.state = ThreadState::kFinished;
-  current_ = nullptr;
-  need_resched_ = true;
+  cores_[t.core]->current = nullptr;
+  NotifyCore(t.core, false);
 }
 
 // --- Timers ---
@@ -857,7 +995,9 @@ void Kernel::TimerIsr() {
   }
   ProgramHardwareTimer();
   Charge(ChargeCategory::kInterrupt, cost_.interrupt_exit);
-  need_resched_ = true;
+  // The timer ISR runs on the boot core; wakes for other cores went through
+  // NotifyCore (priced IPIs) as they happened.
+  cores_[active_core_]->need_resched = true;
 }
 
 void Kernel::HandlePeriodRelease(Tcb& t) {
@@ -970,7 +1110,7 @@ void Kernel::HandleTimeout(Tcb& t) {
 // --- Scheduling syscalls ---
 
 Kernel::SyscallOutcome Kernel::SysCompute(Tcb& t, Duration amount) {
-  EM_ASSERT(&t == current_);
+  EM_ASSERT(&t == cores_[t.core]->current);
   if (!amount.is_positive()) {
     return {false};
   }
@@ -979,7 +1119,7 @@ Kernel::SyscallOutcome Kernel::SysCompute(Tcb& t, Duration amount) {
 }
 
 Kernel::SyscallOutcome Kernel::SysWaitPeriod(Tcb& t, SemId next_sem) {
-  EM_ASSERT(&t == current_);
+  EM_ASSERT(&t == cores_[t.core]->current);
   ++stats_.syscalls;
   Charge(ChargeCategory::kSyscall, cost_.syscall);
   EM_ASSERT_MSG(t.periodic, "WaitNextPeriod on aperiodic thread '%s'", t.name);
@@ -1027,7 +1167,7 @@ Kernel::SyscallOutcome Kernel::SysWaitPeriod(Tcb& t, SemId next_sem) {
       }
     }
     // The new deadline may demote this thread; let the scheduler re-evaluate.
-    need_resched_ = true;
+    cores_[t.core]->need_resched = true;
     t.resume_pending = true;
     return {true};
   }
@@ -1036,11 +1176,11 @@ Kernel::SyscallOutcome Kernel::SysWaitPeriod(Tcb& t, SemId next_sem) {
 }
 
 Kernel::SyscallOutcome Kernel::SysSleep(Tcb& t, Duration amount, SemId next_sem) {
-  EM_ASSERT(&t == current_);
+  EM_ASSERT(&t == cores_[t.core]->current);
   ++stats_.syscalls;
   Charge(ChargeCategory::kSyscall, cost_.syscall);
   if (!amount.is_positive()) {
-    if (need_resched_) {
+    if (need_resched()) {
       t.resume_pending = true;
       return {true};
     }
@@ -1053,10 +1193,10 @@ Kernel::SyscallOutcome Kernel::SysSleep(Tcb& t, Duration amount, SemId next_sem)
 }
 
 Kernel::SyscallOutcome Kernel::SysYield(Tcb& t) {
-  EM_ASSERT(&t == current_);
+  EM_ASSERT(&t == cores_[t.core]->current);
   ++stats_.syscalls;
   Charge(ChargeCategory::kSyscall, cost_.syscall);
-  need_resched_ = true;
+  cores_[t.core]->need_resched = true;
   t.resume_pending = true;
   return {true};
 }
@@ -1149,6 +1289,9 @@ void Kernel::ResetChargeAccounting() {
   // so a mid-run reset keeps the invariant exact. Per-task ledgers are
   // cumulative (like cpu_time) and are left alone.
   stats_.cycles = CycleLedger();
+  for (CycleLedger& ledger : stats_.core_cycles) {
+    ledger = CycleLedger();
+  }
   for (auto& per_band : stats_.sched_band_cycles) {
     for (Duration& d : per_band) {
       d = Duration();

@@ -107,15 +107,23 @@ class Kernel {
   const StatsSampler* stats_sampler() const { return stats_sampler_.get(); }
   TraceSink& trace() { return trace_; }
   const TraceSink& trace() const { return trace_; }
-  Scheduler& scheduler() { return sched_; }
-  const Scheduler& scheduler() const { return sched_; }
+  // Core 0's scheduler (the only core at num_cores=1); per-core overloads
+  // below for SMP introspection.
+  Scheduler& scheduler() { return cores_[0]->sched; }
+  const Scheduler& scheduler() const { return cores_[0]->sched; }
+  Scheduler& scheduler(int core) { return cores_[core]->sched; }
+  const Scheduler& scheduler(int core) const { return cores_[core]->sched; }
+  int num_cores() const { return config_.num_cores; }
   const CostModel& cost_model() const { return cost_; }
   Hardware& hardware() { return hw_; }
   const Hardware& hardware() const { return hw_; }
 
   size_t thread_count() const { return threads_.size(); }
   const Tcb& thread(ThreadId id) const;
-  ThreadId current_thread() const { return current_ != nullptr ? current_->id : ThreadId(); }
+  ThreadId current_thread() const { return current_thread(0); }
+  ThreadId current_thread(int core) const {
+    return cores_[core]->current != nullptr ? cores_[core]->current->id : ThreadId();
+  }
   const Semaphore& semaphore(SemId id) const;
   const Mailbox& mailbox(MailboxId id) const;
   const StateMessageBuffer& state_message(SmsgId id) const;
@@ -158,6 +166,38 @@ class Kernel {
     bool suspend;
   };
 
+  // Per-core scheduler state block (partitioned SMP). Every core owns a full
+  // band set built from the same SchedulerSpec, its own current thread, and
+  // its own reschedule flags; threads are pinned to one core at creation and
+  // never migrate. At num_cores=1 this is exactly the paper's single CPU.
+  struct CoreState {
+    explicit CoreState(const SchedulerSpec& spec) : sched(spec) {}
+    Scheduler sched;
+    Tcb* current = nullptr;
+    bool need_resched = false;
+    // Attribution for the next context switch: true when a semaphore
+    // operation triggered the pending reschedule.
+    bool resched_from_sem = false;
+    // The current thread's compute drained to zero inside a clock advance;
+    // the executive finishes the drain (ServiceDrains) before anything else.
+    bool drain_pending = false;
+  };
+
+  // RAII: marks which core the kernel is acting on behalf of, so charges land
+  // in that core's ledger and bill that core's current thread. ISR and host
+  // context always run as core 0 (the boot core owns the hardware timer).
+  class ScopedActiveCore {
+   public:
+    ScopedActiveCore(Kernel& kernel, int core) : kernel_(kernel), prev_(kernel.active_core_) {
+      kernel_.active_core_ = core;
+    }
+    ~ScopedActiveCore() { kernel_.active_core_ = prev_; }
+
+   private:
+    Kernel& kernel_;
+    int prev_;
+  };
+
   // RAII scope marking charges as semaphore-path time (Figure 11's metric).
   class ScopedSemPath {
    public:
@@ -194,14 +234,34 @@ class Kernel {
   SyscallOutcome SysYield(Tcb& t);
 
   // --- Executive ---
-  void Reschedule();
-  void ContextSwitch(Tcb* next);
+  void Reschedule(int core);
+  void ContextSwitch(int core, Tcb* next);
   void ResumeThread(Tcb& t);
   void FinishComputeDrain(Tcb& t);
-  void AdvanceCompute(Tcb& t, Duration amount);
+  bool ServiceDrains();
+  // Advances every core in lockstep by `amount`: cores whose current thread
+  // is mid-compute burn user time, the rest burn idle time.
+  void AdvanceWorld(Duration amount);
+  // Called under a ChargeBucket advance: while the active core does kernel
+  // work for `amount`, every *other* core keeps running its own current
+  // thread's compute (or idles). Empty at num_cores=1.
+  void MirrorAdvance(Duration amount);
   void AdvanceIdleTo(Instant target);
   void DispatchDueWork();
   void Watchdog();
+  // Requests a reschedule on `core`; a cross-core request prices one virtual
+  // IPI (CycleBucket::kIpi) against the active core.
+  void NotifyCore(int core, bool from_sem);
+
+  // Scheduler that owns thread `t` (its pinned core's band set).
+  Scheduler& sched_of(const Tcb& t) { return cores_[t.core]->sched; }
+  bool need_resched() const { return cores_[active_core_]->need_resched; }
+  // Priority comparison is config-derived and identical on every core, so
+  // core 0's scheduler answers for cross-core pairs too (wait queues are
+  // shared between cores; band sets are not).
+  bool HigherPriority(const Tcb& a, const Tcb& b) const {
+    return cores_[0]->sched.HigherPriority(a, b);
+  }
 
   // --- Charging ---
   // Every path that advances the virtual clock funnels through ChargeBucket,
@@ -291,9 +351,13 @@ class Kernel {
   Hardware& hw_;
   KernelConfig config_;
   CostModel cost_;
-  Scheduler sched_;
   TraceSink trace_;
   KernelStats stats_;
+
+  // One state block per virtual core; cores_[active_core_] is the core the
+  // kernel is currently acting for (0 in ISR/host context).
+  std::vector<std::unique_ptr<CoreState>> cores_;
+  int active_core_ = 0;
 
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<std::unique_ptr<Tcb>> threads_;
@@ -313,13 +377,8 @@ class Kernel {
   SoftTimer stats_sample_timer_;
   Duration stats_sample_period_;
 
-  Tcb* current_ = nullptr;
-  bool need_resched_ = false;
   bool started_ = false;
   bool sem_path_ = false;
-  // Attribution for the next context switch: true when a semaphore operation
-  // triggered the pending reschedule.
-  bool resched_from_sem_ = false;
 
   Tcb* irq_threads_[kNumIrqLines] = {};
 

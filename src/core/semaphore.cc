@@ -45,7 +45,7 @@ void Kernel::EnqueueWaiter(Semaphore& sem, Tcb& waiter) {
   int visits = 0;
   for (Tcb& other : sem.waiters) {
     ++visits;
-    if (sched_.HigherPriority(waiter, other)) {
+    if (HigherPriority(waiter, other)) {
       sem.waiters.insert_before(other, waiter);
       Charge(ChargeCategory::kSemaphore, cost_.waitq_visit * visits);
       return;
@@ -62,7 +62,7 @@ Tcb* Kernel::HighestWaiter(Semaphore& sem, int* visits) {
   Tcb* best = nullptr;
   for (Tcb& w : sem.waiters) {
     ++*visits;
-    if (best == nullptr || sched_.HigherPriority(w, *best)) {
+    if (best == nullptr || HigherPriority(w, *best)) {
       best = &w;
     }
   }
@@ -106,7 +106,7 @@ void Kernel::DoInheritance(Semaphore& sem, Tcb& donor) {
       break;
     }
     Tcb* holder = s->owner;
-    if (!sched_.HigherPriority(*d, *holder)) {
+    if (!HigherPriority(*d, *holder)) {
       break;
     }
     InheritOne(*s, *holder, *d);
@@ -122,18 +122,24 @@ void Kernel::InheritOne(Semaphore& sem, Tcb& holder, Tcb& donor) {
   ++stats_.pi_inherits;
   trace_.Record(hw_.now(), TraceEventType::kPiInherit, holder.id.value, donor.id.value);
   Charge(ChargeCategory::kPi, cost_.pi_fixed);
+  if (holder.core != active_core_) {
+    // The holder's priority is about to rise on another core: that core must
+    // re-evaluate its selection (priced cross-core kick; never fires at
+    // num_cores=1, where every holder shares the active core).
+    NotifyCore(holder.core, true);
+  }
 
   if (donor.effective_band < holder.effective_band) {
     // Cross-band: the holder becomes selectable in the donor's (higher,
     // always EDF) band and adopts its deadline if earlier.
-    sched_.BoostInto(holder, donor.effective_band);
+    sched_of(holder).BoostInto(holder, donor.effective_band);
     if (donor.effective_deadline < holder.effective_deadline) {
       holder.effective_deadline = donor.effective_deadline;
     }
     return;
   }
 
-  Band& band = sched_.band(holder.effective_band);
+  Band& band = sched_of(holder).band(holder.effective_band);
   if (band.kind() == QueueKind::kEdfList) {
     // DP tasks: deadline inheritance is one TCB field — O(1) (Section 6.1).
     if (donor.effective_deadline < holder.effective_deadline) {
@@ -146,9 +152,13 @@ void Kernel::InheritOne(Semaphore& sem, Tcb& holder, Tcb& donor) {
   if (donor.effective_rm_rank >= holder.effective_rm_rank) {
     return;
   }
-  RmBand* rm = sched_.FpBandOf(holder);
+  RmBand* rm = sched_of(holder).FpBandOf(holder);
+  // A place-holder swap exchanges two queue positions, so both threads must
+  // live in the *same core's* FP band; cross-core donors take the standard
+  // re-insert path below.
   bool can_swap = sem.mode == SemMode::kCse && rm != nullptr &&
-                  sched_.CanSwapFp(holder, donor) &&
+                  holder.core == donor.core &&
+                  sched_of(holder).CanSwapFp(holder, donor) &&
                   (holder.pi_swap_sem == nullptr || holder.pi_swap_sem == &sem);
   if (can_swap) {
     if (holder.pi_swap_sem == &sem) {
@@ -196,7 +206,7 @@ void Kernel::DissolveSwap(Tcb& holder) {
   if (sem == nullptr) {
     return;
   }
-  RmBand* rm = sched_.FpBandOf(holder);
+  RmBand* rm = sched_of(holder).FpBandOf(holder);
   EM_ASSERT(rm != nullptr && sem->placeholder != nullptr);
   rm->SwapForPi(holder, *sem->placeholder);
   holder.effective_rm_rank = sem->holder_prev_rank;
@@ -242,12 +252,12 @@ void Kernel::RecomputeEffective(Tcb& t) {
   if (band < t.base_band) {
     if (t.boosted_into_band != band) {
       if (t.boosted_into_band >= 0) {
-        sched_.RemoveBoost(t);
+        sched_of(t).RemoveBoost(t);
       }
-      sched_.BoostInto(t, band);
+      sched_of(t).BoostInto(t, band);
     }
   } else if (t.boosted_into_band >= 0) {
-    sched_.RemoveBoost(t);
+    sched_of(t).RemoveBoost(t);
   }
   t.effective_deadline = deadline;
 
@@ -257,7 +267,7 @@ void Kernel::RecomputeEffective(Tcb& t) {
     // rank-consistent.
     DissolveSwap(t);
     t.effective_rm_rank = rank;
-    Band& home = sched_.band(t.base_band);
+    Band& home = sched_of(t).band(t.base_band);
     if (home.kind() == QueueKind::kRmList ||
         (home.kind() == QueueKind::kRmHeap && t.ready)) {
       int visits = home.Reposition(t);
@@ -312,7 +322,7 @@ void Kernel::ThawPreAcquirers(Semaphore& sem) {
 // --- Acquire / release ---
 
 Kernel::SyscallOutcome Kernel::SysAcquire(Tcb& t, SemId id) {
-  EM_ASSERT(&t == current_);
+  EM_ASSERT(&t == cores_[t.core]->current);
   ++stats_.syscalls;
   ScopedSemPath path(*this);
   Charge(ChargeCategory::kSyscall, cost_.syscall);
@@ -345,7 +355,7 @@ Kernel::SyscallOutcome Kernel::SysAcquire(Tcb& t, SemId id) {
     ++stats_.cse_switches_saved;
     t.syscall_status = Status::kOk;
     trace_.Record(hw_.now(), TraceEventType::kSemAcquire, t.id.value, sem->id.value);
-    if (need_resched_) {
+    if (need_resched()) {
       t.resume_pending = true;
       return {true};
     }
@@ -361,7 +371,7 @@ Kernel::SyscallOutcome Kernel::SysAcquire(Tcb& t, SemId id) {
       FreezePreAcquirers(*sem, t);
       t.syscall_status = Status::kOk;
       trace_.Record(hw_.now(), TraceEventType::kSemAcquire, t.id.value, sem->id.value);
-      if (need_resched_) {
+      if (need_resched()) {
         t.resume_pending = true;
         return {true};
       }
@@ -399,7 +409,7 @@ Kernel::SyscallOutcome Kernel::SysAcquire(Tcb& t, SemId id) {
     // Pick up the latest producer's token (a count above one means several
     // acquires may observe the same emit — permitted multi-consume).
     ChainConsume(ChainEndpointPack(ChainEndpointKind::kSem, sem->id.value), sem->token, t);
-    if (need_resched_) {
+    if (need_resched()) {
       t.resume_pending = true;
       return {true};
     }
@@ -416,7 +426,7 @@ Kernel::SyscallOutcome Kernel::SysAcquire(Tcb& t, SemId id) {
 }
 
 Kernel::SyscallOutcome Kernel::SysRelease(Tcb& t, SemId id) {
-  EM_ASSERT(&t == current_);
+  EM_ASSERT(&t == cores_[t.core]->current);
   ++stats_.syscalls;
   ScopedSemPath path(*this);
   Charge(ChargeCategory::kSyscall, cost_.syscall);
@@ -467,7 +477,7 @@ Kernel::SyscallOutcome Kernel::SysRelease(Tcb& t, SemId id) {
   }
 
   t.syscall_status = Status::kOk;
-  if (need_resched_) {
+  if (need_resched()) {
     t.resume_pending = true;
     return {true};
   }

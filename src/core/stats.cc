@@ -30,8 +30,16 @@ const char* ChargeCategoryToString(ChargeCategory category) {
 
 CycleConservation CheckCycleConservation(const KernelStats& stats, Instant now) {
   CycleConservation c;
-  c.elapsed = now - stats.cycles_epoch;
+  c.elapsed = (now - stats.cycles_epoch) * stats.num_cores;
   c.ledger_total = stats.cycle_total();
+  c.residual = c.elapsed - c.ledger_total;
+  return c;
+}
+
+CycleConservation CheckCoreCycleConservation(const KernelStats& stats, int core, Instant now) {
+  CycleConservation c;
+  c.elapsed = now - stats.cycles_epoch;
+  c.ledger_total = core >= 0 && core < kMaxStatCores ? stats.core_cycles[core].total() : Duration();
   c.residual = c.elapsed - c.ledger_total;
   return c;
 }

@@ -63,6 +63,10 @@ constexpr CycleBucket DefaultCycleBucket(ChargeCategory category) {
 // static_asserts the two stay equal).
 inline constexpr int kMaxStatBands = 8;
 
+// Mirror of config.h's kMaxCores for the per-core cycle ledgers (same
+// layering reason; kernel.cc static_asserts the two stay equal).
+inline constexpr int kMaxStatCores = 8;
+
 struct KernelStats {
   // Virtual time by destination.
   Duration charged[kNumChargeCategories];
@@ -76,6 +80,11 @@ struct KernelStats {
   //   cycle_total() == now - cycles_epoch, exact to the tick.
   CycleLedger cycles;
   Instant cycles_epoch;  // set at kernel construction and on charge resets
+  // Per-core split of the same ledger: each core's buckets sum to the elapsed
+  // window (now - cycles_epoch) individually, and the per-core ledgers sum to
+  // `cycles`. At num_cores=1, core_cycles[0] mirrors `cycles` exactly.
+  int num_cores = 1;
+  CycleLedger core_cycles[kMaxStatCores];
   // Scheduler queue time split per CSD band (DP1/DP2/.../FP) and QueueOp —
   // the runtime form of the paper's Figure 3-5 breakdowns.
   Duration sched_band_cycles[kMaxStatBands][kNumQueueOps] = {};
@@ -118,6 +127,11 @@ struct KernelStats {
   uint64_t interrupts = 0;
   uint64_t timer_dispatches = 0;
 
+  // SMP: cross-core wakes that paid the virtual-IPI cost, and chain tokens
+  // dropped at the hop cap (degraded to counted orphans, not violations).
+  uint64_t ipis = 0;
+  uint64_t chain_hop_saturations = 0;
+
   // Causal chain tracing: kChainEmit / kChainConsume events recorded, and
   // origin tokens minted. Reconciled against the trace by obs_report.
   uint64_t chain_emits = 0;
@@ -158,7 +172,14 @@ struct CycleConservation {
   bool exact() const { return residual.nanos() == 0; }
 };
 
+// Fleet-summed form: with num_cores cores each accumulating wall time in
+// parallel, total capacity over the window is elapsed * num_cores and the
+// global ledger must account for every core-tick of it.
 CycleConservation CheckCycleConservation(const KernelStats& stats, Instant now);
+
+// Per-core form: core `core`'s own ledger must cover the elapsed window
+// exactly (each core is always doing *something* — user, kernel, ipi, idle).
+CycleConservation CheckCoreCycleConservation(const KernelStats& stats, int core, Instant now);
 
 // --- Periodic snapshots (the time-series half of the observability layer) ---
 

@@ -67,6 +67,7 @@ struct Tcb {
   Duration first_release_offset;
   bool periodic = false;
   Duration wcet;  // informational
+  int core = 0;   // pinned core (partitioned SMP; never changes after create)
 
   // --- Scheduling (base and effective priority) ---
   int base_band = 0;

@@ -385,6 +385,7 @@ void DriveTorture(const TortureOptions& opt, HarnessState* st, Finish finish) {
   }
   config.cost_model = CostModel::MC68040_25MHz();
   config.timer_queue = opt.timer_queue;
+  config.num_cores = opt.num_cores;
   config.default_sem_mode = topo.Bernoulli(0.5) ? SemMode::kCse : SemMode::kStandard;
   config.trace_capacity =
       opt.tiny_trace_ring ? 128 : std::max<size_t>(16384, static_cast<size_t>(opt.ops) * 24);
@@ -484,6 +485,10 @@ void DriveTorture(const TortureOptions& opt, HarnessState* st, Finish finish) {
     ThreadParams params;
     params.name = "fuzz";
     params.process = role.in_proc_b ? proc_b : proc_a;
+    // Round-robin pinning keeps the assignment deterministic without a new
+    // RNG draw: at num_cores == 1 every thread lands on core 0 and the
+    // schedule replays bit-identically to the single-core harness.
+    params.core = i % opt.num_cores;
     params.body = MakeTortureBody(st, opt, root.Fork(1000 + static_cast<uint64_t>(i)), role);
     if (role.periodic) {
       params.period = Microseconds(kPeriodsUs[topo.UniformInt(0, 5)]);
@@ -618,6 +623,16 @@ TortureResult RunTorture(const TortureOptions& options) {
     result.cycle_unattributed_ns =
         kernel.hardware().clock().ledger().at(CycleBucket::kUnattributed).nanos();
     result.cycles_conserved = conservation.exact() && result.cycle_unattributed_ns == 0;
+    // On SMP the fleet-summed check above is necessary but not sufficient:
+    // each core's own ledger must also account for exactly the wall time
+    // since the epoch (a cross-core mischarge can cancel in the sum).
+    for (int c = 0; c < kernel.stats().num_cores; ++c) {
+      CycleConservation per = CheckCoreCycleConservation(kernel.stats(), c, kernel.now());
+      if (!per.exact()) {
+        result.cycles_conserved = false;
+        result.cycle_residual_ns = per.residual.nanos();
+      }
+    }
 
     if (result.violations > 0) {
       result.failure = "trace invariant violated: " + analysis.violations[0].detail;
@@ -703,14 +718,19 @@ TortureOptions ShrinkFailingRun(const TortureOptions& options) {
 std::string ReproCommand(const TortureOptions& options) {
   char line[256];
   int limit = options.op_limit < 0 ? options.ops : options.op_limit;
+  char cores[32] = "";
+  if (options.num_cores != 1) {
+    std::snprintf(cores, sizeof(cores), " --num-cores=%d", options.num_cores);
+  }
   std::snprintf(line, sizeof(line),
-                "torture --seed=%llu --ops=%d --op-limit=%d%s%s%s%s%s",
+                "torture --seed=%llu --ops=%d --op-limit=%d%s%s%s%s%s%s",
                 static_cast<unsigned long long>(options.seed), options.ops, limit,
                 options.inject_faults ? "" : " --no-faults",
                 options.irq_storms ? "" : " --no-irq-storms",
                 options.charge_resets ? "" : " --no-charge-resets",
                 options.tiny_trace_ring ? " --tiny-ring" : "",
-                options.timer_queue == TimerQueueImpl::kSortedList ? " --timer-queue=list" : "");
+                options.timer_queue == TimerQueueImpl::kSortedList ? " --timer-queue=list" : "",
+                cores);
   return line;
 }
 

@@ -90,6 +90,12 @@ struct TortureOptions {
   // to every oracle and to the trace digest — the differential fuzz test
   // replays seeds under both and requires bit-identical results.
   TimerQueueImpl timer_queue = TimerQueueImpl::kWheel;
+  // Virtual cores. Generated threads are pinned round-robin (thread i on
+  // core i % num_cores — no extra RNG draws, so 1-core schedules and digests
+  // are bit-identical to the pre-SMP harness); the IRQ driver and the
+  // shepherd stay on the boot core. All five oracles run core-aware, and
+  // oracle 4 additionally holds each core's own ledger to wall time.
+  int num_cores = 1;
   // Virtual-time cap; the run ends earlier once the op budget drains. Blocked
   // threads (condvar waits, forever-receives) make op throughput bursty, so
   // the default leaves generous headroom.

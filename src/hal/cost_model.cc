@@ -43,6 +43,7 @@ CostModel CostModel::MC68040_25MHz() {
   m.interrupt_entry = MicrosecondsF(2.0);
   m.interrupt_exit = MicrosecondsF(1.0);
   m.timer_dispatch = MicrosecondsF(1.0);
+  m.ipi = MicrosecondsF(3.0);
   m.pi_fixed = MicrosecondsF(2.5);
   m.pi_swap = MicrosecondsF(4.3);
   m.pi_queue_visit = MicrosecondsF(0.36);
@@ -76,6 +77,7 @@ CostModel CostModel::ScaledBy(double factor) const {
   m.interrupt_entry = scale(m.interrupt_entry);
   m.interrupt_exit = scale(m.interrupt_exit);
   m.timer_dispatch = scale(m.timer_dispatch);
+  m.ipi = scale(m.ipi);
   m.pi_fixed = scale(m.pi_fixed);
   m.pi_swap = scale(m.pi_swap);
   m.pi_queue_visit = scale(m.pi_queue_visit);

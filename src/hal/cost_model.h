@@ -74,6 +74,10 @@ struct CostModel {
   Duration interrupt_exit;
   // Per expired software timer processed in the timer ISR.
   Duration timer_dispatch;
+  // One virtual inter-processor interrupt: the cross-core wake a semaphore /
+  // mailbox / state-message signal pays when the woken thread lives on
+  // another core (partitioned SMP; threads never migrate).
+  Duration ipi;
 
   // Priority inheritance bookkeeping that is independent of queue
   // manipulation (TCB priority fields, held-semaphore list). This is the

@@ -30,6 +30,8 @@ const char* CycleBucketToString(CycleBucket bucket) {
       return "timer_service";
     case CycleBucket::kStatsObs:
       return "stats_obs";
+    case CycleBucket::kIpi:
+      return "ipi";
     case CycleBucket::kIdle:
       return "idle";
     case CycleBucket::kUnattributed:

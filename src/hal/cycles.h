@@ -28,6 +28,7 @@ enum class CycleBucket : int {
   kIrq,             // interrupt prologue/epilogue
   kTimerSvc,        // software-timer dispatch in the timer ISR
   kStatsObs,        // stats sampling / observability overhead
+  kIpi,             // virtual inter-processor interrupt (cross-core wake)
   kIdle,            // no runnable thread
   kUnattributed,    // raw clock advances outside a kernel (hal tests, hosts)
 };

@@ -177,7 +177,13 @@ ChainAnalysis AnalyzeChains(const TraceEvent* events, size_t count, uint64_t dro
     auto emit_it =
         emits_seen.find(std::make_tuple(origin, endpoint, static_cast<uint16_t>(hop - 1)));
     if (emit_it == emits_seen.end()) {
-      if (out.complete_window) {
+      if (hop == kMaxChainHops) {
+        // At the hop ceiling the producing side drops the token instead of
+        // advancing it (ChainConsume's saturation path), so a capped consume
+        // legitimately has no in-window emit even in a complete window.
+        // Degrade to a counted orphan rather than a conservation violation.
+        ++out.saturated_hops;
+      } else if (out.complete_window) {
         violate(ChainViolationKind::kOrphanConsume, i,
                 Describe("consume of origin %lld hop %lld at endpoint %lld with no matching emit",
                          origin, hop, endpoint));
@@ -259,6 +265,7 @@ void AppendChainsSection(Json& j, const ChainAnalysis& a) {
   j.Int("chain_consumes", static_cast<int64_t>(a.chain_consumes));
   j.Int("origins_minted", static_cast<int64_t>(a.origins_minted));
   j.Int("orphan_hops", static_cast<int64_t>(a.orphan_hops));
+  j.Int("saturated_hops", static_cast<int64_t>(a.saturated_hops));
   j.Int("unconsumed_emits", static_cast<int64_t>(a.unconsumed_emits));
   j.Key("chains");
   j.OpenArray();

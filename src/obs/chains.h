@@ -89,6 +89,10 @@ struct ChainAnalysis {
   uint64_t chain_consumes = 0;
   uint64_t origins_minted = 0;    // hop-0 emits observed in-window
   uint64_t orphan_hops = 0;       // consumes whose emit fell outside the window
+  uint64_t saturated_hops = 0;    // consumes at the kMaxChainHops cap with no
+                                  // visible emit: the producer's token hit the
+                                  // hop ceiling and was dropped, so the hop is
+                                  // counted, never a conservation violation
   uint64_t unconsumed_emits = 0;  // emits never picked up (banked/overwritten
                                   // tokens, unread slots) — informational
   std::vector<ChainReport> chains;  // one per spec, same order

@@ -35,6 +35,10 @@ void AppendCyclesSection(Json& j, const Kernel& kernel) {
   j.Key("cycles");
   j.OpenObject();
   j.Int("epoch_ns", s.cycles_epoch.nanos());
+  // On SMP, elapsed is exported as capacity (wall time x num_cores): the
+  // global bucket ledger sums every core's attribution, so the exact
+  // bucket-sum == elapsed invariant holds against capacity, not wall time.
+  j.Int("num_cores", s.num_cores);
   j.Int("elapsed_ns", cons.elapsed.nanos());
   j.Int("ledger_total_ns", cons.ledger_total.nanos());
   j.Int("residual_ns", cons.residual.nanos());
@@ -53,6 +57,21 @@ void AppendCyclesSection(Json& j, const Kernel& kernel) {
     j.Int(CycleBucketToString(static_cast<CycleBucket>(b)), s.cycles.buckets[b].nanos());
   }
   j.CloseObject();
+
+  // Per-core ledgers: each core's buckets must sum to plain wall time.
+  j.Key("cores");
+  j.OpenArray();
+  for (int c = 0; c < s.num_cores; ++c) {
+    CycleConservation cc = CheckCoreCycleConservation(s, c, kernel.now());
+    j.OpenObject();
+    j.Int("core", c);
+    j.Int("elapsed_ns", cc.elapsed.nanos());
+    j.Int("ledger_total_ns", cc.ledger_total.nanos());
+    j.Int("residual_ns", cc.residual.nanos());
+    j.Bool("conserved", cc.exact());
+    j.CloseObject();
+  }
+  j.CloseArray();
 
   // Per-band scheduler split (DP1/DP2/.../FP); only bands that did work.
   j.Key("sched_bands");

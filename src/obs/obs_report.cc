@@ -63,6 +63,8 @@ void AppendKernelStats(Json& j, const KernelStats& s) {
   j.Int("chain_emits", static_cast<int64_t>(s.chain_emits));
   j.Int("chain_consumes", static_cast<int64_t>(s.chain_consumes));
   j.Int("chain_origins", static_cast<int64_t>(s.chain_origins));
+  j.Int("chain_hop_saturations", static_cast<int64_t>(s.chain_hop_saturations));
+  j.Int("ipis", static_cast<int64_t>(s.ipis));
   j.Number("compute_time_us", s.compute_time.micros_f());
   j.Number("idle_time_us", s.idle_time.micros_f());
   j.Number("sem_path_time_us", s.sem_path_time.micros_f());

@@ -74,8 +74,24 @@ TraceAnalysis AnalyzeTrace(const TraceEvent* events, size_t count, uint64_t drop
     out.violations.push_back(TraceViolation{kind, index, std::move(detail)});
   };
 
-  int32_t running = -1;
-  bool running_known = complete_window;  // a complete trace starts idle
+  // Per-core run tracking: kContextSwitch / kThreadExit stamp their core id
+  // in arg2 (0 on single-core traces, so old captures analyze unchanged).
+  // Slots grow lazily; an absurd core id marks a corrupted event, and its
+  // pairing checks are skipped rather than sized into the vectors.
+  constexpr int32_t kMaxCoreId = 255;
+  std::vector<int32_t> running;
+  std::vector<char> running_known;
+  auto core_slot = [&](int32_t core) -> int32_t {
+    if (core < 0 || core > kMaxCoreId) {
+      return -1;
+    }
+    if (static_cast<size_t>(core) >= running.size()) {
+      // A complete trace starts idle on every core.
+      running.resize(core + 1, -1);
+      running_known.resize(core + 1, complete_window ? 1 : 0);
+    }
+    return core;
+  };
   Instant high_water;
   bool have_high_water = false;
   Instant last_time;
@@ -106,10 +122,11 @@ TraceAnalysis AnalyzeTrace(const TraceEvent* events, size_t count, uint64_t drop
     switch (e.type) {
       case TraceEventType::kContextSwitch: {
         ++out.context_switches;
-        if (running_known && e.arg0 != running) {
+        const int32_t c = core_slot(e.arg2);
+        if (c >= 0 && running_known[c] && e.arg0 != running[c]) {
           violate(InvariantKind::kSwitchPairing, i,
                   Describe("switch out of thread %lld but thread %lld was running", e.arg0,
-                           running));
+                           running[c]));
         }
         if (t0 != nullptr) {  // outgoing
           m0->run_time += e.time - t0->run_start;
@@ -128,8 +145,10 @@ TraceAnalysis AnalyzeTrace(const TraceEvent* events, size_t count, uint64_t drop
             in->blocked = false;
           }
         }
-        running = e.arg1;
-        running_known = true;
+        if (c >= 0) {
+          running[c] = e.arg1;
+          running_known[c] = 1;
+        }
         break;
       }
       case TraceEventType::kJobRelease:
@@ -274,11 +293,12 @@ TraceAnalysis AnalyzeTrace(const TraceEvent* events, size_t count, uint64_t drop
         break;
       case TraceEventType::kThreadExit:
         if (t0 != nullptr) {
-          if (running_known && running == e.arg0) {
+          const int32_t c = core_slot(e.arg2);
+          if (c >= 0 && running_known[c] && running[c] == e.arg0) {
             m0->run_time += e.time - t0->run_start;
             // ExitThread clears the running thread without a switch event;
             // the next switch legitimately reports idle as outgoing.
-            running = -1;
+            running[c] = -1;
           }
           t0->job_open = false;
           t0->blocked = false;
@@ -293,8 +313,10 @@ TraceAnalysis AnalyzeTrace(const TraceEvent* events, size_t count, uint64_t drop
       ++out.unresolved_blocks_at_end;
     }
   }
-  if (running_known && running >= 0 && static_cast<size_t>(running) < tracks.size()) {
-    out.tasks[running].run_time += last_time - tracks[running].run_start;
+  for (size_t c = 0; c < running.size(); ++c) {
+    if (running_known[c] && running[c] >= 0 && static_cast<size_t>(running[c]) < tracks.size()) {
+      out.tasks[running[c]].run_time += last_time - tracks[running[c]].run_start;
+    }
   }
   return out;
 }

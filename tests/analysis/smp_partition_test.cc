@@ -1,0 +1,139 @@
+// Partitioned-SMP admission tests: golden equivalence to the single-core CSD
+// search at num_cores=1, FFD capacity/determinism properties, overflow
+// fallback, and admission monotonicity in the core count.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/analysis/smp_partition.h"
+#include "src/base/rng.h"
+
+namespace emeralds {
+namespace {
+
+// The acceptance bar for the SMP refactor: at one core the two-stage
+// admission IS the single-core search — same winning queue partition,
+// bit-equal, same feasibility verdict, identity assignment.
+TEST(SmpPartitionTest, SingleCoreGoldenEquivalentToBestCsdPartition) {
+  Rng rng(81);
+  const CostModel cost = CostModel::MC68040_25MHz();
+  for (int trial = 0; trial < 8; ++trial) {
+    Rng t = rng.Fork(trial);
+    TaskSet set = GenerateWorkload(t, 10);
+    set.SortByPeriod();
+    for (double target : {0.4, 0.7, 0.95}) {
+      const double scale = target / set.Utilization();
+      for (int queues : {2, 3}) {
+        SmpPartitionResult part = PartitionCsdSmp(set, 1, queues, scale, cost);
+        std::vector<int> golden = BestCsdPartition(set, queues, scale, cost);
+        ASSERT_EQ(part.cores.size(), 1u) << "trial " << trial;
+        EXPECT_EQ(part.cores[0].csd_partition, golden)
+            << "trial " << trial << " target " << target << " queues " << queues;
+        EXPECT_EQ(part.feasible, !golden.empty());
+        EXPECT_EQ(part.cores[0].feasible, !golden.empty());
+        EXPECT_TRUE(part.packed);
+        ASSERT_EQ(part.assignment.size(), static_cast<size_t>(set.size()));
+        for (int i = 0; i < set.size(); ++i) {
+          EXPECT_EQ(part.assignment[i], 0);
+          EXPECT_EQ(part.cores[0].task_indices[i], i);
+        }
+      }
+    }
+  }
+}
+
+TEST(SmpPartitionTest, PackedAssignmentRespectsUnitCapacity) {
+  Rng rng(82);
+  const CostModel cost = CostModel::MC68040_25MHz();
+  for (int trial = 0; trial < 6; ++trial) {
+    Rng t = rng.Fork(trial);
+    TaskSet set = GenerateWorkload(t, 12);
+    set.SortByPeriod();
+    const double scale = 1.5 / set.Utilization();  // 150% total over 4 cores
+    SmpPartitionResult part = PartitionCsdSmp(set, 4, 2, scale, cost);
+    EXPECT_TRUE(part.packed);
+    double total = 0.0;
+    for (const SmpCoreAdmission& core : part.cores) {
+      EXPECT_LE(core.utilization, 1.0 + 1e-9);
+      total += core.utilization;
+      // Per-core subsets keep the original period-sorted order, so the CSD
+      // stage sees exactly a single-core workload.
+      EXPECT_TRUE(core.tasks.IsSortedByPeriod());
+      for (size_t i = 1; i < core.task_indices.size(); ++i) {
+        EXPECT_LT(core.task_indices[i - 1], core.task_indices[i]);
+      }
+      ASSERT_EQ(core.tasks.size(), static_cast<int>(core.task_indices.size()));
+    }
+    EXPECT_NEAR(total, 1.5, 1e-6);
+    // The assignment and the per-core index lists describe the same mapping.
+    ASSERT_EQ(part.assignment.size(), static_cast<size_t>(set.size()));
+    for (size_t c = 0; c < part.cores.size(); ++c) {
+      for (int idx : part.cores[c].task_indices) {
+        EXPECT_EQ(part.assignment[idx], static_cast<int>(c));
+      }
+    }
+  }
+}
+
+TEST(SmpPartitionTest, OverflowFallsBackToLeastLoadedCore) {
+  Rng rng(83);
+  const CostModel cost = CostModel::MC68040_25MHz();
+  TaskSet set = GenerateWorkload(rng, 8);
+  set.SortByPeriod();
+  // 250% of demand onto 2 unit-capacity cores cannot pack.
+  const double scale = 2.5 / set.Utilization();
+  SmpPartitionResult part = PartitionCsdSmp(set, 2, 2, scale, cost);
+  EXPECT_FALSE(part.packed);
+  EXPECT_FALSE(part.feasible);
+  // Every task still has a core so the per-core reports stay meaningful.
+  ASSERT_EQ(part.assignment.size(), static_cast<size_t>(set.size()));
+  for (int core : part.assignment) {
+    EXPECT_GE(core, 0);
+    EXPECT_LT(core, 2);
+  }
+}
+
+TEST(SmpPartitionTest, EmptyCoresAreTriviallyFeasible) {
+  Rng rng(84);
+  const CostModel cost = CostModel::MC68040_25MHz();
+  TaskSet set = GenerateWorkload(rng, 2);
+  set.SortByPeriod();
+  const double scale = 0.4 / set.Utilization();
+  SmpPartitionResult part = PartitionCsdSmp(set, 4, 2, scale, cost);
+  EXPECT_TRUE(part.feasible);
+  ASSERT_EQ(part.cores.size(), 4u);
+  int empty = 0;
+  for (const SmpCoreAdmission& core : part.cores) {
+    if (core.tasks.size() == 0) {
+      ++empty;
+      EXPECT_TRUE(core.feasible);
+      EXPECT_TRUE(core.csd_partition.empty());
+      EXPECT_EQ(core.utilization, 0.0);
+    }
+  }
+  EXPECT_GE(empty, 2);  // two tasks can occupy at most two cores
+}
+
+// The bench gate's monotonicity property, at test scale: a workload admitted
+// on N cores is admitted on more (FFD only ever gets more room).
+TEST(SmpPartitionTest, MoreCoresNeverAdmitFewer) {
+  Rng rng(85);
+  const CostModel cost = CostModel::MC68040_25MHz();
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng t = rng.Fork(trial);
+    TaskSet set = GenerateWorkload(t, 8);
+    set.SortByPeriod();
+    for (double target : {0.6, 0.9, 1.2, 1.6}) {
+      const double scale = target / set.Utilization();
+      const bool f1 = PartitionCsdSmp(set, 1, 2, scale, cost).feasible;
+      const bool f2 = PartitionCsdSmp(set, 2, 2, scale, cost).feasible;
+      const bool f4 = PartitionCsdSmp(set, 4, 2, scale, cost).feasible;
+      EXPECT_LE(f1, f2) << "trial " << trial << " target " << target;
+      EXPECT_LE(f2, f4) << "trial " << trial << " target " << target;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emeralds

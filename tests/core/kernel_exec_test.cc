@@ -177,6 +177,45 @@ TEST(KernelExecTest, ReleaseDueDuringWaitPeriodSyscallDoesNotWedge) {
   EXPECT_GT(env.k().stats().jobs_completed, 50u);
 }
 
+// Companion regression for the multi-queue executive: the same rewake-while-
+// still-current shape, but under CSD-2 with the tight thread in the fixed-
+// priority band and a dynamic-band sibling. The rewoken thread re-enters its
+// own (FP) queue while selection walks the bands from the top, so the
+// no-switch restore path must put the thread back to kRunning even though the
+// winning queue is not the one it was re-inserted into moments earlier.
+TEST(KernelExecTest, ReleaseDueDuringWaitPeriodCsdMultiBandDoesNotWedge) {
+  SimEnv env(CalibratedConfig(SchedulerSpec::Csd(2)));
+  SemId pace = env.k().CreateSemaphore("pace", 0).value();
+  uint64_t tight_jobs = 0;
+  uint64_t dp_jobs = 0;
+  ThreadParams tight =
+      Periodic("tight-fp", Microseconds(100), [&](ThreadApi api) -> ThreadBody {
+        for (;;) {
+          ++tight_jobs;
+          co_await api.Compute(Microseconds(80));
+          for (int i = 0; i < 15; ++i) {
+            co_await api.Release(pace);
+          }
+          co_await api.WaitNextPeriod();
+        }
+      });
+  tight.band = -1;  // fixed-priority (lowest) band
+  env.k().CreateThread(tight);
+  ThreadParams dp = Periodic("dp", Milliseconds(5), [&](ThreadApi api) -> ThreadBody {
+    for (;;) {
+      ++dp_jobs;
+      co_await api.Compute(Microseconds(200));
+      co_await api.WaitNextPeriod();
+    }
+  });
+  dp.band = 0;  // EDF band: preempts the tight FP thread every 5ms
+  env.k().CreateThread(dp);
+  env.StartAndRunFor(Milliseconds(20));
+  // Overloaded but alive: both bands keep releasing jobs instead of wedging.
+  EXPECT_GT(tight_jobs, 50u);
+  EXPECT_GE(dp_jobs, 4u);
+}
+
 TEST(KernelExecTest, SleepWakesAtRequestedTime) {
   SimEnv env(ZeroCostConfig());
   int64_t woke_us = -1;

@@ -34,10 +34,10 @@ struct Rng {
 class LockstepQueues {
  public:
   explicit LockstepQueues(size_t n)
-      : wheel_(TimerQueueImpl::kWheel),
-        list_(TimerQueueImpl::kSortedList),
-        wheel_timers_(n),
-        list_timers_(n) {}
+      : wheel_timers_(n),
+        list_timers_(n),
+        wheel_(TimerQueueImpl::kWheel),
+        list_(TimerQueueImpl::kSortedList) {}
 
   void Arm(size_t i, Instant expiry, uint64_t seq, Instant now) {
     if (wheel_timers_[i].armed()) {
@@ -85,10 +85,12 @@ class LockstepQueues {
   size_t IndexOfWheel(const SoftTimer* t) const { return t - wheel_timers_.data(); }
   size_t IndexOfList(const SoftTimer* t) const { return t - list_timers_.data(); }
 
-  TimerQueue wheel_;
-  TimerQueue list_;
+  // The timers must outlive the queues: ~TimerQueue unlinks every armed
+  // timer, so the queues are declared last and destroyed first.
   std::vector<SoftTimer> wheel_timers_;
   std::vector<SoftTimer> list_timers_;
+  TimerQueue wheel_;
+  TimerQueue list_;
 
  private:
   void AssertSame(const SoftTimer* w, const SoftTimer* l) {
@@ -169,6 +171,93 @@ TEST(TimerQueueTest, ArmBehindBaseStillOrdersExactly) {
   EXPECT_EQ(q.IndexOfWheel(q.wheel_.Min()), 1u);
   EXPECT_EQ(q.Service(later + Milliseconds(5)), 2);  // indices 1 then 0
   EXPECT_EQ(q.IndexOfWheel(q.wheel_.Min()), 2u);
+}
+
+// Satellite: the lazy cascade at exactly the 64-slot wrap boundary. A timer
+// armed for now + 64 granules shares a slot *index* with "now" but lives one
+// wheel lap (or one level) away; the wheel must fire it at its expiry in
+// (expiry, arm_seq) order, not a lap early or late. Pin arms at span-1, span,
+// and span+1 granules for every level span (64, 64^2, 64^3) plus an arm_seq
+// tie exactly at the span.
+TEST(TimerQueueTest, ExactWrapBoundaryFiresInOrder) {
+  constexpr int64_t kGranule = 1024;  // 1 << kGranularityShift ns
+  constexpr int64_t kSpans[] = {64, 64 * 64, 64 * 64 * 64};
+  LockstepQueues q(12);
+  Instant now;
+  uint64_t seq = 0;
+  size_t i = 0;
+  for (int64_t span : kSpans) {
+    q.Arm(i++, now + Nanoseconds((span - 1) * kGranule), seq++, now);
+    q.Arm(i++, now + Nanoseconds(span * kGranule), seq++, now);
+    q.Arm(i++, now + Nanoseconds(span * kGranule), seq++, now);  // seq tie
+    q.Arm(i++, now + Nanoseconds((span + 1) * kGranule), seq++, now);
+  }
+  // March with a stride coprime to the slot count so service instants land at
+  // every slot phase; Service() asserts extraction order against the list.
+  Instant t = now;
+  int fired = 0;
+  while (t < now + Nanoseconds((kSpans[2] + 2) * kGranule)) {
+    t = t + Nanoseconds(63 * kGranule);
+    fired += q.Service(t);
+  }
+  EXPECT_EQ(fired, 12);
+  for (size_t k = 0; k < 12; ++k) {
+    EXPECT_FALSE(q.wheel_timers_[k].armed()) << "timer " << k;
+  }
+}
+
+TEST(TimerQueueTest, WrapBoundaryAfterBaseAdvance) {
+  constexpr int64_t kGranule = 1024;
+  LockstepQueues q(4);
+  Instant now;
+  uint64_t seq = 0;
+  // Walk the base to a mid-rotation position first so the wrap lands away
+  // from slot zero.
+  q.Arm(0, now + Nanoseconds(37 * kGranule), seq++, now);
+  now = now + Nanoseconds(41 * kGranule);
+  q.Service(now);
+  // Arms exactly one full level-0 rotation ahead of the new base share a slot
+  // index with the base itself; they must not fire a lap early.
+  q.Arm(1, now + Nanoseconds(64 * kGranule), seq++, now);
+  q.Arm(2, now + Nanoseconds(64 * kGranule), seq++, now);  // arm_seq tie
+  q.Arm(3, now + Nanoseconds(63 * kGranule), seq++, now);
+  EXPECT_EQ(q.Service(now + Nanoseconds(63 * kGranule)), 1);
+  EXPECT_EQ(q.Service(now + Nanoseconds(64 * kGranule)), 2);
+  EXPECT_FALSE(q.wheel_timers_[1].armed());
+  EXPECT_FALSE(q.wheel_timers_[2].armed());
+}
+
+// Randomized variant of the boundary tests: every expiry is pinned to a wrap
+// boundary +/- one granule, so the whole schedule lives exactly where a
+// cascade bug would hide, under arm/cancel/service churn.
+TEST(TimerQueueTest, BoundaryPinnedChurnMatchesReference) {
+  constexpr int64_t kGranule = 1024;
+  constexpr int64_t kSpans[] = {64, 64 * 64, 64 * 64 * 64};
+  for (uint64_t seed = 100; seed < 110; ++seed) {
+    Rng rng(seed);
+    constexpr size_t kTimers = 32;
+    LockstepQueues q(kTimers);
+    Instant now;
+    uint64_t seq = 0;
+    for (int op = 0; op < 1500; ++op) {
+      uint64_t roll = rng.Below(100);
+      size_t i = rng.Below(kTimers);
+      if (roll < 60) {
+        int64_t span = kSpans[rng.Below(3)];
+        int64_t jitter = static_cast<int64_t>(rng.Below(3)) - 1;
+        q.Arm(i, now + Nanoseconds((span + jitter) * kGranule), seq++, now);
+      } else if (roll < 75) {
+        q.Cancel(i);
+      } else {
+        now = now + Nanoseconds(static_cast<int64_t>(rng.Below(130)) * kGranule);
+        q.Service(now);
+      }
+      if (::testing::Test::HasFatalFailure()) {
+        FAIL() << "divergence at seed " << seed << " op " << op;
+      }
+    }
+    ASSERT_EQ(q.wheel_.size(), q.list_.size());
+  }
 }
 
 TEST(TimerQueueTest, RandomChurnMatchesReference) {

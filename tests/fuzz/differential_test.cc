@@ -79,6 +79,33 @@ TEST(DifferentialFuzzTest, FaultAndStormVariantsStayIdentical) {
   }
 }
 
+// Satellite: the same differential net at 2 and 4 virtual cores. The timer
+// service runs on core 0 but its wakes fan out across cores, so a wheel
+// firing-order bug that only matters when the woken thread is remote (the
+// IPI pricing path) would diverge here and nowhere else.
+TEST(DifferentialFuzzTest, MultiCoreWheelMatchesReferenceList) {
+  for (int cores : {2, 4}) {
+    for (uint64_t seed = 1; seed <= 100; ++seed) {
+      TortureOptions wheel_opt = DifferentialOptions(seed, TimerQueueImpl::kWheel);
+      TortureOptions list_opt = DifferentialOptions(seed, TimerQueueImpl::kSortedList);
+      wheel_opt.num_cores = cores;
+      list_opt.num_cores = cores;
+      TortureResult wheel = RunTorture(wheel_opt);
+      TortureResult list = RunTorture(list_opt);
+      ASSERT_EQ(wheel.trace_digest, list.trace_digest)
+          << "cores=" << cores << " seed=" << seed
+          << "\nrepro: " << ReproCommand(list_opt);
+      ASSERT_EQ(wheel.ops_executed, list.ops_executed) << "cores=" << cores << " seed=" << seed;
+      ASSERT_EQ(wheel.virtual_time.nanos(), list.virtual_time.nanos())
+          << "cores=" << cores << " seed=" << seed;
+      ASSERT_EQ(wheel.ok, list.ok) << "cores=" << cores << " seed=" << seed << ": "
+                                   << wheel.failure << " vs " << list.failure;
+      ASSERT_TRUE(wheel.ok) << "cores=" << cores << " seed=" << seed
+                            << " failed under both impls: " << wheel.failure;
+    }
+  }
+}
+
 TEST(DifferentialFuzzTest, ReproCommandNamesTheNonDefaultImpl) {
   TortureOptions options = DifferentialOptions(7, TimerQueueImpl::kSortedList);
   std::string repro = ReproCommand(options);

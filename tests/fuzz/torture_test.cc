@@ -40,6 +40,53 @@ TEST(TortureTest, FixedSeedSweepIsClean) {
   }
 }
 
+// Satellite: the same sweep at 2 and 4 virtual cores. All five oracles stay
+// enforced; cycle conservation in particular is checked per core AND
+// fleet-summed inside RunTorture, so a single tick leaking between cores
+// fails the run.
+TEST(TortureTest, MultiCoreSweepIsClean) {
+  for (int cores : {2, 4}) {
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+      TortureOptions options;
+      options.seed = seed;
+      options.ops = 2000;
+      options.num_cores = cores;
+      TortureResult result = RunTorture(options);
+      EXPECT_TRUE(result.ok) << "cores=" << cores << " seed=" << seed << ": " << result.failure
+                             << "\n  repro: " << ReproCommand(options);
+      EXPECT_EQ(result.violations, 0u) << "cores=" << cores << " seed=" << seed;
+      EXPECT_EQ(result.fault_mismatches, 0u);
+      EXPECT_TRUE(result.cycles_conserved)
+          << "cores=" << cores << " seed=" << seed << ": residual "
+          << result.cycle_residual_ns << " ns";
+      EXPECT_EQ(result.cycle_residual_ns, 0);
+      EXPECT_EQ(result.cycle_unattributed_ns, 0);
+      EXPECT_EQ(result.chain_violations, 0u) << "cores=" << cores << " seed=" << seed;
+    }
+  }
+}
+
+TEST(TortureTest, MultiCoreSameSeedIsBitDeterministic) {
+  TortureOptions options;
+  options.seed = 42;
+  options.ops = 2000;
+  options.num_cores = 2;
+  TortureResult a = RunTorture(options);
+  TortureResult b = RunTorture(options);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.ops_executed, b.ops_executed);
+  EXPECT_EQ(a.virtual_time, b.virtual_time);
+}
+
+TEST(TortureTest, ReproCommandNamesNumCores) {
+  TortureOptions options;
+  options.seed = 3;
+  options.num_cores = 2;
+  EXPECT_NE(ReproCommand(options).find("--num-cores=2"), std::string::npos);
+  options.num_cores = 1;
+  EXPECT_EQ(ReproCommand(options).find("--num-cores"), std::string::npos);
+}
+
 TEST(TortureTest, SameSeedIsBitDeterministic) {
   TortureOptions options;
   options.seed = 42;

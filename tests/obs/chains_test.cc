@@ -158,6 +158,62 @@ TEST(ChainAnalyzerTest, OrphanConsumeIsViolationInCompleteWindow) {
   EXPECT_EQ(a.orphan_hops, 0u);
 }
 
+// Satellite: a consume at exactly the hop cap with no visible emit is the
+// kernel's saturation path — the producing operation found the token already
+// at kMaxChainHops, dropped it, and recorded no emit — so the analyzer must
+// count it as a saturated hop, never a conservation violation, even in a
+// complete window.
+TEST(ChainAnalyzerTest, ConsumeAtHopCapIsSaturationNotViolation) {
+  std::vector<TraceEvent> events = {
+      ChainEv(10, TraceEventType::kChainConsume, 42, kIrqEp, kMaxChainHops, 1),
+  };
+  ChainAnalysis a = AnalyzeChains(events.data(), events.size(), 0, {});
+  EXPECT_TRUE(a.complete_window);
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(a.violations.empty());
+  EXPECT_EQ(a.saturated_hops, 1u);
+  EXPECT_EQ(a.orphan_hops, 0u);
+}
+
+// One hop below the cap the token could not have been dropped by saturation,
+// so a missing emit in a complete window is still a real violation.
+TEST(ChainAnalyzerTest, ConsumeBelowHopCapStaysOrphanViolation) {
+  std::vector<TraceEvent> events = {
+      ChainEv(10, TraceEventType::kChainConsume, 42, kIrqEp, kMaxChainHops - 1, 1),
+  };
+  ChainAnalysis a = AnalyzeChains(events.data(), events.size(), 0, {});
+  EXPECT_FALSE(a.ok());
+  ASSERT_EQ(a.violations.size(), 1u);
+  EXPECT_EQ(a.violations[0].kind, ChainViolationKind::kOrphanConsume);
+  EXPECT_EQ(a.saturated_hops, 0u);
+}
+
+// Above the cap no legitimate token exists at all: still malformed, never
+// counted as saturation.
+TEST(ChainAnalyzerTest, ConsumeBeyondHopCapStaysMalformed) {
+  std::vector<TraceEvent> events = {
+      ChainEv(10, TraceEventType::kChainConsume, 42, kIrqEp, kMaxChainHops + 1, 1),
+  };
+  ChainAnalysis a = AnalyzeChains(events.data(), events.size(), 0, {});
+  ASSERT_EQ(a.violations.size(), 1u);
+  EXPECT_EQ(a.violations[0].kind, ChainViolationKind::kMalformedToken);
+  EXPECT_EQ(a.saturated_hops, 0u);
+}
+
+// Saturation is recognized before the truncation branch: on a truncated ring
+// a cap-hop consume is still counted as saturated, not lumped into the
+// orphan-hop bucket.
+TEST(ChainAnalyzerTest, SaturatedHopCountedOnTruncatedWindowToo) {
+  std::vector<TraceEvent> events = {
+      ChainEv(10, TraceEventType::kChainConsume, 42, kIrqEp, kMaxChainHops, 1),
+  };
+  ChainAnalysis a = AnalyzeChains(events.data(), events.size(), /*dropped_events=*/2, {});
+  EXPECT_FALSE(a.complete_window);
+  EXPECT_TRUE(a.ok());
+  EXPECT_EQ(a.saturated_hops, 1u);
+  EXPECT_EQ(a.orphan_hops, 0u);
+}
+
 TEST(ChainAnalyzerTest, EpochMarkerForcesIncompleteWindow) {
   // A sink Reset clears dropped() but tokens banked before the reset can
   // surface afterwards: the epoch marker alone must disarm the violation.

@@ -17,6 +17,11 @@
 //                                          <artifacts-dir>/worker-N/
 //   torture --timer-queue=list             run against the reference sorted
 //                                          timer list instead of the wheel
+//   torture --num-cores=2                  partitioned-SMP runs: generated
+//                                          threads pinned round-robin across
+//                                          N virtual cores (1 = the classic
+//                                          single-core harness, bit-identical
+//                                          digests)
 //
 // On failure: prints the one-line repro command, shrinks the op budget by
 // bisection, and exits 1. Runs are deterministic per (seed, options), so a
@@ -30,6 +35,7 @@
 #include <vector>
 
 #include "src/base/thread_pool.h"
+#include "src/core/config.h"
 #include "src/fuzz/torture.h"
 
 namespace emeralds {
@@ -112,6 +118,12 @@ int Run(int argc, char** argv) {
       base.irq_storms = false;
     } else if (ParseFlag(argv[i], "--no-charge-resets", &v)) {
       base.charge_resets = false;
+    } else if (ParseFlag(argv[i], "--num-cores", &v) && v != nullptr) {
+      base.num_cores = std::atoi(v);
+      if (base.num_cores < 1 || base.num_cores > kMaxCores) {
+        std::fprintf(stderr, "--num-cores must be in [1, %d], got %s\n", kMaxCores, v);
+        return 2;
+      }
     } else if (ParseFlag(argv[i], "--tiny-ring", &v)) {
       base.tiny_trace_ring = true;
     } else if (ParseFlag(argv[i], "--check-determinism", &v)) {
