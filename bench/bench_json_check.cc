@@ -6,6 +6,8 @@
 //   emeralds.obs.chains/1      — causal event-chain report (chains_smoke label)
 //   emeralds.fuzz.torture/1    — torture-harness sweep report
 //   emeralds.fleet.run/1       — fleet simulation report (fleet_smoke label)
+//   emeralds.obs.timeseries/1  — streaming telemetry window series (also
+//                                embedded in fleet.run as "timeseries")
 //   emeralds.obs.blackbox/1    — black-box flight-recorder bundle report
 //   emeralds.bench.smp/1       — partitioned-SMP throughput/admission report
 // For the obs, fuzz, and fleet schemas the check is substantive, not just
@@ -406,6 +408,152 @@ bool CheckTelemetrySection(const JsonValue& telemetry, const char* ctx) {
   return true;
 }
 
+// The streaming window series (schema emeralds.obs.timeseries/1, embedded
+// in fleet.run as "timeseries" or standalone). Substantive checks: the
+// series must sit on the fixed window grid (start == index * width, end
+// within one width), and — when no samples were lost — the per-window
+// deltas must telescope back to the whole-run totals the `totals` object
+// (or enclosing fleet report) carries.
+bool CheckTimeseriesSection(const JsonValue& ts, const char* ctx, const JsonValue* totals) {
+  const JsonValue* schema = ts.Find("schema");
+  if (schema == nullptr || schema->type != JsonValue::Type::kString ||
+      schema->string != "emeralds.obs.timeseries/1") {
+    std::fprintf(stderr, "FAIL: %s schema is not emeralds.obs.timeseries/1\n", ctx);
+    return false;
+  }
+  if (!RequireNumbers(ts, ctx,
+                      {"window_us", "windows", "lost_samples", "windows_dropped",
+                       "gap_windows"})) {
+    return false;
+  }
+  const JsonValue* series = ts.Find("series");
+  if (series == nullptr || series->type != JsonValue::Type::kArray) {
+    std::fprintf(stderr, "FAIL: %s missing series array\n", ctx);
+    return false;
+  }
+  if (series->array.size() != static_cast<size_t>(ts.Find("windows")->number)) {
+    std::fprintf(stderr, "FAIL: %s windows=%g but series has %zu entries\n", ctx,
+                 ts.Find("windows")->number, series->array.size());
+    return false;
+  }
+  const double width = ts.Find("window_us")->number;
+  double last_index = -1.0;
+  double gaps = 0.0;
+  double jobs = 0.0;
+  double misses = 0.0;
+  for (const JsonValue& w : series->array) {
+    if (!RequireNumbers(w, "window",
+                        {"index", "start_us", "end_us", "samples", "jobs_released",
+                         "jobs_completed", "deadline_misses", "context_switches",
+                         "interrupts", "timer_dispatches", "chain_e2e_completed",
+                         "chain_e2e_overruns", "trace_dropped", "stats_snapshot_drops"})) {
+      return false;
+    }
+    const JsonValue* gap = w.Find("gap");
+    if (gap == nullptr || gap->type != JsonValue::Type::kBool) {
+      std::fprintf(stderr, "FAIL: %s window missing bool \"gap\"\n", ctx);
+      return false;
+    }
+    if (!RequireHistogram(w, "window", "response") ||
+        !RequireHistogram(w, "window", "chain_e2e") ||
+        !RequireHistogram(w, "window", "headroom")) {
+      return false;
+    }
+    const double index = w.Find("index")->number;
+    const double start = w.Find("start_us")->number;
+    const double end = w.Find("end_us")->number;
+    if (index <= last_index || start != index * width || end <= start ||
+        end > start + width) {
+      std::fprintf(stderr, "FAIL: %s window off the grid (index %g start %g end %g width %g)\n",
+                   ctx, index, start, end, width);
+      return false;
+    }
+    last_index = index;
+    if (gap->boolean) {
+      gaps += 1.0;
+    }
+    jobs += w.Find("jobs_completed")->number;
+    misses += w.Find("deadline_misses")->number;
+  }
+  if (gaps != ts.Find("gap_windows")->number) {
+    std::fprintf(stderr, "FAIL: %s gap_windows=%g but %g windows are marked\n", ctx,
+                 ts.Find("gap_windows")->number, gaps);
+    return false;
+  }
+  // Telescoping: lossless series must reproduce the whole-run totals.
+  if (totals != nullptr && ts.Find("lost_samples")->number == 0.0) {
+    const JsonValue* total_jobs = totals->Find("jobs_completed");
+    const JsonValue* total_misses = totals->Find("deadline_misses");
+    if (total_jobs != nullptr && total_jobs->number != jobs) {
+      std::fprintf(stderr, "FAIL: %s window jobs sum to %g, run total is %g\n", ctx, jobs,
+                   total_jobs->number);
+      return false;
+    }
+    if (total_misses != nullptr && total_misses->number != misses) {
+      std::fprintf(stderr, "FAIL: %s window misses sum to %g, run total is %g\n", ctx, misses,
+                   total_misses->number);
+      return false;
+    }
+  }
+  return true;
+}
+
+// The alert stream: every event well-formed, the fired count backed up by
+// the stream, and the stream ordered by window (the determinism contract —
+// an unordered stream would make the bit-identical comparison meaningless).
+bool CheckAlertsSection(const JsonValue& alerts, const char* ctx) {
+  if (!RequireNumbers(alerts, ctx, {"events", "fired"})) {
+    return false;
+  }
+  const JsonValue* config = alerts.Find("config");
+  if (config == nullptr || config->type != JsonValue::Type::kObject ||
+      !RequireNumbers(*config, "alerts config",
+                      {"fast_windows", "slow_windows", "miss_budget_ppm",
+                       "miss_burn_threshold", "chain_budget_ppm", "chain_burn_threshold",
+                       "outlier_floor"})) {
+    return false;
+  }
+  const JsonValue* stream = alerts.Find("stream");
+  if (stream == nullptr || stream->type != JsonValue::Type::kArray) {
+    std::fprintf(stderr, "FAIL: %s missing stream array\n", ctx);
+    return false;
+  }
+  if (stream->array.size() != static_cast<size_t>(alerts.Find("events")->number)) {
+    std::fprintf(stderr, "FAIL: %s events=%g but stream has %zu entries\n", ctx,
+                 alerts.Find("events")->number, stream->array.size());
+    return false;
+  }
+  double fired = 0.0;
+  double last_window = -1e18;
+  for (const JsonValue& e : stream->array) {
+    if (!RequireNumbers(e, "alert event", {"node", "window", "time_us", "value", "total"})) {
+      return false;
+    }
+    const JsonValue* rule = e.Find("rule");
+    const JsonValue* state = e.Find("state");
+    if (rule == nullptr || rule->type != JsonValue::Type::kString || state == nullptr ||
+        state->type != JsonValue::Type::kString ||
+        (state->string != "firing" && state->string != "resolved")) {
+      std::fprintf(stderr, "FAIL: %s event missing rule/state\n", ctx);
+      return false;
+    }
+    if (e.Find("window")->number < last_window) {
+      std::fprintf(stderr, "FAIL: %s stream not ordered by window\n", ctx);
+      return false;
+    }
+    last_window = e.Find("window")->number;
+    if (state->string == "firing") {
+      fired += 1.0;
+    }
+  }
+  if (fired != alerts.Find("fired")->number) {
+    std::fprintf(stderr, "FAIL: %s fired=%g but stream has %g firing events\n", ctx,
+                 alerts.Find("fired")->number, fired);
+    return false;
+  }
+  return true;
+}
+
 // The fleet report must carry zero failed nodes, positive deterministic
 // aggregates, and — when the timers section is present — a wheel that beats
 // the reference sorted list by the 5x acceptance floor at 10k pending.
@@ -458,6 +606,14 @@ int CheckFleetRun(const char* path, const JsonValue& root) {
   }
   const JsonValue* telemetry = root.Find("telemetry");
   if (telemetry != nullptr && !CheckTelemetrySection(*telemetry, "telemetry")) {
+    return 1;
+  }
+  const JsonValue* timeseries = root.Find("timeseries");
+  if (timeseries != nullptr && !CheckTimeseriesSection(*timeseries, "timeseries", &root)) {
+    return 1;
+  }
+  const JsonValue* alerts = root.Find("alerts");
+  if (alerts != nullptr && !CheckAlertsSection(*alerts, "alerts")) {
     return 1;
   }
   const JsonValue* timers = root.Find("timers");
@@ -685,6 +841,13 @@ int main(int argc, char** argv) {
   }
   if (schema->string == "emeralds.fleet.run/1") {
     return CheckFleetRun(argv[1], root);
+  }
+  if (schema->string == "emeralds.obs.timeseries/1") {
+    if (!CheckTimeseriesSection(root, "timeseries", root.Find("totals"))) {
+      return 1;
+    }
+    std::printf("OK: %s (timeseries, %g windows)\n", argv[1], root.Find("windows")->number);
+    return 0;
   }
   if (schema->string == "emeralds.obs.blackbox/1") {
     return CheckObsBlackBox(argv[1], root);

@@ -372,6 +372,7 @@ CausalToken Kernel::ChainEmit(int32_t endpoint, const Tcb* carrier) {
       next_chain_origin_ = 1;  // 0 stays the invalid token after wraparound
     }
     token.hop = 0;
+    token.mint = hw_.now();
     ++stats_.chain_origins;
   }
   ++stats_.chain_emits;
@@ -398,6 +399,25 @@ void Kernel::ChainConsume(int32_t endpoint, CausalToken token, Tcb& consumer) {
   trace_.Record(hw_.now(), TraceEventType::kChainConsume, static_cast<int32_t>(token.origin),
                 endpoint, ChainHopPack(token.hop, consumer.id.value));
   consumer.chain_token = token;
+  // Streaming chain e2e: a consume landing on the final stage of a resolved
+  // chain spec closes one chain instance — record final-consume minus mint,
+  // and count an overrun when it blew the chain's deadline. The offline
+  // analyzer remains the reconciliation oracle; this is the always-on view.
+  for (const ResolvedChain& chain : resolved_chains_) {
+    if (!chain.resolved || chain.stages.empty()) {
+      continue;
+    }
+    const ResolvedChainStage& last = chain.stages.back();
+    if (last.endpoint != endpoint ||
+        (last.consumer_tid >= 0 && last.consumer_tid != consumer.id.value)) {
+      continue;
+    }
+    Duration e2e = hw_.now() - token.mint;
+    stats_.chain_e2e_hist.Add(e2e);
+    if (chain.deadline.is_positive() && e2e > chain.deadline) {
+      ++stats_.chain_e2e_overruns;
+    }
+  }
 }
 
 void Kernel::ResolveChainSpecs() {
@@ -988,7 +1008,12 @@ void Kernel::TimerIsr() {
         // and is charged before Sample() so it falls inside the interval it
         // closes.
         Charge(ChargeCategory::kStatsObs, cost_.stats_sample);
-        stats_sampler_->Sample(hw_.now(), stats_);
+        if (stats_sampler_->Sample(hw_.now(), stats_)) {
+          // The ring evicted an interval nobody had read — make the loss
+          // visible instead of silently splicing across it. The delta was
+          // taken before the bump, so the *next* interval carries the count.
+          ++stats_.stats_snapshot_drops;
+        }
         ArmSoftTimer(stats_sample_timer_, first->expiry + stats_sample_period_);
         break;
     }
@@ -1079,6 +1104,7 @@ void Kernel::RecordJobCost(Tcb& t) {
     t.job_cost_ewma += (job_cost - t.job_cost_ewma) / 4;
   }
   Duration headroom = t.job_deadline - hw_.now();  // negative on a miss
+  stats_.headroom_hist.Add(headroom);
   if (!t.headroom_seen || headroom < t.headroom_min) {
     t.headroom_min = headroom;
     t.headroom_seen = true;
@@ -1129,6 +1155,7 @@ Kernel::SyscallOutcome Kernel::SysWaitPeriod(Tcb& t, SemId next_sem) {
   ++stats_.jobs_completed;
   Duration response = hw_.now() - t.job_release;
   t.total_response += response;
+  stats_.response_hist.Add(response);
   if (response > t.max_response) {
     t.max_response = response;
   }

@@ -82,6 +82,12 @@ void PrintKernelStats(const KernelStats& stats, std::FILE* out) {
                static_cast<unsigned long long>(stats.pi_reinserts),
                static_cast<unsigned long long>(stats.cse_switches_saved));
   std::fprintf(out,
+               "chains: %llu e2e completions observed, %llu e2e overruns\n",
+               static_cast<unsigned long long>(stats.chain_e2e_hist.count()),
+               static_cast<unsigned long long>(stats.chain_e2e_overruns));
+  std::fprintf(out, "stats snapshots: %llu unread snapshots dropped\n",
+               static_cast<unsigned long long>(stats.stats_snapshot_drops));
+  std::fprintf(out,
                "ipc: %llu mailbox sends, %llu receives; %llu state-msg writes, "
                "%llu reads (%llu retries)\n",
                static_cast<unsigned long long>(stats.mailbox_sends),
@@ -91,33 +97,45 @@ void PrintKernelStats(const KernelStats& stats, std::FILE* out) {
                static_cast<unsigned long long>(stats.smsg_read_retries));
 }
 
-void StatsSampler::Sample(Instant now, const KernelStats& current) {
+StatsDelta MakeStatsDelta(Instant now, const KernelStats& current, const KernelStats& base) {
   StatsDelta d;
   d.time = now;
   for (int c = 0; c < kNumChargeCategories; ++c) {
-    d.charged[c] = current.charged[c] - last_.charged[c];
+    d.charged[c] = current.charged[c] - base.charged[c];
   }
-  d.sem_path_time = current.sem_path_time - last_.sem_path_time;
-  d.compute_time = current.compute_time - last_.compute_time;
-  d.idle_time = current.idle_time - last_.idle_time;
+  d.sem_path_time = current.sem_path_time - base.sem_path_time;
+  d.compute_time = current.compute_time - base.compute_time;
+  d.idle_time = current.idle_time - base.idle_time;
   for (int b = 0; b < kNumCycleBuckets; ++b) {
-    d.cycles.buckets[b] = current.cycles.buckets[b] - last_.cycles.buckets[b];
+    d.cycles.buckets[b] = current.cycles.buckets[b] - base.cycles.buckets[b];
   }
-  d.context_switches = current.context_switches - last_.context_switches;
-  d.jobs_released = current.jobs_released - last_.jobs_released;
-  d.jobs_completed = current.jobs_completed - last_.jobs_completed;
-  d.deadline_misses = current.deadline_misses - last_.deadline_misses;
-  d.sem_acquires = current.sem_acquires - last_.sem_acquires;
-  d.sem_contended = current.sem_contended - last_.sem_contended;
-  d.pi_inherits = current.pi_inherits - last_.pi_inherits;
-  d.cse_switches_saved = current.cse_switches_saved - last_.cse_switches_saved;
-  d.interrupts = current.interrupts - last_.interrupts;
-  d.timer_dispatches = current.timer_dispatches - last_.timer_dispatches;
-  d.headroom_low_events = current.headroom_low_events - last_.headroom_low_events;
-  if (samples_.push_overwrite(d)) {
+  d.context_switches = current.context_switches - base.context_switches;
+  d.jobs_released = current.jobs_released - base.jobs_released;
+  d.jobs_completed = current.jobs_completed - base.jobs_completed;
+  d.deadline_misses = current.deadline_misses - base.deadline_misses;
+  d.sem_acquires = current.sem_acquires - base.sem_acquires;
+  d.sem_contended = current.sem_contended - base.sem_contended;
+  d.pi_inherits = current.pi_inherits - base.pi_inherits;
+  d.cse_switches_saved = current.cse_switches_saved - base.cse_switches_saved;
+  d.interrupts = current.interrupts - base.interrupts;
+  d.timer_dispatches = current.timer_dispatches - base.timer_dispatches;
+  d.headroom_low_events = current.headroom_low_events - base.headroom_low_events;
+  d.ipis = current.ipis - base.ipis;
+  d.chain_e2e_overruns = current.chain_e2e_overruns - base.chain_e2e_overruns;
+  d.stats_snapshot_drops = current.stats_snapshot_drops - base.stats_snapshot_drops;
+  d.response_hist = Log2Histogram::Delta(current.response_hist, base.response_hist);
+  d.headroom_hist = Log2Histogram::Delta(current.headroom_hist, base.headroom_hist);
+  d.chain_e2e_hist = Log2Histogram::Delta(current.chain_e2e_hist, base.chain_e2e_hist);
+  return d;
+}
+
+bool StatsSampler::Sample(Instant now, const KernelStats& current) {
+  bool overwrote = samples_.push_overwrite(MakeStatsDelta(now, current, last_));
+  if (overwrote) {
     ++dropped_;
   }
   last_ = current;
+  return overwrote;
 }
 
 }  // namespace emeralds

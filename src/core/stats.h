@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <cstdio>
 
+#include "src/base/log2_histogram.h"
 #include "src/base/ring_buffer.h"
 #include "src/base/time.h"
 #include "src/hal/cost_model.h"
@@ -142,6 +143,25 @@ struct KernelStats {
   // + per-job cost EWMA) left less slack than the configured margin.
   uint64_t headroom_low_events = 0;
 
+  // Streaming-telemetry instrumentation (zero virtual cost: updated inline
+  // at events the kernel already pays for, never traced, and kept out of the
+  // fleet digest's explicit counter list).
+  //
+  // chain_e2e_hist records kernel-observed end-to-end chain latency: the
+  // final-stage consume instant minus the token's mint instant, for every
+  // consume that lands on the last stage of a resolved chain spec. It can
+  // differ slightly from the offline analyzer's reconstruction (hop-cap
+  // saturation, trace truncation) — the analyzer stays the oracle; this is
+  // the always-on streaming view. chain_e2e_overruns counts those e2e
+  // latencies that exceeded the chain's deadline.
+  uint64_t chain_e2e_overruns = 0;
+  // Snapshot ring overwrites: sampling outpaced the reader and an unread
+  // StatsDelta was evicted (satellite fix — previously silent).
+  uint64_t stats_snapshot_drops = 0;
+  Log2Histogram response_hist;   // job response times (completion - release)
+  Log2Histogram headroom_hist;   // per-job deadline headroom at completion
+  Log2Histogram chain_e2e_hist;  // kernel-observed chain end-to-end latency
+
   Duration cycle_total() const { return cycles.total(); }
 
   Duration total_charged() const {
@@ -207,7 +227,21 @@ struct StatsDelta {
   uint64_t interrupts = 0;
   uint64_t timer_dispatches = 0;
   uint64_t headroom_low_events = 0;
+  uint64_t ipis = 0;
+  uint64_t chain_e2e_overruns = 0;
+  uint64_t stats_snapshot_drops = 0;
+  // Per-interval histogram deltas (Log2Histogram::Delta of the cumulative
+  // kernel histograms): merging every interval of a run reproduces the
+  // whole-run histogram bit-identically.
+  Log2Histogram response_hist;
+  Log2Histogram headroom_hist;
+  Log2Histogram chain_e2e_hist;
 };
+
+// Field-by-field delta of two cumulative snapshots over (base, now] —
+// the StatsSampler interval encoding, exposed so the streaming timeseries
+// layer can synthesize the tail interval at the horizon.
+StatsDelta MakeStatsDelta(Instant now, const KernelStats& current, const KernelStats& base);
 
 // Bounded ring of periodic StatsDelta samples. The kernel drives Sample()
 // from a software timer when EnableStatsSampling() was called; storage is
@@ -218,12 +252,18 @@ class StatsSampler {
   explicit StatsSampler(size_t capacity) : samples_(capacity > 0 ? capacity : 1) {}
 
   // Records the interval (last sample, now] as a delta of `current` against
-  // the previous cumulative snapshot.
-  void Sample(Instant now, const KernelStats& current);
+  // the previous cumulative snapshot. Returns true when the push evicted an
+  // unread sample (the caller should count a stats_snapshot_drop).
+  bool Sample(Instant now, const KernelStats& current);
 
   size_t size() const { return samples_.size(); }
   const StatsDelta& at(size_t index) const { return samples_.at(index); }
   uint64_t dropped() const { return dropped_; }
+
+  // Cumulative counters at the previous sample: the base the *next* delta
+  // will subtract from. The streaming timeseries layer uses it to synthesize
+  // the tail interval (last sample, horizon] at collection time.
+  const KernelStats& last_sample_base() const { return last_; }
 
   // Re-baselines the cumulative reference so the next delta starts from
   // `current` (Kernel::ResetChargeAccounting zeroes the charge Durations,

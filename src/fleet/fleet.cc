@@ -71,7 +71,11 @@ struct Node {
   Kernel* kernel = nullptr;
   NodeState* st = nullptr;
   Instant end;
+  int index = -1;
   NodeResult result;
+  // Streaming telemetry collector (heap, not arena: it outlives the arena
+  // Reset in FinishNode only long enough to be snapshotted into the result).
+  std::unique_ptr<obs::TimeseriesCollector> ts;
 };
 
 // Every node's simulation is a pure function of (fleet seed, node index,
@@ -79,7 +83,11 @@ struct Node {
 // (worker id, steal order, wall time) is ever consulted.
 void BuildNode(Node& node, const FleetOptions& opt, int index) {
   Rng topo = Rng(opt.seed).Fork(static_cast<uint64_t>(index) + 1);
+  node.index = index;
   node.result.seed = opt.seed;
+  if (opt.timeseries) {
+    node.ts = std::make_unique<obs::TimeseriesCollector>(opt.timeseries_options);
+  }
   // Overload injection: the multiplier is applied *after* every topology
   // draw below, so the Rng stream — and therefore every other node — is
   // bit-identical whether or not this node is the designated victim.
@@ -297,12 +305,29 @@ void EvaluateNode(Node& node, const FleetOptions& opt) {
   if (opt.telemetry) {
     r.telemetry = obs::CollectNodeTelemetry(kernel, analysis, chains);
   }
+
+  // Streaming plane: close the window series at the horizon (synthesizing
+  // the tail interval), snapshot it into the result, and run the node-local
+  // alert rules over it. Reads only — the digest was taken above.
+  if (node.ts != nullptr) {
+    node.ts->Finish(kernel);
+    r.windows = node.ts->Snapshot();
+    r.timeseries_lost_samples = node.ts->lost_samples();
+    r.timeseries_windows_dropped = node.ts->windows_dropped();
+    if (opt.alerts) {
+      obs::AlertEngine engine(opt.alert_config);
+      for (const obs::TelemetryWindow& w : r.windows) {
+        engine.Observe(w, node.index, &r.alerts);
+      }
+    }
+  }
 }
 
 // EvaluateNode plus teardown. Runs on the pool worker that executed the
 // node's final slice.
 void FinishNode(Node& node, const FleetOptions& opt) {
   EvaluateNode(node, opt);
+  node.ts.reset();
   // Reclaim the node's entire footprint in one shot; record the high-water
   // mark first so arenas can be sized from measured fleets.
   node.arena.Reset();
@@ -358,6 +383,13 @@ FleetResult RunFleet(const FleetOptions& options) {
       Kernel& kernel = *node.kernel;
       Instant target = std::min(node.end, kernel.now() + opt.slice);
       kernel.RunUntil(target);
+      if (node.ts != nullptr) {
+        // Drain the snapshot ring at every slice boundary: the window series
+        // materializes while the fleet runs, and the drain schedule is part
+        // of the node's deterministic replay contract (InspectNode mirrors
+        // it). Read-only on the kernel, so the digest cannot move.
+        node.ts->Collect(kernel);
+      }
       if (kernel.now() < node.end) {
         pool.Submit([&step, index] { step(index); });
       } else {
@@ -412,6 +444,45 @@ FleetResult RunFleet(const FleetOptions& options) {
   out.events_per_wall_sec =
       wall_seconds > 0 ? static_cast<double>(out.events_total) / wall_seconds : 0.0;
 
+  // Streaming plane, fleet-merged: same-index windows Merge losslessly and
+  // order-invariantly, then the cross-node outlier rule runs over the
+  // per-node series and the full alert stream is canonicalized. A firing
+  // alert marks its node anomalous — that is what routes an alerting node
+  // into the black-box selection below even when every oracle passed.
+  if (opt.timeseries) {
+    out.timeseries_options = opt.timeseries_options;
+    out.alert_config = opt.alert_config;
+    std::vector<const std::vector<obs::TelemetryWindow>*> series;
+    series.reserve(out.nodes.size());
+    for (const NodeResult& r : out.nodes) {
+      series.push_back(&r.windows);
+      out.timeseries_lost_samples += r.timeseries_lost_samples;
+      out.timeseries_windows_dropped += r.timeseries_windows_dropped;
+    }
+    out.windows = obs::MergeWindowSeries(series);
+    if (opt.alerts) {
+      for (const NodeResult& r : out.nodes) {
+        out.alerts.insert(out.alerts.end(), r.alerts.begin(), r.alerts.end());
+      }
+      obs::EvaluateFleetOutlierAlerts(series, opt.alert_config, &out.alerts);
+      obs::SortAlertEvents(&out.alerts);
+      for (const obs::AlertEvent& e : out.alerts) {
+        if (!e.firing) {
+          continue;
+        }
+        ++out.alerts_fired;
+        if (e.node >= 0 && e.node < static_cast<int>(out.nodes.size())) {
+          NodeResult& nr = out.nodes[static_cast<size_t>(e.node)];
+          nr.anomaly_score += 500000;
+          if (nr.anomaly.empty()) {
+            nr.anomaly = std::string("alert firing: ") + obs::AlertRuleName(e.rule);
+            ++out.nodes_anomalous;
+          }
+        }
+      }
+    }
+  }
+
   // Black-box flight recorder: re-run the worst anomalous nodes serially and
   // bundle their forensic state. The fleet tore each node down right after
   // its horizon (memory is the budget at fleet scale), but a node is a pure
@@ -443,8 +514,10 @@ FleetResult RunFleet(const FleetOptions& options) {
       InspectNode(opt, index, [&](const Kernel& kernel, const NodeResult& r) {
         EM_ASSERT_MSG(r.trace_digest == fleet_view.trace_digest,
                       "black-box re-run diverged from the fleet run");
+        // The fleet-side anomaly carries alert-triggered reasons the
+        // node-local replay cannot know about.
         obs::BlackBoxSnapshot box = obs::CaptureBlackBox(
-            kernel, label, r.anomaly, NodeReproCommand(opt, index));
+            kernel, label, fleet_view.anomaly, NodeReproCommand(opt, index));
         obs::WriteBlackBoxBundle(box, dir);
       });
       out.blackbox_nodes.push_back(index);
@@ -462,9 +535,17 @@ NodeResult InspectNode(const FleetOptions& options, int index,
   }
   Node node(opt.arena_bytes);
   BuildNode(node, opt, index);
-  // One shot to the horizon: by the determinism contract this is
-  // bit-identical to the sliced run the fleet performed.
-  node.kernel->RunUntil(node.end);
+  // Slice-stepped exactly like the fleet run — not one shot — so the
+  // streaming collector drains at the same instants and the replayed window
+  // series and alert stream are bit-identical to what the fleet saw (the
+  // virtual outcome itself is slice-invariant; the drain schedule is not).
+  while (node.kernel->now() < node.end) {
+    Instant target = std::min(node.end, node.kernel->now() + opt.slice);
+    node.kernel->RunUntil(target);
+    if (node.ts != nullptr) {
+      node.ts->Collect(*node.kernel);
+    }
+  }
   EvaluateNode(node, opt);
   if (visit) {
     visit(*node.kernel, node.result);

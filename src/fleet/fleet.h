@@ -37,7 +37,9 @@
 
 #include "src/base/time.h"
 #include "src/core/timer.h"
+#include "src/obs/alerts.h"
 #include "src/obs/telemetry.h"
+#include "src/obs/timeseries.h"
 
 namespace emeralds {
 
@@ -78,6 +80,15 @@ struct FleetOptions {
   // every other node is untouched). -1 = none.
   int overload_node = -1;
   int overload_factor = 8;
+  // Streaming telemetry plane: per-node TelemetryWindow series folded from
+  // the snapshot ring at every slice boundary (so the series exists while
+  // the fleet runs), plus the per-window alert engine over it. Host-side
+  // reads only — digests are bit-identical with streaming on or off
+  // (tested), and the alert event stream itself is worker-count-invariant.
+  bool timeseries = true;
+  obs::TimeseriesOptions timeseries_options;
+  bool alerts = true;
+  obs::AlertConfig alert_config;
 };
 
 // One simulated node's outcome. Everything here is deterministic in
@@ -107,6 +118,13 @@ struct NodeResult {
   uint64_t anomaly_score = 0;
   // Telemetry block (collected iff FleetOptions::telemetry).
   obs::NodeTelemetry telemetry;
+  // Streaming telemetry (collected iff FleetOptions::timeseries): the
+  // retained window series plus explicit-degradation counters, and the
+  // node-local alert events (iff FleetOptions::alerts).
+  std::vector<obs::TelemetryWindow> windows;
+  uint64_t timeseries_lost_samples = 0;
+  uint64_t timeseries_windows_dropped = 0;
+  std::vector<obs::AlertEvent> alerts;
 
   bool ok() const { return failure.empty(); }
   bool anomalous() const { return !anomaly.empty(); }
@@ -143,6 +161,18 @@ struct FleetResult {
   uint64_t trace_dropped_worst = 0;
   uint64_t headroom_low_total = 0;
   int nodes_anomalous = 0;
+  // Streaming plane, fleet-merged: same-index windows from every node merged
+  // via the lossless histogram Merge (order-invariant), and the full alert
+  // stream (node-local rules + the cross-node outlier rule) in canonical
+  // (window, rule, node) order with exact virtual timestamps.
+  std::vector<obs::TelemetryWindow> windows;
+  std::vector<obs::AlertEvent> alerts;
+  uint64_t timeseries_lost_samples = 0;
+  uint64_t timeseries_windows_dropped = 0;
+  uint64_t alerts_fired = 0;  // firing events in `alerts`
+  // Echo of the streaming config the run used (the report embeds it).
+  obs::TimeseriesOptions timeseries_options;
+  obs::AlertConfig alert_config;
   // Nodes whose black-box bundles were written (worst first), and where.
   std::vector<int> blackbox_nodes;
   std::string artifacts_dir;
@@ -163,7 +193,7 @@ FleetResult RunFleet(const FleetOptions& options);
 // Deterministically re-runs node `index` of the fleet described by
 // `options` and visits the live kernel (with the filled NodeResult) before
 // the node's arena is torn down. This is the drill-down primitive behind
-// fleet_inspect --node and the black-box recorder: because a node is a
+/// fleet_inspect --node and the black-box recorder: because a node is a
 // pure function of (fleet seed, node index, timer_queue), the revisited
 // state is bit-identical to what the fleet run saw.
 NodeResult InspectNode(const FleetOptions& options, int index,

@@ -4,7 +4,9 @@
 #include <map>
 
 #include "src/fleet/triage.h"
+#include "src/obs/alerts.h"
 #include "src/obs/json_writer.h"
+#include "src/obs/timeseries.h"
 
 namespace emeralds {
 namespace fleet {
@@ -93,11 +95,32 @@ std::string BuildFleetRunReport(const FleetRunInfo& info, const FleetResult& res
     json.CloseObject();
   }
 
+  if (info.streaming_on_events_per_wall_sec > 0 &&
+      info.streaming_off_events_per_wall_sec > 0) {
+    json.Key("streaming_overhead");
+    json.OpenObject();
+    json.Number("on_events_per_wall_sec", info.streaming_on_events_per_wall_sec);
+    json.Number("off_events_per_wall_sec", info.streaming_off_events_per_wall_sec);
+    json.Number("ratio", info.streaming_on_events_per_wall_sec /
+                             info.streaming_off_events_per_wall_sec);
+    json.CloseObject();
+  }
+
   // Fleet telemetry plane: exact-bucket percentile tables over the merged
   // per-node histograms (schema "emeralds.fleet.telemetry/1").
   if (result.telemetry.nodes_collected > 0) {
     json.Key("telemetry");
     obs::AppendFleetTelemetrySection(json, result.telemetry);
+  }
+
+  // Streaming plane: the fleet-merged window series (every node's same-index
+  // windows merged via the lossless histogram Merge) and the canonical alert
+  // event stream with exact virtual timestamps.
+  if (!result.windows.empty()) {
+    obs::AppendTimeseriesSection(json, result.windows, result.timeseries_options.window,
+                                 result.timeseries_lost_samples,
+                                 result.timeseries_windows_dropped);
+    obs::AppendAlertsSection(json, result.alerts, result.alert_config);
   }
 
   json.Key("triage");

@@ -51,6 +51,12 @@ struct FleetRunInfo {
   // clock is never gated); the section is omitted when either is zero.
   double telemetry_on_events_per_wall_sec = 0.0;
   double telemetry_off_events_per_wall_sec = 0.0;
+  // Streaming-collection overhead: rate with the streaming timeseries +
+  // alert plane on vs telemetry-only. bench_compare gates the *ratio*
+  // against the committed baseline (a ratio is host-speed-independent);
+  // the section is omitted when either is zero.
+  double streaming_on_events_per_wall_sec = 0.0;
+  double streaming_off_events_per_wall_sec = 0.0;
 };
 
 // Renders the full report. `timers` may be empty (the section is omitted);

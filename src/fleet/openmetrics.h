@@ -1,0 +1,37 @@
+// OpenMetrics / Prometheus text exposition of a fleet's final scrape state.
+//
+// BuildOpenMetricsExposition renders the FleetResult the way a Prometheus
+// scrape of the fleet at its horizon would look: fleet-level counters, a
+// small per-node drill-down set, the merged streaming histograms as
+// le-bucketed histogram families, and the alert state (events per rule,
+// plus the alerts still firing at the horizon as a labeled gauge). The
+// document ends with the mandatory `# EOF` terminator.
+//
+// ValidateOpenMetrics is a strict-enough round-trip parser used by the
+// tests and `fleet_inspect --openmetrics`: every sample must belong to a
+// family declared by a preceding `# TYPE` line, histogram families must
+// carry a +Inf bucket that equals their _count, and the document must end
+// with `# EOF`.
+
+#ifndef SRC_FLEET_OPENMETRICS_H_
+#define SRC_FLEET_OPENMETRICS_H_
+
+#include <string>
+
+#include "src/fleet/fleet.h"
+
+namespace emeralds {
+namespace fleet {
+
+std::string BuildOpenMetricsExposition(const FleetResult& result);
+
+// Returns true when `text` parses as a valid exposition; otherwise false
+// with a one-line reason in *error (when non-null). *families (when
+// non-null) receives the number of declared metric families.
+bool ValidateOpenMetrics(const std::string& text, std::string* error,
+                         int* families = nullptr);
+
+}  // namespace fleet
+}  // namespace emeralds
+
+#endif  // SRC_FLEET_OPENMETRICS_H_

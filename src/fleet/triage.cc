@@ -2,39 +2,24 @@
 
 #include <algorithm>
 
+#include "src/obs/alerts.h"
 #include "src/obs/json_writer.h"
 
 namespace emeralds {
 namespace fleet {
 namespace {
 
-// Lower-middle median of a scratch vector (sorted in place). Integer and
-// order-stable, so the report is byte-identical across runs.
-uint64_t MedianOf(std::vector<uint64_t>* scratch) {
-  if (scratch->empty()) {
-    return 0;
-  }
-  std::sort(scratch->begin(), scratch->end());
-  return (*scratch)[(scratch->size() - 1) / 2];
-}
-
 TriageMetric BuildMetric(const char* name, const std::vector<uint64_t>& values, int top_k) {
   TriageMetric m;
   m.name = name;
 
-  std::vector<uint64_t> scratch = values;
-  m.median = MedianOf(&scratch);
-  for (uint64_t& v : scratch) {
-    v = v > m.median ? v - m.median : m.median - v;
-  }
-  m.mad = MedianOf(&scratch);
-
-  // Outlier test: value sits above the median by more than 5 MADs *and*
-  // more than a quarter of the median itself. The second guard keeps a
-  // perfectly uniform fleet (mad == 0) from flagging one-bucket jitter; when
-  // the median is zero it is vacuous, so any nonzero value on a clean metric
-  // is flagged — exactly the injected-outlier case.
-  uint64_t threshold = std::max(5 * m.mad, m.median / 4);
+  // Robust statistics shared with the alert engine's fleet outlier rule
+  // (src/obs/alerts.h) — the online and post-mortem outlier definitions are
+  // the same code. When the median is zero the quarter-median guard is
+  // vacuous, so any nonzero value on a clean metric is flagged — exactly the
+  // injected-outlier case.
+  m.median = obs::RobustMedian(values);
+  m.mad = obs::RobustMad(values, m.median);
 
   std::vector<int> order;
   for (size_t i = 0; i < values.size(); ++i) {
@@ -53,7 +38,7 @@ TriageMetric BuildMetric(const char* name, const std::vector<uint64_t>& values, 
 
   for (int node : order) {
     uint64_t v = values[static_cast<size_t>(node)];
-    bool outlier = v > m.median && (v - m.median) > threshold;
+    bool outlier = obs::IsRobustOutlier(v, m.median, m.mad);
     if (outlier) {
       ++m.outliers;
     }

@@ -104,8 +104,17 @@ inline constexpr int kMaxChainHops = 255;
 struct CausalToken {
   uint32_t origin = 0;
   uint16_t hop = 0;
+  // Mint instant, stamped when the origin token is created and carried
+  // unchanged through every hop: the streaming chain-e2e histogram is
+  // final-consume-time minus mint. Not traced and not digested — purely a
+  // telemetry rider.
+  Instant mint;
   bool valid() const { return origin != 0; }
-  void clear() { origin = 0; hop = 0; }
+  void clear() {
+    origin = 0;
+    hop = 0;
+    mint = Instant();
+  }
 };
 
 const char* TraceEventTypeToString(TraceEventType type);

@@ -1,0 +1,286 @@
+#include "src/obs/alerts.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/obs/json_writer.h"
+
+namespace emeralds {
+namespace obs {
+
+uint64_t RobustMedian(std::vector<uint64_t> values) {
+  if (values.empty()) {
+    return 0;
+  }
+  std::sort(values.begin(), values.end());
+  return values[(values.size() - 1) / 2];
+}
+
+uint64_t RobustMad(const std::vector<uint64_t>& values, uint64_t median) {
+  std::vector<uint64_t> deviations;
+  deviations.reserve(values.size());
+  for (uint64_t v : values) {
+    deviations.push_back(v > median ? v - median : median - v);
+  }
+  return RobustMedian(std::move(deviations));
+}
+
+uint64_t RobustOutlierThreshold(uint64_t median, uint64_t mad) {
+  return std::max(5 * mad, median / 4);
+}
+
+bool IsRobustOutlier(uint64_t value, uint64_t median, uint64_t mad) {
+  return value > median && (value - median) > RobustOutlierThreshold(median, mad);
+}
+
+const char* AlertRuleName(AlertRuleKind kind) {
+  switch (kind) {
+    case AlertRuleKind::kDeadlineMissBurn:
+      return "deadline_miss_burn";
+    case AlertRuleKind::kChainOverrunBurn:
+      return "chain_overrun_burn";
+    case AlertRuleKind::kHeadroomMin:
+      return "headroom_min";
+    case AlertRuleKind::kTraceDrops:
+      return "trace_drops";
+    case AlertRuleKind::kIpiShare:
+      return "ipi_share";
+    case AlertRuleKind::kFleetOutlier:
+      return "fleet_outlier";
+  }
+  return "?";
+}
+
+void SortAlertEvents(std::vector<AlertEvent>* events) {
+  std::sort(events->begin(), events->end(), [](const AlertEvent& a, const AlertEvent& b) {
+    if (a.window != b.window) {
+      return a.window < b.window;
+    }
+    if (a.rule != b.rule) {
+      return static_cast<int>(a.rule) < static_cast<int>(b.rule);
+    }
+    if (a.node != b.node) {
+      return a.node < b.node;
+    }
+    return a.firing && !b.firing;  // a fire sorts before a resolve (distinct rules only)
+  });
+}
+
+namespace {
+
+// bad/total burn >= burn_threshold x budget, by 128-bit cross-multiplication.
+bool BurnOver(uint64_t bad, uint64_t total, const BurnRule& rule) {
+  if (total == 0) {
+    return false;  // no events, no evidence
+  }
+  return static_cast<unsigned __int128>(bad) * 1000000 >=
+         static_cast<unsigned __int128>(total) * rule.budget_ppm * rule.burn_threshold;
+}
+
+// Sum of the last `n` (bad, total) pairs.
+std::pair<uint64_t, uint64_t> TailSum(const std::vector<std::pair<uint64_t, uint64_t>>& h,
+                                      int n) {
+  uint64_t bad = 0;
+  uint64_t total = 0;
+  size_t count = n < 0 ? 0 : static_cast<size_t>(n);
+  size_t begin = h.size() > count ? h.size() - count : 0;
+  for (size_t i = begin; i < h.size(); ++i) {
+    bad += h[i].first;
+    total += h[i].second;
+  }
+  return {bad, total};
+}
+
+AlertEvent MakeEvent(AlertRuleKind rule, int node, const TelemetryWindow& w, bool firing,
+                     uint64_t value, uint64_t total) {
+  AlertEvent e;
+  e.rule = rule;
+  e.node = node;
+  e.window = w.index;
+  e.time = w.end;
+  e.firing = firing;
+  e.value = value;
+  e.total = total;
+  return e;
+}
+
+}  // namespace
+
+AlertEngine::AlertEngine(const AlertConfig& config) : config_(config) {
+  if (config_.fast_windows < 1) {
+    config_.fast_windows = 1;
+  }
+  if (config_.slow_windows < config_.fast_windows) {
+    config_.slow_windows = config_.fast_windows;
+  }
+}
+
+void AlertEngine::ObserveBurn(const BurnRule& rule, AlertRuleKind kind, uint64_t bad,
+                              uint64_t total, const TelemetryWindow& w, int node,
+                              BurnState* state, std::vector<AlertEvent>* out) {
+  if (!rule.enabled) {
+    return;
+  }
+  state->history.emplace_back(bad, total);
+  if (state->history.size() > static_cast<size_t>(config_.slow_windows)) {
+    state->history.erase(state->history.begin());
+  }
+  auto fast = TailSum(state->history, config_.fast_windows);
+  auto slow = TailSum(state->history, config_.slow_windows);
+  if (!state->firing) {
+    // Partial history (fewer than slow_windows so far) burns over min(N,
+    // available) windows — bounded detection latency from window zero, with
+    // the min_total floor keeping tiny-sample ratios quiet.
+    if (slow.second >= rule.min_total && BurnOver(fast.first, fast.second, rule) &&
+        BurnOver(slow.first, slow.second, rule)) {
+      state->firing = true;
+      out->push_back(MakeEvent(kind, node, w, true, fast.first, fast.second));
+    }
+  } else if (fast.second > 0 && !BurnOver(fast.first, fast.second, rule)) {
+    state->firing = false;
+    out->push_back(MakeEvent(kind, node, w, false, fast.first, fast.second));
+  }
+}
+
+void AlertEngine::Observe(const TelemetryWindow& w, int node, std::vector<AlertEvent>* out) {
+  ObserveBurn(config_.miss_burn, AlertRuleKind::kDeadlineMissBurn, w.deadline_misses,
+              w.jobs_completed, w, node, &miss_, out);
+  ObserveBurn(config_.chain_burn, AlertRuleKind::kChainOverrunBurn, w.chain_e2e_overruns,
+              w.chain_e2e_completed, w, node, &chain_, out);
+
+  if (config_.headroom_rule && w.headroom.count() > 0) {
+    // The carried min is the cumulative minimum up to this window — a
+    // conservative bound that never un-fires earlier than the true
+    // per-window minimum would.
+    bool low = w.headroom.min() < config_.headroom_min;
+    if (low && !headroom_firing_) {
+      headroom_firing_ = true;
+      out->push_back(MakeEvent(AlertRuleKind::kHeadroomMin, node, w, true,
+                               static_cast<uint64_t>(w.headroom_low_events), 0));
+    } else if (!low && headroom_firing_) {
+      headroom_firing_ = false;
+      out->push_back(MakeEvent(AlertRuleKind::kHeadroomMin, node, w, false, 0, 0));
+    }
+  }
+
+  if (config_.trace_drop_rule) {
+    bool over = w.trace_dropped > config_.trace_drop_limit;
+    if (over && !trace_firing_) {
+      trace_firing_ = true;
+      out->push_back(MakeEvent(AlertRuleKind::kTraceDrops, node, w, true, w.trace_dropped, 0));
+    } else if (!over && trace_firing_) {
+      trace_firing_ = false;
+      out->push_back(MakeEvent(AlertRuleKind::kTraceDrops, node, w, false, w.trace_dropped, 0));
+    }
+  }
+
+  if (config_.ipi_share_rule) {
+    uint64_t ipi = static_cast<uint64_t>(w.cycles.buckets[static_cast<int>(CycleBucket::kIpi)]
+                                             .nanos());
+    uint64_t all = static_cast<uint64_t>(w.cycles.total().nanos());
+    bool over = all > 0 && static_cast<unsigned __int128>(ipi) * 1000000 >
+                               static_cast<unsigned __int128>(all) * config_.ipi_share_ppm;
+    if (over && !ipi_firing_) {
+      ipi_firing_ = true;
+      out->push_back(MakeEvent(AlertRuleKind::kIpiShare, node, w, true, ipi, all));
+    } else if (!over && ipi_firing_) {
+      ipi_firing_ = false;
+      out->push_back(MakeEvent(AlertRuleKind::kIpiShare, node, w, false, ipi, all));
+    }
+  }
+}
+
+void EvaluateFleetOutlierAlerts(
+    const std::vector<const std::vector<TelemetryWindow>*>& per_node,
+    const AlertConfig& config, std::vector<AlertEvent>* out) {
+  if (!config.fleet_outlier_rule || per_node.empty()) {
+    return;
+  }
+  // Index the series: window index -> (node -> window).
+  std::map<int64_t, std::vector<const TelemetryWindow*>> by_index;
+  for (size_t node = 0; node < per_node.size(); ++node) {
+    if (per_node[node] == nullptr) {
+      continue;
+    }
+    for (const TelemetryWindow& w : *per_node[node]) {
+      auto& row = by_index[w.index];
+      row.resize(per_node.size(), nullptr);
+      row[node] = &w;
+    }
+  }
+  std::vector<bool> firing(per_node.size(), false);
+  for (auto& kv : by_index) {
+    std::vector<uint64_t> values(per_node.size(), 0);
+    Instant end;
+    for (size_t node = 0; node < per_node.size(); ++node) {
+      const TelemetryWindow* w =
+          node < kv.second.size() ? kv.second[node] : nullptr;
+      if (w != nullptr) {
+        values[node] = w->deadline_misses;
+        end = w->end;
+      }
+    }
+    uint64_t median = RobustMedian(values);
+    uint64_t mad = RobustMad(values, median);
+    for (size_t node = 0; node < per_node.size(); ++node) {
+      bool outlier = values[node] >= config.outlier_floor &&
+                     IsRobustOutlier(values[node], median, mad);
+      if (outlier == firing[node]) {
+        continue;
+      }
+      firing[node] = outlier;
+      AlertEvent e;
+      e.rule = AlertRuleKind::kFleetOutlier;
+      e.node = static_cast<int>(node);
+      e.window = kv.first;
+      e.time = end;
+      e.firing = outlier;
+      e.value = values[node];
+      e.total = median;
+      out->push_back(e);
+    }
+  }
+  SortAlertEvents(out);
+}
+
+void AppendAlertsSection(Json& j, const std::vector<AlertEvent>& events,
+                         const AlertConfig& config) {
+  j.Key("alerts");
+  j.OpenObject();
+  j.Key("config");
+  j.OpenObject();
+  j.Int("fast_windows", config.fast_windows);
+  j.Int("slow_windows", config.slow_windows);
+  j.Int("miss_budget_ppm", static_cast<int64_t>(config.miss_burn.budget_ppm));
+  j.Int("miss_burn_threshold", config.miss_burn.burn_threshold);
+  j.Int("chain_budget_ppm", static_cast<int64_t>(config.chain_burn.budget_ppm));
+  j.Int("chain_burn_threshold", config.chain_burn.burn_threshold);
+  j.Int("outlier_floor", static_cast<int64_t>(config.outlier_floor));
+  j.CloseObject();
+  uint64_t fired = 0;
+  for (const AlertEvent& e : events) {
+    if (e.firing) {
+      ++fired;
+    }
+  }
+  j.Int("events", static_cast<int64_t>(events.size()));
+  j.Int("fired", static_cast<int64_t>(fired));
+  j.Key("stream");
+  j.OpenArray();
+  for (const AlertEvent& e : events) {
+    j.OpenObject();
+    j.String("rule", AlertRuleName(e.rule));
+    j.Int("node", e.node);
+    j.Int("window", e.window);
+    j.Int("time_us", e.time.micros());
+    j.String("state", e.firing ? "firing" : "resolved");
+    j.Int("value", static_cast<int64_t>(e.value));
+    j.Int("total", static_cast<int64_t>(e.total));
+    j.CloseObject();
+  }
+  j.CloseArray();
+  j.CloseObject();
+}
+
+}  // namespace obs
+}  // namespace emeralds

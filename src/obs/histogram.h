@@ -1,131 +1,16 @@
-// Fixed-size log2 latency histogram.
-//
-// The trace analyzer accumulates response-time and blocking-time
-// distributions per task. Consistent with the kernel's small-memory ethos the
-// histogram is a fixed array of power-of-two buckets — no heap, O(1) insert —
-// sized so bucket 0 holds sub-microsecond samples and the last bucket
-// everything from ~2.3 minutes up.
+// Forwarding header: Log2Histogram moved to src/base/log2_histogram.h so the
+// kernel's KernelStats can embed histograms without a core -> obs layering
+// inversion. Observability code keeps spelling it obs::Log2Histogram.
 
 #ifndef SRC_OBS_HISTOGRAM_H_
 #define SRC_OBS_HISTOGRAM_H_
 
-#include <bit>
-#include <cstdint>
-
-#include "src/base/time.h"
+#include "src/base/log2_histogram.h"
 
 namespace emeralds {
 namespace obs {
 
-class Log2Histogram {
- public:
-  // Bucket i covers [2^i us, 2^(i+1) us); bucket 0 additionally absorbs
-  // everything below 1 us, the last bucket everything above its floor.
-  static constexpr int kNumBuckets = 28;
-
-  void Add(Duration value) {
-    ++count_;
-    total_ += value;
-    if (count_ == 1 || value < min_) {
-      min_ = value;
-    }
-    if (value > max_) {
-      max_ = value;
-    }
-    ++buckets_[BucketIndex(value)];
-  }
-
-  static int BucketIndex(Duration value) {
-    int64_t us = value.micros();
-    if (us <= 0) {
-      return 0;
-    }
-    int index = std::bit_width(static_cast<uint64_t>(us)) - 1;
-    return index < kNumBuckets ? index : kNumBuckets - 1;
-  }
-
-  // Inclusive lower edge of bucket `index` in microseconds.
-  static int64_t BucketFloorUs(int index) { return index == 0 ? 0 : int64_t{1} << index; }
-
-  uint64_t count() const { return count_; }
-  uint64_t bucket(int index) const { return buckets_[index]; }
-  Duration min() const { return min_; }
-  Duration max() const { return max_; }
-  Duration total() const { return total_; }
-  Duration mean() const {
-    return count_ > 0 ? total_ / static_cast<int64_t>(count_) : Duration();
-  }
-
-  // Lossless merge: bucket-wise sum plus exact min/max/count/total. A merge
-  // of sketches is bucket-identical to the sketch of the concatenated sample
-  // streams (the property test in tests/obs/telemetry_test.cc), which is what
-  // makes per-node histograms aggregable into exact fleet-wide tables.
-  void Merge(const Log2Histogram& other) {
-    if (other.count_ == 0) {
-      return;
-    }
-    if (count_ == 0 || other.min_ < min_) {
-      min_ = other.min_;
-    }
-    if (other.max_ > max_) {
-      max_ = other.max_;
-    }
-    count_ += other.count_;
-    total_ += other.total_;
-    for (int i = 0; i < kNumBuckets; ++i) {
-      buckets_[i] += other.buckets_[i];
-    }
-  }
-
-  // Upper bound on the `fraction` percentile: the upper edge of the first
-  // bucket at which the running count reaches `fraction` of the samples,
-  // clamped by the exact max. Every true percentile is <= this bound, and the
-  // bound is tight at bucket granularity — it survives Merge() exactly, so
-  // fleet-wide percentile tables over merged histograms are bucket-exact.
-  // `fraction` in (0, 1]; zero duration when empty.
-  Duration PercentileBound(double fraction) const {
-    if (count_ == 0) {
-      return Duration();
-    }
-    uint64_t target = static_cast<uint64_t>(fraction * static_cast<double>(count_));
-    if (target < 1) {
-      target = 1;
-    }
-    uint64_t seen = 0;
-    for (int i = 0; i < kNumBuckets; ++i) {
-      seen += buckets_[i];
-      if (seen >= target) {
-        if (i == kNumBuckets - 1) {
-          return max_;  // the overflow bucket is unbounded above
-        }
-        Duration upper = Microseconds(int64_t{1} << (i + 1));
-        return upper < max_ ? upper : max_;
-      }
-    }
-    return max_;
-  }
-
-  // Historical name for PercentileBound (the single-node reports use it).
-  Duration ApproxPercentile(double fraction) const { return PercentileBound(fraction); }
-
-  // Index of the last non-empty bucket (-1 when empty); printers use it to
-  // bound their loops.
-  int HighestBucket() const {
-    for (int i = kNumBuckets - 1; i >= 0; --i) {
-      if (buckets_[i] > 0) {
-        return i;
-      }
-    }
-    return -1;
-  }
-
- private:
-  uint64_t buckets_[kNumBuckets] = {};
-  uint64_t count_ = 0;
-  Duration min_;
-  Duration max_;
-  Duration total_;
-};
+using ::emeralds::Log2Histogram;
 
 }  // namespace obs
 }  // namespace emeralds

@@ -170,7 +170,7 @@ void AppendReconciliation(Json& j, const TraceAnalysis& a, const KernelStats& s)
   j.CloseObject();
 }
 
-void AppendSnapshots(Json& j, const StatsSampler* sampler) {
+void AppendSnapshots(Json& j, const StatsSampler* sampler, const KernelStats& stats) {
   j.Key("snapshots");
   if (sampler == nullptr) {
     j.OpenObject();
@@ -184,6 +184,10 @@ void AppendSnapshots(Json& j, const StatsSampler* sampler) {
   j.OpenObject();
   j.Bool("enabled", true);
   j.Int("dropped", static_cast<int64_t>(sampler->dropped()));
+  // Ring evictions the kernel itself counted (satellite fix: overwrites of
+  // unread snapshots used to be silent). Tracks sampler->dropped() unless a
+  // reader drained between overwrites.
+  j.Int("snapshot_drops", static_cast<int64_t>(stats.stats_snapshot_drops));
   j.Key("samples");
   j.OpenArray();
   for (size_t i = 0; i < sampler->size(); ++i) {
@@ -263,7 +267,7 @@ std::string BuildObsRunReport(const ObsRunInfo& info, const Kernel& kernel,
   AppendReconciliation(j, analysis, kernel.stats());
   j.Key("chains");
   AppendChainsSection(j, AnalyzeChains(trace, kernel.resolved_chains()));
-  AppendSnapshots(j, kernel.stats_sampler());
+  AppendSnapshots(j, kernel.stats_sampler(), kernel.stats());
   j.CloseObject();
   return j.str() + "\n";
 }

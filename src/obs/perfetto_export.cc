@@ -345,6 +345,10 @@ void ExportWindow(EventWriter& w, const TraceEvent* events, size_t count,
     w.Close();
   }
 
+  for (const PerfettoInstantMarker& m : options.instants) {
+    w.Instant(TsUs(m.time), 0, m.name.c_str(), m.category);
+  }
+
   // Close still-open running slices and block spans at the window edge so
   // the viewer does not render them as zero-length.
   if (count > 0) {

@@ -34,6 +34,14 @@ struct PerfettoCounterSample {
   uint64_t headroom_low_events = 0;  // events inside this interval
 };
 
+// A named instant marker rendered on the process track — fleet_inspect uses
+// these to overlay alert fire/resolve instants on a node replay.
+struct PerfettoInstantMarker {
+  Instant time;
+  std::string name;
+  const char* category = "alert";
+};
+
 struct PerfettoExportOptions {
   std::string process_name = "emeralds";
   // Process id the window renders under. The default (1) keeps single-node
@@ -49,6 +57,8 @@ struct PerfettoExportOptions {
   // Cycle-ledger counter samples (typically the StatsSampler ring); empty
   // means no counter tracks.
   std::vector<PerfettoCounterSample> counter_samples;
+  // Instant markers (alert fire/resolve overlays).
+  std::vector<PerfettoInstantMarker> instants;
 };
 
 // Writes the event window as Chrome trace-event JSON to `out`. Returns the

@@ -1,8 +1,11 @@
 #include "src/fleet/fleet.h"
 
+#include <filesystem>
+
 #include <gtest/gtest.h>
 
 #include "src/fleet/fleet_report.h"
+#include "src/fleet/openmetrics.h"
 
 namespace emeralds {
 namespace fleet {
@@ -169,6 +172,190 @@ TEST(FleetTest, SustainsAThousandInstances) {
   }
 }
 
+// --- Streaming timeseries + alerting plane ---
+
+void ExpectWindowsEqual(const std::vector<obs::TelemetryWindow>& a,
+                        const std::vector<obs::TelemetryWindow>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, b[i].index) << what << " window " << i;
+    EXPECT_EQ(a[i].start, b[i].start) << what << " window " << i;
+    EXPECT_EQ(a[i].end, b[i].end) << what << " window " << i;
+    EXPECT_EQ(a[i].gap, b[i].gap) << what << " window " << i;
+    EXPECT_EQ(a[i].samples, b[i].samples) << what << " window " << i;
+    EXPECT_EQ(a[i].jobs_completed, b[i].jobs_completed) << what << " window " << i;
+    EXPECT_EQ(a[i].deadline_misses, b[i].deadline_misses) << what << " window " << i;
+    EXPECT_EQ(a[i].context_switches, b[i].context_switches) << what << " window " << i;
+    EXPECT_EQ(a[i].chain_e2e_completed, b[i].chain_e2e_completed) << what << " window " << i;
+    EXPECT_EQ(a[i].chain_e2e_overruns, b[i].chain_e2e_overruns) << what << " window " << i;
+    EXPECT_EQ(a[i].response.count(), b[i].response.count()) << what << " window " << i;
+    EXPECT_EQ(a[i].response.total(), b[i].response.total()) << what << " window " << i;
+  }
+}
+
+void ExpectAlertsEqual(const std::vector<obs::AlertEvent>& a,
+                       const std::vector<obs::AlertEvent>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i] == b[i]) << what << " event " << i;
+  }
+}
+
+// The streaming plane drains snapshot rings at slice boundaries while the
+// fleet runs — still a pure host-side read, so the digest must be
+// bit-identical with it on or off, at any worker count.
+TEST(FleetTest, StreamingCollectionNeverPerturbsTheDigest) {
+  FleetOptions opt = SmallFleet();
+  opt.timeseries = false;
+  opt.alerts = false;
+  FleetResult off = RunFleet(opt);
+  EXPECT_TRUE(off.windows.empty());
+  EXPECT_TRUE(off.alerts.empty());
+
+  opt.timeseries = true;
+  opt.alerts = true;
+  for (int workers : {1, 2, 8}) {
+    opt.workers = workers;
+    FleetResult on = RunFleet(opt);
+    EXPECT_EQ(on.fleet_digest, off.fleet_digest) << workers << " workers";
+    EXPECT_EQ(on.events_total, off.events_total) << workers << " workers";
+    ASSERT_FALSE(on.windows.empty()) << workers << " workers";
+    EXPECT_EQ(on.timeseries_lost_samples, 0u) << workers << " workers";
+    // Fleet-level telescoping: the merged window deltas reproduce the run
+    // totals exactly.
+    uint64_t jobs = 0;
+    uint64_t misses = 0;
+    for (const obs::TelemetryWindow& w : on.windows) {
+      jobs += w.jobs_completed;
+      misses += w.deadline_misses;
+    }
+    EXPECT_EQ(jobs, on.jobs_completed) << workers << " workers";
+    EXPECT_EQ(misses, on.deadline_misses) << workers << " workers";
+  }
+}
+
+// The alert stream and window series are exact functions of the simulated
+// outcome: bit-identical across worker counts and repeat runs.
+TEST(FleetTest, WindowSeriesAndAlertStreamAreBitIdentical) {
+  FleetOptions opt = SmallFleet();
+  opt.overload_node = 3;  // give the stream something to say
+  opt.overload_factor = 8;
+  FleetResult first = RunFleet(opt);
+  FleetResult repeat = RunFleet(opt);
+  ExpectWindowsEqual(first.windows, repeat.windows, "repeat");
+  ExpectAlertsEqual(first.alerts, repeat.alerts, "repeat");
+
+  for (int workers : {1, 8}) {
+    opt.workers = workers;
+    FleetResult other = RunFleet(opt);
+    ExpectWindowsEqual(first.windows, other.windows, "workers");
+    ExpectAlertsEqual(first.alerts, other.alerts, "workers");
+    for (size_t i = 0; i < first.nodes.size(); ++i) {
+      ExpectAlertsEqual(first.nodes[i].alerts, other.nodes[i].alerts, "node alerts");
+    }
+  }
+}
+
+// A healthy fleet fires nothing: zero deadline misses means the miss-burn
+// rule (the sensitive one) has no fuel, and the chain-burn budget is set
+// wide of the normal overrun share.
+TEST(FleetTest, QuietFleetFiresNoAlerts) {
+  FleetResult result = RunFleet(SmallFleet());
+  EXPECT_EQ(result.deadline_misses, 0u);
+  EXPECT_EQ(result.alerts_fired, 0u);
+  EXPECT_TRUE(result.alerts.empty());
+}
+
+// The acceptance scenario: one overloaded node must push the miss-burn rule
+// over within a bounded number of windows, be flagged anomalous for it, and
+// get a black-box bundle.
+TEST(FleetTest, OverloadedNodeFiresMissBurnAndGetsBlackBoxed) {
+  std::string dir = testing::TempDir() + "emeralds_alerts_test";
+  std::filesystem::remove_all(dir);
+  FleetOptions opt = SmallFleet();
+  opt.overload_node = 3;
+  opt.overload_factor = 8;
+  opt.artifacts_dir = dir;
+  opt.max_blackboxes = 2;
+  FleetResult result = RunFleet(opt);
+
+  bool miss_burn_fired = false;
+  int64_t first_window = -1;
+  for (const obs::AlertEvent& e : result.alerts) {
+    if (e.rule == obs::AlertRuleKind::kDeadlineMissBurn && e.firing) {
+      EXPECT_EQ(e.node, 3);  // only the sick node burns
+      if (!miss_burn_fired) {
+        first_window = e.window;
+      }
+      miss_burn_fired = true;
+    }
+  }
+  ASSERT_TRUE(miss_burn_fired);
+  // Bounded detection latency: the burn must be caught within the first
+  // fast+slow history, not eventually. 50 ms run / 10 ms windows = 5.
+  EXPECT_LE(first_window, 4);
+  EXPECT_GT(result.alerts_fired, 0u);
+
+  // Alert -> anomaly -> black box: the firing alert marks the node
+  // anomalous, which routes it into the flight recorder.
+  EXPECT_TRUE(result.nodes[3].anomalous());
+  bool boxed = false;
+  for (int node : result.blackbox_nodes) {
+    boxed = boxed || node == 3;
+  }
+  EXPECT_TRUE(boxed);
+  std::filesystem::remove_all(dir);
+}
+
+// Drill-down must reproduce the streaming plane exactly: InspectNode
+// replays the slice schedule, so its windows and node-local alerts are
+// bit-identical to what the fleet run recorded for that node.
+TEST(FleetTest, InspectNodeReproducesWindowsAndAlerts) {
+  FleetOptions opt = SmallFleet();
+  opt.overload_node = 5;
+  opt.overload_factor = 8;
+  FleetResult fleet = RunFleet(opt);
+  for (int index : {0, 5}) {
+    NodeResult replay = InspectNode(opt, index, nullptr);
+    ExpectWindowsEqual(fleet.nodes[index].windows, replay.windows, "inspect windows");
+    ExpectAlertsEqual(fleet.nodes[index].alerts, replay.alerts, "inspect alerts");
+  }
+}
+
+// --- OpenMetrics exposition ---
+
+TEST(OpenMetricsTest, ExpositionRoundTripsTheValidator) {
+  FleetOptions opt = SmallFleet();
+  opt.overload_node = 3;  // non-trivial alert state in the exposition
+  opt.overload_factor = 8;
+  FleetResult result = RunFleet(opt);
+  std::string text = BuildOpenMetricsExposition(result);
+  std::string error;
+  int families = 0;
+  EXPECT_TRUE(ValidateOpenMetrics(text, &error, &families)) << error;
+  EXPECT_GT(families, 10);
+  EXPECT_NE(text.find("# TYPE emeralds_jobs_completed counter"), std::string::npos);
+  EXPECT_NE(text.find("emeralds_response_us_bucket{le=\"+Inf\"}"), std::string::npos);
+  EXPECT_NE(text.find("emeralds_alert_events_total{rule=\"deadline_miss_burn\"}"),
+            std::string::npos);
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+}
+
+TEST(OpenMetricsTest, ValidatorRejectsMalformedDocuments) {
+  std::string error;
+  EXPECT_FALSE(ValidateOpenMetrics("emeralds_x 1\n# EOF\n", &error));  // no TYPE
+  EXPECT_NE(error.find("no TYPE"), std::string::npos);
+  EXPECT_FALSE(ValidateOpenMetrics("# TYPE a gauge\na 1\n", &error));  // no EOF
+  EXPECT_NE(error.find("EOF"), std::string::npos);
+  EXPECT_FALSE(ValidateOpenMetrics("# TYPE a gauge\na 1\n# EOF\nx 2\n", &error));
+  EXPECT_FALSE(ValidateOpenMetrics(
+      "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n# EOF\n", &error));
+  EXPECT_NE(error.find("+Inf"), std::string::npos);
+  EXPECT_TRUE(ValidateOpenMetrics(
+      "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 4\n# EOF\n", &error))
+      << error;
+}
+
 TEST(FleetReportTest, ReportCarriesSchemaAndGatedFields) {
   FleetOptions opt = SmallFleet();
   FleetResult result = RunFleet(opt);
@@ -192,6 +379,9 @@ TEST(FleetReportTest, ReportCarriesSchemaAndGatedFields) {
   EXPECT_NE(report.find("\"nodes_failed\":0"), std::string::npos);
   EXPECT_NE(report.find("\"speedup_10k\":20"), std::string::npos);
   EXPECT_NE(report.find("\"schedulers\":{"), std::string::npos);
+  EXPECT_NE(report.find("\"timeseries\":{"), std::string::npos);
+  EXPECT_NE(report.find("\"schema\":\"emeralds.obs.timeseries/1\""), std::string::npos);
+  EXPECT_NE(report.find("\"alerts\":{"), std::string::npos);
   EXPECT_EQ(report.find("\"first_failure\""), std::string::npos);
 }
 

@@ -1,0 +1,293 @@
+// Streaming timeseries tests. The load-bearing property is telescoping:
+// the per-window histogram deltas and counter deltas, merged over every
+// window of a run, must reproduce the whole-run cumulative state
+// bit-identically — that is what makes the streaming plane exact rather
+// than a sampled approximation. Also: the fixed window grid, explicit gap
+// marking under snapshot loss, and the order-invariant fleet merge.
+
+#include "src/obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/log2_histogram.h"
+#include "src/core/stats.h"
+#include "src/core/taskset_runner.h"
+#include "src/workload/workload.h"
+#include "tests/testing/kernel_env.h"
+
+namespace emeralds {
+namespace obs {
+namespace {
+
+void ExpectIdentical(const Log2Histogram& a, const Log2Histogram& b, const char* what) {
+  EXPECT_EQ(a.count(), b.count()) << what;
+  EXPECT_EQ(a.total(), b.total()) << what;
+  if (a.count() > 0) {
+    EXPECT_EQ(a.min(), b.min()) << what;
+    EXPECT_EQ(a.max(), b.max()) << what;
+  }
+  for (int i = 0; i < Log2Histogram::kNumBuckets; ++i) {
+    EXPECT_EQ(a.bucket(i), b.bucket(i)) << what << " bucket " << i;
+  }
+}
+
+// --- Log2Histogram::Delta ---
+
+TEST(HistogramDeltaTest, DeltasTelescopeBackToCumulative) {
+  Log2Histogram cumulative;
+  Log2Histogram prev;
+  Log2Histogram merged_deltas;
+  int64_t samples[] = {3, 70, 9000, 12, 500000, 1, 42};
+  for (int64_t us : samples) {
+    cumulative.Add(Microseconds(us));
+    Log2Histogram d = Log2Histogram::Delta(cumulative, prev);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_EQ(d.total(), Microseconds(us));
+    merged_deltas.Merge(d);
+    prev = cumulative;
+  }
+  // Every field — including min/max, which per-delta are only conservative
+  // cumulative bounds — reproduces the whole-run histogram after the merge.
+  ExpectIdentical(merged_deltas, cumulative, "telescoped");
+}
+
+TEST(HistogramDeltaTest, EmptyDeltaContributesNothing) {
+  Log2Histogram h;
+  h.Add(Microseconds(10));
+  Log2Histogram d = Log2Histogram::Delta(h, h);
+  EXPECT_EQ(d.count(), 0u);
+  Log2Histogram acc;
+  acc.Add(Microseconds(99));
+  Log2Histogram before = acc;
+  acc.Merge(d);
+  ExpectIdentical(acc, before, "merge of empty delta");
+}
+
+// --- Window grid ---
+
+TEST(TimeseriesCollectorTest, IndexOfWindowGrid) {
+  TimeseriesOptions options;
+  options.window = Milliseconds(10);
+  TimeseriesCollector c(options);
+  EXPECT_EQ(c.IndexOf(Instant()), 0);
+  EXPECT_EQ(c.IndexOf(Instant() + Nanoseconds(1)), 0);
+  EXPECT_EQ(c.IndexOf(Instant() + Milliseconds(10)), 0);  // upper edge inclusive
+  EXPECT_EQ(c.IndexOf(Instant() + Milliseconds(10) + Nanoseconds(1)), 1);
+  EXPECT_EQ(c.IndexOf(Instant() + Milliseconds(25)), 2);
+}
+
+// --- Live kernel: the telescoping acceptance property ---
+
+// Runs a real workload with the sampler on, drains the collector on a
+// 5 ms host schedule like the fleet runner, and checks the merged window
+// series against the kernel's own cumulative state: histograms
+// bit-identical, counters exactly summing, every window on the grid.
+TEST(TimeseriesCollectorTest, WindowSeriesTelescopesToWholeRun) {
+  KernelConfig config = CalibratedConfig();
+  config.trace_capacity = 8192;
+  SimEnv env(config);
+  env.k().EnableStatsSampling(Milliseconds(2), 128);
+  TaskSet set = Table2Workload();
+  SpawnTaskSet(env.k(), set);
+  env.k().Start();
+
+  TimeseriesOptions options;
+  options.window = Milliseconds(10);
+  options.capacity = 64;
+  TimeseriesCollector collector(options);
+
+  Instant end = Instant() + Milliseconds(100);
+  while (env.k().now() < end) {
+    env.k().RunUntil(std::min(end, env.k().now() + Milliseconds(5)));
+    collector.Collect(env.k());
+  }
+  collector.Finish(env.k());
+
+  ASSERT_GT(collector.size(), 0u);
+  EXPECT_EQ(collector.lost_samples(), 0u);
+  EXPECT_EQ(collector.windows_dropped(), 0u);
+
+  const KernelStats& stats = env.k().stats();
+  Log2Histogram response;
+  Log2Histogram chain_e2e;
+  Log2Histogram headroom;
+  uint64_t jobs_released = 0;
+  uint64_t jobs_completed = 0;
+  uint64_t misses = 0;
+  uint64_t switches = 0;
+  uint64_t timers = 0;
+  int64_t last_index = -1;
+  for (size_t i = 0; i < collector.size(); ++i) {
+    const TelemetryWindow& w = collector.at(i);
+    EXPECT_FALSE(w.gap);
+    EXPECT_GT(w.index, last_index);
+    last_index = w.index;
+    EXPECT_EQ(w.start, Instant() + options.window * w.index);
+    EXPECT_GT(w.end, w.start);
+    EXPECT_LE(w.end, w.start + options.window);
+    response.Merge(w.response);
+    chain_e2e.Merge(w.chain_e2e);
+    headroom.Merge(w.headroom);
+    jobs_released += w.jobs_released;
+    jobs_completed += w.jobs_completed;
+    misses += w.deadline_misses;
+    switches += w.context_switches;
+    timers += w.timer_dispatches;
+  }
+  ExpectIdentical(response, stats.response_hist, "response");
+  ExpectIdentical(chain_e2e, stats.chain_e2e_hist, "chain_e2e");
+  ExpectIdentical(headroom, stats.headroom_hist, "headroom");
+  EXPECT_EQ(jobs_released, stats.jobs_released);
+  EXPECT_EQ(jobs_completed, stats.jobs_completed);
+  EXPECT_EQ(misses, stats.deadline_misses);
+  EXPECT_EQ(switches, stats.context_switches);
+  EXPECT_EQ(timers, stats.timer_dispatches);
+  EXPECT_GT(response.count(), 0u);  // the property must not hold vacuously
+}
+
+// The drain schedule must not matter for the *contents* of closed windows:
+// draining every slice and draining only at the horizon yield the same
+// series when nothing was lost (the ring was big enough for the whole run).
+TEST(TimeseriesCollectorTest, DrainScheduleInvariantWithoutLoss) {
+  auto run = [](Duration drain_period) {
+    KernelConfig config = CalibratedConfig();
+    SimEnv env(config);
+    env.k().EnableStatsSampling(Milliseconds(2), 128);
+    TaskSet set = Table2Workload();
+    SpawnTaskSet(env.k(), set);
+    env.k().Start();
+    TimeseriesOptions options;
+    options.window = Milliseconds(10);
+    TimeseriesCollector collector(options);
+    Instant end = Instant() + Milliseconds(60);
+    while (env.k().now() < end) {
+      env.k().RunUntil(std::min(end, env.k().now() + drain_period));
+      collector.Collect(env.k());
+    }
+    collector.Finish(env.k());
+    return collector.Snapshot();
+  };
+  std::vector<TelemetryWindow> fine = run(Milliseconds(5));
+  std::vector<TelemetryWindow> coarse = run(Milliseconds(60));
+  ASSERT_EQ(fine.size(), coarse.size());
+  for (size_t i = 0; i < fine.size(); ++i) {
+    EXPECT_EQ(fine[i].index, coarse[i].index);
+    EXPECT_EQ(fine[i].jobs_completed, coarse[i].jobs_completed);
+    EXPECT_EQ(fine[i].deadline_misses, coarse[i].deadline_misses);
+    EXPECT_EQ(fine[i].context_switches, coarse[i].context_switches);
+    EXPECT_EQ(fine[i].samples, coarse[i].samples);
+    ExpectIdentical(fine[i].response, coarse[i].response, "window response");
+  }
+}
+
+// --- Explicit degradation ---
+
+TEST(TimeseriesCollectorTest, SnapshotLossIsGapMarkedNeverSilent) {
+  KernelConfig config = CalibratedConfig();
+  SimEnv env(config);
+  // A 4-deep ring sampled every 1 ms overflows long before the first drain
+  // at 50 ms: the collector must report the loss and gap-mark the windows
+  // spanning it.
+  env.k().EnableStatsSampling(Milliseconds(1), 4);
+  TaskSet set = Table2Workload();
+  SpawnTaskSet(env.k(), set);
+  env.k().Start();
+
+  TimeseriesOptions options;
+  options.window = Milliseconds(10);
+  TimeseriesCollector collector(options);
+  env.k().RunUntil(Instant() + Milliseconds(50));
+  collector.Collect(env.k());
+  collector.Finish(env.k());
+
+  EXPECT_GT(collector.lost_samples(), 0u);
+  bool any_gap = false;
+  for (size_t i = 0; i < collector.size(); ++i) {
+    any_gap = any_gap || collector.at(i).gap;
+  }
+  EXPECT_TRUE(any_gap);
+  // The kernel-side drop counter surfaces the same loss.
+  EXPECT_GT(env.k().stats().stats_snapshot_drops, 0u);
+}
+
+TEST(TimeseriesCollectorTest, RingEvictionCountsDroppedWindows) {
+  KernelConfig config = CalibratedConfig();
+  SimEnv env(config);
+  env.k().EnableStatsSampling(Milliseconds(2), 128);
+  TaskSet set = Table2Workload();
+  SpawnTaskSet(env.k(), set);
+  env.k().Start();
+
+  TimeseriesOptions options;
+  options.window = Milliseconds(5);
+  options.capacity = 4;  // 100 ms / 5 ms = 20 windows; only 4 retained
+  TimeseriesCollector collector(options);
+  Instant end = Instant() + Milliseconds(100);
+  while (env.k().now() < end) {
+    env.k().RunUntil(std::min(end, env.k().now() + Milliseconds(5)));
+    collector.Collect(env.k());
+  }
+  collector.Finish(env.k());
+  EXPECT_EQ(collector.size(), 4u);
+  EXPECT_GT(collector.windows_dropped(), 0u);
+  // The retained windows are the newest ones.
+  EXPECT_GE(collector.at(0).index, 16);
+}
+
+// --- Fleet merge ---
+
+TelemetryWindow SyntheticWindow(int64_t index, uint64_t jobs, uint64_t misses,
+                                int64_t response_us) {
+  TelemetryWindow w;
+  w.index = index;
+  w.start = Instant() + Milliseconds(10) * index;
+  w.end = w.start + Milliseconds(10);
+  w.samples = 1;
+  w.jobs_completed = jobs;
+  w.deadline_misses = misses;
+  if (response_us > 0) {
+    w.response.Add(Microseconds(response_us));
+  }
+  return w;
+}
+
+TEST(MergeWindowSeriesTest, SumsByIndexAndIsOrderInvariant) {
+  std::vector<TelemetryWindow> a = {SyntheticWindow(0, 10, 0, 100),
+                                    SyntheticWindow(1, 12, 1, 200)};
+  std::vector<TelemetryWindow> b = {SyntheticWindow(1, 5, 2, 400),
+                                    SyntheticWindow(3, 7, 0, 50)};
+  std::vector<TelemetryWindow> merged = MergeWindowSeries({&a, &b});
+  std::vector<TelemetryWindow> reversed = MergeWindowSeries({&b, &a});
+
+  ASSERT_EQ(merged.size(), 3u);  // indexes 0, 1, 3
+  EXPECT_EQ(merged[0].index, 0);
+  EXPECT_EQ(merged[1].index, 1);
+  EXPECT_EQ(merged[2].index, 3);
+  EXPECT_EQ(merged[1].jobs_completed, 17u);
+  EXPECT_EQ(merged[1].deadline_misses, 3u);
+  EXPECT_EQ(merged[1].samples, 2u);
+  EXPECT_EQ(merged[1].response.count(), 2u);
+
+  ASSERT_EQ(reversed.size(), merged.size());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(reversed[i].index, merged[i].index);
+    EXPECT_EQ(reversed[i].jobs_completed, merged[i].jobs_completed);
+    EXPECT_EQ(reversed[i].deadline_misses, merged[i].deadline_misses);
+    ExpectIdentical(reversed[i].response, merged[i].response, "merged response");
+  }
+}
+
+TEST(MergeWindowSeriesTest, GapIsSticky) {
+  std::vector<TelemetryWindow> a = {SyntheticWindow(0, 1, 0, 10)};
+  std::vector<TelemetryWindow> b = {SyntheticWindow(0, 1, 0, 10)};
+  b[0].gap = true;
+  std::vector<TelemetryWindow> merged = MergeWindowSeries({&a, &b});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_TRUE(merged[0].gap);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace emeralds

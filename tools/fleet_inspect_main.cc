@@ -16,6 +16,15 @@
 //       Re-runs each listed node and merges their trace windows into one
 //       multi-process Perfetto document (one pid per node).
 //
+//   fleet_inspect <fleet_report.json> --timeseries=N
+//       Re-runs node N and dumps its streaming telemetry series: one line
+//       per window (counters, cycle shares, response percentiles), then the
+//       node's alert stream with exact virtual fire/resolve timestamps.
+//
+//   fleet_inspect <fleet_report.json> --openmetrics=OUT.txt
+//       Re-runs the fleet the report describes and writes the OpenMetrics
+//       text exposition (validated before writing; "-" means stdout).
+//
 // The fleet configuration comes from the report; every field can be
 // overridden by flags (--instances, --seed, --run-ms, --slice-ms,
 // --timer-queue, --trace-capacity, --overload-node, --overload-factor), and
@@ -32,12 +41,18 @@
 #include <string>
 #include <vector>
 
+#include <cerrno>
+#include <climits>
+
 #include "src/base/json.h"
 #include "src/fleet/fleet.h"
 #include "src/fleet/fleet_report.h"
+#include "src/fleet/openmetrics.h"
 #include "src/fleet/triage.h"
+#include "src/obs/alerts.h"
 #include "src/obs/blackbox.h"
 #include "src/obs/perfetto_export.h"
+#include "src/obs/timeseries.h"
 
 namespace emeralds {
 namespace fleet {
@@ -140,6 +155,22 @@ int PrintReport(const JsonValue& root, const char* path) {
     }
   }
 
+  if (const JsonValue* alerts = root.Find("alerts")) {
+    std::printf("alerts: %lld events, %lld fired\n",
+                static_cast<long long>(RootInt(*alerts, "events", 0)),
+                static_cast<long long>(RootInt(*alerts, "fired", 0)));
+    if (const JsonValue* stream = alerts->Find("stream")) {
+      for (const JsonValue& e : stream->array) {
+        std::printf("  %8lldus node %-3lld %-20s %s value=%lld/%lld\n",
+                    static_cast<long long>(RootInt(e, "time_us", 0)),
+                    static_cast<long long>(RootInt(e, "node", -1)),
+                    RootString(e, "rule").c_str(), RootString(e, "state").c_str(),
+                    static_cast<long long>(RootInt(e, "value", 0)),
+                    static_cast<long long>(RootInt(e, "total", 0)));
+      }
+    }
+  }
+
   if (const JsonValue* boxes = root.Find("blackboxes")) {
     std::printf("black boxes (%s):", RootString(root, "artifacts_dir").c_str());
     for (const JsonValue& b : boxes->array) {
@@ -164,6 +195,11 @@ void PrintNodeResult(int index, const NodeResult& r) {
                 r.telemetry.response.PercentileBound(0.99).micros_f(),
                 r.telemetry.response.max().micros_f());
   }
+  for (const obs::AlertEvent& e : r.alerts) {
+    std::printf("  alert %8lldus %-20s %s value=%" PRIu64 "/%" PRIu64 "\n",
+                static_cast<long long>(e.time.micros()), obs::AlertRuleName(e.rule),
+                e.firing ? "FIRING" : "resolved", e.value, e.total);
+  }
   if (r.anomalous()) {
     std::printf("  ANOMALY (score %" PRIu64 "): %s\n", r.anomaly_score, r.anomaly.c_str());
   } else {
@@ -172,7 +208,8 @@ void PrintNodeResult(int index, const NodeResult& r) {
 }
 
 constexpr const char* kUsage =
-    "usage: fleet_inspect [report.json] [--node=N | --merge=N1,N2,...]\n"
+    "usage: fleet_inspect [report.json] [--node=N | --merge=N1,N2,... |\n"
+    "                      --timeseries=N | --openmetrics=OUT.txt]\n"
     "                     [--dir=DIR] [--perfetto=OUT.json]\n"
     "                     [--instances=N] [--seed=S] [--run-ms=M] [--slice-ms=K]\n"
     "                     [--timer-queue=wheel|sorted_list] [--trace-capacity=C]\n"
@@ -187,51 +224,199 @@ bool FlagValue(const char* arg, const char* name, const char** value) {
   return false;
 }
 
+// Strict integer parse: the whole string must be a base-10 integer in
+// [min, max]. Rejects empty strings, trailing junk ("3x", "1,2"), and
+// overflow — std::atoi silently accepted all of those.
+bool ParseInt(const char* s, int64_t min, int64_t max, int64_t* out) {
+  if (s == nullptr || *s == '\0') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || v < min || v > max) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+// One flag value as an int, or a printed error + usage. Returns false on
+// failure with *status set to 1.
+bool FlagInt(const char* flag, const char* value, int64_t min, int64_t max, int64_t* out,
+             int* status) {
+  if (ParseInt(value, min, max, out)) {
+    return true;
+  }
+  std::fprintf(stderr, "fleet_inspect: bad value '%s' for %s (want integer in [%lld, %lld])\n%s",
+               value, flag, static_cast<long long>(min), static_cast<long long>(max), kUsage);
+  *status = 1;
+  return false;
+}
+
+// Comma-separated node list: every element a strict integer, no duplicates,
+// no empty elements. Range against --instances is checked later (the
+// instance count may still come from the report at parse time).
+bool ParseNodeList(const char* list, std::vector<int>* out) {
+  out->clear();
+  std::string text = list == nullptr ? "" : list;
+  if (text.empty()) {
+    std::fprintf(stderr, "fleet_inspect: --merge needs at least one node\n%s", kUsage);
+    return false;
+  }
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t comma = text.find(',', pos);
+    std::string item = text.substr(pos, comma == std::string::npos ? std::string::npos
+                                                                   : comma - pos);
+    int64_t value = 0;
+    if (!ParseInt(item.c_str(), 0, INT_MAX, &value)) {
+      std::fprintf(stderr, "fleet_inspect: bad node '%s' in --merge list\n%s", item.c_str(),
+                   kUsage);
+      return false;
+    }
+    for (int existing : *out) {
+      if (existing == value) {
+        std::fprintf(stderr, "fleet_inspect: node %lld listed twice in --merge\n%s",
+                     static_cast<long long>(value), kUsage);
+        return false;
+      }
+    }
+    out->push_back(static_cast<int>(value));
+    if (comma == std::string::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  return true;
+}
+
+// One line per telemetry window: enough to eyeball a burn without a UI.
+void PrintWindowSeries(int index, const NodeResult& r, Duration window_width) {
+  std::printf("timeseries node %d: %zu windows of %lldus (lost samples=%" PRIu64
+              ", windows dropped=%" PRIu64 ")\n",
+              index, r.windows.size(), static_cast<long long>(window_width.micros()),
+              r.timeseries_lost_samples, r.timeseries_windows_dropped);
+  for (const obs::TelemetryWindow& w : r.windows) {
+    std::printf("  w%-4lld [%7lld..%7lldus]%s jobs=%" PRIu64 "/%" PRIu64 " miss=%" PRIu64
+                " ctx=%" PRIu64 " irq=%" PRIu64 " chain=%" PRIu64 "/%" PRIu64,
+                static_cast<long long>(w.index), static_cast<long long>(w.start.micros()),
+                static_cast<long long>(w.end.micros()), w.gap ? " GAP" : "",
+                w.jobs_completed, w.jobs_released, w.deadline_misses, w.context_switches,
+                w.interrupts, w.chain_e2e_overruns, w.chain_e2e_completed);
+    if (w.response.count() > 0) {
+      std::printf(" resp{n=%" PRIu64 " p50<=%lldus max=%lldus}", w.response.count(),
+                  static_cast<long long>(w.response.PercentileBound(0.5).micros()),
+                  static_cast<long long>(w.response.max().micros()));
+    }
+    std::printf("\n");
+  }
+  if (r.alerts.empty()) {
+    std::printf("  alerts: none\n");
+    return;
+  }
+  std::printf("  alerts (%zu events):\n", r.alerts.size());
+  for (const obs::AlertEvent& e : r.alerts) {
+    std::printf("    %8lldus w%-4lld %-20s %s value=%" PRIu64 "/%" PRIu64 "\n",
+                static_cast<long long>(e.time.micros()), static_cast<long long>(e.window),
+                obs::AlertRuleName(e.rule), e.firing ? "FIRING" : "resolved", e.value, e.total);
+  }
+}
+
 int Main(int argc, char** argv) {
   const char* report_path = nullptr;
   const char* dir = nullptr;
   const char* perfetto_path = nullptr;
-  const char* merge_list = nullptr;
+  const char* openmetrics_path = nullptr;
+  std::vector<int> merge_targets;
+  bool have_merge = false;
   int node = -1;
+  int timeseries_node = -1;
   FleetOptions opt;
   opt.instances = 0;  // must come from the report or --instances
   opt.workers = 1;
   bool have_config = false;
+  int status = 0;
 
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
+    int64_t value = 0;
     if (FlagValue(argv[i], "--node", &v)) {
-      node = std::atoi(v);
+      if (!FlagInt("--node", v, 0, INT_MAX, &value, &status)) {
+        return status;
+      }
+      node = static_cast<int>(value);
+    } else if (FlagValue(argv[i], "--timeseries", &v)) {
+      if (!FlagInt("--timeseries", v, 0, INT_MAX, &value, &status)) {
+        return status;
+      }
+      timeseries_node = static_cast<int>(value);
     } else if (FlagValue(argv[i], "--merge", &v)) {
-      merge_list = v;
+      if (!ParseNodeList(v, &merge_targets)) {
+        return 1;
+      }
+      have_merge = true;
     } else if (FlagValue(argv[i], "--dir", &v)) {
       dir = v;
     } else if (FlagValue(argv[i], "--perfetto", &v)) {
       perfetto_path = v;
+    } else if (FlagValue(argv[i], "--openmetrics", &v)) {
+      openmetrics_path = v;
     } else if (FlagValue(argv[i], "--instances", &v)) {
-      opt.instances = std::atoi(v);
+      if (!FlagInt("--instances", v, 1, INT_MAX, &value, &status)) {
+        return status;
+      }
+      opt.instances = static_cast<int>(value);
       have_config = true;
     } else if (FlagValue(argv[i], "--seed", &v)) {
-      opt.seed = std::strtoull(v, nullptr, 10);
+      if (!FlagInt("--seed", v, 0, INT64_MAX, &value, &status)) {
+        return status;
+      }
+      opt.seed = static_cast<uint64_t>(value);
     } else if (FlagValue(argv[i], "--run-ms", &v)) {
-      opt.run_duration = Milliseconds(std::atoll(v));
+      if (!FlagInt("--run-ms", v, 1, INT64_MAX / 1000000, &value, &status)) {
+        return status;
+      }
+      opt.run_duration = Milliseconds(value);
     } else if (FlagValue(argv[i], "--slice-ms", &v)) {
-      opt.slice = Milliseconds(std::atoll(v));
+      if (!FlagInt("--slice-ms", v, 1, INT64_MAX / 1000000, &value, &status)) {
+        return status;
+      }
+      opt.slice = Milliseconds(value);
     } else if (FlagValue(argv[i], "--timer-queue", &v)) {
-      opt.timer_queue = std::strcmp(v, "wheel") == 0 ? TimerQueueImpl::kWheel
-                                                     : TimerQueueImpl::kSortedList;
+      if (std::strcmp(v, "wheel") == 0) {
+        opt.timer_queue = TimerQueueImpl::kWheel;
+      } else if (std::strcmp(v, "sorted_list") == 0) {
+        opt.timer_queue = TimerQueueImpl::kSortedList;
+      } else {
+        std::fprintf(stderr, "fleet_inspect: bad value '%s' for --timer-queue\n%s", v, kUsage);
+        return 1;
+      }
     } else if (FlagValue(argv[i], "--trace-capacity", &v)) {
-      opt.trace_capacity = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+      if (!FlagInt("--trace-capacity", v, 0, INT64_MAX, &value, &status)) {
+        return status;
+      }
+      opt.trace_capacity = static_cast<size_t>(value);
     } else if (FlagValue(argv[i], "--overload-node", &v)) {
-      opt.overload_node = std::atoi(v);
+      if (!FlagInt("--overload-node", v, -1, INT_MAX, &value, &status)) {
+        return status;
+      }
+      opt.overload_node = static_cast<int>(value);
     } else if (FlagValue(argv[i], "--overload-factor", &v)) {
-      opt.overload_factor = std::atoi(v);
+      if (!FlagInt("--overload-factor", v, 1, INT_MAX, &value, &status)) {
+        return status;
+      }
+      opt.overload_factor = static_cast<int>(value);
     } else if (report_path == nullptr && argv[i][0] != '-') {
       report_path = argv[i];
     } else {
-      std::fprintf(stderr, "%s", kUsage);
+      std::fprintf(stderr, "fleet_inspect: unknown argument '%s'\n%s", argv[i], kUsage);
       return 1;
     }
+  }
+  if (have_merge && merge_targets.empty()) {
+    std::fprintf(stderr, "fleet_inspect: --merge needs at least one node\n%s", kUsage);
+    return 1;
   }
 
   JsonValue root;
@@ -288,8 +473,47 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
+  // Full-fleet re-run for the OpenMetrics scrape view.
+  if (openmetrics_path != nullptr) {
+    FleetResult result = RunFleet(opt);
+    std::string exposition = BuildOpenMetricsExposition(result);
+    std::string error;
+    int families = 0;
+    if (!ValidateOpenMetrics(exposition, &error, &families)) {
+      std::fprintf(stderr, "fleet_inspect: generated exposition failed validation: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    if (std::strcmp(openmetrics_path, "-") == 0) {
+      std::fwrite(exposition.data(), 1, exposition.size(), stdout);
+    } else {
+      std::FILE* f = std::fopen(openmetrics_path, "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "fleet_inspect: cannot open %s\n", openmetrics_path);
+        return 1;
+      }
+      std::fwrite(exposition.data(), 1, exposition.size(), f);
+      std::fclose(f);
+      std::printf("openmetrics: wrote %d families (%zu bytes) to %s\n", families,
+                  exposition.size(), openmetrics_path);
+    }
+    return result.nodes_failed > 0 ? 2 : 0;
+  }
+
+  // Per-node streaming series dump.
+  if (timeseries_node >= 0) {
+    if (timeseries_node >= opt.instances) {
+      std::fprintf(stderr, "fleet_inspect: node %d out of range [0, %d)\n", timeseries_node,
+                   opt.instances);
+      return 1;
+    }
+    NodeResult result = InspectNode(opt, timeseries_node, nullptr);
+    PrintWindowSeries(timeseries_node, result, opt.timeseries_options.window);
+    return result.ok() ? 0 : 2;
+  }
+
   // Pure table mode.
-  if (node < 0 && merge_list == nullptr) {
+  if (node < 0 && !have_merge) {
     if (!have_report) {
       std::fprintf(stderr, "fleet_inspect: table mode needs a report\n%s", kUsage);
       return 1;
@@ -302,14 +526,7 @@ int Main(int argc, char** argv) {
   if (node >= 0) {
     targets.push_back(node);
   } else {
-    for (const char* p = merge_list; *p != '\0';) {
-      targets.push_back(std::atoi(p));
-      const char* comma = std::strchr(p, ',');
-      if (comma == nullptr) {
-        break;
-      }
-      p = comma + 1;
-    }
+    targets = merge_targets;
   }
   for (int t : targets) {
     if (t < 0 || t >= opt.instances) {
@@ -317,8 +534,6 @@ int Main(int argc, char** argv) {
       return 1;
     }
   }
-
-  int status = 0;
   std::vector<std::vector<TraceEvent>> windows(targets.size());
   std::vector<obs::PerfettoExportOptions> window_options(targets.size());
   for (size_t i = 0; i < targets.size(); ++i) {
@@ -334,6 +549,15 @@ int Main(int argc, char** argv) {
       po.pid = index + 1;
       po.thread_names = box.thread_names;
       po.dropped_events = box.dropped;
+      // Alert fire/resolve transitions become instant markers on the node's
+      // timeline, next to the trace slices that caused them.
+      for (const obs::AlertEvent& e : r.alerts) {
+        obs::PerfettoInstantMarker m;
+        m.time = e.time;
+        m.name = std::string(obs::AlertRuleName(e.rule)) +
+                 (e.firing ? " FIRING" : " resolved");
+        po.instants.push_back(m);
+      }
       if (dir != nullptr) {
         std::string bundle_dir = std::string(dir) + "/node-" + std::to_string(index);
         if (obs::WriteBlackBoxBundle(box, bundle_dir)) {
