@@ -10,6 +10,9 @@
 //                                embedded in fleet.run as "timeseries")
 //   emeralds.obs.blackbox/1    — black-box flight-recorder bundle report
 //   emeralds.bench.smp/1       — partitioned-SMP throughput/admission report
+//   emeralds.obs.postmortem/1  — deadline-miss lateness-attribution report
+//                                (postmortem_smoke label; also embedded in
+//                                obs.run and fleet.run as "postmortem")
 // For the obs, fuzz, and fleet schemas the check is substantive, not just
 // structural: invariant-violation lists must be empty, reconciliation flags
 // true, every torture run ok, and the cycle ledger conserved (bucket sum ==
@@ -205,9 +208,86 @@ int CheckObsCycles(const char* path, const JsonValue& root) {
   return 0;
 }
 
+// The deadline-miss postmortem section (schema emeralds.obs.postmortem/1
+// standalone, or embedded as "postmortem"). Substantive: conservation of
+// lateness is an invariant, so any ledger that failed to telescope fails the
+// check, and a complete window must leave nothing unattributed and no miss
+// unmatched. `forensic` relaxes the substantive gates (black-box bundles
+// record sick runs on purpose) but keeps the shape checks.
+bool CheckPostmortemSection(const JsonValue& pm, const char* ctx, bool forensic = false) {
+  if (!RequireNumbers(pm, ctx,
+                      {"misses_analyzed", "records_dropped", "incomplete_misses",
+                       "unmatched_misses", "deadline_unknown", "conservation_failures"})) {
+    return false;
+  }
+  const JsonValue* truncated = pm.Find("window_truncated");
+  if (truncated == nullptr || truncated->type != JsonValue::Type::kBool) {
+    std::fprintf(stderr, "FAIL: %s missing bool window_truncated\n", ctx);
+    return false;
+  }
+  const JsonValue* blame = pm.Find("blame");
+  if (blame == nullptr ||
+      !RequireNumbers(*blame, "postmortem blame",
+                      {"misses_analyzed", "conservation_failures", "tardiness_ns",
+                       "unattributed_ns"})) {
+    return false;
+  }
+  for (const char* key : {"victims", "preemptors", "locks"}) {
+    const JsonValue* table = blame->Find(key);
+    if (table == nullptr || table->type != JsonValue::Type::kArray) {
+      std::fprintf(stderr, "FAIL: %s blame missing \"%s\" table\n", ctx, key);
+      return false;
+    }
+  }
+  const JsonValue* misses = pm.Find("misses");
+  if (misses == nullptr || misses->type != JsonValue::Type::kArray) {
+    std::fprintf(stderr, "FAIL: %s missing misses array\n", ctx);
+    return false;
+  }
+  for (const JsonValue& m : misses->array) {
+    if (!RequireNumbers(m, "postmortem miss",
+                        {"thread", "job", "response_ns", "tardiness_ns"})) {
+      return false;
+    }
+    const JsonValue* conserved = m.Find("conserved");
+    const JsonValue* ledger = m.Find("ledger");
+    if (conserved == nullptr || conserved->type != JsonValue::Type::kBool ||
+        ledger == nullptr || ledger->type != JsonValue::Type::kObject) {
+      std::fprintf(stderr, "FAIL: %s miss missing conserved/ledger\n", ctx);
+      return false;
+    }
+    if (!forensic && !conserved->boolean) {
+      std::fprintf(stderr, "FAIL: %s miss ledger did not telescope\n", ctx);
+      return false;
+    }
+  }
+  const JsonValue* overruns = pm.Find("chain_overruns");
+  if (overruns == nullptr || overruns->type != JsonValue::Type::kArray) {
+    std::fprintf(stderr, "FAIL: %s missing chain_overruns array\n", ctx);
+    return false;
+  }
+  if (forensic) {
+    return true;
+  }
+  if (pm.Find("conservation_failures")->number != 0.0) {
+    std::fprintf(stderr, "FAIL: %s has %g conservation failures\n", ctx,
+                 pm.Find("conservation_failures")->number);
+    return false;
+  }
+  if (!truncated->boolean && (blame->Find("unattributed_ns")->number != 0.0 ||
+                              pm.Find("unmatched_misses")->number != 0.0)) {
+    std::fprintf(stderr,
+                 "FAIL: %s complete window left %g ns unattributed, %g unmatched\n", ctx,
+                 blame->Find("unattributed_ns")->number,
+                 pm.Find("unmatched_misses")->number);
+    return false;
+  }
+  return true;
+}
+
 int CheckObsRun(const char* path, const JsonValue& root) {
   for (const char* section : {"trace", "kernel_stats", "cycles", "analysis", "reconciliation",
-                              "chains", "snapshots"}) {
+                              "chains", "postmortem", "snapshots"}) {
     const JsonValue* v = root.Find(section);
     if (v == nullptr || v->type != JsonValue::Type::kObject) {
       std::fprintf(stderr, "FAIL: missing \"%s\" object\n", section);
@@ -231,6 +311,9 @@ int CheckObsRun(const char* path, const JsonValue& root) {
     return 1;
   }
   if (!CheckChainsSection(*root.Find("chains"), "chains")) {
+    return 1;
+  }
+  if (!CheckPostmortemSection(*root.Find("postmortem"), "postmortem")) {
     return 1;
   }
   const JsonValue* violations = root.Find("analysis")->Find("violations");
@@ -323,6 +406,21 @@ int CheckFuzzTorture(const char* path, const JsonValue& root) {
                    run.Find("seed")->number);
       return 1;
     }
+    // Sixth oracle: conservation of lateness. Every analyzed miss's ledger
+    // must telescope exactly; a single failed ledger fails the sweep.
+    const JsonValue* pm = run.Find("postmortem");
+    if (pm == nullptr ||
+        !RequireNumbers(*pm, "postmortem",
+                        {"misses_analyzed", "conservation_failures", "unattributed_ns",
+                         "unmatched", "incomplete"})) {
+      std::fprintf(stderr, "FAIL: run missing postmortem {misses_analyzed, ...}\n");
+      return 1;
+    }
+    if (pm->Find("conservation_failures")->number != 0.0) {
+      std::fprintf(stderr, "FAIL: seed %g has lateness-conservation failures\n",
+                   run.Find("seed")->number);
+      return 1;
+    }
     ops += static_cast<uint64_t>(run.Find("ops_executed")->number);
   }
   const JsonValue* totals = root.Find("totals");
@@ -351,7 +449,13 @@ bool CheckTelemetrySection(const JsonValue& telemetry, const char* ctx) {
   }
   if (!RequireNumbers(telemetry, ctx,
                       {"nodes_collected", "jobs_completed", "deadline_misses",
-                       "chain_overruns"})) {
+                       "chain_overruns", "stats_snapshot_drops"})) {
+    return false;
+  }
+  const JsonValue* core_cycles = telemetry.Find("core_cycles_us");
+  if (core_cycles == nullptr || core_cycles->type != JsonValue::Type::kArray ||
+      core_cycles->array.empty()) {
+    std::fprintf(stderr, "FAIL: %s missing core_cycles_us array\n", ctx);
     return false;
   }
   if (telemetry.Find("nodes_collected")->number <= 0.0) {
@@ -388,7 +492,8 @@ bool CheckTelemetrySection(const JsonValue& telemetry, const char* ctx) {
     const JsonValue* name = chain.Find("name");
     if (name == nullptr || name->type != JsonValue::Type::kString ||
         !RequireNumbers(chain, "telemetry chain",
-                        {"deadline_min_us", "deadline_max_us", "completed", "overruns"}) ||
+                        {"deadline_min_us", "deadline_max_us", "completed", "overruns",
+                         "incomplete_instances"}) ||
         !RequireHistogram(chain, name->string.c_str(), "e2e")) {
       return false;
     }
@@ -445,8 +550,9 @@ bool CheckTimeseriesSection(const JsonValue& ts, const char* ctx, const JsonValu
     if (!RequireNumbers(w, "window",
                         {"index", "start_us", "end_us", "samples", "jobs_released",
                          "jobs_completed", "deadline_misses", "context_switches",
-                         "interrupts", "timer_dispatches", "chain_e2e_completed",
-                         "chain_e2e_overruns", "trace_dropped", "stats_snapshot_drops"})) {
+                         "interrupts", "timer_dispatches", "chain_origins",
+                         "chain_e2e_completed", "chain_e2e_overruns", "trace_dropped",
+                         "stats_snapshot_drops"})) {
       return false;
     }
     const JsonValue* gap = w.Find("gap");
@@ -604,6 +710,39 @@ int CheckFleetRun(const char* path, const JsonValue& root) {
     std::fprintf(stderr, "FAIL: fleet missing triage {metrics, outlier_nodes}\n");
     return 1;
   }
+  const JsonValue* top_blame = triage->Find("top_blame");
+  if (top_blame == nullptr ||
+      !RequireNumbers(*top_blame, "triage top_blame",
+                      {"preemptor", "preemptor_ns", "lock", "lock_ns"})) {
+    return 1;
+  }
+  // The fleet-merged blame ledger: digest-gated (the serial-vs-parallel
+  // bit-identity tests compare it), zero conservation failures, and nothing
+  // unattributed across any node whose window was complete.
+  const JsonValue* postmortem = root.Find("postmortem");
+  if (postmortem == nullptr || postmortem->type != JsonValue::Type::kObject) {
+    std::fprintf(stderr, "FAIL: fleet missing postmortem object\n");
+    return 1;
+  }
+  const JsonValue* blame_digest = postmortem->Find("blame_digest");
+  if (blame_digest == nullptr || blame_digest->type != JsonValue::Type::kString ||
+      blame_digest->string.empty() ||
+      !RequireNumbers(*postmortem, "fleet postmortem", {"incomplete_misses"})) {
+    std::fprintf(stderr, "FAIL: fleet postmortem missing blame_digest\n");
+    return 1;
+  }
+  const JsonValue* fleet_blame = postmortem->Find("blame");
+  if (fleet_blame == nullptr ||
+      !RequireNumbers(*fleet_blame, "fleet blame",
+                      {"misses_analyzed", "conservation_failures", "tardiness_ns",
+                       "unattributed_ns"})) {
+    return 1;
+  }
+  if (fleet_blame->Find("conservation_failures")->number != 0.0) {
+    std::fprintf(stderr, "FAIL: fleet blame ledger has %g conservation failure(s)\n",
+                 fleet_blame->Find("conservation_failures")->number);
+    return 1;
+  }
   const JsonValue* telemetry = root.Find("telemetry");
   if (telemetry != nullptr && !CheckTelemetrySection(*telemetry, "telemetry")) {
     return 1;
@@ -695,6 +834,11 @@ int CheckObsBlackBox(const char* path, const JsonValue& root) {
   const JsonValue* snapshots = root.Find("snapshots");
   if (snapshots == nullptr ||
       !RequireNumbers(*snapshots, "blackbox snapshots", {"count", "dropped"})) {
+    return 1;
+  }
+  const JsonValue* postmortem = root.Find("postmortem");
+  if (postmortem == nullptr || postmortem->type != JsonValue::Type::kObject ||
+      !CheckPostmortemSection(*postmortem, "blackbox postmortem", /*forensic=*/true)) {
     return 1;
   }
   std::printf("OK: %s (black box \"%s\": %s)\n", path, root.Find("label")->string.c_str(),
@@ -851,6 +995,21 @@ int main(int argc, char** argv) {
   }
   if (schema->string == "emeralds.obs.blackbox/1") {
     return CheckObsBlackBox(argv[1], root);
+  }
+  if (schema->string == "emeralds.obs.postmortem/1") {
+    const JsonValue* label = root.Find("label");
+    const JsonValue* report = root.Find("report");
+    if (label == nullptr || label->type != JsonValue::Type::kString || report == nullptr ||
+        report->type != JsonValue::Type::kObject) {
+      std::fprintf(stderr, "FAIL: postmortem missing label/report\n");
+      return 1;
+    }
+    if (!CheckPostmortemSection(*report, "postmortem report")) {
+      return 1;
+    }
+    std::printf("OK: %s (postmortem \"%s\", %g miss(es), ledgers conserved)\n", argv[1],
+                label->string.c_str(), report->Find("misses_analyzed")->number);
+    return 0;
   }
   if (schema->string == "emeralds.bench.smp/1") {
     return CheckBenchSmp(argv[1], root);

@@ -890,6 +890,16 @@ void Kernel::ChargeBucket(ChargeCategory category, CycleBucket bucket, Duration 
     // While this core does kernel work, the other cores keep running.
     MirrorAdvance(amount);
   }
+  if (config_.trace_overhead_spans) {
+    // Span event at the *end* of the advance: [now - amount, now] on this
+    // core was `bucket` work. The postmortem engine subtracts these spans
+    // from inter-event gaps to attribute kernel overhead exactly.
+    int64_t ns = amount.nanos();
+    trace_.Record(hw_.now(), TraceEventType::kOverheadSpan,
+                  OverheadSpanPack(static_cast<int>(bucket), active_core_),
+                  ns > INT32_MAX ? INT32_MAX : static_cast<int32_t>(ns),
+                  cur != nullptr ? cur->id.value + 1 : 0);
+  }
 }
 
 void Kernel::ChargeQueueOps(const ChargeList& charges) {
@@ -920,6 +930,17 @@ void Kernel::BlockThread(Tcb& t, BlockReason reason) {
   ChargeQueueOps(charges);
   t.state = ThreadState::kBlocked;
   t.block_reason = reason;
+  // Blocked-interval edge for the postmortem engine. arg2 names the
+  // semaphore for lock waits so lateness can be blamed per lock; other
+  // reasons are self-suspension and carry -1.
+  int32_t blocked_obj = -1;
+  if (reason == BlockReason::kWaitSem && t.blocked_on != nullptr) {
+    blocked_obj = t.blocked_on->id.value;
+  } else if (reason == BlockReason::kPreAcquire && t.preacq_sem != nullptr) {
+    blocked_obj = t.preacq_sem->id.value;
+  }
+  trace_.Record(hw_.now(), TraceEventType::kThreadBlock, t.id.value,
+                static_cast<int32_t>(reason), blocked_obj);
   if (&t == cores_[t.core]->current) {
     NotifyCore(t.core, sem_path_);
   }
@@ -930,8 +951,11 @@ void Kernel::MakeReady(Tcb& t) {
   ChargeList charges;
   sched_of(t).Unblock(t, charges);
   ChargeQueueOps(charges);
+  BlockReason was_blocked = t.block_reason;
   t.state = ThreadState::kReady;
   t.block_reason = BlockReason::kNone;
+  trace_.Record(hw_.now(), TraceEventType::kThreadReady, t.id.value,
+                static_cast<int32_t>(was_blocked), t.core);
   if (t.remaining_compute.is_zero() && t.pending_op == PendingOpKind::kNone) {
     t.resume_pending = true;
   }
@@ -1059,8 +1083,18 @@ void Kernel::StartJob(Tcb& t) {
   }
   t.job_deadline = t.job_release + t.relative_deadline;
   ++stats_.jobs_released;
+  // arg2 carries the relative deadline so an offline postmortem can recover
+  // the absolute deadline from the release event alone: positive = ns,
+  // negative = -us (for deadlines past ~2.1s), 0 = not encoded (legacy).
+  int64_t rel_dl_ns = t.relative_deadline.nanos();
+  int32_t dl_arg = 0;
+  if (rel_dl_ns <= INT32_MAX) {
+    dl_arg = static_cast<int32_t>(rel_dl_ns);
+  } else if (t.relative_deadline.micros() <= INT32_MAX) {
+    dl_arg = -static_cast<int32_t>(t.relative_deadline.micros());
+  }
   trace_.Record(t.job_release, TraceEventType::kJobRelease, t.id.value,
-                static_cast<int32_t>(t.job_number));
+                static_cast<int32_t>(t.job_number), dl_arg);
   // Each periodic release is a chain origin: mint a fresh token and hand it
   // straight to the released job (emit + consume pair at the release
   // endpoint). Recorded at the processing instant, not the nominal release —

@@ -122,6 +122,7 @@ StatsDelta MakeStatsDelta(Instant now, const KernelStats& current, const KernelS
   d.headroom_low_events = current.headroom_low_events - base.headroom_low_events;
   d.ipis = current.ipis - base.ipis;
   d.chain_e2e_overruns = current.chain_e2e_overruns - base.chain_e2e_overruns;
+  d.chain_origins = current.chain_origins - base.chain_origins;
   d.stats_snapshot_drops = current.stats_snapshot_drops - base.stats_snapshot_drops;
   d.response_hist = Log2Histogram::Delta(current.response_hist, base.response_hist);
   d.headroom_hist = Log2Histogram::Delta(current.headroom_hist, base.headroom_hist);

@@ -229,6 +229,7 @@ struct StatsDelta {
   uint64_t headroom_low_events = 0;
   uint64_t ipis = 0;
   uint64_t chain_e2e_overruns = 0;
+  uint64_t chain_origins = 0;
   uint64_t stats_snapshot_drops = 0;
   // Per-interval histogram deltas (Log2Histogram::Delta of the cumulative
   // kernel histograms): merging every interval of a run reproduces the

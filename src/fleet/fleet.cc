@@ -13,6 +13,7 @@
 #include "src/obs/blackbox.h"
 #include "src/obs/chains.h"
 #include "src/obs/obs_report.h"
+#include "src/obs/postmortem.h"
 #include "src/obs/trace_analyzer.h"
 
 namespace emeralds {
@@ -122,10 +123,13 @@ void BuildNode(Node& node, const FleetOptions& opt, int index) {
   }
   config.cost_model = CostModel::MC68040_25MHz();
   config.timer_queue = opt.timer_queue;
+  // Sized for the full event stream including kOverheadSpan records (one per
+  // charged kernel advance, ~3x the rest of the stream), so a default-sized
+  // node keeps a complete window and the exact-attribution oracles stay armed.
   config.trace_capacity =
       opt.trace_capacity != 0
           ? opt.trace_capacity
-          : static_cast<size_t>(4096 + opt.run_duration.millis() * 512);
+          : static_cast<size_t>(4096 + opt.run_duration.millis() * 1536);
 
   // Declared causal chains: the timer's tick into the pacer, and the
   // producer's release through the mailbox. Both carry SLOs so the fleet
@@ -235,7 +239,7 @@ void BuildNode(Node& node, const FleetOptions& opt, int index) {
   node.end = Instant() + opt.run_duration;
 }
 
-// Applies the five per-node oracles, scores the anomaly triage, and (when
+// Applies the six per-node oracles, scores the anomaly triage, and (when
 // enabled) collects the node's telemetry block. Pure read of kernel state:
 // the virtual clock has already reached its horizon, so nothing here can
 // perturb the simulated outcome or its digest.
@@ -260,6 +264,9 @@ void EvaluateNode(Node& node, const FleetOptions& opt) {
     r.chain_completed += c.completed;
     r.chain_overruns += c.overruns;
   }
+  obs::PostmortemAnalysis postmortem = obs::AnalyzePostmortem(kernel.trace());
+  r.blame = postmortem.blame;
+  r.postmortem_incomplete = postmortem.incomplete_misses;
   CycleConservation conservation = CheckCycleConservation(s, kernel.now());
   int64_t unattributed =
       kernel.hardware().clock().ledger().at(CycleBucket::kUnattributed).nanos();
@@ -283,6 +290,10 @@ void EvaluateNode(Node& node, const FleetOptions& opt) {
     r.failure = "chain token conservation: orphan hops in an untruncated trace";
   } else if (r.jobs_completed == 0 || r.timer_dispatches == 0 || s.mailbox_sends == 0) {
     r.failure = "progress oracle: node wedged (no jobs, timers, or messages)";
+  } else if (postmortem.conservation_failures > 0 ||
+             (!postmortem.window_truncated &&
+              (postmortem.blame.unattributed_ns != 0 || postmortem.unmatched_misses > 0))) {
+    r.failure = "lateness conservation: a miss ledger failed to telescope";
   }
 
   // Anomaly triage score: deterministic integer badness. Oracle failures
@@ -434,10 +445,13 @@ FleetResult RunFleet(const FleetOptions& options) {
     if (opt.telemetry) {
       obs::MergeNodeTelemetry(&out.telemetry, r.telemetry, static_cast<int>(i));
     }
+    out.blame.Merge(r.blame);
+    out.postmortem_incomplete_total += r.postmortem_incomplete;
     digest = Fnv1a(digest, &r.trace_digest, sizeof(r.trace_digest));
     out.nodes.push_back(r);
   }
   out.fleet_digest = digest;
+  out.blame_digest = out.blame.Digest();
   double virtual_seconds = static_cast<double>(out.virtual_time_total.nanos()) / 1e9;
   out.events_per_virtual_sec =
       virtual_seconds > 0 ? static_cast<double>(out.events_total) / virtual_seconds : 0.0;

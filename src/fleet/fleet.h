@@ -25,7 +25,10 @@
 //   4. causal-token conservation over the declared chains (zero chain
 //      violations; zero orphan hops when the window is complete);
 //   5. progress: the node completed jobs, dispatched timers, and consumed
-//      mailbox traffic — a silently wedged node is a failure, not a fast run.
+//      mailbox traffic — a silently wedged node is a failure, not a fast run;
+//   6. lateness conservation: every analyzed deadline miss carries a blame
+//      ledger that telescopes exactly to completion - release, and a complete
+//      window leaves zero nanoseconds unattributed.
 
 #ifndef SRC_FLEET_FLEET_H_
 #define SRC_FLEET_FLEET_H_
@@ -38,6 +41,7 @@
 #include "src/base/time.h"
 #include "src/core/timer.h"
 #include "src/obs/alerts.h"
+#include "src/obs/postmortem.h"
 #include "src/obs/telemetry.h"
 #include "src/obs/timeseries.h"
 
@@ -109,8 +113,12 @@ struct NodeResult {
   uint64_t headroom_low_events = 0;
   Duration virtual_time;
   size_t arena_high_water = 0;
-  // First failing oracle in human-readable form; empty when all five pass.
+  // First failing oracle in human-readable form; empty when all six pass.
   std::string failure;
+  // Deadline-miss postmortem: this node's blame ledger totals (mergeable,
+  // keyed by thread/semaphore ids) plus the misses still open at the horizon.
+  obs::BlameTotals blame;
+  uint64_t postmortem_incomplete = 0;
   // Anomaly triage: why the node is suspect (empty = healthy) and a
   // deterministic badness score — oracle failures dominate, then deadline
   // misses, chain SLO overruns, and headroom-low events.
@@ -161,6 +169,12 @@ struct FleetResult {
   uint64_t trace_dropped_worst = 0;
   uint64_t headroom_low_total = 0;
   int nodes_anomalous = 0;
+  // Fleet-merged blame tables (associative integer merge in node-index
+  // order) and their digest — bit-identical across worker counts, gated by
+  // the determinism tests alongside fleet_digest.
+  obs::BlameTotals blame;
+  uint64_t blame_digest = 0;
+  uint64_t postmortem_incomplete_total = 0;
   // Streaming plane, fleet-merged: same-index windows from every node merged
   // via the lossless histogram Merge (order-invariant), and the full alert
   // stream (node-local rules + the cross-node outlier rule) in canonical

@@ -6,6 +6,7 @@
 #include "src/fleet/triage.h"
 #include "src/obs/alerts.h"
 #include "src/obs/json_writer.h"
+#include "src/obs/postmortem.h"
 #include "src/obs/timeseries.h"
 
 namespace emeralds {
@@ -122,6 +123,22 @@ std::string BuildFleetRunReport(const FleetRunInfo& info, const FleetResult& res
                                  result.timeseries_windows_dropped);
     obs::AppendAlertsSection(json, result.alerts, result.alert_config);
   }
+
+  // Deadline-miss postmortem: the fleet-merged blame tables. Thread and
+  // semaphore ids are node-local roles (every node runs the same topology),
+  // so the merge reads as "which role / which lock hurts fleet-wide".
+  json.Key("postmortem");
+  json.OpenObject();
+  {
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "0x%016llx",
+                  static_cast<unsigned long long>(result.blame_digest));
+    json.String("blame_digest", digest);
+  }
+  json.Int("incomplete_misses", static_cast<int64_t>(result.postmortem_incomplete_total));
+  json.Key("blame");
+  obs::AppendBlameTotals(json, result.blame);
+  json.CloseObject();
 
   json.Key("triage");
   AppendFleetTriageSection(json, ComputeFleetTriage(result));

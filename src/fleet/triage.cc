@@ -70,6 +70,11 @@ FleetTriage ComputeFleetTriage(const FleetResult& fleet, int top_k) {
       {"headroom_low_events", [](const NodeResult& r) { return r.headroom_low_events; },
        false},
       {"trace_dropped", [](const NodeResult& r) { return r.trace_dropped; }, false},
+      {"blamed_tardiness_us",
+       [](const NodeResult& r) {
+         return static_cast<uint64_t>(r.blame.tardiness_ns / 1000);
+       },
+       false},
       {"response_p99_us",
        [](const NodeResult& r) {
          return static_cast<uint64_t>(r.telemetry.response.PercentileBound(0.99).micros());
@@ -122,6 +127,21 @@ FleetTriage ComputeFleetTriage(const FleetResult& fleet, int top_k) {
               }
               return a < b;
             });
+
+  // Top blamed preemptor / lock from the merged postmortem tables (maps are
+  // id-ordered, so `>` picks the lowest id on a tie deterministically).
+  for (const auto& [tid, ns] : fleet.blame.preemptor_ns) {
+    if (ns > triage.top_preemptor_ns) {
+      triage.top_preemptor_ns = ns;
+      triage.top_preemptor = tid;
+    }
+  }
+  for (const auto& [sem, ns] : fleet.blame.lock_ns) {
+    if (ns > triage.top_lock_ns) {
+      triage.top_lock_ns = ns;
+      triage.top_lock = sem;
+    }
+  }
   return triage;
 }
 
@@ -154,6 +174,13 @@ void AppendFleetTriageSection(obs::Json& j, const FleetTriage& triage) {
     j.IntElem(node);
   }
   j.CloseArray();
+  j.Key("top_blame");
+  j.OpenObject();
+  j.Int("preemptor", triage.top_preemptor);
+  j.Int("preemptor_ns", triage.top_preemptor_ns);
+  j.Int("lock", triage.top_lock);
+  j.Int("lock_ns", triage.top_lock_ns);
+  j.CloseObject();
   j.CloseObject();
 }
 

@@ -44,6 +44,13 @@ struct FleetTriage {
   // Union of outlier nodes across all metrics, ordered by anomaly_score
   // descending (ties by index ascending) — the "look here first" list.
   std::vector<int> outlier_nodes;
+  // From the fleet-merged postmortem blame tables: the single preemptor
+  // thread / lock carrying the most blamed lateness across every analyzed
+  // miss (ties by lower id; -1 = no blame of that kind anywhere).
+  int top_preemptor = -1;
+  int64_t top_preemptor_ns = 0;
+  int top_lock = -1;
+  int64_t top_lock_ns = 0;
 };
 
 // top_k bounds each metric's table, not the outlier flagging (every node is

@@ -11,6 +11,7 @@
 #include "src/hal/hardware.h"
 #include "src/obs/blackbox.h"
 #include "src/obs/chains.h"
+#include "src/obs/postmortem.h"
 
 namespace emeralds {
 namespace fuzz {
@@ -387,8 +388,11 @@ void DriveTorture(const TortureOptions& opt, HarnessState* st, Finish finish) {
   config.timer_queue = opt.timer_queue;
   config.num_cores = opt.num_cores;
   config.default_sem_mode = topo.Bernoulli(0.5) ? SemMode::kCse : SemMode::kStandard;
+  // Sized so the default ring retains the whole run: overhead-span events
+  // roughly triple the trace volume, and oracle 6's zero-unattributed demand
+  // only binds on a complete window.
   config.trace_capacity =
-      opt.tiny_trace_ring ? 128 : std::max<size_t>(16384, static_cast<size_t>(opt.ops) * 24);
+      opt.tiny_trace_ring ? 128 : std::max<size_t>(49152, static_cast<size_t>(opt.ops) * 96);
 
   // Declared causal chains across the fuzz topology: the chain analyzer
   // reconstructs instances of these from the trace, and oracle 5 holds the
@@ -609,6 +613,16 @@ TortureResult RunTorture(const TortureOptions& options) {
     } else if (chains.complete_window && chains.orphan_hops > 0) {
       first_chain_violation = "orphan hops in an untruncated trace";
     }
+    // Oracle 6: conservation of lateness. Every miss ledger telescopes by
+    // construction unless the engine mis-walked the trace; a complete window
+    // must additionally attribute every nanosecond and match every miss.
+    obs::PostmortemAnalysis postmortem = obs::AnalyzePostmortem(kernel.trace());
+    result.postmortem_misses = postmortem.misses_analyzed;
+    result.postmortem_conservation_failures = postmortem.conservation_failures;
+    result.postmortem_unattributed_ns = postmortem.blame.unattributed_ns;
+    result.postmortem_unmatched = postmortem.unmatched_misses;
+    result.postmortem_incomplete = postmortem.incomplete_misses;
+
     result.trace_retained = kernel.trace().size();
     result.trace_dropped = kernel.trace().dropped();
     result.trace_digest = DigestRun(kernel);
@@ -652,6 +666,17 @@ TortureResult RunTorture(const TortureOptions& options) {
       result.failure = buf;
     } else if (!first_chain_violation.empty()) {
       result.failure = "chain token conservation: " + first_chain_violation;
+    } else if (result.postmortem_conservation_failures > 0 ||
+               (!postmortem.window_truncated &&
+                (result.postmortem_unattributed_ns != 0 || result.postmortem_unmatched > 0))) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "lateness conservation violated: %llu ledger(s) failed, "
+                    "unattributed %lld ns, %llu unmatched miss(es)",
+                    static_cast<unsigned long long>(result.postmortem_conservation_failures),
+                    static_cast<long long>(result.postmortem_unattributed_ns),
+                    static_cast<unsigned long long>(result.postmortem_unmatched));
+      result.failure = buf;
     }
   });
   result.ops_executed = st.executed;
@@ -782,6 +807,16 @@ void AppendTortureRunJson(std::string* out, const TortureOptions& options,
                 static_cast<unsigned long long>(result.chain_orphan_hops),
                 static_cast<unsigned long long>(result.chain_completed),
                 static_cast<unsigned long long>(result.chain_origins));
+  *out += buffer;
+  std::snprintf(buffer, sizeof(buffer),
+                "     \"postmortem\": {\"misses_analyzed\": %llu, "
+                "\"conservation_failures\": %llu, \"unattributed_ns\": %lld, "
+                "\"unmatched\": %llu, \"incomplete\": %llu},\n",
+                static_cast<unsigned long long>(result.postmortem_misses),
+                static_cast<unsigned long long>(result.postmortem_conservation_failures),
+                static_cast<long long>(result.postmortem_unattributed_ns),
+                static_cast<unsigned long long>(result.postmortem_unmatched),
+                static_cast<unsigned long long>(result.postmortem_incomplete));
   *out += buffer;
   *out += "     \"ops\": {";
   bool first = true;

@@ -11,7 +11,7 @@
 // deterministic, the same (seed, op budget) always produces bit-identical
 // traces; TortureResult::trace_digest makes that checkable in one compare.
 //
-// Five oracles run after every run:
+// Six oracles run after every run:
 //   1. obs::AnalyzeTrace over the retained trace must report zero structural
 //      invariant violations (truncation-aware, so a deliberately tiny ring is
 //      a fault case, not a false positive);
@@ -28,7 +28,11 @@
 //      topology must report zero chain violations — every consumed token was
 //      emitted, hop counts advance by exactly one, origins are minted once.
 //      On a truncated ring orphan hops are tolerated (the emit predates the
-//      window) but malformed tokens still fail.
+//      window) but malformed tokens still fail;
+//   6. conservation of lateness: obs::AnalyzePostmortem over every deadline
+//      miss must produce a blame ledger that telescopes exactly to
+//      completion - release, and on an untruncated ring nothing may land in
+//      the unattributed bucket and no miss may go unmatched.
 //
 // A failing seed is shrunk by bisecting the global operation budget
 // (BisectFailingOpLimit) and reported as a one-line repro command.
@@ -132,6 +136,14 @@ struct TortureResult {
   uint64_t chain_orphan_hops = 0;   // nonzero only on a truncated ring
   uint64_t chain_completed = 0;     // declared-chain instances completed
   uint64_t chain_origins = 0;       // origins minted in-window
+  // Sixth oracle: conservation of lateness. Every analyzed miss's ledger must
+  // sum to its response time exactly; on a complete window unattributed and
+  // unmatched must both be zero (a truncated ring only degrades coverage).
+  uint64_t postmortem_misses = 0;
+  uint64_t postmortem_conservation_failures = 0;
+  int64_t postmortem_unattributed_ns = 0;
+  uint64_t postmortem_unmatched = 0;
+  uint64_t postmortem_incomplete = 0;
   // FNV-1a over the retained trace window (time, type, args) and the
   // reconciled counters: equal digests == bit-identical runs.
   uint64_t trace_digest = 0;

@@ -45,6 +45,12 @@ const char* TraceEventTypeToString(TraceEventType type) {
       return "chain_consume";
     case TraceEventType::kTraceEpoch:
       return "trace_epoch";
+    case TraceEventType::kOverheadSpan:
+      return "overhead_span";
+    case TraceEventType::kThreadBlock:
+      return "thread_block";
+    case TraceEventType::kThreadReady:
+      return "thread_ready";
   }
   return "?";
 }

@@ -36,12 +36,31 @@ enum class TraceEventType : uint8_t {
   kChainEmit,       // arg0 = token origin, arg1 = packed endpoint, arg2 = hop/actor
   kChainConsume,    // arg0 = token origin, arg1 = packed endpoint, arg2 = hop/actor
   kTraceEpoch,      // arg0 = epoch number (ring was reset; window starts here)
+  kOverheadSpan,    // arg0 = OverheadSpanPack(bucket, core), arg1 = span ns,
+                    // arg2 = current thread id + 1 (0 = none). Recorded at the
+                    // *end* of every non-user, non-idle clock advance so the
+                    // postmortem engine can classify kernel overhead exactly.
+  kThreadBlock,     // arg0 = thread id, arg1 = BlockReason (non-sem waits)
+  kThreadReady,     // arg0 = thread id, arg1 = BlockReason it was blocked under
 };
 
 // One past the last enumerator. Keep in sync when adding event types; the
 // round-trip test over [0, kNumTraceEventTypes) catches a missing name.
 inline constexpr int kNumTraceEventTypes =
-    static_cast<int>(TraceEventType::kTraceEpoch) + 1;
+    static_cast<int>(TraceEventType::kThreadReady) + 1;
+
+// kOverheadSpan arg0 packing: cycle bucket in the high byte region, core id
+// in the low byte. Both fit comfortably (16 buckets, <= 8 cores).
+constexpr int32_t OverheadSpanPack(int bucket, int core) {
+  return static_cast<int32_t>((static_cast<uint32_t>(bucket) << 8) |
+                              (static_cast<uint32_t>(core) & 0xffu));
+}
+constexpr int OverheadSpanBucket(int32_t packed) {
+  return static_cast<int>(static_cast<uint32_t>(packed) >> 8);
+}
+constexpr int OverheadSpanCore(int32_t packed) {
+  return static_cast<int>(static_cast<uint32_t>(packed) & 0xffu);
+}
 
 // --- Causal event-chain encoding -----------------------------------------
 //

@@ -31,6 +31,7 @@ BlackBoxSnapshot CaptureBlackBox(const Kernel& kernel, std::string label,
   TraceAnalysis analysis = AnalyzeTrace(sink);
   box.chains = AnalyzeChains(sink, kernel.resolved_chains());
   box.telemetry = CollectNodeTelemetry(kernel, analysis, box.chains);
+  box.postmortem = AnalyzePostmortem(sink);
 
   if (const StatsSampler* sampler = kernel.stats_sampler()) {
     box.deltas.reserve(sampler->size());
@@ -104,6 +105,9 @@ std::string BuildBlackBoxReport(const BlackBoxSnapshot& box) {
 
   j.Key("chains");
   AppendChainsSection(j, box.chains);
+
+  j.Key("postmortem");
+  AppendPostmortemSection(j, box.postmortem, &box.chains);
 
   j.Key("snapshots");
   j.OpenObject();

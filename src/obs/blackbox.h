@@ -29,6 +29,7 @@
 #include "src/core/stats.h"
 #include "src/hal/trace.h"
 #include "src/obs/chains.h"
+#include "src/obs/postmortem.h"
 #include "src/obs/telemetry.h"
 
 namespace emeralds {
@@ -53,6 +54,9 @@ struct BlackBoxSnapshot {
   std::vector<StatsDelta> deltas;  // stats-sampler ring, oldest first
   uint64_t deltas_dropped = 0;
   NodeTelemetry telemetry;
+  // Deadline-miss postmortem over the same window: every miss's blame
+  // ledger, so the bundle answers "why was it late" without a replay.
+  PostmortemAnalysis postmortem;
 };
 
 // Snapshots a live kernel. Pure read — never perturbs virtual time — so

@@ -36,18 +36,40 @@ struct SpecState {
   std::map<uint32_t, Instance> instances;  // keyed by token origin
 };
 
-void CompleteInstance(ChainReport& report, const Instance& inst) {
+void CompleteInstance(ChainReport& report, uint32_t origin, const Instance& inst) {
   const size_t stages = report.hops.size();
   ++report.completed;
   Duration e2e = inst.stage_consume[stages - 1] - inst.stage_emit[0];
   report.e2e.Add(e2e);
-  if (report.deadline.nanos() > 0 && e2e > report.deadline) {
+  const bool overrun = report.deadline.nanos() > 0 && e2e > report.deadline;
+  if (overrun) {
     ++report.overruns;
   }
+  ChainOverrunRecord rec;
+  if (overrun) {
+    rec.origin = origin;
+    rec.start = inst.stage_emit[0];
+    rec.e2e = e2e;
+  }
   for (size_t k = 0; k < stages; ++k) {
-    report.hops[k].queue.Add(inst.stage_consume[k] - inst.stage_emit[k]);
+    Duration queue = inst.stage_consume[k] - inst.stage_emit[k];
+    report.hops[k].queue.Add(queue);
+    if (overrun) {
+      rec.hop_queue_ns.push_back(queue.nanos());
+    }
     if (k + 1 < stages) {
-      report.hops[k].exec.Add(inst.stage_emit[k + 1] - inst.stage_consume[k]);
+      Duration exec = inst.stage_emit[k + 1] - inst.stage_consume[k];
+      report.hops[k].exec.Add(exec);
+      if (overrun) {
+        rec.hop_exec_ns.push_back(exec.nanos());
+      }
+    }
+  }
+  if (overrun) {
+    if (report.overrun_records.size() < kMaxChainOverrunRecords) {
+      report.overrun_records.push_back(std::move(rec));
+    } else {
+      ++report.overrun_records_dropped;
     }
   }
 }
@@ -212,7 +234,7 @@ ChainAnalysis AnalyzeChains(const TraceEvent* events, size_t count, uint64_t dro
       inst.stage_consume[inst.next_stage] = e.time;
       inst.carrier_tid = actor;
       if (inst.next_stage + 1 == specs[s].stages.size()) {
-        CompleteInstance(reports[s], inst);
+        CompleteInstance(reports[s], origin, inst);
         states[s].instances.erase(it);
       } else {
         ++inst.next_stage;

@@ -70,6 +70,21 @@ struct ChainHopStats {
   Log2Histogram exec;
 };
 
+// One SLO-overrunning instance, retained verbatim for the postmortem report.
+// The per-hop queue/exec intervals telescope: their sum equals e2e exactly,
+// so every overrun carries its own exact lateness decomposition.
+struct ChainOverrunRecord {
+  uint32_t origin = 0;  // token origin of the overrunning instance
+  Instant start;        // first emit
+  Duration e2e;         // first emit -> final consume
+  std::vector<int64_t> hop_queue_ns;  // one per stage
+  std::vector<int64_t> hop_exec_ns;   // one per stage boundary (stages - 1)
+};
+
+// Per-chain cap on retained overrun records; overflow only bumps the
+// dropped counter (the histograms still see every instance).
+inline constexpr size_t kMaxChainOverrunRecords = 32;
+
 struct ChainReport {
   std::string name;
   Duration deadline;       // zero = no SLO declared
@@ -79,6 +94,8 @@ struct ChainReport {
   uint64_t overruns = 0;   // completed instances with e2e > deadline
   Log2Histogram e2e;       // first emit -> final consume
   std::vector<ChainHopStats> hops;
+  std::vector<ChainOverrunRecord> overrun_records;  // first kMax... overruns
+  uint64_t overrun_records_dropped = 0;             // overruns past the cap
 };
 
 struct ChainAnalysis {

@@ -51,6 +51,10 @@ class Json {
     Sep();
     JsonAppendInt(&out_, value);
   }
+  void NumberElem(double value) {
+    Sep();
+    JsonAppendNumber(&out_, value);
+  }
   void StringElem(const std::string& value) {
     Sep();
     JsonAppendEscaped(&out_, value);

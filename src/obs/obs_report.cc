@@ -5,6 +5,7 @@
 #include "src/obs/chains.h"
 #include "src/obs/cycles_report.h"
 #include "src/obs/json_writer.h"
+#include "src/obs/postmortem.h"
 
 namespace emeralds {
 namespace obs {
@@ -265,8 +266,11 @@ std::string BuildObsRunReport(const ObsRunInfo& info, const Kernel& kernel,
   AppendTaskRows(j, CollectPerTaskStats(kernel, task_ids));
   AppendAnalysis(j, analysis);
   AppendReconciliation(j, analysis, kernel.stats());
+  ChainAnalysis chains = AnalyzeChains(trace, kernel.resolved_chains());
   j.Key("chains");
-  AppendChainsSection(j, AnalyzeChains(trace, kernel.resolved_chains()));
+  AppendChainsSection(j, chains);
+  j.Key("postmortem");
+  AppendPostmortemSection(j, AnalyzePostmortem(trace), &chains);
   AppendSnapshots(j, kernel.stats_sampler(), kernel.stats());
   j.CloseObject();
   return j.str() + "\n";

@@ -124,6 +124,10 @@ void ExportWindow(EventWriter& w, const TraceEvent* events, size_t count,
     if (e.type == TraceEventType::kTraceEpoch) {
       continue;  // arg0 is an epoch number
     }
+    if (e.type == TraceEventType::kOverheadSpan) {
+      name_thread(e.arg2 - 1);  // arg0 packs (bucket, core); arg2 = tid + 1
+      continue;
+    }
     name_thread(e.arg0);
     if (e.type == TraceEventType::kContextSwitch || e.type == TraceEventType::kPiInherit) {
       name_thread(e.arg1);
@@ -314,6 +318,38 @@ void ExportWindow(EventWriter& w, const TraceEvent* events, size_t count,
         std::snprintf(name, sizeof(name), "trace epoch %d", e.arg0);
         w.Instant(ts, 0, name, "trace");
         break;
+      case TraceEventType::kOverheadSpan: {
+        if (!options.overhead_slices) {
+          break;
+        }
+        // Recorded at the *end* of the charge; the slice covers the advance.
+        double dur_us = static_cast<double>(e.arg1) / 1e3;
+        int tid = e.arg2 > 0 ? e.arg2 - 1 : 0;
+        std::snprintf(name, sizeof(name), "overhead: %s (core %d)",
+                      CycleBucketToString(static_cast<CycleBucket>(OverheadSpanBucket(e.arg0))),
+                      OverheadSpanCore(e.arg0));
+        w.Open("X", ts - dur_us, tid);
+        w.Field("name", name);
+        w.Field("cat", "overhead");
+        w.Dur(dur_us);
+        w.Close();
+        break;
+      }
+      case TraceEventType::kThreadBlock:
+      case TraceEventType::kThreadReady: {
+        // Wait spans (block -> ready) per reason. Semaphore waits already
+        // render as "blocked on S<n>" spans from kSemAcquireBlock, so those
+        // are skipped here rather than drawn twice.
+        auto reason = static_cast<BlockReason>(e.arg1);
+        if (reason == BlockReason::kWaitSem || reason == BlockReason::kNone) {
+          break;
+        }
+        std::snprintf(span_id, sizeof(span_id), "%swait.t%d.r%d", sp, e.arg0, e.arg1);
+        std::snprintf(name, sizeof(name), "wait: %s", BlockReasonToString(reason));
+        w.Async(e.type == TraceEventType::kThreadBlock ? "b" : "e", ts, e.arg0, name, "wait",
+                span_id);
+        break;
+      }
     }
   }
 
@@ -347,6 +383,14 @@ void ExportWindow(EventWriter& w, const TraceEvent* events, size_t count,
 
   for (const PerfettoInstantMarker& m : options.instants) {
     w.Instant(TsUs(m.time), 0, m.name.c_str(), m.category);
+  }
+
+  for (const PerfettoAnnotationSlice& a : options.annotations) {
+    w.Open("X", TsUs(a.begin), a.thread_id);
+    w.Field("name", a.name.c_str());
+    w.Field("cat", a.category);
+    w.Dur(static_cast<double>(a.duration.nanos()) / 1e3);
+    w.Close();
   }
 
   // Close still-open running slices and block spans at the window edge so

@@ -42,6 +42,17 @@ struct PerfettoInstantMarker {
   const char* category = "alert";
 };
 
+// An annotation slice rendered on a thread's track as a complete ("X")
+// event — the postmortem engine overlays one per late job spanning release
+// to completion, named with the ledger's top blame component.
+struct PerfettoAnnotationSlice {
+  Instant begin;
+  Duration duration;
+  int thread_id = 0;
+  std::string name;
+  const char* category = "postmortem";
+};
+
 struct PerfettoExportOptions {
   std::string process_name = "emeralds";
   // Process id the window renders under. The default (1) keeps single-node
@@ -59,6 +70,12 @@ struct PerfettoExportOptions {
   std::vector<PerfettoCounterSample> counter_samples;
   // Instant markers (alert fire/resolve overlays).
   std::vector<PerfettoInstantMarker> instants;
+  // Annotation slices (postmortem late-job overlays).
+  std::vector<PerfettoAnnotationSlice> annotations;
+  // Render kOverheadSpan events as per-thread kernel-overhead slices. Off by
+  // default: span volume is several times the rest of the stream and most
+  // viewers only need them when chasing a specific postmortem.
+  bool overhead_slices = false;
 };
 
 // Writes the event window as Chrome trace-event JSON to `out`. Returns the

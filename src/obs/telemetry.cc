@@ -18,9 +18,14 @@ NodeTelemetry CollectNodeTelemetry(const Kernel& kernel, const TraceAnalysis& an
   t.deadline_misses = s.deadline_misses;
   t.headroom_low_events = s.headroom_low_events;
   t.trace_dropped = kernel.trace().dropped();
+  t.stats_snapshot_drops = s.stats_snapshot_drops;
   for (int b = 0; b < kNumCycleBuckets; ++b) {
     t.cycles[b] = s.cycles.buckets[b];
     t.cycles_total += t.cycles[b];
+  }
+  t.num_cores = s.num_cores;
+  for (int c = 0; c < s.num_cores && c < kMaxStatCores; ++c) {
+    t.core_cycles[c] = s.core_cycles[c].total();
   }
 
   // Headroom minimum across every thread the monitor has scored.
@@ -48,6 +53,7 @@ NodeTelemetry CollectNodeTelemetry(const Kernel& kernel, const TraceAnalysis& an
     ct.deadline_max = c.deadline;
     ct.completed = c.completed;
     ct.overruns = c.overruns;
+    ct.incomplete = c.incomplete;
     ct.e2e = c.e2e;
     ct.hops.reserve(c.hops.size());
     for (const ChainHopStats& h : c.hops) {
@@ -82,10 +88,15 @@ void MergeNodeTelemetry(FleetTelemetry* fleet, const NodeTelemetry& node, int no
     fleet->trace_dropped_worst = node.trace_dropped;
     fleet->trace_dropped_worst_node = node_index;
   }
+  fleet->stats_snapshot_drops_total += node.stats_snapshot_drops;
   for (int b = 0; b < kNumCycleBuckets; ++b) {
     fleet->cycles[b] += node.cycles[b];
   }
   fleet->cycles_total += node.cycles_total;
+  fleet->max_cores = std::max(fleet->max_cores, node.num_cores);
+  for (int c = 0; c < node.num_cores && c < kMaxStatCores; ++c) {
+    fleet->core_cycles[c] += node.core_cycles[c];
+  }
   fleet->response.Merge(node.response);
 
   for (const ChainTelemetry& nc : node.chains) {
@@ -104,6 +115,7 @@ void MergeNodeTelemetry(FleetTelemetry* fleet, const NodeTelemetry& node, int no
     fc->deadline_max = std::max(fc->deadline_max, nc.deadline_max);
     fc->completed += nc.completed;
     fc->overruns += nc.overruns;
+    fc->incomplete += nc.incomplete;
     fc->e2e.Merge(nc.e2e);
     if (fc->hops.size() < nc.hops.size()) {
       fc->hops.resize(nc.hops.size());
@@ -139,6 +151,7 @@ void AppendChainTelemetry(Json& j, const ChainTelemetry& c) {
   j.Number("deadline_max_us", c.deadline_max.micros_f());
   j.Int("completed", static_cast<int64_t>(c.completed));
   j.Int("overruns", static_cast<int64_t>(c.overruns));
+  j.Int("incomplete_instances", static_cast<int64_t>(c.incomplete));
   AppendTelemetryHistogram(j, "e2e", c.e2e);
   j.Key("hops");
   j.OpenArray();
@@ -150,6 +163,15 @@ void AppendChainTelemetry(Json& j, const ChainTelemetry& c) {
   }
   j.CloseArray();
   j.CloseObject();
+}
+
+void AppendCoreCycles(Json& j, const Duration (&core_cycles)[kMaxStatCores], int cores) {
+  j.Key("core_cycles_us");
+  j.OpenArray();
+  for (int c = 0; c < cores && c < kMaxStatCores; ++c) {
+    j.NumberElem(core_cycles[c].micros_f());
+  }
+  j.CloseArray();
 }
 
 void AppendCycles(Json& j, const Duration (&cycles)[kNumCycleBuckets], Duration total) {
@@ -190,7 +212,9 @@ void AppendNodeTelemetrySection(Json& j, const NodeTelemetry& t) {
   j.Int("low_events", static_cast<int64_t>(t.headroom_low_events));
   j.CloseObject();
   j.Int("trace_dropped", static_cast<int64_t>(t.trace_dropped));
+  j.Int("stats_snapshot_drops", static_cast<int64_t>(t.stats_snapshot_drops));
   AppendCycles(j, t.cycles, t.cycles_total);
+  AppendCoreCycles(j, t.core_cycles, t.num_cores);
   AppendTelemetryHistogram(j, "response", t.response);
   j.Key("chains");
   j.OpenArray();
@@ -221,7 +245,9 @@ void AppendFleetTelemetrySection(Json& j, const FleetTelemetry& t) {
   j.Int("worst_node", t.trace_dropped_worst_node);
   j.Int("worst_node_dropped", static_cast<int64_t>(t.trace_dropped_worst));
   j.CloseObject();
+  j.Int("stats_snapshot_drops", static_cast<int64_t>(t.stats_snapshot_drops_total));
   AppendCycles(j, t.cycles, t.cycles_total);
+  AppendCoreCycles(j, t.core_cycles, t.max_cores);
   AppendTelemetryHistogram(j, "response", t.response);
   j.Key("chains");
   j.OpenArray();

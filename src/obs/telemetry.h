@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/base/time.h"
+#include "src/core/stats.h"
 #include "src/hal/cycles.h"
 #include "src/obs/chains.h"
 #include "src/obs/histogram.h"
@@ -47,6 +48,9 @@ struct ChainTelemetry {
   Duration deadline_max;
   uint64_t completed = 0;
   uint64_t overruns = 0;
+  // Instances still in flight at the node's virtual horizon (started but
+  // unfinished) — previously silently absent from every surface.
+  uint64_t incomplete = 0;
   Log2Histogram e2e;
   struct Hop {
     Log2Histogram queue;
@@ -65,12 +69,18 @@ struct NodeTelemetry {
   uint64_t chain_overruns = 0;
   uint64_t headroom_low_events = 0;
   uint64_t trace_dropped = 0;
+  // Snapshot-ring evictions before the host drained them: the time-series
+  // windows spanning these are lower bounds, so the loss is owned up to here.
+  uint64_t stats_snapshot_drops = 0;
   // Deepest the headroom monitor saw any job cut into its slack.
   bool headroom_seen = false;
   Duration headroom_min;
   // Per-CycleBucket virtual-time shares (the node's attribution ledger).
   Duration cycles[kNumCycleBuckets] = {};
   Duration cycles_total;
+  // Per-core ledger totals (SMP): core c's total charged virtual time.
+  int num_cores = 1;
+  Duration core_cycles[kMaxStatCores] = {};
   // Job response times across every task on the node.
   Log2Histogram response;
   std::vector<ChainTelemetry> chains;
@@ -90,8 +100,12 @@ struct FleetTelemetry {
   uint64_t trace_dropped_total = 0;
   int trace_dropped_worst_node = -1;
   uint64_t trace_dropped_worst = 0;
+  uint64_t stats_snapshot_drops_total = 0;
   Duration cycles[kNumCycleBuckets] = {};
   Duration cycles_total;
+  // Widest node and the positional per-core sums across the fleet.
+  int max_cores = 0;
+  Duration core_cycles[kMaxStatCores] = {};
   Log2Histogram response;
   std::vector<ChainTelemetry> chains;  // merged by chain name
 };

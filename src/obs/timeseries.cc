@@ -24,6 +24,7 @@ void TelemetryWindow::MergeFrom(const TelemetryWindow& other) {
   headroom_low_events += other.headroom_low_events;
   chain_e2e_completed += other.chain_e2e_completed;
   chain_e2e_overruns += other.chain_e2e_overruns;
+  chain_origins += other.chain_origins;
   trace_dropped += other.trace_dropped;
   stats_snapshot_drops += other.stats_snapshot_drops;
   compute_time += other.compute_time;
@@ -89,6 +90,7 @@ void TimeseriesCollector::FoldDelta(const StatsDelta& d) {
   cur_.headroom_low_events += d.headroom_low_events;
   cur_.chain_e2e_completed += d.chain_e2e_hist.count();
   cur_.chain_e2e_overruns += d.chain_e2e_overruns;
+  cur_.chain_origins += d.chain_origins;
   cur_.stats_snapshot_drops += d.stats_snapshot_drops;
   cur_.compute_time += d.compute_time;
   cur_.idle_time += d.idle_time;
@@ -236,6 +238,7 @@ void AppendTelemetryWindow(Json& j, const TelemetryWindow& w) {
   j.Int("headroom_low_events", static_cast<int64_t>(w.headroom_low_events));
   j.Int("chain_e2e_completed", static_cast<int64_t>(w.chain_e2e_completed));
   j.Int("chain_e2e_overruns", static_cast<int64_t>(w.chain_e2e_overruns));
+  j.Int("chain_origins", static_cast<int64_t>(w.chain_origins));
   j.Int("trace_dropped", static_cast<int64_t>(w.trace_dropped));
   j.Int("stats_snapshot_drops", static_cast<int64_t>(w.stats_snapshot_drops));
   j.Number("compute_ms", w.compute_time.micros_f() / 1e3);

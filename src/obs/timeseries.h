@@ -68,6 +68,10 @@ struct TelemetryWindow {
   uint64_t headroom_low_events = 0;
   uint64_t chain_e2e_completed = 0;
   uint64_t chain_e2e_overruns = 0;
+  // Chain instances begun (origin emits) in this window; together with
+  // chain_e2e_completed the series shows in-flight growth — the streaming
+  // analog of AnalyzeChains' per-chain incomplete_instances count.
+  uint64_t chain_origins = 0;
   uint64_t trace_dropped = 0;        // trace evictions observed at drains in this window
   uint64_t stats_snapshot_drops = 0;
   Duration compute_time;

@@ -112,10 +112,12 @@ TraceAnalysis AnalyzeTrace(const TraceEvent* events, size_t count, uint64_t drop
     }
 
     // Chain and epoch events carry a token origin / epoch number in arg0,
-    // not a thread id — never grow a task track from them.
+    // not a thread id — never grow a task track from them. kOverheadSpan
+    // packs (bucket, core) into arg0.
     const bool arg0_is_thread = e.type != TraceEventType::kChainEmit &&
                                 e.type != TraceEventType::kChainConsume &&
-                                e.type != TraceEventType::kTraceEpoch;
+                                e.type != TraceEventType::kTraceEpoch &&
+                                e.type != TraceEventType::kOverheadSpan;
     ThreadTrack* t0 = arg0_is_thread ? track(e.arg0) : nullptr;
     TaskMetrics* m0 = t0 != nullptr ? &out.tasks[e.arg0] : nullptr;
 
@@ -290,6 +292,22 @@ TraceAnalysis AnalyzeTrace(const TraceEvent* events, size_t count, uint64_t drop
         // discarded, but the retained window only ever starts at or after
         // the marker, so no per-track state needs resetting here.
         ++out.trace_epochs;
+        break;
+      case TraceEventType::kOverheadSpan:
+        // Kernel-overhead attribution rider for the postmortem engine; the
+        // replay state machine only counts it (the span retroactively covers
+        // time that elapsed before this event's timestamp).
+        ++out.overhead_spans;
+        break;
+      case TraceEventType::kThreadBlock:
+        // Scheduler-level wait marker (kSemAcquireBlock already drives the
+        // blocking histogram; this event also covers period waits, sleeps,
+        // mailbox/condvar/IRQ waits). Counted only — the postmortem engine
+        // is the consumer that classifies by reason.
+        ++out.thread_blocks;
+        break;
+      case TraceEventType::kThreadReady:
+        ++out.thread_readies;
         break;
       case TraceEventType::kThreadExit:
         if (t0 != nullptr) {

@@ -100,6 +100,9 @@ struct TraceAnalysis {
   uint64_t chain_emits = 0;     // kChainEmit events (causal token emissions)
   uint64_t chain_consumes = 0;  // kChainConsume events (causal token pickups)
   uint64_t trace_epochs = 0;    // kTraceEpoch markers (sink resets)
+  uint64_t overhead_spans = 0;  // kOverheadSpan events (charged kernel time)
+  uint64_t thread_blocks = 0;   // kThreadBlock events (non-running waits)
+  uint64_t thread_readies = 0;  // kThreadReady events (wait resolved)
   int max_pi_chain_depth = 0;
   // Acquire-blocks still unresolved when the window ends. Not a violation:
   // a run cut at a time bound legitimately ends with blocked threads.

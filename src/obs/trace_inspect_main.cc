@@ -1,6 +1,7 @@
 // trace_inspect: offline replay of an exported kernel trace.
 //
 //   trace_inspect <trace.csv> [--run <run.json>] [--perfetto <out.json>] [--chains]
+//                 [--postmortem] [--postmortem-json <out.json>]
 //
 // Reads a TraceSink CSV export, replays it through the trace analyzer, and
 // prints per-task response/blocking histograms plus preemption / PI / CSE
@@ -12,11 +13,15 @@
 // additionally re-emits the window as Chrome/Perfetto trace JSON; with
 // --chains it replays the causal-token stream and enforces token
 // conservation (every consume matched to a visible emit, origins minted
-// once) with a per-endpoint traffic summary.
+// once) with a per-endpoint traffic summary; with --postmortem it replays
+// every missed deadline through the lateness-attribution engine and prints
+// each miss's telescoping blame ledger (a conservation failure on a
+// complete window is an error); --postmortem-json writes the same analysis
+// as a standalone emeralds.obs.postmortem/1 report (the CI artifact).
 //
 // Exit status: 0 clean; 1 usage / I/O / parse failure; 2 invariant
-// violations; 3 reconciliation mismatch or cycle-conservation failure
-// against the run report.
+// violations or a postmortem conservation failure; 3 reconciliation
+// mismatch or cycle-conservation failure against the run report.
 
 #include <cinttypes>
 #include <cstdio>
@@ -29,6 +34,7 @@
 #include "src/obs/chains.h"
 #include "src/obs/obs_report.h"
 #include "src/obs/perfetto_export.h"
+#include "src/obs/postmortem.h"
 #include "src/obs/trace_analyzer.h"
 #include "src/obs/trace_csv.h"
 
@@ -232,20 +238,27 @@ bool PrintChains(const TraceCsvImport& import) {
 }
 
 constexpr const char* kUsage =
-    "usage: trace_inspect <trace.csv> [--run run.json] [--perfetto out.json] [--chains]\n";
+    "usage: trace_inspect <trace.csv> [--run run.json] [--perfetto out.json] [--chains]\n"
+    "                     [--postmortem] [--postmortem-json out.json]\n";
 
 int Main(int argc, char** argv) {
   const char* csv_path = nullptr;
   const char* run_path = nullptr;
   const char* perfetto_path = nullptr;
+  const char* postmortem_json_path = nullptr;
   bool show_chains = false;
+  bool show_postmortem = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--run") == 0 && i + 1 < argc) {
       run_path = argv[++i];
     } else if (std::strcmp(argv[i], "--perfetto") == 0 && i + 1 < argc) {
       perfetto_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--postmortem-json") == 0 && i + 1 < argc) {
+      postmortem_json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--chains") == 0) {
       show_chains = true;
+    } else if (std::strcmp(argv[i], "--postmortem") == 0) {
+      show_postmortem = true;
     } else if (csv_path == nullptr && argv[i][0] != '-') {
       csv_path = argv[i];
     } else {
@@ -292,6 +305,38 @@ int Main(int argc, char** argv) {
 
   if (show_chains && !PrintChains(import) && status == 0) {
     status = 2;
+  }
+
+  // Computed for --postmortem and for --perfetto (late jobs become annotation
+  // slices on the victims' tracks either way).
+  PostmortemAnalysis postmortem;
+  if (show_postmortem || perfetto_path != nullptr || postmortem_json_path != nullptr) {
+    postmortem = AnalyzePostmortem(import.events.data(), import.events.size(), import.dropped);
+  }
+  if (show_postmortem) {
+    ChainAnalysis chains =
+        AnalyzeChains(import.events.data(), import.events.size(), import.dropped, {});
+    PrintPostmortem(stdout, postmortem, &chains);
+    if (!postmortem.ok() && status == 0) {
+      status = 2;  // a ledger failed to telescope: the engine's hard invariant
+    }
+  }
+  if (postmortem_json_path != nullptr) {
+    std::FILE* jf = std::fopen(postmortem_json_path, "w");
+    if (jf == nullptr) {
+      std::fprintf(stderr, "trace_inspect: cannot open %s\n", postmortem_json_path);
+      return 1;
+    }
+    ChainAnalysis chains =
+        AnalyzeChains(import.events.data(), import.events.size(), import.dropped, {});
+    std::string doc = BuildPostmortemReport(csv_path, postmortem, &chains);
+    std::fwrite(doc.data(), 1, doc.size(), jf);
+    std::fclose(jf);
+    std::printf("postmortem: wrote %" PRIu64 " analyzed miss(es) to %s\n",
+                postmortem.misses_analyzed, postmortem_json_path);
+    if (!postmortem.ok() && status == 0) {
+      status = 2;
+    }
   }
 
   if (run_path != nullptr) {
@@ -344,6 +389,7 @@ int Main(int argc, char** argv) {
     }
     PerfettoExportOptions options;
     options.dropped_events = import.dropped;
+    options.annotations = PostmortemAnnotations(postmortem);
     size_t entries =
         ExportPerfettoJson(import.events.data(), import.events.size(), options, pf);
     std::fclose(pf);

@@ -92,6 +92,14 @@ TEST(FleetTest, DigestIsStableAcrossRunsAndWorkerCounts) {
   for (size_t i = 0; i < first.nodes.size(); ++i) {
     EXPECT_EQ(serial.nodes[i].trace_digest, first.nodes[i].trace_digest) << "node " << i;
   }
+  // The merged blame ledger carries the same contract: node ledgers merge
+  // in node-index order, so the digest is bit-identical across worker
+  // counts and repeated runs.
+  EXPECT_EQ(serial.blame_digest, first.blame_digest);
+  EXPECT_EQ(wide.blame_digest, first.blame_digest);
+  EXPECT_EQ(second.blame_digest, first.blame_digest);
+  EXPECT_EQ(serial.blame.misses_analyzed, wide.blame.misses_analyzed);
+  EXPECT_EQ(serial.blame.tardiness_ns, wide.blame.tardiness_ns);
 }
 
 // Telemetry collection is a pure host-side read after each node's virtual

@@ -66,6 +66,45 @@ TEST(TortureTest, MultiCoreSweepIsClean) {
   }
 }
 
+// Sixth oracle at scale: conservation of lateness over 500 seeds at each of
+// 1, 2, and 4 cores. Every deadline miss in every run must carry a ledger
+// that telescopes exactly, and because the default ring retains the whole
+// run, not one nanosecond may land in the unattributed bucket and not one
+// miss may go unmatched. The sweep also proves the oracle is not vacuous:
+// these workloads miss deadlines constantly.
+TEST(TortureTest, LatenessConservationSweep) {
+  for (int cores : {1, 2, 4}) {
+    uint64_t misses_total = 0;
+    int complete_windows = 0;
+    for (uint64_t seed = 1; seed <= 500; ++seed) {
+      TortureOptions options;
+      options.seed = seed;
+      options.ops = 600;
+      options.num_cores = cores;
+      TortureResult result = RunTorture(options);
+      ASSERT_TRUE(result.ok) << "cores=" << cores << " seed=" << seed << ": " << result.failure
+                             << "\n  repro: " << ReproCommand(options);
+      // Conservation is unconditional; the zero-unattributed / zero-unmatched
+      // demands bind on complete windows (RunTorture's oracle 6 enforces them
+      // there too — these assertions pin the contract in the test).
+      ASSERT_EQ(result.postmortem_conservation_failures, 0u)
+          << "cores=" << cores << " seed=" << seed;
+      if (result.trace_dropped == 0) {
+        ++complete_windows;
+        ASSERT_EQ(result.postmortem_unattributed_ns, 0)
+            << "cores=" << cores << " seed=" << seed;
+        ASSERT_EQ(result.postmortem_unmatched, 0u) << "cores=" << cores << " seed=" << seed;
+      }
+      misses_total += result.postmortem_misses;
+    }
+    // The sweep must not be vacuous: nearly every window complete, and the
+    // workloads miss deadlines constantly.
+    EXPECT_GE(complete_windows, 490) << "cores=" << cores;
+    EXPECT_GT(misses_total, 100u) << "cores=" << cores
+                                  << ": sweep produced too few misses to exercise the oracle";
+  }
+}
+
 TEST(TortureTest, MultiCoreSameSeedIsBitDeterministic) {
   TortureOptions options;
   options.seed = 42;

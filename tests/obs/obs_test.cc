@@ -13,6 +13,7 @@
 #include "src/obs/histogram.h"
 #include "src/obs/obs_report.h"
 #include "src/obs/perfetto_export.h"
+#include "src/obs/postmortem.h"
 #include "src/obs/trace_analyzer.h"
 #include "src/obs/trace_csv.h"
 #include "src/workload/workload.h"
@@ -363,6 +364,78 @@ TEST(TraceCsvTest, RoundTripPreservesDroppedTrailer) {
   std::fclose(f);
   EXPECT_EQ(import.events.size(), 2u);
   EXPECT_EQ(import.dropped, 4u);
+}
+
+TEST(TraceCsvTest, LegacyFourColumnImportReExportsAsPerfetto) {
+  // The pre-arg2 CSV dialect: 4-column header, releases without encoded
+  // deadlines. It must import with arg2 = 0 and survive the exact pipeline
+  // trace_inspect --perfetto runs on it: analyzer, postmortem (which may
+  // only count the legacy miss, never attribute it), and the Chrome JSON
+  // re-export.
+  std::string csv =
+      "# emeralds trace export\n"
+      "time_us,event,arg0,arg1\n"
+      "0,job_release,1,0\n"
+      "0,context_switch,-1,1\n"
+      "40,deadline_miss,1,0\n"
+      "50,job_complete,1,0\n"
+      "50,context_switch,1,-1\n"
+      "# dropped=3\n";
+  TraceCsvImport import;
+  std::string error;
+  ASSERT_TRUE(ImportTraceCsv(csv, &import, &error)) << error;
+  ASSERT_EQ(import.events.size(), 5u);
+  EXPECT_EQ(import.dropped, 3u);
+  for (const TraceEvent& e : import.events) {
+    EXPECT_EQ(e.arg2, 0);
+  }
+
+  TraceAnalysis a = AnalyzeTrace(import.events.data(), import.events.size(), import.dropped);
+  EXPECT_TRUE(a.ok());
+  PostmortemAnalysis pm =
+      AnalyzePostmortem(import.events.data(), import.events.size(), import.dropped);
+  EXPECT_EQ(pm.conservation_failures, 0u);
+  EXPECT_EQ(pm.misses_analyzed, 0u);  // no deadline on a legacy release
+  EXPECT_EQ(pm.deadline_unknown, 1u);
+
+  PerfettoExportOptions options;
+  options.dropped_events = import.dropped;
+  options.annotations = PostmortemAnnotations(pm);
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  size_t entries = ExportPerfettoJson(import.events.data(), import.events.size(), options, f);
+  EXPECT_GT(entries, import.events.size());
+  std::rewind(f);
+  std::string text;
+  char buf[1024];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParse(text, &root, &error)) << error << "\n" << text;
+  const JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->type, JsonValue::Type::kArray);
+  EXPECT_EQ(events->array.size(), entries);
+  bool saw_running_slice = false;
+  bool saw_miss_marker = false;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "X") {
+      saw_running_slice = true;
+    }
+    const JsonValue* name = e.Find("name");
+    if (ph->string == "i" && name != nullptr &&
+        name->string.find("MISS") != std::string::npos) {
+      saw_miss_marker = true;
+    }
+  }
+  EXPECT_TRUE(saw_running_slice);
+  EXPECT_TRUE(saw_miss_marker);
 }
 
 TEST(TraceCsvTest, RejectsMalformedInput) {

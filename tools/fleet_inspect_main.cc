@@ -21,6 +21,11 @@
 //       per window (counters, cycle shares, response percentiles), then the
 //       node's alert stream with exact virtual fire/resolve timestamps.
 //
+//   fleet_inspect <fleet_report.json> --postmortem=N
+//       Re-runs node N and renders its deadline-miss postmortem: every
+//       analyzed miss's exactly-telescoping lateness ledger plus the node's
+//       blame totals (per preemptor, per lock).
+//
 //   fleet_inspect <fleet_report.json> --openmetrics=OUT.txt
 //       Re-runs the fleet the report describes and writes the OpenMetrics
 //       text exposition (validated before writing; "-" means stdout).
@@ -45,6 +50,7 @@
 #include <climits>
 
 #include "src/base/json.h"
+#include "src/core/kernel.h"
 #include "src/fleet/fleet.h"
 #include "src/fleet/fleet_report.h"
 #include "src/fleet/openmetrics.h"
@@ -52,6 +58,7 @@
 #include "src/obs/alerts.h"
 #include "src/obs/blackbox.h"
 #include "src/obs/perfetto_export.h"
+#include "src/obs/postmortem.h"
 #include "src/obs/timeseries.h"
 
 namespace emeralds {
@@ -110,6 +117,16 @@ int PrintReport(const JsonValue& root, const char* path) {
   if (const JsonValue* telemetry = root.Find("telemetry")) {
     std::printf("telemetry (%s, %lld nodes):\n", RootString(*telemetry, "schema").c_str(),
                 static_cast<long long>(RootInt(*telemetry, "nodes_collected", 0)));
+    std::printf("  snapshot drops=%lld\n",
+                static_cast<long long>(RootInt(*telemetry, "stats_snapshot_drops", 0)));
+    if (const JsonValue* cycles = telemetry->Find("core_cycles_us")) {
+      std::printf("  core cycles:");
+      int core = 0;
+      for (const JsonValue& c : cycles->array) {
+        std::printf(" c%d=%.0fus", core++, c.number);
+      }
+      std::printf("\n");
+    }
     if (const JsonValue* response = telemetry->Find("response")) {
       PrintPercentiles("response", *response);
     }
@@ -120,6 +137,17 @@ int PrintReport(const JsonValue& root, const char* path) {
           PrintPercentiles(name.c_str(), *e2e);
         }
       }
+    }
+  }
+
+  if (const JsonValue* postmortem = root.Find("postmortem")) {
+    if (const JsonValue* blame = postmortem->Find("blame")) {
+      std::printf("postmortem: %lld miss(es) analyzed, %.0fus blamed tardiness, "
+                  "%lld unattributed ns, digest=%s\n",
+                  static_cast<long long>(RootInt(*blame, "misses_analyzed", 0)),
+                  static_cast<double>(RootInt(*blame, "tardiness_ns", 0)) / 1e3,
+                  static_cast<long long>(RootInt(*blame, "unattributed_ns", 0)),
+                  RootString(*postmortem, "blame_digest").c_str());
     }
   }
 
@@ -140,6 +168,22 @@ int PrintReport(const JsonValue& root, const char* path) {
           std::printf(" n%lld=%lld%s", static_cast<long long>(RootInt(e, "node", -1)),
                       static_cast<long long>(RootInt(e, "value", 0)),
                       e.Find("outlier") != nullptr && e.Find("outlier")->boolean ? "*" : "");
+        }
+        std::printf("\n");
+      }
+    }
+    if (const JsonValue* blame = triage->Find("top_blame")) {
+      int64_t preemptor = RootInt(*blame, "preemptor", -1);
+      int64_t lock = RootInt(*blame, "lock", -1);
+      if (preemptor >= 0 || lock >= 0) {
+        std::printf("  top blame:");
+        if (preemptor >= 0) {
+          std::printf(" preemptor t%lld (%.0fus)", static_cast<long long>(preemptor),
+                      static_cast<double>(RootInt(*blame, "preemptor_ns", 0)) / 1e3);
+        }
+        if (lock >= 0) {
+          std::printf(" lock S%lld (%.0fus)", static_cast<long long>(lock),
+                      static_cast<double>(RootInt(*blame, "lock_ns", 0)) / 1e3);
         }
         std::printf("\n");
       }
@@ -209,7 +253,7 @@ void PrintNodeResult(int index, const NodeResult& r) {
 
 constexpr const char* kUsage =
     "usage: fleet_inspect [report.json] [--node=N | --merge=N1,N2,... |\n"
-    "                      --timeseries=N | --openmetrics=OUT.txt]\n"
+    "                      --timeseries=N | --postmortem=N | --openmetrics=OUT.txt]\n"
     "                     [--dir=DIR] [--perfetto=OUT.json]\n"
     "                     [--instances=N] [--seed=S] [--run-ms=M] [--slice-ms=K]\n"
     "                     [--timer-queue=wheel|sorted_list] [--trace-capacity=C]\n"
@@ -332,6 +376,7 @@ int Main(int argc, char** argv) {
   bool have_merge = false;
   int node = -1;
   int timeseries_node = -1;
+  int postmortem_node = -1;
   FleetOptions opt;
   opt.instances = 0;  // must come from the report or --instances
   opt.workers = 1;
@@ -351,6 +396,11 @@ int Main(int argc, char** argv) {
         return status;
       }
       timeseries_node = static_cast<int>(value);
+    } else if (FlagValue(argv[i], "--postmortem", &v)) {
+      if (!FlagInt("--postmortem", v, 0, INT_MAX, &value, &status)) {
+        return status;
+      }
+      postmortem_node = static_cast<int>(value);
     } else if (FlagValue(argv[i], "--merge", &v)) {
       if (!ParseNodeList(v, &merge_targets)) {
         return 1;
@@ -509,6 +559,25 @@ int Main(int argc, char** argv) {
     }
     NodeResult result = InspectNode(opt, timeseries_node, nullptr);
     PrintWindowSeries(timeseries_node, result, opt.timeseries_options.window);
+    return result.ok() ? 0 : 2;
+  }
+
+  // Per-node lateness attribution: replay the node and render every miss's
+  // blame ledger (exit 2 when any oracle — conservation included — failed).
+  if (postmortem_node >= 0) {
+    if (postmortem_node >= opt.instances) {
+      std::fprintf(stderr, "fleet_inspect: node %d out of range [0, %d)\n", postmortem_node,
+                   opt.instances);
+      return 1;
+    }
+    NodeResult result =
+        InspectNode(opt, postmortem_node, [&](const Kernel& kernel, const NodeResult&) {
+          obs::PostmortemAnalysis pm = obs::AnalyzePostmortem(kernel.trace());
+          obs::ChainAnalysis chains =
+              obs::AnalyzeChains(kernel.trace(), kernel.resolved_chains());
+          std::printf("node %d ", postmortem_node);
+          obs::PrintPostmortem(stdout, pm, &chains);
+        });
     return result.ok() ? 0 : 2;
   }
 
